@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks of the Overlog engine — the numbers behind
+//! the "is a from-scratch datalog runtime fast enough to host a
+//! filesystem control plane?" question.
+
+use boom_overlog::{value::row, OverlogRuntime, Value};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn tc_runtime(edges: usize) -> OverlogRuntime {
+    let mut rt = OverlogRuntime::new("bench");
+    rt.load(
+        "define(link, keys(0,1), {Int, Int});
+         define(path, keys(0,1), {Int, Int});
+         path(X, Y) :- link(X, Y);
+         path(X, Z) :- link(X, Y), path(Y, Z);",
+    )
+    .expect("program compiles");
+    for i in 0..edges as i64 {
+        rt.insert("link", row(vec![Value::Int(i), Value::Int(i + 1)]))
+            .expect("insert works");
+    }
+    rt
+}
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixpoint");
+    for edges in [50usize, 200] {
+        g.throughput(Throughput::Elements(edges as u64));
+        g.bench_function(format!("transitive_closure_{edges}_edges"), |b| {
+            b.iter_batched(
+                || tc_runtime(edges),
+                |mut rt| rt.tick(0).expect("tick succeeds"),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("incremental");
+    g.bench_function("single_edge_delta_into_1k_closure", |b| {
+        b.iter_batched(
+            || {
+                let mut rt = tc_runtime(0);
+                // A star graph: cheap closure, realistic index sizes.
+                for i in 0..1_000i64 {
+                    rt.insert("link", row(vec![Value::Int(0), Value::Int(i + 1)]))
+                        .expect("insert works");
+                }
+                rt.tick(0).expect("tick succeeds");
+                rt
+            },
+            |mut rt| {
+                rt.insert("link", row(vec![Value::Int(7), Value::Int(0)]))
+                    .expect("insert works");
+                rt.tick(1).expect("tick succeeds")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregates");
+    g.bench_function("count_min_max_over_2k_rows", |b| {
+        b.iter_batched(
+            || {
+                let mut rt = OverlogRuntime::new("bench");
+                rt.load(
+                    "define(t, keys(0,1), {Int, Int});
+                     define(s, keys(0), {Int, Int, Int, Int});
+                     s(G, count<V>, min<V>, max<V>) :- t(G, V);",
+                )
+                .expect("program compiles");
+                for i in 0..2_000i64 {
+                    rt.insert("t", row(vec![Value::Int(i % 20), Value::Int(i)]))
+                        .expect("insert works");
+                }
+                rt
+            },
+            |mut rt| rt.tick(0).expect("tick succeeds"),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_event_pipeline(c: &mut Criterion) {
+    // The NameNode hot path shape: event joins materialized state, derives
+    // a response and an inductive update.
+    let mut g = c.benchmark_group("event_pipeline");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("64_requests_per_tick", |b| {
+        b.iter_batched(
+            || {
+                let mut rt = OverlogRuntime::new("bench");
+                rt.load(
+                    "define(kv, keys(0), {Int, Int});
+                     event req, {Addr, Int, Int};
+                     event resp, {Addr, Int, Int};
+                     resp(@Src, K, V) :- req(Src, K, _), kv(K, V);
+                     kv(K, V) :- req(_, K, V);",
+                )
+                .expect("program compiles");
+                for i in 0..1_000i64 {
+                    rt.insert("kv", row(vec![Value::Int(i), Value::Int(i)]))
+                        .expect("insert works");
+                }
+                rt.tick(0).expect("tick succeeds");
+                for i in 0..64i64 {
+                    rt.insert(
+                        "req",
+                        row(vec![Value::addr("c"), Value::Int(i), Value::Int(i * 2)]),
+                    )
+                    .expect("insert works");
+                }
+                rt
+            },
+            |mut rt| rt.settle(1).expect("settle succeeds"),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fixpoint, bench_incremental_insert, bench_aggregates, bench_event_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the assembled systems: NameNode metadata ops
+//! (declarative vs imperative baseline — the latency story behind E2/E3)
+//! and Paxos consensus latency (behind E5).
+
+use boom_fs::cluster::{ControlPlane, FsCluster, FsClusterBuilder};
+use boom_paxos::{paxos_runtime, propose_row, PaxosGroup};
+use boom_simnet::{OverlogActor, Sim, SimConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn fs_cluster(control: ControlPlane) -> FsCluster {
+    FsClusterBuilder {
+        control,
+        datanodes: 2,
+        replication: 1,
+        ..Default::default()
+    }
+    .build()
+}
+
+fn bench_metadata_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("namenode_create");
+    for (control, label) in [
+        (ControlPlane::Declarative, "declarative"),
+        (ControlPlane::Baseline, "imperative"),
+    ] {
+        g.bench_function(label, |b| {
+            // One long-lived cluster; each iteration creates a fresh file
+            // (wall time here is dominated by NameNode evaluation).
+            let mut cluster = fs_cluster(control);
+            let client = cluster.client.clone();
+            client.mkdir(&mut cluster.sim, "/bench").expect("mkdir works");
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                client
+                    .create(&mut cluster.sim, &format!("/bench/f{i}"))
+                    .expect("create works")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_paxos_decide(c: &mut Criterion) {
+    c.bench_function("paxos_single_decree", |b| {
+        b.iter_batched(
+            || {
+                let group = PaxosGroup::new(&["px0", "px1", "px2"], 4_000);
+                let mut sim = Sim::new(SimConfig::default());
+                for name in &group.members {
+                    let g = group.clone();
+                    sim.add_node(
+                        name,
+                        Box::new(OverlogActor::with_factory(
+                            Box::new(move |n| paxos_runtime(n, &g)),
+                            20,
+                            name,
+                        )),
+                    );
+                }
+                sim.run_for(100);
+                sim
+            },
+            |mut sim| {
+                sim.inject("px0", "propose", propose_row("c", 1, "v", vec![]));
+                let ok = sim.run_while(20_000, |s| {
+                    s.with_actor::<OverlogActor, _>("px2", |a| {
+                        a.runtime_ref().count("decided") >= 1
+                    })
+                });
+                assert!(ok, "value must decide");
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_metadata_ops, bench_paxos_decide
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E2 — CDFs of **map** task completion time for the four-system matrix
+//! {Hadoop', BOOM-MR} × {HDFS', BOOM-FS} on the same wordcount workload
+//! (the paper's performance-parity figure). Prints gnuplot-ready series.
+
+use boom_bench::{render_cdfs, run_task_cdfs, TaskCdfConfig};
+
+fn main() {
+    let cfg = TaskCdfConfig::default();
+    eprintln!(
+        "E2: map-task CDFs | {} workers, {} files x {} words, {} reduces",
+        cfg.workers, cfg.files, cfg.words_per_file, cfg.nreduces
+    );
+    let results = run_task_cdfs(&cfg);
+    println!("# E2: CDF of map task completion time (ms)");
+    for r in &results {
+        println!("# {:<22} job completed in {:.1}s", r.label, r.job_ms as f64 / 1000.0);
+    }
+    println!();
+    let series: Vec<(String, Vec<(f64, f64)>)> = results
+        .iter()
+        .map(|r| (r.label.clone(), r.map_cdf.clone()))
+        .collect();
+    print!("{}", render_cdfs(&series));
+}

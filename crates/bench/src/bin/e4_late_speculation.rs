@@ -1,0 +1,35 @@
+//! E4 — speculative execution under stragglers: job completion and task
+//! CDFs for {no speculation, naive Hadoop, LATE} on an identical cluster
+//! with injected stragglers (the paper's LATE-port validation figures).
+
+use boom_bench::{render_cdfs, run_speculation, SpeculationConfig};
+
+fn main() {
+    let cfg = SpeculationConfig::default();
+    eprintln!(
+        "E4: speculation | {} workers, {:.0}% stragglers at {:.0}% speed",
+        cfg.workers,
+        cfg.straggler_fraction * 100.0,
+        cfg.slow_factor * 100.0
+    );
+    let results = run_speculation(&cfg);
+    println!("# E4: speculation policies under stragglers");
+    println!("# {:<8} {:>12} {:>14}", "policy", "job (s)", "copies killed");
+    for r in &results {
+        println!(
+            "# {:<8} {:>12.1} {:>14}",
+            r.policy,
+            r.job_ms as f64 / 1000.0,
+            r.killed
+        );
+    }
+    let none = results.iter().find(|r| r.policy == "none").unwrap().job_ms;
+    let late = results.iter().find(|r| r.policy == "LATE").unwrap().job_ms;
+    println!("# LATE speedup over no speculation: {:.2}x", none as f64 / late as f64);
+    println!();
+    let series: Vec<(String, Vec<(f64, f64)>)> = results
+        .iter()
+        .map(|r| (r.policy.clone(), r.task_cdf.clone()))
+        .collect();
+    print!("{}", render_cdfs(&series));
+}

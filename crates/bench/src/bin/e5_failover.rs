@@ -1,0 +1,27 @@
+//! E5 — the availability revision: metadata-op latency vs NameNode
+//! replica count, unavailability window when the primary is killed, and
+//! whether the namespace survives (paper: Paxos-replicated NameNode).
+
+use boom_bench::run_failover;
+
+fn main() {
+    eprintln!("E5: NameNode failover, replica groups of 1/3/5");
+    let results = run_failover(&[1, 3, 5], 20);
+    println!("# E5: NameNode replication");
+    println!(
+        "{:<10} {:>16} {:>14} {:>14} {:>10}",
+        "replicas", "latency mean ms", "latency p99", "failover ms", "survived"
+    );
+    for r in &results {
+        println!(
+            "{:<10} {:>16.1} {:>14.1} {:>14} {:>10}",
+            r.replicas,
+            r.latency_mean,
+            r.latency_p99,
+            r.failover_ms
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.metadata_survived
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! E6 — the scalability revision: aggregate metadata throughput as the
+//! NameNode is hash-partitioned across 1/2/4 nodes, under a concurrent
+//! `create` storm from many clients.
+
+use boom_bench::run_partition_scaleout;
+
+fn main() {
+    eprintln!("E6: partitioned NameNode scale-out");
+    let results = run_partition_scaleout(&[1, 2, 4], 16, 600);
+    println!("# E6: metadata throughput vs NameNode partitions");
+    println!("# (ops / busiest partition's CPU time: partitions are separate machines)");
+    println!(
+        "{:<12} {:>14} {:>16} {:>10}",
+        "partitions", "ops/sec", "max busy (s)", "ops"
+    );
+    let base = results.first().map(|r| r.ops_per_sec).unwrap_or(1.0);
+    for r in &results {
+        println!(
+            "{:<12} {:>14.0} {:>16.4} {:>10}   ({:.2}x)",
+            r.partitions,
+            r.ops_per_sec,
+            r.max_busy_secs,
+            r.ops,
+            r.ops_per_sec / base
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! E7 — the monitoring revision: metadata-op latency with full derivation
+//! tracing off vs on (the paper added tracing via Overlog metaprogramming
+//! and measured modest overhead).
+
+use boom_bench::run_monitoring;
+
+fn main() {
+    eprintln!("E7: monitoring overhead, 200 create ops");
+    let r = run_monitoring(200);
+    println!("# E7: tracing overhead on NameNode metadata ops (CPU per op)");
+    println!("cpu without tracing : {:.1} us/op", r.cpu_us_off);
+    println!("cpu with tracing    : {:.1} us/op", r.cpu_us_on);
+    let overhead = if r.cpu_us_off > 0.0 {
+        (r.cpu_us_on / r.cpu_us_off - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    println!("overhead                : {overhead:.1}%");
+    println!("trace events captured   : {}", r.trace_events);
+    println!("rule firings            : {}", r.rule_firings);
+}

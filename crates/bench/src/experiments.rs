@@ -1,0 +1,583 @@
+//! Experiment implementations E2–E7. Each function is deterministic given
+//! its config and is shared by the `src/bin/e*` binaries (paper-scale
+//! parameters) and the integration tests (CI-scale parameters).
+
+use boom_core::ReplicatedFsBuilder;
+use boom_fs::client::ClientActor;
+use boom_fs::cluster::{ControlPlane, FsClusterBuilder};
+use boom_fs::proto as fsproto;
+use boom_mr::{CostModel, MrClusterBuilder, MrJob, SpecPolicy, StragglerConfig};
+use boom_overlog::Value;
+use boom_simnet::metrics::Samples;
+use boom_simnet::{OverlogActor, SimConfig};
+
+// ---------------------------------------------------------------------------
+// E2 / E3: task-completion CDFs across the 2×2 system matrix
+// ---------------------------------------------------------------------------
+
+/// Configuration for the wordcount runs behind E2/E3.
+#[derive(Debug, Clone)]
+pub struct TaskCdfConfig {
+    /// Worker count (each worker = DataNode + TaskTracker).
+    pub workers: usize,
+    /// Input files.
+    pub files: usize,
+    /// Words per input file.
+    pub words_per_file: usize,
+    /// Reduce partitions.
+    pub nreduces: usize,
+    /// Chunk (= map split) size in bytes.
+    pub chunk_size: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TaskCdfConfig {
+    fn default() -> Self {
+        TaskCdfConfig {
+            workers: 10,
+            files: 5,
+            words_per_file: 6_000,
+            nreduces: 6,
+            chunk_size: 2048,
+            seed: 42,
+        }
+    }
+}
+
+/// One system combination's results.
+#[derive(Debug, Clone)]
+pub struct TaskCdfResult {
+    /// "BOOM-MR + BOOM-FS" etc.
+    pub label: String,
+    /// Whole-job completion (virtual ms).
+    pub job_ms: u64,
+    /// CDF of map task durations (ms, cumulative fraction).
+    pub map_cdf: Vec<(f64, f64)>,
+    /// CDF of reduce task durations.
+    pub reduce_cdf: Vec<(f64, f64)>,
+}
+
+fn combo_label(fs: ControlPlane, mr: ControlPlane) -> String {
+    let fs_name = match fs {
+        ControlPlane::Declarative => "BOOM-FS",
+        ControlPlane::Baseline => "HDFS'",
+    };
+    let mr_name = match mr {
+        ControlPlane::Declarative => "BOOM-MR",
+        ControlPlane::Baseline => "Hadoop'",
+    };
+    format!("{mr_name} + {fs_name}")
+}
+
+/// Run the wordcount workload on one combination and collect task CDFs.
+pub fn run_task_cdf_combo(
+    cfg: &TaskCdfConfig,
+    fs_control: ControlPlane,
+    mr_control: ControlPlane,
+) -> TaskCdfResult {
+    let mut c = MrClusterBuilder {
+        fs_control,
+        mr_control,
+        workers: cfg.workers,
+        chunk_size: cfg.chunk_size,
+        sim: SimConfig {
+            seed: cfg.seed,
+            ..Default::default()
+        },
+        cost: CostModel::default(),
+        ..Default::default()
+    }
+    .build();
+    let inputs = c
+        .load_corpus(cfg.seed, cfg.files, cfg.words_per_file)
+        .expect("corpus loads");
+    let fs = c.fs.clone();
+    let mut driver = c.driver.clone();
+    let job = MrJob {
+        job_type: "wordcount".into(),
+        inputs,
+        nreduces: cfg.nreduces,
+        outdir: "/out".into(),
+    };
+    let deadline = c.sim.now() + 50_000_000;
+    let (_, job_ms) = driver
+        .run(&mut c.sim, &fs, &job, deadline)
+        .expect("job completes");
+    let times = c.task_times();
+    let mut maps = Samples::new();
+    let mut reduces = Samples::new();
+    for t in &times {
+        if t.ty == "map" {
+            maps.record(t.duration() as f64);
+        } else {
+            reduces.record(t.duration() as f64);
+        }
+    }
+    TaskCdfResult {
+        label: combo_label(fs_control, mr_control),
+        job_ms,
+        map_cdf: maps.cdf_sampled(40),
+        reduce_cdf: reduces.cdf_sampled(40),
+    }
+}
+
+/// E2/E3: all four combinations.
+pub fn run_task_cdfs(cfg: &TaskCdfConfig) -> Vec<TaskCdfResult> {
+    let mut out = Vec::new();
+    for fs in [ControlPlane::Baseline, ControlPlane::Declarative] {
+        for mr in [ControlPlane::Baseline, ControlPlane::Declarative] {
+            out.push(run_task_cdf_combo(cfg, fs, mr));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E4: speculation policies under stragglers
+// ---------------------------------------------------------------------------
+
+/// Configuration for the straggler/speculation experiment.
+#[derive(Debug, Clone)]
+pub struct SpeculationConfig {
+    /// Worker count.
+    pub workers: usize,
+    /// Fraction of straggler workers.
+    pub straggler_fraction: f64,
+    /// Straggler speed factor.
+    pub slow_factor: f64,
+    /// Input files.
+    pub files: usize,
+    /// Words per file.
+    pub words_per_file: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            workers: 10,
+            straggler_fraction: 0.2,
+            slow_factor: 0.08,
+            files: 5,
+            words_per_file: 5_000,
+            seed: 99,
+        }
+    }
+}
+
+/// Result for one speculation policy.
+#[derive(Debug, Clone)]
+pub struct SpeculationResult {
+    /// Policy name.
+    pub policy: String,
+    /// Job completion (ms).
+    pub job_ms: u64,
+    /// CDF of task durations (winning attempts).
+    pub task_cdf: Vec<(f64, f64)>,
+    /// Redundant attempts killed.
+    pub killed: u64,
+}
+
+/// E4: the same straggled cluster under each policy.
+pub fn run_speculation(cfg: &SpeculationConfig) -> Vec<SpeculationResult> {
+    let mut out = Vec::new();
+    for (policy, name) in [
+        (SpecPolicy::None, "none"),
+        (SpecPolicy::Naive, "naive"),
+        (SpecPolicy::Late, "LATE"),
+    ] {
+        let mut c = MrClusterBuilder {
+            policy,
+            workers: cfg.workers,
+            chunk_size: 2048,
+            stragglers: StragglerConfig {
+                fraction: cfg.straggler_fraction,
+                slow_factor: cfg.slow_factor,
+            },
+            sim: SimConfig {
+                seed: cfg.seed,
+                ..Default::default()
+            },
+            cost: CostModel {
+                map_ms_per_kib: 400.0,
+                reduce_ms_per_krec: 400.0,
+                min_ms: 200,
+            },
+            ..Default::default()
+        }
+        .build();
+        let inputs = c
+            .load_corpus(cfg.seed, cfg.files, cfg.words_per_file)
+            .expect("corpus loads");
+        let fs = c.fs.clone();
+        let mut driver = c.driver.clone();
+        let job = MrJob {
+            job_type: "wordcount".into(),
+            inputs,
+            nreduces: 4,
+            outdir: "/out".into(),
+        };
+        let deadline = c.sim.now() + 100_000_000;
+        let (_, job_ms) = driver
+            .run(&mut c.sim, &fs, &job, deadline)
+            .expect("job completes");
+        let mut tasks = Samples::new();
+        for t in c.task_times() {
+            tasks.record(t.duration() as f64);
+        }
+        let killed: u64 = c
+            .trackers
+            .clone()
+            .iter()
+            .map(|tt| c.sim.with_actor::<boom_mr::TaskTracker, _>(tt, |t| t.killed))
+            .sum();
+        out.push(SpeculationResult {
+            policy: name.to_string(),
+            job_ms,
+            task_cdf: tasks.cdf_sampled(40),
+            killed,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E5: NameNode failover and metadata latency vs replica count
+// ---------------------------------------------------------------------------
+
+/// Result for one replica-group size.
+#[derive(Debug, Clone)]
+pub struct FailoverResult {
+    /// Replica count (1 = unreplicated NameNode).
+    pub replicas: usize,
+    /// Mean metadata-op latency before the failure (ms).
+    pub latency_mean: f64,
+    /// p99 metadata-op latency before the failure (ms).
+    pub latency_p99: f64,
+    /// Unavailability window after killing the primary (ms); `None` when
+    /// service never resumed with intact metadata.
+    pub failover_ms: Option<u64>,
+    /// Did previously-written metadata survive?
+    pub metadata_survived: bool,
+}
+
+/// E5: metadata latency and failover behavior for 1/3/5-replica groups.
+pub fn run_failover(replica_counts: &[usize], ops_before: usize) -> Vec<FailoverResult> {
+    let mut out = Vec::new();
+    for &n in replica_counts {
+        if n == 1 {
+            // Unreplicated: the plain declarative NameNode.
+            let mut c = FsClusterBuilder {
+                control: ControlPlane::Declarative,
+                datanodes: 3,
+                replication: 2,
+                ..Default::default()
+            }
+            .build();
+            let cl = c.client.clone();
+            let mut lat = Samples::new();
+            cl.mkdir(&mut c.sim, "/bench").expect("mkdir works");
+            for i in 0..ops_before {
+                let t0 = c.sim.now();
+                cl.create(&mut c.sim, &format!("/bench/f{i}"))
+                    .expect("create works");
+                lat.record((c.sim.now() - t0) as f64);
+            }
+            let nn = c.namenodes[0].clone();
+            c.sim.schedule_crash(&nn, c.sim.now() + 10);
+            c.sim.schedule_restart(&nn, c.sim.now() + 1_000);
+            c.sim.run_for(5_000);
+            let survived = cl.exists(&mut c.sim, "/bench/f0").unwrap_or(false);
+            out.push(FailoverResult {
+                replicas: 1,
+                latency_mean: lat.mean(),
+                latency_p99: lat.percentile(99.0),
+                failover_ms: None,
+                metadata_survived: survived,
+            });
+            continue;
+        }
+        let mut c = ReplicatedFsBuilder {
+            replicas: n,
+            datanodes: 3,
+            replication: 2,
+            lease_ms: 2_000,
+            rpc_timeout: 1_000,
+            ..Default::default()
+        }
+        .build();
+        let cl = c.client.clone();
+        let mut lat = Samples::new();
+        cl.mkdir(&mut c.sim, "/bench").expect("mkdir works");
+        for i in 0..ops_before {
+            let t0 = c.sim.now();
+            cl.create(&mut c.sim, &format!("/bench/f{i}"))
+                .expect("create works");
+            lat.record((c.sim.now() - t0) as f64);
+        }
+        let primary = c.namenodes[0].clone();
+        let crash_at = c.sim.now() + 10;
+        c.sim.schedule_crash(&primary, crash_at);
+        c.sim.run_for(50);
+        let mut failover_ms = None;
+        let mut survived = false;
+        let stall_start = c.sim.now();
+        for _ in 0..400 {
+            match cl.exists(&mut c.sim, "/bench/f0") {
+                Ok(true) => {
+                    failover_ms = Some(c.sim.now() - stall_start);
+                    survived = true;
+                    break;
+                }
+                Ok(false) => break,
+                Err(_) => c.sim.run_for(200),
+            }
+        }
+        out.push(FailoverResult {
+            replicas: n,
+            latency_mean: lat.mean(),
+            latency_p99: lat.percentile(99.0),
+            failover_ms,
+            metadata_survived: survived,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E6: partitioned-NameNode metadata throughput
+// ---------------------------------------------------------------------------
+
+/// Result for one partition count.
+#[derive(Debug, Clone)]
+pub struct PartitionResult {
+    /// NameNode partitions.
+    pub partitions: usize,
+    /// Aggregate metadata throughput: ops divided by the busiest
+    /// partition's CPU time — partitions are separate machines, so the
+    /// slowest one gates aggregate capacity (the virtual network clock
+    /// models latency, wall-clock evaluation time models NameNode CPU).
+    pub ops_per_sec: f64,
+    /// CPU seconds consumed by the busiest partition.
+    pub max_busy_secs: f64,
+    /// Total ops completed.
+    pub ops: usize,
+}
+
+/// E6: fire `nops` concurrent `create` requests from `nclients` clients
+/// and measure aggregate completion throughput as partitions scale.
+pub fn run_partition_scaleout(
+    partition_counts: &[usize],
+    nclients: usize,
+    nops: usize,
+) -> Vec<PartitionResult> {
+    let mut out = Vec::new();
+    for &p in partition_counts {
+        let mut c = FsClusterBuilder {
+            control: ControlPlane::Declarative,
+            partitions: p,
+            datanodes: 2,
+            replication: 1,
+            ..Default::default()
+        }
+        .build();
+        // Extra client actors for concurrency (client0 exists already).
+        let clients: Vec<String> = (0..nclients).map(|i| format!("client{i}")).collect();
+        for cl in clients.iter().skip(1) {
+            c.sim.add_node(cl, Box::new(ClientActor::new()));
+        }
+        let root_client = c.client.clone();
+        // Directories are replicated to every partition.
+        root_client.mkdir(&mut c.sim, "/load").expect("mkdir works");
+
+        // Inject all requests up front, round-robin across clients, routed
+        // by path hash exactly like the client library.
+        let start = c.sim.now();
+        for i in 0..nops {
+            let path = format!("/load/file{i}");
+            let client = clients[i % nclients].clone();
+            let nn = c.namenodes[root_client.partition_for(&path)].clone();
+            c.sim.inject(
+                &nn,
+                fsproto::REQUEST,
+                fsproto::request_row(&client, i as i64, "create", vec![Value::str(&path)]),
+            );
+        }
+        // Zero the CPU meters right before the storm so setup cost is
+        // excluded.
+        for nn in c.namenodes.clone() {
+            c.sim
+                .with_actor::<OverlogActor, _>(&nn, |a| a.busy = std::time::Duration::ZERO);
+        }
+        // Run until every response arrived.
+        let deadline = c.sim.now() + 10_000_000;
+        let clients2 = clients.clone();
+        let done = c.sim.run_while(deadline, move |s| {
+            let total: usize = clients2
+                .iter()
+                .map(|cl| s.with_actor::<ClientActor, _>(cl, |a| a.response_count()))
+                .sum();
+            total >= nops
+        });
+        assert!(done, "partition scaleout run did not finish");
+        let _elapsed_virtual = (c.sim.now() - start).max(1);
+        let max_busy = c
+            .namenodes
+            .clone()
+            .iter()
+            .map(|nn| c.sim.with_actor::<OverlogActor, _>(nn, |a| a.busy))
+            .max()
+            .unwrap_or_default();
+        let max_busy_secs = max_busy.as_secs_f64().max(1e-9);
+        out.push(PartitionResult {
+            partitions: p,
+            ops_per_sec: nops as f64 / max_busy_secs,
+            max_busy_secs,
+            ops: nops,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E7: monitoring overhead
+// ---------------------------------------------------------------------------
+
+/// Result of the tracing-overhead measurement.
+#[derive(Debug, Clone)]
+pub struct MonitoringResult {
+    /// NameNode CPU microseconds per op without tracing.
+    pub cpu_us_off: f64,
+    /// NameNode CPU microseconds per op with every derivation traced.
+    pub cpu_us_on: f64,
+    /// Trace records captured during the traced run.
+    pub trace_events: usize,
+    /// Rule firings during the traced run.
+    pub rule_firings: u64,
+}
+
+/// E7: metadata-op latency with the monitoring revision off vs on.
+pub fn run_monitoring(nops: usize) -> MonitoringResult {
+    let run = |trace: bool| -> (f64, usize, u64) {
+        let mut c = FsClusterBuilder {
+            control: ControlPlane::Declarative,
+            datanodes: 2,
+            replication: 1,
+            ..Default::default()
+        }
+        .build();
+        if trace {
+            c.sim
+                .with_actor::<OverlogActor, _>("nn0", |nn| nn.runtime().set_trace_all(true));
+        }
+        let cl = c.client.clone();
+        cl.mkdir(&mut c.sim, "/mon").expect("mkdir works");
+        c.sim
+            .with_actor::<OverlogActor, _>("nn0", |nn| nn.busy = std::time::Duration::ZERO);
+        for i in 0..nops {
+            cl.create(&mut c.sim, &format!("/mon/f{i}"))
+                .expect("create works");
+        }
+        let (busy, events, firings) = c.sim.with_actor::<OverlogActor, _>("nn0", |nn| {
+            let busy = nn.busy;
+            let rt = nn.runtime();
+            let ev = rt.take_trace().len();
+            let fi: u64 = rt.rule_fire_counts().iter().map(|(_, n)| n).sum();
+            (busy, ev, fi)
+        });
+        (busy.as_secs_f64() * 1e6 / nops as f64, events, firings)
+    };
+    let (cpu_us_off, _, _) = run(false);
+    let (cpu_us_on, trace_events, rule_firings) = run(true);
+    MonitoringResult {
+        cpu_us_off,
+        cpu_us_on,
+        trace_events,
+        rule_firings,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering helpers shared by the binaries
+// ---------------------------------------------------------------------------
+
+/// Render labeled CDF series in gnuplot-friendly blocks.
+pub fn render_cdfs(series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = String::new();
+    for (label, cdf) in series {
+        out.push_str(&format!("# {label}\n"));
+        for (x, f) in cdf {
+            out.push_str(&format!("{x:.1}\t{f:.4}\n"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_small_scale_runs_all_combos() {
+        let cfg = TaskCdfConfig {
+            workers: 3,
+            files: 1,
+            words_per_file: 1_200,
+            nreduces: 2,
+            chunk_size: 2048,
+            seed: 7,
+        };
+        let results = run_task_cdfs(&cfg);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(r.job_ms > 0, "{}", r.label);
+            assert!(!r.map_cdf.is_empty());
+            assert!(!r.reduce_cdf.is_empty());
+            assert!((r.map_cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+        // Performance parity: no combo should be wildly slower (the paper
+        // found BOOM within ~20-30% of Hadoop; allow 3x in the simulator).
+        let best = results.iter().map(|r| r.job_ms).min().unwrap();
+        let worst = results.iter().map(|r| r.job_ms).max().unwrap();
+        assert!(worst < best * 3, "{best} vs {worst}");
+    }
+
+    #[test]
+    fn e5_small_scale_shows_availability_contrast() {
+        let results = run_failover(&[1, 3], 3);
+        assert_eq!(results.len(), 2);
+        assert!(!results[0].metadata_survived, "1 replica loses metadata");
+        assert!(results[1].metadata_survived, "3 replicas survive");
+        assert!(results[1].failover_ms.is_some());
+        // Consensus costs latency: replicated mutations are slower.
+        assert!(results[1].latency_mean >= results[0].latency_mean);
+    }
+
+    #[test]
+    fn e6_small_scale_throughput_grows_with_partitions() {
+        let results = run_partition_scaleout(&[1, 2], 4, 120);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].ops_per_sec > 0.0);
+        // Two partitions halve the busiest server's load, so aggregate
+        // capacity should clearly grow (exact factor is noisy at CI
+        // scale).
+        assert!(
+            results[1].ops_per_sec > results[0].ops_per_sec * 1.2,
+            "p1={} p2={}",
+            results[0].ops_per_sec,
+            results[1].ops_per_sec
+        );
+    }
+
+    #[test]
+    fn e7_small_scale_measures_overhead() {
+        let r = run_monitoring(5);
+        assert!(r.cpu_us_off > 0.0);
+        assert!(r.cpu_us_on > 0.0);
+        assert!(r.trace_events > 0);
+        assert!(r.rule_firings > 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # boom-bench — the evaluation harness
+//!
+//! One module (and one `src/bin/e*` binary) per table/figure of the
+//! paper's evaluation section; see `DESIGN.md` §4 for the experiment index
+//! and `EXPERIMENTS.md` for recorded paper-vs-measured results.
+//!
+//! | id | binary | paper artifact |
+//! |----|--------|----------------|
+//! | E1 | `e1_code_size` | code-size table (Overlog vs imperative LoC) |
+//! | E2 | `e2_map_cdf` | CDF of map-task completion, 2×2 system matrix |
+//! | E3 | `e3_reduce_cdf` | CDF of reduce-task completion, same matrix |
+//! | E4 | `e4_late_speculation` | speculation policies under stragglers |
+//! | E5 | `e5_failover` | NameNode failover latency & op latency vs replicas |
+//! | E6 | `e6_partitioned_nn` | metadata throughput vs partition count |
+//! | E7 | `e7_monitoring` | tracing-overhead table |
+//!
+//! Criterion microbenches (`cargo bench`) cover engine-level numbers that
+//! back the latency/throughput cells at CI-friendly scale.
+
+pub mod experiments;
+pub mod locs;
+
+pub use experiments::*;

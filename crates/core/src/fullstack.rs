@@ -1,0 +1,147 @@
+//! The complete BOOM Analytics deployment: MapReduce over a
+//! Paxos-replicated BOOM-FS — every system of the paper composed in one
+//! simulated cluster.
+
+use crate::replicated::replicated_nn_actor;
+use boom_fs::client::{ClientActor, FsClient, FsConfig, NameNodeMode};
+use boom_fs::datanode::{DataNode, DataNodeConfig};
+use boom_fs::namenode::NameNodeConfig;
+use boom_mr::driver::MrDriver;
+use boom_mr::jobtracker::{jobtracker_actor, AssignPolicy, SpecPolicy};
+use boom_mr::tasktracker::{TaskTracker, TaskTrackerConfig};
+use boom_mr::workload::CostModel;
+use boom_paxos::PaxosGroup;
+use boom_simnet::{Sim, SimConfig};
+
+/// Recipe for the full stack: replicated NameNode group + DataNodes +
+/// JobTracker + TaskTrackers + client.
+#[derive(Debug, Clone)]
+pub struct FullStackBuilder {
+    /// Simulator settings.
+    pub sim: SimConfig,
+    /// NameNode replicas (odd).
+    pub nn_replicas: usize,
+    /// Leader lease (ms).
+    pub lease_ms: u64,
+    /// Workers (each = DataNode + TaskTracker).
+    pub workers: usize,
+    /// Task slots per tracker.
+    pub slots: usize,
+    /// Chunk replication factor.
+    pub replication: usize,
+    /// Chunk size (bytes).
+    pub chunk_size: usize,
+    /// Speculation policy.
+    pub policy: SpecPolicy,
+    /// Task cost model.
+    pub cost: CostModel,
+}
+
+impl Default for FullStackBuilder {
+    fn default() -> Self {
+        FullStackBuilder {
+            sim: SimConfig::default(),
+            nn_replicas: 3,
+            lease_ms: 2_000,
+            workers: 4,
+            slots: 2,
+            replication: 2,
+            chunk_size: 2048,
+            policy: SpecPolicy::None,
+            cost: CostModel {
+                map_ms_per_kib: 400.0,
+                reduce_ms_per_krec: 400.0,
+                min_ms: 300,
+            },
+        }
+    }
+}
+
+/// A running full-stack cluster.
+pub struct FullStack {
+    /// The simulator.
+    pub sim: Sim,
+    /// FS client (Replicated mode).
+    pub fs: FsClient,
+    /// Job driver.
+    pub driver: MrDriver,
+    /// NameNode replica names (index 0 = initial leader).
+    pub namenodes: Vec<String>,
+    /// DataNode names.
+    pub datanodes: Vec<String>,
+    /// Tracker names.
+    pub trackers: Vec<String>,
+}
+
+impl FullStackBuilder {
+    /// Assemble everything and let initial heartbeats land.
+    pub fn build(&self) -> FullStack {
+        let mut sim = Sim::new(self.sim.clone());
+        let namenodes: Vec<String> = (0..self.nn_replicas).map(|i| format!("nn{i}")).collect();
+        let member_refs: Vec<&str> = namenodes.iter().map(String::as_str).collect();
+        let group = PaxosGroup::new(&member_refs, self.lease_ms);
+        for nn in &namenodes {
+            sim.add_node(
+                nn,
+                Box::new(replicated_nn_actor(
+                    nn,
+                    group.clone(),
+                    NameNodeConfig {
+                        replication: self.replication as i64,
+                        ..Default::default()
+                    },
+                )),
+            );
+        }
+        let datanodes: Vec<String> = (0..self.workers).map(|i| format!("dn{i}")).collect();
+        for dn in &datanodes {
+            sim.add_node(
+                dn,
+                Box::new(DataNode::new(DataNodeConfig {
+                    namenodes: namenodes.clone(),
+                    hb_interval: 2_000,
+                })),
+            );
+        }
+        sim.add_node(
+            "jt",
+            Box::new(jobtracker_actor("jt", self.policy, AssignPolicy::Fifo)),
+        );
+        let trackers: Vec<String> = (0..self.workers).map(|i| format!("tt{i}")).collect();
+        for (i, tt) in trackers.iter().enumerate() {
+            sim.add_node(
+                tt,
+                Box::new(TaskTracker::new(TaskTrackerConfig {
+                    jobtracker: "jt".to_string(),
+                    slots: self.slots,
+                    hb_interval: 500,
+                    peers: trackers.clone(),
+                    speed: 1.0,
+                    cost: self.cost.clone(),
+                    colocated_dn: Some(datanodes[i].clone()),
+                })),
+            );
+        }
+        sim.add_node("client0", Box::new(ClientActor::new()));
+        sim.run_for(600);
+        let fs = FsClient::new(
+            "client0",
+            FsConfig {
+                namenodes: namenodes.clone(),
+                mode: NameNodeMode::Replicated,
+                chunk_size: self.chunk_size,
+                rpc_timeout: 1_200,
+                write_acks: 1,
+            },
+        );
+        let driver = MrDriver::new("client0", "jt");
+        FullStack {
+            sim,
+            fs,
+            driver,
+            namenodes,
+            datanodes,
+            trackers,
+        }
+    }
+}

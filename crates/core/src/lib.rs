@@ -1,0 +1,28 @@
+//! # boom-core — the assembled BOOM Analytics stack
+//!
+//! Composition layer tying the substrates together, most importantly the
+//! paper's **availability revision**: the BOOM-FS NameNode program and the
+//! Overlog Paxos kernel loaded into one runtime per replica, with ~25 lines
+//! of glue rules (`src/olg/replicated.olg`) routing reads to the
+//! leaseholder and sequencing mutations through the replicated log.
+//!
+//! ```no_run
+//! use boom_core::ReplicatedFsBuilder;
+//!
+//! let mut cluster = ReplicatedFsBuilder::default().build();
+//! let client = cluster.client.clone();
+//! client.mkdir(&mut cluster.sim, "/survives").unwrap();
+//! // Kill the primary; the namespace survives on the remaining replicas.
+//! let primary = cluster.namenodes[0].clone();
+//! cluster.sim.schedule_crash(&primary, cluster.sim.now() + 10);
+//! cluster.sim.run_for(10_000);
+//! assert!(client.exists(&mut cluster.sim, "/survives").unwrap());
+//! ```
+
+pub mod cluster;
+pub mod fullstack;
+pub mod replicated;
+
+pub use cluster::{ReplicatedFsBuilder, ReplicatedFsCluster};
+pub use fullstack::{FullStack, FullStackBuilder};
+pub use replicated::{replicated_nn_actor, replicated_nn_runtime, REPLICATED_GLUE_OLG};

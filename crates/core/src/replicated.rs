@@ -1,0 +1,74 @@
+//! The Paxos-replicated NameNode: BOOM-FS's availability revision.
+
+use boom_fs::namenode::NameNodeConfig;
+use boom_fs::NAMENODE_OLG;
+use boom_overlog::{OverlogError, OverlogRuntime, Value};
+use boom_paxos::{register_qid, PaxosGroup, PAXOS_OLG};
+use boom_simnet::OverlogActor;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// The consensus-to-filesystem glue program.
+pub const REPLICATED_GLUE_OLG: &str = include_str!("olg/replicated.olg");
+
+/// Build one replica of the replicated NameNode: the NameNode program, the
+/// Paxos kernel, and the glue, all in one runtime.
+pub fn replicated_nn_runtime(
+    addr: &str,
+    group: &PaxosGroup,
+    cfg: &NameNodeConfig,
+) -> OverlogRuntime {
+    let mut rt = OverlogRuntime::new(addr);
+    // newid(): deterministic counter — replicas applying the same decided
+    // sequence allocate identical ids (state-machine replication).
+    let counter = Arc::new(AtomicI64::new(0));
+    rt.register_builtin("newid", move |args| {
+        if !args.is_empty() {
+            return Err(OverlogError::Eval("newid takes no arguments".into()));
+        }
+        Ok(Value::Int(2 + counter.fetch_add(1, Ordering::Relaxed)))
+    });
+    register_qid(&mut rt);
+    rt.load(NAMENODE_OLG)
+        .expect("embedded namenode.olg must compile");
+    rt.load(PAXOS_OLG).expect("embedded paxos.olg must compile");
+    rt.load(REPLICATED_GLUE_OLG)
+        .expect("embedded replicated.olg must compile");
+    rt.load(&group.facts_for(addr))
+        .expect("group facts are well-formed");
+    // Tunables (same override dance as the plain NameNode).
+    rt.delete("repfactor", Arc::new(vec![Value::Int(3)]))
+        .expect("repfactor is declared");
+    rt.insert("repfactor", Arc::new(vec![Value::Int(cfg.replication)]))
+        .expect("repfactor row is well-typed");
+    rt.delete("hb_timeout", Arc::new(vec![Value::Int(15_000)]))
+        .expect("hb_timeout is declared");
+    rt.insert(
+        "hb_timeout",
+        Arc::new(vec![Value::Int(cfg.hb_timeout as i64)]),
+    )
+    .expect("hb_timeout row is well-typed");
+    rt
+}
+
+/// Build a replica as a simulator actor; crash-restart resets it (fail-stop
+/// replicas — a recovered node rejoins as a blank acceptor).
+pub fn replicated_nn_actor(addr: &str, group: PaxosGroup, cfg: NameNodeConfig) -> OverlogActor {
+    OverlogActor::with_factory(
+        Box::new(move |name| replicated_nn_runtime(name, &group, &cfg)),
+        20,
+        addr,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_program_loads() {
+        let group = PaxosGroup::new(&["nn0", "nn1", "nn2"], 3_000);
+        let rt = replicated_nn_runtime("nn0", &group, &NameNodeConfig::default());
+        assert!(rt.rule_count() > 70, "got {}", rt.rule_count());
+    }
+}

@@ -1,0 +1,524 @@
+//! BOOM-FS client: a response-collecting actor plus a synchronous driver
+//! that issues metadata RPCs and chunk I/O against the simulated cluster.
+//!
+//! The driver understands all three NameNode deployments from the paper:
+//! a single NameNode, the hash-partitioned revision (route file ops by
+//! path, broadcast directory ops), and the Paxos-replicated revision
+//! (retry against every replica until the current leader answers).
+
+use crate::proto::{self, FsResponse};
+use boom_overlog::{stable_hash, NetTuple, Value};
+use boom_simnet::{Actor, Ctx, Sim};
+use std::any::Any;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No response within the RPC timeout (node down or partitioned).
+    Timeout(String),
+    /// The NameNode answered with a failure payload.
+    Failed(String),
+    /// A chunk could not be read from any replica.
+    ChunkUnavailable(i64),
+    /// The response payload had an unexpected shape.
+    BadPayload(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::Timeout(op) => write!(f, "timeout waiting for {op}"),
+            FsError::Failed(why) => write!(f, "operation failed: {why}"),
+            FsError::ChunkUnavailable(c) => write!(f, "chunk {c} unavailable on all replicas"),
+            FsError::BadPayload(what) => write!(f, "malformed payload in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// How the client reaches NameNode(s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameNodeMode {
+    /// One NameNode.
+    Single,
+    /// Hash-partitioned namespace: file ops routed by path, directory ops
+    /// broadcast (the paper's scalability revision).
+    Partitioned,
+    /// Paxos-replicated group: try replicas until the leader answers (the
+    /// paper's availability revision).
+    Replicated,
+}
+
+/// Client-side filesystem configuration.
+#[derive(Debug, Clone)]
+pub struct FsConfig {
+    /// NameNode node names.
+    pub namenodes: Vec<String>,
+    /// Deployment mode.
+    pub mode: NameNodeMode,
+    /// Bytes per chunk when writing.
+    pub chunk_size: usize,
+    /// Per-RPC timeout in virtual ms.
+    pub rpc_timeout: u64,
+    /// Write acknowledgements to wait for (capped by the actual replica
+    /// count the NameNode returns).
+    pub write_acks: usize,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig {
+            namenodes: vec!["nn".to_string()],
+            mode: NameNodeMode::Single,
+            chunk_size: 4096,
+            rpc_timeout: 10_000,
+            write_acks: 1,
+        }
+    }
+}
+
+/// The actor living on a client node: correlates responses, chunk data and
+/// write acks by request id.
+#[derive(Default)]
+pub struct ClientActor {
+    next_req: i64,
+    responses: HashMap<i64, FsResponse>,
+    chunk_data: HashMap<i64, Option<String>>,
+    acks: HashMap<i64, HashSet<String>>,
+    /// Tuples for tables this actor does not interpret (e.g. MapReduce job
+    /// notifications); higher-level drivers scan these.
+    pub other: Vec<NetTuple>,
+}
+
+impl ClientActor {
+    /// Fresh client actor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of responses received and not yet consumed (used by
+    /// throughput harnesses that inject raw request batches).
+    pub fn response_count(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Drain all buffered responses as `(req_id, response)` pairs.
+    pub fn drain_responses(&mut self) -> Vec<(i64, FsResponse)> {
+        self.responses.drain().collect()
+    }
+}
+
+impl Actor for ClientActor {
+    fn on_tuple(&mut self, _ctx: &mut Ctx<'_>, tuple: NetTuple) {
+        match tuple.table.as_str() {
+            proto::RESPONSE => {
+                if let Some((req, resp)) = proto::parse_response(&tuple.row) {
+                    // First response wins (replicas may answer duplicates).
+                    self.responses.entry(req).or_insert(resp);
+                }
+            }
+            proto::DN_DATA => {
+                let row = &tuple.row;
+                if let (Some(req), Some(content)) = (
+                    row.get(1).and_then(|v| v.as_int()),
+                    row.get(3).and_then(|v| v.as_str()),
+                ) {
+                    self.chunk_data
+                        .entry(req)
+                        .or_insert_with(|| Some(content.to_string()));
+                }
+            }
+            proto::DN_ERR => {
+                if let Some(req) = tuple.row.get(1).and_then(|v| v.as_int()) {
+                    self.chunk_data.entry(req).or_insert(None);
+                }
+            }
+            proto::DN_ACK => {
+                let row = &tuple.row;
+                if let (Some(req), Some(dn)) = (
+                    row.get(1).and_then(|v| v.as_int()),
+                    row.get(2).and_then(|v| v.as_str()),
+                ) {
+                    self.acks.entry(req).or_default().insert(dn.to_string());
+                }
+            }
+            _ => self.other.push(tuple),
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Synchronous driver for one client node. Each call advances the
+/// simulation until the operation completes or times out.
+#[derive(Debug, Clone)]
+pub struct FsClient {
+    /// The simulator node hosting this client's [`ClientActor`].
+    pub node: String,
+    /// Routing configuration.
+    pub cfg: FsConfig,
+}
+
+impl FsClient {
+    /// Create a driver for `node` with the given configuration.
+    pub fn new(node: &str, cfg: FsConfig) -> Self {
+        FsClient {
+            node: node.to_string(),
+            cfg,
+        }
+    }
+
+    fn fresh_req(&self, sim: &mut Sim) -> i64 {
+        sim.with_actor::<ClientActor, _>(&self.node, |c| {
+            c.next_req += 1;
+            c.next_req
+        })
+    }
+
+    /// Which partition owns a path (Partitioned mode).
+    pub fn partition_for(&self, path: &str) -> usize {
+        (stable_hash(&Value::str(path)) % self.cfg.namenodes.len() as u64) as usize
+    }
+
+    fn take_response(&self, sim: &mut Sim, req: i64) -> Option<FsResponse> {
+        sim.with_actor::<ClientActor, _>(&self.node, |c| c.responses.remove(&req))
+    }
+
+    /// One metadata RPC against one NameNode.
+    pub fn rpc_to(
+        &self,
+        sim: &mut Sim,
+        nn: &str,
+        cmd: &str,
+        args: Vec<Value>,
+    ) -> Result<FsResponse, FsError> {
+        let req = self.fresh_req(sim);
+        // Replicated NameNodes take requests through the consensus glue's
+        // `fsreq` table; plain NameNodes react to `request` directly.
+        let table = if self.cfg.mode == NameNodeMode::Replicated {
+            "fsreq"
+        } else {
+            proto::REQUEST
+        };
+        sim.inject(nn, table, proto::request_row(&self.node, req, cmd, args));
+        let deadline = sim.now() + self.cfg.rpc_timeout;
+        let node = self.node.clone();
+        let got = sim.run_while(deadline, |s| {
+            s.with_actor::<ClientActor, _>(&node, |c| c.responses.contains_key(&req))
+        });
+        if !got {
+            return Err(FsError::Timeout(format!("{cmd} @ {nn}")));
+        }
+        Ok(self
+            .take_response(sim, req)
+            .expect("run_while guaranteed presence"))
+    }
+
+    /// A metadata RPC routed according to the deployment mode.
+    pub fn rpc(
+        &self,
+        sim: &mut Sim,
+        path: &str,
+        cmd: &str,
+        args: Vec<Value>,
+    ) -> Result<FsResponse, FsError> {
+        match self.cfg.mode {
+            NameNodeMode::Single => {
+                let nn = self.cfg.namenodes[0].clone();
+                self.rpc_to(sim, &nn, cmd, args)
+            }
+            NameNodeMode::Partitioned => {
+                let nn = self.cfg.namenodes[self.partition_for(path)].clone();
+                self.rpc_to(sim, &nn, cmd, args)
+            }
+            NameNodeMode::Replicated => {
+                // Try every replica: the leader answers, followers stay
+                // silent, dead nodes time out.
+                let mut last = FsError::Timeout(cmd.to_string());
+                for nn in self.cfg.namenodes.clone() {
+                    match self.rpc_to(sim, &nn, cmd, args.clone()) {
+                        Ok(resp) => return Ok(resp),
+                        Err(e) => last = e,
+                    }
+                }
+                Err(last)
+            }
+        }
+    }
+
+    fn expect_ok(resp: FsResponse) -> Result<Value, FsError> {
+        if resp.ok {
+            Ok(resp.payload)
+        } else {
+            Err(FsError::Failed(
+                resp.payload
+                    .as_str()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| resp.payload.to_string()),
+            ))
+        }
+    }
+
+    /// Create a directory. Broadcast to every partition in Partitioned
+    /// mode (directories are replicated across partitions).
+    pub fn mkdir(&self, sim: &mut Sim, path: &str) -> Result<(), FsError> {
+        match self.cfg.mode {
+            NameNodeMode::Partitioned => {
+                for nn in self.cfg.namenodes.clone() {
+                    Self::expect_ok(self.rpc_to(
+                        sim,
+                        &nn,
+                        "mkdir",
+                        vec![Value::str(path)],
+                    )?)?;
+                }
+                Ok(())
+            }
+            _ => Self::expect_ok(self.rpc(sim, path, "mkdir", vec![Value::str(path)])?).map(|_| ()),
+        }
+    }
+
+    /// Create an empty file.
+    pub fn create(&self, sim: &mut Sim, path: &str) -> Result<(), FsError> {
+        Self::expect_ok(self.rpc(sim, path, "create", vec![Value::str(path)])?).map(|_| ())
+    }
+
+    /// Does the path exist?
+    pub fn exists(&self, sim: &mut Sim, path: &str) -> Result<bool, FsError> {
+        Ok(self.rpc(sim, path, "exists", vec![Value::str(path)])?.ok)
+    }
+
+    /// List a directory. Merges listings across partitions.
+    pub fn ls(&self, sim: &mut Sim, path: &str) -> Result<Vec<String>, FsError> {
+        let targets: Vec<String> = match self.cfg.mode {
+            NameNodeMode::Partitioned => self.cfg.namenodes.clone(),
+            _ => vec![],
+        };
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        let mut any_ok = false;
+        let mut last_err = String::new();
+        let listings: Vec<Result<FsResponse, FsError>> = if targets.is_empty() {
+            vec![self.rpc(sim, path, "ls", vec![Value::str(path)])]
+        } else {
+            targets
+                .iter()
+                .map(|nn| self.rpc_to(sim, nn, "ls", vec![Value::str(path)]))
+                .collect()
+        };
+        for resp in listings {
+            let resp = resp?;
+            if resp.ok {
+                any_ok = true;
+                let list = resp
+                    .payload
+                    .as_list()
+                    .ok_or_else(|| FsError::BadPayload("ls".into()))?;
+                for v in list {
+                    if let Some(s) = v.as_str() {
+                        names.insert(s.to_string());
+                    }
+                }
+            } else if let Some(s) = resp.payload.as_str() {
+                last_err = s.to_string();
+            }
+        }
+        if any_ok {
+            Ok(names.into_iter().collect())
+        } else {
+            Err(FsError::Failed(last_err))
+        }
+    }
+
+    /// Remove a file (or an empty directory). Directory removal under
+    /// partitioning checks emptiness everywhere first, then broadcasts.
+    pub fn rm(&self, sim: &mut Sim, path: &str) -> Result<(), FsError> {
+        if self.cfg.mode == NameNodeMode::Partitioned {
+            // A path can be a dir (on all partitions) or a file (on its
+            // home partition). Try the home partition first; if the path is
+            // a directory, coordinate the broadcast.
+            let home = self.cfg.namenodes[self.partition_for(path)].clone();
+            let resp = self.rpc_to(sim, &home, "rm", vec![Value::str(path)])?;
+            if resp.ok {
+                // If it was a directory it exists on other partitions too.
+                for nn in self.cfg.namenodes.clone() {
+                    if nn != home {
+                        let r = self.rpc_to(sim, &nn, "rm", vec![Value::str(path)])?;
+                        // "notfound" is fine: it was a file local to `home`.
+                        if !r.ok {
+                            if let Some("notfound") = r.payload.as_str() {
+                                continue;
+                            }
+                            return Err(FsError::Failed(
+                                r.payload.as_str().unwrap_or("rm").to_string(),
+                            ));
+                        }
+                    }
+                }
+                return Ok(());
+            }
+            return Err(FsError::Failed(
+                resp.payload.as_str().unwrap_or("rm").to_string(),
+            ));
+        }
+        Self::expect_ok(self.rpc(sim, path, "rm", vec![Value::str(path)])?).map(|_| ())
+    }
+
+    /// Rename a file or directory. Under partitioning only same-partition
+    /// renames are supported (cross-partition moves need a transaction the
+    /// paper likewise did not implement).
+    pub fn rename(&self, sim: &mut Sim, old: &str, new: &str) -> Result<(), FsError> {
+        if self.cfg.mode == NameNodeMode::Partitioned
+            && self.partition_for(old) != self.partition_for(new)
+        {
+            return Err(FsError::Failed("cross-partition rename".into()));
+        }
+        Self::expect_ok(self.rpc(
+            sim,
+            old,
+            "rename",
+            vec![Value::str(old), Value::str(new)],
+        )?)
+        .map(|_| ())
+    }
+
+    /// Allocate a chunk for `path`; returns `(chunk_id, replica targets)`.
+    pub fn new_chunk(&self, sim: &mut Sim, path: &str) -> Result<(i64, Vec<String>), FsError> {
+        let payload = Self::expect_ok(self.rpc(sim, path, "newchunk", vec![Value::str(path)])?)?;
+        let list = payload
+            .as_list()
+            .ok_or_else(|| FsError::BadPayload("newchunk".into()))?;
+        let chunk = list
+            .first()
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| FsError::BadPayload("newchunk id".into()))?;
+        let nodes: Vec<String> = list[1..]
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect();
+        Ok((chunk, nodes))
+    }
+
+    /// Ordered chunk ids of a file.
+    pub fn chunks(&self, sim: &mut Sim, path: &str) -> Result<Vec<i64>, FsError> {
+        let payload = Self::expect_ok(self.rpc(sim, path, "chunks", vec![Value::str(path)])?)?;
+        payload
+            .as_list()
+            .map(|l| l.iter().filter_map(|v| v.as_int()).collect())
+            .ok_or_else(|| FsError::BadPayload("chunks".into()))
+    }
+
+    /// Replica locations of a chunk.
+    pub fn locations(&self, sim: &mut Sim, path: &str, chunk: i64) -> Result<Vec<String>, FsError> {
+        let payload =
+            Self::expect_ok(self.rpc(sim, path, "locations", vec![Value::Int(chunk)])?)?;
+        payload
+            .as_list()
+            .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_string)).collect())
+            .ok_or_else(|| FsError::BadPayload("locations".into()))
+    }
+
+    /// Create a file and write `content`, chunking and replicating.
+    pub fn write_file(&self, sim: &mut Sim, path: &str, content: &str) -> Result<(), FsError> {
+        self.create(sim, path)?;
+        self.append(sim, path, content)
+    }
+
+    /// Append content to an existing file, one pipelined chunk at a time.
+    pub fn append(&self, sim: &mut Sim, path: &str, content: &str) -> Result<(), FsError> {
+        let bytes = content.as_bytes();
+        let mut start = 0usize;
+        while start < bytes.len() {
+            // Split on a char boundary at most chunk_size bytes ahead,
+            // preferring the last whitespace so records never straddle
+            // chunks (the role of Hadoop's record-aligned InputFormats:
+            // each map task can process its chunk independently).
+            let mut end = (start + self.cfg.chunk_size).min(bytes.len());
+            while end < bytes.len() && !content.is_char_boundary(end) {
+                end += 1;
+            }
+            if end < bytes.len() {
+                if let Some(ws) = content[start..end].rfind(char::is_whitespace) {
+                    if ws > 0 {
+                        end = start + ws + 1;
+                    }
+                }
+            }
+            let piece = &content[start..end];
+            start = end;
+            let (chunk, nodes) = self.new_chunk(sim, path)?;
+            if nodes.is_empty() {
+                return Err(FsError::Failed("no datanodes for chunk".into()));
+            }
+            let req = self.fresh_req(sim);
+            let pipeline: Vec<Value> = nodes[1..].iter().map(|n| Value::addr(n)).collect();
+            sim.inject(
+                &nodes[0],
+                proto::DN_WRITE,
+                Arc::new(vec![
+                    Value::addr(&self.node),
+                    Value::Int(req),
+                    Value::Int(chunk),
+                    Value::str(piece),
+                    Value::list(pipeline),
+                ]),
+            );
+            let need = self.cfg.write_acks.min(nodes.len());
+            let deadline = sim.now() + self.cfg.rpc_timeout;
+            let node = self.node.clone();
+            let ok = sim.run_while(deadline, |s| {
+                s.with_actor::<ClientActor, _>(&node, |c| {
+                    c.acks.get(&req).map(|a| a.len()).unwrap_or(0) >= need
+                })
+            });
+            if !ok {
+                return Err(FsError::Timeout(format!("write chunk {chunk}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a whole file back.
+    pub fn read_file(&self, sim: &mut Sim, path: &str) -> Result<String, FsError> {
+        let chunks = self.chunks(sim, path)?;
+        let mut out = String::new();
+        for chunk in chunks {
+            let locs = self.locations(sim, path, chunk)?;
+            let mut got = None;
+            for dn in &locs {
+                let req = self.fresh_req(sim);
+                sim.inject(
+                    dn,
+                    proto::DN_READ,
+                    Arc::new(vec![
+                        Value::addr(&self.node),
+                        Value::Int(req),
+                        Value::Int(chunk),
+                    ]),
+                );
+                let deadline = sim.now() + self.cfg.rpc_timeout;
+                let node = self.node.clone();
+                let answered = sim.run_while(deadline, |s| {
+                    s.with_actor::<ClientActor, _>(&node, |c| c.chunk_data.contains_key(&req))
+                });
+                if answered {
+                    let data =
+                        sim.with_actor::<ClientActor, _>(&self.node, |c| c.chunk_data.remove(&req));
+                    if let Some(Some(content)) = data {
+                        got = Some(content);
+                        break;
+                    }
+                }
+            }
+            match got {
+                Some(content) => out.push_str(&content),
+                None => return Err(FsError::ChunkUnavailable(chunk)),
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,142 @@
+//! Convenience builder assembling a complete BOOM-FS cluster inside the
+//! simulator: NameNode(s) (declarative, baseline, or partitioned),
+//! DataNodes, and a client node.
+
+use crate::baseline::{BaselineConfig, BaselineNameNode};
+use crate::client::{ClientActor, FsClient, FsConfig, NameNodeMode};
+use crate::datanode::{DataNode, DataNodeConfig};
+use crate::namenode::{namenode_actor, NameNodeConfig};
+use boom_simnet::{Sim, SimConfig};
+
+/// Which control plane to deploy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlPlane {
+    /// The Overlog NameNode (BOOM-FS proper).
+    Declarative,
+    /// The imperative Rust NameNode (stock-HDFS stand-in).
+    Baseline,
+}
+
+/// Cluster recipe.
+#[derive(Debug, Clone)]
+pub struct FsClusterBuilder {
+    /// Simulator settings.
+    pub sim: SimConfig,
+    /// Control-plane implementation.
+    pub control: ControlPlane,
+    /// Number of NameNode partitions (1 = single NameNode).
+    pub partitions: usize,
+    /// Number of DataNodes.
+    pub datanodes: usize,
+    /// Chunk replication factor.
+    pub replication: usize,
+    /// DataNode heartbeat interval (ms).
+    pub hb_interval: u64,
+    /// NameNode heartbeat timeout (ms).
+    pub hb_timeout: u64,
+    /// Client chunk size (bytes).
+    pub chunk_size: usize,
+}
+
+impl Default for FsClusterBuilder {
+    fn default() -> Self {
+        FsClusterBuilder {
+            sim: SimConfig::default(),
+            control: ControlPlane::Declarative,
+            partitions: 1,
+            datanodes: 3,
+            replication: 2,
+            hb_interval: 3_000,
+            hb_timeout: 15_000,
+            chunk_size: 4096,
+        }
+    }
+}
+
+/// A running cluster plus its client driver.
+pub struct FsCluster {
+    /// The simulator.
+    pub sim: Sim,
+    /// A client driver bound to node `"client0"`.
+    pub client: FsClient,
+    /// NameNode node names.
+    pub namenodes: Vec<String>,
+    /// DataNode node names.
+    pub datanodes: Vec<String>,
+}
+
+/// NameNode node name for partition `i`.
+pub fn nn_name(i: usize) -> String {
+    format!("nn{i}")
+}
+
+/// DataNode node name `i`.
+pub fn dn_name(i: usize) -> String {
+    format!("dn{i}")
+}
+
+impl FsClusterBuilder {
+    /// Build the cluster and let heartbeats register the DataNodes.
+    pub fn build(&self) -> FsCluster {
+        let mut sim = Sim::new(self.sim.clone());
+        let namenodes: Vec<String> = (0..self.partitions.max(1)).map(nn_name).collect();
+        let datanodes: Vec<String> = (0..self.datanodes).map(dn_name).collect();
+
+        for (i, nn) in namenodes.iter().enumerate() {
+            match self.control {
+                ControlPlane::Declarative => {
+                    let cfg = NameNodeConfig {
+                        replication: self.replication as i64,
+                        hb_timeout: self.hb_timeout,
+                        id_stride: namenodes.len() as i64,
+                        id_offset: i as i64,
+                    };
+                    sim.add_node(nn, Box::new(namenode_actor(nn, cfg)));
+                }
+                ControlPlane::Baseline => {
+                    let cfg = BaselineConfig {
+                        replication: self.replication,
+                        hb_timeout: self.hb_timeout,
+                        failcheck_interval: 2_000,
+                    };
+                    sim.add_node(nn, Box::new(BaselineNameNode::new(cfg)));
+                }
+            }
+        }
+        for dn in &datanodes {
+            sim.add_node(
+                dn,
+                Box::new(DataNode::new(DataNodeConfig {
+                    namenodes: namenodes.clone(),
+                    hb_interval: self.hb_interval,
+                })),
+            );
+        }
+        sim.add_node("client0", Box::new(ClientActor::new()));
+
+        // Let first heartbeats land so placement has live nodes.
+        sim.run_for(self.hb_interval.min(500) + 200);
+
+        let mode = if namenodes.len() > 1 {
+            NameNodeMode::Partitioned
+        } else {
+            NameNodeMode::Single
+        };
+        let client = FsClient::new(
+            "client0",
+            FsConfig {
+                namenodes: namenodes.clone(),
+                mode,
+                chunk_size: self.chunk_size,
+                rpc_timeout: 10_000,
+                write_acks: 1,
+            },
+        );
+        FsCluster {
+            sim,
+            client,
+            namenodes,
+            datanodes,
+        }
+    }
+}

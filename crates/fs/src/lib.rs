@@ -1,0 +1,40 @@
+//! # boom-fs — BOOM-FS, the declarative HDFS
+//!
+//! An API-equivalent reimplementation of the paper's BOOM-FS: the entire
+//! NameNode metadata plane is an Overlog program
+//! ([`namenode::NAMENODE_OLG`], see `src/olg/namenode.olg`) executed by
+//! `boom-overlog`; the data plane ([`datanode::DataNode`]) and client
+//! library ([`client::FsClient`]) are ordinary Rust, mirroring the paper's
+//! Java data plane.
+//!
+//! Also included, for the paper's evaluation matrix:
+//!
+//! * [`baseline::BaselineNameNode`] — an imperative NameNode with the same
+//!   wire protocol (the stock-HDFS stand-in),
+//! * partitioned deployment (the scalability revision) via
+//!   [`cluster::FsClusterBuilder`] with `partitions > 1`,
+//! * Paxos-replicated deployment (the availability revision) lives in
+//!   `boom-paxos`/`boom-core`, reusing this crate's NameNode program.
+//!
+//! ```no_run
+//! use boom_fs::cluster::FsClusterBuilder;
+//!
+//! let mut cluster = FsClusterBuilder::default().build();
+//! let client = cluster.client.clone();
+//! client.mkdir(&mut cluster.sim, "/data").unwrap();
+//! client.write_file(&mut cluster.sim, "/data/f", "hello BOOM").unwrap();
+//! assert_eq!(client.read_file(&mut cluster.sim, "/data/f").unwrap(), "hello BOOM");
+//! ```
+
+pub mod baseline;
+pub mod client;
+pub mod cluster;
+pub mod datanode;
+pub mod namenode;
+pub mod proto;
+
+pub use baseline::{BaselineConfig, BaselineNameNode};
+pub use client::{ClientActor, FsClient, FsConfig, FsError, NameNodeMode};
+pub use cluster::{ControlPlane, FsCluster, FsClusterBuilder};
+pub use datanode::{DataNode, DataNodeConfig};
+pub use namenode::{namenode_actor, namenode_runtime, NameNodeConfig, NAMENODE_OLG};

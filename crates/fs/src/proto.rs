@@ -1,0 +1,119 @@
+//! The BOOM-FS wire protocol: table names and row layouts shared by the
+//! Overlog NameNode, the imperative baseline NameNode, DataNodes, and
+//! clients. Every message on the simulated network is a tuple into one of
+//! these tables.
+
+use boom_overlog::{Row, Value};
+use std::sync::Arc;
+
+/// Client → NameNode: `request(Src, ReqId, Cmd, Args)`.
+pub const REQUEST: &str = "request";
+/// NameNode → client: `response(Src, ReqId, Ok, Payload)`.
+pub const RESPONSE: &str = "response";
+/// DataNode → NameNode: `hb_report(DN, Time)`.
+pub const HB_REPORT: &str = "hb_report";
+/// DataNode → NameNode: `hb_chunk_report(DN, ChunkId, Len)`.
+pub const HB_CHUNK_REPORT: &str = "hb_chunk_report";
+/// Client → DataNode: `dn_write(Src, ReqId, ChunkId, Content, Pipeline)`.
+pub const DN_WRITE: &str = "dn_write";
+/// DataNode → client: `dn_ack(Src, ReqId, DN)`.
+pub const DN_ACK: &str = "dn_ack";
+/// Client → DataNode: `dn_read(Src, ReqId, ChunkId)`.
+pub const DN_READ: &str = "dn_read";
+/// DataNode → client: `dn_data(Src, ReqId, ChunkId, Content)`.
+pub const DN_DATA: &str = "dn_data";
+/// DataNode → client: `dn_err(Src, ReqId, ChunkId)`.
+pub const DN_ERR: &str = "dn_err";
+/// NameNode → DataNode: `dn_copy(Holder, ChunkId, Target)` (re-replication).
+pub const DN_COPY: &str = "dn_copy";
+/// NameNode → DataNode: `dn_delete(Holder, ChunkId)` (garbage collection).
+pub const DN_DELETE: &str = "dn_delete";
+
+/// Build a client request row.
+pub fn request_row(src: &str, req_id: i64, cmd: &str, args: Vec<Value>) -> Row {
+    Arc::new(vec![
+        Value::addr(src),
+        Value::Int(req_id),
+        Value::str(cmd),
+        Value::list(args),
+    ])
+}
+
+/// Build a response row (used by the imperative baseline; the Overlog
+/// NameNode derives responses from rules).
+pub fn response_row(src: &str, req_id: i64, ok: bool, payload: Value) -> Row {
+    Arc::new(vec![
+        Value::addr(src),
+        Value::Int(req_id),
+        Value::Bool(ok),
+        payload,
+    ])
+}
+
+/// A parsed FS response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsResponse {
+    /// Success flag.
+    pub ok: bool,
+    /// Command-specific payload.
+    pub payload: Value,
+}
+
+/// Parse a `response` row (None when malformed).
+pub fn parse_response(row: &Row) -> Option<(i64, FsResponse)> {
+    if row.len() != 4 {
+        return None;
+    }
+    let req_id = row[1].as_int()?;
+    let ok = matches!(row[2], Value::Bool(true));
+    Some((
+        req_id,
+        FsResponse {
+            ok,
+            payload: row[3].clone(),
+        },
+    ))
+}
+
+/// Parse a `request` row: `(src, req_id, cmd, args)`.
+pub fn parse_request(row: &Row) -> Option<(String, i64, String, Vec<Value>)> {
+    if row.len() != 4 {
+        return None;
+    }
+    Some((
+        row[0].as_str()?.to_string(),
+        row[1].as_int()?,
+        row[2].as_str()?.to_string(),
+        row[3].as_list()?.to_vec(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let r = request_row("c1", 9, "mkdir", vec![Value::str("/a")]);
+        let (src, id, cmd, args) = parse_request(&r).unwrap();
+        assert_eq!(src, "c1");
+        assert_eq!(id, 9);
+        assert_eq!(cmd, "mkdir");
+        assert_eq!(args, vec![Value::str("/a")]);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let r = response_row("c1", 9, true, Value::Int(5));
+        let (id, resp) = parse_response(&r).unwrap();
+        assert_eq!(id, 9);
+        assert!(resp.ok);
+        assert_eq!(resp.payload, Value::Int(5));
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        assert!(parse_response(&Arc::new(vec![Value::Int(1)])).is_none());
+        assert!(parse_request(&Arc::new(vec![Value::Int(1)])).is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end BOOM-FS tests: every metadata operation and the chunk data
+//! path, against both the declarative (Overlog) NameNode and the
+//! imperative baseline — the same assertions must hold for both, since
+//! they speak the same protocol.
+
+use boom_fs::cluster::{ControlPlane, FsCluster, FsClusterBuilder};
+use boom_fs::{DataNode, FsError};
+
+fn cluster(control: ControlPlane) -> FsCluster {
+    FsClusterBuilder {
+        control,
+        datanodes: 4,
+        replication: 2,
+        chunk_size: 64,
+        ..Default::default()
+    }
+    .build()
+}
+
+fn both(test: impl Fn(FsCluster)) {
+    test(cluster(ControlPlane::Declarative));
+    test(cluster(ControlPlane::Baseline));
+}
+
+#[test]
+fn mkdir_create_exists_ls() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        let sim = &mut c.sim;
+        cl.mkdir(sim, "/data").unwrap();
+        cl.mkdir(sim, "/data/sub").unwrap();
+        cl.create(sim, "/data/f1").unwrap();
+        cl.create(sim, "/data/f2").unwrap();
+        assert!(cl.exists(sim, "/data/f1").unwrap());
+        assert!(!cl.exists(sim, "/data/zzz").unwrap());
+        assert_eq!(cl.ls(sim, "/data").unwrap(), vec!["f1", "f2", "sub"]);
+        assert_eq!(cl.ls(sim, "/").unwrap(), vec!["data"]);
+    });
+}
+
+#[test]
+fn duplicate_and_orphan_creates_fail() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        let sim = &mut c.sim;
+        cl.mkdir(sim, "/a").unwrap();
+        assert!(matches!(cl.mkdir(sim, "/a"), Err(FsError::Failed(ref m)) if m == "exists"));
+        assert!(matches!(
+            cl.create(sim, "/missing/f"),
+            Err(FsError::Failed(ref m)) if m == "noparent"
+        ));
+        cl.create(sim, "/a/f").unwrap();
+        assert!(matches!(cl.create(sim, "/a/f"), Err(FsError::Failed(ref m)) if m == "exists"));
+    });
+}
+
+#[test]
+fn ls_errors() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        let sim = &mut c.sim;
+        cl.create(sim, "/f").unwrap();
+        assert!(matches!(cl.ls(sim, "/f"), Err(FsError::Failed(ref m)) if m == "notdir"));
+        assert!(matches!(cl.ls(sim, "/nope"), Err(FsError::Failed(ref m)) if m == "notfound"));
+        // Empty directory lists as empty, not as an error.
+        cl.mkdir(sim, "/empty").unwrap();
+        assert!(cl.ls(sim, "/empty").unwrap().is_empty());
+    });
+}
+
+#[test]
+fn rm_semantics() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        let sim = &mut c.sim;
+        cl.mkdir(sim, "/d").unwrap();
+        cl.create(sim, "/d/f").unwrap();
+        assert!(matches!(cl.rm(sim, "/d"), Err(FsError::Failed(ref m)) if m == "notempty"));
+        cl.rm(sim, "/d/f").unwrap();
+        assert!(!cl.exists(sim, "/d/f").unwrap());
+        cl.rm(sim, "/d").unwrap();
+        assert!(!cl.exists(sim, "/d").unwrap());
+        assert!(matches!(cl.rm(sim, "/d"), Err(FsError::Failed(ref m)) if m == "notfound"));
+    });
+}
+
+#[test]
+fn write_and_read_multi_chunk_file() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        let sim = &mut c.sim;
+        // 1000 bytes / 64-byte chunks → 16 chunks.
+        let content: String = (0..100)
+            .map(|i| format!("line-{i:04} "))
+            .collect::<String>();
+        cl.write_file(sim, "/big", &content).unwrap();
+        let chunks = cl.chunks(sim, "/big").unwrap();
+        assert!(chunks.len() >= 15, "expected many chunks, got {}", chunks.len());
+        let back = cl.read_file(sim, "/big").unwrap();
+        assert_eq!(back, content);
+    });
+}
+
+#[test]
+fn chunks_are_replicated_to_k_nodes() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        cl.write_file(&mut c.sim, "/f", "somebytes").unwrap();
+        // Let pipelined replication finish.
+        c.sim.run_for(2_000);
+        let chunk = cl.chunks(&mut c.sim, "/f").unwrap()[0];
+        let holders: usize = c
+            .datanodes
+            .clone()
+            .iter()
+            .filter(|dn| c.sim.with_actor::<DataNode, _>(dn, |d| d.has_chunk(chunk)))
+            .count();
+        assert_eq!(holders, 2, "replication factor respected");
+    });
+}
+
+#[test]
+fn locations_follow_heartbeats() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        cl.write_file(&mut c.sim, "/f", "x").unwrap();
+        let chunk = cl.chunks(&mut c.sim, "/f").unwrap()[0];
+        // Locations appear once the holding nodes heartbeat.
+        c.sim.run_for(4_000);
+        let locs = cl.locations(&mut c.sim, "/f", chunk).unwrap();
+        assert_eq!(locs.len(), 2);
+    });
+}
+
+#[test]
+fn read_survives_replica_failure() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        cl.write_file(&mut c.sim, "/f", "precious data").unwrap();
+        c.sim.run_for(4_000);
+        let chunk = cl.chunks(&mut c.sim, "/f").unwrap()[0];
+        let locs = cl.locations(&mut c.sim, "/f", chunk).unwrap();
+        // Kill the first-listed replica; the read should fall through to
+        // the second.
+        c.sim.schedule_crash(&locs[0], c.sim.now() + 10);
+        c.sim.run_for(100);
+        let back = cl.read_file(&mut c.sim, "/f").unwrap();
+        assert_eq!(back, "precious data");
+    });
+}
+
+#[test]
+fn dead_datanode_disappears_from_locations() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        cl.write_file(&mut c.sim, "/f", "x").unwrap();
+        c.sim.run_for(4_000);
+        let chunk = cl.chunks(&mut c.sim, "/f").unwrap()[0];
+        let locs = cl.locations(&mut c.sim, "/f", chunk).unwrap();
+        assert_eq!(locs.len(), 2);
+        c.sim.schedule_crash(&locs[0], c.sim.now() + 10);
+        // Past the heartbeat timeout the NameNode forgets the dead node
+        // (re-replication may have added a fresh holder by then, so only
+        // the dead node's absence is asserted).
+        c.sim.run_for(25_000);
+        let locs_after = cl.locations(&mut c.sim, "/f", chunk).unwrap();
+        assert!(!locs_after.is_empty());
+        assert!(
+            !locs_after.contains(&locs[0]),
+            "dead node still listed: {locs_after:?}"
+        );
+        assert!(locs_after.contains(&locs[1]));
+    });
+}
+
+#[test]
+fn namenode_crash_loses_metadata_without_replication() {
+    // The availability motivation for the Paxos revision: a bare NameNode
+    // restart loses the namespace even though chunks survive on DataNodes.
+    both(|mut c| {
+        let cl = c.client.clone();
+        cl.mkdir(&mut c.sim, "/will-vanish").unwrap();
+        assert!(cl.exists(&mut c.sim, "/will-vanish").unwrap());
+        let nn = c.namenodes[0].clone();
+        c.sim.schedule_crash(&nn, c.sim.now() + 10);
+        c.sim.schedule_restart(&nn, c.sim.now() + 500);
+        c.sim.run_for(1_000);
+        assert!(!cl.exists(&mut c.sim, "/will-vanish").unwrap());
+    });
+}
+
+#[test]
+fn re_replication_restores_replica_count() {
+    // Declarative NameNode only: the dn_copy rules are the Overlog
+    // re-replication extension.
+    let mut c = cluster(ControlPlane::Declarative);
+    let cl = c.client.clone();
+    cl.write_file(&mut c.sim, "/f", "replicate me").unwrap();
+    c.sim.run_for(4_000);
+    let chunk = cl.chunks(&mut c.sim, "/f").unwrap()[0];
+    let locs = cl.locations(&mut c.sim, "/f", chunk).unwrap();
+    assert_eq!(locs.len(), 2);
+    c.sim.schedule_crash(&locs[0], c.sim.now() + 10);
+    // Heartbeat timeout (15 s) + repcheck sweep (5 s) + copy + next
+    // heartbeat of the new holder.
+    c.sim.run_for(40_000);
+    let locs_after = cl.locations(&mut c.sim, "/f", chunk).unwrap();
+    assert_eq!(
+        locs_after.len(),
+        2,
+        "under-replicated chunk re-replicated to a fresh node"
+    );
+    assert!(locs_after.iter().any(|l| *l != locs[0] && *l != locs[1]));
+}
+
+#[test]
+fn partitioned_namespace_spreads_files_and_merges_ls() {
+    let mut c = FsClusterBuilder {
+        control: ControlPlane::Declarative,
+        partitions: 3,
+        datanodes: 4,
+        replication: 2,
+        chunk_size: 64,
+        ..Default::default()
+    }
+    .build();
+    let cl = c.client.clone();
+    let sim = &mut c.sim;
+    cl.mkdir(sim, "/d").unwrap();
+    let mut partitions_used = std::collections::HashSet::new();
+    for i in 0..12 {
+        let path = format!("/d/file{i}");
+        cl.create(sim, &path).unwrap();
+        partitions_used.insert(cl.partition_for(&path));
+    }
+    assert!(
+        partitions_used.len() >= 2,
+        "hashing should spread files across partitions"
+    );
+    let listing = cl.ls(sim, "/d").unwrap();
+    assert_eq!(listing.len(), 12, "merged ls sees every partition's files");
+    // Round-trip data through a routed file.
+    cl.write_file(sim, "/d/file0-data", "partitioned payload").unwrap();
+    assert_eq!(cl.read_file(sim, "/d/file0-data").unwrap(), "partitioned payload");
+    // rm of a directory coordinates across partitions.
+    assert!(matches!(cl.rm(sim, "/d"), Err(FsError::Failed(ref m)) if m == "notempty"));
+}
+
+#[test]
+fn removed_files_chunks_are_garbage_collected() {
+    // rm leaves chunk replicas orphaned on DataNodes; the GC sweep rules
+    // reclaim them once the next heartbeats report them unowned.
+    both(|mut c| {
+        let cl = c.client.clone();
+        cl.write_file(&mut c.sim, "/doomed", &"z".repeat(500)).unwrap();
+        c.sim.run_for(4_000);
+        let chunks = cl.chunks(&mut c.sim, "/doomed").unwrap();
+        assert!(!chunks.is_empty());
+        let held = |c: &mut FsCluster, chunk: i64| -> usize {
+            c.datanodes
+                .clone()
+                .iter()
+                .filter(|dn| c.sim.with_actor::<DataNode, _>(dn, |d| d.has_chunk(chunk)))
+                .count()
+        };
+        assert!(held(&mut c, chunks[0]) >= 1);
+        cl.rm(&mut c.sim, "/doomed").unwrap();
+        // Heartbeat (3 s) reports the orphan, gc sweep (10 s) reclaims it.
+        c.sim.run_for(30_000);
+        for chunk in chunks {
+            assert_eq!(held(&mut c, chunk), 0, "chunk {chunk} not reclaimed");
+        }
+    });
+}

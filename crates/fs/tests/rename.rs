@@ -1,0 +1,107 @@
+//! Rename semantics: the declarative payoff case — one key overwrite of a
+//! `file` tuple moves an entire subtree, and every descendant's `fqpath`
+//! re-derives via view maintenance.
+
+use boom_fs::cluster::{ControlPlane, FsCluster, FsClusterBuilder};
+use boom_fs::FsError;
+
+fn cluster(control: ControlPlane) -> FsCluster {
+    FsClusterBuilder {
+        control,
+        datanodes: 3,
+        replication: 2,
+        chunk_size: 64,
+        ..Default::default()
+    }
+    .build()
+}
+
+fn both(test: impl Fn(FsCluster)) {
+    test(cluster(ControlPlane::Declarative));
+    test(cluster(ControlPlane::Baseline));
+}
+
+#[test]
+fn rename_file_keeps_contents() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        let sim = &mut c.sim;
+        cl.write_file(sim, "/old", "data survives renames").unwrap();
+        cl.rename(sim, "/old", "/new").unwrap();
+        assert!(!cl.exists(sim, "/old").unwrap());
+        assert_eq!(cl.read_file(sim, "/new").unwrap(), "data survives renames");
+    });
+}
+
+#[test]
+fn rename_directory_moves_subtree() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        let sim = &mut c.sim;
+        cl.mkdir(sim, "/a").unwrap();
+        cl.mkdir(sim, "/a/b").unwrap();
+        cl.create(sim, "/a/b/deep").unwrap();
+        cl.create(sim, "/a/top").unwrap();
+        cl.mkdir(sim, "/target").unwrap();
+        cl.rename(sim, "/a", "/target/a2").unwrap();
+        // The whole subtree is reachable at the new location...
+        assert!(cl.exists(sim, "/target/a2/b/deep").unwrap());
+        assert!(cl.exists(sim, "/target/a2/top").unwrap());
+        assert_eq!(cl.ls(sim, "/target/a2").unwrap(), vec!["b", "top"]);
+        // ...and gone from the old one.
+        assert!(!cl.exists(sim, "/a").unwrap());
+        assert!(!cl.exists(sim, "/a/b/deep").unwrap());
+        assert_eq!(cl.ls(sim, "/").unwrap(), vec!["target"]);
+    });
+}
+
+#[test]
+fn rename_error_cases() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        let sim = &mut c.sim;
+        cl.mkdir(sim, "/d").unwrap();
+        cl.create(sim, "/d/f").unwrap();
+        cl.create(sim, "/d/g").unwrap();
+        assert!(matches!(
+            cl.rename(sim, "/nope", "/x"),
+            Err(FsError::Failed(ref m)) if m == "notfound"
+        ));
+        assert!(matches!(
+            cl.rename(sim, "/d/f", "/d/g"),
+            Err(FsError::Failed(ref m)) if m == "exists"
+        ));
+        assert!(matches!(
+            cl.rename(sim, "/d", "/d/sub"),
+            Err(FsError::Failed(ref m)) if m == "intoself"
+        ));
+        assert!(matches!(
+            cl.rename(sim, "/d/f", "/missing/f"),
+            Err(FsError::Failed(ref m)) if m == "noparent"
+        ));
+        assert!(matches!(
+            cl.rename(sim, "/d/f", "/d/g/under-file"),
+            Err(FsError::Failed(ref m)) if m == "noparent"
+        ));
+        assert!(matches!(
+            cl.rename(sim, "/", "/root2"),
+            Err(FsError::Failed(ref m)) if m == "notfound"
+        ));
+        // Nothing was disturbed.
+        assert_eq!(cl.ls(sim, "/d").unwrap(), vec!["f", "g"]);
+    });
+}
+
+#[test]
+fn renamed_file_still_serves_chunk_reads_after_heartbeats() {
+    both(|mut c| {
+        let cl = c.client.clone();
+        cl.write_file(&mut c.sim, "/before", &"x".repeat(300)).unwrap();
+        cl.rename(&mut c.sim, "/before", "/after").unwrap();
+        // Chunk ownership follows the file id, not the path.
+        c.sim.run_for(5_000);
+        let chunks = cl.chunks(&mut c.sim, "/after").unwrap();
+        assert!(!chunks.is_empty());
+        assert_eq!(cl.read_file(&mut c.sim, "/after").unwrap(), "x".repeat(300));
+    });
+}

@@ -1,0 +1,555 @@
+//! The imperative baseline JobTracker — the stock-Hadoop stand-in.
+//!
+//! Speaks the identical tuple protocol as the Overlog JobTracker and
+//! implements the same FIFO policy and the same three speculation policies
+//! in conventional Rust, so "Hadoop MR vs BOOM-MR" comparisons differ only
+//! in control-plane style.
+
+use crate::jobtracker::SpecPolicy;
+use crate::proto;
+use boom_overlog::{NetTuple, Value};
+use boom_simnet::{Actor, Ctx};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct JobMeta {
+    client: String,
+    job_type: String,
+    nreduces: i64,
+    notified: bool,
+}
+
+#[derive(Debug, Clone)]
+struct TaskMeta {
+    ty: String,
+    chunk: i64,
+    locs: Vec<String>,
+    done: bool,
+    attempts: i64,
+}
+
+#[derive(Debug, Clone)]
+struct AttemptMeta {
+    tracker: String,
+    state: String,
+    progress: i64,
+    start: u64,
+}
+
+/// Imperative JobTracker actor.
+pub struct BaselineJobTracker {
+    policy: SpecPolicy,
+    spec_cap: usize,
+    jobs: BTreeMap<i64, JobMeta>,
+    tasks: BTreeMap<(i64, i64), TaskMeta>,
+    attempts: BTreeMap<(i64, i64, i64), AttemptMeta>,
+    trackers: BTreeMap<String, i64>,
+    tracker_hb: HashMap<String, u64>,
+    /// (job, task, attempt, type, start, end) for completed attempts —
+    /// feeds the evaluation harness, mirroring the Overlog `attempt_end`
+    /// table.
+    pub task_times: Vec<(i64, i64, i64, String, u64, u64)>,
+}
+
+impl BaselineJobTracker {
+    /// Create a baseline JobTracker with a speculation policy.
+    pub fn new(policy: SpecPolicy) -> Self {
+        BaselineJobTracker {
+            policy,
+            spec_cap: 4,
+            jobs: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            attempts: BTreeMap::new(),
+            trackers: BTreeMap::new(),
+            tracker_hb: HashMap::new(),
+            task_times: Vec::new(),
+        }
+    }
+
+    fn busy(&self, tracker: &str) -> i64 {
+        self.attempts
+            .values()
+            .filter(|a| a.tracker == tracker && a.state == proto::state::RUNNING)
+            .count() as i64
+    }
+
+    fn free_trackers(&self) -> Vec<(String, i64)> {
+        self.trackers
+            .iter()
+            .filter_map(|(n, slots)| {
+                let free = slots - self.busy(n);
+                (free > 0).then(|| (n.clone(), free))
+            })
+            .collect()
+    }
+
+    fn maps_complete(&self, job: i64) -> bool {
+        self.tasks
+            .iter()
+            .filter(|((j, _), t)| *j == job && t.ty == "map")
+            .all(|(_, t)| t.done)
+    }
+
+    fn pending_tasks(&self) -> Vec<(i64, i64)> {
+        let mut out = Vec::new();
+        for (&(j, t), task) in &self.tasks {
+            if task.done {
+                continue;
+            }
+            let live = self
+                .attempts
+                .iter()
+                .any(|(&(aj, at, _), a)| aj == j && at == t && a.state == proto::state::RUNNING);
+            if live {
+                continue;
+            }
+            if task.ty == "reduce" && !self.maps_complete(j) {
+                continue;
+            }
+            out.push((j, t));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn launch(&mut self, ctx: &mut Ctx<'_>, tracker: &str, job: i64, task: i64) {
+        let now = ctx.now();
+        let Some(tm) = self.tasks.get_mut(&(job, task)) else {
+            return;
+        };
+        let attempt = tm.attempts;
+        tm.attempts += 1;
+        let (ty, chunk, mut locs) = (tm.ty.clone(), tm.chunk, tm.locs.clone());
+        if ty == "reduce" {
+            // Tell the reducer which trackers hold completed map output.
+            let mut mls: Vec<String> = self
+                .attempts
+                .iter()
+                .filter(|(&(aj, at, _), a)| {
+                    aj == job
+                        && a.state == proto::state::DONE
+                        && self.tasks.get(&(aj, at)).map(|t| t.ty == "map").unwrap_or(false)
+                })
+                .map(|(_, a)| a.tracker.clone())
+                .collect();
+            mls.sort();
+            mls.dedup();
+            locs = mls;
+        }
+        self.attempts.insert(
+            (job, task, attempt),
+            AttemptMeta {
+                tracker: tracker.to_string(),
+                state: proto::state::RUNNING.to_string(),
+                progress: 0,
+                start: now,
+            },
+        );
+        let jm = &self.jobs[&job];
+        ctx.send(
+            tracker,
+            proto::LAUNCH,
+            Arc::new(vec![
+                Value::addr(tracker),
+                Value::Int(job),
+                Value::Int(task),
+                Value::Int(attempt),
+                Value::str(&ty),
+                Value::Int(chunk),
+                Value::list(locs.iter().map(|l| Value::addr(l)).collect()),
+                Value::Int(jm.nreduces),
+                Value::str(&jm.job_type),
+            ]),
+        );
+    }
+
+    /// FIFO assignment plus the configured speculation policy — the
+    /// imperative mirror of the Overlog scheduling rules.
+    fn schedule(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // Regular FIFO assignment: fill every free slot.
+        let mut pending = self.pending_tasks();
+        for (tracker, free) in self.free_trackers() {
+            for _ in 0..free {
+                let Some((j, t)) = pending.first().cloned() else {
+                    break;
+                };
+                pending.remove(0);
+                self.launch(ctx, &tracker, j, t);
+            }
+        }
+        if !pending.is_empty() || self.policy == SpecPolicy::None {
+            self.kill_redundant(ctx);
+            self.notify_done(ctx);
+            return;
+        }
+        // Speculation: only with idle capacity and nothing pending.
+        let free = self.free_trackers();
+        if free.is_empty() {
+            self.kill_redundant(ctx);
+            self.notify_done(ctx);
+            return;
+        }
+        let spec_live = self
+            .attempts
+            .iter()
+            .filter(|(&(_, _, a), m)| a > 0 && m.state == proto::state::RUNNING)
+            .count();
+        if spec_live >= self.spec_cap {
+            self.kill_redundant(ctx);
+            self.notify_done(ctx);
+            return;
+        }
+        let running: Vec<((i64, i64, i64), AttemptMeta)> = self
+            .attempts
+            .iter()
+            .filter(|(_, a)| a.state == proto::state::RUNNING)
+            .map(|(k, a)| (*k, a.clone()))
+            .collect();
+        if running.is_empty() {
+            self.kill_redundant(ctx);
+            self.notify_done(ctx);
+            return;
+        }
+        let candidate: Option<(i64, i64)> = match self.policy {
+            SpecPolicy::None => None,
+            SpecPolicy::Naive => {
+                // 20% behind the job-average progress; lowest task first.
+                let mut by_job: HashMap<i64, (i64, i64)> = HashMap::new();
+                for ((j, _, _), a) in &running {
+                    let e = by_job.entry(*j).or_insert((0, 0));
+                    e.0 += a.progress;
+                    e.1 += 1;
+                }
+                running
+                    .iter()
+                    .filter(|((j, t, _), a)| {
+                        let (sum, n) = by_job[j];
+                        let avg = sum as f64 / n as f64;
+                        (a.progress as f64) < avg - 200.0
+                            && self.tasks[&(*j, *t)].attempts < 2
+                            && !self.tasks[&(*j, *t)].done
+                    })
+                    .map(|((j, t, _), _)| (*j, *t))
+                    .min()
+            }
+            SpecPolicy::Late => {
+                // Rate below 25% of mean; longest time-left first.
+                let rates: Vec<f64> = running
+                    .iter()
+                    .map(|(_, a)| a.progress as f64 / (now - a.start + 1) as f64)
+                    .collect();
+                let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+                running
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(((j, t, _), _), &r)| {
+                        r < mean * 0.25
+                            && self.tasks[&(*j, *t)].attempts < 2
+                            && !self.tasks[&(*j, *t)].done
+                    })
+                    .map(|(((j, t, _), a), &r)| {
+                        let tleft = if a.progress > 0 {
+                            (1000 - a.progress) as f64 / r.max(1e-9)
+                        } else if now - a.start > 1_000 {
+                            f64::INFINITY
+                        } else {
+                            -1.0
+                        };
+                        ((*j, *t), tleft)
+                    })
+                    .filter(|(_, tl)| *tl >= 0.0)
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(k, _)| k)
+            }
+        };
+        if let Some((j, t)) = candidate {
+            let tracker = free[0].0.clone();
+            self.launch(ctx, &tracker, j, t);
+        }
+        self.kill_redundant(ctx);
+        self.notify_done(ctx);
+    }
+
+    fn kill_redundant(&mut self, ctx: &mut Ctx<'_>) {
+        let mut kills = Vec::new();
+        for (&(j, t, a), m) in &self.attempts {
+            if m.state == proto::state::RUNNING && self.tasks[&(j, t)].done {
+                kills.push((j, t, a, m.tracker.clone()));
+            }
+        }
+        for (j, t, a, tracker) in kills {
+            ctx.send(
+                &tracker,
+                proto::KILL,
+                Arc::new(vec![
+                    Value::addr(&tracker),
+                    Value::Int(j),
+                    Value::Int(t),
+                    Value::Int(a),
+                ]),
+            );
+        }
+    }
+
+    fn notify_done(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now() as i64;
+        let done_jobs: Vec<i64> = self
+            .jobs
+            .iter()
+            .filter(|(j, m)| {
+                !m.notified
+                    && self
+                        .tasks
+                        .iter()
+                        .filter(|((tj, _), _)| tj == *j)
+                        .all(|(_, t)| t.done)
+                    && self.tasks.keys().any(|(tj, _)| tj == *j)
+            })
+            .map(|(j, _)| *j)
+            .collect();
+        for j in done_jobs {
+            let client = self.jobs[&j].client.clone();
+            ctx.send(
+                &client,
+                proto::MR_RESPONSE,
+                Arc::new(vec![
+                    Value::addr(&client),
+                    Value::Int(j),
+                    Value::str("done"),
+                    Value::Int(now),
+                ]),
+            );
+            self.jobs.get_mut(&j).expect("job id from jobs map").notified = true;
+        }
+    }
+
+    fn sweep_trackers(&mut self, now: u64) {
+        let dead: Vec<String> = self
+            .tracker_hb
+            .iter()
+            .filter(|(_, &last)| now.saturating_sub(last) > 20_000)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for n in dead {
+            self.trackers.remove(&n);
+            self.tracker_hb.remove(&n);
+            // Jobs that already finished keep their results; incomplete
+            // jobs lose the dead tracker's outputs and must re-execute.
+            let complete_jobs: Vec<i64> = self
+                .jobs
+                .keys()
+                .filter(|j| {
+                    self.tasks
+                        .iter()
+                        .filter(|((tj, _), _)| tj == *j)
+                        .all(|(_, t)| t.done)
+                })
+                .cloned()
+                .collect();
+            let mut lost_tasks = Vec::new();
+            for (&(j, t, _), a) in &mut self.attempts {
+                if a.tracker != n {
+                    continue;
+                }
+                if a.state == proto::state::RUNNING {
+                    a.state = "failed".to_string();
+                } else if a.state == proto::state::DONE && !complete_jobs.contains(&j) {
+                    a.state = "lost".to_string();
+                    lost_tasks.push((j, t));
+                }
+            }
+            for key in lost_tasks {
+                if let Some(tm) = self.tasks.get_mut(&key) {
+                    tm.done = false;
+                }
+            }
+        }
+    }
+}
+
+impl Actor for BaselineJobTracker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(10, 0);
+        ctx.set_timer(5_000, 1);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // Volatile job state, like stock Hadoop's JobTracker.
+        *self = BaselineJobTracker::new(self.policy);
+        ctx.set_timer(10, 0);
+        ctx.set_timer(5_000, 1);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == 0 {
+            self.schedule(ctx);
+            ctx.set_timer(10, 0);
+        } else {
+            self.sweep_trackers(ctx.now());
+            ctx.set_timer(5_000, 1);
+        }
+    }
+
+    fn on_tuple(&mut self, ctx: &mut Ctx<'_>, tuple: NetTuple) {
+        let row = &tuple.row;
+        match tuple.table.as_str() {
+            proto::JOB_SUBMIT => {
+                if let (Some(j), Some(c), Some(ty), Some(r)) = (
+                    row.first().and_then(|v| v.as_int()),
+                    row.get(1).and_then(|v| v.as_str()),
+                    row.get(2).and_then(|v| v.as_str()),
+                    row.get(4).and_then(|v| v.as_int()),
+                ) {
+                    self.jobs.insert(
+                        j,
+                        JobMeta {
+                            client: c.to_string(),
+                            job_type: ty.to_string(),
+                            nreduces: r,
+                            notified: false,
+                        },
+                    );
+                }
+            }
+            proto::TASK_SUBMIT => {
+                if let (Some(j), Some(t), Some(ty), Some(ch), Some(locs)) = (
+                    row.first().and_then(|v| v.as_int()),
+                    row.get(1).and_then(|v| v.as_int()),
+                    row.get(2).and_then(|v| v.as_str()),
+                    row.get(3).and_then(|v| v.as_int()),
+                    row.get(4).and_then(|v| v.as_list()),
+                ) {
+                    self.tasks.insert(
+                        (j, t),
+                        TaskMeta {
+                            ty: ty.to_string(),
+                            chunk: ch,
+                            locs: locs
+                                .iter()
+                                .filter_map(|v| v.as_str().map(str::to_string))
+                                .collect(),
+                            done: false,
+                            attempts: 0,
+                        },
+                    );
+                }
+            }
+            proto::TT_REGISTER => {
+                if let (Some(n), Some(s)) = (
+                    row.first().and_then(|v| v.as_str()),
+                    row.get(1).and_then(|v| v.as_int()),
+                ) {
+                    self.trackers.insert(n.to_string(), s);
+                }
+            }
+            proto::TT_HB => {
+                if let (Some(n), Some(t)) = (
+                    row.first().and_then(|v| v.as_str()),
+                    row.get(1).and_then(|v| v.as_int()),
+                ) {
+                    self.tracker_hb.insert(n.to_string(), t as u64);
+                }
+            }
+            proto::PROGRESS_REPORT => {
+                if let (Some(j), Some(t), Some(a), Some(st), Some(p), Some(time)) = (
+                    row.first().and_then(|v| v.as_int()),
+                    row.get(1).and_then(|v| v.as_int()),
+                    row.get(2).and_then(|v| v.as_int()),
+                    row.get(4).and_then(|v| v.as_str()).map(str::to_string),
+                    row.get(5).and_then(|v| v.as_int()),
+                    row.get(6).and_then(|v| v.as_int()),
+                ) {
+                    let mut start = 0;
+                    if let Some(am) = self.attempts.get_mut(&(j, t, a)) {
+                        // Terminal states absorb: a reordered stale
+                        // "running" report must not regress a completed
+                        // attempt.
+                        if am.state == proto::state::RUNNING {
+                            am.state = st.clone();
+                            am.progress = p;
+                        }
+                        start = am.start;
+                    }
+                    if st == proto::state::DONE {
+                        if let Some(tm) = self.tasks.get_mut(&(j, t)) {
+                            if !tm.done {
+                                tm.done = true;
+                                let ty = tm.ty.clone();
+                                self.task_times.push((j, t, a, ty, start, time as u64));
+                            }
+                        }
+                        self.kill_redundant(ctx);
+                        self.notify_done(ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_respects_reduce_gate() {
+        let mut jt = BaselineJobTracker::new(SpecPolicy::None);
+        jt.jobs.insert(
+            1,
+            JobMeta {
+                client: "c".into(),
+                job_type: "wordcount".into(),
+                nreduces: 1,
+                notified: false,
+            },
+        );
+        jt.tasks.insert(
+            (1, 0),
+            TaskMeta {
+                ty: "map".into(),
+                chunk: 1,
+                locs: vec![],
+                done: false,
+                attempts: 0,
+            },
+        );
+        jt.tasks.insert(
+            (1, 1),
+            TaskMeta {
+                ty: "reduce".into(),
+                chunk: 0,
+                locs: vec![],
+                done: false,
+                attempts: 0,
+            },
+        );
+        assert_eq!(jt.pending_tasks(), vec![(1, 0)]);
+        jt.tasks.get_mut(&(1, 0)).unwrap().done = true;
+        assert_eq!(jt.pending_tasks(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn free_trackers_counts_running() {
+        let mut jt = BaselineJobTracker::new(SpecPolicy::None);
+        jt.trackers.insert("tt0".into(), 2);
+        assert_eq!(jt.free_trackers(), vec![("tt0".to_string(), 2)]);
+        jt.attempts.insert(
+            (1, 0, 0),
+            AttemptMeta {
+                tracker: "tt0".into(),
+                state: proto::state::RUNNING.into(),
+                progress: 0,
+                start: 0,
+            },
+        );
+        assert_eq!(jt.free_trackers(), vec![("tt0".to_string(), 1)]);
+    }
+}

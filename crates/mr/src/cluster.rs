@@ -1,0 +1,234 @@
+//! Full analytics-cluster assembly: BOOM-FS + BOOM-MR (or their baseline
+//! counterparts) in one simulation — the 2×2 system matrix of the paper's
+//! performance evaluation, plus straggler injection for the LATE
+//! experiments.
+
+use crate::baseline::BaselineJobTracker;
+use crate::driver::MrDriver;
+use crate::jobtracker::{jobtracker_actor, AssignPolicy, SpecPolicy};
+use crate::tasktracker::{TaskTracker, TaskTrackerConfig};
+use crate::workload::CostModel;
+use boom_fs::baseline::{BaselineConfig, BaselineNameNode};
+use boom_fs::client::{ClientActor, FsClient, FsConfig, NameNodeMode};
+use boom_fs::cluster::ControlPlane;
+use boom_fs::datanode::{DataNode, DataNodeConfig};
+use boom_fs::namenode::{namenode_actor, NameNodeConfig};
+use boom_simnet::{Sim, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Straggler injection for the speculative-execution experiments.
+#[derive(Debug, Clone)]
+pub struct StragglerConfig {
+    /// Fraction of workers that are stragglers.
+    pub fraction: f64,
+    /// Speed factor applied to stragglers (e.g. 0.1 = 10× slower).
+    pub slow_factor: f64,
+}
+
+impl Default for StragglerConfig {
+    fn default() -> Self {
+        StragglerConfig {
+            fraction: 0.0,
+            slow_factor: 1.0,
+        }
+    }
+}
+
+/// Cluster recipe for the full stack.
+#[derive(Debug, Clone)]
+pub struct MrClusterBuilder {
+    /// Simulator settings.
+    pub sim: SimConfig,
+    /// Filesystem control plane (Overlog vs imperative).
+    pub fs_control: ControlPlane,
+    /// MapReduce control plane (Overlog vs imperative).
+    pub mr_control: ControlPlane,
+    /// Speculation policy.
+    pub policy: SpecPolicy,
+    /// Assignment policy (FIFO, or locality preference over co-located
+    /// DataNode/TaskTracker pairs — worker i hosts both `dn{i}` and
+    /// `tt{i}`).
+    pub locality: bool,
+    /// Number of workers (each worker = one DataNode + one TaskTracker).
+    pub workers: usize,
+    /// Task slots per tracker.
+    pub slots: usize,
+    /// Chunk replication factor.
+    pub replication: usize,
+    /// Client chunk size in bytes (also the map-split size).
+    pub chunk_size: usize,
+    /// Straggler injection.
+    pub stragglers: StragglerConfig,
+    /// Task cost model.
+    pub cost: CostModel,
+}
+
+impl Default for MrClusterBuilder {
+    fn default() -> Self {
+        MrClusterBuilder {
+            sim: SimConfig::default(),
+            fs_control: ControlPlane::Declarative,
+            mr_control: ControlPlane::Declarative,
+            policy: SpecPolicy::None,
+            locality: false,
+            workers: 8,
+            slots: 2,
+            replication: 2,
+            chunk_size: 4096,
+            stragglers: StragglerConfig::default(),
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// The running analytics cluster.
+pub struct MrCluster {
+    /// The simulator.
+    pub sim: Sim,
+    /// FS client driver.
+    pub fs: FsClient,
+    /// Job driver.
+    pub driver: MrDriver,
+    /// Tracker node names.
+    pub trackers: Vec<String>,
+    /// DataNode node names.
+    pub datanodes: Vec<String>,
+    /// Which workers were made stragglers.
+    pub straggler_nodes: Vec<String>,
+    /// MR control plane in use (for measurement harvesting).
+    pub mr_control: ControlPlane,
+}
+
+impl MrClusterBuilder {
+    /// Assemble the cluster; heartbeats register workers before return.
+    pub fn build(&self) -> MrCluster {
+        let mut sim = Sim::new(self.sim.clone());
+        // Straggler choice is deterministic from the sim seed.
+        let mut rng = StdRng::seed_from_u64(self.sim.seed ^ 0x5742);
+        let nn = "nn0".to_string();
+        match self.fs_control {
+            ControlPlane::Declarative => {
+                let cfg = NameNodeConfig {
+                    replication: self.replication as i64,
+                    ..Default::default()
+                };
+                sim.add_node(&nn, Box::new(namenode_actor(&nn, cfg)));
+            }
+            ControlPlane::Baseline => {
+                let cfg = BaselineConfig {
+                    replication: self.replication,
+                    ..Default::default()
+                };
+                sim.add_node(&nn, Box::new(BaselineNameNode::new(cfg)));
+            }
+        }
+        let datanodes: Vec<String> = (0..self.workers).map(|i| format!("dn{i}")).collect();
+        let trackers: Vec<String> = (0..self.workers).map(|i| format!("tt{i}")).collect();
+        let assign = if self.locality {
+            AssignPolicy::Locality(
+                datanodes
+                    .iter()
+                    .cloned()
+                    .zip(trackers.iter().cloned())
+                    .collect(),
+            )
+        } else {
+            AssignPolicy::Fifo
+        };
+        match self.mr_control {
+            ControlPlane::Declarative => {
+                sim.add_node("jt", Box::new(jobtracker_actor("jt", self.policy, assign)));
+            }
+            ControlPlane::Baseline => {
+                sim.add_node("jt", Box::new(BaselineJobTracker::new(self.policy)));
+            }
+        }
+        let mut straggler_nodes = Vec::new();
+        for dn in &datanodes {
+            sim.add_node(
+                dn,
+                Box::new(DataNode::new(DataNodeConfig {
+                    namenodes: vec![nn.clone()],
+                    hb_interval: 3_000,
+                })),
+            );
+        }
+        for tt in &trackers {
+            let speed = if rng.gen_bool(self.stragglers.fraction) {
+                straggler_nodes.push(tt.clone());
+                self.stragglers.slow_factor
+            } else {
+                1.0
+            };
+            let idx: usize = tt[2..].parse().expect("tracker names are tt<i>");
+            sim.add_node(
+                tt,
+                Box::new(TaskTracker::new(TaskTrackerConfig {
+                    jobtracker: "jt".to_string(),
+                    slots: self.slots,
+                    hb_interval: 500,
+                    peers: trackers.clone(),
+                    speed,
+                    cost: self.cost.clone(),
+                    colocated_dn: Some(datanodes[idx].clone()),
+                })),
+            );
+        }
+        sim.add_node("client0", Box::new(ClientActor::new()));
+        sim.run_for(700);
+        let fs = FsClient::new(
+            "client0",
+            FsConfig {
+                namenodes: vec![nn],
+                mode: NameNodeMode::Single,
+                chunk_size: self.chunk_size,
+                rpc_timeout: 10_000,
+                write_acks: 1,
+            },
+        );
+        let driver = MrDriver::new("client0", "jt");
+        MrCluster {
+            sim,
+            fs,
+            driver,
+            trackers,
+            datanodes,
+            straggler_nodes,
+            mr_control: self.mr_control,
+        }
+    }
+}
+
+impl MrCluster {
+    /// Write a synthetic corpus into BOOM-FS: `nfiles` files of `nwords`
+    /// words each under `/input`, returning the paths.
+    pub fn load_corpus(
+        &mut self,
+        seed: u64,
+        nfiles: usize,
+        nwords: usize,
+    ) -> Result<Vec<String>, boom_fs::FsError> {
+        self.fs.mkdir(&mut self.sim, "/input")?;
+        let mut paths = Vec::with_capacity(nfiles);
+        for i in 0..nfiles {
+            let path = format!("/input/part{i}");
+            let text = crate::workload::synth_text(seed.wrapping_add(i as u64), nwords);
+            self.fs.write_file(&mut self.sim, &path, &text)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// Harvest per-task timings from whichever JobTracker is deployed.
+    pub fn task_times(&mut self) -> Vec<crate::driver::TaskTime> {
+        match self.mr_control {
+            ControlPlane::Declarative => {
+                crate::driver::harvest_task_times_declarative(&mut self.sim, "jt")
+            }
+            ControlPlane::Baseline => {
+                crate::driver::harvest_task_times_baseline(&mut self.sim, "jt")
+            }
+        }
+    }
+}

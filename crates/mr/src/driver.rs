@@ -1,0 +1,238 @@
+//! The MapReduce job driver: split computation, submission, completion
+//! waiting, and result/measurement harvesting — the JobClient role.
+
+use crate::baseline::BaselineJobTracker;
+use crate::proto;
+use crate::tasktracker::TaskTracker;
+use boom_fs::client::{ClientActor, FsClient};
+use boom_fs::FsError;
+use boom_simnet::{OverlogActor, Sim};
+use std::collections::BTreeMap;
+
+/// A job description.
+#[derive(Debug, Clone)]
+pub struct MrJob {
+    /// "wordcount" or "grep:&lt;pattern&gt;".
+    pub job_type: String,
+    /// Input file paths in BOOM-FS.
+    pub inputs: Vec<String>,
+    /// Number of reduce partitions.
+    pub nreduces: usize,
+    /// Output directory name (informational).
+    pub outdir: String,
+}
+
+/// One completed task measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskTime {
+    /// Job id.
+    pub job: i64,
+    /// Task id.
+    pub task: i64,
+    /// Winning attempt id.
+    pub attempt: i64,
+    /// "map" or "reduce".
+    pub ty: String,
+    /// Attempt start (virtual ms).
+    pub start: u64,
+    /// Completion (virtual ms).
+    pub end: u64,
+}
+
+impl TaskTime {
+    /// Task duration in virtual ms.
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Job driver bound to a client node.
+#[derive(Debug, Clone)]
+pub struct MrDriver {
+    /// The client node (hosts a [`ClientActor`]).
+    pub client_node: String,
+    /// The JobTracker node.
+    pub jobtracker: String,
+    next_job: i64,
+}
+
+impl MrDriver {
+    /// New driver.
+    pub fn new(client_node: &str, jobtracker: &str) -> Self {
+        MrDriver {
+            client_node: client_node.to_string(),
+            jobtracker: jobtracker.to_string(),
+            next_job: 1,
+        }
+    }
+
+    /// Compute splits (one map task per input chunk, via the NameNode) and
+    /// submit the job. Returns the job id.
+    pub fn submit(&mut self, sim: &mut Sim, fs: &FsClient, job: &MrJob) -> Result<i64, FsError> {
+        let job_id = self.next_job;
+        self.next_job += 1;
+        // Resolve splits first so task_submit rows precede job scheduling.
+        let mut splits: Vec<(i64, Vec<String>)> = Vec::new();
+        for input in &job.inputs {
+            for chunk in fs.chunks(sim, input)? {
+                let locs = fs.locations(sim, input, chunk)?;
+                splits.push((chunk, locs));
+            }
+        }
+        let now = sim.now() as i64;
+        sim.inject(
+            &self.jobtracker,
+            proto::JOB_SUBMIT,
+            proto::job_submit_row(
+                job_id,
+                &self.client_node,
+                &job.job_type,
+                &job.outdir,
+                job.nreduces as i64,
+                now,
+            ),
+        );
+        for (i, (chunk, locs)) in splits.iter().enumerate() {
+            sim.inject(
+                &self.jobtracker,
+                proto::TASK_SUBMIT,
+                proto::task_submit_row(job_id, i as i64, "map", *chunk, locs.clone()),
+            );
+        }
+        let nmaps = splits.len() as i64;
+        for r in 0..job.nreduces {
+            sim.inject(
+                &self.jobtracker,
+                proto::TASK_SUBMIT,
+                proto::task_submit_row(job_id, nmaps + r as i64, "reduce", r as i64, vec![]),
+            );
+        }
+        Ok(job_id)
+    }
+
+    /// Run the simulation until the job-completion notification arrives;
+    /// returns the completion time (virtual ms) or `None` on deadline.
+    pub fn wait(&self, sim: &mut Sim, job_id: i64, deadline: u64) -> Option<u64> {
+        let node = self.client_node.clone();
+        let found = sim.run_while(deadline, |s| {
+            s.with_actor::<ClientActor, _>(&node, |c| {
+                c.other.iter().any(|t| {
+                    t.table == proto::MR_RESPONSE
+                        && proto::parse_mr_response(&t.row)
+                            .map(|(j, st, _)| j == job_id && st == "done")
+                            .unwrap_or(false)
+                })
+            })
+        });
+        if !found {
+            return None;
+        }
+        sim.with_actor::<ClientActor, _>(&self.client_node, |c| {
+            c.other.iter().find_map(|t| {
+                if t.table != proto::MR_RESPONSE {
+                    return None;
+                }
+                proto::parse_mr_response(&t.row).and_then(|(j, st, time)| {
+                    (j == job_id && st == "done").then_some(time as u64)
+                })
+            })
+        })
+    }
+
+    /// Submit and wait; returns `(job_id, completion_time)`.
+    pub fn run(
+        &mut self,
+        sim: &mut Sim,
+        fs: &FsClient,
+        job: &MrJob,
+        deadline: u64,
+    ) -> Result<(i64, u64), FsError> {
+        let start = sim.now();
+        let id = self.submit(sim, fs, job)?;
+        match self.wait(sim, id, deadline) {
+            Some(done) => Ok((id, done.saturating_sub(start))),
+            None => Err(FsError::Timeout(format!("job {id}"))),
+        }
+    }
+
+    /// Merge the reduce outputs of a job from every tracker.
+    pub fn collect_output(
+        sim: &mut Sim,
+        trackers: &[String],
+        job: i64,
+    ) -> BTreeMap<String, i64> {
+        let mut merged = BTreeMap::new();
+        for tt in trackers {
+            let parts = sim.with_actor::<TaskTracker, _>(tt, |t| {
+                t.outputs
+                    .iter()
+                    .filter(|((j, _), _)| *j == job)
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>()
+            });
+            for (_, counts) in parts {
+                for (w, c) in counts {
+                    *merged.entry(w).or_insert(0) += c;
+                }
+            }
+        }
+        merged
+    }
+}
+
+/// Harvest per-task completion measurements from the **Overlog**
+/// JobTracker (joins its `attempt`, `attempt_end` and `task` tables).
+pub fn harvest_task_times_declarative(sim: &mut Sim, jt: &str) -> Vec<TaskTime> {
+    sim.with_actor::<OverlogActor, _>(jt, |a| {
+        let rt = a.runtime_ref();
+        let types: BTreeMap<(i64, i64), String> = rt
+            .rows("task")
+            .iter()
+            .filter_map(|r| {
+                Some(((r[0].as_int()?, r[1].as_int()?), r[2].as_str()?.to_string()))
+            })
+            .collect();
+        let starts: BTreeMap<(i64, i64, i64), u64> = rt
+            .rows("attempt")
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    (r[0].as_int()?, r[1].as_int()?, r[2].as_int()?),
+                    r[6].as_int()? as u64,
+                ))
+            })
+            .collect();
+        rt.rows("attempt_end")
+            .iter()
+            .filter_map(|r| {
+                let key = (r[0].as_int()?, r[1].as_int()?, r[2].as_int()?);
+                Some(TaskTime {
+                    job: key.0,
+                    task: key.1,
+                    attempt: key.2,
+                    ty: types.get(&(key.0, key.1))?.clone(),
+                    start: *starts.get(&key)?,
+                    end: r[3].as_int()? as u64,
+                })
+            })
+            .collect()
+    })
+}
+
+/// Harvest per-task completion measurements from the **baseline**
+/// JobTracker.
+pub fn harvest_task_times_baseline(sim: &mut Sim, jt: &str) -> Vec<TaskTime> {
+    sim.with_actor::<BaselineJobTracker, _>(jt, |b| {
+        b.task_times
+            .iter()
+            .map(|(j, t, a, ty, s, e)| TaskTime {
+                job: *j,
+                task: *t,
+                attempt: *a,
+                ty: ty.clone(),
+                start: *s,
+                end: *e,
+            })
+            .collect()
+    })
+}

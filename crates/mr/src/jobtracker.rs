@@ -1,0 +1,133 @@
+//! Construction of the declarative (Overlog) JobTracker.
+
+use boom_overlog::OverlogRuntime;
+use boom_simnet::OverlogActor;
+
+/// The core JobTracker program (bookkeeping; assignment policy separate).
+pub const JOBTRACKER_OLG: &str = include_str!("olg/jobtracker.olg");
+/// Plain FIFO assignment policy.
+pub const FIFO_OLG: &str = include_str!("olg/fifo.olg");
+/// Locality-preferring assignment policy (ablation A1).
+pub const LOCALITY_OLG: &str = include_str!("olg/locality.olg");
+/// LATE speculation policy (Zaharia et al., OSDI'08) as Overlog rules.
+pub const LATE_OLG: &str = include_str!("olg/late.olg");
+/// Hadoop's naive pre-LATE speculation policy as Overlog rules.
+pub const NAIVE_OLG: &str = include_str!("olg/naive.olg");
+
+/// Which speculative-execution policy to install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecPolicy {
+    /// No speculation: every task runs exactly one attempt (unless its
+    /// tracker dies).
+    None,
+    /// Hadoop's naive progress-gap heuristic.
+    Naive,
+    /// The LATE policy: longest-approximate-time-to-end.
+    Late,
+}
+
+impl SpecPolicy {
+    /// The extra Overlog program the policy contributes (empty for
+    /// [`SpecPolicy::None`] — the paper's point about swappable policy
+    /// rules).
+    pub fn olg(&self) -> &'static str {
+        match self {
+            SpecPolicy::None => "",
+            SpecPolicy::Naive => NAIVE_OLG,
+            SpecPolicy::Late => LATE_OLG,
+        }
+    }
+}
+
+/// Which assignment policy module to install.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum AssignPolicy {
+    /// Strict FIFO (the default).
+    #[default]
+    Fifo,
+    /// Prefer trackers co-located with an input replica; the payload maps
+    /// DataNode node names to their co-resident tracker names.
+    Locality(Vec<(String, String)>),
+}
+
+impl AssignPolicy {
+    fn olg(&self) -> &'static str {
+        match self {
+            AssignPolicy::Fifo => FIFO_OLG,
+            AssignPolicy::Locality(_) => LOCALITY_OLG,
+        }
+    }
+
+    fn facts(&self) -> String {
+        match self {
+            AssignPolicy::Fifo => String::new(),
+            AssignPolicy::Locality(pairs) => pairs
+                .iter()
+                .map(|(dn, tt)| format!("colocated(\"{dn}\", \"{tt}\");\n"))
+                .collect(),
+        }
+    }
+}
+
+/// Build a JobTracker runtime with the given speculation and assignment
+/// policies.
+pub fn jobtracker_runtime(
+    addr: &str,
+    policy: SpecPolicy,
+    assign: &AssignPolicy,
+) -> OverlogRuntime {
+    let mut rt = OverlogRuntime::new(addr);
+    rt.load(JOBTRACKER_OLG)
+        .expect("embedded jobtracker.olg must compile");
+    rt.load(assign.olg())
+        .expect("embedded assignment policy must compile");
+    let facts = assign.facts();
+    if !facts.is_empty() {
+        rt.load(&facts).expect("colocated facts are well-formed");
+    }
+    let extra = policy.olg();
+    if !extra.is_empty() {
+        rt.load(extra).expect("embedded policy program must compile");
+    }
+    rt
+}
+
+/// Build the JobTracker as a simulator actor (restarts lose job state,
+/// like stock Hadoop's JobTracker).
+pub fn jobtracker_actor(addr: &str, policy: SpecPolicy, assign: AssignPolicy) -> OverlogActor {
+    OverlogActor::with_factory(
+        Box::new(move |name| jobtracker_runtime(name, policy, &assign)),
+        10,
+        addr,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boom_overlog::source_stats;
+
+    #[test]
+    fn jobtracker_program_loads_with_every_policy() {
+        for policy in [SpecPolicy::None, SpecPolicy::Naive, SpecPolicy::Late] {
+            for assign in [
+                AssignPolicy::Fifo,
+                AssignPolicy::Locality(vec![("dn0".into(), "tt0".into())]),
+            ] {
+                let rt = jobtracker_runtime("jt", policy, &assign);
+                assert!(rt.rule_count() > 20, "{policy:?}: {}", rt.rule_count());
+            }
+        }
+    }
+
+    #[test]
+    fn late_policy_is_a_handful_of_rules() {
+        // The paper's headline: porting LATE took on the order of a dozen
+        // rules.
+        let (rules, lines) = source_stats(LATE_OLG);
+        assert!(rules <= 20, "LATE should stay small, got {rules} rules");
+        assert!(lines < 80);
+        let (nrules, _) = source_stats(NAIVE_OLG);
+        assert!(nrules <= 20);
+    }
+}

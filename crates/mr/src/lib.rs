@@ -1,0 +1,31 @@
+//! # boom-mr — BOOM-MR, the declarative MapReduce
+//!
+//! The paper's second system: Hadoop-style MapReduce whose JobTracker
+//! bookkeeping and scheduling policy are Overlog programs
+//! (`src/olg/jobtracker.olg` + swappable policy files), executed by
+//! `boom-overlog`. Speculative execution is a policy module: none, naive
+//! Hadoop, or the **LATE** policy of Zaharia et al. — each a handful of
+//! rules, reproducing the paper's point that scheduling policy is data,
+//! not code.
+//!
+//! Workers ([`tasktracker::TaskTracker`]) execute map/reduce attempts with
+//! simulated durations over real chunk data read from BOOM-FS, shuffle
+//! between trackers, and report progress. An imperative
+//! [`baseline::BaselineJobTracker`] speaks the same protocol for the
+//! "stock Hadoop" comparisons. [`cluster::MrClusterBuilder`] assembles the
+//! full 2×2 matrix of {Hadoop, BOOM-MR} × {HDFS, BOOM-FS}.
+
+pub mod baseline;
+pub mod cluster;
+pub mod driver;
+pub mod jobtracker;
+pub mod proto;
+pub mod tasktracker;
+pub mod workload;
+
+pub use baseline::BaselineJobTracker;
+pub use cluster::{MrCluster, MrClusterBuilder, StragglerConfig};
+pub use driver::{MrDriver, MrJob, TaskTime};
+pub use jobtracker::{jobtracker_actor, jobtracker_runtime, SpecPolicy, JOBTRACKER_OLG, LATE_OLG, NAIVE_OLG};
+pub use tasktracker::{TaskTracker, TaskTrackerConfig};
+pub use workload::{reference_wordcount, synth_text, CostModel};

@@ -1,0 +1,187 @@
+//! BOOM-MR wire protocol: table names and row builders shared by the
+//! Overlog JobTracker, the imperative baseline JobTracker, TaskTrackers,
+//! and the job driver.
+
+use boom_overlog::{Row, Value};
+use std::sync::Arc;
+
+/// Driver → JobTracker: `job_submit(JobId, Client, JobType, OutDir, NReduces, Time)`.
+pub const JOB_SUBMIT: &str = "job_submit";
+/// Driver → JobTracker: `task_submit(JobId, TaskId, Type, Chunk, Locs)`.
+pub const TASK_SUBMIT: &str = "task_submit";
+/// Tracker → JobTracker: `tt_register(Name, Slots)`.
+pub const TT_REGISTER: &str = "tt_register";
+/// Tracker → JobTracker: `tt_hb(Name, Time)`.
+pub const TT_HB: &str = "tt_hb";
+/// Tracker → JobTracker: `progress_report(JobId, TaskId, AttemptId, Tracker, State, Permille)`.
+pub const PROGRESS_REPORT: &str = "progress_report";
+/// JobTracker → Tracker: `launch(Tracker, JobId, TaskId, AttemptId, Type, Chunk, Locs, NReduces, JobType)`.
+pub const LAUNCH: &str = "launch";
+/// JobTracker → Tracker: `kill(Tracker, JobId, TaskId, AttemptId)`.
+pub const KILL: &str = "kill";
+/// JobTracker → Driver: `mr_response(Client, JobId, Status, Time)`.
+pub const MR_RESPONSE: &str = "mr_response";
+/// Reducer → Tracker: `fetch_req(Tracker, From, JobId, Partition, ReqId)`.
+pub const FETCH_REQ: &str = "fetch_req";
+/// Tracker → Reducer: `fetch_resp(From, JobId, Partition, ReqId, Pairs)`.
+pub const FETCH_RESP: &str = "fetch_resp";
+
+/// Task attempt states reported to the JobTracker.
+pub mod state {
+    /// Attempt executing.
+    pub const RUNNING: &str = "running";
+    /// Attempt finished successfully.
+    pub const DONE: &str = "done";
+    /// Attempt killed (redundant copy).
+    pub const KILLED: &str = "killed";
+}
+
+/// Build a `job_submit` row.
+pub fn job_submit_row(
+    job: i64,
+    client: &str,
+    job_type: &str,
+    outdir: &str,
+    nreduces: i64,
+    now: i64,
+) -> Row {
+    Arc::new(vec![
+        Value::Int(job),
+        Value::addr(client),
+        Value::str(job_type),
+        Value::str(outdir),
+        Value::Int(nreduces),
+        Value::Int(now),
+    ])
+}
+
+/// Build a `task_submit` row.
+pub fn task_submit_row(job: i64, task: i64, ty: &str, chunk: i64, locs: Vec<String>) -> Row {
+    Arc::new(vec![
+        Value::Int(job),
+        Value::Int(task),
+        Value::str(ty),
+        Value::Int(chunk),
+        Value::list(locs.into_iter().map(|l| Value::addr(&l)).collect()),
+    ])
+}
+
+/// Build a `progress_report` row.
+pub fn progress_row(
+    job: i64,
+    task: i64,
+    attempt: i64,
+    tracker: &str,
+    state: &str,
+    permille: i64,
+    now: i64,
+) -> Row {
+    Arc::new(vec![
+        Value::Int(job),
+        Value::Int(task),
+        Value::Int(attempt),
+        Value::addr(tracker),
+        Value::str(state),
+        Value::Int(permille),
+        Value::Int(now),
+    ])
+}
+
+/// A decoded `launch` tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Launch {
+    /// Job id.
+    pub job: i64,
+    /// Task id.
+    pub task: i64,
+    /// Attempt id (0 = original, >0 = speculative copy).
+    pub attempt: i64,
+    /// "map" or "reduce".
+    pub ty: String,
+    /// Input chunk (maps) or partition index (reduces).
+    pub chunk: i64,
+    /// Chunk replica locations (maps).
+    pub locs: Vec<String>,
+    /// Number of reduce partitions in the job.
+    pub nreduces: i64,
+    /// Job type ("wordcount", "grep:&lt;pattern&gt;").
+    pub job_type: String,
+}
+
+/// Decode a `launch` row.
+pub fn parse_launch(row: &Row) -> Option<Launch> {
+    if row.len() != 9 {
+        return None;
+    }
+    Some(Launch {
+        job: row[1].as_int()?,
+        task: row[2].as_int()?,
+        attempt: row[3].as_int()?,
+        ty: row[4].as_str()?.to_string(),
+        chunk: row[5].as_int()?,
+        locs: row[6]
+            .as_list()?
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect(),
+        nreduces: row[7].as_int()?,
+        job_type: row[8].as_str()?.to_string(),
+    })
+}
+
+/// Decode an `mr_response` row into `(job, status, time)`.
+pub fn parse_mr_response(row: &Row) -> Option<(i64, String, i64)> {
+    if row.len() != 4 {
+        return None;
+    }
+    Some((
+        row[1].as_int()?,
+        row[2].as_str()?.to_string(),
+        row[3].as_int()?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_round_trip() {
+        let row: Row = Arc::new(vec![
+            Value::addr("tt0"),
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(0),
+            Value::str("map"),
+            Value::Int(42),
+            Value::list(vec![Value::addr("dn0"), Value::addr("dn1")]),
+            Value::Int(3),
+            Value::str("wordcount"),
+        ]);
+        let l = parse_launch(&row).unwrap();
+        assert_eq!(l.job, 1);
+        assert_eq!(l.ty, "map");
+        assert_eq!(l.locs, vec!["dn0", "dn1"]);
+        assert_eq!(l.nreduces, 3);
+    }
+
+    #[test]
+    fn mr_response_parses() {
+        let row: Row = Arc::new(vec![
+            Value::addr("c"),
+            Value::Int(7),
+            Value::str("done"),
+            Value::Int(1234),
+        ]);
+        assert_eq!(
+            parse_mr_response(&row),
+            Some((7, "done".to_string(), 1234))
+        );
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        assert!(parse_launch(&Arc::new(vec![Value::Int(0)])).is_none());
+        assert!(parse_mr_response(&Arc::new(vec![Value::Int(0)])).is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Synthetic workload generation: deterministic skewed text corpora (the
+//! stand-in for the paper's wordcount inputs) and the simulated task-cost
+//! model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Vocabulary used for synthetic text; weights give a mildly skewed
+/// distribution like natural text.
+const VOCAB: [(&str, u32); 20] = [
+    ("the", 30),
+    ("of", 20),
+    ("and", 18),
+    ("to", 16),
+    ("cloud", 8),
+    ("data", 8),
+    ("boom", 6),
+    ("overlog", 5),
+    ("paxos", 4),
+    ("chunk", 4),
+    ("query", 4),
+    ("join", 3),
+    ("table", 3),
+    ("rule", 3),
+    ("lattice", 2),
+    ("datalog", 2),
+    ("fixpoint", 2),
+    ("stratum", 2),
+    ("hadoop", 2),
+    ("namenode", 2),
+];
+
+/// Generate `nwords` of deterministic skewed text from a seed.
+pub fn synth_text(seed: u64, nwords: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: u32 = VOCAB.iter().map(|(_, w)| w).sum();
+    let mut out = String::with_capacity(nwords * 6);
+    for i in 0..nwords {
+        let mut pick = rng.gen_range(0..total);
+        for (word, w) in VOCAB {
+            if pick < w {
+                out.push_str(word);
+                break;
+            }
+            pick -= w;
+        }
+        out.push(if i % 12 == 11 { '\n' } else { ' ' });
+    }
+    out
+}
+
+/// Exact wordcount of a text (the reference against which MR output is
+/// checked).
+pub fn reference_wordcount(text: &str) -> std::collections::BTreeMap<String, i64> {
+    let mut counts = std::collections::BTreeMap::new();
+    for w in text.split_whitespace() {
+        *counts.entry(w.to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Simulated task-cost model: how long a task occupies its slot, before
+/// the node's speed factor is applied.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Map cost: ms per KiB of input chunk data.
+    pub map_ms_per_kib: f64,
+    /// Reduce cost: ms per thousand shuffled records.
+    pub reduce_ms_per_krec: f64,
+    /// Floor on any task's duration.
+    pub min_ms: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            map_ms_per_kib: 800.0,
+            reduce_ms_per_krec: 1200.0,
+            min_ms: 400,
+        }
+    }
+}
+
+impl CostModel {
+    /// Duration of a map task over `bytes` of input on a node with the
+    /// given speed factor (1.0 = nominal; <1 = slow node).
+    pub fn map_duration(&self, bytes: usize, speed: f64) -> u64 {
+        let base = self.map_ms_per_kib * (bytes as f64 / 1024.0);
+        ((base.max(self.min_ms as f64)) / speed.max(0.01)) as u64
+    }
+
+    /// Duration of a reduce task over `records` shuffled records.
+    pub fn reduce_duration(&self, records: usize, speed: f64) -> u64 {
+        let base = self.reduce_ms_per_krec * (records as f64 / 1000.0);
+        ((base.max(self.min_ms as f64)) / speed.max(0.01)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_is_deterministic_and_sized() {
+        let a = synth_text(1, 1000);
+        let b = synth_text(1, 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, synth_text(2, 1000));
+        assert_eq!(a.split_whitespace().count(), 1000);
+    }
+
+    #[test]
+    fn reference_wordcount_sums_to_total() {
+        let text = synth_text(3, 500);
+        let counts = reference_wordcount(&text);
+        let total: i64 = counts.values().sum();
+        assert_eq!(total, 500);
+        assert!(counts.contains_key("the"), "skew favors common words");
+    }
+
+    #[test]
+    fn cost_model_scales() {
+        let m = CostModel::default();
+        assert!(m.map_duration(64 * 1024, 1.0) > m.map_duration(4 * 1024, 1.0));
+        assert!(m.map_duration(4 * 1024, 0.25) > m.map_duration(4 * 1024, 1.0));
+        assert!(m.map_duration(1, 1.0) >= m.min_ms);
+    }
+}

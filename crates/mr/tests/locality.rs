@@ -1,0 +1,59 @@
+//! The locality-preferring assignment policy (ablation A1): swapping four
+//! Overlog rules turns FIFO placement into Hadoop-style locality
+//! scheduling, measurably raising the fraction of map inputs read from
+//! the co-located DataNode.
+
+use boom_mr::{CostModel, MrClusterBuilder, MrDriver, MrJob, TaskTracker};
+
+fn run(locality: bool) -> (f64, std::collections::BTreeMap<String, i64>) {
+    let mut c = MrClusterBuilder {
+        locality,
+        workers: 6,
+        chunk_size: 2048,
+        replication: 2,
+        cost: CostModel {
+            map_ms_per_kib: 200.0,
+            reduce_ms_per_krec: 200.0,
+            min_ms: 100,
+        },
+        ..Default::default()
+    }
+    .build();
+    let inputs = c.load_corpus(21, 3, 3_000).unwrap();
+    let fs = c.fs.clone();
+    let mut driver = c.driver.clone();
+    let job = MrJob {
+        job_type: "wordcount".into(),
+        inputs,
+        nreduces: 2,
+        outdir: "/out".into(),
+    };
+    let deadline = c.sim.now() + 10_000_000;
+    let (job_id, _) = driver.run(&mut c.sim, &fs, &job, deadline).unwrap();
+    let (mut local, mut remote) = (0u64, 0u64);
+    for tt in c.trackers.clone() {
+        let (l, r) = c
+            .sim
+            .with_actor::<TaskTracker, _>(&tt, |t| (t.local_reads, t.remote_reads));
+        local += l;
+        remote += r;
+    }
+    let frac = local as f64 / (local + remote).max(1) as f64;
+    let out = MrDriver::collect_output(&mut c.sim, &c.trackers.clone(), job_id);
+    (frac, out)
+}
+
+#[test]
+fn locality_policy_raises_local_read_fraction() {
+    let (fifo_frac, fifo_out) = run(false);
+    let (loc_frac, loc_out) = run(true);
+    assert_eq!(fifo_out, loc_out, "policy must not change results");
+    assert!(
+        loc_frac > fifo_frac + 0.2,
+        "locality {loc_frac:.2} should clearly beat fifo {fifo_frac:.2}"
+    );
+    assert!(
+        loc_frac > 0.7,
+        "most reads should be local under the locality policy, got {loc_frac:.2}"
+    );
+}

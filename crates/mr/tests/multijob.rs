@@ -1,0 +1,107 @@
+//! Multiple concurrent jobs through one JobTracker: FIFO inter-job
+//! ordering, isolated outputs, and correct completion notifications.
+
+use boom_mr::{reference_wordcount, synth_text, CostModel, MrClusterBuilder, MrDriver, MrJob};
+use std::collections::BTreeMap;
+
+#[test]
+fn two_jobs_run_fifo_and_do_not_mix_outputs() {
+    let mut c = MrClusterBuilder {
+        workers: 4,
+        chunk_size: 2048,
+        cost: CostModel {
+            map_ms_per_kib: 150.0,
+            reduce_ms_per_krec: 150.0,
+            min_ms: 80,
+        },
+        ..Default::default()
+    }
+    .build();
+    // Two distinct corpora.
+    c.fs.mkdir(&mut c.sim, "/input").unwrap();
+    let mut texts = Vec::new();
+    for i in 0..2u64 {
+        let text = synth_text(400 + i, 2_000);
+        c.fs
+            .write_file(&mut c.sim, &format!("/input/j{i}"), &text)
+            .unwrap();
+        texts.push(text);
+    }
+    let fs = c.fs.clone();
+    let mut driver = c.driver.clone();
+    // Submit both jobs back-to-back before either completes.
+    let j1 = driver
+        .submit(
+            &mut c.sim,
+            &fs,
+            &MrJob {
+                job_type: "wordcount".into(),
+                inputs: vec!["/input/j0".into()],
+                nreduces: 2,
+                outdir: "/out1".into(),
+            },
+        )
+        .unwrap();
+    let j2 = driver
+        .submit(
+            &mut c.sim,
+            &fs,
+            &MrJob {
+                job_type: "grep:paxos".into(),
+                inputs: vec!["/input/j1".into()],
+                nreduces: 2,
+                outdir: "/out2".into(),
+            },
+        )
+        .unwrap();
+    let deadline = c.sim.now() + 10_000_000;
+    let done1 = driver.wait(&mut c.sim, j1, deadline).expect("job 1 completes");
+    let done2 = driver.wait(&mut c.sim, j2, deadline).expect("job 2 completes");
+    // FIFO: the first-submitted job finishes no later than the second.
+    assert!(done1 <= done2, "FIFO violated: {done1} > {done2}");
+
+    // Outputs are isolated and correct.
+    let out1 = MrDriver::collect_output(&mut c.sim, &c.trackers.clone(), j1);
+    let expect1: BTreeMap<String, i64> = reference_wordcount(&texts[0]);
+    assert_eq!(out1, expect1, "job 1 output wrong or polluted by job 2");
+    let out2 = MrDriver::collect_output(&mut c.sim, &c.trackers.clone(), j2);
+    assert!(!out2.is_empty());
+    for line in out2.keys() {
+        assert!(line.contains("paxos"));
+    }
+    // Task measurements attribute to the right jobs.
+    let times = c.task_times();
+    assert!(times.iter().any(|t| t.job == j1));
+    assert!(times.iter().any(|t| t.job == j2));
+}
+
+#[test]
+fn five_sequential_jobs_reuse_the_cluster() {
+    let mut c = MrClusterBuilder {
+        workers: 3,
+        chunk_size: 2048,
+        cost: CostModel {
+            map_ms_per_kib: 100.0,
+            reduce_ms_per_krec: 100.0,
+            min_ms: 50,
+        },
+        ..Default::default()
+    }
+    .build();
+    let inputs = c.load_corpus(500, 1, 1_000).unwrap();
+    let fs = c.fs.clone();
+    let mut driver = c.driver.clone();
+    for round in 0..5 {
+        let job = MrJob {
+            job_type: "wordcount".into(),
+            inputs: inputs.clone(),
+            nreduces: 2,
+            outdir: format!("/out{round}"),
+        };
+        let deadline = c.sim.now() + 10_000_000;
+        let (job_id, _) = driver.run(&mut c.sim, &fs, &job, deadline).unwrap();
+        let out = MrDriver::collect_output(&mut c.sim, &c.trackers.clone(), job_id);
+        let total: i64 = out.values().sum();
+        assert_eq!(total, 1_000, "round {round}");
+    }
+}

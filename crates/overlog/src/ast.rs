@@ -1,0 +1,395 @@
+//! Abstract syntax for Overlog programs.
+//!
+//! The grammar follows JOL's published syntax:
+//!
+//! ```text
+//! program boomfs;
+//! define(file, keys(0), {Int, Int, String, Bool});
+//! event request, {Addr, Int, String, Value};
+//! timer(heartbeat, 3000);
+//! watch(file);
+//! file(1, 0, "", true);                                   // fact
+//! r1 fqpath(Path, F) :- file(F, D, N, _), fqpath(P, D),   // named rule
+//!                       Path := P ++ "/" ++ N;
+//! delete file(F, D, N, X) :- rm_req(F), file(F, D, N, X); // deletion rule
+//! cnt(count<F>) :- file(F, _, _, _);                       // aggregate rule
+//! response(@Src, Id, R) :- request(@Me, Src, Id), ...;     // location spec
+//! ```
+
+use crate::value::{TypeTag, Value};
+use std::fmt;
+
+/// A parsed Overlog program: an optional `program` name plus statements in
+/// source order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Name from the `program <name>;` header, if present.
+    pub name: Option<String>,
+    /// All statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+impl Program {
+    /// Iterate over just the rules of the program.
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> {
+        self.statements.iter().filter_map(|s| match s {
+            Statement::Rule(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Iterate over just the table declarations.
+    pub fn declarations(&self) -> impl Iterator<Item = &TableDecl> {
+        self.statements.iter().filter_map(|s| match s {
+            Statement::Define(d) => Some(d),
+            _ => None,
+        })
+    }
+}
+
+/// One top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `define(name, keys(...), {T, ...});` or `event name, {T, ...};`
+    Define(TableDecl),
+    /// A ground fact `table(v, ...);` — arguments must be constant
+    /// expressions.
+    Fact {
+        /// Target table.
+        table: String,
+        /// Constant argument expressions.
+        values: Vec<Expr>,
+    },
+    /// A deductive or deletion rule.
+    Rule(Rule),
+    /// `timer(name, interval_ms);` — declares a periodic event stream
+    /// `name(Tick)` fired by the runtime every `interval_ms` of virtual time.
+    Timer {
+        /// Event-table name the timer feeds.
+        name: String,
+        /// Firing interval in milliseconds of virtual time.
+        interval_ms: u64,
+    },
+    /// `watch(table);` — record all tuples inserted into `table` in the
+    /// runtime trace (the paper's monitoring hook).
+    Watch {
+        /// Watched table name.
+        table: String,
+    },
+}
+
+/// How a table stores tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Persistent across timesteps; primary-key overwrite semantics.
+    Materialized,
+    /// Ephemeral: tuples live for exactly one timestep.
+    Event,
+}
+
+/// A table schema declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDecl {
+    /// Relation name.
+    pub name: String,
+    /// Primary-key column indexes; `None` means the whole row is the key.
+    pub keys: Option<Vec<usize>>,
+    /// Declared column types.
+    pub types: Vec<TypeTag>,
+    /// Materialized or event.
+    pub kind: TableKind,
+}
+
+impl TableDecl {
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.types.len()
+    }
+}
+
+/// Aggregate functions usable in rule heads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// `count<X>` / `count<*>`
+    Count,
+    /// `sum<X>`
+    Sum,
+    /// `min<X>`
+    Min,
+    /// `max<X>`
+    Max,
+    /// `avg<X>`
+    Avg,
+    /// `set<X>` — the sorted list of distinct values in the group (JOL's
+    /// tuple-set aggregate); produces a `List` value.
+    Set,
+}
+
+impl fmt::Display for AggKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggKind::Count => "count",
+            AggKind::Sum => "sum",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+            AggKind::Avg => "avg",
+            AggKind::Set => "set",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One argument position of a rule head.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadArg {
+    /// An ordinary expression over body-bound variables.
+    Expr(Expr),
+    /// An aggregate over the group: `kind<var>`; `var == None` means `*`.
+    Agg(AggKind, Option<String>),
+}
+
+/// The head of a rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Head {
+    /// Target table.
+    pub table: String,
+    /// Argument expressions / aggregates.
+    pub args: Vec<HeadArg>,
+    /// Index of the argument carrying a `@` location specifier, if any.
+    pub loc: Option<usize>,
+}
+
+/// A rule: `head :- body;` (optionally `delete head :- body;`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Optional rule name (identifier before the head).
+    pub name: Option<String>,
+    /// When true, derived head tuples are *deleted* from the target table at
+    /// the end of the timestep instead of inserted.
+    pub delete: bool,
+    /// Rule head.
+    pub head: Head,
+    /// Body elements in source order; join order follows source order.
+    pub body: Vec<BodyElem>,
+}
+
+impl Rule {
+    /// A printable identifier for error messages.
+    pub fn label(&self, index: usize) -> String {
+        self.name
+            .clone()
+            .unwrap_or_else(|| format!("rule#{index}({})", self.head.table))
+    }
+
+    /// Iterate the positive body predicates.
+    pub fn positive_predicates(&self) -> impl Iterator<Item = &Predicate> {
+        self.body.iter().filter_map(|b| match b {
+            BodyElem::Pred(p) if !p.negated => Some(p),
+            _ => None,
+        })
+    }
+
+    /// Does the head contain any aggregate argument?
+    pub fn is_aggregate(&self) -> bool {
+        self.head
+            .args
+            .iter()
+            .any(|a| matches!(a, HeadArg::Agg(_, _)))
+    }
+}
+
+/// One element of a rule body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyElem {
+    /// A (possibly negated) relational predicate.
+    Pred(Predicate),
+    /// A boolean condition over bound variables.
+    Cond(Expr),
+    /// A variable assignment `X := expr`.
+    Assign(String, Expr),
+}
+
+/// A body predicate `table(args)` or `notin table(args)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Referenced table.
+    pub table: String,
+    /// When true this is a `notin` (negated) predicate.
+    pub negated: bool,
+    /// Argument patterns. Unbound variables bind; bound variables and other
+    /// expressions are evaluated and matched for equality; `_` matches
+    /// anything.
+    pub args: Vec<Expr>,
+    /// Index of the argument carrying `@` (informational in bodies).
+    pub loc: Option<usize>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `++` string/list concatenation
+    Concat,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Concat => "++",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean not.
+    Not,
+}
+
+/// Expressions over tuple variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Lit(Value),
+    /// Variable reference (capitalized identifier in source).
+    Var(String),
+    /// `_` — matches anything in body-predicate positions.
+    Wildcard,
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Builtin function call `f(args)` (lowercase identifier).
+    Call(String, Vec<Expr>),
+    /// List literal `[a, b, c]`.
+    ListLit(Vec<Expr>),
+}
+
+impl Expr {
+    /// Collect free variables of the expression into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Unary(_, a) => a.collect_vars(out),
+            Expr::Call(_, args) | Expr::ListLit(args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            Expr::Lit(_) | Expr::Wildcard => {}
+        }
+    }
+
+    /// True for bare variable references.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Expr::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_vars_dedupes_and_recurses() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Var("X".into())),
+            Box::new(Expr::Call(
+                "f".into(),
+                vec![Expr::Var("X".into()), Expr::Var("Y".into())],
+            )),
+        );
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["X".to_string(), "Y".to_string()]);
+    }
+
+    #[test]
+    fn rule_label_prefers_name() {
+        let r = Rule {
+            name: Some("r1".into()),
+            delete: false,
+            head: Head {
+                table: "t".into(),
+                args: vec![],
+                loc: None,
+            },
+            body: vec![],
+        };
+        assert_eq!(r.label(7), "r1");
+        let anon = Rule { name: None, ..r };
+        assert_eq!(anon.label(7), "rule#7(t)");
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let r = Rule {
+            name: None,
+            delete: false,
+            head: Head {
+                table: "t".into(),
+                args: vec![
+                    HeadArg::Expr(Expr::Var("X".into())),
+                    HeadArg::Agg(AggKind::Count, None),
+                ],
+                loc: None,
+            },
+            body: vec![],
+        };
+        assert!(r.is_aggregate());
+    }
+}

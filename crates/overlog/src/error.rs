@@ -1,0 +1,95 @@
+//! Error types for the Overlog engine.
+
+use std::fmt;
+
+/// Any error produced while parsing, planning or evaluating Overlog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlogError {
+    /// Lexical or syntactic error with source position.
+    Parse {
+        /// 1-based line number in the program source.
+        line: usize,
+        /// 1-based column number.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A rule references a table that was never declared.
+    UnknownTable(String),
+    /// A tuple's arity does not match the table declaration.
+    ArityMismatch {
+        /// Table name.
+        table: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity of the offending tuple or predicate.
+        got: usize,
+    },
+    /// A tuple column violates the declared type.
+    TypeMismatch {
+        /// Table name.
+        table: String,
+        /// Column index.
+        col: usize,
+        /// Declared type.
+        expected: String,
+        /// Actual value.
+        got: String,
+    },
+    /// The program cannot be stratified (negation or aggregation in a cycle).
+    Unstratifiable(String),
+    /// A rule is unsafe: a head or condition variable is not bound by any
+    /// positive body predicate.
+    UnsafeRule {
+        /// Rule identifier (name or index).
+        rule: String,
+        /// The unbound variable.
+        var: String,
+    },
+    /// Runtime expression evaluation failure (bad operand types, unknown
+    /// function, division by zero, ...).
+    Eval(String),
+    /// A duplicate table declaration with a conflicting schema.
+    Redefinition(String),
+}
+
+impl fmt::Display for OverlogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlogError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            OverlogError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            OverlogError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for `{table}`: declared {expected}, got {got}"
+            ),
+            OverlogError::TypeMismatch {
+                table,
+                col,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for `{table}` column {col}: declared {expected}, got {got}"
+            ),
+            OverlogError::Unstratifiable(msg) => write!(f, "program is not stratifiable: {msg}"),
+            OverlogError::UnsafeRule { rule, var } => {
+                write!(f, "unsafe rule `{rule}`: variable `{var}` is not bound")
+            }
+            OverlogError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            OverlogError::Redefinition(t) => {
+                write!(f, "table `{t}` redefined with a conflicting schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OverlogError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, OverlogError>;

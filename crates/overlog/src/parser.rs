@@ -1,0 +1,1079 @@
+//! Hand-written lexer and recursive-descent parser for Overlog source.
+
+use crate::ast::*;
+use crate::error::{OverlogError, Result};
+use crate::value::{TypeTag, Value};
+
+/// Parse a complete Overlog program from source text.
+pub fn parse_program(src: &str) -> Result<Program> {
+    Parser::new(src)?.program()
+}
+
+/// Parse a single expression (used by tests and the trace REPL).
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    UpperIdent(String),
+    LowerIdent(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Turnstile, // :-
+    Assign,    // :=
+    At,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Concat, // ++
+    AndAnd,
+    OrOr,
+    Bang,
+    Underscore,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! err {
+        ($($a:tt)*) => {
+            return Err(OverlogError::Parse { line, col, msg: format!($($a)*) })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (l, co) = (line, col);
+        let mut push = |t: Tok, n: usize, col: &mut usize, i: &mut usize| {
+            out.push(Spanned {
+                tok: t,
+                line: l,
+                col: co,
+            });
+            *col += n;
+            *i += n;
+        };
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        err!("unterminated block comment");
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => push(Tok::LParen, 1, &mut col, &mut i),
+            ')' => push(Tok::RParen, 1, &mut col, &mut i),
+            '{' => push(Tok::LBrace, 1, &mut col, &mut i),
+            '}' => push(Tok::RBrace, 1, &mut col, &mut i),
+            '[' => push(Tok::LBracket, 1, &mut col, &mut i),
+            ']' => push(Tok::RBracket, 1, &mut col, &mut i),
+            ',' => push(Tok::Comma, 1, &mut col, &mut i),
+            ';' => push(Tok::Semi, 1, &mut col, &mut i),
+            '@' => push(Tok::At, 1, &mut col, &mut i),
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '-' {
+                    push(Tok::Turnstile, 2, &mut col, &mut i);
+                } else if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push(Tok::Assign, 2, &mut col, &mut i);
+                } else {
+                    err!("expected `:-` or `:=`");
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push(Tok::Le, 2, &mut col, &mut i);
+                } else {
+                    push(Tok::Lt, 1, &mut col, &mut i);
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push(Tok::Ge, 2, &mut col, &mut i);
+                } else {
+                    push(Tok::Gt, 1, &mut col, &mut i);
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push(Tok::EqEq, 2, &mut col, &mut i);
+                } else {
+                    err!("expected `==` (single `=` is not an operator)");
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push(Tok::Ne, 2, &mut col, &mut i);
+                } else {
+                    push(Tok::Bang, 1, &mut col, &mut i);
+                }
+            }
+            '+' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '+' {
+                    push(Tok::Concat, 2, &mut col, &mut i);
+                } else {
+                    push(Tok::Plus, 1, &mut col, &mut i);
+                }
+            }
+            '-' => push(Tok::Minus, 1, &mut col, &mut i),
+            '*' => push(Tok::Star, 1, &mut col, &mut i),
+            '/' => push(Tok::Slash, 1, &mut col, &mut i),
+            '%' => push(Tok::Percent, 1, &mut col, &mut i),
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '&' {
+                    push(Tok::AndAnd, 2, &mut col, &mut i);
+                } else {
+                    err!("expected `&&`");
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '|' {
+                    push(Tok::OrOr, 2, &mut col, &mut i);
+                } else {
+                    err!("expected `||`");
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut c2 = col + 1;
+                loop {
+                    if j >= bytes.len() {
+                        err!("unterminated string literal");
+                    }
+                    match bytes[j] {
+                        '"' => break,
+                        '\\' => {
+                            if j + 1 >= bytes.len() {
+                                err!("bad escape");
+                            }
+                            let e = bytes[j + 1];
+                            s.push(match e {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => other,
+                            });
+                            j += 2;
+                            c2 += 2;
+                        }
+                        '\n' => err!("newline in string literal"),
+                        other => {
+                            s.push(other);
+                            j += 1;
+                            c2 += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                    col,
+                });
+                i = j + 1;
+                col = c2 + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let mut is_float = false;
+                if j + 1 < bytes.len() && bytes[j] == '.' && bytes[j + 1].is_ascii_digit() {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text: String = bytes[start..j].iter().filter(|c| **c != '_').collect();
+                let tok = if is_float {
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| OverlogError::Parse {
+                                line,
+                                col,
+                                msg: format!("bad float literal `{text}`"),
+                            })?,
+                    )
+                } else {
+                    Tok::Int(text.parse().map_err(|_| OverlogError::Parse {
+                        line,
+                        col,
+                        msg: format!("bad int literal `{text}`"),
+                    })?)
+                };
+                out.push(Spanned { tok, line, col });
+                col += j - i;
+                i = j;
+            }
+            '_' if i + 1 >= bytes.len() || !ident_char(bytes[i + 1]) => {
+                push(Tok::Underscore, 1, &mut col, &mut i)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && ident_char(bytes[j]) {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let first = text.chars().next().unwrap_or('_');
+                let tok = if first.is_ascii_uppercase() {
+                    Tok::UpperIdent(text)
+                } else {
+                    Tok::LowerIdent(text)
+                };
+                out.push(Spanned { tok, line, col });
+                col += j - i;
+                i = j;
+            }
+            other => err!("unexpected character `{other}`"),
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+fn ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let s = &self.toks[self.pos];
+        (s.line, s.col)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        let (line, col) = self.here();
+        Err(OverlogError::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<()> {
+        if *self.peek() == t {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            self.err(format!("trailing input: {:?}", self.peek()))
+        }
+    }
+
+    fn lower_ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            Tok::LowerIdent(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut name = None;
+        if let Tok::LowerIdent(kw) = self.peek() {
+            if kw == "program" {
+                self.next();
+                name = Some(self.lower_ident("program name")?);
+                self.expect(Tok::Semi, "`;`")?;
+            }
+        }
+        let mut statements = Vec::new();
+        while *self.peek() != Tok::Eof {
+            statements.push(self.statement()?);
+        }
+        Ok(Program { name, statements })
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek().clone() {
+            Tok::LowerIdent(kw) if kw == "define" && *self.peek2() == Tok::LParen => {
+                self.define_stmt()
+            }
+            Tok::LowerIdent(kw) if kw == "event" => self.event_stmt(),
+            Tok::LowerIdent(kw)
+                if (kw == "timer" || kw == "periodic") && *self.peek2() == Tok::LParen =>
+            {
+                self.timer_stmt()
+            }
+            Tok::LowerIdent(kw) if kw == "watch" && *self.peek2() == Tok::LParen => {
+                self.watch_stmt()
+            }
+            Tok::LowerIdent(kw) if kw == "delete" => {
+                self.next();
+                let mut rule = self.rule_after_name(None)?;
+                rule.delete = true;
+                Ok(Statement::Rule(rule))
+            }
+            Tok::LowerIdent(_) => self.rule_or_fact(),
+            other => self.err(format!("expected statement, found {other:?}")),
+        }
+    }
+
+    /// `define(name, keys(0,1), {Int, String});` — keys clause optional.
+    fn define_stmt(&mut self) -> Result<Statement> {
+        self.next(); // define
+        self.expect(Tok::LParen, "`(`")?;
+        let name = self.lower_ident("table name")?;
+        self.expect(Tok::Comma, "`,`")?;
+        let mut keys = None;
+        if let Tok::LowerIdent(kw) = self.peek() {
+            if kw == "keys" {
+                self.next();
+                self.expect(Tok::LParen, "`(`")?;
+                let mut ks = Vec::new();
+                if *self.peek() != Tok::RParen {
+                    loop {
+                        match self.next() {
+                            Tok::Int(i) if i >= 0 => ks.push(i as usize),
+                            other => {
+                                return self.err(format!("expected key column, found {other:?}"))
+                            }
+                        }
+                        if *self.peek() == Tok::Comma {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RParen, "`)`")?;
+                self.expect(Tok::Comma, "`,`")?;
+                keys = Some(ks);
+            }
+        }
+        let types = self.type_list()?;
+        self.expect(Tok::RParen, "`)`")?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(Statement::Define(TableDecl {
+            name,
+            keys,
+            types,
+            kind: TableKind::Materialized,
+        }))
+    }
+
+    /// `event name, {Int, String};`
+    fn event_stmt(&mut self) -> Result<Statement> {
+        self.next(); // event
+        let name = self.lower_ident("event table name")?;
+        self.expect(Tok::Comma, "`,`")?;
+        let types = self.type_list()?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(Statement::Define(TableDecl {
+            name,
+            keys: None,
+            types,
+            kind: TableKind::Event,
+        }))
+    }
+
+    fn type_list(&mut self) -> Result<Vec<TypeTag>> {
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut types = Vec::new();
+        if *self.peek() != Tok::RBrace {
+            loop {
+                let name = match self.next() {
+                    Tok::UpperIdent(s) | Tok::LowerIdent(s) => s,
+                    other => return self.err(format!("expected type name, found {other:?}")),
+                };
+                let (line, col) = self.here();
+                let tag = TypeTag::parse(&name).ok_or(OverlogError::Parse {
+                    line,
+                    col,
+                    msg: format!("unknown type `{name}`"),
+                })?;
+                types.push(tag);
+                if *self.peek() == Tok::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RBrace, "`}`")?;
+        Ok(types)
+    }
+
+    fn timer_stmt(&mut self) -> Result<Statement> {
+        self.next(); // timer / periodic
+        self.expect(Tok::LParen, "`(`")?;
+        let name = self.lower_ident("timer name")?;
+        self.expect(Tok::Comma, "`,`")?;
+        let interval_ms = match self.next() {
+            Tok::Int(i) if i > 0 => i as u64,
+            other => return self.err(format!("expected positive interval, found {other:?}")),
+        };
+        self.expect(Tok::RParen, "`)`")?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(Statement::Timer { name, interval_ms })
+    }
+
+    fn watch_stmt(&mut self) -> Result<Statement> {
+        self.next(); // watch
+        self.expect(Tok::LParen, "`(`")?;
+        let table = self.lower_ident("table name")?;
+        self.expect(Tok::RParen, "`)`")?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(Statement::Watch { table })
+    }
+
+    /// Disambiguate `name head(...) :- ...;`, `head(...) :- ...;`, and facts.
+    fn rule_or_fact(&mut self) -> Result<Statement> {
+        // Optional rule name: lower ident immediately followed by another
+        // lower ident (the head table).
+        let name = if matches!(self.peek(), Tok::LowerIdent(_))
+            && matches!(self.peek2(), Tok::LowerIdent(_))
+        {
+            match self.next() {
+                Tok::LowerIdent(s) => Some(s),
+                _ => unreachable!("peeked LowerIdent"),
+            }
+        } else {
+            None
+        };
+        let save = self.pos;
+        let table = self.lower_ident("table name")?;
+        let (args, loc) = self.head_args()?;
+        match self.peek() {
+            Tok::Semi if name.is_none() => {
+                self.next();
+                // A bare `t(...)` with no body is a fact; args must be
+                // constant expressions (validated at load time).
+                let values = args
+                    .into_iter()
+                    .map(|a| match a {
+                        HeadArg::Expr(e) => Ok(e),
+                        HeadArg::Agg(_, _) => self.err("aggregates not allowed in facts"),
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Statement::Fact { table, values })
+            }
+            Tok::Turnstile => {
+                self.next();
+                let body = self.body()?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Statement::Rule(Rule {
+                    name,
+                    delete: false,
+                    head: Head { table, args, loc },
+                    body,
+                }))
+            }
+            _ => {
+                self.pos = save;
+                self.err("expected `:-` or `;` after head")
+            }
+        }
+    }
+
+    fn rule_after_name(&mut self, name: Option<String>) -> Result<Rule> {
+        let table = self.lower_ident("table name")?;
+        let (args, loc) = self.head_args()?;
+        self.expect(Tok::Turnstile, "`:-`")?;
+        let body = self.body()?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(Rule {
+            name,
+            delete: false,
+            head: Head { table, args, loc },
+            body,
+        })
+    }
+
+    fn head_args(&mut self) -> Result<(Vec<HeadArg>, Option<usize>)> {
+        self.expect(Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        let mut loc = None;
+        if *self.peek() != Tok::RParen {
+            loop {
+                let idx = args.len();
+                if *self.peek() == Tok::At {
+                    self.next();
+                    if loc.is_some() {
+                        return self.err("multiple location specifiers in head");
+                    }
+                    loc = Some(idx);
+                }
+                args.push(self.head_arg()?);
+                if *self.peek() == Tok::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        Ok((args, loc))
+    }
+
+    fn head_arg(&mut self) -> Result<HeadArg> {
+        // Aggregate: agg-ident `<` (Var | `*`) `>`
+        if let Tok::LowerIdent(kw) = self.peek().clone() {
+            let agg = match kw.as_str() {
+                "count" => Some(AggKind::Count),
+                "sum" => Some(AggKind::Sum),
+                "min" => Some(AggKind::Min),
+                "max" => Some(AggKind::Max),
+                "avg" => Some(AggKind::Avg),
+                "set" => Some(AggKind::Set),
+                _ => None,
+            };
+            if let Some(kind) = agg {
+                if *self.peek2() == Tok::Lt {
+                    self.next(); // agg name
+                    self.next(); // <
+                    let var = match self.next() {
+                        Tok::UpperIdent(v) => Some(v),
+                        Tok::Star => None,
+                        other => {
+                            return self
+                                .err(format!("expected variable or `*` in aggregate, found {other:?}"))
+                        }
+                    };
+                    self.expect(Tok::Gt, "`>`")?;
+                    return Ok(HeadArg::Agg(kind, var));
+                }
+            }
+        }
+        Ok(HeadArg::Expr(self.expr()?))
+    }
+
+    fn body(&mut self) -> Result<Vec<BodyElem>> {
+        let mut elems = Vec::new();
+        loop {
+            elems.push(self.body_elem()?);
+            if *self.peek() == Tok::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(elems)
+    }
+
+    fn body_elem(&mut self) -> Result<BodyElem> {
+        // notin pred(...)
+        if let Tok::LowerIdent(kw) = self.peek() {
+            if kw == "notin" {
+                self.next();
+                let mut p = self.predicate()?;
+                p.negated = true;
+                return Ok(BodyElem::Pred(p));
+            }
+        }
+        // Assignment: UpperIdent :=
+        if matches!(self.peek(), Tok::UpperIdent(_)) && *self.peek2() == Tok::Assign {
+            let var = match self.next() {
+                Tok::UpperIdent(v) => v,
+                _ => unreachable!("peeked UpperIdent"),
+            };
+            self.next(); // :=
+            let e = self.expr()?;
+            return Ok(BodyElem::Assign(var, e));
+        }
+        // Predicate: lower ident followed by `(` ... but builtin calls also
+        // look like that. In body position a bare `f(...)` is a predicate;
+        // function calls only occur inside larger expressions or conditions
+        // (comparisons). Distinguish by what follows the closing paren:
+        // a predicate is followed by `,` or `;`; an expression continues with
+        // an operator. We parse as predicate first when it is a declared-table
+        // shape, falling back to expression on operator continuation.
+        if matches!(self.peek(), Tok::LowerIdent(_)) && *self.peek2() == Tok::LParen {
+            let save = self.pos;
+            let p = self.predicate()?;
+            match self.peek() {
+                Tok::Comma | Tok::Semi => return Ok(BodyElem::Pred(p)),
+                _ => {
+                    // Operator follows: reparse as a condition expression.
+                    self.pos = save;
+                }
+            }
+        }
+        Ok(BodyElem::Cond(self.expr()?))
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let table = self.lower_ident("predicate table")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        let mut loc = None;
+        if *self.peek() != Tok::RParen {
+            loop {
+                if *self.peek() == Tok::At {
+                    self.next();
+                    if loc.is_some() {
+                        return self.err("multiple location specifiers in predicate");
+                    }
+                    loc = Some(args.len());
+                }
+                args.push(self.expr()?);
+                if *self.peek() == Tok::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        Ok(Predicate {
+            table,
+            negated: false,
+            args,
+            loc,
+        })
+    }
+
+    // --- expressions (precedence climbing) ---
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Tok::AndAnd {
+            self.next();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                Tok::Concat => BinOp::Concat,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Tok::Minus => {
+                self.next();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            Tok::Bang => {
+                self.next();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.next();
+                Ok(Expr::Lit(Value::Int(i)))
+            }
+            Tok::Float(f) => {
+                self.next();
+                Ok(Expr::Lit(Value::Float(f)))
+            }
+            Tok::Str(s) => {
+                self.next();
+                Ok(Expr::Lit(Value::str(s)))
+            }
+            Tok::Underscore => {
+                self.next();
+                Ok(Expr::Wildcard)
+            }
+            Tok::UpperIdent(v) => {
+                self.next();
+                Ok(Expr::Var(v))
+            }
+            Tok::LowerIdent(kw) => match kw.as_str() {
+                "true" => {
+                    self.next();
+                    Ok(Expr::Lit(Value::Bool(true)))
+                }
+                "false" => {
+                    self.next();
+                    Ok(Expr::Lit(Value::Bool(false)))
+                }
+                "null" => {
+                    self.next();
+                    Ok(Expr::Lit(Value::Null))
+                }
+                _ => {
+                    // Builtin function call.
+                    self.next();
+                    self.expect(Tok::LParen, "`(` (function call)")?;
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "`)`")?;
+                    Ok(Expr::Call(kw, args))
+                }
+            },
+            Tok::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                self.next();
+                let mut items = Vec::new();
+                if *self.peek() != Tok::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        if *self.peek() == Tok::Comma {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket, "`]`")?;
+                Ok(Expr::ListLit(items))
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BodyElem, HeadArg, Statement, TableKind};
+
+    #[test]
+    fn parses_program_header_and_define() {
+        let p = parse_program(
+            "program fs;\n define(file, keys(0), {Int, Int, String, Bool});",
+        )
+        .unwrap();
+        assert_eq!(p.name.as_deref(), Some("fs"));
+        let d = p.declarations().next().unwrap();
+        assert_eq!(d.name, "file");
+        assert_eq!(d.keys.as_deref(), Some(&[0usize][..]));
+        assert_eq!(d.arity(), 4);
+        assert_eq!(d.kind, TableKind::Materialized);
+    }
+
+    #[test]
+    fn parses_event_decl() {
+        let p = parse_program("event request, {Addr, Int, String};").unwrap();
+        let d = p.declarations().next().unwrap();
+        assert_eq!(d.kind, TableKind::Event);
+        assert_eq!(d.arity(), 3);
+    }
+
+    #[test]
+    fn parses_fact_named_rule_and_delete() {
+        let src = r#"
+            define(t, keys(0), {Int, Int});
+            t(1, 2);
+            r1 t(X, Y) :- t(Y, X), X > 0;
+            delete t(X, Y) :- gone(X), t(X, Y);
+        "#;
+        let p = parse_program(src).unwrap();
+        let mut rules = p.rules();
+        let r1 = rules.next().unwrap();
+        assert_eq!(r1.name.as_deref(), Some("r1"));
+        assert!(!r1.delete);
+        assert_eq!(r1.body.len(), 2);
+        let d = rules.next().unwrap();
+        assert!(d.delete);
+        assert!(matches!(
+            p.statements[1],
+            Statement::Fact { ref table, .. } if table == "t"
+        ));
+    }
+
+    #[test]
+    fn parses_location_specifiers() {
+        let src = "response(@Src, Id) :- request(@Me, Src, Id);";
+        let p = parse_program(src).unwrap();
+        let r = p.rules().next().unwrap();
+        assert_eq!(r.head.loc, Some(0));
+        match &r.body[0] {
+            BodyElem::Pred(pred) => assert_eq!(pred.loc, Some(0)),
+            other => panic!("expected predicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates_including_star() {
+        let src = "cnt(J, count<T>, min<S>, count<*>) :- task(J, T, S);";
+        let p = parse_program(src).unwrap();
+        let r = p.rules().next().unwrap();
+        assert!(matches!(r.head.args[1], HeadArg::Agg(AggKind::Count, Some(_))));
+        assert!(matches!(r.head.args[2], HeadArg::Agg(AggKind::Min, Some(_))));
+        assert!(matches!(r.head.args[3], HeadArg::Agg(AggKind::Count, None)));
+    }
+
+    #[test]
+    fn aggregate_names_still_usable_as_functions_or_vars() {
+        // `count` not followed by `<` must not be treated as an aggregate.
+        let e = parse_expr("count(X) + 1").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn parses_assignment_and_condition() {
+        let src = r#"p(X, Y) :- q(X), Y := X * 2 + 1, Y != 5, X < Y || X == 0;"#;
+        let p = parse_program(src).unwrap();
+        let r = p.rules().next().unwrap();
+        assert!(matches!(r.body[1], BodyElem::Assign(ref v, _) if v == "Y"));
+        assert!(matches!(r.body[2], BodyElem::Cond(_)));
+        assert!(matches!(r.body[3], BodyElem::Cond(_)));
+    }
+
+    #[test]
+    fn parses_notin() {
+        let src = "p(X) :- q(X), notin r(X, _);";
+        let p = parse_program(src).unwrap();
+        let r = p.rules().next().unwrap();
+        match &r.body[1] {
+            BodyElem::Pred(pred) => {
+                assert!(pred.negated);
+                assert!(matches!(pred.args[1], Expr::Wildcard));
+            }
+            other => panic!("expected notin predicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_string_escapes_and_concat() {
+        let e = parse_expr(r#""a\n" ++ "b""#).unwrap();
+        match e {
+            Expr::Binary(BinOp::Concat, l, _) => {
+                assert_eq!(*l, Expr::Lit(Value::str("a\n")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_timer_and_watch() {
+        let p = parse_program("timer(hb, 3000); watch(file);").unwrap();
+        assert!(matches!(
+            p.statements[0],
+            Statement::Timer { ref name, interval_ms: 3000 } if name == "hb"
+        ));
+        assert!(matches!(
+            p.statements[1],
+            Statement::Watch { ref table } if table == "file"
+        ));
+    }
+
+    #[test]
+    fn parses_comments_and_lists() {
+        let src = "// line\n/* block\n comment */ p(X) :- q(X), L := [1, 2, X];";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules().count(), 1);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr("1 + 2 * 3 == 7").unwrap();
+        // (1 + (2*3)) == 7
+        match e {
+            Expr::Binary(BinOp::Eq, l, _) => match *l {
+                Expr::Binary(BinOp::Add, _, r) => {
+                    assert!(matches!(*r, Expr::Binary(BinOp::Mul, _, _)))
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("define(t, keys(0) {Int});").unwrap_err();
+        match err {
+            OverlogError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_call_condition_in_body() {
+        // `hashmod(...) == 0` starts with what looks like a predicate but is
+        // actually a condition — the parser must backtrack.
+        let src = "p(X) :- q(X), hashmod(X, 2) == 0;";
+        let p = parse_program(src).unwrap();
+        let r = p.rules().next().unwrap();
+        assert!(matches!(r.body[1], BodyElem::Cond(_)));
+    }
+}

@@ -1,0 +1,841 @@
+//! Rule compilation: variable slotting, safety checking, join scheduling,
+//! semi-naive variants, view classification, and stratification.
+//!
+//! A rule is compiled into one [`Variant`] per positive body predicate: the
+//! variant where that predicate reads the *delta* (tuples new this round)
+//! while the others read full tables — the classic semi-naive rewrite.
+//! Each variant is an operator sequence scheduled so that every condition,
+//! assignment, and negated predicate runs as soon as its variables are
+//! bound; a rule where some element can never be scheduled is rejected as
+//! unsafe.
+
+use crate::ast::*;
+use crate::error::{OverlogError, Result};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Compiled expression: like [`Expr`] but variables are resolved to
+/// environment slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Constant.
+    Lit(Value),
+    /// Environment slot.
+    Slot(usize),
+    /// Binary operation.
+    Binary(BinOp, Box<CExpr>, Box<CExpr>),
+    /// Unary operation.
+    Unary(UnOp, Box<CExpr>),
+    /// Builtin call.
+    Call(String, Vec<CExpr>),
+    /// List construction.
+    List(Vec<CExpr>),
+}
+
+/// Column pattern inside a positive scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pat {
+    /// Bind this column into a slot (first occurrence of a variable).
+    Bind(usize),
+    /// Evaluate the expression (fully bound) and require equality.
+    Check(CExpr),
+    /// `_` — ignore.
+    Wild,
+}
+
+/// One scheduled operator of a rule variant.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Join against a table (or the delta set for the delta predicate).
+    Scan {
+        /// Table to read.
+        table: String,
+        /// Index of this predicate among the rule's positive predicates.
+        pred_idx: usize,
+        /// Per-column patterns.
+        pats: Vec<Pat>,
+    },
+    /// Negated predicate: succeed when no matching row exists.
+    NegScan {
+        /// Table to probe.
+        table: String,
+        /// Per-column patterns (`Bind` never occurs here).
+        pats: Vec<Pat>,
+    },
+    /// Boolean filter.
+    Filter(CExpr),
+    /// `X := expr`.
+    Assign(usize, CExpr),
+}
+
+/// One semi-naive variant of a rule.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Which positive predicate (by index among positives) reads the delta;
+    /// `None` for rules without positive predicates (run once per tick).
+    pub delta_pred: Option<usize>,
+    /// Scheduled operator sequence.
+    pub ops: Vec<Op>,
+}
+
+/// Compiled head argument.
+#[derive(Debug, Clone)]
+pub enum CHeadArg {
+    /// Plain projection expression.
+    Expr(CExpr),
+    /// Aggregate over the group; the slot carries the aggregated variable
+    /// (`None` for `count<*>`).
+    Agg(AggKind, Option<usize>),
+}
+
+/// A fully compiled rule.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// Stable id (index into the runtime's rule vector).
+    pub id: usize,
+    /// Human-readable label for traces and errors.
+    pub label: String,
+    /// Deletion rule?
+    pub delete: bool,
+    /// Head target table.
+    pub head_table: String,
+    /// Compiled head arguments.
+    pub head_args: Vec<CHeadArg>,
+    /// Location-specifier argument index, if any.
+    pub head_loc: Option<usize>,
+    /// Aggregate rule?
+    pub aggregate: bool,
+    /// Tables of positive body predicates, in order.
+    pub positive_tables: Vec<String>,
+    /// Semi-naive variants (one per positive predicate; a single
+    /// `delta_pred == None` variant when there are none).
+    pub variants: Vec<Variant>,
+    /// A *view* rule derives materialized tuples from materialized tuples
+    /// only; views are re-derivable and recomputed after deletions.
+    pub is_view: bool,
+    /// An *inductive* rule updates a materialized table in response to
+    /// events. Its local insertions take effect at the **next** timestep
+    /// (Dedalus-style), so rules may read a table and conditionally update
+    /// it without creating a stratification cycle.
+    pub inductive: bool,
+    /// Evaluation stratum.
+    pub stratum: usize,
+    /// Number of variable slots.
+    pub nslots: usize,
+    /// Slot names (diagnostics).
+    pub slot_names: Vec<String>,
+}
+
+/// Full compilation output over a set of declarations and rules.
+#[derive(Debug, Default)]
+pub struct Plan {
+    /// Compiled rules (shared so the evaluator can hold one while mutating
+    /// tables).
+    pub rules: Vec<Arc<CompiledRule>>,
+    /// Rule ids grouped per stratum, lowest first.
+    pub strata: Vec<Vec<usize>>,
+    /// Stratum per table.
+    pub table_stratum: HashMap<String, usize>,
+    /// Tables derived by view rules.
+    pub view_tables: HashSet<String>,
+    /// Tables read by view rules (direct inputs; recompute is global so
+    /// transitivity is implicit).
+    pub view_inputs: HashSet<String>,
+    /// Tables appearing **negated** in a view rule's body: insertions into
+    /// these can retract view tuples, so they must trigger recomputation
+    /// just like deletions (stratified negation is non-monotone).
+    pub neg_view_inputs: HashSet<String>,
+}
+
+/// Compile all `rules` against the table `decls`.
+pub fn compile(decls: &HashMap<String, TableDecl>, rules: &[Rule]) -> Result<Plan> {
+    let mut compiled = Vec::with_capacity(rules.len());
+    for (i, rule) in rules.iter().enumerate() {
+        compiled.push(compile_rule(i, rule, decls)?);
+    }
+    let (strata, table_stratum) = stratify(decls, rules, &mut compiled)?;
+    let mut view_tables = HashSet::new();
+    let mut view_inputs = HashSet::new();
+    let mut neg_view_inputs = HashSet::new();
+    for (cr, rule) in compiled.iter().zip(rules) {
+        if cr.is_view {
+            view_tables.insert(cr.head_table.clone());
+            for p in rule.body.iter() {
+                if let BodyElem::Pred(p) = p {
+                    view_inputs.insert(p.table.clone());
+                    if p.negated {
+                        neg_view_inputs.insert(p.table.clone());
+                    }
+                }
+            }
+        }
+    }
+    // A table must be either a view (fully re-derivable) or base state, not
+    // both: recomputation would silently drop event-derived tuples.
+    for cr in &compiled {
+        if !cr.delete && !cr.is_view && view_tables.contains(&cr.head_table) {
+            return Err(OverlogError::Unstratifiable(format!(
+                "table `{}` is derived both by view rule(s) and by non-view rule `{}`; \
+                 split it into separate base and derived tables",
+                cr.head_table, cr.label
+            )));
+        }
+    }
+    Ok(Plan {
+        rules: compiled.into_iter().map(Arc::new).collect(),
+        strata,
+        table_stratum,
+        view_tables,
+        view_inputs,
+        neg_view_inputs,
+    })
+}
+
+struct SlotMap {
+    names: Vec<String>,
+    by_name: HashMap<String, usize>,
+}
+
+impl SlotMap {
+    fn new() -> Self {
+        SlotMap {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+    fn slot(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.by_name.get(name) {
+            s
+        } else {
+            let s = self.names.len();
+            self.names.push(name.to_string());
+            self.by_name.insert(name.to_string(), s);
+            s
+        }
+    }
+}
+
+fn compile_expr(e: &Expr, slots: &mut SlotMap) -> CExpr {
+    match e {
+        Expr::Lit(v) => CExpr::Lit(v.clone()),
+        Expr::Var(v) => CExpr::Slot(slots.slot(v)),
+        Expr::Wildcard => CExpr::Lit(Value::Null), // only legal in pred args; guarded earlier
+        Expr::Binary(op, a, b) => CExpr::Binary(
+            *op,
+            Box::new(compile_expr(a, slots)),
+            Box::new(compile_expr(b, slots)),
+        ),
+        Expr::Unary(op, a) => CExpr::Unary(*op, Box::new(compile_expr(a, slots))),
+        Expr::Call(f, args) => {
+            CExpr::Call(f.clone(), args.iter().map(|a| compile_expr(a, slots)).collect())
+        }
+        Expr::ListLit(items) => {
+            CExpr::List(items.iter().map(|a| compile_expr(a, slots)).collect())
+        }
+    }
+}
+
+fn expr_vars(e: &Expr) -> Vec<String> {
+    let mut v = Vec::new();
+    e.collect_vars(&mut v);
+    v
+}
+
+fn contains_wildcard(e: &Expr) -> bool {
+    match e {
+        Expr::Wildcard => true,
+        Expr::Binary(_, a, b) => contains_wildcard(a) || contains_wildcard(b),
+        Expr::Unary(_, a) => contains_wildcard(a),
+        Expr::Call(_, args) | Expr::ListLit(args) => args.iter().any(contains_wildcard),
+        Expr::Lit(_) | Expr::Var(_) => false,
+    }
+}
+
+/// Compile a constant (fact) expression; the caller guarantees it contains
+/// no variables or wildcards.
+pub fn compile_fact_expr(e: &Expr) -> CExpr {
+    let mut slots = SlotMap::new();
+    compile_expr(e, &mut slots)
+}
+
+/// Check a declared predicate reference and return its arity.
+fn check_pred(decls: &HashMap<String, TableDecl>, p: &Predicate) -> Result<()> {
+    let decl = decls
+        .get(&p.table)
+        .ok_or_else(|| OverlogError::UnknownTable(p.table.clone()))?;
+    if decl.arity() != p.args.len() {
+        return Err(OverlogError::ArityMismatch {
+            table: p.table.clone(),
+            expected: decl.arity(),
+            got: p.args.len(),
+        });
+    }
+    Ok(())
+}
+
+fn compile_rule(
+    id: usize,
+    rule: &Rule,
+    decls: &HashMap<String, TableDecl>,
+) -> Result<CompiledRule> {
+    let label = rule.label(id);
+    let head_decl = decls
+        .get(&rule.head.table)
+        .ok_or_else(|| OverlogError::UnknownTable(rule.head.table.clone()))?;
+    if head_decl.arity() != rule.head.args.len() {
+        return Err(OverlogError::ArityMismatch {
+            table: rule.head.table.clone(),
+            expected: head_decl.arity(),
+            got: rule.head.args.len(),
+        });
+    }
+    for elem in &rule.body {
+        if let BodyElem::Pred(p) = elem {
+            check_pred(decls, p)?;
+        }
+    }
+
+    let aggregate = rule.is_aggregate();
+    if aggregate {
+        // Aggregate outputs rely on key-overwrite of the group columns: the
+        // head table's primary key must be exactly the non-aggregate columns.
+        let group_cols: Vec<usize> = rule
+            .head
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a, HeadArg::Expr(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if head_decl.kind == TableKind::Materialized {
+            let declared = head_decl
+                .keys
+                .clone()
+                .unwrap_or_else(|| (0..head_decl.arity()).collect());
+            let mut want = group_cols.clone();
+            want.sort_unstable();
+            let mut have = declared;
+            have.sort_unstable();
+            if want != have {
+                return Err(OverlogError::Unstratifiable(format!(
+                    "aggregate rule `{label}`: head table `{}` must be keyed on \
+                     exactly the group columns {want:?}",
+                    rule.head.table
+                )));
+            }
+        }
+        if rule.delete {
+            return Err(OverlogError::Unstratifiable(format!(
+                "aggregate deletion rule `{label}` is not supported"
+            )));
+        }
+    }
+
+    let positives: Vec<&Predicate> = rule
+        .body
+        .iter()
+        .filter_map(|b| match b {
+            BodyElem::Pred(p) if !p.negated => Some(p),
+            _ => None,
+        })
+        .collect();
+    let positive_tables: Vec<String> = positives.iter().map(|p| p.table.clone()).collect();
+
+    // View classification: non-delete, materialized head on this node (no
+    // location specifier), all body tables materialized.
+    let body_all_materialized = rule.body.iter().all(|b| match b {
+        BodyElem::Pred(p) => {
+            decls
+                .get(&p.table)
+                .map(|d| d.kind == TableKind::Materialized)
+                .unwrap_or(false)
+        }
+        _ => true,
+    });
+    let is_view = !rule.delete
+        && head_decl.kind == TableKind::Materialized
+        && rule.head.loc.is_none()
+        && body_all_materialized;
+    let inductive =
+        !rule.delete && head_decl.kind == TableKind::Materialized && !body_all_materialized;
+
+    // Build variants.
+    let nvariants = positives.len().max(1);
+    let mut slots = SlotMap::new();
+    let mut variants = Vec::with_capacity(nvariants);
+    for d in 0..nvariants {
+        let delta_pred = if positives.is_empty() { None } else { Some(d) };
+        let ops = schedule(rule, &label, delta_pred, &mut slots)?;
+        variants.push(Variant { delta_pred, ops });
+    }
+
+    // Compile head args; all head variables must be bound by the body.
+    let bound = all_bindable_vars(rule);
+    let mut head_args = Vec::with_capacity(rule.head.args.len());
+    for arg in &rule.head.args {
+        match arg {
+            HeadArg::Expr(e) => {
+                if contains_wildcard(e) {
+                    return Err(OverlogError::UnsafeRule {
+                        rule: label.clone(),
+                        var: "_".into(),
+                    });
+                }
+                for v in expr_vars(e) {
+                    if !bound.contains(&v) {
+                        return Err(OverlogError::UnsafeRule {
+                            rule: label.clone(),
+                            var: v,
+                        });
+                    }
+                }
+                head_args.push(CHeadArg::Expr(compile_expr(e, &mut slots)));
+            }
+            HeadArg::Agg(kind, var) => {
+                let slot = match var {
+                    Some(v) => {
+                        if !bound.contains(v) {
+                            return Err(OverlogError::UnsafeRule {
+                                rule: label.clone(),
+                                var: v.clone(),
+                            });
+                        }
+                        Some(slots.slot(v))
+                    }
+                    None => None,
+                };
+                head_args.push(CHeadArg::Agg(*kind, slot));
+            }
+        }
+    }
+
+    Ok(CompiledRule {
+        id,
+        label,
+        delete: rule.delete,
+        head_table: rule.head.table.clone(),
+        head_args,
+        head_loc: rule.head.loc,
+        aggregate,
+        positive_tables,
+        variants,
+        is_view,
+        inductive,
+        stratum: 0,
+        nslots: slots.names.len(),
+        slot_names: slots.names,
+    })
+}
+
+/// All variables bound by some positive predicate or assignment.
+fn all_bindable_vars(rule: &Rule) -> HashSet<String> {
+    let mut bound = HashSet::new();
+    // Iterate until fixpoint: assignments may chain.
+    loop {
+        let before = bound.len();
+        for elem in &rule.body {
+            match elem {
+                BodyElem::Pred(p) if !p.negated => {
+                    for a in &p.args {
+                        if let Some(v) = a.as_var() {
+                            bound.insert(v.to_string());
+                        }
+                    }
+                }
+                BodyElem::Assign(v, e) => {
+                    if expr_vars(e).iter().all(|x| bound.contains(x)) {
+                        bound.insert(v.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        if bound.len() == before {
+            break;
+        }
+    }
+    bound
+}
+
+/// Greedy ready-element scheduling: the delta predicate is placed first, the
+/// remaining elements run in source order as soon as their inputs are bound.
+fn schedule(
+    rule: &Rule,
+    label: &str,
+    delta_pred: Option<usize>,
+    slots: &mut SlotMap,
+) -> Result<Vec<Op>> {
+    // Work list of body element indices, delta predicate hoisted to front.
+    let mut order: Vec<usize> = Vec::new();
+    if let Some(d) = delta_pred {
+        // Find the body index of the d-th positive predicate.
+        let mut seen = 0usize;
+        for (i, e) in rule.body.iter().enumerate() {
+            if let BodyElem::Pred(p) = e {
+                if !p.negated {
+                    if seen == d {
+                        order.push(i);
+                    }
+                    seen += 1;
+                }
+            }
+        }
+    }
+    for i in 0..rule.body.len() {
+        if !order.contains(&i) {
+            order.push(i);
+        }
+    }
+
+    let mut ops = Vec::new();
+    let mut bound: HashSet<String> = HashSet::new();
+    let mut remaining: Vec<usize> = order;
+    let mut pred_counter: HashMap<usize, usize> = HashMap::new();
+    {
+        // Precompute positive-predicate ordinal for each body index.
+        let mut n = 0usize;
+        for (i, e) in rule.body.iter().enumerate() {
+            if let BodyElem::Pred(p) = e {
+                if !p.negated {
+                    pred_counter.insert(i, n);
+                    n += 1;
+                }
+            }
+        }
+    }
+
+    while !remaining.is_empty() {
+        let mut picked = None;
+        for (pos, &bi) in remaining.iter().enumerate() {
+            let ready = match &rule.body[bi] {
+                BodyElem::Pred(p) if !p.negated => {
+                    // Non-variable argument expressions must be bound.
+                    p.args.iter().all(|a| match a {
+                        Expr::Var(_) | Expr::Wildcard => true,
+                        other => expr_vars(other).iter().all(|v| bound.contains(v)),
+                    })
+                }
+                BodyElem::Pred(p) => p
+                    .args
+                    .iter()
+                    .flat_map(expr_vars)
+                    .all(|v| bound.contains(&v)),
+                BodyElem::Cond(e) => expr_vars(e).iter().all(|v| bound.contains(v)),
+                BodyElem::Assign(_, e) => expr_vars(e).iter().all(|v| bound.contains(v)),
+            };
+            if ready {
+                picked = Some(pos);
+                break;
+            }
+        }
+        let Some(pos) = picked else {
+            // Report the first blocked variable for diagnostics.
+            let bi = remaining[0];
+            let var = match &rule.body[bi] {
+                BodyElem::Pred(p) => p
+                    .args
+                    .iter()
+                    .flat_map(expr_vars)
+                    .find(|v| !bound.contains(v)),
+                BodyElem::Cond(e) | BodyElem::Assign(_, e) => {
+                    expr_vars(e).into_iter().find(|v| !bound.contains(v))
+                }
+            }
+            .unwrap_or_else(|| "?".to_string());
+            return Err(OverlogError::UnsafeRule {
+                rule: label.to_string(),
+                var,
+            });
+        };
+        let bi = remaining.remove(pos);
+        match &rule.body[bi] {
+            BodyElem::Pred(p) if !p.negated => {
+                let mut pats = Vec::with_capacity(p.args.len());
+                for a in &p.args {
+                    pats.push(match a {
+                        Expr::Wildcard => Pat::Wild,
+                        Expr::Var(v) if !bound.contains(v) => {
+                            bound.insert(v.clone());
+                            Pat::Bind(slots.slot(v))
+                        }
+                        other => Pat::Check(compile_expr(other, slots)),
+                    });
+                }
+                ops.push(Op::Scan {
+                    table: p.table.clone(),
+                    pred_idx: pred_counter[&bi],
+                    pats,
+                });
+            }
+            BodyElem::Pred(p) => {
+                let pats = p
+                    .args
+                    .iter()
+                    .map(|a| match a {
+                        Expr::Wildcard => Pat::Wild,
+                        other => Pat::Check(compile_expr(other, slots)),
+                    })
+                    .collect();
+                ops.push(Op::NegScan {
+                    table: p.table.clone(),
+                    pats,
+                });
+            }
+            BodyElem::Cond(e) => ops.push(Op::Filter(compile_expr(e, slots))),
+            BodyElem::Assign(v, e) => {
+                let ce = compile_expr(e, slots);
+                bound.insert(v.clone());
+                ops.push(Op::Assign(slots.slot(v), ce));
+            }
+        }
+    }
+    Ok(ops)
+}
+
+/// Assign strata to tables and rules.
+///
+/// Constraints, for every non-delete rule `H :- B...`:
+/// * positive `B`: `stratum(H) >= stratum(B)`
+/// * negated `B` or aggregate rule: `stratum(H) > stratum(B)`
+///
+/// Deletion rules run in the stratum where their body settles and impose no
+/// constraint on the head (their effect is deferred to the tick boundary).
+fn stratify(
+    decls: &HashMap<String, TableDecl>,
+    rules: &[Rule],
+    compiled: &mut [CompiledRule],
+) -> Result<(Vec<Vec<usize>>, HashMap<String, usize>)> {
+    let mut stratum: HashMap<String, usize> = decls.keys().map(|k| (k.clone(), 0)).collect();
+    let ntables = decls.len().max(1);
+    let mut changed = true;
+    let mut iters = 0usize;
+    while changed {
+        changed = false;
+        iters += 1;
+        if iters > ntables * rules.len().max(1) + ntables + 2 {
+            return Err(OverlogError::Unstratifiable(
+                "negation or aggregation appears in a recursive cycle".into(),
+            ));
+        }
+        for (rule, cr) in rules.iter().zip(compiled.iter()) {
+            // Deletion and inductive rules act across the timestep boundary:
+            // no within-tick stratification constraint.
+            if cr.delete || cr.inductive {
+                continue;
+            }
+            let h = rule.head.table.clone();
+            let agg = rule.is_aggregate();
+            for elem in &rule.body {
+                if let BodyElem::Pred(p) = elem {
+                    let sb = stratum[&p.table];
+                    let sh = stratum[&h];
+                    let needed = if p.negated || agg { sb + 1 } else { sb };
+                    if sh < needed {
+                        if needed > ntables {
+                            return Err(OverlogError::Unstratifiable(
+                                "negation or aggregation appears in a recursive cycle".into(),
+                            ));
+                        }
+                        stratum.insert(h.clone(), needed);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    for cr in compiled.iter_mut() {
+        let rule_stratum = if cr.delete || cr.inductive {
+            cr.positive_tables
+                .iter()
+                .map(|t| stratum[t])
+                .max()
+                .unwrap_or(0)
+        } else {
+            stratum[&cr.head_table]
+        };
+        cr.stratum = rule_stratum;
+    }
+    let max_stratum = compiled.iter().map(|c| c.stratum).max().unwrap_or(0);
+    let mut strata = vec![Vec::new(); max_stratum + 1];
+    for cr in compiled.iter() {
+        strata[cr.stratum].push(cr.id);
+    }
+    Ok((strata, stratum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn plan_of(src: &str) -> Result<Plan> {
+        let prog = parse_program(src).unwrap();
+        let decls: HashMap<String, TableDecl> = prog
+            .declarations()
+            .map(|d| (d.name.clone(), d.clone()))
+            .collect();
+        let rules: Vec<Rule> = prog.rules().cloned().collect();
+        compile(&decls, &rules)
+    }
+
+    #[test]
+    fn simple_rule_compiles_with_variants() {
+        let p = plan_of(
+            "define(e, keys(0,1), {Int, Int});
+             define(p, keys(0,1), {Int, Int});
+             p(X, Y) :- e(X, Y);
+             p(X, Z) :- e(X, Y), p(Y, Z);",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[1].variants.len(), 2);
+        assert!(p.rules[1].is_view);
+    }
+
+    #[test]
+    fn unsafe_head_var_rejected() {
+        let err = plan_of(
+            "define(q, keys(0), {Int});
+             define(p, keys(0,1), {Int, Int});
+             p(X, Y) :- q(X);",
+        )
+        .unwrap_err();
+        assert!(matches!(err, OverlogError::UnsafeRule { ref var, .. } if var == "Y"));
+    }
+
+    #[test]
+    fn unsafe_negation_var_rejected() {
+        let err = plan_of(
+            "define(q, keys(0), {Int});
+             define(r, keys(0), {Int});
+             define(p, keys(0), {Int});
+             p(X) :- q(X), notin r(Y);",
+        )
+        .unwrap_err();
+        assert!(matches!(err, OverlogError::UnsafeRule { ref var, .. } if var == "Y"));
+    }
+
+    #[test]
+    fn assignment_chains_schedule() {
+        let p = plan_of(
+            "define(q, keys(0), {Int});
+             define(p, keys(0), {Int});
+             p(Z) :- Y := X + 1, q(X), Z := Y * 2;",
+        )
+        .unwrap();
+        // The assignment to Y must be scheduled after the scan of q.
+        let ops = &p.rules[0].variants[0].ops;
+        assert!(matches!(ops[0], Op::Scan { .. }));
+        assert!(matches!(ops[1], Op::Assign(_, _)));
+    }
+
+    #[test]
+    fn stratification_orders_negation() {
+        let p = plan_of(
+            "define(a, keys(0), {Int});
+             define(b, keys(0), {Int});
+             define(c, keys(0), {Int});
+             b(X) :- a(X);
+             c(X) :- a(X), notin b(X);",
+        )
+        .unwrap();
+        assert!(p.rules[1].stratum > p.rules[0].stratum);
+        assert_eq!(p.strata.len(), 2);
+    }
+
+    #[test]
+    fn negation_in_cycle_rejected() {
+        let err = plan_of(
+            "define(a, keys(0), {Int});
+             define(b, keys(0), {Int});
+             a(X) :- b(X);
+             b(X) :- a(X), notin b(X);",
+        )
+        .unwrap_err();
+        assert!(matches!(err, OverlogError::Unstratifiable(_)));
+    }
+
+    #[test]
+    fn aggregate_forces_higher_stratum_and_key_check() {
+        let p = plan_of(
+            "define(t, keys(0,1), {Int, Int});
+             define(c, keys(0), {Int, Int});
+             c(X, count<Y>) :- t(X, Y);",
+        )
+        .unwrap();
+        assert_eq!(p.rules[0].stratum, 1);
+        assert!(p.rules[0].aggregate);
+
+        let err = plan_of(
+            "define(t, keys(0,1), {Int, Int});
+             define(c, keys(0,1), {Int, Int});
+             c(X, count<Y>) :- t(X, Y);",
+        )
+        .unwrap_err();
+        assert!(matches!(err, OverlogError::Unstratifiable(_)));
+    }
+
+    #[test]
+    fn unknown_table_and_arity_errors() {
+        assert!(matches!(
+            plan_of("define(p, keys(0), {Int}); p(X) :- q(X);").unwrap_err(),
+            OverlogError::UnknownTable(_)
+        ));
+        assert!(matches!(
+            plan_of(
+                "define(q, keys(0), {Int});
+                 define(p, keys(0), {Int});
+                 p(X) :- q(X, X);"
+            )
+            .unwrap_err(),
+            OverlogError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn event_bodied_rules_are_not_views() {
+        let p = plan_of(
+            "event ev, {Int};
+             define(p, keys(0), {Int});
+             p(X) :- ev(X);",
+        )
+        .unwrap();
+        assert!(!p.rules[0].is_view);
+        assert!(p.view_tables.is_empty());
+    }
+
+    #[test]
+    fn delete_rule_runs_in_body_stratum() {
+        let p = plan_of(
+            "define(a, keys(0), {Int});
+             define(b, keys(0), {Int});
+             define(g, keys(0), {Int});
+             b(X) :- a(X), notin g(X);
+             delete a(X) :- b(X);",
+        )
+        .unwrap();
+        let del = p.rules.iter().find(|r| r.delete).unwrap();
+        let b_rule = &p.rules[0];
+        assert!(del.stratum >= b_rule.stratum);
+    }
+
+    #[test]
+    fn duplicate_var_in_predicate_checks_equality() {
+        let p = plan_of(
+            "define(q, keys(0,1), {Int, Int});
+             define(p, keys(0), {Int});
+             p(X) :- q(X, X);",
+        )
+        .unwrap();
+        let ops = &p.rules[0].variants[0].ops;
+        match &ops[0] {
+            Op::Scan { pats, .. } => {
+                assert!(matches!(pats[0], Pat::Bind(_)));
+                assert!(matches!(pats[1], Pat::Check(CExpr::Slot(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

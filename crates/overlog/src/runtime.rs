@@ -1,0 +1,1290 @@
+//! The Overlog runtime: timestep driver and semi-naive stratified evaluator.
+//!
+//! One [`OverlogRuntime`] corresponds to one JOL instance on one node. The
+//! host (a simulator actor, a test, or an example binary) drives it:
+//!
+//! 1. queue external tuples with [`OverlogRuntime::insert`] /
+//!    [`OverlogRuntime::delete`] / network deliveries,
+//! 2. call [`OverlogRuntime::tick`] with the current virtual time,
+//! 3. deliver the returned [`NetTuple`]s to their destination runtimes.
+//!
+//! ## Timestep semantics
+//!
+//! Within a tick, deductive rules run to fixpoint (semi-naive, stratum by
+//! stratum). Three kinds of derivation cross the tick boundary instead of
+//! taking effect immediately (Dedalus-style induction):
+//!
+//! * **deletions** from `delete` rules,
+//! * **insertions into materialized tables by event-triggered rules** —
+//!   every rule in a tick reads a consistent pre-state, and programs may
+//!   check a table (`notin fqpath(...)`) and update it in the same rule
+//!   body without a stratification cycle,
+//! * **tuples addressed to remote nodes**, which are shipped at the
+//!   boundary.
+//!
+//! Event-table tuples live for exactly one tick; event-to-event rules fire
+//! within the tick. Pure materialized-to-materialized rules are *views*,
+//! maintained immediately.
+//!
+//! ## View maintenance
+//!
+//! Rules whose head and entire body are materialized (and carry no location
+//! specifier) define *views*. Views are maintained incrementally on
+//! insertion; any deletion or key-overwrite of a view input triggers a full
+//! recomputation of all view tables at the end of the tick — a simple,
+//! sound replacement for JOL's incremental delete propagation.
+
+use crate::ast::{Rule, Statement, TableDecl, TableKind};
+use crate::builtins::Builtins;
+use crate::error::{OverlogError, Result};
+use crate::parser::parse_program;
+use crate::plan::{self, CExpr, CHeadArg, CompiledRule, Op, Pat, Plan, Variant};
+use crate::table::{InsertOutcome, Table};
+use crate::value::{Row, TypeTag, Value};
+use crate::ast::{AggKind, BinOp, UnOp};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// A tuple addressed to another node, produced by a rule whose head carries
+/// a location specifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetTuple {
+    /// Destination address (matches another runtime's `addr`).
+    pub dest: Arc<str>,
+    /// Target table at the destination.
+    pub table: String,
+    /// The tuple.
+    pub row: Row,
+}
+
+/// What a single tick did.
+#[derive(Debug, Default)]
+pub struct TickResult {
+    /// Tuples to deliver to other nodes.
+    pub sends: Vec<NetTuple>,
+    /// Number of rule derivations performed.
+    pub derivations: u64,
+    /// Number of tuples deleted at the tick boundary.
+    pub deletions: usize,
+    /// Whether view tables were recomputed from scratch.
+    pub views_recomputed: bool,
+}
+
+/// Kind of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Tuple inserted (new or replacing).
+    Insert,
+    /// Tuple deleted.
+    Delete,
+    /// Tuple shipped to a remote node.
+    Send,
+}
+
+/// One record in the watch trace (the paper's monitoring hook).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Tick counter when the event happened.
+    pub tick: u64,
+    /// Virtual time of the tick.
+    pub time: u64,
+    /// Affected table.
+    pub table: String,
+    /// The tuple.
+    pub row: Row,
+    /// Operation kind.
+    pub op: TraceOp,
+}
+
+#[derive(Debug)]
+enum Pending {
+    Insert(String, Row),
+    Delete(String, Row),
+}
+
+#[derive(Debug)]
+struct TimerState {
+    name: String,
+    interval: u64,
+    next: u64,
+}
+
+/// A single-node Overlog runtime (the JOL equivalent).
+pub struct OverlogRuntime {
+    addr: Arc<str>,
+    decls: HashMap<String, TableDecl>,
+    tables: HashMap<String, Table>,
+    rule_sources: Vec<Rule>,
+    plan: Plan,
+    builtins: Builtins,
+    timers: Vec<TimerState>,
+    watches: HashSet<String>,
+    pending: VecDeque<Pending>,
+    trace: VecDeque<TraceEvent>,
+    trace_cap: usize,
+    /// Count every derivation into the trace, not just watched tables
+    /// (the "monitoring revision" toggle measured by experiment E7).
+    trace_all: bool,
+    budget: u64,
+    rule_fires: Vec<u64>,
+    tick_count: u64,
+    now: u64,
+}
+
+impl std::fmt::Debug for OverlogRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OverlogRuntime")
+            .field("addr", &self.addr)
+            .field("tables", &self.tables.len())
+            .field("rules", &self.plan.rules.len())
+            .field("tick", &self.tick_count)
+            .finish()
+    }
+}
+
+struct TickCtx {
+    added: HashMap<String, Vec<Row>>,
+    round_delta: HashMap<String, Vec<Row>>,
+    next_delta: HashMap<String, Vec<Row>>,
+    deferred_deletes: Vec<(String, Row)>,
+    deferred_inserts: Vec<(String, Row)>,
+    deferred_seen: HashSet<(String, Row)>,
+    outbox: Vec<NetTuple>,
+    sent: HashSet<(Arc<str>, String, Row)>,
+    derivations: u64,
+    attempts: u64,
+    dirty_views: bool,
+    changed_tables: HashSet<String>,
+}
+
+impl TickCtx {
+    fn new() -> Self {
+        TickCtx {
+            added: HashMap::new(),
+            round_delta: HashMap::new(),
+            next_delta: HashMap::new(),
+            deferred_deletes: Vec::new(),
+            deferred_inserts: Vec::new(),
+            deferred_seen: HashSet::new(),
+            outbox: Vec::new(),
+            sent: HashSet::new(),
+            derivations: 0,
+            attempts: 0,
+            dirty_views: false,
+            changed_tables: HashSet::new(),
+        }
+    }
+}
+
+impl OverlogRuntime {
+    /// Create a runtime identified by a node address.
+    ///
+    /// The runtime pre-declares the table `me(Addr)` holding its own
+    /// address, so programs can bind their location:
+    /// `response(@Src, Id) :- request(Src, Id), me(Me);`.
+    pub fn new(addr: impl AsRef<str>) -> Self {
+        let addr: Arc<str> = Arc::from(addr.as_ref());
+        let mut rt = OverlogRuntime {
+            addr: addr.clone(),
+            decls: HashMap::new(),
+            tables: HashMap::new(),
+            rule_sources: Vec::new(),
+            plan: Plan::default(),
+            builtins: Builtins::standard(),
+            timers: Vec::new(),
+            watches: HashSet::new(),
+            pending: VecDeque::new(),
+            trace: VecDeque::new(),
+            trace_cap: 100_000,
+            trace_all: false,
+            budget: 5_000_000,
+            rule_fires: Vec::new(),
+            tick_count: 0,
+            now: 0,
+        };
+        let me = TableDecl {
+            name: "me".into(),
+            keys: None,
+            types: vec![TypeTag::Addr],
+            kind: TableKind::Materialized,
+        };
+        rt.decls.insert("me".into(), me.clone());
+        let mut t = Table::new(me);
+        t.insert(Arc::new(vec![Value::Addr(addr)]))
+            .expect("me fact matches its own declaration");
+        rt.tables.insert("me".into(), t);
+        rt
+    }
+
+    /// This runtime's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Virtual time of the last tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of ticks executed.
+    pub fn ticks(&self) -> u64 {
+        self.tick_count
+    }
+
+    /// Set the per-tick derivation budget (guards against diverging
+    /// recursion through arithmetic).
+    pub fn set_budget(&mut self, budget: u64) {
+        self.budget = budget;
+    }
+
+    /// Enable or disable tracing of *every* derivation (experiment E7's
+    /// monitoring toggle). `watch`ed tables are always traced.
+    pub fn set_trace_all(&mut self, on: bool) {
+        self.trace_all = on;
+    }
+
+    /// Register a host-provided builtin function.
+    pub fn register_builtin<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.builtins.register(name, f);
+    }
+
+    /// Load an Overlog program, merging its declarations and rules with
+    /// everything loaded before. Facts are queued for the next tick.
+    pub fn load(&mut self, src: &str) -> Result<()> {
+        let prog = parse_program(src)?;
+        // Merge declarations first so facts and rules can target them.
+        for stmt in &prog.statements {
+            match stmt {
+                Statement::Define(d) => {
+                    if let Some(existing) = self.decls.get(&d.name) {
+                        if existing != d {
+                            return Err(OverlogError::Redefinition(d.name.clone()));
+                        }
+                    } else {
+                        self.decls.insert(d.name.clone(), d.clone());
+                        self.tables.insert(d.name.clone(), Table::new(d.clone()));
+                    }
+                }
+                Statement::Timer { name, interval_ms } => {
+                    if !self.decls.contains_key(name) {
+                        let d = TableDecl {
+                            name: name.clone(),
+                            keys: None,
+                            types: vec![TypeTag::Int],
+                            kind: TableKind::Event,
+                        };
+                        self.decls.insert(name.clone(), d.clone());
+                        self.tables.insert(name.clone(), Table::new(d));
+                    } else {
+                        let d = &self.decls[name];
+                        if d.kind != TableKind::Event || d.arity() != 1 {
+                            return Err(OverlogError::Redefinition(format!(
+                                "timer `{name}` conflicts with an existing table"
+                            )));
+                        }
+                    }
+                    self.timers.push(TimerState {
+                        name: name.clone(),
+                        interval: *interval_ms,
+                        next: 0,
+                    });
+                }
+                Statement::Watch { table } => {
+                    self.watches.insert(table.clone());
+                }
+                _ => {}
+            }
+        }
+        // Facts: constant-fold and queue.
+        for stmt in &prog.statements {
+            if let Statement::Fact { table, values } = stmt {
+                if !self.decls.contains_key(table) {
+                    return Err(OverlogError::UnknownTable(table.clone()));
+                }
+                let mut row = Vec::with_capacity(values.len());
+                for e in values {
+                    let mut vars = Vec::new();
+                    e.collect_vars(&mut vars);
+                    if !vars.is_empty() || matches!(e, crate::ast::Expr::Wildcard) {
+                        return Err(OverlogError::UnsafeRule {
+                            rule: format!("fact {table}"),
+                            var: vars.into_iter().next().unwrap_or_else(|| "_".into()),
+                        });
+                    }
+                    let ce = plan::compile_fact_expr(e);
+                    row.push(eval_cexpr(&ce, &[], &self.builtins)?);
+                }
+                self.pending.push_back(Pending::Insert(table.clone(), Arc::new(row)));
+            }
+        }
+        // Rules: append and recompile the whole plan.
+        let before = self.rule_sources.len();
+        self.rule_sources.extend(prog.rules().cloned());
+        match plan::compile(&self.decls, &self.rule_sources) {
+            Ok(p) => {
+                self.plan = p;
+                self.rule_fires.resize(self.plan.rules.len(), 0);
+                Ok(())
+            }
+            Err(e) => {
+                self.rule_sources.truncate(before);
+                // Restore the previous (still valid) plan.
+                self.plan = plan::compile(&self.decls, &self.rule_sources)
+                    .expect("previous plan compiled before");
+                Err(e)
+            }
+        }
+    }
+
+    /// Queue an external insertion for the next tick.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<()> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| OverlogError::UnknownTable(table.to_string()))?;
+        t.typecheck(&row)?;
+        self.pending.push_back(Pending::Insert(table.to_string(), row));
+        Ok(())
+    }
+
+    /// Queue an external deletion for the next tick.
+    pub fn delete(&mut self, table: &str, row: Row) -> Result<()> {
+        if !self.tables.contains_key(table) {
+            return Err(OverlogError::UnknownTable(table.to_string()));
+        }
+        self.pending.push_back(Pending::Delete(table.to_string(), row));
+        Ok(())
+    }
+
+    /// Deliver a network tuple (same queue as [`OverlogRuntime::insert`]).
+    pub fn deliver(&mut self, net: &NetTuple) -> Result<()> {
+        self.insert(&net.table, net.row.clone())
+    }
+
+    /// Whether any external work is queued (used by hosts to decide whether
+    /// a tick is needed).
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Sorted rows of a table (empty when the table is unknown).
+    pub fn rows(&self, name: &str) -> Vec<Row> {
+        self.tables
+            .get(name)
+            .map(|t| t.sorted_rows())
+            .unwrap_or_default()
+    }
+
+    /// Number of rows in a table.
+    pub fn count(&self, name: &str) -> usize {
+        self.tables.get(name).map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Add a watch on a table at runtime.
+    pub fn watch(&mut self, table: &str) {
+        self.watches.insert(table.to_string());
+    }
+
+    /// Drain the accumulated trace.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.drain(..).collect()
+    }
+
+    /// Per-rule derivation counters, labeled.
+    pub fn rule_fire_counts(&self) -> Vec<(String, u64)> {
+        self.plan
+            .rules
+            .iter()
+            .map(|r| (r.label.clone(), self.rule_fires[r.id]))
+            .collect()
+    }
+
+    /// Number of loaded rules.
+    pub fn rule_count(&self) -> usize {
+        self.plan.rules.len()
+    }
+
+    /// Tick repeatedly (at the same virtual time) until no queued or
+    /// inductively-deferred work remains, collecting all network sends.
+    /// Bounded; errors if the program does not quiesce within 64 ticks.
+    pub fn settle(&mut self, now: u64) -> Result<Vec<NetTuple>> {
+        let mut sends = Vec::new();
+        for _ in 0..64 {
+            let res = self.tick(now)?;
+            sends.extend(res.sends);
+            if !self.has_pending() {
+                return Ok(sends);
+            }
+        }
+        Err(OverlogError::Eval(
+            "settle: runtime did not quiesce within 64 ticks".into(),
+        ))
+    }
+
+    /// Execute one timestep at virtual time `now`.
+    pub fn tick(&mut self, now: u64) -> Result<TickResult> {
+        self.now = now;
+        let mut ctx = TickCtx::new();
+
+        // 1. Fire due timers.
+        for t in &mut self.timers {
+            if now >= t.next {
+                self.pending
+                    .push_back(Pending::Insert(t.name.clone(), Arc::new(vec![Value::Int(now as i64)])));
+                t.next = now + t.interval;
+            }
+        }
+
+        // 2. Apply externally queued work.
+        let mut pre_dirty = false;
+        let work: Vec<Pending> = self.pending.drain(..).collect();
+        for p in work {
+            match p {
+                Pending::Insert(table, row) => {
+                    self.apply_insert(&table, row, false, &mut ctx)?;
+                }
+                Pending::Delete(table, row) => {
+                    let t = self
+                        .tables
+                        .get_mut(&table)
+                        .ok_or_else(|| OverlogError::UnknownTable(table.clone()))?;
+                    if t.delete(&row) {
+                        ctx.changed_tables.insert(table.clone());
+                        self.record_trace(&table, &row, TraceOp::Delete);
+                        if self.plan.view_inputs.contains(&table) {
+                            pre_dirty = true;
+                        }
+                    }
+                }
+            }
+        }
+        if pre_dirty {
+            self.recompute_views(&mut ctx)?;
+        }
+        // Everything queued so far is already in `added`, which seeds every
+        // stratum; drop it from `next_delta` so the first stratum's rounds
+        // don't process it twice.
+        ctx.next_delta.clear();
+
+        // 3. Stratified semi-naive fixpoint.
+        let strata: Vec<Vec<usize>> = self.plan.strata.clone();
+        for stratum in &strata {
+            // Aggregates and body-less rules run once, at stratum entry.
+            for &rid in stratum {
+                let rule = self.plan.rules[rid].clone();
+                if rule.aggregate {
+                    // Inductive aggregates (event-fed, materialized head)
+                    // run after the fixpoint: their outputs only become
+                    // visible next tick anyway, and their event inputs may
+                    // still be derived within this stratum.
+                    if rule.inductive {
+                        continue;
+                    }
+                    let inputs_changed = rule
+                        .positive_tables
+                        .iter()
+                        .any(|t| ctx.changed_tables.contains(t));
+                    if inputs_changed {
+                        self.eval_aggregate(&rule, &mut ctx)?;
+                    }
+                } else if rule.variants[0].delta_pred.is_none() {
+                    let rows = self.eval_variant(&rule, &rule.variants[0], None, &mut ctx)?;
+                    self.dispatch(&rule, rows, &mut ctx)?;
+                }
+            }
+            // Seed the stratum with everything added so far this tick.
+            ctx.round_delta = ctx.added.clone();
+            loop {
+                let current = std::mem::take(&mut ctx.round_delta);
+                if current.values().all(|v| v.is_empty()) {
+                    break;
+                }
+                for &rid in stratum {
+                    let rule = self.plan.rules[rid].clone();
+                    if rule.aggregate {
+                        continue;
+                    }
+                    for variant in &rule.variants {
+                        let Some(d) = variant.delta_pred else { continue };
+                        let dtable = &rule.positive_tables[d];
+                        let Some(delta_rows) = current.get(dtable) else {
+                            continue;
+                        };
+                        if delta_rows.is_empty() {
+                            continue;
+                        }
+                        let delta_rows = delta_rows.clone();
+                        let rows =
+                            self.eval_variant(&rule, variant, Some(&delta_rows), &mut ctx)?;
+                        self.dispatch(&rule, rows, &mut ctx)?;
+                    }
+                }
+                // Aggregates whose inputs changed within this stratum's
+                // rounds cannot exist (strictly lower strata), so only
+                // non-aggregate next_delta carries over.
+                ctx.round_delta = std::mem::take(&mut ctx.next_delta);
+            }
+        }
+
+        // 3b. Inductive aggregates, now that all event derivations settled.
+        let agg_rules: Vec<_> = self
+            .plan
+            .rules
+            .iter()
+            .filter(|r| r.aggregate && r.inductive)
+            .cloned()
+            .collect();
+        for rule in agg_rules {
+            let inputs_changed = rule
+                .positive_tables
+                .iter()
+                .any(|t| ctx.changed_tables.contains(t));
+            if inputs_changed {
+                self.eval_aggregate(&rule, &mut ctx)?;
+            }
+        }
+
+        // 4. Apply deferred deletions.
+        let mut deletions = 0usize;
+        let deferred = std::mem::take(&mut ctx.deferred_deletes);
+        let mut seen: HashSet<(String, Row)> = HashSet::new();
+        for (table, row) in deferred {
+            if !seen.insert((table.clone(), row.clone())) {
+                continue;
+            }
+            if let Some(t) = self.tables.get_mut(&table) {
+                if t.delete(&row) {
+                    deletions += 1;
+                    self.record_trace(&table, &row, TraceOp::Delete);
+                    if self.plan.view_inputs.contains(&table) {
+                        ctx.dirty_views = true;
+                    }
+                }
+            }
+        }
+
+        // 5. Clear event tables.
+        for t in self.tables.values_mut() {
+            if t.is_event() {
+                t.clear();
+            }
+        }
+
+        // 6. Recompute views if needed.
+        let views_recomputed = ctx.dirty_views;
+        if ctx.dirty_views {
+            self.recompute_views(&mut ctx)?;
+        }
+
+        // 7. Queue inductive insertions for the next tick.
+        for (table, row) in std::mem::take(&mut ctx.deferred_inserts) {
+            self.pending.push_back(Pending::Insert(table, row));
+        }
+
+        self.tick_count += 1;
+        for send in &ctx.outbox {
+            self.record_trace(&send.table, &send.row, TraceOp::Send);
+        }
+        Ok(TickResult {
+            sends: std::mem::take(&mut ctx.outbox),
+            derivations: ctx.derivations,
+            deletions,
+            views_recomputed,
+        })
+    }
+
+    /// Insert a derived or external row into a local table.
+    fn apply_insert(
+        &mut self,
+        table: &str,
+        row: Row,
+        from_view_rule: bool,
+        ctx: &mut TickCtx,
+    ) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| OverlogError::UnknownTable(table.to_string()))?;
+        // Deltas must hold exactly what the table holds (Addr coercion).
+        let row = t.coerce(row);
+        match t.insert(row.clone())? {
+            InsertOutcome::New => {
+                ctx.added.entry(table.to_string()).or_default().push(row.clone());
+                ctx.next_delta
+                    .entry(table.to_string())
+                    .or_default()
+                    .push(row.clone());
+                ctx.changed_tables.insert(table.to_string());
+                self.record_trace(table, &row, TraceOp::Insert);
+                // Negation is non-monotone: growing a table that appears
+                // negated in a view rule can retract view tuples, so it
+                // dirties views exactly like a deletion would — even when
+                // the insert itself came from a view rule (one view can
+                // feed another's negation).
+                if self.plan.neg_view_inputs.contains(table) {
+                    ctx.dirty_views = true;
+                }
+            }
+            InsertOutcome::Replaced(_old) => {
+                ctx.added.entry(table.to_string()).or_default().push(row.clone());
+                ctx.next_delta
+                    .entry(table.to_string())
+                    .or_default()
+                    .push(row.clone());
+                ctx.changed_tables.insert(table.to_string());
+                self.record_trace(table, &row, TraceOp::Insert);
+                // A key-overwrite removes a tuple other derivations may have
+                // consumed: views over this table must be rebuilt — unless
+                // the overwrite came from a view rule itself (aggregates
+                // refreshing their groups), which is self-consistent.
+                // Negated inputs dirty unconditionally (see above).
+                if (!from_view_rule && self.plan.view_inputs.contains(table))
+                    || self.plan.neg_view_inputs.contains(table)
+                {
+                    ctx.dirty_views = true;
+                }
+            }
+            InsertOutcome::Duplicate => {}
+        }
+        Ok(())
+    }
+
+    fn record_trace(&mut self, table: &str, row: &Row, op: TraceOp) {
+        if self.trace_all || self.watches.contains(table) {
+            if self.trace.len() >= self.trace_cap {
+                self.trace.pop_front();
+            }
+            self.trace.push_back(TraceEvent {
+                tick: self.tick_count,
+                time: self.now,
+                table: table.to_string(),
+                row: row.clone(),
+                op,
+            });
+        }
+    }
+
+    /// Route derived rows for a rule: remote sends, deferred deletes, or
+    /// local insertion.
+    fn dispatch(&mut self, rule: &CompiledRule, rows: Vec<Row>, ctx: &mut TickCtx) -> Result<()> {
+        for row in rows {
+            ctx.attempts += 1;
+            if ctx.attempts > self.budget {
+                return Err(OverlogError::Eval(format!(
+                    "derivation budget exceeded in tick {} (rule `{}`)",
+                    self.tick_count, rule.label
+                )));
+            }
+            if rule.delete {
+                ctx.derivations += 1;
+                self.rule_fires[rule.id] += 1;
+                ctx.deferred_deletes.push((rule.head_table.clone(), row));
+                continue;
+            }
+            if let Some(loc) = rule.head_loc {
+                let dest = match &row[loc] {
+                    Value::Addr(a) | Value::Str(a) => a.clone(),
+                    other => {
+                        return Err(OverlogError::Eval(format!(
+                            "rule `{}`: location specifier is not an address: {other}",
+                            rule.label
+                        )))
+                    }
+                };
+                if dest != self.addr {
+                    // Set semantics: ship each distinct remote tuple once
+                    // per tick, even if semi-naive re-derives it.
+                    if ctx
+                        .sent
+                        .insert((dest.clone(), rule.head_table.clone(), row.clone()))
+                    {
+                        ctx.derivations += 1;
+                        self.rule_fires[rule.id] += 1;
+                        ctx.outbox.push(NetTuple {
+                            dest,
+                            table: rule.head_table.clone(),
+                            row,
+                        });
+                    }
+                    continue;
+                }
+            }
+            if rule.inductive {
+                // Dedalus-style induction: the update lands at the start of
+                // the next timestep, so this tick's rules all read a
+                // consistent pre-state.
+                let key = (rule.head_table.clone(), row.clone());
+                if ctx.deferred_seen.insert(key) {
+                    ctx.derivations += 1;
+                    self.rule_fires[rule.id] += 1;
+                    ctx.deferred_inserts.push((rule.head_table.clone(), row));
+                }
+                continue;
+            }
+            let effective = {
+                let table = rule.head_table.clone();
+                let before = self
+                    .tables
+                    .get(&table)
+                    .map(|t| t.contains(&row))
+                    .unwrap_or(false);
+                self.apply_insert(&table, row, rule.is_view, ctx)?;
+                !before
+            };
+            if effective {
+                ctx.derivations += 1;
+                self.rule_fires[rule.id] += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate one rule variant; returns projected head rows.
+    ///
+    /// `delta_rows == None` makes the delta predicate read its full table
+    /// (used for body-less variants, aggregates, and view recomputation).
+    fn eval_variant(
+        &mut self,
+        rule: &CompiledRule,
+        variant: &Variant,
+        delta_rows: Option<&[Row]>,
+        _ctx: &mut TickCtx,
+    ) -> Result<Vec<Row>> {
+        let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
+        let mut env = vec![None; rule.nslots];
+        self.exec_ops(rule, &variant.ops, 0, variant.delta_pred, delta_rows, &mut env, &mut envs)?;
+        // Project heads (non-aggregate rules only reach here).
+        let mut out = Vec::with_capacity(envs.len());
+        for env in &envs {
+            let mut row = Vec::with_capacity(rule.head_args.len());
+            for arg in &rule.head_args {
+                match arg {
+                    CHeadArg::Expr(e) => row.push(eval_cexpr(e, env, &self.builtins)?),
+                    CHeadArg::Agg(_, _) => {
+                        return Err(OverlogError::Eval(format!(
+                            "internal: aggregate rule `{}` evaluated as plain rule",
+                            rule.label
+                        )))
+                    }
+                }
+            }
+            out.push(Arc::new(row));
+        }
+        Ok(out)
+    }
+
+    /// Recursive nested-loop execution of a scheduled op sequence.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_ops(
+        &mut self,
+        rule: &CompiledRule,
+        ops: &[Op],
+        oi: usize,
+        delta_pred: Option<usize>,
+        delta_rows: Option<&[Row]>,
+        env: &mut Vec<Option<Value>>,
+        out: &mut Vec<Vec<Option<Value>>>,
+    ) -> Result<()> {
+        if oi == ops.len() {
+            out.push(env.clone());
+            return Ok(());
+        }
+        match &ops[oi] {
+            Op::Assign(slot, e) => {
+                let v = eval_cexpr(e, env, &self.builtins)?;
+                let prev = env[*slot].replace(v);
+                self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out)?;
+                env[*slot] = prev;
+                Ok(())
+            }
+            Op::Filter(e) => {
+                if eval_cexpr(e, env, &self.builtins)?.truthy() {
+                    self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out)?;
+                }
+                Ok(())
+            }
+            Op::NegScan { table, pats } => {
+                let matched = self.probe(table, pats, env)?;
+                if !matched {
+                    self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out)?;
+                }
+                Ok(())
+            }
+            Op::Scan { table, pred_idx, pats } => {
+                let use_delta = delta_pred == Some(*pred_idx) && delta_rows.is_some();
+                let candidates: Vec<Row> = if use_delta {
+                    delta_rows
+                        .expect("use_delta implies delta_rows")
+                        .to_vec()
+                } else {
+                    self.candidates(table, pats, env)?
+                };
+                // Slots bound by this op (for check-vs-bind separation and
+                // backtracking).
+                let bind_slots: Vec<usize> = pats
+                    .iter()
+                    .filter_map(|p| match p {
+                        Pat::Bind(s) => Some(*s),
+                        _ => None,
+                    })
+                    .collect();
+                for row in candidates {
+                    if row.len() != pats.len() {
+                        continue;
+                    }
+                    // Bind first, then check (duplicate-variable patterns
+                    // reference same-row binds).
+                    for (val, pat) in row.iter().zip(pats) {
+                        if let Pat::Bind(slot) = pat {
+                            env[*slot] = Some(val.clone());
+                        }
+                    }
+                    let mut ok = true;
+                    for (val, pat) in row.iter().zip(pats) {
+                        if let Pat::Check(e) = pat {
+                            if eval_cexpr(e, env, &self.builtins)? != *val {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out)?;
+                    }
+                    for s in &bind_slots {
+                        env[*s] = None;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Candidate rows for a scan, using a maintained index when any check
+    /// column is evaluable from the current environment.
+    fn candidates(
+        &mut self,
+        table: &str,
+        pats: &[Pat],
+        env: &[Option<Value>],
+    ) -> Result<Vec<Row>> {
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for (i, p) in pats.iter().enumerate() {
+            if let Pat::Check(e) = p {
+                if cexpr_bound(e, env) {
+                    cols.push(i);
+                    vals.push(eval_cexpr(e, env, &self.builtins)?);
+                }
+            }
+        }
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| OverlogError::UnknownTable(table.to_string()))?;
+        Ok(if cols.is_empty() {
+            t.scan().cloned().collect()
+        } else {
+            t.lookup(&cols, &vals)
+        })
+    }
+
+    /// Does any row match the (fully-bound) patterns?
+    fn probe(&mut self, table: &str, pats: &[Pat], env: &[Option<Value>]) -> Result<bool> {
+        let rows = self.candidates(table, pats, env)?;
+        'row: for row in rows {
+            if row.len() != pats.len() {
+                continue;
+            }
+            for (val, pat) in row.iter().zip(pats) {
+                match pat {
+                    Pat::Wild => {}
+                    Pat::Check(e) => {
+                        if eval_cexpr(e, env, &self.builtins)? != *val {
+                            continue 'row;
+                        }
+                    }
+                    Pat::Bind(_) => {
+                        return Err(OverlogError::Eval(
+                            "internal: bind pattern in negated scan".into(),
+                        ))
+                    }
+                }
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Full recomputation of an aggregate rule: evaluate the body, group,
+    /// fold, and key-overwrite the head table.
+    fn eval_aggregate(&mut self, rule: &CompiledRule, ctx: &mut TickCtx) -> Result<()> {
+        let variant = &rule.variants[0];
+        let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
+        let mut env = vec![None; rule.nslots];
+        self.exec_ops(rule, &variant.ops, 0, None, None, &mut env, &mut envs)?;
+
+        #[derive(Clone)]
+        enum Acc {
+            Count(i64),
+            Sum(Value),
+            Min(Value),
+            Max(Value),
+            Avg(f64, i64),
+            Set(std::collections::BTreeSet<Value>),
+        }
+        let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+        for env in &envs {
+            let mut key = Vec::new();
+            for arg in &rule.head_args {
+                if let CHeadArg::Expr(e) = arg {
+                    key.push(eval_cexpr(e, env, &self.builtins)?);
+                }
+            }
+            let accs = groups.entry(key).or_insert_with(|| {
+                rule.head_args
+                    .iter()
+                    .filter_map(|a| match a {
+                        CHeadArg::Agg(k, _) => Some(match k {
+                            AggKind::Count => Acc::Count(0),
+                            AggKind::Sum => Acc::Sum(Value::Int(0)),
+                            AggKind::Min => Acc::Min(Value::Null),
+                            AggKind::Max => Acc::Max(Value::Null),
+                            AggKind::Avg => Acc::Avg(0.0, 0),
+                            AggKind::Set => Acc::Set(Default::default()),
+                        }),
+                        CHeadArg::Expr(_) => None,
+                    })
+                    .collect()
+            });
+            let mut ai = 0usize;
+            for arg in &rule.head_args {
+                if let CHeadArg::Agg(kind, slot) = arg {
+                    let input = match slot {
+                        Some(s) => env[*s].clone().ok_or_else(|| {
+                            OverlogError::Eval(format!(
+                                "aggregate input unbound in `{}`",
+                                rule.label
+                            ))
+                        })?,
+                        None => Value::Int(1),
+                    };
+                    match (&mut accs[ai], kind) {
+                        (Acc::Count(c), AggKind::Count) => *c += 1,
+                        (Acc::Sum(s), AggKind::Sum) => {
+                            *s = add_values(s, &input)?;
+                        }
+                        (Acc::Min(mv), AggKind::Min) => {
+                            if *mv == Value::Null || input < *mv {
+                                *mv = input;
+                            }
+                        }
+                        (Acc::Max(mv), AggKind::Max) => {
+                            if *mv == Value::Null || input > *mv {
+                                *mv = input;
+                            }
+                        }
+                        (Acc::Set(set), AggKind::Set) => {
+                            set.insert(input);
+                        }
+                        (Acc::Avg(sum, n), AggKind::Avg) => {
+                            *sum += input.as_float().ok_or_else(|| {
+                                OverlogError::Eval("avg over non-numeric value".into())
+                            })?;
+                            *n += 1;
+                        }
+                        _ => unreachable!("accumulator kinds align with head args"),
+                    }
+                    ai += 1;
+                }
+            }
+        }
+        // Deterministic emission order.
+        let mut keys: Vec<Vec<Value>> = groups.keys().cloned().collect();
+        keys.sort();
+        let mut rows = Vec::with_capacity(keys.len());
+        for key in keys {
+            let accs = &groups[&key];
+            let mut row = Vec::with_capacity(rule.head_args.len());
+            let (mut ki, mut ai) = (0usize, 0usize);
+            for arg in &rule.head_args {
+                match arg {
+                    CHeadArg::Expr(_) => {
+                        row.push(key[ki].clone());
+                        ki += 1;
+                    }
+                    CHeadArg::Agg(_, _) => {
+                        row.push(match &accs[ai] {
+                            Acc::Count(c) => Value::Int(*c),
+                            Acc::Sum(s) => s.clone(),
+                            Acc::Min(v) | Acc::Max(v) => v.clone(),
+                            Acc::Avg(sum, n) => {
+                                if *n == 0 {
+                                    Value::Null
+                                } else {
+                                    Value::Float(sum / *n as f64)
+                                }
+                            }
+                            Acc::Set(set) => Value::list(set.iter().cloned().collect()),
+                        });
+                        ai += 1;
+                    }
+                }
+            }
+            rows.push(Arc::new(row));
+        }
+        self.dispatch(rule, rows, ctx)
+    }
+
+    /// Clear all view tables and re-derive them from base state.
+    fn recompute_views(&mut self, ctx: &mut TickCtx) -> Result<()> {
+        let view_tables: Vec<String> = self.plan.view_tables.iter().cloned().collect();
+        for v in &view_tables {
+            if let Some(t) = self.tables.get_mut(v) {
+                t.clear();
+            }
+        }
+        // Seed: full contents of every non-view materialized table.
+        let mut delta: HashMap<String, Vec<Row>> = HashMap::new();
+        for (name, t) in &self.tables {
+            if t.is_event() || self.plan.view_tables.contains(name) {
+                continue;
+            }
+            if !t.is_empty() {
+                delta.insert(name.clone(), t.scan().cloned().collect());
+            }
+        }
+        let strata: Vec<Vec<usize>> = self.plan.strata.clone();
+        let mut added: HashMap<String, Vec<Row>> = delta;
+        for stratum in &strata {
+            for &rid in stratum {
+                let rule = self.plan.rules[rid].clone();
+                if rule.is_view && rule.aggregate {
+                    // Recompute into the cleared table.
+                    self.eval_agg_into(&rule, &mut added, ctx)?;
+                }
+            }
+            let mut round: HashMap<String, Vec<Row>> = added.clone();
+            loop {
+                if round.values().all(|v| v.is_empty()) {
+                    break;
+                }
+                let current = std::mem::take(&mut round);
+                let mut next: HashMap<String, Vec<Row>> = HashMap::new();
+                for &rid in stratum {
+                    let rule = self.plan.rules[rid].clone();
+                    if !rule.is_view || rule.aggregate {
+                        continue;
+                    }
+                    for variant in &rule.variants {
+                        let Some(d) = variant.delta_pred else { continue };
+                        let dtable = &rule.positive_tables[d];
+                        let Some(delta_rows) = current.get(dtable) else { continue };
+                        if delta_rows.is_empty() {
+                            continue;
+                        }
+                        let delta_rows = delta_rows.clone();
+                        let rows = self.eval_variant(&rule, variant, Some(&delta_rows), ctx)?;
+                        for row in rows {
+                            ctx.derivations += 1;
+                            if ctx.derivations > self.budget {
+                                return Err(OverlogError::Eval(
+                                    "derivation budget exceeded during view recomputation".into(),
+                                ));
+                            }
+                            let t = self
+                                .tables
+                                .get_mut(&rule.head_table)
+                                .ok_or_else(|| OverlogError::UnknownTable(rule.head_table.clone()))?;
+                            match t.insert(row.clone())? {
+                                InsertOutcome::New | InsertOutcome::Replaced(_) => {
+                                    added
+                                        .entry(rule.head_table.clone())
+                                        .or_default()
+                                        .push(row.clone());
+                                    next.entry(rule.head_table.clone())
+                                        .or_default()
+                                        .push(row);
+                                }
+                                InsertOutcome::Duplicate => {}
+                            }
+                        }
+                    }
+                }
+                round = next;
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate recomputation used inside `recompute_views`.
+    fn eval_agg_into(
+        &mut self,
+        rule: &CompiledRule,
+        added: &mut HashMap<String, Vec<Row>>,
+        ctx: &mut TickCtx,
+    ) -> Result<()> {
+        // Reuse eval_aggregate but capture its insertions via a fresh ctx.
+        let mut sub = TickCtx::new();
+        self.eval_aggregate(rule, &mut sub)?;
+        ctx.derivations += sub.derivations;
+        for (t, rows) in sub.added {
+            added.entry(t).or_default().extend(rows);
+        }
+        Ok(())
+    }
+}
+
+fn cexpr_bound(e: &CExpr, env: &[Option<Value>]) -> bool {
+    match e {
+        CExpr::Lit(_) => true,
+        CExpr::Slot(s) => env.get(*s).map(|v| v.is_some()).unwrap_or(false),
+        CExpr::Binary(_, a, b) => cexpr_bound(a, env) && cexpr_bound(b, env),
+        CExpr::Unary(_, a) => cexpr_bound(a, env),
+        CExpr::Call(_, args) | CExpr::List(args) => args.iter().all(|a| cexpr_bound(a, env)),
+    }
+}
+
+fn add_values(a: &Value, b: &Value) -> Result<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(*y))),
+        _ => {
+            let (x, y) = (
+                a.as_float()
+                    .ok_or_else(|| OverlogError::Eval(format!("sum over non-numeric {a}")))?,
+                b.as_float()
+                    .ok_or_else(|| OverlogError::Eval(format!("sum over non-numeric {b}")))?,
+            );
+            Ok(Value::Float(x + y))
+        }
+    }
+}
+
+fn raw_str(v: &Value) -> String {
+    match v {
+        Value::Str(s) | Value::Addr(s) => s.to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Evaluate a compiled expression against an environment.
+pub fn eval_cexpr(e: &CExpr, env: &[Option<Value>], builtins: &Builtins) -> Result<Value> {
+    match e {
+        CExpr::Lit(v) => Ok(v.clone()),
+        CExpr::Slot(s) => env
+            .get(*s)
+            .and_then(|v| v.clone())
+            .ok_or_else(|| OverlogError::Eval(format!("unbound variable slot {s}"))),
+        CExpr::Unary(op, a) => {
+            let v = eval_cexpr(a, env, builtins)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(OverlogError::Eval(format!("cannot negate {other}"))),
+                },
+                UnOp::Not => Ok(Value::Bool(!v.truthy())),
+            }
+        }
+        CExpr::Binary(op, a, b) => {
+            // Short-circuit boolean operators.
+            if *op == BinOp::And {
+                let va = eval_cexpr(a, env, builtins)?;
+                if !va.truthy() {
+                    return Ok(Value::Bool(false));
+                }
+                return Ok(Value::Bool(eval_cexpr(b, env, builtins)?.truthy()));
+            }
+            if *op == BinOp::Or {
+                let va = eval_cexpr(a, env, builtins)?;
+                if va.truthy() {
+                    return Ok(Value::Bool(true));
+                }
+                return Ok(Value::Bool(eval_cexpr(b, env, builtins)?.truthy()));
+            }
+            let va = eval_cexpr(a, env, builtins)?;
+            let vb = eval_cexpr(b, env, builtins)?;
+            match op {
+                BinOp::Eq => Ok(Value::Bool(va == vb)),
+                BinOp::Ne => Ok(Value::Bool(va != vb)),
+                BinOp::Lt => Ok(Value::Bool(va < vb)),
+                BinOp::Le => Ok(Value::Bool(va <= vb)),
+                BinOp::Gt => Ok(Value::Bool(va > vb)),
+                BinOp::Ge => Ok(Value::Bool(va >= vb)),
+                BinOp::Concat => match (&va, &vb) {
+                    (Value::List(x), Value::List(y)) => {
+                        let mut out = x.to_vec();
+                        out.extend(y.iter().cloned());
+                        Ok(Value::list(out))
+                    }
+                    _ => Ok(Value::str(format!("{}{}", raw_str(&va), raw_str(&vb)))),
+                },
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    arith(*op, &va, &vb)
+                }
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        CExpr::Call(f, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_cexpr(a, env, builtins)?);
+            }
+            builtins.call(f, &vals)
+        }
+        CExpr::List(items) => {
+            let mut vals = Vec::with_capacity(items.len());
+            for i in items {
+                vals.push(eval_cexpr(i, env, builtins)?);
+            }
+            Ok(Value::list(vals))
+        }
+    }
+}
+
+fn arith(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        return match op {
+            BinOp::Add => Ok(Value::Int(x.wrapping_add(*y))),
+            BinOp::Sub => Ok(Value::Int(x.wrapping_sub(*y))),
+            BinOp::Mul => Ok(Value::Int(x.wrapping_mul(*y))),
+            BinOp::Div => {
+                if *y == 0 {
+                    Err(OverlogError::Eval("integer division by zero".into()))
+                } else {
+                    Ok(Value::Int(x.wrapping_div(*y)))
+                }
+            }
+            BinOp::Mod => {
+                if *y == 0 {
+                    Err(OverlogError::Eval("integer modulo by zero".into()))
+                } else {
+                    Ok(Value::Int(x.wrapping_rem(*y)))
+                }
+            }
+            _ => unreachable!("arith called with arithmetic op"),
+        };
+    }
+    let (x, y) = (
+        a.as_float()
+            .ok_or_else(|| OverlogError::Eval(format!("arithmetic on non-number {a}")))?,
+        b.as_float()
+            .ok_or_else(|| OverlogError::Eval(format!("arithmetic on non-number {b}")))?,
+    );
+    Ok(match op {
+        BinOp::Add => Value::Float(x + y),
+        BinOp::Sub => Value::Float(x - y),
+        BinOp::Mul => Value::Float(x * y),
+        BinOp::Div => Value::Float(x / y),
+        BinOp::Mod => Value::Float(x % y),
+        _ => unreachable!("arith called with arithmetic op"),
+    })
+}

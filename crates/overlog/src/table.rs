@@ -1,0 +1,360 @@
+//! Materialized tables: primary-key storage plus maintained secondary
+//! indexes used by the rule evaluator's join lookups.
+
+use crate::ast::{TableDecl, TableKind};
+use crate::error::{OverlogError, Result};
+use crate::value::{Row, Value};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Outcome of inserting a row into a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The row is new.
+    New,
+    /// A row with the same primary key but different contents was replaced
+    /// (JOL's key-overwrite update semantics). Carries the displaced row.
+    Replaced(Row),
+    /// An identical row was already present; no change.
+    Duplicate,
+}
+
+/// One stored relation.
+///
+/// Rows are stored in a primary-key map (`keys(...)` columns from the
+/// declaration, or the whole row when no key was declared). Secondary
+/// indexes over arbitrary column sets are created lazily by the evaluator
+/// and maintained on every mutation.
+#[derive(Debug)]
+pub struct Table {
+    def: TableDecl,
+    rows: HashMap<Vec<Value>, Row>,
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<Row>>>,
+}
+
+impl Table {
+    /// Create an empty table from its declaration.
+    pub fn new(def: TableDecl) -> Self {
+        Table {
+            def,
+            rows: HashMap::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The table's declaration.
+    pub fn def(&self) -> &TableDecl {
+        &self.def
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.def.name
+    }
+
+    /// True for event tables.
+    pub fn is_event(&self) -> bool {
+        self.def.kind == TableKind::Event
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Extract the primary-key columns of a row.
+    fn key_of(&self, row: &Row) -> Vec<Value> {
+        match &self.def.keys {
+            Some(cols) => cols.iter().map(|&c| row[c].clone()).collect(),
+            None => row.as_ref().clone(),
+        }
+    }
+
+    /// Validate arity and declared types.
+    pub fn typecheck(&self, row: &Row) -> Result<()> {
+        if row.len() != self.def.arity() {
+            return Err(OverlogError::ArityMismatch {
+                table: self.def.name.clone(),
+                expected: self.def.arity(),
+                got: row.len(),
+            });
+        }
+        for (i, (tag, v)) in self.def.types.iter().zip(row.iter()).enumerate() {
+            if !tag.admits(v) {
+                return Err(OverlogError::TypeMismatch {
+                    table: self.def.name.clone(),
+                    col: i,
+                    expected: tag.to_string(),
+                    got: v.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Coerce a row to declared column types: columns declared `Addr`
+    /// convert string values into addresses, so address joins never fail
+    /// on representation (string literals in facts, computed strings).
+    /// Public so the runtime can record *coerced* rows in its delta sets —
+    /// a delta row must compare equal to the stored row.
+    pub fn coerce(&self, row: Row) -> Row {
+        let needs = self
+            .def
+            .types
+            .iter()
+            .zip(row.iter())
+            .any(|(t, v)| *t == crate::value::TypeTag::Addr && matches!(v, Value::Str(_)));
+        if !needs {
+            return row;
+        }
+        let converted: Vec<Value> = self
+            .def
+            .types
+            .iter()
+            .zip(row.iter())
+            .map(|(t, v)| match (t, v) {
+                (crate::value::TypeTag::Addr, Value::Str(s)) => Value::Addr(s.clone()),
+                _ => v.clone(),
+            })
+            .collect();
+        std::sync::Arc::new(converted)
+    }
+
+    /// Insert a row with primary-key overwrite semantics.
+    pub fn insert(&mut self, row: Row) -> Result<InsertOutcome> {
+        self.typecheck(&row)?;
+        let row = self.coerce(row);
+        let key = self.key_of(&row);
+        match self.rows.entry(key) {
+            Entry::Occupied(mut e) => {
+                if *e.get() == row {
+                    Ok(InsertOutcome::Duplicate)
+                } else {
+                    let old = e.insert(row.clone());
+                    self.index_remove(&old);
+                    self.index_add(&row);
+                    Ok(InsertOutcome::Replaced(old))
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(row.clone());
+                self.index_add(&row);
+                Ok(InsertOutcome::New)
+            }
+        }
+    }
+
+    /// Delete an exact row. Returns true when the row was present.
+    ///
+    /// A row whose key matches but whose contents differ is *not* removed:
+    /// deletion rules re-join the current contents, so a mismatch means the
+    /// row was already overwritten.
+    pub fn delete(&mut self, row: &Row) -> bool {
+        let row = &self.coerce(row.clone());
+        let key = self.key_of(row);
+        if let Some(existing) = self.rows.get(&key) {
+            if existing == row {
+                self.rows.remove(&key);
+                self.index_remove(row);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove every row, keeping index definitions.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        for idx in self.indexes.values_mut() {
+            idx.clear();
+        }
+    }
+
+    /// True when an identical row is stored.
+    pub fn contains(&self, row: &Row) -> bool {
+        let row = &self.coerce(row.clone());
+        let key = self.key_of(row);
+        self.rows.get(&key).is_some_and(|r| r == row)
+    }
+
+    /// Fetch the row with the given primary key, if any.
+    pub fn get_by_key(&self, key: &[Value]) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Iterate all rows (unordered).
+    pub fn scan(&self) -> impl Iterator<Item = &Row> {
+        self.rows.values()
+    }
+
+    /// All rows, sorted (stable output for tests and traces).
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut v: Vec<Row> = self.rows.values().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Ensure a secondary index over `cols` exists, then return matches for
+    /// `vals`. Full-scan fallback is never needed: an empty `cols` means the
+    /// caller should use [`Table::scan`].
+    pub fn lookup(&mut self, cols: &[usize], vals: &[Value]) -> Vec<Row> {
+        debug_assert_eq!(cols.len(), vals.len());
+        debug_assert!(!cols.is_empty());
+        // Coerce probe values to declared types (Addr columns match string
+        // probes), mirroring `insert`.
+        let vals: Vec<Value> = cols
+            .iter()
+            .zip(vals.iter())
+            .map(|(&c, v)| match (self.def.types.get(c), v) {
+                (Some(crate::value::TypeTag::Addr), Value::Str(s)) => Value::Addr(s.clone()),
+                _ => v.clone(),
+            })
+            .collect();
+        let vals = &vals[..];
+        if !self.indexes.contains_key(cols) {
+            let mut idx: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+            for row in self.rows.values() {
+                let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+                idx.entry(k).or_default().push(row.clone());
+            }
+            self.indexes.insert(cols.to_vec(), idx);
+        }
+        self.indexes[cols]
+            .get(vals)
+            .map(|v| v.clone())
+            .unwrap_or_default()
+    }
+
+    fn index_add(&mut self, row: &Row) {
+        for (cols, idx) in &mut self.indexes {
+            let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            idx.entry(k).or_default().push(row.clone());
+        }
+    }
+
+    fn index_remove(&mut self, row: &Row) {
+        for (cols, idx) in &mut self.indexes {
+            let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            if let Some(bucket) = idx.get_mut(&k) {
+                if let Some(pos) = bucket.iter().position(|r| r == row) {
+                    bucket.swap_remove(pos);
+                }
+                if bucket.is_empty() {
+                    idx.remove(&k);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::TypeTag;
+
+    fn decl(keys: Option<Vec<usize>>) -> TableDecl {
+        TableDecl {
+            name: "t".into(),
+            keys,
+            types: vec![TypeTag::Int, TypeTag::Str],
+            kind: TableKind::Materialized,
+        }
+    }
+
+    #[test]
+    fn insert_new_duplicate_replace() {
+        let mut t = Table::new(decl(Some(vec![0])));
+        assert_eq!(t.insert(tuple!(1, "a")).unwrap(), InsertOutcome::New);
+        assert_eq!(t.insert(tuple!(1, "a")).unwrap(), InsertOutcome::Duplicate);
+        match t.insert(tuple!(1, "b")).unwrap() {
+            InsertOutcome::Replaced(old) => assert_eq!(old, tuple!(1, "a")),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(&tuple!(1, "b")));
+        assert!(!t.contains(&tuple!(1, "a")));
+    }
+
+    #[test]
+    fn whole_row_key_when_no_keys_declared() {
+        let mut t = Table::new(decl(None));
+        t.insert(tuple!(1, "a")).unwrap();
+        t.insert(tuple!(1, "b")).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn typecheck_rejects_bad_rows() {
+        let mut t = Table::new(decl(Some(vec![0])));
+        assert!(matches!(
+            t.insert(tuple!(1)).unwrap_err(),
+            OverlogError::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            t.insert(tuple!("x", "y")).unwrap_err(),
+            OverlogError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn delete_requires_exact_match() {
+        let mut t = Table::new(decl(Some(vec![0])));
+        t.insert(tuple!(1, "a")).unwrap();
+        assert!(!t.delete(&tuple!(1, "b")));
+        assert!(t.delete(&tuple!(1, "a")));
+        assert!(t.is_empty());
+        assert!(!t.delete(&tuple!(1, "a")));
+    }
+
+    #[test]
+    fn secondary_index_tracks_mutations() {
+        let mut t = Table::new(decl(Some(vec![0])));
+        t.insert(tuple!(1, "x")).unwrap();
+        t.insert(tuple!(2, "x")).unwrap();
+        t.insert(tuple!(3, "y")).unwrap();
+        let hits = t.lookup(&[1], &[Value::str("x")]);
+        assert_eq!(hits.len(), 2);
+        // Mutate after the index exists; it must stay consistent.
+        t.insert(tuple!(2, "y")).unwrap(); // replace 2,"x" -> 2,"y"
+        t.delete(&tuple!(1, "x"));
+        assert!(t.lookup(&[1], &[Value::str("x")]).is_empty());
+        assert_eq!(t.lookup(&[1], &[Value::str("y")]).len(), 2);
+        t.insert(tuple!(9, "x")).unwrap();
+        assert_eq!(t.lookup(&[1], &[Value::str("x")]).len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_indexes_working() {
+        let mut t = Table::new(decl(Some(vec![0])));
+        t.insert(tuple!(1, "x")).unwrap();
+        t.lookup(&[1], &[Value::str("x")]);
+        t.clear();
+        assert!(t.is_empty());
+        t.insert(tuple!(2, "x")).unwrap();
+        assert_eq!(t.lookup(&[1], &[Value::str("x")]).len(), 1);
+    }
+
+    #[test]
+    fn get_by_key() {
+        let mut t = Table::new(decl(Some(vec![0])));
+        t.insert(tuple!(1, "a")).unwrap();
+        assert_eq!(t.get_by_key(&[Value::Int(1)]), Some(&tuple!(1, "a")));
+        assert_eq!(t.get_by_key(&[Value::Int(2)]), None);
+    }
+
+    #[test]
+    fn sorted_rows_is_deterministic() {
+        let mut t = Table::new(decl(None));
+        t.insert(tuple!(2, "b")).unwrap();
+        t.insert(tuple!(1, "a")).unwrap();
+        let rows = t.sorted_rows();
+        assert_eq!(rows[0], tuple!(1, "a"));
+        assert_eq!(rows[1], tuple!(2, "b"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Dynamically-typed tuple values.
+//!
+//! Overlog is dynamically typed at the tuple level: every column of every
+//! relation holds a [`Value`]. Table declarations carry [`TypeTag`]s that are
+//! checked on insertion, mirroring JOL's declared Java types.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single column value in an Overlog tuple.
+///
+/// `Value` implements total `Eq`/`Ord`/`Hash` (floats compare via IEEE total
+/// ordering) so tuples can serve as hash-table and B-tree keys throughout the
+/// runtime.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The distinguished null constant (`null` in Overlog source).
+    Null,
+    /// Boolean constant (`true` / `false`).
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. Compared with `f64::total_cmp`.
+    Float(f64),
+    /// Interned immutable string.
+    Str(Arc<str>),
+    /// A network address (node name). Distinct from `Str` so location
+    /// specifiers are unambiguous in traces.
+    Addr(Arc<str>),
+    /// A list of values (used e.g. for chunk-location sets and RPC args).
+    List(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an address value.
+    pub fn addr(s: impl AsRef<str>) -> Self {
+        Value::Addr(Arc::from(s.as_ref()))
+    }
+
+    /// Build a list value.
+    pub fn list(vs: Vec<Value>) -> Self {
+        Value::List(Arc::new(vs))
+    }
+
+    /// The runtime type of this value.
+    pub fn type_tag(&self) -> TypeTag {
+        match self {
+            Value::Null => TypeTag::Any,
+            Value::Bool(_) => TypeTag::Bool,
+            Value::Int(_) => TypeTag::Int,
+            Value::Float(_) => TypeTag::Float,
+            Value::Str(_) => TypeTag::Str,
+            Value::Addr(_) => TypeTag::Addr,
+            Value::List(_) => TypeTag::List,
+        }
+    }
+
+    /// Interpret the value as a boolean condition (used by comparison terms).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            _ => true,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float accessor with int coercion.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// String accessor (both `Str` and `Addr`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) | Value::Addr(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// List accessor.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Discriminant used for cross-variant ordering.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::Addr(_) => 5,
+            Value::List(_) => 6,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Numeric cross-comparison: ints and floats compare by value so
+            // rule conditions like `Progress > 0` work on float columns.
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Addr(a), Addr(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(2);
+                i.hash(state);
+            }
+            // Hash floats that are exactly integral the same way as ints so
+            // `Int(2) == Float(2.0)` implies equal hashes.
+            Value::Float(f) => {
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                    state.write_u8(2);
+                    (*f as i64).hash(state);
+                } else {
+                    state.write_u8(3);
+                    f.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+            Value::Addr(s) => {
+                state.write_u8(5);
+                s.hash(state);
+            }
+            Value::List(l) => {
+                state.write_u8(6);
+                l.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Addr(s) => write!(f, "@{s}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+/// Declared column type in a `define(...)` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeTag {
+    /// Matches any value (declared `Value` in source).
+    Any,
+    /// `Bool`
+    Bool,
+    /// `Int` / `Long`
+    Int,
+    /// `Float` / `Double`
+    Float,
+    /// `String`
+    Str,
+    /// `Addr` — a network location; columns carrying location specifiers.
+    Addr,
+    /// `List`
+    List,
+}
+
+impl TypeTag {
+    /// Parse a declared type name from Overlog source.
+    pub fn parse(name: &str) -> Option<TypeTag> {
+        Some(match name {
+            "Value" | "Any" | "Object" => TypeTag::Any,
+            "Bool" | "Boolean" => TypeTag::Bool,
+            "Int" | "Integer" | "Long" => TypeTag::Int,
+            "Float" | "Double" => TypeTag::Float,
+            "String" | "Str" => TypeTag::Str,
+            "Addr" | "Address" | "Location" => TypeTag::Addr,
+            "List" | "Set" => TypeTag::List,
+            _ => return None,
+        })
+    }
+
+    /// Whether a value is admissible under this declared type.
+    ///
+    /// `Null` is admissible everywhere (JOL semantics); ints are admissible
+    /// where floats are declared.
+    pub fn admits(self, v: &Value) -> bool {
+        match (self, v) {
+            (TypeTag::Any, _) | (_, Value::Null) => true,
+            (TypeTag::Float, Value::Int(_)) => true,
+            // Strings are accepted where addresses are declared: clients
+            // frequently compute addresses as strings.
+            (TypeTag::Addr, Value::Str(_)) => true,
+            _ => self == v.type_tag(),
+        }
+    }
+}
+
+impl fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TypeTag::Any => "Value",
+            TypeTag::Bool => "Bool",
+            TypeTag::Int => "Int",
+            TypeTag::Float => "Float",
+            TypeTag::Str => "String",
+            TypeTag::Addr => "Addr",
+            TypeTag::List => "List",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A tuple (row) of an Overlog relation. Cheap to clone.
+pub type Row = Arc<Vec<Value>>;
+
+/// Build a [`Row`] from an iterator of values.
+pub fn row(vals: impl IntoIterator<Item = Value>) -> Row {
+    Arc::new(vals.into_iter().collect())
+}
+
+/// Convenience macro for building rows from heterogeneous literals.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::value::row(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn int_float_equality_is_consistent_with_hash() {
+        let a = Value::Int(2);
+        let b = Value::Float(2.0);
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_eq!(nan, nan.clone());
+    }
+
+    #[test]
+    fn cross_variant_ordering_is_total_and_antisymmetric() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(1),
+            Value::str("a"),
+            Value::addr("node1"),
+            Value::list(vec![Value::Int(1)]),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let ab = a.cmp(b);
+                let ba = b.cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn type_tags_admit_expected_values() {
+        assert!(TypeTag::Int.admits(&Value::Int(3)));
+        assert!(TypeTag::Float.admits(&Value::Int(3)));
+        assert!(!TypeTag::Int.admits(&Value::Float(3.5)));
+        assert!(TypeTag::Str.admits(&Value::Null));
+        assert!(TypeTag::Addr.admits(&Value::str("n1")));
+        assert!(TypeTag::Any.admits(&Value::list(vec![])));
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+        assert_eq!(Value::addr("n").to_string(), "@n");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(Value::str("").truthy());
+        assert!(!Value::Int(0).truthy());
+    }
+
+    #[test]
+    fn tuple_macro_builds_rows() {
+        let r = tuple!(1, "a", 2.5, true);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], Value::Int(1));
+        assert_eq!(r[3], Value::Bool(true));
+    }
+}

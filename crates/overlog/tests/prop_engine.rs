@@ -1,0 +1,213 @@
+//! Property-based tests: the semi-naive stratified evaluator must agree
+//! with straightforward reference implementations on randomized inputs.
+
+use boom_overlog::value::row;
+use boom_overlog::{OverlogRuntime, Value};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+fn tc_reference(edges: &BTreeSet<(i64, i64)>) -> BTreeSet<(i64, i64)> {
+    let mut paths: BTreeSet<(i64, i64)> = edges.clone();
+    loop {
+        let mut grew = false;
+        let snapshot: Vec<(i64, i64)> = paths.iter().cloned().collect();
+        for &(x, y) in edges {
+            for &(a, b) in &snapshot {
+                if a == y && paths.insert((x, b)) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    paths
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transitive closure computed by the engine equals the reference.
+    #[test]
+    fn transitive_closure_matches_reference(
+        edges in proptest::collection::btree_set((0i64..12, 0i64..12), 0..40)
+    ) {
+        let mut rt = OverlogRuntime::new("n");
+        rt.load(
+            "define(link, keys(0,1), {Int, Int});
+             define(path, keys(0,1), {Int, Int});
+             path(X, Y) :- link(X, Y);
+             path(X, Z) :- link(X, Y), path(Y, Z);",
+        ).unwrap();
+        for &(a, b) in &edges {
+            rt.insert("link", row(vec![Value::Int(a), Value::Int(b)])).unwrap();
+        }
+        rt.tick(0).unwrap();
+        let got: BTreeSet<(i64, i64)> = rt
+            .rows("path")
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(got, tc_reference(&edges));
+    }
+
+    /// Incremental insertion over many ticks converges to the same closure
+    /// as batch insertion in one tick.
+    #[test]
+    fn incremental_equals_batch(
+        edges in proptest::collection::vec((0i64..10, 0i64..10), 0..25)
+    ) {
+        let src = "define(link, keys(0,1), {Int, Int});
+                   define(path, keys(0,1), {Int, Int});
+                   path(X, Y) :- link(X, Y);
+                   path(X, Z) :- link(X, Y), path(Y, Z);";
+        let mut batch = OverlogRuntime::new("n");
+        batch.load(src).unwrap();
+        let mut incr = OverlogRuntime::new("n");
+        incr.load(src).unwrap();
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            batch.insert("link", row(vec![Value::Int(a), Value::Int(b)])).unwrap();
+            incr.insert("link", row(vec![Value::Int(a), Value::Int(b)])).unwrap();
+            incr.tick(i as u64).unwrap();
+        }
+        batch.tick(0).unwrap();
+        prop_assert_eq!(batch.rows("path"), incr.rows("path"));
+    }
+
+    /// Deleting edges then recomputing equals building from the surviving
+    /// edges directly (view recomputation soundness).
+    #[test]
+    fn deletion_recompute_equals_rebuild(
+        edges in proptest::collection::btree_set((0i64..8, 0i64..8), 1..20),
+        kill_idx in proptest::collection::vec(0usize..20, 0..6)
+    ) {
+        let src = "define(link, keys(0,1), {Int, Int});
+                   define(path, keys(0,1), {Int, Int});
+                   path(X, Y) :- link(X, Y);
+                   path(X, Z) :- link(X, Y), path(Y, Z);";
+        let edge_vec: Vec<(i64, i64)> = edges.iter().cloned().collect();
+        let killed: BTreeSet<usize> = kill_idx.into_iter()
+            .map(|i| i % edge_vec.len())
+            .collect();
+
+        let mut full = OverlogRuntime::new("n");
+        full.load(src).unwrap();
+        for &(a, b) in &edge_vec {
+            full.insert("link", row(vec![Value::Int(a), Value::Int(b)])).unwrap();
+        }
+        full.tick(0).unwrap();
+        for &i in &killed {
+            let (a, b) = edge_vec[i];
+            full.delete("link", row(vec![Value::Int(a), Value::Int(b)])).unwrap();
+        }
+        full.tick(1).unwrap();
+
+        let mut rebuilt = OverlogRuntime::new("n");
+        rebuilt.load(src).unwrap();
+        for (i, &(a, b)) in edge_vec.iter().enumerate() {
+            if !killed.contains(&i) {
+                rebuilt.insert("link", row(vec![Value::Int(a), Value::Int(b)])).unwrap();
+            }
+        }
+        rebuilt.tick(0).unwrap();
+        prop_assert_eq!(full.rows("path"), rebuilt.rows("path"));
+    }
+
+    /// Aggregates equal a direct fold over the data.
+    #[test]
+    fn aggregates_match_fold(
+        tasks in proptest::collection::btree_set((0i64..5, -50i64..50), 0..40)
+    ) {
+        let mut rt = OverlogRuntime::new("n");
+        rt.load(
+            "define(task, keys(0,1), {Int, Int});
+             define(stats, keys(0), {Int, Int, Int, Int});
+             stats(J, count<T>, min<T>, sum<T>) :- task(J, T);",
+        ).unwrap();
+        let mut expect: HashMap<i64, (i64, i64, i64)> = HashMap::new();
+        for &(j, t) in &tasks {
+            rt.insert("task", row(vec![Value::Int(j), Value::Int(t)])).unwrap();
+            let e = expect.entry(j).or_insert((0, i64::MAX, 0));
+            e.0 += 1;
+            e.1 = e.1.min(t);
+            e.2 += t;
+        }
+        rt.tick(0).unwrap();
+        let got: HashMap<i64, (i64, i64, i64)> = rt
+            .rows("stats")
+            .iter()
+            .map(|r| {
+                (
+                    r[0].as_int().unwrap(),
+                    (
+                        r[1].as_int().unwrap(),
+                        r[2].as_int().unwrap(),
+                        r[3].as_int().unwrap(),
+                    ),
+                )
+            })
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Negation: `up = node - down` exactly.
+    #[test]
+    fn negation_is_set_difference(
+        nodes in proptest::collection::btree_set(0i64..30, 0..20),
+        down in proptest::collection::btree_set(0i64..30, 0..20)
+    ) {
+        let mut rt = OverlogRuntime::new("n");
+        rt.load(
+            "define(node, keys(0), {Int});
+             define(down, keys(0), {Int});
+             define(up, keys(0), {Int});
+             up(X) :- node(X), notin down(X);",
+        ).unwrap();
+        for &n in &nodes {
+            rt.insert("node", row(vec![Value::Int(n)])).unwrap();
+        }
+        for &d in &down {
+            rt.insert("down", row(vec![Value::Int(d)])).unwrap();
+        }
+        rt.tick(0).unwrap();
+        let got: BTreeSet<i64> = rt.rows("up").iter().map(|r| r[0].as_int().unwrap()).collect();
+        let expect: BTreeSet<i64> = nodes.difference(&down).cloned().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Key overwrite keeps exactly the last value per key regardless of
+    /// interleaving across ticks.
+    #[test]
+    fn key_overwrite_keeps_last_write(
+        writes in proptest::collection::vec((0i64..6, 0i64..1000), 1..60),
+        ticks_between in proptest::collection::vec(proptest::bool::ANY, 1..60)
+    ) {
+        let mut rt = OverlogRuntime::new("n");
+        rt.load(
+            "event w, {Int, Int};
+             define(kv, keys(0), {Int, Int});
+             kv(K, V) :- w(K, V);",
+        ).unwrap();
+        let mut expect: HashMap<i64, i64> = HashMap::new();
+        let mut time = 0u64;
+        for (i, &(k, v)) in writes.iter().enumerate() {
+            rt.insert("w", row(vec![Value::Int(k), Value::Int(v)])).unwrap();
+            expect.insert(k, v);
+            // Sometimes batch several writes into the same tick; last write
+            // in program order within a tick still wins because deltas are
+            // processed in arrival order.
+            if ticks_between.get(i).copied().unwrap_or(true) {
+                rt.settle(time).unwrap();
+                time += 1;
+            }
+        }
+        rt.settle(time).unwrap();
+        let got: HashMap<i64, i64> = rt
+            .rows("kv")
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,386 @@
+//! End-to-end semantics tests for the Overlog runtime: timestep model,
+//! events, negation, aggregation, deletion rules, views, location
+//! specifiers, and timers.
+
+use boom_overlog::value::row;
+use boom_overlog::{OverlogRuntime, OverlogError, TraceOp, Value};
+use std::sync::Arc;
+
+fn rt(src: &str) -> OverlogRuntime {
+    let mut r = OverlogRuntime::new("n1");
+    r.load(src).expect("program loads");
+    r
+}
+
+fn ints(rt: &OverlogRuntime, table: &str) -> Vec<Vec<i64>> {
+    rt.rows(table)
+        .iter()
+        .map(|r| r.iter().map(|v| v.as_int().unwrap_or(i64::MIN)).collect())
+        .collect()
+}
+
+#[test]
+fn transitive_closure_fixpoint() {
+    let mut r = rt("define(link, keys(0,1), {Int, Int});
+                    define(path, keys(0,1), {Int, Int});
+                    path(X, Y) :- link(X, Y);
+                    path(X, Z) :- link(X, Y), path(Y, Z);");
+    for i in 0..10 {
+        r.insert("link", row(vec![Value::Int(i), Value::Int(i + 1)]))
+            .unwrap();
+    }
+    r.tick(0).unwrap();
+    // 11 nodes in a chain: 10+9+...+1 = 55 paths.
+    assert_eq!(r.count("path"), 55);
+}
+
+#[test]
+fn events_live_for_one_tick() {
+    let mut r = rt("event ping, {Int};
+                    define(log, keys(0), {Int});
+                    log(X) :- ping(X);");
+    r.insert("ping", row(vec![Value::Int(7)])).unwrap();
+    let res = r.tick(0).unwrap();
+    assert_eq!(r.count("ping"), 0, "event cleared at tick boundary");
+    assert_eq!(r.count("log"), 0, "inductive insert lands next tick");
+    let _ = res;
+    r.settle(0).unwrap();
+    assert_eq!(ints(&r, "log"), vec![vec![7]], "event effect persisted");
+    r.tick(1).unwrap();
+    assert_eq!(ints(&r, "log"), vec![vec![7]], "no event, no new derivation");
+}
+
+#[test]
+fn derived_events_visible_within_the_same_tick() {
+    let mut r = rt("event a, {Int};
+                    event b, {Int};
+                    define(out, keys(0), {Int});
+                    b(X + 1) :- a(X);
+                    out(Y) :- b(Y);");
+    r.insert("a", row(vec![Value::Int(1)])).unwrap();
+    r.settle(0).unwrap();
+    assert_eq!(ints(&r, "out"), vec![vec![2]]);
+}
+
+#[test]
+fn negation_is_stratified() {
+    let mut r = rt("define(node, keys(0), {Int});
+                    define(down, keys(0), {Int});
+                    define(up, keys(0), {Int});
+                    up(X) :- node(X), notin down(X);");
+    r.insert("node", row(vec![Value::Int(1)])).unwrap();
+    r.insert("node", row(vec![Value::Int(2)])).unwrap();
+    r.insert("down", row(vec![Value::Int(2)])).unwrap();
+    r.tick(0).unwrap();
+    assert_eq!(ints(&r, "up"), vec![vec![1]]);
+}
+
+#[test]
+fn aggregates_group_correctly() {
+    let mut r = rt("define(task, keys(0,1), {Int, Int});
+                    define(stats, keys(0), {Int, Int, Int, Int, Float});
+                    stats(J, count<T>, min<T>, max<T>, avg<T>) :- task(J, T);");
+    for (j, t) in [(1, 10), (1, 20), (1, 30), (2, 5)] {
+        r.insert("task", row(vec![Value::Int(j), Value::Int(t)]))
+            .unwrap();
+    }
+    r.tick(0).unwrap();
+    let rows = r.rows("stats");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(
+        rows[0],
+        row(vec![
+            Value::Int(1),
+            Value::Int(3),
+            Value::Int(10),
+            Value::Int(30),
+            Value::Float(20.0)
+        ])
+    );
+    assert_eq!(
+        rows[1],
+        row(vec![
+            Value::Int(2),
+            Value::Int(1),
+            Value::Int(5),
+            Value::Int(5),
+            Value::Float(5.0)
+        ])
+    );
+}
+
+#[test]
+fn aggregate_updates_when_inputs_grow() {
+    let mut r = rt("define(t, keys(0), {Int});
+                    define(c, keys(), {Int});
+                    c(count<X>) :- t(X);");
+    r.insert("t", row(vec![Value::Int(1)])).unwrap();
+    r.tick(0).unwrap();
+    assert_eq!(ints(&r, "c"), vec![vec![1]]);
+    r.insert("t", row(vec![Value::Int(2)])).unwrap();
+    r.tick(1).unwrap();
+    assert_eq!(ints(&r, "c"), vec![vec![2]], "old count replaced via key overwrite");
+}
+
+#[test]
+fn count_star_counts_tuples() {
+    let mut r = rt("define(t, keys(0,1), {Int, Int});
+                    define(c, keys(0), {Int, Int});
+                    c(X, count<*>) :- t(X, _);");
+    for (a, b) in [(1, 1), (1, 2), (2, 9)] {
+        r.insert("t", row(vec![Value::Int(a), Value::Int(b)])).unwrap();
+    }
+    r.tick(0).unwrap();
+    assert_eq!(ints(&r, "c"), vec![vec![1, 2], vec![2, 1]]);
+}
+
+#[test]
+fn delete_rules_apply_at_tick_boundary() {
+    let mut r = rt("define(t, keys(0), {Int});
+                    event rm, {Int};
+                    event probe, {Int};
+                    define(seen_at_delete_time, keys(0), {Int});
+                    delete t(X) :- rm(X), t(X);
+                    seen_at_delete_time(X) :- probe(_), t(X);");
+    r.insert("t", row(vec![Value::Int(5)])).unwrap();
+    r.tick(0).unwrap();
+    r.insert("rm", row(vec![Value::Int(5)])).unwrap();
+    r.insert("probe", row(vec![Value::Int(0)])).unwrap();
+    r.settle(1).unwrap();
+    // The deletion is deferred: rules in the same tick still saw t(5).
+    assert_eq!(ints(&r, "seen_at_delete_time"), vec![vec![5]]);
+    assert_eq!(r.count("t"), 0, "deleted at boundary");
+}
+
+#[test]
+fn views_recompute_after_deletion() {
+    let mut r = rt("define(edge, keys(0,1), {Int, Int});
+                    define(reach, keys(0,1), {Int, Int});
+                    reach(X, Y) :- edge(X, Y);
+                    reach(X, Z) :- edge(X, Y), reach(Y, Z);");
+    for (a, b) in [(1, 2), (2, 3)] {
+        r.insert("edge", row(vec![Value::Int(a), Value::Int(b)])).unwrap();
+    }
+    r.tick(0).unwrap();
+    assert_eq!(r.count("reach"), 3);
+    // Remove edge 2→3: derived paths through it must disappear.
+    r.delete("edge", row(vec![Value::Int(2), Value::Int(3)])).unwrap();
+    let res = r.tick(1).unwrap();
+    assert_eq!(ints(&r, "reach"), vec![vec![1, 2]]);
+    // The recompute happened at the start of the tick (external delete).
+    assert_eq!(r.count("edge"), 1);
+    let _ = res;
+}
+
+#[test]
+fn key_overwrite_semantics() {
+    let mut r = rt("define(hb, keys(0), {Int, Int});
+                    event beat, {Int, Int};
+                    hb(N, T) :- beat(N, T);");
+    r.insert("beat", row(vec![Value::Int(1), Value::Int(100)])).unwrap();
+    r.settle(0).unwrap();
+    r.insert("beat", row(vec![Value::Int(1), Value::Int(200)])).unwrap();
+    r.settle(1).unwrap();
+    assert_eq!(ints(&r, "hb"), vec![vec![1, 200]], "newer heartbeat replaced older");
+}
+
+#[test]
+fn location_specifier_routes_remote_tuples() {
+    let mut r = rt("event req, {Addr, Int};
+                    event resp, {Addr, Int};
+                    resp(@Src, X * 10) :- req(Src, X);");
+    r.insert("req", row(vec![Value::addr("client7"), Value::Int(4)]))
+        .unwrap();
+    let out = r.tick(0).unwrap();
+    assert_eq!(out.sends.len(), 1);
+    let s = &out.sends[0];
+    assert_eq!(&*s.dest, "client7");
+    assert_eq!(s.table, "resp");
+    assert_eq!(s.row, row(vec![Value::addr("client7"), Value::Int(40)]));
+    assert_eq!(r.count("resp"), 0, "remote tuple not inserted locally");
+}
+
+#[test]
+fn location_specifier_local_address_stays_local() {
+    let mut r = rt("event req, {Addr, Int};
+                    define(resp, keys(0,1), {Addr, Int});
+                    resp(@Src, X) :- req(Src, X);");
+    r.insert("req", row(vec![Value::addr("n1"), Value::Int(4)]))
+        .unwrap();
+    let sends = r.settle(0).unwrap();
+    assert!(sends.is_empty());
+    assert_eq!(r.count("resp"), 1);
+}
+
+#[test]
+fn me_table_binds_self_address() {
+    let mut r = rt("event probe, {Int};
+                    define(whoami, keys(0), {Addr});
+                    whoami(M) :- probe(_), me(M);");
+    r.insert("probe", row(vec![Value::Int(0)])).unwrap();
+    r.settle(0).unwrap();
+    assert_eq!(r.rows("whoami")[0], row(vec![Value::addr("n1")]));
+}
+
+#[test]
+fn timers_fire_on_schedule() {
+    let mut r = rt("timer(hb, 100);
+                    define(fired, keys(0), {Int});
+                    fired(T) :- hb(T);");
+    r.settle(0).unwrap();
+    assert_eq!(r.count("fired"), 1, "fires on first tick");
+    r.settle(50).unwrap();
+    assert_eq!(r.count("fired"), 1, "not due yet");
+    r.settle(100).unwrap();
+    assert_eq!(r.count("fired"), 2);
+    r.settle(350).unwrap();
+    assert_eq!(r.count("fired"), 3, "one firing per tick even when late");
+}
+
+#[test]
+fn assignments_and_builtins() {
+    let mut r = rt(r#"event in, {String};
+                    define(out, keys(0,1), {String, Int});
+                    out(P, L) :- in(Name), P := "/dir/" ++ Name, L := strlen(P);"#);
+    r.insert("in", row(vec![Value::str("f")])).unwrap();
+    r.settle(0).unwrap();
+    assert_eq!(r.rows("out")[0], row(vec![Value::str("/dir/f"), Value::Int(6)]));
+}
+
+#[test]
+fn custom_builtin_registration() {
+    let mut r = OverlogRuntime::new("n1");
+    r.register_builtin("triple", |args| {
+        Ok(Value::Int(args[0].as_int().unwrap_or(0) * 3))
+    });
+    r.load(
+        "event in, {Int};
+         define(out, keys(0), {Int});
+         out(Y) :- in(X), Y := triple(X);",
+    )
+    .unwrap();
+    r.insert("in", row(vec![Value::Int(5)])).unwrap();
+    r.settle(0).unwrap();
+    assert_eq!(ints(&r, "out"), vec![vec![15]]);
+}
+
+#[test]
+fn budget_guards_divergence() {
+    let mut r = rt("define(n, keys(0), {Int});
+                    n(X + 1) :- n(X);");
+    r.set_budget(1000);
+    r.insert("n", row(vec![Value::Int(0)])).unwrap();
+    let err = r.tick(0).unwrap_err();
+    assert!(matches!(err, OverlogError::Eval(_)));
+}
+
+#[test]
+fn watch_records_trace() {
+    let mut r = rt("define(t, keys(0), {Int});
+                    watch(t);
+                    event e, {Int};
+                    t(X) :- e(X);");
+    r.insert("e", row(vec![Value::Int(3)])).unwrap();
+    r.settle(0).unwrap();
+    let trace = r.take_trace();
+    assert!(trace
+        .iter()
+        .any(|ev| ev.table == "t" && ev.op == TraceOp::Insert));
+}
+
+#[test]
+fn multiple_programs_merge() {
+    let mut r = rt("define(base, keys(0), {Int});");
+    r.load(
+        "define(derived, keys(0), {Int});
+         derived(X * 2) :- base(X);",
+    )
+    .unwrap();
+    r.insert("base", row(vec![Value::Int(4)])).unwrap();
+    r.tick(0).unwrap();
+    assert_eq!(ints(&r, "derived"), vec![vec![8]]);
+}
+
+#[test]
+fn conflicting_redefinition_rejected() {
+    let mut r = rt("define(t, keys(0), {Int});");
+    let err = r.load("define(t, keys(0), {String});").unwrap_err();
+    assert!(matches!(err, OverlogError::Redefinition(_)));
+    // Identical redefinition is fine.
+    r.load("define(t, keys(0), {Int});").unwrap();
+}
+
+#[test]
+fn failed_load_leaves_runtime_usable() {
+    let mut r = rt("define(t, keys(0), {Int}); t(1);");
+    let err = r.load("define(u, keys(0), {Int}); u(X) :- t(X), notin u(X);");
+    assert!(err.is_err(), "unstratifiable program rejected");
+    // Previous program still works.
+    r.tick(0).unwrap();
+    assert_eq!(r.count("t"), 1);
+}
+
+#[test]
+fn deletion_of_missing_row_is_noop() {
+    let mut r = rt("define(t, keys(0), {Int});");
+    r.delete("t", row(vec![Value::Int(1)])).unwrap();
+    let res = r.tick(0).unwrap();
+    assert_eq!(res.deletions, 0);
+}
+
+#[test]
+fn rename_pattern_overwrite_plus_delete_same_tick() {
+    // A rename in BOOM-FS overwrites the PK row; a concurrent delete of the
+    // stale row must not remove the new one.
+    let mut r = rt("define(file, keys(0), {Int, String});
+                    event mv, {Int, String};
+                    event rmstale, {Int, String};
+                    file(F, N) :- mv(F, N);
+                    delete file(F, N) :- rmstale(F, N), file(F, N);");
+    r.insert("file", Arc::new(vec![Value::Int(1), Value::str("old")]))
+        .unwrap();
+    r.tick(0).unwrap();
+    r.insert("mv", Arc::new(vec![Value::Int(1), Value::str("new")]))
+        .unwrap();
+    r.insert("rmstale", Arc::new(vec![Value::Int(1), Value::str("old")]))
+        .unwrap();
+    r.settle(1).unwrap();
+    assert_eq!(r.rows("file"), vec![row(vec![Value::Int(1), Value::str("new")])]);
+}
+
+#[test]
+fn condition_ordering_is_flexible() {
+    // Condition written before the predicate that binds its variable.
+    let mut r = rt("define(t, keys(0), {Int});
+                    define(big, keys(0), {Int});
+                    big(X) :- X > 10, t(X);");
+    r.insert("t", row(vec![Value::Int(5)])).unwrap();
+    r.insert("t", row(vec![Value::Int(15)])).unwrap();
+    r.tick(0).unwrap();
+    assert_eq!(ints(&r, "big"), vec![vec![15]]);
+}
+
+#[test]
+fn self_join_with_distinct_bindings() {
+    let mut r = rt("define(p, keys(0,1), {Int, Int});
+                    define(sib, keys(0,1), {Int, Int});
+                    sib(A, B) :- p(X, A), p(X, B), A != B;");
+    for (x, c) in [(1, 10), (1, 11), (2, 20)] {
+        r.insert("p", row(vec![Value::Int(x), Value::Int(c)])).unwrap();
+    }
+    r.tick(0).unwrap();
+    assert_eq!(ints(&r, "sib"), vec![vec![10, 11], vec![11, 10]]);
+}
+
+#[test]
+fn derivations_counted() {
+    let mut r = rt("define(t, keys(0), {Int});
+                    define(u, keys(0), {Int});
+                    u(X) :- t(X);");
+    r.insert("t", row(vec![Value::Int(1)])).unwrap();
+    let res = r.tick(0).unwrap();
+    assert!(res.derivations >= 1);
+    let fires = r.rule_fire_counts();
+    assert_eq!(fires.len(), 1);
+    assert_eq!(fires[0].1, 1);
+}

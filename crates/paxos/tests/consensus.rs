@@ -1,0 +1,204 @@
+//! Integration tests for the Overlog Paxos kernel: agreement, ordering,
+//! leader failover, recovery of in-flight values, and tolerance to message
+//! loss.
+
+use boom_overlog::{Value, value::row};
+use boom_paxos::{decided_log, paxos_runtime, propose_row, PaxosGroup};
+use boom_simnet::{OverlogActor, Sim, SimConfig};
+
+const MEMBERS: [&str; 3] = ["px0", "px1", "px2"];
+
+fn build(sim_cfg: SimConfig, lease_ms: u64) -> (Sim, PaxosGroup) {
+    let group = PaxosGroup::new(&MEMBERS, lease_ms);
+    let mut sim = Sim::new(sim_cfg);
+    for name in &group.members {
+        let g = group.clone();
+        sim.add_node(
+            name,
+            Box::new(OverlogActor::with_factory(
+                Box::new(move |n| paxos_runtime(n, &g)),
+                20,
+                name,
+            )),
+        );
+    }
+    (sim, group)
+}
+
+fn log_of(sim: &mut Sim, node: &str) -> Vec<(i64, String)> {
+    sim.with_actor::<OverlogActor, _>(node, |a| decided_log(a.runtime_ref()))
+}
+
+fn decided_count(sim: &mut Sim, node: &str) -> usize {
+    sim.with_actor::<OverlogActor, _>(node, |a| a.runtime_ref().count("decided"))
+}
+
+fn assert_no_runtime_errors(sim: &mut Sim, nodes: &[&str]) {
+    for n in nodes {
+        if !sim.is_up(n) {
+            continue;
+        }
+        let errs = sim.with_actor::<OverlogActor, _>(n, |a| a.errors.clone());
+        assert!(errs.is_empty(), "{n} had runtime errors: {errs:?}");
+    }
+}
+
+#[test]
+fn three_replicas_decide_in_proposal_order() {
+    let (mut sim, _) = build(SimConfig::default(), 4_000);
+    for i in 0..5 {
+        sim.inject(
+            "px0",
+            "propose",
+            propose_row("client", i, &format!("cmd{i}"), vec![]),
+        );
+        sim.run_for(200);
+    }
+    let ok = sim.run_while(30_000, |s| {
+        MEMBERS.iter().all(|m| {
+            s.with_actor::<OverlogActor, _>(m, |a| a.runtime_ref().count("decided") >= 5)
+        })
+    });
+    assert!(ok, "not all replicas learned 5 decisions");
+    let l0 = log_of(&mut sim, "px0");
+    assert_eq!(
+        l0.iter().map(|(_, c)| c.as_str()).collect::<Vec<_>>(),
+        vec!["cmd0", "cmd1", "cmd2", "cmd3", "cmd4"],
+        "log preserves proposal order"
+    );
+    assert_eq!(l0, log_of(&mut sim, "px1"));
+    assert_eq!(l0, log_of(&mut sim, "px2"));
+    assert_no_runtime_errors(&mut sim, &MEMBERS);
+}
+
+#[test]
+fn leader_failover_elects_and_continues() {
+    let (mut sim, _) = build(SimConfig::default(), 3_000);
+    sim.inject("px0", "propose", propose_row("c", 1, "before-crash", vec![]));
+    let ok = sim.run_while(10_000, |s| {
+        MEMBERS
+            .iter()
+            .all(|m| s.with_actor::<OverlogActor, _>(m, |a| a.runtime_ref().count("decided") >= 1))
+    });
+    assert!(ok, "initial value not decided");
+
+    // Kill the leader; px1 should take over after its lease expires.
+    sim.schedule_crash("px0", sim.now() + 10);
+    sim.run_for(100);
+    // Proposals now go to the next replica (clients retry in practice).
+    sim.inject("px1", "propose", propose_row("c", 2, "after-crash", vec![]));
+    let ok = sim.run_while(60_000, |s| {
+        ["px1", "px2"]
+            .iter()
+            .all(|m| s.with_actor::<OverlogActor, _>(m, |a| a.runtime_ref().count("decided") >= 2))
+    });
+    assert!(ok, "no progress after failover");
+    let l1 = log_of(&mut sim, "px1");
+    let l2 = log_of(&mut sim, "px2");
+    assert_eq!(l1, l2, "surviving replicas agree");
+    assert!(l1.iter().any(|(_, c)| c == "before-crash"));
+    assert!(l1.iter().any(|(_, c)| c == "after-crash"));
+    assert_no_runtime_errors(&mut sim, &["px1", "px2"]);
+}
+
+#[test]
+fn agreement_holds_per_slot_after_failover() {
+    // Whatever happens, no two replicas may decide different commands for
+    // the same slot.
+    let (mut sim, _) = build(SimConfig::default(), 3_000);
+    for i in 0..3 {
+        sim.inject("px0", "propose", propose_row("c", i, &format!("a{i}"), vec![]));
+    }
+    sim.run_for(1_500);
+    sim.schedule_crash("px0", sim.now() + 1);
+    sim.run_for(50);
+    for i in 0..3 {
+        sim.inject("px1", "propose", propose_row("c", 10 + i, &format!("b{i}"), vec![]));
+    }
+    sim.run_while(90_000, |s| {
+        ["px1", "px2"].iter().all(|m| {
+            s.with_actor::<OverlogActor, _>(m, |a| {
+                decided_log(a.runtime_ref())
+                    .iter()
+                    .filter(|(_, c)| c.starts_with('b'))
+                    .count()
+                    >= 3
+            })
+        })
+    });
+    let l1 = log_of(&mut sim, "px1");
+    let l2 = log_of(&mut sim, "px2");
+    for (s1, c1) in &l1 {
+        for (s2, c2) in &l2 {
+            if s1 == s2 {
+                assert_eq!(c1, c2, "slot {s1} decided differently: {c1} vs {c2}");
+            }
+        }
+    }
+    // The new leader must have recovered or re-proposed the b-commands.
+    assert!(l1.iter().filter(|(_, c)| c.starts_with('b')).count() >= 3);
+    assert_no_runtime_errors(&mut sim, &["px1", "px2"]);
+}
+
+#[test]
+fn tolerates_message_loss() {
+    let cfg = SimConfig {
+        drop_prob: 0.05,
+        duplicate_prob: 0.05,
+        min_latency: 1,
+        max_latency: 20,
+        seed: 11,
+        ..Default::default()
+    };
+    let (mut sim, _) = build(cfg, 4_000);
+    for i in 0..4 {
+        sim.inject("px0", "propose", propose_row("c", i, &format!("v{i}"), vec![]));
+        sim.run_for(300);
+    }
+    let ok = sim.run_while(120_000, |s| {
+        MEMBERS
+            .iter()
+            .all(|m| s.with_actor::<OverlogActor, _>(m, |a| a.runtime_ref().count("decided") >= 4))
+    });
+    assert!(ok, "loss prevented agreement");
+    let l0 = log_of(&mut sim, "px0");
+    assert_eq!(l0, log_of(&mut sim, "px1"));
+    assert_eq!(l0, log_of(&mut sim, "px2"));
+}
+
+#[test]
+fn minority_partition_makes_no_progress_majority_does() {
+    let (mut sim, _) = build(SimConfig::default(), 3_000);
+    sim.inject("px0", "propose", propose_row("c", 1, "v1", vec![]));
+    sim.run_while(10_000, |s| {
+        s.with_actor::<OverlogActor, _>("px0", |a| a.runtime_ref().count("decided") >= 1)
+    });
+    // Cut the leader off from the majority.
+    sim.set_partition(&["px0"], &["px1", "px2"], true);
+    sim.inject("px0", "propose", propose_row("c", 2, "minority", vec![]));
+    sim.run_for(12_000);
+    assert_eq!(
+        decided_count(&mut sim, "px0"),
+        1,
+        "isolated leader must not decide alone"
+    );
+    // Majority side elects a new leader and commits.
+    sim.inject("px1", "propose", propose_row("c", 3, "majority", vec![]));
+    let ok = sim.run_while(sim.now() + 60_000, |s| {
+        s.with_actor::<OverlogActor, _>("px1", |a| {
+            decided_log(a.runtime_ref()).iter().any(|(_, c)| c == "majority")
+        })
+    });
+    assert!(ok, "majority side stalled");
+    // Heal: old leader is deposed; logs converge on the majority's view.
+    sim.set_partition(&["px0"], &["px1", "px2"], false);
+    sim.run_for(20_000);
+    let l1 = log_of(&mut sim, "px1");
+    let l2 = log_of(&mut sim, "px2");
+    assert_eq!(l1, l2);
+    for (s0, c0) in log_of(&mut sim, "px0") {
+        if let Some((_, c1)) = l1.iter().find(|(s, _)| *s == s0) {
+            assert_eq!(&c0, c1, "slot {s0} diverged after heal");
+        }
+    }
+}

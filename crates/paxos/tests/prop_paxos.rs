@@ -1,0 +1,130 @@
+//! Property-based safety tests for the Overlog Paxos: across random
+//! network conditions, crash schedules, and proposal interleavings, no
+//! two replicas may ever decide different commands for the same slot
+//! (agreement), and every decided command must have been proposed
+//! (validity — modulo no-op gap fillers).
+
+use boom_paxos::{decided_log, paxos_runtime, propose_row, PaxosGroup};
+use boom_simnet::{OverlogActor, Sim, SimConfig};
+use proptest::prelude::*;
+
+const MEMBERS: [&str; 3] = ["px0", "px1", "px2"];
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    seed: u64,
+    drop_prob: f64,
+    max_latency: u64,
+    proposals: Vec<(usize, u64)>, // (target member, delay before injecting)
+    crash: Option<(usize, u64)>,  // (member, time)
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0u64..1000,
+        prop_oneof![Just(0.0), Just(0.05), Just(0.15)],
+        5u64..60,
+        proptest::collection::vec((0usize..3, 50u64..800), 1..6),
+        proptest::option::of((0usize..3, 500u64..4000)),
+    )
+        .prop_map(|(seed, drop_prob, max_latency, proposals, crash)| Scenario {
+            seed,
+            drop_prob,
+            max_latency,
+            proposals,
+            crash,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn agreement_and_validity_hold(sc in scenario()) {
+        let group = PaxosGroup::new(&MEMBERS, 2_500);
+        let mut sim = Sim::new(SimConfig {
+            seed: sc.seed,
+            drop_prob: sc.drop_prob,
+            duplicate_prob: 0.05,
+            min_latency: 1,
+            max_latency: sc.max_latency,
+        });
+        for name in &group.members {
+            let g = group.clone();
+            sim.add_node(
+                name,
+                Box::new(OverlogActor::with_factory(
+                    Box::new(move |n| paxos_runtime(n, &g)),
+                    20,
+                    name,
+                )),
+            );
+        }
+        let mut proposed: Vec<String> = Vec::new();
+        for (i, (target, delay)) in sc.proposals.iter().enumerate() {
+            sim.run_for(*delay);
+            let cmd = format!("cmd{i}");
+            proposed.push(cmd.clone());
+            sim.inject(
+                MEMBERS[*target],
+                "propose",
+                propose_row("client", i as i64, &cmd, vec![]),
+            );
+        }
+        if let Some((victim, at)) = sc.crash {
+            sim.schedule_crash(MEMBERS[victim], at);
+        }
+        sim.run_for(60_000);
+
+        // Collect logs from live replicas.
+        let mut logs: Vec<(usize, Vec<(i64, String)>)> = Vec::new();
+        for (i, m) in MEMBERS.iter().enumerate() {
+            if sim.is_up(m) {
+                let log = sim.with_actor::<OverlogActor, _>(m, |a| decided_log(a.runtime_ref()));
+                logs.push((i, log));
+            }
+        }
+        // Agreement: per-slot decisions never conflict.
+        for (i, a) in &logs {
+            for (j, b) in &logs {
+                if i >= j {
+                    continue;
+                }
+                for (s1, c1) in a {
+                    for (s2, c2) in b {
+                        if s1 == s2 {
+                            prop_assert_eq!(
+                                c1, c2,
+                                "replicas {} and {} disagree on slot {}", i, j, s1
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Validity: every decided non-noop command was proposed.
+        for (_, log) in &logs {
+            for (_, cmd) in log {
+                if cmd != "noop" {
+                    prop_assert!(
+                        proposed.contains(cmd),
+                        "decided unproposed command {}", cmd
+                    );
+                }
+            }
+        }
+        // No duplicate commands across slots within one log (each value is
+        // chosen for at most one slot under the single-flight proposer).
+        for (_, log) in &logs {
+            let mut cmds: Vec<&String> = log
+                .iter()
+                .map(|(_, c)| c)
+                .filter(|c| *c != "noop")
+                .collect();
+            let before = cmds.len();
+            cmds.sort();
+            cmds.dedup();
+            prop_assert_eq!(before, cmds.len(), "a command was decided twice");
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! # boom-simnet — deterministic discrete-event cluster simulator
+//!
+//! The substrate every BOOM experiment runs on. The paper evaluated on
+//! Amazon EC2 clusters of up to ~100 VMs; this crate substitutes a
+//! deterministic simulator so the identical protocol and scheduling code
+//! paths run under precisely controlled latency, stragglers, and failures —
+//! and results reproduce bit-for-bit from a seed.
+//!
+//! A simulation is a set of named nodes, each hosting an [`Actor`]. All
+//! inter-node communication is **tuples** ([`NetTuple`] from
+//! `boom-overlog`): the data-centric discipline the paper advocates applies
+//! to the imperative actors too. Messages incur configurable latency, may
+//! be dropped or duplicated, and links can be partitioned; nodes can crash
+//! and restart.
+//!
+//! ```
+//! use boom_simnet::{Sim, SimConfig, Actor, Ctx};
+//! use boom_overlog::{NetTuple, value::row, Value};
+//!
+//! struct Echo;
+//! impl Actor for Echo {
+//!     fn on_tuple(&mut self, ctx: &mut Ctx<'_>, tuple: NetTuple) {
+//!         if tuple.table == "ping" {
+//!             let from = tuple.row[0].as_str().unwrap().to_string();
+//!             ctx.send(&from, "pong", row(vec![boom_overlog::Value::addr(ctx.me())]));
+//!         }
+//!     }
+//!     fn as_any(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let mut sim = Sim::new(SimConfig::default());
+//! sim.add_node("a", Box::new(Echo));
+//! sim.add_node("b", Box::new(Echo));
+//! sim.inject("a", "ping", row(vec![Value::addr("b")]));
+//! sim.run_for(1_000);
+//! assert!(sim.delivered_count() >= 2);
+//! ```
+
+pub mod metrics;
+pub mod overlog_actor;
+
+use boom_overlog::{NetTuple, Row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+pub use overlog_actor::OverlogActor;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; everything (latency, drops, workload helpers) derives from
+    /// it.
+    pub seed: u64,
+    /// Minimum one-way message latency (ms).
+    pub min_latency: u64,
+    /// Maximum one-way message latency (ms, inclusive).
+    pub max_latency: u64,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered message is delivered twice.
+    pub duplicate_prob: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 42,
+            min_latency: 1,
+            max_latency: 5,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        }
+    }
+}
+
+/// A node-resident behavior. All hooks receive a [`Ctx`] for sending
+/// tuples, arming timers, and reading the clock.
+pub trait Actor {
+    /// Called once when the simulation starts (or the node is added to a
+    /// running simulation).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// A tuple addressed to this node arrived.
+    fn on_tuple(&mut self, ctx: &mut Ctx<'_>, tuple: NetTuple);
+    /// A batch of tuples with identical arrival time. The simulator
+    /// coalesces same-instant deliveries; override to process a batch
+    /// atomically (the Overlog adapter ticks once per batch instead of once
+    /// per tuple).
+    fn on_tuples(&mut self, ctx: &mut Ctx<'_>, tuples: Vec<NetTuple>) {
+        for t in tuples {
+            self.on_tuple(ctx, t);
+        }
+    }
+    /// A timer armed with [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
+    /// The node restarted after a crash. Volatile state should be reset
+    /// here; "disk" state may survive at the actor's discretion.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// Downcast support so tests and harnesses can reach into actors.
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+/// What an actor may do during a callback.
+pub struct Ctx<'a> {
+    now: u64,
+    me: &'a str,
+    rng: &'a mut StdRng,
+    outbox: Vec<(String, NetTuple)>,
+    timers: Vec<(u64, u64)>, // (fire_at, tag)
+}
+
+impl Ctx<'_> {
+    /// Current virtual time in milliseconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// This node's name.
+    pub fn me(&self) -> &str {
+        self.me
+    }
+
+    /// Deterministic per-simulation randomness.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Send a tuple to `dest` (latency, drops and duplication applied by the
+    /// simulator).
+    pub fn send(&mut self, dest: &str, table: &str, row: Row) {
+        self.outbox.push((
+            dest.to_string(),
+            NetTuple {
+                dest: Arc::from(dest),
+                table: table.to_string(),
+                row,
+            },
+        ));
+    }
+
+    /// Forward an already-built [`NetTuple`].
+    pub fn send_tuple(&mut self, tuple: NetTuple) {
+        self.outbox.push((tuple.dest.to_string(), tuple));
+    }
+
+    /// Arm a timer that fires `delay` ms from now with the given tag.
+    pub fn set_timer(&mut self, delay: u64, tag: u64) {
+        self.timers.push((self.now + delay, tag));
+    }
+}
+
+enum EventKind {
+    Deliver(String, NetTuple),
+    Timer(String, u64),
+    Crash(String),
+    Restart(String),
+}
+
+struct Node {
+    actor: Box<dyn Actor>,
+    up: bool,
+    /// Incremented on every crash; timers and in-flight deliveries armed
+    /// before the crash are invalidated.
+    epoch: u64,
+}
+
+/// Epoch marker for events that must survive crashes (crash/restart ops).
+const ANY_EPOCH: u64 = u64::MAX;
+
+/// The discrete-event simulator.
+pub struct Sim {
+    cfg: SimConfig,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    events: HashMap<usize, (EventKind, u64)>,
+    nodes: HashMap<String, Node>,
+    blocked_links: HashSet<(String, String)>,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl Sim {
+    /// Create a simulator.
+    pub fn new(cfg: SimConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Sim {
+            cfg,
+            rng,
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            events: HashMap::new(),
+            nodes: HashMap::new(),
+            blocked_links: HashSet::new(),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total tuples delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total tuples dropped (loss probability, partitions, or down nodes).
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Add a node and invoke its `on_start`.
+    pub fn add_node(&mut self, name: &str, actor: Box<dyn Actor>) {
+        let mut node = Node {
+            actor,
+            up: true,
+            epoch: 0,
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            me: name,
+            rng: &mut self.rng,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
+        node.actor.on_start(&mut ctx);
+        let (outbox, timers) = (ctx.outbox, ctx.timers);
+        self.nodes.insert(name.to_string(), node);
+        self.absorb(name, outbox, timers);
+    }
+
+    /// Node names, sorted.
+    pub fn node_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.nodes.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Is the node currently up?
+    pub fn is_up(&self, name: &str) -> bool {
+        self.nodes.get(name).map(|n| n.up).unwrap_or(false)
+    }
+
+    /// Deliver a tuple into the simulation immediately (at t = now), e.g.
+    /// an external client request.
+    pub fn inject(&mut self, dest: &str, table: &str, row: Row) {
+        let t = NetTuple {
+            dest: Arc::from(dest),
+            table: table.to_string(),
+            row,
+        };
+        let epoch = self.nodes.get(dest).map(|n| n.epoch).unwrap_or(0);
+        self.push_event(self.now, EventKind::Deliver(dest.to_string(), t), epoch);
+    }
+
+    /// Schedule a crash of `node` at absolute time `at`.
+    pub fn schedule_crash(&mut self, node: &str, at: u64) {
+        self.push_event(at, EventKind::Crash(node.to_string()), ANY_EPOCH);
+    }
+
+    /// Schedule a restart of `node` at absolute time `at`.
+    pub fn schedule_restart(&mut self, node: &str, at: u64) {
+        self.push_event(at, EventKind::Restart(node.to_string()), ANY_EPOCH);
+    }
+
+    /// Block or unblock the directed link `from → to`.
+    pub fn set_link_blocked(&mut self, from: &str, to: &str, blocked: bool) {
+        let key = (from.to_string(), to.to_string());
+        if blocked {
+            self.blocked_links.insert(key);
+        } else {
+            self.blocked_links.remove(&key);
+        }
+    }
+
+    /// Symmetric partition helper: cut (or heal) both directions between
+    /// two groups of nodes.
+    pub fn set_partition(&mut self, group_a: &[&str], group_b: &[&str], cut: bool) {
+        for a in group_a {
+            for b in group_b {
+                self.set_link_blocked(a, b, cut);
+                self.set_link_blocked(b, a, cut);
+            }
+        }
+    }
+
+    /// Run a closure against a node's actor, downcast to its concrete type.
+    ///
+    /// Panics if the node does not exist or hosts a different type — both
+    /// are harness bugs, not runtime conditions.
+    pub fn with_actor<T: Actor + 'static, R>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        let node = self
+            .nodes
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no node named `{name}`"));
+        let actor = node
+            .actor
+            .as_any()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node `{name}` hosts a different actor type"));
+        f(actor)
+    }
+
+    fn push_event(&mut self, at: u64, kind: EventKind, epoch: u64) {
+        let id = self.seq as usize;
+        self.seq += 1;
+        self.events.insert(id, (kind, epoch));
+        self.queue.push(Reverse((at, id as u64, id)));
+    }
+
+    fn absorb(&mut self, from: &str, outbox: Vec<(String, NetTuple)>, timers: Vec<(u64, u64)>) {
+        for (dest, tuple) in outbox {
+            self.route(from, &dest, tuple);
+        }
+        let epoch = self.nodes.get(from).map(|n| n.epoch).unwrap_or(0);
+        for (at, tag) in timers {
+            self.push_event(at, EventKind::Timer(from.to_string(), tag), epoch);
+        }
+    }
+
+    fn route(&mut self, from: &str, dest: &str, tuple: NetTuple) {
+        if from != dest
+            && self
+                .blocked_links
+                .contains(&(from.to_string(), dest.to_string()))
+        {
+            self.dropped += 1;
+            return;
+        }
+        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
+            self.dropped += 1;
+            return;
+        }
+        let lat = if self.cfg.max_latency > self.cfg.min_latency {
+            self.rng
+                .gen_range(self.cfg.min_latency..=self.cfg.max_latency)
+        } else {
+            self.cfg.min_latency
+        };
+        let epoch = self.nodes.get(dest).map(|n| n.epoch).unwrap_or(0);
+        let dup = self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob);
+        self.push_event(
+            self.now + lat,
+            EventKind::Deliver(dest.to_string(), tuple.clone()),
+            epoch,
+        );
+        if dup {
+            self.push_event(
+                self.now + lat + 1,
+                EventKind::Deliver(dest.to_string(), tuple),
+                epoch,
+            );
+        }
+    }
+
+    /// Process the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse((at, _, id))) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(at);
+        let Some((kind, armed_epoch)) = self.events.remove(&id) else {
+            return true;
+        };
+        match kind {
+            EventKind::Crash(name) => {
+                if let Some(node) = self.nodes.get_mut(&name) {
+                    node.up = false;
+                    node.epoch += 1;
+                }
+            }
+            EventKind::Restart(name) => {
+                let Some(node) = self.nodes.get_mut(&name) else {
+                    return true;
+                };
+                if node.up {
+                    return true;
+                }
+                node.up = true;
+                let mut ctx = Ctx {
+                    now: self.now,
+                    me: &name,
+                    rng: &mut self.rng,
+                    outbox: Vec::new(),
+                    timers: Vec::new(),
+                };
+                node.actor.on_restart(&mut ctx);
+                let (outbox, timers) = (ctx.outbox, ctx.timers);
+                self.absorb(&name, outbox, timers);
+            }
+            EventKind::Deliver(name, tuple) => {
+                // Coalesce all deliveries to this node scheduled for this
+                // exact instant into one batch, even when interleaved with
+                // events for other nodes: drain everything at `at`, keep
+                // ours, re-queue the rest in their original order.
+                let mut batch = vec![(tuple, armed_epoch)];
+                let mut requeue = Vec::new();
+                loop {
+                    let (seq2, id2) = match self.queue.peek() {
+                        Some(Reverse((at2, seq2, id2))) if *at2 == at => (*seq2, *id2),
+                        _ => break,
+                    };
+                    self.queue.pop();
+                    let ours = matches!(
+                        self.events.get(&id2),
+                        Some((EventKind::Deliver(n2, _), _)) if *n2 == name
+                    );
+                    if ours {
+                        if let Some((EventKind::Deliver(_, t2), e2)) = self.events.remove(&id2) {
+                            batch.push((t2, e2));
+                        }
+                    } else {
+                        requeue.push(Reverse((at, seq2, id2)));
+                    }
+                }
+                for item in requeue {
+                    self.queue.push(item);
+                }
+                let (up, epoch) = match self.nodes.get(&name) {
+                    Some(node) => (node.up, node.epoch),
+                    None => {
+                        self.dropped += batch.len() as u64;
+                        return true;
+                    }
+                };
+                let mut deliverable: Vec<NetTuple> = Vec::with_capacity(batch.len());
+                for (t, e) in batch {
+                    if up && (e == ANY_EPOCH || e == epoch) {
+                        deliverable.push(t);
+                    } else {
+                        self.dropped += 1;
+                    }
+                }
+                if deliverable.is_empty() {
+                    return true;
+                }
+                let node = self
+                    .nodes
+                    .get_mut(&name)
+                    .expect("checked above that the node exists");
+                self.delivered += deliverable.len() as u64;
+                let mut ctx = Ctx {
+                    now: self.now,
+                    me: &name,
+                    rng: &mut self.rng,
+                    outbox: Vec::new(),
+                    timers: Vec::new(),
+                };
+                node.actor.on_tuples(&mut ctx, deliverable);
+                let (outbox, timers) = (ctx.outbox, ctx.timers);
+                self.absorb(&name, outbox, timers);
+            }
+            EventKind::Timer(name, tag) => {
+                let Some(node) = self.nodes.get_mut(&name) else {
+                    return true;
+                };
+                if !node.up || node.epoch != armed_epoch {
+                    return true;
+                }
+                let mut ctx = Ctx {
+                    now: self.now,
+                    me: &name,
+                    rng: &mut self.rng,
+                    outbox: Vec::new(),
+                    timers: Vec::new(),
+                };
+                node.actor.on_timer(&mut ctx, tag);
+                let (outbox, timers) = (ctx.outbox, ctx.timers);
+                self.absorb(&name, outbox, timers);
+            }
+        }
+        true
+    }
+
+    /// Run until the event queue drains or virtual time exceeds `until`.
+    pub fn run_until(&mut self, until: u64) {
+        while let Some(Reverse((at, _, _))) = self.queue.peek() {
+            if *at > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Run for `dur` more milliseconds of virtual time.
+    pub fn run_for(&mut self, dur: u64) {
+        let until = self.now + dur;
+        self.run_until(until);
+    }
+
+    /// Run until `pred` returns true, polling after every event; gives up at
+    /// `deadline` (absolute time) and returns the predicate's final value.
+    pub fn run_while(&mut self, deadline: u64, mut pred: impl FnMut(&mut Sim) -> bool) -> bool {
+        loop {
+            if pred(self) {
+                return true;
+            }
+            match self.queue.peek() {
+                Some(Reverse((at, _, _))) if *at <= deadline => {
+                    self.step();
+                }
+                _ => {
+                    self.now = self.now.max(deadline);
+                    return pred(self);
+                }
+            }
+        }
+    }
+}
+
+/// Helper: build an address [`Value`] for a node name.
+pub fn addr(name: &str) -> Value {
+    Value::addr(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boom_overlog::value::row;
+
+    struct Counter {
+        got: Vec<NetTuple>,
+    }
+    impl Counter {
+        fn new() -> Self {
+            Counter { got: Vec::new() }
+        }
+    }
+    impl Actor for Counter {
+        fn on_tuple(&mut self, _ctx: &mut Ctx<'_>, tuple: NetTuple) {
+            self.got.push(tuple);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Pinger {
+        target: String,
+        period: u64,
+    }
+    impl Actor for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_tuple(&mut self, _ctx: &mut Ctx<'_>, _tuple: NetTuple) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            let target = self.target.clone();
+            let t = ctx.now() as i64;
+            ctx.send(&target, "ping", row(vec![Value::Int(t)]));
+            ctx.set_timer(self.period, 0);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn messages_arrive_with_latency() {
+        let mut sim = Sim::new(SimConfig {
+            min_latency: 3,
+            max_latency: 3,
+            ..Default::default()
+        });
+        sim.add_node("a", Box::new(Counter::new()));
+        sim.inject("a", "hello", row(vec![Value::Int(1)]));
+        sim.run_until(10);
+        sim.with_actor::<Counter, _>("a", |c| assert_eq!(c.got.len(), 1));
+        assert_eq!(sim.delivered_count(), 1);
+    }
+
+    #[test]
+    fn periodic_timers_drive_traffic() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(
+            "p",
+            Box::new(Pinger {
+                target: "c".into(),
+                period: 100,
+            }),
+        );
+        sim.add_node("c", Box::new(Counter::new()));
+        sim.run_until(1_000);
+        let got = sim.with_actor::<Counter, _>("c", |c| c.got.len());
+        assert!((9..=10).contains(&got), "got {got} pings");
+    }
+
+    #[test]
+    fn crash_drops_messages_and_restart_resumes() {
+        let mut sim = Sim::new(SimConfig {
+            min_latency: 1,
+            max_latency: 1,
+            ..Default::default()
+        });
+        sim.add_node(
+            "p",
+            Box::new(Pinger {
+                target: "c".into(),
+                period: 100,
+            }),
+        );
+        sim.add_node("c", Box::new(Counter::new()));
+        sim.schedule_crash("c", 250);
+        sim.schedule_restart("c", 650);
+        sim.run_until(1_049);
+        // Pings sent at 100,200 delivered; 300..600 dropped; 700..1000
+        // delivered again.
+        let got = sim.with_actor::<Counter, _>("c", |c| c.got.len());
+        assert_eq!(got, 6, "2 before crash + 4 after restart");
+        assert!(sim.dropped_count() >= 3);
+    }
+
+    #[test]
+    fn crash_invalidates_pending_timers() {
+        struct SelfTimer {
+            fires: u64,
+        }
+        impl Actor for SelfTimer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(500, 1);
+            }
+            fn on_tuple(&mut self, _ctx: &mut Ctx<'_>, _t: NetTuple) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {
+                self.fires += 1;
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node("n", Box::new(SelfTimer { fires: 0 }));
+        sim.schedule_crash("n", 100);
+        sim.schedule_restart("n", 200);
+        sim.run_until(1_000);
+        sim.with_actor::<SelfTimer, _>("n", |a| {
+            assert_eq!(a.fires, 0, "timer armed pre-crash must not fire");
+        });
+    }
+
+    #[test]
+    fn partitions_block_selected_links() {
+        let mut sim = Sim::new(SimConfig {
+            min_latency: 1,
+            max_latency: 1,
+            ..Default::default()
+        });
+        sim.add_node(
+            "p",
+            Box::new(Pinger {
+                target: "c".into(),
+                period: 100,
+            }),
+        );
+        sim.add_node("c", Box::new(Counter::new()));
+        sim.run_until(450);
+        sim.set_partition(&["p"], &["c"], true);
+        sim.run_until(950);
+        sim.set_partition(&["p"], &["c"], false);
+        sim.run_until(1_250);
+        let got = sim.with_actor::<Counter, _>("c", |c| c.got.len());
+        assert_eq!(got, 4 + 3, "4 before cut, 3 after heal");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim = Sim::new(SimConfig {
+                seed,
+                min_latency: 1,
+                max_latency: 50,
+                drop_prob: 0.2,
+                duplicate_prob: 0.1,
+            });
+            sim.add_node(
+                "p",
+                Box::new(Pinger {
+                    target: "c".into(),
+                    period: 10,
+                }),
+            );
+            sim.add_node("c", Box::new(Counter::new()));
+            sim.run_until(10_000);
+            (sim.delivered_count(), sim.dropped_count())
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(
+            "p",
+            Box::new(Pinger {
+                target: "c".into(),
+                period: 100,
+            }),
+        );
+        sim.add_node("c", Box::new(Counter::new()));
+        let ok = sim.run_while(10_000, |s| {
+            s.with_actor::<Counter, _>("c", |c| c.got.len() >= 3)
+        });
+        assert!(ok);
+        assert!(sim.now() < 1_000, "stopped early at {}", sim.now());
+    }
+
+    #[test]
+    fn run_while_times_out() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node("c", Box::new(Counter::new()));
+        let ok = sim.run_while(500, |s| s.delivered_count() > 0);
+        assert!(!ok);
+        assert_eq!(sim.now(), 500);
+    }
+
+    #[test]
+    fn messages_to_unknown_nodes_are_dropped() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.inject("ghost", "x", row(vec![Value::Int(1)]));
+        sim.run_until(100);
+        assert_eq!(sim.dropped_count(), 1);
+        assert_eq!(sim.delivered_count(), 0);
+    }
+}

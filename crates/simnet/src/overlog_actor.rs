@@ -1,0 +1,230 @@
+//! Adapter hosting an [`OverlogRuntime`] on a simulator node.
+//!
+//! This is the moral equivalent of the paper's JOL-on-a-JVM deployment: the
+//! actor feeds arriving tuples into the runtime, drives its timestep clock,
+//! and routes outbound tuples over the simulated network.
+
+use crate::{Actor, Ctx};
+use boom_overlog::{NetTuple, OverlogRuntime};
+use std::any::Any;
+
+/// Factory that (re)builds a node's runtime: used at startup and again
+/// after a crash-restart, modeling loss of volatile state.
+pub type RuntimeFactory = Box<dyn FnMut(&str) -> OverlogRuntime + Send>;
+
+/// An [`Actor`] that executes an Overlog program.
+pub struct OverlogActor {
+    rt: OverlogRuntime,
+    factory: Option<RuntimeFactory>,
+    tick_period: u64,
+    /// Evaluation errors encountered while ticking (program bugs); the
+    /// simulation keeps running so harnesses can inspect them.
+    pub errors: Vec<String>,
+    /// Accumulated wall-clock time spent evaluating this runtime. The
+    /// simulator's virtual clock models the network; this models the
+    /// node's CPU, and is what capacity experiments (E6/E7) measure.
+    pub busy: std::time::Duration,
+}
+
+impl OverlogActor {
+    /// Host the given runtime, ticking it every `tick_period` ms of virtual
+    /// time (in addition to a tick per arriving tuple). A crashed node
+    /// restarts with this same (stale) runtime state — use
+    /// [`OverlogActor::with_factory`] to model volatile state.
+    pub fn new(rt: OverlogRuntime, tick_period: u64) -> Self {
+        OverlogActor {
+            rt,
+            factory: None,
+            tick_period: tick_period.max(1),
+            errors: Vec::new(),
+            busy: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Build the runtime from a factory; a restart after a crash rebuilds
+    /// it from scratch (all soft state lost), like the paper's NameNode
+    /// failure experiments.
+    pub fn with_factory(mut factory: RuntimeFactory, tick_period: u64, name: &str) -> Self {
+        let rt = factory(name);
+        OverlogActor {
+            rt,
+            factory: Some(factory),
+            tick_period: tick_period.max(1),
+            errors: Vec::new(),
+            busy: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Access the hosted runtime (for queries and instrumentation).
+    pub fn runtime(&mut self) -> &mut OverlogRuntime {
+        &mut self.rt
+    }
+
+    /// Read-only access to the hosted runtime.
+    pub fn runtime_ref(&self) -> &OverlogRuntime {
+        &self.rt
+    }
+
+    fn tick_and_route(&mut self, ctx: &mut Ctx<'_>) {
+        let t0 = std::time::Instant::now();
+        self.tick_and_route_inner(ctx);
+        self.busy += t0.elapsed();
+    }
+
+    fn tick_and_route_inner(&mut self, ctx: &mut Ctx<'_>) {
+        // Tick repeatedly while the runtime keeps producing pending work
+        // for itself (bounded to avoid livelock on buggy programs).
+        for _ in 0..4 {
+            match self.rt.tick(ctx.now()) {
+                Ok(res) => {
+                    for send in res.sends {
+                        ctx.send_tuple(send);
+                    }
+                }
+                Err(e) => {
+                    self.errors.push(format!("t={} {e}", ctx.now()));
+                    return;
+                }
+            }
+            if !self.rt.has_pending() {
+                break;
+            }
+        }
+    }
+}
+
+impl Actor for OverlogActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.tick_and_route(ctx);
+        ctx.set_timer(self.tick_period, 0);
+    }
+
+    fn on_tuple(&mut self, ctx: &mut Ctx<'_>, tuple: NetTuple) {
+        self.on_tuples(ctx, vec![tuple]);
+    }
+
+    fn on_tuples(&mut self, ctx: &mut Ctx<'_>, tuples: Vec<NetTuple>) {
+        let mut any = false;
+        for tuple in tuples {
+            match self.rt.deliver(&tuple) {
+                Ok(()) => any = true,
+                Err(e) => self
+                    .errors
+                    .push(format!("t={} deliver {}: {e}", ctx.now(), tuple.table)),
+            }
+        }
+        if any {
+            self.tick_and_route(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+        self.tick_and_route(ctx);
+        ctx.set_timer(self.tick_period, 0);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(factory) = &mut self.factory {
+            self.rt = factory(ctx.me());
+        }
+        self.tick_and_route(ctx);
+        ctx.set_timer(self.tick_period, 0);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimConfig};
+    use boom_overlog::value::row;
+    use boom_overlog::Value;
+
+    fn echo_runtime(name: &str) -> OverlogRuntime {
+        let mut rt = OverlogRuntime::new(name);
+        rt.load(
+            "event req, {Addr, Int};
+             event resp, {Addr, Int};
+             define(seen, keys(0), {Int});
+             resp(@Src, X * 2) :- req(Src, X);
+             seen(X) :- req(_, X);",
+        )
+        .unwrap();
+        rt
+    }
+
+    #[test]
+    fn two_runtimes_exchange_tuples() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node("server", Box::new(OverlogActor::new(echo_runtime("server"), 50)));
+        let mut client = OverlogRuntime::new("client");
+        client
+            .load(
+                "event resp, {Addr, Int};
+                 define(answers, keys(0), {Int});
+                 answers(X) :- resp(_, X);",
+            )
+            .unwrap();
+        sim.add_node("client", Box::new(OverlogActor::new(client, 50)));
+        sim.inject(
+            "server",
+            "req",
+            row(vec![Value::addr("client"), Value::Int(21)]),
+        );
+        let ok = sim.run_while(5_000, |s| {
+            s.with_actor::<OverlogActor, _>("client", |a| a.runtime().count("answers") > 0)
+        });
+        assert!(ok, "client never got the response");
+        sim.with_actor::<OverlogActor, _>("client", |a| {
+            assert_eq!(a.runtime().rows("answers")[0], row(vec![Value::Int(42)]));
+        });
+    }
+
+    #[test]
+    fn factory_restart_loses_soft_state() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(
+            "server",
+            Box::new(OverlogActor::with_factory(
+                Box::new(|n| echo_runtime(n)),
+                50,
+                "server",
+            )),
+        );
+        sim.inject("server", "req", row(vec![Value::addr("x"), Value::Int(1)]));
+        sim.run_for(200);
+        sim.with_actor::<OverlogActor, _>("server", |a| {
+            assert_eq!(a.runtime().count("seen"), 1);
+        });
+        sim.schedule_crash("server", sim.now() + 10);
+        sim.schedule_restart("server", sim.now() + 100);
+        sim.run_for(300);
+        sim.with_actor::<OverlogActor, _>("server", |a| {
+            assert_eq!(a.runtime().count("seen"), 0, "state reset by factory");
+        });
+    }
+
+    #[test]
+    fn overlog_timers_fire_inside_sim() {
+        let mut rt = OverlogRuntime::new("n");
+        rt.load(
+            "timer(hb, 100);
+             define(beats, keys(), {Int});
+             beats(count<T>) :- hb_log(T);
+             define(hb_log, keys(0), {Int});
+             hb_log(T) :- hb(T);",
+        )
+        .unwrap();
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node("n", Box::new(OverlogActor::new(rt, 50)));
+        sim.run_until(1_000);
+        sim.with_actor::<OverlogActor, _>("n", |a| {
+            let beats = a.runtime().rows("beats");
+            let n = beats[0][0].as_int().unwrap();
+            assert!((9..=11).contains(&n), "got {n} heartbeats");
+        });
+    }
+}

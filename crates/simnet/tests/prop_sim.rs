@@ -1,0 +1,124 @@
+//! Property tests for the simulator itself: bit-determinism under
+//! arbitrary configurations, conservation of messages, and crash/epoch
+//! bookkeeping — the foundations every experiment's reproducibility rests
+//! on.
+
+use boom_overlog::{value::row, NetTuple, Value};
+use boom_simnet::{Actor, Ctx, Sim, SimConfig};
+use proptest::prelude::*;
+use std::any::Any;
+
+/// A chatty actor: forwards each received tuple to a derived target with a
+/// hop counter, so traffic patterns depend sensitively on delivery order.
+struct Forwarder {
+    peers: Vec<String>,
+    received: Vec<(u64, i64)>, // (arrival time, hop)
+}
+
+impl Actor for Forwarder {
+    fn on_tuple(&mut self, ctx: &mut Ctx<'_>, tuple: NetTuple) {
+        let hop = tuple.row[0].as_int().unwrap_or(0);
+        self.received.push((ctx.now(), hop));
+        if hop < 12 {
+            let next = self.peers[(hop as usize + ctx.now() as usize) % self.peers.len()].clone();
+            ctx.send(&next, "hop", row(vec![Value::Int(hop + 1)]));
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn run_trace(cfg: SimConfig, crash_at: Option<u64>) -> Vec<(String, Vec<(u64, i64)>)> {
+    let peers: Vec<String> = (0..4).map(|i| format!("n{i}")).collect();
+    let mut sim = Sim::new(cfg);
+    for p in &peers {
+        sim.add_node(
+            p,
+            Box::new(Forwarder {
+                peers: peers.clone(),
+                received: Vec::new(),
+            }),
+        );
+    }
+    for i in 0..3 {
+        sim.inject(&peers[i % 4], "hop", row(vec![Value::Int(0)]));
+    }
+    if let Some(at) = crash_at {
+        sim.schedule_crash("n1", at);
+        sim.schedule_restart("n1", at + 500);
+    }
+    sim.run_until(20_000);
+    peers
+        .iter()
+        .map(|p| {
+            let r = sim.with_actor::<Forwarder, _>(p, |f| f.received.clone());
+            (p.clone(), r)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Identical config → identical full message trace, including drops,
+    /// duplicates, and crash interactions.
+    #[test]
+    fn same_seed_same_trace(
+        seed in 0u64..10_000,
+        drop in prop_oneof![Just(0.0), Just(0.1)],
+        dup in prop_oneof![Just(0.0), Just(0.1)],
+        max_lat in 1u64..50,
+        crash_at in proptest::option::of(100u64..5_000),
+    ) {
+        let cfg = SimConfig {
+            seed,
+            min_latency: 1,
+            max_latency: max_lat,
+            drop_prob: drop,
+            duplicate_prob: dup,
+        };
+        let a = run_trace(cfg.clone(), crash_at);
+        let b = run_trace(cfg, crash_at);
+        prop_assert_eq!(a, b);
+    }
+
+    /// With no loss and no crashes, every send is eventually delivered:
+    /// delivered + still-queued-at-horizon accounts for everything.
+    #[test]
+    fn lossless_network_delivers_everything(seed in 0u64..10_000) {
+        let cfg = SimConfig {
+            seed,
+            min_latency: 1,
+            max_latency: 10,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        };
+        let traces = run_trace(cfg, None);
+        let total: usize = traces.iter().map(|(_, r)| r.len()).sum();
+        // 3 seeds × 13 hops each (0..=12) = 39 deliveries.
+        prop_assert_eq!(total, 39);
+    }
+
+    /// Crashing a node only loses messages addressed to it while down;
+    /// the rest of the fleet's bookkeeping stays consistent.
+    #[test]
+    fn crash_only_affects_the_victim(seed in 0u64..10_000, at in 100u64..3_000) {
+        let cfg = SimConfig {
+            seed,
+            min_latency: 1,
+            max_latency: 10,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        };
+        let traces = run_trace(cfg, Some(at));
+        let total: usize = traces.iter().map(|(_, r)| r.len()).sum();
+        prop_assert!(total <= 39, "crash cannot create messages: {total}");
+        // Survivors never observe time going backwards.
+        for (_, r) in &traces {
+            for w in r.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The availability revision in action: a Paxos-replicated NameNode loses
+//! its primary mid-workload and keeps serving — the namespace survives,
+//! new mutations keep committing, and the client only sees a brief stall.
+//!
+//! ```text
+//! cargo run --example namenode_failover
+//! ```
+
+use boom::core::ReplicatedFsBuilder;
+
+fn main() {
+    let mut cluster = ReplicatedFsBuilder {
+        replicas: 3,
+        datanodes: 3,
+        lease_ms: 2_000,
+        rpc_timeout: 1_000,
+        ..Default::default()
+    }
+    .build();
+    let client = cluster.client.clone();
+
+    println!("== populate the namespace through consensus ==");
+    client.mkdir(&mut cluster.sim, "/jobs").unwrap();
+    for i in 0..5 {
+        client
+            .create(&mut cluster.sim, &format!("/jobs/task{i}"))
+            .unwrap();
+    }
+    println!(
+        "created /jobs with {} entries at t={}ms",
+        client.ls(&mut cluster.sim, "/jobs").unwrap().len(),
+        cluster.sim.now()
+    );
+
+    let primary = cluster.namenodes[0].clone();
+    let crash_at = cluster.sim.now() + 100;
+    println!("\n== killing primary {primary} at t={crash_at}ms ==");
+    cluster.sim.schedule_crash(&primary, crash_at);
+    cluster.sim.run_for(200);
+
+    // Keep issuing operations; time how long until service resumes.
+    let stall_start = cluster.sim.now();
+    let mut resumed_at = None;
+    for _ in 0..200 {
+        match client.exists(&mut cluster.sim, "/jobs/task0") {
+            Ok(true) => {
+                resumed_at = Some(cluster.sim.now());
+                break;
+            }
+            Ok(false) => unreachable!("metadata must survive the failover"),
+            Err(_) => cluster.sim.run_for(250),
+        }
+    }
+    let resumed = resumed_at.expect("a new leader must take over");
+    println!(
+        "service resumed after {}ms of unavailability (lease expiry + election)",
+        resumed - stall_start
+    );
+
+    println!("\n== mutations keep working on the new leader ==");
+    client.create(&mut cluster.sim, "/jobs/after-failover").unwrap();
+    let listing = client.ls(&mut cluster.sim, "/jobs").unwrap();
+    println!("ls /jobs -> {listing:?}");
+    assert!(listing.contains(&"after-failover".to_string()));
+    assert_eq!(listing.len(), 6);
+    println!("\nnamespace intact; the single-NameNode deployment would have lost everything.");
+}

@@ -1,0 +1,67 @@
+//! The canonical BOOM Analytics workload: wordcount on the full
+//! declarative stack — BOOM-MR scheduling a job (Overlog JobTracker) over
+//! data stored in BOOM-FS (Overlog NameNode), with the LATE speculation
+//! policy installed.
+//!
+//! ```text
+//! cargo run --example wordcount
+//! ```
+
+use boom::mr::{CostModel, MrClusterBuilder, MrDriver, MrJob, SpecPolicy};
+
+fn main() {
+    let mut cluster = MrClusterBuilder {
+        workers: 6,
+        slots: 2,
+        chunk_size: 2048,
+        policy: SpecPolicy::Late,
+        cost: CostModel {
+            map_ms_per_kib: 300.0,
+            reduce_ms_per_krec: 300.0,
+            min_ms: 100,
+        },
+        ..Default::default()
+    }
+    .build();
+
+    println!("loading corpus into BOOM-FS ...");
+    let inputs = cluster.load_corpus(2026, 4, 4_000).unwrap();
+    println!("  {} input files written", inputs.len());
+
+    let fs = cluster.fs.clone();
+    let mut driver = cluster.driver.clone();
+    let job = MrJob {
+        job_type: "wordcount".to_string(),
+        inputs,
+        nreduces: 4,
+        outdir: "/out".to_string(),
+    };
+    let deadline = cluster.sim.now() + 3_600_000;
+    let (job_id, took) = driver.run(&mut cluster.sim, &fs, &job, deadline).unwrap();
+    println!("job {job_id} completed in {:.1}s of simulated time", took as f64 / 1000.0);
+
+    let output = MrDriver::collect_output(&mut cluster.sim, &cluster.trackers.clone(), job_id);
+    let mut by_count: Vec<(&String, &i64)> = output.iter().collect();
+    by_count.sort_by(|a, b| b.1.cmp(a.1));
+    println!("\ntop words:");
+    for (word, count) in by_count.iter().take(8) {
+        println!("  {word:<10} {count}");
+    }
+    let total: i64 = output.values().sum();
+    println!("  (total {total} words)");
+
+    println!("\ntask timeline (from the JobTracker's Overlog tables):");
+    let mut times = cluster.task_times();
+    times.sort_by_key(|t| t.start);
+    for t in &times {
+        println!(
+            "  job {} task {:>3} [{:>6}] {:>7}ms -> {:>7}ms  ({} ms)",
+            t.job,
+            t.task,
+            t.ty,
+            t.start,
+            t.end,
+            t.duration()
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate for the BOOM Analytics reproduction.
+//!
+//! Re-exports the whole stack; see the individual crates for details.
+pub use boom_core as core;
+pub use boom_fs as fs;
+pub use boom_mr as mr;
+pub use boom_overlog as overlog;
+pub use boom_paxos as paxos;
+pub use boom_simnet as simnet;
