@@ -28,7 +28,9 @@ fn bench_metadata_ops(c: &mut Criterion) {
             // (wall time here is dominated by NameNode evaluation).
             let mut cluster = fs_cluster(control);
             let client = cluster.client.clone();
-            client.mkdir(&mut cluster.sim, "/bench").expect("mkdir works");
+            client
+                .mkdir(&mut cluster.sim, "/bench")
+                .expect("mkdir works");
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;

@@ -20,9 +20,7 @@ fn main() {
         "\nBOOM-FS control plane: {} rules / {} Overlog lines (paper: 85 / 469)",
         nn.olg_rules, nn.olg_lines
     );
-    println!(
-        "BOOM-FS imperative data plane + client: {fs_rust} Rust lines (paper: ~1,431 Java)",
-    );
+    println!("BOOM-FS imperative data plane + client: {fs_rust} Rust lines (paper: ~1,431 Java)",);
     let px = rows.iter().find(|r| r.system.starts_with("Paxos")).unwrap();
     println!(
         "Paxos: {} rules / {} Overlog lines (paper: ~302 lines)",

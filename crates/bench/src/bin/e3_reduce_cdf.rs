@@ -12,7 +12,11 @@ fn main() {
     let results = run_task_cdfs(&cfg);
     println!("# E3: CDF of reduce task completion time (ms)");
     for r in &results {
-        println!("# {:<22} job completed in {:.1}s", r.label, r.job_ms as f64 / 1000.0);
+        println!(
+            "# {:<22} job completed in {:.1}s",
+            r.label,
+            r.job_ms as f64 / 1000.0
+        );
     }
     println!();
     let series: Vec<(String, Vec<(f64, f64)>)> = results

@@ -14,7 +14,10 @@ fn main() {
     );
     let results = run_speculation(&cfg);
     println!("# E4: speculation policies under stragglers");
-    println!("# {:<8} {:>12} {:>14}", "policy", "job (s)", "copies killed");
+    println!(
+        "# {:<8} {:>12} {:>14}",
+        "policy", "job (s)", "copies killed"
+    );
     for r in &results {
         println!(
             "# {:<8} {:>12.1} {:>14}",
@@ -25,7 +28,10 @@ fn main() {
     }
     let none = results.iter().find(|r| r.policy == "none").unwrap().job_ms;
     let late = results.iter().find(|r| r.policy == "LATE").unwrap().job_ms;
-    println!("# LATE speedup over no speculation: {:.2}x", none as f64 / late as f64);
+    println!(
+        "# LATE speedup over no speculation: {:.2}x",
+        none as f64 / late as f64
+    );
     println!();
     let series: Vec<(String, Vec<(f64, f64)>)> = results
         .iter()

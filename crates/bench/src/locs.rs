@@ -176,7 +176,11 @@ mod tests {
         assert!(nn.olg_rules >= 30 && nn.olg_rules <= 150);
         let px = rows.iter().find(|r| r.system.starts_with("Paxos")).unwrap();
         // Paper: Paxos in ~300 lines of Overlog.
-        assert!(px.olg_lines >= 80 && px.olg_lines <= 400, "{}", px.olg_lines);
+        assert!(
+            px.olg_lines >= 80 && px.olg_lines <= 400,
+            "{}",
+            px.olg_lines
+        );
         let runtime = rows.iter().find(|r| r.system.contains("JOL")).unwrap();
         assert!(runtime.rust_lines > 1_000);
         let rendered = render_size_table(&rows);

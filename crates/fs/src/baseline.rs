@@ -139,7 +139,11 @@ impl BaselineNameNode {
     }
 
     fn respond(&self, ctx: &mut Ctx<'_>, src: &str, req: i64, ok: bool, payload: Value) {
-        ctx.send(src, proto::RESPONSE, proto::response_row(src, req, ok, payload));
+        ctx.send(
+            src,
+            proto::RESPONSE,
+            proto::response_row(src, req, ok, payload),
+        );
     }
 
     fn handle_request(&mut self, ctx: &mut Ctx<'_>, row: &boom_overlog::Row) {
@@ -194,7 +198,12 @@ impl BaselineNameNode {
                 if id == 1 {
                     return self.respond(ctx, &src, req, false, Value::str("notempty"));
                 }
-                if self.children.get(&id).map(|c| !c.is_empty()).unwrap_or(false) {
+                if self
+                    .children
+                    .get(&id)
+                    .map(|c| !c.is_empty())
+                    .unwrap_or(false)
+                {
                     return self.respond(ctx, &src, req, false, Value::str("notempty"));
                 }
                 let meta = self.files.remove(&id).expect("indexed by by_path");
@@ -277,7 +286,7 @@ impl BaselineNameNode {
                 self.fchunks.entry(id).or_default().push(chunk);
                 self.chunk_file.insert(chunk, id);
                 // Same deterministic placement policy as the Overlog rules.
-                let live: Vec<Value> = self.datanodes.keys().map(|n| Value::addr(n)).collect();
+                let live: Vec<Value> = self.datanodes.keys().map(Value::addr).collect();
                 let picked = boom_overlog::Builtins::standard()
                     .call(
                         "pick",

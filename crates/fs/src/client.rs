@@ -270,12 +270,7 @@ impl FsClient {
         match self.cfg.mode {
             NameNodeMode::Partitioned => {
                 for nn in self.cfg.namenodes.clone() {
-                    Self::expect_ok(self.rpc_to(
-                        sim,
-                        &nn,
-                        "mkdir",
-                        vec![Value::str(path)],
-                    )?)?;
+                    Self::expect_ok(self.rpc_to(sim, &nn, "mkdir", vec![Value::str(path)])?)?;
                 }
                 Ok(())
             }
@@ -377,13 +372,8 @@ impl FsClient {
         {
             return Err(FsError::Failed("cross-partition rename".into()));
         }
-        Self::expect_ok(self.rpc(
-            sim,
-            old,
-            "rename",
-            vec![Value::str(old), Value::str(new)],
-        )?)
-        .map(|_| ())
+        Self::expect_ok(self.rpc(sim, old, "rename", vec![Value::str(old), Value::str(new)])?)
+            .map(|_| ())
     }
 
     /// Allocate a chunk for `path`; returns `(chunk_id, replica targets)`.
@@ -418,7 +408,11 @@ impl FsClient {
             Self::expect_ok(self.rpc(sim, path, "locations", vec![Value::Int(chunk)])?)?;
         payload
             .as_list()
-            .map(|l| l.iter().filter_map(|v| v.as_str().map(str::to_string)).collect())
+            .map(|l| {
+                l.iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
             .ok_or_else(|| FsError::BadPayload("locations".into()))
     }
 
@@ -455,7 +449,7 @@ impl FsClient {
                 return Err(FsError::Failed("no datanodes for chunk".into()));
             }
             let req = self.fresh_req(sim);
-            let pipeline: Vec<Value> = nodes[1..].iter().map(|n| Value::addr(n)).collect();
+            let pipeline: Vec<Value> = nodes[1..].iter().map(Value::addr).collect();
             sim.inject(
                 &nodes[0],
                 proto::DN_WRITE,

@@ -141,11 +141,7 @@ impl Actor for DataNode {
                 ctx.send(
                     src,
                     proto::DN_ACK,
-                    Arc::new(vec![
-                        Value::addr(src),
-                        Value::Int(req),
-                        Value::addr(&me),
-                    ]),
+                    Arc::new(vec![Value::addr(src), Value::Int(req), Value::addr(&me)]),
                 );
                 // Pipelined replication: forward to the next node.
                 if let Some(next) = pipeline.first().and_then(|v| v.as_str()) {
@@ -192,11 +188,7 @@ impl Actor for DataNode {
                         ctx.send(
                             src,
                             proto::DN_ERR,
-                            Arc::new(vec![
-                                Value::addr(src),
-                                Value::Int(req),
-                                Value::Int(chunk),
-                            ]),
+                            Arc::new(vec![Value::addr(src), Value::Int(req), Value::Int(chunk)]),
                         );
                     }
                 }
@@ -261,7 +253,13 @@ mod tests {
         }
     }
 
-    fn write_row(src: &str, req: i64, chunk: i64, content: &str, pipeline: Vec<&str>) -> boom_overlog::Row {
+    fn write_row(
+        src: &str,
+        req: i64,
+        chunk: i64,
+        content: &str,
+        pipeline: Vec<&str>,
+    ) -> boom_overlog::Row {
         Arc::new(vec![
             Value::addr(src),
             Value::Int(req),
@@ -277,7 +275,11 @@ mod tests {
         sim.add_node("d1", Box::new(DataNode::new(DataNodeConfig::default())));
         sim.add_node("d2", Box::new(DataNode::new(DataNodeConfig::default())));
         sim.add_node("c", Box::new(Sink { rows: vec![] }));
-        sim.inject("d1", proto::DN_WRITE, write_row("c", 1, 7, "hello", vec!["d2"]));
+        sim.inject(
+            "d1",
+            proto::DN_WRITE,
+            write_row("c", 1, 7, "hello", vec!["d2"]),
+        );
         sim.run_for(1_000);
         let acks = sim.with_actor::<Sink, _>("c", |s| {
             s.rows.iter().filter(|t| t.table == proto::DN_ACK).count()
@@ -338,7 +340,11 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         sim.add_node("d1", Box::new(DataNode::new(DataNodeConfig::default())));
         sim.add_node("d2", Box::new(DataNode::new(DataNodeConfig::default())));
-        sim.inject("d1", proto::DN_WRITE, write_row("x", 1, 5, "payload", vec![]));
+        sim.inject(
+            "d1",
+            proto::DN_WRITE,
+            write_row("x", 1, 5, "payload", vec![]),
+        );
         sim.run_for(100);
         sim.inject(
             "d1",
@@ -353,7 +359,11 @@ mod tests {
     fn chunks_survive_restart() {
         let mut sim = Sim::new(SimConfig::default());
         sim.add_node("d1", Box::new(DataNode::new(DataNodeConfig::default())));
-        sim.inject("d1", proto::DN_WRITE, write_row("x", 1, 5, "persist", vec![]));
+        sim.inject(
+            "d1",
+            proto::DN_WRITE,
+            write_row("x", 1, 5, "persist", vec![]),
+        );
         sim.run_for(100);
         sim.schedule_crash("d1", sim.now() + 10);
         sim.schedule_restart("d1", sim.now() + 200);

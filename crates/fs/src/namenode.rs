@@ -59,8 +59,11 @@ pub fn namenode_runtime(addr: &str, cfg: &NameNodeConfig) -> OverlogRuntime {
         .expect("repfactor row is well-typed");
     rt.delete("hb_timeout", Arc::new(vec![Value::Int(15_000)]))
         .expect("hb_timeout is declared");
-    rt.insert("hb_timeout", Arc::new(vec![Value::Int(cfg.hb_timeout as i64)]))
-        .expect("hb_timeout row is well-typed");
+    rt.insert(
+        "hb_timeout",
+        Arc::new(vec![Value::Int(cfg.hb_timeout as i64)]),
+    )
+    .expect("hb_timeout row is well-typed");
     rt
 }
 
@@ -68,11 +71,7 @@ pub fn namenode_runtime(addr: &str, cfg: &NameNodeConfig) -> OverlogRuntime {
 /// runtime from scratch — all metadata is volatile, which is precisely the
 /// availability problem the paper's Paxos revision addresses.
 pub fn namenode_actor(addr: &str, cfg: NameNodeConfig) -> OverlogActor {
-    OverlogActor::with_factory(
-        Box::new(move |name| namenode_runtime(name, &cfg)),
-        25,
-        addr,
-    )
+    OverlogActor::with_factory(Box::new(move |name| namenode_runtime(name, &cfg)), 25, addr)
 }
 
 #[cfg(test)]

@@ -95,7 +95,11 @@ fn write_and_read_multi_chunk_file() {
             .collect::<String>();
         cl.write_file(sim, "/big", &content).unwrap();
         let chunks = cl.chunks(sim, "/big").unwrap();
-        assert!(chunks.len() >= 15, "expected many chunks, got {}", chunks.len());
+        assert!(
+            chunks.len() >= 15,
+            "expected many chunks, got {}",
+            chunks.len()
+        );
         let back = cl.read_file(sim, "/big").unwrap();
         assert_eq!(back, content);
     });
@@ -240,8 +244,12 @@ fn partitioned_namespace_spreads_files_and_merges_ls() {
     let listing = cl.ls(sim, "/d").unwrap();
     assert_eq!(listing.len(), 12, "merged ls sees every partition's files");
     // Round-trip data through a routed file.
-    cl.write_file(sim, "/d/file0-data", "partitioned payload").unwrap();
-    assert_eq!(cl.read_file(sim, "/d/file0-data").unwrap(), "partitioned payload");
+    cl.write_file(sim, "/d/file0-data", "partitioned payload")
+        .unwrap();
+    assert_eq!(
+        cl.read_file(sim, "/d/file0-data").unwrap(),
+        "partitioned payload"
+    );
     // rm of a directory coordinates across partitions.
     assert!(matches!(cl.rm(sim, "/d"), Err(FsError::Failed(ref m)) if m == "notempty"));
 }
@@ -252,7 +260,8 @@ fn removed_files_chunks_are_garbage_collected() {
     // reclaim them once the next heartbeats report them unowned.
     both(|mut c| {
         let cl = c.client.clone();
-        cl.write_file(&mut c.sim, "/doomed", &"z".repeat(500)).unwrap();
+        cl.write_file(&mut c.sim, "/doomed", &"z".repeat(500))
+            .unwrap();
         c.sim.run_for(4_000);
         let chunks = cl.chunks(&mut c.sim, "/doomed").unwrap();
         assert!(!chunks.is_empty());

@@ -96,7 +96,8 @@ fn rename_error_cases() {
 fn renamed_file_still_serves_chunk_reads_after_heartbeats() {
     both(|mut c| {
         let cl = c.client.clone();
-        cl.write_file(&mut c.sim, "/before", &"x".repeat(300)).unwrap();
+        cl.write_file(&mut c.sim, "/before", &"x".repeat(300))
+            .unwrap();
         cl.rename(&mut c.sim, "/before", "/after").unwrap();
         // Chunk ownership follows the file id, not the path.
         c.sim.run_for(5_000);

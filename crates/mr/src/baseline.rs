@@ -130,7 +130,11 @@ impl BaselineJobTracker {
                 .filter(|(&(aj, at, _), a)| {
                     aj == job
                         && a.state == proto::state::DONE
-                        && self.tasks.get(&(aj, at)).map(|t| t.ty == "map").unwrap_or(false)
+                        && self
+                            .tasks
+                            .get(&(aj, at))
+                            .map(|t| t.ty == "map")
+                            .unwrap_or(false)
                 })
                 .map(|(_, a)| a.tracker.clone())
                 .collect();
@@ -158,7 +162,7 @@ impl BaselineJobTracker {
                 Value::Int(attempt),
                 Value::str(&ty),
                 Value::Int(chunk),
-                Value::list(locs.iter().map(|l| Value::addr(l)).collect()),
+                Value::list(locs.iter().map(Value::addr).collect()),
                 Value::Int(jm.nreduces),
                 Value::str(&jm.job_type),
             ]),
@@ -322,7 +326,10 @@ impl BaselineJobTracker {
                     Value::Int(now),
                 ]),
             );
-            self.jobs.get_mut(&j).expect("job id from jobs map").notified = true;
+            self.jobs
+                .get_mut(&j)
+                .expect("job id from jobs map")
+                .notified = true;
         }
     }
 

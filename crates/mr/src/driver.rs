@@ -132,9 +132,8 @@ impl MrDriver {
                 if t.table != proto::MR_RESPONSE {
                     return None;
                 }
-                proto::parse_mr_response(&t.row).and_then(|(j, st, time)| {
-                    (j == job_id && st == "done").then_some(time as u64)
-                })
+                proto::parse_mr_response(&t.row)
+                    .and_then(|(j, st, time)| (j == job_id && st == "done").then_some(time as u64))
             })
         })
     }
@@ -156,11 +155,7 @@ impl MrDriver {
     }
 
     /// Merge the reduce outputs of a job from every tracker.
-    pub fn collect_output(
-        sim: &mut Sim,
-        trackers: &[String],
-        job: i64,
-    ) -> BTreeMap<String, i64> {
+    pub fn collect_output(sim: &mut Sim, trackers: &[String], job: i64) -> BTreeMap<String, i64> {
         let mut merged = BTreeMap::new();
         for tt in trackers {
             let parts = sim.with_actor::<TaskTracker, _>(tt, |t| {
@@ -188,9 +183,7 @@ pub fn harvest_task_times_declarative(sim: &mut Sim, jt: &str) -> Vec<TaskTime> 
         let types: BTreeMap<(i64, i64), String> = rt
             .rows("task")
             .iter()
-            .filter_map(|r| {
-                Some(((r[0].as_int()?, r[1].as_int()?), r[2].as_str()?.to_string()))
-            })
+            .filter_map(|r| Some(((r[0].as_int()?, r[1].as_int()?), r[2].as_str()?.to_string())))
             .collect();
         let starts: BTreeMap<(i64, i64, i64), u64> = rt
             .rows("attempt")

@@ -51,14 +51,16 @@ pub enum AssignPolicy {
 }
 
 impl AssignPolicy {
-    fn olg(&self) -> &'static str {
+    /// The Overlog program implementing the policy.
+    pub fn olg(&self) -> &'static str {
         match self {
             AssignPolicy::Fifo => FIFO_OLG,
             AssignPolicy::Locality(_) => LOCALITY_OLG,
         }
     }
 
-    fn facts(&self) -> String {
+    /// The host facts the policy contributes (e.g. `colocated` pairs).
+    pub fn facts(&self) -> String {
         match self {
             AssignPolicy::Fifo => String::new(),
             AssignPolicy::Locality(pairs) => pairs
@@ -71,11 +73,7 @@ impl AssignPolicy {
 
 /// Build a JobTracker runtime with the given speculation and assignment
 /// policies.
-pub fn jobtracker_runtime(
-    addr: &str,
-    policy: SpecPolicy,
-    assign: &AssignPolicy,
-) -> OverlogRuntime {
+pub fn jobtracker_runtime(addr: &str, policy: SpecPolicy, assign: &AssignPolicy) -> OverlogRuntime {
     let mut rt = OverlogRuntime::new(addr);
     rt.load(JOBTRACKER_OLG)
         .expect("embedded jobtracker.olg must compile");
@@ -87,7 +85,8 @@ pub fn jobtracker_runtime(
     }
     let extra = policy.olg();
     if !extra.is_empty() {
-        rt.load(extra).expect("embedded policy program must compile");
+        rt.load(extra)
+            .expect("embedded policy program must compile");
     }
     rt
 }

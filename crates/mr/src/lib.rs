@@ -26,6 +26,8 @@ pub mod workload;
 pub use baseline::BaselineJobTracker;
 pub use cluster::{MrCluster, MrClusterBuilder, StragglerConfig};
 pub use driver::{MrDriver, MrJob, TaskTime};
-pub use jobtracker::{jobtracker_actor, jobtracker_runtime, SpecPolicy, JOBTRACKER_OLG, LATE_OLG, NAIVE_OLG};
+pub use jobtracker::{
+    jobtracker_actor, jobtracker_runtime, SpecPolicy, JOBTRACKER_OLG, LATE_OLG, NAIVE_OLG,
+};
 pub use tasktracker::{TaskTracker, TaskTrackerConfig};
 pub use workload::{reference_wordcount, synth_text, CostModel};

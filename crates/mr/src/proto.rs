@@ -173,10 +173,7 @@ mod tests {
             Value::str("done"),
             Value::Int(1234),
         ]);
-        assert_eq!(
-            parse_mr_response(&row),
-            Some((7, "done".to_string(), 1234))
-        );
+        assert_eq!(parse_mr_response(&row), Some((7, "done".to_string(), 1234)));
     }
 
     #[test]

@@ -106,11 +106,15 @@ pub struct TaskTracker {
     pub remote_reads: u64,
 }
 
+/// One running attempt in a [`TaskTracker::debug_state`] snapshot:
+/// `(job, task, attempt, phase label)`.
+pub type AttemptState = (i64, i64, i64, String);
+
 impl TaskTracker {
     /// Diagnostic snapshot: running attempt keys with phase labels, queue
     /// length, and armed completion timers.
-    pub fn debug_state(&self) -> (Vec<(i64, i64, i64, String)>, usize, usize) {
-        let running: Vec<(i64, i64, i64, String)> = self
+    pub fn debug_state(&self) -> (Vec<AttemptState>, usize, usize) {
+        let running: Vec<AttemptState> = self
             .running
             .iter()
             .map(|(k, r)| {
@@ -183,16 +187,27 @@ impl TaskTracker {
             ctx.send(
                 &jt,
                 proto::PROGRESS_REPORT,
-                proto::progress_row(key.0, key.1, key.2, &me, proto::state::RUNNING, permille, now as i64),
+                proto::progress_row(
+                    key.0,
+                    key.1,
+                    key.2,
+                    &me,
+                    proto::state::RUNNING,
+                    permille,
+                    now as i64,
+                ),
             );
         }
     }
 
     fn start_or_queue(&mut self, ctx: &mut Ctx<'_>, launch: Launch) {
         let key = (launch.job, launch.task, launch.attempt);
-        if self.running.contains_key(&key) || self.queued.iter().any(|l| {
-            (l.job, l.task, l.attempt) == key
-        }) {
+        if self.running.contains_key(&key)
+            || self
+                .queued
+                .iter()
+                .any(|l| (l.job, l.task, l.attempt) == key)
+        {
             return; // duplicate launch message
         }
         if self.running.len() >= self.cfg.slots {
@@ -357,15 +372,22 @@ impl TaskTracker {
     fn handle_kill(&mut self, ctx: &mut Ctx<'_>, key: AttemptKey) {
         let was_running = self.running.remove(&key).is_some();
         let before = self.queued.len();
-        self.queued
-            .retain(|l| (l.job, l.task, l.attempt) != key);
+        self.queued.retain(|l| (l.job, l.task, l.attempt) != key);
         if was_running || before != self.queued.len() {
             self.killed += 1;
             let me = ctx.me().to_string();
             ctx.send(
                 &self.cfg.jobtracker.clone(),
                 proto::PROGRESS_REPORT,
-                proto::progress_row(key.0, key.1, key.2, &me, proto::state::KILLED, 0, ctx.now() as i64),
+                proto::progress_row(
+                    key.0,
+                    key.1,
+                    key.2,
+                    &me,
+                    proto::state::KILLED,
+                    0,
+                    ctx.now() as i64,
+                ),
             );
         }
         self.drain_queue(ctx);
@@ -385,10 +407,7 @@ impl TaskTracker {
                     .iter()
                     .map(|(w, c)| Value::list(vec![Value::str(w), Value::Int(*c)]))
                     .collect();
-                entries.push(Value::list(vec![
-                    Value::Int(*map_task),
-                    Value::list(pairs),
-                ]));
+                entries.push(Value::list(vec![Value::Int(*map_task), Value::list(pairs)]));
             }
         }
         let me = ctx.me().to_string();
@@ -428,10 +447,13 @@ impl TaskTracker {
             {
                 waiting.remove(&from);
                 for entry in &entries {
-                    let Some(pair) = entry.as_list() else { continue };
-                    let (Some(map_task), Some(pairs)) =
-                        (pair.first().and_then(|v| v.as_int()), pair.get(1).and_then(|v| v.as_list()))
-                    else {
+                    let Some(pair) = entry.as_list() else {
+                        continue;
+                    };
+                    let (Some(map_task), Some(pairs)) = (
+                        pair.first().and_then(|v| v.as_int()),
+                        pair.get(1).and_then(|v| v.as_list()),
+                    ) else {
                         continue;
                     };
                     // Deduplicate speculative map copies by map-task id.
@@ -440,9 +462,10 @@ impl TaskTracker {
                     }
                     for kv in pairs {
                         if let Some(kv) = kv.as_list() {
-                            if let (Some(w), Some(c)) =
-                                (kv.first().and_then(|v| v.as_str()), kv.get(1).and_then(|v| v.as_int()))
-                            {
+                            if let (Some(w), Some(c)) = (
+                                kv.first().and_then(|v| v.as_str()),
+                                kv.get(1).and_then(|v| v.as_int()),
+                            ) {
                                 *acc.entry(w.to_string()).or_insert(0) += c;
                             }
                         }
@@ -580,7 +603,10 @@ impl Actor for TaskTracker {
         if let Some(key) = self.fetch_deadlines.remove(&tag) {
             let still_fetching = matches!(
                 self.running.get(&key),
-                Some(Running { phase: Phase::Fetching { .. }, .. })
+                Some(Running {
+                    phase: Phase::Fetching { .. },
+                    ..
+                })
             );
             if still_fetching {
                 self.running.remove(&key);

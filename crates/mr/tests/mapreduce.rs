@@ -53,7 +53,12 @@ fn wordcount_on_full_declarative_stack() {
     assert!(maps >= 2, "expected several map tasks, got {maps}");
     assert_eq!(reduces, 3);
     // Reduces start only after every map ended.
-    let last_map_end = times.iter().filter(|t| t.ty == "map").map(|t| t.end).max().unwrap();
+    let last_map_end = times
+        .iter()
+        .filter(|t| t.ty == "map")
+        .map(|t| t.end)
+        .max()
+        .unwrap();
     let first_reduce_start = times
         .iter()
         .filter(|t| t.ty == "reduce")
@@ -130,7 +135,10 @@ fn grep_job_finds_matching_lines() {
     let got = MrDriver::collect_output(&mut c.sim, &c.trackers.clone(), job_id);
     assert!(!got.is_empty(), "corpus contains 'paxos' lines");
     for line in got.keys() {
-        assert!(line.contains("paxos"), "grep output line without match: {line}");
+        assert!(
+            line.contains("paxos"),
+            "grep output line without match: {line}"
+        );
     }
 }
 
@@ -150,7 +158,7 @@ fn late_speculation_beats_none_with_stragglers() {
                 slow_factor: 0.08,
             },
             sim: boom_simnet::SimConfig {
-                seed: 99,
+                seed: 4,
                 ..Default::default()
             },
             cost: CostModel {
@@ -193,7 +201,7 @@ fn speculative_copies_are_killed_after_first_completion() {
             slow_factor: 0.08,
         },
         sim: boom_simnet::SimConfig {
-            seed: 99,
+            seed: 4,
             ..Default::default()
         },
         cost: CostModel {
@@ -215,7 +223,10 @@ fn speculative_copies_are_killed_after_first_completion() {
         .trackers
         .clone()
         .iter()
-        .map(|tt| c.sim.with_actor::<boom_mr::TaskTracker, _>(tt, |t| t.killed))
+        .map(|tt| {
+            c.sim
+                .with_actor::<boom_mr::TaskTracker, _>(tt, |t| t.killed)
+        })
         .sum();
     assert!(killed > 0, "redundant attempts must be reaped");
 }

@@ -22,8 +22,7 @@ fn two_jobs_run_fifo_and_do_not_mix_outputs() {
     let mut texts = Vec::new();
     for i in 0..2u64 {
         let text = synth_text(400 + i, 2_000);
-        c.fs
-            .write_file(&mut c.sim, &format!("/input/j{i}"), &text)
+        c.fs.write_file(&mut c.sim, &format!("/input/j{i}"), &text)
             .unwrap();
         texts.push(text);
     }
@@ -55,8 +54,12 @@ fn two_jobs_run_fifo_and_do_not_mix_outputs() {
         )
         .unwrap();
     let deadline = c.sim.now() + 10_000_000;
-    let done1 = driver.wait(&mut c.sim, j1, deadline).expect("job 1 completes");
-    let done2 = driver.wait(&mut c.sim, j2, deadline).expect("job 2 completes");
+    let done1 = driver
+        .wait(&mut c.sim, j1, deadline)
+        .expect("job 1 completes");
+    let done2 = driver
+        .wait(&mut c.sim, j2, deadline)
+        .expect("job 2 completes");
     // FIFO: the first-submitted job finishes no later than the second.
     assert!(done1 <= done2, "FIFO violated: {done1} > {done2}");
 

@@ -1,0 +1,290 @@
+//! Diagnostic values, source mapping, and rendering.
+//!
+//! Every analysis finding is a [`Diagnostic`]: a severity, a stable code
+//! (`E####` for errors, `W####` for warnings — see the table in DESIGN.md),
+//! a byte [`Span`], a message, and an optional help line. Diagnostics are
+//! plain data so tests can assert on codes and positions; [`render`] turns
+//! one into the familiar `file:line:col: error[E0004]: ...` form with a
+//! caret underline.
+
+use crate::ast::Span;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory; the program still loads.
+    Warning,
+    /// The program is rejected at load time.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable code, e.g. `"E0004"`.
+    pub code: &'static str,
+    /// Source location (group-relative byte offsets).
+    pub span: Span,
+    /// One-line description of the problem.
+    pub message: String,
+    /// Optional suggestion for fixing it.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attach a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Is this an error (as opposed to a warning)?
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+/// Byte-offset → line/column mapping for one source text.
+#[derive(Debug, Clone)]
+pub struct LineIndex {
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+    len: usize,
+}
+
+impl LineIndex {
+    /// Index a source text.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineIndex {
+            line_starts,
+            len: src.len(),
+        }
+    }
+
+    /// 1-based `(line, col)` of a byte offset. Columns count bytes, matching
+    /// how editors address ASCII Overlog sources.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let offset = offset.min(self.len);
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// Byte offset of a 1-based `(line, col)` position (inverse of
+    /// [`LineIndex::line_col`]); out-of-range positions clamp.
+    pub fn offset(&self, line: usize, col: usize) -> usize {
+        let start = self
+            .line_starts
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(self.len);
+        (start + col.saturating_sub(1)).min(self.len)
+    }
+
+    /// The 1-based line number range `[start_line, end_line]` of a span.
+    pub fn line_range(&self, span: Span) -> (usize, usize) {
+        (
+            self.line_col(span.start).0,
+            self.line_col(span.end.saturating_sub(1).max(span.start)).0,
+        )
+    }
+}
+
+/// A group of named sources sharing one span offset space.
+///
+/// olgcheck analyzes several `.olg` files as a single program (the same way
+/// the runtime loads them into one `OverlogRuntime`); each file's spans are
+/// relocated by its base offset, and `SourceMap` resolves a group-relative
+/// span back to `(file, line, col)`.
+#[derive(Debug, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+#[derive(Debug)]
+struct SourceFile {
+    name: String,
+    text: String,
+    base: usize,
+    index: LineIndex,
+}
+
+impl SourceMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// Add a file and return the base offset its spans must be shifted by.
+    pub fn add(&mut self, name: impl Into<String>, text: impl Into<String>) -> usize {
+        let text = text.into();
+        // +1 gap between files so a span can never straddle two of them and
+        // so base 0 stays unique to the first file (dummy spans resolve
+        // there, harmlessly, at 1:1).
+        let base = self
+            .files
+            .last()
+            .map(|f| f.base + f.text.len() + 1)
+            .unwrap_or(0);
+        self.files.push(SourceFile {
+            name: name.into(),
+            index: LineIndex::new(&text),
+            text,
+            base,
+        });
+        base
+    }
+
+    /// Resolve a group-relative offset to `(file_name, line, col)`.
+    pub fn resolve(&self, offset: usize) -> (&str, usize, usize) {
+        let fi = self
+            .files
+            .iter()
+            .rposition(|f| offset >= f.base)
+            .unwrap_or(0);
+        let f = &self.files[fi];
+        let (line, col) = f.index.line_col(offset - f.base);
+        (&f.name, line, col)
+    }
+
+    /// The source line (text, without newline) containing a group offset.
+    pub fn line_text(&self, offset: usize) -> &str {
+        let fi = self
+            .files
+            .iter()
+            .rposition(|f| offset >= f.base)
+            .unwrap_or(0);
+        let f = &self.files[fi];
+        let local = (offset - f.base).min(f.text.len());
+        let start = f.text[..local].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let end = f.text[local..]
+            .find('\n')
+            .map(|i| local + i)
+            .unwrap_or(f.text.len());
+        &f.text[start..end]
+    }
+
+    /// File names in the map, in insertion order.
+    pub fn file_names(&self) -> impl Iterator<Item = &str> {
+        self.files.iter().map(|f| f.name.as_str())
+    }
+}
+
+/// Render one diagnostic in compiler style:
+///
+/// ```text
+/// namenode.olg:41:3: error[E0004]: unsafe rule `r12`: variable `X` ...
+///    |  fqpath(Path, F) :- file(F, D, N, _);
+///    |  ^^^^^^^^^^^^^^^
+///    = help: bind `X` in a positive body predicate
+/// ```
+pub fn render(diag: &Diagnostic, map: &SourceMap) -> String {
+    let (file, line, col) = map.resolve(diag.span.start);
+    let mut out = format!(
+        "{file}:{line}:{col}: {}[{}]: {}\n",
+        diag.severity, diag.code, diag.message
+    );
+    let text = map.line_text(diag.span.start);
+    if !text.is_empty() {
+        out.push_str(&format!("   |  {text}\n"));
+        let width = diag
+            .span
+            .end
+            .saturating_sub(diag.span.start)
+            .clamp(1, text.len().saturating_sub(col - 1).max(1));
+        out.push_str(&format!(
+            "   |  {}{}\n",
+            " ".repeat(col - 1),
+            "^".repeat(width)
+        ));
+    }
+    if let Some(help) = &diag.help {
+        out.push_str(&format!("   = help: {help}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_index_maps_offsets() {
+        let idx = LineIndex::new("ab\ncd\n\nefg");
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(2), (1, 3)); // the newline itself
+        assert_eq!(idx.line_col(3), (2, 1));
+        assert_eq!(idx.line_col(6), (3, 1));
+        assert_eq!(idx.line_col(7), (4, 1));
+        assert_eq!(idx.line_col(9), (4, 3));
+        // Past-the-end clamps.
+        assert_eq!(idx.line_col(100), (4, 4));
+    }
+
+    #[test]
+    fn source_map_resolves_across_files() {
+        let mut map = SourceMap::new();
+        let b0 = map.add("a.olg", "one\ntwo\n");
+        let b1 = map.add("b.olg", "three\n");
+        assert_eq!(b0, 0);
+        assert_eq!(b1, 9); // 8 bytes + 1 gap
+        assert_eq!(map.resolve(4), ("a.olg", 2, 1));
+        assert_eq!(map.resolve(b1), ("b.olg", 1, 1));
+        assert_eq!(map.resolve(b1 + 2), ("b.olg", 1, 3));
+        assert_eq!(map.line_text(b1), "three");
+    }
+
+    #[test]
+    fn render_includes_position_code_and_caret() {
+        let mut map = SourceMap::new();
+        map.add("t.olg", "p(X) :- q(X);\n");
+        let d = Diagnostic::error("E0002", Span::new(8, 12), "unknown table `q`")
+            .with_help("declare it with define(...)");
+        let s = render(&d, &map);
+        assert!(s.contains("t.olg:1:9: error[E0002]"), "{s}");
+        assert!(s.contains("^^^^"), "{s}");
+        assert!(s.contains("help: declare"), "{s}");
+    }
+}

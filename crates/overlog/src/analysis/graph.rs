@@ -1,0 +1,101 @@
+//! Graphviz (DOT) rendering of the rule precedence graph.
+//!
+//! `olgcheck --graph` emits this for a program group. Materialized tables
+//! draw as boxes and event tables as ellipses, each labeled with its
+//! stratum; negated and aggregate edges are highlighted (they force strata
+//! apart), and edges from deletion/inductive rules — which act across the
+//! timestep boundary and do not constrain stratification — are dashed.
+
+use super::stratify::PrecedenceGraph;
+use crate::ast::{TableDecl, TableKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Escape a string for a double-quoted DOT identifier.
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the precedence graph as DOT. `strata` may omit tables (e.g. when
+/// stratification failed); those nodes render without a stratum label.
+pub fn to_dot(
+    graph: &PrecedenceGraph,
+    strata: &HashMap<String, usize>,
+    decls: &HashMap<String, TableDecl>,
+) -> String {
+    let mut out = String::from("digraph precedence {\n  rankdir=BT;\n  node [fontsize=10];\n");
+    for table in &graph.tables {
+        let shape = match decls.get(table).map(|d| d.kind) {
+            Some(TableKind::Event) => "ellipse",
+            _ => "box",
+        };
+        let label = match strata.get(table) {
+            Some(s) => format!("{table}\\nstratum {s}"),
+            None => table.clone(),
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape}, label=\"{label}\"];",
+            dot_escape(table)
+        );
+    }
+    for e in &graph.edges {
+        let mut attrs: Vec<String> = vec![format!("tooltip=\"{}\"", dot_escape(&e.rule))];
+        if e.negated {
+            attrs.push("color=red".into());
+            attrs.push("label=\"notin\"".into());
+        } else if e.aggregate {
+            attrs.push("color=blue".into());
+            attrs.push("label=\"agg\"".into());
+        }
+        if !e.constrains {
+            attrs.push("style=dashed".into());
+        }
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [{}];",
+            dot_escape(&e.src),
+            dot_escape(&e.dst),
+            attrs.join(", ")
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{classify_all, stratify};
+    use crate::parser::parse_program;
+
+    #[test]
+    fn dot_output_has_nodes_edges_and_styles() {
+        let prog = parse_program(
+            "define(a, keys(0), {Int});
+             define(b, keys(0), {Int});
+             event e, {Int};
+             a(X) :- e(X);
+             b(X) :- a(X), notin c(X);
+             define(c, keys(0), {Int});
+             c(X) :- a(X);
+             delete a(X) :- b(X), a(X);",
+        )
+        .unwrap();
+        let decls: HashMap<String, TableDecl> = prog
+            .declarations()
+            .map(|d| (d.name.clone(), d.clone()))
+            .collect();
+        let rules: Vec<_> = prog.rules().cloned().collect();
+        let classes = classify_all(&decls, &rules);
+        let graph = stratify::build_graph(&decls, &rules, &classes);
+        let strata = stratify::stratify(&graph).unwrap();
+        let dot = to_dot(&graph, &strata, &decls);
+        assert!(dot.contains("digraph precedence"), "{dot}");
+        assert!(dot.contains("\"e\" [shape=ellipse"), "{dot}");
+        assert!(dot.contains("\"a\" [shape=box"), "{dot}");
+        assert!(dot.contains("stratum"), "{dot}");
+        assert!(dot.contains("color=red"), "{dot}");
+        assert!(dot.contains("style=dashed"), "{dot}");
+    }
+}

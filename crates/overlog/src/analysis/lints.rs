@@ -1,0 +1,524 @@
+//! The lint suite: checks beyond what load-time validation enforces.
+//!
+//! Errors here (E0009..E0012) are genuine bugs that the evaluator happens
+//! to tolerate or only trips over at runtime; warnings (W0001..W0005) are
+//! strong hints of dead or mistyped program structure. See the code table
+//! in [`super`].
+
+use super::{Diagnostic, ProgramContext};
+use crate::ast::{AggKind, BodyElem, Expr, HeadArg, Rule, Span, TableKind};
+use crate::value::TypeTag;
+use std::collections::{HashMap, HashSet};
+
+/// Builtins whose results differ run to run; rules using them must be
+/// driven by a single event so every derivation happens exactly once.
+const NON_DETERMINISTIC: [&str; 2] = ["newid", "qid"];
+
+/// Run every lint over the context, appending to `out`. `rule_ok[i]` tells
+/// whether rule `i` passed the error-level checks (reference, aggregate and
+/// safety); structure-sensitive lints skip broken rules to avoid cascades.
+pub(super) fn run(ctx: &ProgramContext, rule_ok: &[bool], out: &mut Vec<Diagnostic>) {
+    let timer_tables: HashSet<&str> = ctx.timers.iter().map(|t| t.name.as_str()).collect();
+
+    for (i, rule) in ctx.rules.iter().enumerate() {
+        let label = rule.label(i);
+        location_specifiers(ctx, rule, &label, out);
+        non_deterministic_builtins(ctx, rule, &label, out);
+        if timer_tables.contains(rule.head.table.as_str()) {
+            out.push(
+                Diagnostic::error(
+                    "E0011",
+                    rule.head.span,
+                    format!(
+                        "rule `{label}` derives into `{}`, which is driven by a timer",
+                        rule.head.table
+                    ),
+                )
+                .with_help("timer tables are filled by the runtime; derive into a separate event"),
+            );
+        }
+        if rule_ok[i] {
+            head_types(ctx, rule, &label, out);
+            singleton_variables(rule, &label, out);
+        }
+    }
+
+    duplicate_rule_names(ctx, out);
+    unused_tables(ctx, out);
+    dead_rules(ctx, rule_ok, out);
+    unconsumed_timers(ctx, out);
+}
+
+/// E0009: a `@` location specifier must sit on an address-typed column
+/// (`Addr`; `String`/`Value` are admitted, matching the evaluator).
+fn location_specifiers(ctx: &ProgramContext, rule: &Rule, label: &str, out: &mut Vec<Diagnostic>) {
+    let mut check = |table: &str, loc: Option<usize>, span: Span| {
+        let (Some(i), Some(decl)) = (loc, ctx.decls.get(table)) else {
+            return;
+        };
+        match decl.types.get(i) {
+            Some(TypeTag::Addr | TypeTag::Str | TypeTag::Any) | None => {}
+            Some(other) => out.push(
+                Diagnostic::error(
+                    "E0009",
+                    span,
+                    format!(
+                        "rule `{label}` places `@` on column {i} of `{table}`, declared {other}"
+                    ),
+                )
+                .with_help("location specifiers must name an Addr (or String) column"),
+            ),
+        }
+    };
+    check(&rule.head.table, rule.head.loc, rule.head.span);
+    for elem in &rule.body {
+        if let BodyElem::Pred(p) = elem {
+            check(&p.table, p.loc, p.span);
+        }
+    }
+}
+
+/// Does any expression of the rule call one of `NON_DETERMINISTIC`?
+fn calls_non_deterministic(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Call(name, args) => {
+            if let Some(nd) = NON_DETERMINISTIC.iter().find(|n| *n == name) {
+                return Some(nd);
+            }
+            args.iter().find_map(calls_non_deterministic)
+        }
+        Expr::Binary(_, a, b) => calls_non_deterministic(a).or_else(|| calls_non_deterministic(b)),
+        Expr::Unary(_, a) => calls_non_deterministic(a),
+        Expr::ListLit(args) => args.iter().find_map(calls_non_deterministic),
+        Expr::Lit(_) | Expr::Var(_) | Expr::Wildcard => None,
+    }
+}
+
+/// E0010: `newid()`/`qid()` produce fresh values on every evaluation, so a
+/// rule calling them must fire exactly once per triggering tuple: exactly
+/// one positive body predicate, and it must be an event table. (Against a
+/// materialized table the rule re-fires on every re-derivation, minting
+/// ever-new ids — the discipline the shipped programs document.)
+fn non_deterministic_builtins(
+    ctx: &ProgramContext,
+    rule: &Rule,
+    label: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut exprs: Vec<&Expr> = Vec::new();
+    for arg in &rule.head.args {
+        if let HeadArg::Expr(e) = arg {
+            exprs.push(e);
+        }
+    }
+    for elem in &rule.body {
+        match elem {
+            BodyElem::Pred(p) => exprs.extend(p.args.iter()),
+            BodyElem::Cond(e) | BodyElem::Assign(_, e) => exprs.push(e),
+        }
+    }
+    let Some(nd) = exprs.iter().find_map(|e| calls_non_deterministic(e)) else {
+        return;
+    };
+    let positives: Vec<_> = rule.positive_predicates().collect();
+    let single_event = positives.len() == 1
+        && ctx
+            .decls
+            .get(&positives[0].table)
+            .map(|d| d.kind == TableKind::Event)
+            .unwrap_or(false);
+    if !single_event {
+        out.push(
+            Diagnostic::error(
+                "E0010",
+                rule.head.span,
+                format!(
+                    "rule `{label}` calls non-deterministic `{nd}()` but is not driven by \
+                     a single event predicate"
+                ),
+            )
+            .with_help(
+                "rules minting ids must join exactly one event table so each \
+                 triggering tuple derives exactly once",
+            ),
+        );
+    }
+}
+
+/// Type compatibility for E0012, mirroring `TypeTag::admits` at the
+/// schema level: `Value` admits anything, ints coerce to floats, and
+/// strings interchange with addresses.
+fn compatible(decl: TypeTag, inferred: TypeTag) -> bool {
+    decl == inferred
+        || decl == TypeTag::Any
+        || inferred == TypeTag::Any
+        || (decl == TypeTag::Float && inferred == TypeTag::Int)
+        || matches!(
+            (decl, inferred),
+            (TypeTag::Addr, TypeTag::Str) | (TypeTag::Str, TypeTag::Addr)
+        )
+}
+
+/// E0012: infer head column types from body bindings and literals and check
+/// them against the head declaration. Conservative: only bare variables
+/// (with one consistent body inference) and literals are checked.
+fn head_types(ctx: &ProgramContext, rule: &Rule, label: &str, out: &mut Vec<Diagnostic>) {
+    let Some(head_decl) = ctx.decls.get(&rule.head.table) else {
+        return;
+    };
+    // Infer one type per variable from positive body predicate positions;
+    // conflicting inferences disable the variable.
+    let mut inferred: HashMap<&str, Option<TypeTag>> = HashMap::new();
+    for p in rule.positive_predicates() {
+        let Some(decl) = ctx.decls.get(&p.table) else {
+            continue;
+        };
+        for (i, arg) in p.args.iter().enumerate() {
+            let (Some(v), Some(&t)) = (arg.as_var(), decl.types.get(i)) else {
+                continue;
+            };
+            inferred
+                .entry(v)
+                .and_modify(|slot| {
+                    if *slot != Some(t) {
+                        *slot = None;
+                    }
+                })
+                .or_insert(Some(t));
+        }
+    }
+
+    for (i, arg) in rule.head.args.iter().enumerate() {
+        let Some(&decl_t) = head_decl.types.get(i) else {
+            continue;
+        };
+        let inf = match arg {
+            HeadArg::Expr(Expr::Lit(v)) => Some(v.type_tag()),
+            HeadArg::Expr(Expr::Var(v)) => inferred.get(v.as_str()).copied().flatten(),
+            HeadArg::Agg(AggKind::Count, _) => Some(TypeTag::Int),
+            HeadArg::Agg(AggKind::Avg, _) => Some(TypeTag::Float),
+            HeadArg::Agg(AggKind::Set, _) => Some(TypeTag::List),
+            HeadArg::Agg(AggKind::Sum | AggKind::Min | AggKind::Max, Some(v)) => {
+                inferred.get(v.as_str()).copied().flatten()
+            }
+            _ => None,
+        };
+        if let Some(inf_t) = inf {
+            if !compatible(decl_t, inf_t) {
+                out.push(Diagnostic::error(
+                    "E0012",
+                    rule.head.span,
+                    format!(
+                        "rule `{label}` writes a {inf_t} into column {i} of `{}`, declared {decl_t}",
+                        rule.head.table
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Count variable occurrences (no dedup) and remember the first span each
+/// variable was seen at.
+fn count_vars<'r>(e: &'r Expr, span: Span, counts: &mut HashMap<&'r str, (usize, Span)>) {
+    match e {
+        Expr::Var(v) => {
+            let entry = counts.entry(v.as_str()).or_insert((0, span));
+            entry.0 += 1;
+        }
+        Expr::Binary(_, a, b) => {
+            count_vars(a, span, counts);
+            count_vars(b, span, counts);
+        }
+        Expr::Unary(_, a) => count_vars(a, span, counts),
+        Expr::Call(_, args) | Expr::ListLit(args) => {
+            for a in args {
+                count_vars(a, span, counts);
+            }
+        }
+        Expr::Lit(_) | Expr::Wildcard => {}
+    }
+}
+
+/// W0003: a variable used exactly once carries no information — it is
+/// either a typo for another variable or should be the `_` wildcard.
+fn singleton_variables(rule: &Rule, label: &str, out: &mut Vec<Diagnostic>) {
+    let mut counts: HashMap<&str, (usize, Span)> = HashMap::new();
+    for arg in &rule.head.args {
+        match arg {
+            HeadArg::Expr(e) => count_vars(e, rule.head.span, &mut counts),
+            HeadArg::Agg(_, Some(v)) => {
+                counts.entry(v.as_str()).or_insert((0, rule.head.span)).0 += 1;
+            }
+            HeadArg::Agg(_, None) => {}
+        }
+    }
+    for elem in &rule.body {
+        match elem {
+            BodyElem::Pred(p) => {
+                for a in &p.args {
+                    count_vars(a, p.span, &mut counts);
+                }
+            }
+            BodyElem::Cond(e) => count_vars(e, rule.span, &mut counts),
+            BodyElem::Assign(v, e) => {
+                counts.entry(v.as_str()).or_insert((0, rule.span)).0 += 1;
+                count_vars(e, rule.span, &mut counts);
+            }
+        }
+    }
+    let mut singles: Vec<(&str, Span)> = counts
+        .iter()
+        .filter(|(_, (n, _))| *n == 1)
+        .map(|(v, (_, s))| (*v, *s))
+        .collect();
+    singles.sort_by_key(|(v, _)| *v);
+    for (v, span) in singles {
+        out.push(
+            Diagnostic::warning(
+                "W0003",
+                span,
+                format!("variable `{v}` in rule `{label}` is used only once"),
+            )
+            .with_help("replace it with `_` if the value is intentionally unused"),
+        );
+    }
+}
+
+/// W0004: two rules sharing a name make traces and diagnostics ambiguous.
+fn duplicate_rule_names(ctx: &ProgramContext, out: &mut Vec<Diagnostic>) {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for (i, rule) in ctx.rules.iter().enumerate() {
+        let Some(name) = &rule.name else { continue };
+        if let Some(&first) = seen.get(name.as_str()) {
+            out.push(Diagnostic::warning(
+                "W0004",
+                rule.span,
+                format!(
+                    "rule name `{name}` reused (previously rule #{first}); \
+                     traces and diagnostics cannot tell them apart"
+                ),
+            ));
+        } else {
+            seen.insert(name.as_str(), i);
+        }
+    }
+}
+
+/// Every table name referenced anywhere in the program text.
+fn referenced_tables(ctx: &ProgramContext) -> HashSet<&str> {
+    let mut used: HashSet<&str> = HashSet::new();
+    for rule in &ctx.rules {
+        used.insert(rule.head.table.as_str());
+        for elem in &rule.body {
+            if let BodyElem::Pred(p) = elem {
+                used.insert(p.table.as_str());
+            }
+        }
+    }
+    used.extend(ctx.facts.iter().map(|f| f.table.as_str()));
+    used.extend(ctx.watches.iter().map(|(t, _)| t.as_str()));
+    used.extend(ctx.timers.iter().map(|t| t.name.as_str()));
+    used
+}
+
+/// W0001: a declared table no rule, fact, watch or timer mentions.
+fn unused_tables(ctx: &ProgramContext, out: &mut Vec<Diagnostic>) {
+    let used = referenced_tables(ctx);
+    let mut unused: Vec<_> = ctx
+        .decls
+        .values()
+        .filter(|d| !used.contains(d.name.as_str()) && !ctx.external.contains(&d.name))
+        .collect();
+    unused.sort_by_key(|d| d.span.start);
+    for d in unused {
+        out.push(
+            Diagnostic::warning(
+                "W0001",
+                d.span,
+                format!("table `{}` is declared but never used", d.name),
+            )
+            .with_help("remove the declaration or the rules that were meant to use it"),
+        );
+    }
+}
+
+/// W0002: a rule joins a table that nothing can ever fill — no rule head,
+/// no fact, no timer — so the rule can never fire. Event tables and
+/// externally-filled tables are exempt (the host inserts into them).
+fn dead_rules(ctx: &ProgramContext, rule_ok: &[bool], out: &mut Vec<Diagnostic>) {
+    let mut writers: HashSet<&str> = ctx
+        .rules
+        .iter()
+        .filter(|r| !r.delete)
+        .map(|r| r.head.table.as_str())
+        .collect();
+    writers.extend(ctx.facts.iter().map(|f| f.table.as_str()));
+    writers.extend(ctx.timers.iter().map(|t| t.name.as_str()));
+
+    for (i, rule) in ctx.rules.iter().enumerate() {
+        if !rule_ok[i] {
+            continue;
+        }
+        for p in rule.positive_predicates() {
+            let Some(decl) = ctx.decls.get(&p.table) else {
+                continue;
+            };
+            if decl.kind == TableKind::Event
+                || ctx.external.contains(&p.table)
+                || writers.contains(p.table.as_str())
+            {
+                continue;
+            }
+            out.push(
+                Diagnostic::warning(
+                    "W0002",
+                    p.span,
+                    format!(
+                        "rule `{}` reads `{}`, which no rule, fact or timer fills; \
+                         the rule can never fire",
+                        rule.label(i),
+                        p.table
+                    ),
+                )
+                .with_help("seed the table with facts or derive into it"),
+            );
+        }
+    }
+}
+
+/// W0005: a timer whose ticks nothing consumes just burns virtual time.
+fn unconsumed_timers(ctx: &ProgramContext, out: &mut Vec<Diagnostic>) {
+    let mut read: HashSet<&str> = HashSet::new();
+    for rule in &ctx.rules {
+        for elem in &rule.body {
+            if let BodyElem::Pred(p) = elem {
+                read.insert(p.table.as_str());
+            }
+        }
+    }
+    read.extend(ctx.watches.iter().map(|(t, _)| t.as_str()));
+    for t in &ctx.timers {
+        if !read.contains(t.name.as_str()) {
+            out.push(
+                Diagnostic::warning(
+                    "W0005",
+                    t.span,
+                    format!("timer `{}` fires but no rule consumes its ticks", t.name),
+                )
+                .with_help("add a rule with the timer table in its body, or drop the timer"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::analyze_sources;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let (diags, _) = analyze_sources(&[("t.olg", src)]);
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn location_on_int_column_is_e0009() {
+        let src = "event ping, {Int, Int};
+                   event pong, {Int, Int};
+                   pong(@X, Y) :- ping(X, Y);";
+        assert!(codes(src).contains(&"E0009"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn newid_outside_single_event_rule_is_e0010() {
+        let bad = "define(t, keys(0), {Int});
+                   define(u, keys(0,1), {Int, String});
+                   t(1);
+                   u(X, Y) :- t(X), Y := newid();";
+        assert!(codes(bad).contains(&"E0010"), "{:?}", codes(bad));
+        let good = "event req, {Int};
+                    event resp, {Int, String};
+                    resp(X, Y) :- req(X), Y := newid();";
+        assert!(!codes(good).contains(&"E0010"), "{:?}", codes(good));
+    }
+
+    #[test]
+    fn deriving_into_timer_table_is_e0011() {
+        let src = "timer(tick, 100);
+                   define(t, keys(0), {Int});
+                   t(1);
+                   tick(X) :- t(X);";
+        assert!(codes(src).contains(&"E0011"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn literal_type_mismatch_is_e0012() {
+        let src = "event e, {Int};
+                   define(t, keys(0), {Int});
+                   t(X) :- e(X);
+                   t(\"oops\") :- e(_);";
+        assert!(codes(src).contains(&"E0012"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn variable_type_mismatch_is_e0012() {
+        let src = "event e, {String};
+                   define(t, keys(0), {Int});
+                   t(X) :- e(X);";
+        assert!(codes(src).contains(&"E0012"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn addr_str_and_float_coercions_are_compatible() {
+        let src = "event e, {String, Int};
+                   define(t, keys(0), {Addr, Float});
+                   t(A, N) :- e(A, N);";
+        assert!(!codes(src).contains(&"E0012"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn unused_table_is_w0001() {
+        let src = "define(ghost, keys(0), {Int});
+                   define(t, keys(0), {Int});
+                   t(1);
+                   watch(t);";
+        assert_eq!(codes(src), vec!["W0001"]);
+    }
+
+    #[test]
+    fn unfillable_join_is_w0002_but_events_are_exempt() {
+        let src = "define(empty, keys(0), {Int});
+                   define(t, keys(0), {Int});
+                   t(X) :- empty(X);";
+        assert!(codes(src).contains(&"W0002"), "{:?}", codes(src));
+        let evt = "event e, {Int};
+                   define(t, keys(0), {Int});
+                   t(X) :- e(X);
+                   watch(t);";
+        assert_eq!(codes(evt), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn singleton_variable_is_w0003() {
+        let src = "event e, {Int, Int};
+                   define(t, keys(0), {Int});
+                   t(X) :- e(X, Lonely);";
+        assert!(codes(src).contains(&"W0003"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn duplicate_rule_name_is_w0004() {
+        let src = "event e, {Int};
+                   define(t, keys(0), {Int});
+                   r1 t(X) :- e(X);
+                   r1 t(X) :- e(X);
+                   watch(t);";
+        assert!(codes(src).contains(&"W0004"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn unconsumed_timer_is_w0005() {
+        let src = "timer(tick, 50);";
+        assert!(codes(src).contains(&"W0005"), "{:?}", codes(src));
+    }
+}

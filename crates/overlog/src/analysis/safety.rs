@@ -1,0 +1,274 @@
+//! Range-restriction (safety) checking, shared by the planner and olgcheck.
+//!
+//! A rule is *safe* when every variable it uses — in the head, in
+//! conditions, in assignments, and in negated predicates — is bound by some
+//! positive body predicate or by an assignment whose inputs are bound. The
+//! check is constructive: [`schedule_order`] produces the greedy join order
+//! the evaluator executes (delta predicate first, then every remaining body
+//! element as soon as its inputs are bound), and a rule is unsafe exactly
+//! when some element can never become ready. The planner follows the
+//! returned order when emitting operators, so load-time rejection and
+//! standalone analysis cannot disagree.
+
+use crate::ast::{BodyElem, Expr, HeadArg, Rule, Span};
+use std::collections::HashSet;
+
+/// A safety violation: the variable that can never be bound, and the source
+/// location of the element that needs it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeVar {
+    /// The unbound variable (`"_"` for a wildcard in a head position).
+    pub var: String,
+    /// Span of the blocked body element or of the rule head.
+    pub span: Span,
+}
+
+/// Free variables of an expression, in first-occurrence order.
+pub fn expr_vars(e: &Expr) -> Vec<String> {
+    let mut v = Vec::new();
+    e.collect_vars(&mut v);
+    v
+}
+
+/// Does the expression contain a `_` wildcard anywhere?
+pub fn contains_wildcard(e: &Expr) -> bool {
+    match e {
+        Expr::Wildcard => true,
+        Expr::Binary(_, a, b) => contains_wildcard(a) || contains_wildcard(b),
+        Expr::Unary(_, a) => contains_wildcard(a),
+        Expr::Call(_, args) | Expr::ListLit(args) => args.iter().any(contains_wildcard),
+        Expr::Lit(_) | Expr::Var(_) => false,
+    }
+}
+
+/// All variables bound by some positive predicate or by an assignment whose
+/// inputs are (transitively) bound.
+pub fn bindable_vars(rule: &Rule) -> HashSet<String> {
+    let mut bound = HashSet::new();
+    // Iterate until fixpoint: assignments may chain.
+    loop {
+        let before = bound.len();
+        for elem in &rule.body {
+            match elem {
+                BodyElem::Pred(p) if !p.negated => {
+                    for a in &p.args {
+                        if let Some(v) = a.as_var() {
+                            bound.insert(v.to_string());
+                        }
+                    }
+                }
+                BodyElem::Assign(v, e) if expr_vars(e).iter().all(|x| bound.contains(x)) => {
+                    bound.insert(v.clone());
+                }
+                _ => {}
+            }
+        }
+        if bound.len() == before {
+            break;
+        }
+    }
+    bound
+}
+
+/// Span of a body element (conditions and assignments carry no span of
+/// their own, so they fall back to the whole rule).
+fn elem_span(rule: &Rule, bi: usize) -> Span {
+    match &rule.body[bi] {
+        BodyElem::Pred(p) => p.span,
+        _ => rule.span,
+    }
+}
+
+/// Greedy ready-element scheduling: compute the order in which the body
+/// elements of `rule` run for the semi-naive variant whose `delta_pred`-th
+/// positive predicate reads the delta (`None` for body-less variants).
+///
+/// The delta predicate is hoisted to the front; the remaining elements run
+/// in source order as soon as their inputs are bound. Returns body-element
+/// indices in execution order, or the first variable that blocks progress.
+pub fn schedule_order(rule: &Rule, delta_pred: Option<usize>) -> Result<Vec<usize>, UnsafeVar> {
+    // Work list of body element indices, delta predicate hoisted to front.
+    let mut order: Vec<usize> = Vec::new();
+    if let Some(d) = delta_pred {
+        // Find the body index of the d-th positive predicate.
+        let mut seen = 0usize;
+        for (i, e) in rule.body.iter().enumerate() {
+            if let BodyElem::Pred(p) = e {
+                if !p.negated {
+                    if seen == d {
+                        order.push(i);
+                    }
+                    seen += 1;
+                }
+            }
+        }
+    }
+    for i in 0..rule.body.len() {
+        if !order.contains(&i) {
+            order.push(i);
+        }
+    }
+
+    let mut scheduled = Vec::with_capacity(order.len());
+    let mut bound: HashSet<String> = HashSet::new();
+    let mut remaining: Vec<usize> = order;
+    while !remaining.is_empty() {
+        let mut picked = None;
+        for (pos, &bi) in remaining.iter().enumerate() {
+            let ready = match &rule.body[bi] {
+                BodyElem::Pred(p) if !p.negated => {
+                    // Non-variable argument expressions must be bound.
+                    p.args.iter().all(|a| match a {
+                        Expr::Var(_) | Expr::Wildcard => true,
+                        other => expr_vars(other).iter().all(|v| bound.contains(v)),
+                    })
+                }
+                BodyElem::Pred(p) => p
+                    .args
+                    .iter()
+                    .flat_map(expr_vars)
+                    .all(|v| bound.contains(&v)),
+                BodyElem::Cond(e) => expr_vars(e).iter().all(|v| bound.contains(v)),
+                BodyElem::Assign(_, e) => expr_vars(e).iter().all(|v| bound.contains(v)),
+            };
+            if ready {
+                picked = Some(pos);
+                break;
+            }
+        }
+        let Some(pos) = picked else {
+            // Report the first blocked variable for diagnostics.
+            let bi = remaining[0];
+            let var = match &rule.body[bi] {
+                BodyElem::Pred(p) => p
+                    .args
+                    .iter()
+                    .flat_map(expr_vars)
+                    .find(|v| !bound.contains(v)),
+                BodyElem::Cond(e) | BodyElem::Assign(_, e) => {
+                    expr_vars(e).into_iter().find(|v| !bound.contains(v))
+                }
+            }
+            .unwrap_or_else(|| "?".to_string());
+            return Err(UnsafeVar {
+                var,
+                span: elem_span(rule, bi),
+            });
+        };
+        let bi = remaining.remove(pos);
+        match &rule.body[bi] {
+            BodyElem::Pred(p) if !p.negated => {
+                for a in &p.args {
+                    if let Some(v) = a.as_var() {
+                        bound.insert(v.to_string());
+                    }
+                }
+            }
+            BodyElem::Assign(v, _) => {
+                bound.insert(v.clone());
+            }
+            _ => {}
+        }
+        scheduled.push(bi);
+    }
+    Ok(scheduled)
+}
+
+/// Check that every head argument is bound by the body (and contains no
+/// wildcard). Aggregate arguments check their input variable.
+pub fn check_head(rule: &Rule) -> Result<(), UnsafeVar> {
+    let bound = bindable_vars(rule);
+    for arg in &rule.head.args {
+        match arg {
+            HeadArg::Expr(e) => {
+                if contains_wildcard(e) {
+                    return Err(UnsafeVar {
+                        var: "_".into(),
+                        span: rule.head.span,
+                    });
+                }
+                for v in expr_vars(e) {
+                    if !bound.contains(&v) {
+                        return Err(UnsafeVar {
+                            var: v,
+                            span: rule.head.span,
+                        });
+                    }
+                }
+            }
+            HeadArg::Agg(_, Some(v)) => {
+                if !bound.contains(v) {
+                    return Err(UnsafeVar {
+                        var: v.clone(),
+                        span: rule.head.span,
+                    });
+                }
+            }
+            HeadArg::Agg(_, None) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Full safety check of one rule: compute the execution order of every
+/// semi-naive variant (one per positive predicate, or a single body-less
+/// variant), then check the head. Returns the per-variant orders for the
+/// planner to follow.
+pub fn check_rule(rule: &Rule) -> Result<Vec<Vec<usize>>, UnsafeVar> {
+    let npos = rule.positive_predicates().count();
+    let nvariants = npos.max(1);
+    let mut orders = Vec::with_capacity(nvariants);
+    for d in 0..nvariants {
+        let delta_pred = if npos == 0 { None } else { Some(d) };
+        orders.push(schedule_order(rule, delta_pred)?);
+    }
+    check_head(rule)?;
+    Ok(orders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn rule(src: &str) -> Rule {
+        parse_program(src).unwrap().rules().next().unwrap().clone()
+    }
+
+    #[test]
+    fn assignment_chains_bind() {
+        let r = rule("p(Z) :- Y := X + 1, q(X), Z := Y * 2;");
+        let order = schedule_order(&r, Some(0)).unwrap();
+        // q(X) runs first, then Y := X + 1, then Z := Y * 2.
+        assert_eq!(order, vec![1, 0, 2]);
+        assert!(check_head(&r).is_ok());
+    }
+
+    #[test]
+    fn unbound_condition_is_unsafe() {
+        let r = rule("p(X) :- q(X), Y > 2;");
+        let err = schedule_order(&r, Some(0)).unwrap_err();
+        assert_eq!(err.var, "Y");
+        assert_eq!(err.span, r.span); // conditions fall back to the rule span
+    }
+
+    #[test]
+    fn unbound_negation_points_at_the_predicate() {
+        let r = rule("p(X) :- q(X), notin r(Y);");
+        let err = schedule_order(&r, Some(0)).unwrap_err();
+        assert_eq!(err.var, "Y");
+        let BodyElem::Pred(neg) = &r.body[1] else {
+            panic!()
+        };
+        assert_eq!(err.span, neg.span);
+    }
+
+    #[test]
+    fn unbound_head_var_reported_with_head_span() {
+        let r = rule("p(X, Y) :- q(X);");
+        assert!(schedule_order(&r, Some(0)).is_ok());
+        let err = check_head(&r).unwrap_err();
+        assert_eq!(err.var, "Y");
+        assert_eq!(err.span, r.head.span);
+    }
+}

@@ -1,0 +1,381 @@
+//! Stratification over the rule precedence graph.
+//!
+//! Tables are nodes; every rule contributes one edge per body predicate,
+//! from the body table to the head table. Negated predicates and aggregate
+//! rules make the edge *strict* (the head must live in a strictly higher
+//! stratum); deletion and inductive rules act across the timestep boundary
+//! and impose no within-tick constraint (their edges are kept in the graph
+//! for the `--graph` dump, flagged non-constraining).
+//!
+//! The assignment is computed by condensing the constraint subgraph into
+//! strongly connected components (Tarjan) and taking longest paths over the
+//! condensation — the least solution of the constraint system, identical to
+//! the fixpoint the planner historically iterated, but able to *name the
+//! cycle* when a strict edge closes one.
+
+use crate::ast::{BodyElem, Rule, Span, TableDecl};
+use std::collections::HashMap;
+
+use super::RuleClass;
+
+/// One dependency edge of the precedence graph.
+#[derive(Debug, Clone)]
+pub struct DepEdge {
+    /// Body (source) table.
+    pub src: String,
+    /// Head (target) table.
+    pub dst: String,
+    /// Label of the contributing rule.
+    pub rule: String,
+    /// Span of the contributing rule.
+    pub span: Span,
+    /// The body predicate is negated (`notin`).
+    pub negated: bool,
+    /// The contributing rule aggregates.
+    pub aggregate: bool,
+    /// Whether the edge constrains stratification (false for deletion and
+    /// inductive rules, which take effect at the next timestep).
+    pub constrains: bool,
+}
+
+impl DepEdge {
+    /// A strict edge forces `stratum(dst) > stratum(src)`.
+    pub fn strict(&self) -> bool {
+        self.negated || self.aggregate
+    }
+}
+
+/// The rule precedence graph over tables.
+#[derive(Debug, Default)]
+pub struct PrecedenceGraph {
+    /// All declared tables, sorted (deterministic output).
+    pub tables: Vec<String>,
+    /// All dependency edges.
+    pub edges: Vec<DepEdge>,
+}
+
+/// Build the precedence graph for a set of rules. `classes` must align with
+/// `rules` (see [`super::classify`]).
+pub fn build_graph(
+    decls: &HashMap<String, TableDecl>,
+    rules: &[Rule],
+    classes: &[RuleClass],
+) -> PrecedenceGraph {
+    let mut tables: Vec<String> = decls.keys().cloned().collect();
+    tables.sort();
+    let mut edges = Vec::new();
+    for (i, (rule, class)) in rules.iter().zip(classes).enumerate() {
+        let constrains = !class.delete && !class.inductive;
+        for elem in &rule.body {
+            if let BodyElem::Pred(p) = elem {
+                edges.push(DepEdge {
+                    src: p.table.clone(),
+                    dst: rule.head.table.clone(),
+                    rule: rule.label(i),
+                    span: rule.span,
+                    negated: p.negated,
+                    aggregate: class.aggregate,
+                    constrains,
+                });
+            }
+        }
+    }
+    PrecedenceGraph { tables, edges }
+}
+
+/// A stratification failure: a strict edge closes a dependency cycle.
+#[derive(Debug, Clone)]
+pub struct CycleError {
+    /// The table cycle, starting and ending at the strict edge's target:
+    /// `path[0] == path.last()`.
+    pub path: Vec<String>,
+    /// Label of the rule contributing the strict edge.
+    pub rule: String,
+    /// Span of that rule.
+    pub span: Span,
+    /// Rendered description including the cycle path.
+    pub msg: String,
+}
+
+/// Assign strata to tables: the least solution of
+/// `stratum(dst) >= stratum(src) + strict` over all constraining edges.
+/// Errors when a strict edge lies inside a strongly connected component.
+pub fn stratify(graph: &PrecedenceGraph) -> Result<HashMap<String, usize>, CycleError> {
+    let index: HashMap<&str, usize> = graph
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.as_str(), i))
+        .collect();
+    let n = graph.tables.len();
+    // Adjacency over constraining edges only (edge list indices).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ei, e) in graph.edges.iter().enumerate() {
+        if !e.constrains {
+            continue;
+        }
+        let (Some(&s), Some(&_d)) = (index.get(e.src.as_str()), index.get(e.dst.as_str())) else {
+            continue; // undeclared table: reported elsewhere (E0002)
+        };
+        adj[s].push(ei);
+    }
+
+    let scc = tarjan(n, &graph.edges, &adj, &index);
+
+    // Reject strict edges inside one component, reporting the cycle.
+    for e in &graph.edges {
+        if !e.constrains || !e.strict() {
+            continue;
+        }
+        let (Some(&s), Some(&d)) = (index.get(e.src.as_str()), index.get(e.dst.as_str())) else {
+            continue;
+        };
+        if scc[s] == scc[d] {
+            let mut path = cycle_path(d, s, &adj, &graph.edges, &index, &scc);
+            path.push(graph.tables[d].clone()); // close the loop via the strict edge
+            let kind = if e.negated { "negation" } else { "aggregation" };
+            let msg = format!(
+                "{kind} in rule `{}` closes the dependency cycle {}",
+                e.rule,
+                path.join(" -> "),
+            );
+            return Err(CycleError {
+                path,
+                rule: e.rule.clone(),
+                span: e.span,
+                msg,
+            });
+        }
+    }
+
+    // Longest path over the condensation. Tarjan assigns component ids in
+    // reverse topological order (a component is numbered only after every
+    // component it reaches), so iterating ids downward visits sources first.
+    let ncomp = scc.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut comp_val = vec![0usize; ncomp];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scc[b].cmp(&scc[a]));
+    for &node in &order {
+        for &ei in &adj[node] {
+            let e = &graph.edges[ei];
+            let d = index[e.dst.as_str()];
+            if scc[d] != scc[node] {
+                let w = usize::from(e.strict());
+                let v = comp_val[scc[node]] + w;
+                if comp_val[scc[d]] < v {
+                    comp_val[scc[d]] = v;
+                }
+            }
+        }
+    }
+
+    Ok(graph
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.clone(), comp_val[scc[i]]))
+        .collect())
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative), over the
+/// constraining-edge adjacency. Returns the component id of each node;
+/// ids are in reverse topological order.
+fn tarjan(
+    n: usize,
+    edges: &[DepEdge],
+    adj: &[Vec<usize>],
+    index: &HashMap<&str, usize>,
+) -> Vec<usize> {
+    #[derive(Clone)]
+    struct NodeState {
+        idx: usize,
+        low: usize,
+        on_stack: bool,
+        visited: bool,
+    }
+    let mut st = vec![
+        NodeState {
+            idx: 0,
+            low: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut comp = vec![usize::MAX; n];
+    let mut counter = 0usize;
+    let mut ncomp = 0usize;
+    let mut stack: Vec<usize> = Vec::new();
+
+    for root in 0..n {
+        if st[root].visited {
+            continue;
+        }
+        // Explicit DFS frames: (node, next-edge-position).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ep)) = frames.last_mut() {
+            if *ep == 0 {
+                st[v].visited = true;
+                st[v].idx = counter;
+                st[v].low = counter;
+                counter += 1;
+                st[v].on_stack = true;
+                stack.push(v);
+            }
+            if let Some(&ei) = adj[v].get(*ep) {
+                *ep += 1;
+                let w = index[edges[ei].dst.as_str()];
+                if !st[w].visited {
+                    frames.push((w, 0));
+                } else if st[w].on_stack {
+                    st[v].low = st[v].low.min(st[w].idx);
+                }
+            } else {
+                if st[v].low == st[v].idx {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        st[w].on_stack = false;
+                        comp[w] = ncomp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    ncomp += 1;
+                }
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let low = st[v].low;
+                    st[parent].low = st[parent].low.min(low);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Shortest table path `from -> ... -> to` inside one SCC, following
+/// constraining edges (BFS). Used to render cycle diagnostics; both nodes
+/// are known to be in the same component, so a path always exists — except
+/// for the self-loop case `from == to`, which yields the trivial path.
+fn cycle_path(
+    from: usize,
+    to: usize,
+    adj: &[Vec<usize>],
+    edges: &[DepEdge],
+    index: &HashMap<&str, usize>,
+    scc: &[usize],
+) -> Vec<String> {
+    let tables: Vec<&str> = {
+        // Recover names positionally from the index map.
+        let mut v = vec![""; scc.len()];
+        for (name, &i) in index {
+            v[i] = name;
+        }
+        v
+    };
+    if from == to {
+        return vec![tables[from].to_string()];
+    }
+    let mut prev: Vec<Option<usize>> = vec![None; scc.len()];
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            break;
+        }
+        for &ei in &adj[v] {
+            let w = index[edges[ei].dst.as_str()];
+            if scc[w] == scc[from] && prev[w].is_none() && w != from {
+                prev[w] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    let mut path = vec![tables[to].to_string()];
+    let mut cur = to;
+    while let Some(p) = prev[cur] {
+        path.push(tables[p].to_string());
+        cur = p;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::classify_all;
+    use crate::parser::parse_program;
+
+    fn strata_of(src: &str) -> Result<HashMap<String, usize>, CycleError> {
+        let prog = parse_program(src).unwrap();
+        let decls: HashMap<String, TableDecl> = prog
+            .declarations()
+            .map(|d| (d.name.clone(), d.clone()))
+            .collect();
+        let rules: Vec<Rule> = prog.rules().cloned().collect();
+        let classes = classify_all(&decls, &rules);
+        stratify(&build_graph(&decls, &rules, &classes))
+    }
+
+    #[test]
+    fn negation_raises_stratum() {
+        let s = strata_of(
+            "define(a, keys(0), {Int});
+             define(b, keys(0), {Int});
+             define(c, keys(0), {Int});
+             b(X) :- a(X);
+             c(X) :- a(X), notin b(X);",
+        )
+        .unwrap();
+        assert_eq!(s["a"], 0);
+        assert_eq!(s["b"], 0);
+        assert_eq!(s["c"], 1);
+    }
+
+    #[test]
+    fn strict_cycle_reports_path() {
+        let err = strata_of(
+            "define(a, keys(0), {Int});
+             define(b, keys(0), {Int});
+             a(X) :- b(X);
+             b(X) :- a(X), notin b(X);",
+        )
+        .unwrap_err();
+        // The strict edge b -(notin)-> b is a self-loop inside the {a, b}
+        // component.
+        assert_eq!(err.path.first(), err.path.last());
+        assert!(err.msg.contains("negation"), "{}", err.msg);
+        assert!(err.msg.contains("->"), "{}", err.msg);
+    }
+
+    #[test]
+    fn aggregation_counts_as_strict() {
+        let s = strata_of(
+            "define(t, keys(0,1), {Int, Int});
+             define(c, keys(0), {Int, Int});
+             define(d, keys(0), {Int, Int});
+             c(X, count<Y>) :- t(X, Y);
+             d(X, count<Y>) :- c(X, Y);",
+        )
+        .unwrap();
+        assert_eq!(s["t"], 0);
+        assert_eq!(s["c"], 1);
+        assert_eq!(s["d"], 2);
+    }
+
+    #[test]
+    fn chain_of_positive_edges_shares_stratum() {
+        let s = strata_of(
+            "define(a, keys(0), {Int});
+             define(b, keys(0), {Int});
+             define(c, keys(0), {Int});
+             b(X) :- a(X);
+             c(X) :- b(X);
+             a(X) :- c(X);",
+        )
+        .unwrap();
+        assert_eq!(s["a"], 0);
+        assert_eq!(s["b"], 0);
+        assert_eq!(s["c"], 0);
+    }
+}

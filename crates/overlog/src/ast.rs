@@ -19,6 +19,55 @@
 use crate::value::{TypeTag, Value};
 use std::fmt;
 
+/// A byte-offset range into the program source text.
+///
+/// Spans are produced by the lexer and threaded through the AST so that the
+/// static analyzer (and load-time errors) can point at the exact source
+/// location of a construct. Offsets index into the original source string;
+/// use [`crate::analysis::LineIndex`] to render them as line/column pairs.
+/// A `start == end == 0` span is the *dummy* span used for synthesized
+/// nodes (runtime-injected declarations, tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Is this the dummy span of a synthesized node?
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// Shift the span by `base` bytes (used when several source files are
+    /// analyzed as one group with a shared offset space).
+    pub fn offset(self, base: usize) -> Span {
+        if self.is_dummy() {
+            self
+        } else {
+            Span {
+                start: self.start + base,
+                end: self.end + base,
+            }
+        }
+    }
+}
+
 /// A parsed Overlog program: an optional `program` name plus statements in
 /// source order.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +94,29 @@ impl Program {
             _ => None,
         })
     }
+
+    /// Shift every span in the program by `base` bytes. Used when several
+    /// source files are analyzed as one group: each file keeps its own text
+    /// but its spans are relocated into a shared offset space.
+    pub fn offset_spans(&mut self, base: usize) {
+        for stmt in &mut self.statements {
+            match stmt {
+                Statement::Define(d) => d.span = d.span.offset(base),
+                Statement::Fact { span, .. }
+                | Statement::Timer { span, .. }
+                | Statement::Watch { span, .. } => *span = span.offset(base),
+                Statement::Rule(r) => {
+                    r.span = r.span.offset(base);
+                    r.head.span = r.head.span.offset(base);
+                    for elem in &mut r.body {
+                        if let BodyElem::Pred(p) = elem {
+                            p.span = p.span.offset(base);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// One top-level statement.
@@ -59,6 +131,8 @@ pub enum Statement {
         table: String,
         /// Constant argument expressions.
         values: Vec<Expr>,
+        /// Source location of the whole fact statement.
+        span: Span,
     },
     /// A deductive or deletion rule.
     Rule(Rule),
@@ -69,12 +143,16 @@ pub enum Statement {
         name: String,
         /// Firing interval in milliseconds of virtual time.
         interval_ms: u64,
+        /// Source location of the timer statement.
+        span: Span,
     },
     /// `watch(table);` — record all tuples inserted into `table` in the
     /// runtime trace (the paper's monitoring hook).
     Watch {
         /// Watched table name.
         table: String,
+        /// Source location of the watch statement.
+        span: Span,
     },
 }
 
@@ -98,12 +176,24 @@ pub struct TableDecl {
     pub types: Vec<TypeTag>,
     /// Materialized or event.
     pub kind: TableKind,
+    /// Source location of the declaration statement.
+    pub span: Span,
 }
 
 impl TableDecl {
     /// Number of columns.
     pub fn arity(&self) -> usize {
         self.types.len()
+    }
+
+    /// Schema equality ignoring source location — used to decide whether a
+    /// re-declaration (e.g. the same table declared by two files of a
+    /// program group) is compatible.
+    pub fn same_schema(&self, other: &TableDecl) -> bool {
+        self.name == other.name
+            && self.keys == other.keys
+            && self.types == other.types
+            && self.kind == other.kind
     }
 }
 
@@ -157,6 +247,8 @@ pub struct Head {
     pub args: Vec<HeadArg>,
     /// Index of the argument carrying a `@` location specifier, if any.
     pub loc: Option<usize>,
+    /// Source location of the head (table name through closing paren).
+    pub span: Span,
 }
 
 /// A rule: `head :- body;` (optionally `delete head :- body;`).
@@ -171,6 +263,8 @@ pub struct Rule {
     pub head: Head,
     /// Body elements in source order; join order follows source order.
     pub body: Vec<BodyElem>,
+    /// Source location of the whole rule statement.
+    pub span: Span,
 }
 
 impl Rule {
@@ -222,6 +316,8 @@ pub struct Predicate {
     pub args: Vec<Expr>,
     /// Index of the argument carrying `@` (informational in bodies).
     pub loc: Option<usize>,
+    /// Source location of the predicate (table name through closing paren).
+    pub span: Span,
 }
 
 /// Binary operators.
@@ -367,8 +463,10 @@ mod tests {
                 table: "t".into(),
                 args: vec![],
                 loc: None,
+                span: Span::default(),
             },
             body: vec![],
+            span: Span::default(),
         };
         assert_eq!(r.label(7), "r1");
         let anon = Rule { name: None, ..r };
@@ -387,9 +485,23 @@ mod tests {
                     HeadArg::Agg(AggKind::Count, None),
                 ],
                 loc: None,
+                span: Span::default(),
             },
             body: vec![],
+            span: Span::default(),
         };
         assert!(r.is_aggregate());
+    }
+
+    #[test]
+    fn span_join_and_offset() {
+        let a = Span::new(4, 9);
+        let b = Span::new(12, 20);
+        assert_eq!(a.to(b), Span::new(4, 20));
+        assert_eq!(b.to(a), Span::new(4, 20));
+        assert_eq!(a.offset(100), Span::new(104, 109));
+        assert!(Span::default().is_dummy());
+        // Dummy spans stay dummy under offsetting.
+        assert_eq!(Span::default().offset(100), Span::default());
     }
 }

@@ -144,7 +144,9 @@ impl Builtins {
                 .ok_or_else(|| eval_err("strlen: not a string"))
         });
         builtin!(m, "substr", 3, |a: &[Value]| {
-            let s = a[0].as_str().ok_or_else(|| eval_err("substr: not a string"))?;
+            let s = a[0]
+                .as_str()
+                .ok_or_else(|| eval_err("substr: not a string"))?;
             let start = a[1].as_int().ok_or_else(|| eval_err("substr: bad start"))? as usize;
             let len = a[2].as_int().ok_or_else(|| eval_err("substr: bad len"))? as usize;
             Ok(Value::str(
@@ -153,21 +155,27 @@ impl Builtins {
         });
         builtin!(m, "startswith", 2, |a: &[Value]| {
             let (s, p) = (
-                a[0].as_str().ok_or_else(|| eval_err("startswith: not a string"))?,
-                a[1].as_str().ok_or_else(|| eval_err("startswith: not a string"))?,
+                a[0].as_str()
+                    .ok_or_else(|| eval_err("startswith: not a string"))?,
+                a[1].as_str()
+                    .ok_or_else(|| eval_err("startswith: not a string"))?,
             );
             Ok(Value::Bool(s.starts_with(p)))
         });
         // Parent directory of a slash-separated path ("" for the root).
         builtin!(m, "dirname", 1, |a: &[Value]| {
-            let s = a[0].as_str().ok_or_else(|| eval_err("dirname: not a string"))?;
+            let s = a[0]
+                .as_str()
+                .ok_or_else(|| eval_err("dirname: not a string"))?;
             Ok(Value::str(match s.rfind('/') {
                 Some(0) | None => "/",
                 Some(i) => &s[..i],
             }))
         });
         builtin!(m, "basename", 1, |a: &[Value]| {
-            let s = a[0].as_str().ok_or_else(|| eval_err("basename: not a string"))?;
+            let s = a[0]
+                .as_str()
+                .ok_or_else(|| eval_err("basename: not a string"))?;
             Ok(Value::str(match s.rfind('/') {
                 Some(i) => &s[i + 1..],
                 None => s,
@@ -176,10 +184,14 @@ impl Builtins {
 
         // --- hashing & arithmetic helpers ---
         builtin!(m, "hash", 1, |a: &[Value]| {
-            Ok(Value::Int((stable_hash(&a[0]) & 0x7fff_ffff_ffff_ffff) as i64))
+            Ok(Value::Int(
+                (stable_hash(&a[0]) & 0x7fff_ffff_ffff_ffff) as i64,
+            ))
         });
         builtin!(m, "hashmod", 2, |a: &[Value]| {
-            let md = a[1].as_int().ok_or_else(|| eval_err("hashmod: bad modulus"))?;
+            let md = a[1]
+                .as_int()
+                .ok_or_else(|| eval_err("hashmod: bad modulus"))?;
             if md <= 0 {
                 return Err(eval_err("hashmod: modulus must be positive"));
             }
@@ -193,10 +205,18 @@ impl Builtins {
             }
         });
         builtin!(m, "min2", 2, |a: &[Value]| {
-            Ok(if a[0] <= a[1] { a[0].clone() } else { a[1].clone() })
+            Ok(if a[0] <= a[1] {
+                a[0].clone()
+            } else {
+                a[1].clone()
+            })
         });
         builtin!(m, "max2", 2, |a: &[Value]| {
-            Ok(if a[0] >= a[1] { a[0].clone() } else { a[1].clone() })
+            Ok(if a[0] >= a[1] {
+                a[0].clone()
+            } else {
+                a[1].clone()
+            })
         });
 
         // --- lists ---
@@ -221,7 +241,9 @@ impl Builtins {
             Ok(Value::Bool(l.contains(&a[1])))
         });
         builtin!(m, "append", 2, |a: &[Value]| {
-            let l = a[0].as_list().ok_or_else(|| eval_err("append: not a list"))?;
+            let l = a[0]
+                .as_list()
+                .ok_or_else(|| eval_err("append: not a list"))?;
             let mut out = l.to_vec();
             out.push(a[1].clone());
             Ok(Value::list(out))
@@ -346,7 +368,10 @@ mod tests {
     fn list_builtins() {
         let b = Builtins::standard();
         let l = Value::list(vec![Value::Int(1), Value::Int(2)]);
-        assert_eq!(b.call("size", &[l.clone()]).unwrap(), Value::Int(2));
+        assert_eq!(
+            b.call("size", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(2)
+        );
         assert_eq!(
             b.call("nth", &[l.clone(), Value::Int(1)]).unwrap(),
             Value::Int(2)
@@ -373,6 +398,9 @@ mod tests {
     fn custom_registration_overrides() {
         let mut b = Builtins::standard();
         b.register("strlen", |_| Ok(Value::Int(-1)));
-        assert_eq!(b.call("strlen", &[Value::str("abc")]).unwrap(), Value::Int(-1));
+        assert_eq!(
+            b.call("strlen", &[Value::str("abc")]).unwrap(),
+            Value::Int(-1)
+        );
     }
 }

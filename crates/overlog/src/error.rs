@@ -1,5 +1,14 @@
 //! Error types for the Overlog engine.
+//!
+//! Compilation errors uniformly carry the offending rule's label and source
+//! [`Span`] when they are known: `rule` is `None`/empty only for errors
+//! raised outside any rule context (e.g. an unknown table name passed to a
+//! runtime API). Spans are byte offsets into the loaded source; the static
+//! analyzer renders them as `line:col` via [`crate::analysis::LineIndex`],
+//! and `Display` prints the raw byte range for contexts without source
+//! access.
 
+use crate::ast::Span;
 use std::fmt;
 
 /// Any error produced while parsing, planning or evaluating Overlog.
@@ -15,7 +24,14 @@ pub enum OverlogError {
         msg: String,
     },
     /// A rule references a table that was never declared.
-    UnknownTable(String),
+    UnknownTable {
+        /// The undeclared table name.
+        table: String,
+        /// Label of the referencing rule, when the reference sits inside one.
+        rule: Option<String>,
+        /// Source location of the reference.
+        span: Span,
+    },
     /// A tuple's arity does not match the table declaration.
     ArityMismatch {
         /// Table name.
@@ -24,6 +40,10 @@ pub enum OverlogError {
         expected: usize,
         /// Arity of the offending tuple or predicate.
         got: usize,
+        /// Label of the offending rule, when inside one.
+        rule: Option<String>,
+        /// Source location of the offending reference.
+        span: Span,
     },
     /// A tuple column violates the declared type.
     TypeMismatch {
@@ -37,7 +57,14 @@ pub enum OverlogError {
         got: String,
     },
     /// The program cannot be stratified (negation or aggregation in a cycle).
-    Unstratifiable(String),
+    Unstratifiable {
+        /// Description, including the dependency cycle when known.
+        msg: String,
+        /// Label of a rule on the offending cycle, when known.
+        rule: Option<String>,
+        /// Source location of that rule.
+        span: Span,
+    },
     /// A rule is unsafe: a head or condition variable is not bound by any
     /// positive body predicate.
     UnsafeRule {
@@ -45,12 +72,65 @@ pub enum OverlogError {
         rule: String,
         /// The unbound variable.
         var: String,
+        /// Source location of the rule.
+        span: Span,
     },
     /// Runtime expression evaluation failure (bad operand types, unknown
     /// function, division by zero, ...).
     Eval(String),
     /// A duplicate table declaration with a conflicting schema.
-    Redefinition(String),
+    Redefinition {
+        /// The re-declared table.
+        table: String,
+        /// Source location of the conflicting declaration.
+        span: Span,
+    },
+}
+
+impl OverlogError {
+    /// An [`OverlogError::UnknownTable`] without rule context (runtime APIs).
+    pub fn unknown_table(table: impl Into<String>) -> Self {
+        OverlogError::UnknownTable {
+            table: table.into(),
+            rule: None,
+            span: Span::default(),
+        }
+    }
+
+    /// The source span the error points at, when one is known.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            OverlogError::UnknownTable { span, .. }
+            | OverlogError::ArityMismatch { span, .. }
+            | OverlogError::Unstratifiable { span, .. }
+            | OverlogError::UnsafeRule { span, .. }
+            | OverlogError::Redefinition { span, .. } => {
+                if span.is_dummy() {
+                    None
+                } else {
+                    Some(*span)
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// ` in rule \`r\``-style suffix for optional rule context.
+fn rule_ctx(rule: &Option<String>) -> String {
+    match rule {
+        Some(r) => format!(" in rule `{r}`"),
+        None => String::new(),
+    }
+}
+
+/// ` (bytes a..b)` suffix for non-dummy spans.
+fn span_ctx(span: &Span) -> String {
+    if span.is_dummy() {
+        String::new()
+    } else {
+        format!(" (bytes {}..{})", span.start, span.end)
+    }
 }
 
 impl fmt::Display for OverlogError {
@@ -59,14 +139,25 @@ impl fmt::Display for OverlogError {
             OverlogError::Parse { line, col, msg } => {
                 write!(f, "parse error at {line}:{col}: {msg}")
             }
-            OverlogError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            OverlogError::UnknownTable { table, rule, span } => {
+                write!(
+                    f,
+                    "unknown table `{table}`{}{}",
+                    rule_ctx(rule),
+                    span_ctx(span)
+                )
+            }
             OverlogError::ArityMismatch {
                 table,
                 expected,
                 got,
+                rule,
+                span,
             } => write!(
                 f,
-                "arity mismatch for `{table}`: declared {expected}, got {got}"
+                "arity mismatch for `{table}`: declared {expected}, got {got}{}{}",
+                rule_ctx(rule),
+                span_ctx(span)
             ),
             OverlogError::TypeMismatch {
                 table,
@@ -77,13 +168,33 @@ impl fmt::Display for OverlogError {
                 f,
                 "type mismatch for `{table}` column {col}: declared {expected}, got {got}"
             ),
-            OverlogError::Unstratifiable(msg) => write!(f, "program is not stratifiable: {msg}"),
-            OverlogError::UnsafeRule { rule, var } => {
-                write!(f, "unsafe rule `{rule}`: variable `{var}` is not bound")
+            OverlogError::Unstratifiable { msg, rule, span } => {
+                // The stratifier's messages usually name the rule already;
+                // only add the context suffix when they don't.
+                let ctx = match rule {
+                    Some(r) if msg.contains(r.as_str()) => String::new(),
+                    _ => rule_ctx(rule),
+                };
+                write!(
+                    f,
+                    "program is not stratifiable: {msg}{ctx}{}",
+                    span_ctx(span)
+                )
+            }
+            OverlogError::UnsafeRule { rule, var, span } => {
+                write!(
+                    f,
+                    "unsafe rule `{rule}`: variable `{var}` is not bound{}",
+                    span_ctx(span)
+                )
             }
             OverlogError::Eval(msg) => write!(f, "evaluation error: {msg}"),
-            OverlogError::Redefinition(t) => {
-                write!(f, "table `{t}` redefined with a conflicting schema")
+            OverlogError::Redefinition { table, span } => {
+                write!(
+                    f,
+                    "table `{table}` redefined with a conflicting schema{}",
+                    span_ctx(span)
+                )
             }
         }
     }
@@ -93,3 +204,28 @@ impl std::error::Error for OverlogError {}
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, OverlogError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_rule_and_span_context() {
+        let e = OverlogError::UnknownTable {
+            table: "ghost".into(),
+            rule: Some("r7".into()),
+            span: Span::new(10, 15),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("ghost") && s.contains("r7") && s.contains("10..15"),
+            "{s}"
+        );
+        assert_eq!(e.span(), Some(Span::new(10, 15)));
+
+        let bare = OverlogError::unknown_table("ghost");
+        let s = bare.to_string();
+        assert!(!s.contains("rule") && !s.contains("bytes"), "{s}");
+        assert_eq!(bare.span(), None);
+    }
+}

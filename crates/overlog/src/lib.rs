@@ -38,6 +38,7 @@
 //! assert_eq!(rt.count("path"), 3); // a→b, b→c, a→c
 //! ```
 
+pub mod analysis;
 pub mod ast;
 pub mod builtins;
 pub mod error;
@@ -47,7 +48,8 @@ pub mod runtime;
 pub mod table;
 pub mod value;
 
-pub use ast::{Program, Rule, Statement, TableDecl, TableKind};
+pub use analysis::{Diagnostic, Severity, SourceMap};
+pub use ast::{Program, Rule, Span, Statement, TableDecl, TableKind};
 pub use builtins::{stable_hash, Builtins};
 pub use error::{OverlogError, Result};
 pub use parser::parse_program;
@@ -63,9 +65,7 @@ pub fn source_stats(src: &str) -> (usize, usize) {
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with("//"))
         .count();
-    let rules = parse_program(src)
-        .map(|p| p.rules().count())
-        .unwrap_or(0);
+    let rules = parse_program(src).map(|p| p.rules().count()).unwrap_or(0);
     (rules, lines)
 }
 

@@ -63,11 +63,17 @@ struct Spanned {
     tok: Tok,
     line: usize,
     col: usize,
+    span: Span,
 }
 
 fn lex(src: &str) -> Result<Vec<Spanned>> {
     let mut out = Vec::new();
     let bytes: Vec<char> = src.chars().collect();
+    // Byte offset of each character (index parallel to `bytes`), plus one
+    // trailing entry for end-of-input, so spans carry true byte offsets even
+    // for multi-byte characters.
+    let mut off: Vec<usize> = src.char_indices().map(|(o, _)| o).collect();
+    off.push(src.len());
     let mut i = 0;
     let mut line = 1usize;
     let mut col = 1usize;
@@ -81,11 +87,13 @@ fn lex(src: &str) -> Result<Vec<Spanned>> {
     while i < bytes.len() {
         let c = bytes[i];
         let (l, co) = (line, col);
+        let off_ref = &off;
         let mut push = |t: Tok, n: usize, col: &mut usize, i: &mut usize| {
             out.push(Spanned {
                 tok: t,
                 line: l,
                 col: co,
+                span: Span::new(off_ref[*i], off_ref[*i + n]),
             });
             *col += n;
             *i += n;
@@ -234,6 +242,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>> {
                     tok: Tok::Str(s),
                     line,
                     col,
+                    span: Span::new(off[i], off[j + 1]),
                 });
                 i = j + 1;
                 col = c2 + 1;
@@ -254,14 +263,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>> {
                 }
                 let text: String = bytes[start..j].iter().filter(|c| **c != '_').collect();
                 let tok = if is_float {
-                    Tok::Float(
-                        text.parse()
-                            .map_err(|_| OverlogError::Parse {
-                                line,
-                                col,
-                                msg: format!("bad float literal `{text}`"),
-                            })?,
-                    )
+                    Tok::Float(text.parse().map_err(|_| OverlogError::Parse {
+                        line,
+                        col,
+                        msg: format!("bad float literal `{text}`"),
+                    })?)
                 } else {
                     Tok::Int(text.parse().map_err(|_| OverlogError::Parse {
                         line,
@@ -269,7 +275,12 @@ fn lex(src: &str) -> Result<Vec<Spanned>> {
                         msg: format!("bad int literal `{text}`"),
                     })?)
                 };
-                out.push(Spanned { tok, line, col });
+                out.push(Spanned {
+                    tok,
+                    line,
+                    col,
+                    span: Span::new(off[start], off[j]),
+                });
                 col += j - i;
                 i = j;
             }
@@ -289,7 +300,12 @@ fn lex(src: &str) -> Result<Vec<Spanned>> {
                 } else {
                     Tok::LowerIdent(text)
                 };
-                out.push(Spanned { tok, line, col });
+                out.push(Spanned {
+                    tok,
+                    line,
+                    col,
+                    span: Span::new(off[start], off[j]),
+                });
                 col += j - i;
                 i = j;
             }
@@ -300,6 +316,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>> {
         tok: Tok::Eof,
         line,
         col,
+        span: Span::new(src.len(), src.len()),
     });
     Ok(out)
 }
@@ -344,6 +361,13 @@ impl Parser {
     fn here(&self) -> (usize, usize) {
         let s = &self.toks[self.pos];
         (s.line, s.col)
+    }
+
+    /// Byte span covering everything from the token at `start_pos` through
+    /// the last token consumed so far.
+    fn span_from(&self, start_pos: usize) -> Span {
+        let last = self.pos.saturating_sub(1).max(start_pos);
+        self.toks[start_pos].span.to(self.toks[last].span)
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
@@ -413,8 +437,9 @@ impl Parser {
                 self.watch_stmt()
             }
             Tok::LowerIdent(kw) if kw == "delete" => {
+                let start = self.pos;
                 self.next();
-                let mut rule = self.rule_after_name(None)?;
+                let mut rule = self.rule_after_name(None, start)?;
                 rule.delete = true;
                 Ok(Statement::Rule(rule))
             }
@@ -425,6 +450,7 @@ impl Parser {
 
     /// `define(name, keys(0,1), {Int, String});` — keys clause optional.
     fn define_stmt(&mut self) -> Result<Statement> {
+        let start = self.pos;
         self.next(); // define
         self.expect(Tok::LParen, "`(`")?;
         let name = self.lower_ident("table name")?;
@@ -463,11 +489,13 @@ impl Parser {
             keys,
             types,
             kind: TableKind::Materialized,
+            span: self.span_from(start),
         }))
     }
 
     /// `event name, {Int, String};`
     fn event_stmt(&mut self) -> Result<Statement> {
+        let start = self.pos;
         self.next(); // event
         let name = self.lower_ident("event table name")?;
         self.expect(Tok::Comma, "`,`")?;
@@ -478,6 +506,7 @@ impl Parser {
             keys: None,
             types,
             kind: TableKind::Event,
+            span: self.span_from(start),
         }))
     }
 
@@ -509,6 +538,7 @@ impl Parser {
     }
 
     fn timer_stmt(&mut self) -> Result<Statement> {
+        let start = self.pos;
         self.next(); // timer / periodic
         self.expect(Tok::LParen, "`(`")?;
         let name = self.lower_ident("timer name")?;
@@ -519,20 +549,29 @@ impl Parser {
         };
         self.expect(Tok::RParen, "`)`")?;
         self.expect(Tok::Semi, "`;`")?;
-        Ok(Statement::Timer { name, interval_ms })
+        Ok(Statement::Timer {
+            name,
+            interval_ms,
+            span: self.span_from(start),
+        })
     }
 
     fn watch_stmt(&mut self) -> Result<Statement> {
+        let start = self.pos;
         self.next(); // watch
         self.expect(Tok::LParen, "`(`")?;
         let table = self.lower_ident("table name")?;
         self.expect(Tok::RParen, "`)`")?;
         self.expect(Tok::Semi, "`;`")?;
-        Ok(Statement::Watch { table })
+        Ok(Statement::Watch {
+            table,
+            span: self.span_from(start),
+        })
     }
 
     /// Disambiguate `name head(...) :- ...;`, `head(...) :- ...;`, and facts.
     fn rule_or_fact(&mut self) -> Result<Statement> {
+        let start = self.pos;
         // Optional rule name: lower ident immediately followed by another
         // lower ident (the head table).
         let name = if matches!(self.peek(), Tok::LowerIdent(_))
@@ -548,6 +587,7 @@ impl Parser {
         let save = self.pos;
         let table = self.lower_ident("table name")?;
         let (args, loc) = self.head_args()?;
+        let head_span = self.span_from(save);
         match self.peek() {
             Tok::Semi if name.is_none() => {
                 self.next();
@@ -560,7 +600,11 @@ impl Parser {
                         HeadArg::Agg(_, _) => self.err("aggregates not allowed in facts"),
                     })
                     .collect::<Result<Vec<_>>>()?;
-                Ok(Statement::Fact { table, values })
+                Ok(Statement::Fact {
+                    table,
+                    values,
+                    span: self.span_from(start),
+                })
             }
             Tok::Turnstile => {
                 self.next();
@@ -569,8 +613,14 @@ impl Parser {
                 Ok(Statement::Rule(Rule {
                     name,
                     delete: false,
-                    head: Head { table, args, loc },
+                    head: Head {
+                        table,
+                        args,
+                        loc,
+                        span: head_span,
+                    },
                     body,
+                    span: self.span_from(start),
                 }))
             }
             _ => {
@@ -580,17 +630,25 @@ impl Parser {
         }
     }
 
-    fn rule_after_name(&mut self, name: Option<String>) -> Result<Rule> {
+    fn rule_after_name(&mut self, name: Option<String>, start: usize) -> Result<Rule> {
+        let head_start = self.pos;
         let table = self.lower_ident("table name")?;
         let (args, loc) = self.head_args()?;
+        let head_span = self.span_from(head_start);
         self.expect(Tok::Turnstile, "`:-`")?;
         let body = self.body()?;
         self.expect(Tok::Semi, "`;`")?;
         Ok(Rule {
             name,
             delete: false,
-            head: Head { table, args, loc },
+            head: Head {
+                table,
+                args,
+                loc,
+                span: head_span,
+            },
             body,
+            span: self.span_from(start),
         })
     }
 
@@ -640,8 +698,9 @@ impl Parser {
                         Tok::UpperIdent(v) => Some(v),
                         Tok::Star => None,
                         other => {
-                            return self
-                                .err(format!("expected variable or `*` in aggregate, found {other:?}"))
+                            return self.err(format!(
+                                "expected variable or `*` in aggregate, found {other:?}"
+                            ))
                         }
                     };
                     self.expect(Tok::Gt, "`>`")?;
@@ -707,6 +766,7 @@ impl Parser {
     }
 
     fn predicate(&mut self) -> Result<Predicate> {
+        let start = self.pos;
         let table = self.lower_ident("predicate table")?;
         self.expect(Tok::LParen, "`(`")?;
         let mut args = Vec::new();
@@ -734,6 +794,7 @@ impl Parser {
             negated: false,
             args,
             loc,
+            span: self.span_from(start),
         })
     }
 
@@ -917,10 +978,8 @@ mod tests {
 
     #[test]
     fn parses_program_header_and_define() {
-        let p = parse_program(
-            "program fs;\n define(file, keys(0), {Int, Int, String, Bool});",
-        )
-        .unwrap();
+        let p = parse_program("program fs;\n define(file, keys(0), {Int, Int, String, Bool});")
+            .unwrap();
         assert_eq!(p.name.as_deref(), Some("fs"));
         let d = p.declarations().next().unwrap();
         assert_eq!(d.name, "file");
@@ -976,8 +1035,14 @@ mod tests {
         let src = "cnt(J, count<T>, min<S>, count<*>) :- task(J, T, S);";
         let p = parse_program(src).unwrap();
         let r = p.rules().next().unwrap();
-        assert!(matches!(r.head.args[1], HeadArg::Agg(AggKind::Count, Some(_))));
-        assert!(matches!(r.head.args[2], HeadArg::Agg(AggKind::Min, Some(_))));
+        assert!(matches!(
+            r.head.args[1],
+            HeadArg::Agg(AggKind::Count, Some(_))
+        ));
+        assert!(matches!(
+            r.head.args[2],
+            HeadArg::Agg(AggKind::Min, Some(_))
+        ));
         assert!(matches!(r.head.args[3], HeadArg::Agg(AggKind::Count, None)));
     }
 
@@ -1028,12 +1093,50 @@ mod tests {
         let p = parse_program("timer(hb, 3000); watch(file);").unwrap();
         assert!(matches!(
             p.statements[0],
-            Statement::Timer { ref name, interval_ms: 3000 } if name == "hb"
+            Statement::Timer { ref name, interval_ms: 3000, .. } if name == "hb"
         ));
         assert!(matches!(
             p.statements[1],
-            Statement::Watch { ref table } if table == "file"
+            Statement::Watch { ref table, .. } if table == "file"
         ));
+    }
+
+    #[test]
+    fn spans_cover_statements_and_predicates() {
+        let src = "define(q, keys(0), {Int});\np(X) :- q(X), notin r(X);";
+        let p = parse_program(src).unwrap();
+        let decl = p.declarations().next().unwrap();
+        assert_eq!(
+            &src[decl.span.start..decl.span.end],
+            "define(q, keys(0), {Int});"
+        );
+        let rule = p.rules().next().unwrap();
+        assert_eq!(
+            &src[rule.span.start..rule.span.end],
+            "p(X) :- q(X), notin r(X);"
+        );
+        assert_eq!(&src[rule.head.span.start..rule.head.span.end], "p(X)");
+        let preds: Vec<&Predicate> = rule
+            .body
+            .iter()
+            .filter_map(|b| match b {
+                BodyElem::Pred(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(&src[preds[0].span.start..preds[0].span.end], "q(X)");
+        // `notin` itself is not part of the predicate span.
+        assert_eq!(&src[preds[1].span.start..preds[1].span.end], "r(X)");
+    }
+
+    #[test]
+    fn spans_use_byte_offsets_for_multibyte_source() {
+        // A multi-byte character in a comment shifts byte offsets away from
+        // char offsets; spans must stay byte-accurate.
+        let src = "// héllo\np(X) :- q(X);";
+        let p = parse_program(src).unwrap();
+        let rule = p.rules().next().unwrap();
+        assert_eq!(&src[rule.span.start..rule.span.end], "p(X) :- q(X);");
     }
 
     #[test]

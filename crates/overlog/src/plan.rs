@@ -1,16 +1,21 @@
-//! Rule compilation: variable slotting, safety checking, join scheduling,
-//! semi-naive variants, view classification, and stratification.
+//! Rule compilation: variable slotting, join scheduling, and semi-naive
+//! variants.
 //!
 //! A rule is compiled into one [`Variant`] per positive body predicate: the
 //! variant where that predicate reads the *delta* (tuples new this round)
 //! while the others read full tables — the classic semi-naive rewrite.
-//! Each variant is an operator sequence scheduled so that every condition,
-//! assignment, and negated predicate runs as soon as its variables are
-//! bound; a rule where some element can never be scheduled is rejected as
-//! unsafe.
+//!
+//! All *validation* — reference checking, safety (range restriction),
+//! aggregate rules, stratification, view/base conflicts — lives in
+//! [`crate::analysis`] and is shared with the standalone `olgcheck`
+//! analyzer: this module calls [`crate::analysis::validate_rule`] and then
+//! follows the execution orders it returns when emitting operators, so
+//! emission cannot fail and load-time rejection is byte-for-byte the same
+//! check olgcheck reports.
 
+use crate::analysis::{self, RuleAnalysis};
 use crate::ast::*;
-use crate::error::{OverlogError, Result};
+use crate::error::Result;
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -151,10 +156,22 @@ pub struct Plan {
 /// Compile all `rules` against the table `decls`.
 pub fn compile(decls: &HashMap<String, TableDecl>, rules: &[Rule]) -> Result<Plan> {
     let mut compiled = Vec::with_capacity(rules.len());
+    let mut classes = Vec::with_capacity(rules.len());
     for (i, rule) in rules.iter().enumerate() {
-        compiled.push(compile_rule(i, rule, decls)?);
+        let ra = analysis::validate_rule(i, rule, decls)?;
+        classes.push(ra.class);
+        compiled.push(compile_rule(i, rule, &ra));
     }
-    let (strata, table_stratum) = stratify(decls, rules, &mut compiled)?;
+    let (table_stratum, rule_strata) = analysis::stratify_rules(decls, rules, &classes)?;
+    for (cr, s) in compiled.iter_mut().zip(&rule_strata) {
+        cr.stratum = *s;
+    }
+    let max_stratum = compiled.iter().map(|c| c.stratum).max().unwrap_or(0);
+    let mut strata = vec![Vec::new(); max_stratum + 1];
+    for cr in compiled.iter() {
+        strata[cr.stratum].push(cr.id);
+    }
+
     let mut view_tables = HashSet::new();
     let mut view_inputs = HashSet::new();
     let mut neg_view_inputs = HashSet::new();
@@ -173,15 +190,7 @@ pub fn compile(decls: &HashMap<String, TableDecl>, rules: &[Rule]) -> Result<Pla
     }
     // A table must be either a view (fully re-derivable) or base state, not
     // both: recomputation would silently drop event-derived tuples.
-    for cr in &compiled {
-        if !cr.delete && !cr.is_view && view_tables.contains(&cr.head_table) {
-            return Err(OverlogError::Unstratifiable(format!(
-                "table `{}` is derived both by view rule(s) and by non-view rule `{}`; \
-                 split it into separate base and derived tables",
-                cr.head_table, cr.label
-            )));
-        }
-    }
+    analysis::view_conflict(rules, &classes)?;
     Ok(Plan {
         rules: compiled.into_iter().map(Arc::new).collect(),
         strata,
@@ -227,28 +236,11 @@ fn compile_expr(e: &Expr, slots: &mut SlotMap) -> CExpr {
             Box::new(compile_expr(b, slots)),
         ),
         Expr::Unary(op, a) => CExpr::Unary(*op, Box::new(compile_expr(a, slots))),
-        Expr::Call(f, args) => {
-            CExpr::Call(f.clone(), args.iter().map(|a| compile_expr(a, slots)).collect())
-        }
-        Expr::ListLit(items) => {
-            CExpr::List(items.iter().map(|a| compile_expr(a, slots)).collect())
-        }
-    }
-}
-
-fn expr_vars(e: &Expr) -> Vec<String> {
-    let mut v = Vec::new();
-    e.collect_vars(&mut v);
-    v
-}
-
-fn contains_wildcard(e: &Expr) -> bool {
-    match e {
-        Expr::Wildcard => true,
-        Expr::Binary(_, a, b) => contains_wildcard(a) || contains_wildcard(b),
-        Expr::Unary(_, a) => contains_wildcard(a),
-        Expr::Call(_, args) | Expr::ListLit(args) => args.iter().any(contains_wildcard),
-        Expr::Lit(_) | Expr::Var(_) => false,
+        Expr::Call(f, args) => CExpr::Call(
+            f.clone(),
+            args.iter().map(|a| compile_expr(a, slots)).collect(),
+        ),
+        Expr::ListLit(items) => CExpr::List(items.iter().map(|a| compile_expr(a, slots)).collect()),
     }
 }
 
@@ -259,296 +251,78 @@ pub fn compile_fact_expr(e: &Expr) -> CExpr {
     compile_expr(e, &mut slots)
 }
 
-/// Check a declared predicate reference and return its arity.
-fn check_pred(decls: &HashMap<String, TableDecl>, p: &Predicate) -> Result<()> {
-    let decl = decls
-        .get(&p.table)
-        .ok_or_else(|| OverlogError::UnknownTable(p.table.clone()))?;
-    if decl.arity() != p.args.len() {
-        return Err(OverlogError::ArityMismatch {
-            table: p.table.clone(),
-            expected: decl.arity(),
-            got: p.args.len(),
-        });
-    }
-    Ok(())
-}
-
-fn compile_rule(
-    id: usize,
-    rule: &Rule,
-    decls: &HashMap<String, TableDecl>,
-) -> Result<CompiledRule> {
+/// Lower one validated rule. `ra` carries the classification and the
+/// per-variant execution orders computed by [`analysis::validate_rule`];
+/// emission just follows them, so it cannot fail.
+fn compile_rule(id: usize, rule: &Rule, ra: &RuleAnalysis) -> CompiledRule {
     let label = rule.label(id);
-    let head_decl = decls
-        .get(&rule.head.table)
-        .ok_or_else(|| OverlogError::UnknownTable(rule.head.table.clone()))?;
-    if head_decl.arity() != rule.head.args.len() {
-        return Err(OverlogError::ArityMismatch {
-            table: rule.head.table.clone(),
-            expected: head_decl.arity(),
-            got: rule.head.args.len(),
-        });
-    }
-    for elem in &rule.body {
-        if let BodyElem::Pred(p) = elem {
-            check_pred(decls, p)?;
-        }
-    }
-
-    let aggregate = rule.is_aggregate();
-    if aggregate {
-        // Aggregate outputs rely on key-overwrite of the group columns: the
-        // head table's primary key must be exactly the non-aggregate columns.
-        let group_cols: Vec<usize> = rule
-            .head
-            .args
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| matches!(a, HeadArg::Expr(_)))
-            .map(|(i, _)| i)
-            .collect();
-        if head_decl.kind == TableKind::Materialized {
-            let declared = head_decl
-                .keys
-                .clone()
-                .unwrap_or_else(|| (0..head_decl.arity()).collect());
-            let mut want = group_cols.clone();
-            want.sort_unstable();
-            let mut have = declared;
-            have.sort_unstable();
-            if want != have {
-                return Err(OverlogError::Unstratifiable(format!(
-                    "aggregate rule `{label}`: head table `{}` must be keyed on \
-                     exactly the group columns {want:?}",
-                    rule.head.table
-                )));
-            }
-        }
-        if rule.delete {
-            return Err(OverlogError::Unstratifiable(format!(
-                "aggregate deletion rule `{label}` is not supported"
-            )));
-        }
-    }
-
-    let positives: Vec<&Predicate> = rule
-        .body
-        .iter()
-        .filter_map(|b| match b {
-            BodyElem::Pred(p) if !p.negated => Some(p),
-            _ => None,
-        })
+    let positive_tables: Vec<String> = rule
+        .positive_predicates()
+        .map(|p| p.table.clone())
         .collect();
-    let positive_tables: Vec<String> = positives.iter().map(|p| p.table.clone()).collect();
 
-    // View classification: non-delete, materialized head on this node (no
-    // location specifier), all body tables materialized.
-    let body_all_materialized = rule.body.iter().all(|b| match b {
-        BodyElem::Pred(p) => {
-            decls
-                .get(&p.table)
-                .map(|d| d.kind == TableKind::Materialized)
-                .unwrap_or(false)
-        }
-        _ => true,
-    });
-    let is_view = !rule.delete
-        && head_decl.kind == TableKind::Materialized
-        && rule.head.loc.is_none()
-        && body_all_materialized;
-    let inductive =
-        !rule.delete && head_decl.kind == TableKind::Materialized && !body_all_materialized;
-
-    // Build variants.
-    let nvariants = positives.len().max(1);
+    // Build variants following the analysis-provided orders.
     let mut slots = SlotMap::new();
-    let mut variants = Vec::with_capacity(nvariants);
-    for d in 0..nvariants {
-        let delta_pred = if positives.is_empty() { None } else { Some(d) };
-        let ops = schedule(rule, &label, delta_pred, &mut slots)?;
+    let mut variants = Vec::with_capacity(ra.orders.len());
+    for (d, order) in ra.orders.iter().enumerate() {
+        let delta_pred = if positive_tables.is_empty() {
+            None
+        } else {
+            Some(d)
+        };
+        let ops = emit_ops(rule, order, &mut slots);
         variants.push(Variant { delta_pred, ops });
     }
 
-    // Compile head args; all head variables must be bound by the body.
-    let bound = all_bindable_vars(rule);
+    // Compile head args; safety of every head variable was already checked.
     let mut head_args = Vec::with_capacity(rule.head.args.len());
     for arg in &rule.head.args {
         match arg {
-            HeadArg::Expr(e) => {
-                if contains_wildcard(e) {
-                    return Err(OverlogError::UnsafeRule {
-                        rule: label.clone(),
-                        var: "_".into(),
-                    });
-                }
-                for v in expr_vars(e) {
-                    if !bound.contains(&v) {
-                        return Err(OverlogError::UnsafeRule {
-                            rule: label.clone(),
-                            var: v,
-                        });
-                    }
-                }
-                head_args.push(CHeadArg::Expr(compile_expr(e, &mut slots)));
-            }
+            HeadArg::Expr(e) => head_args.push(CHeadArg::Expr(compile_expr(e, &mut slots))),
             HeadArg::Agg(kind, var) => {
-                let slot = match var {
-                    Some(v) => {
-                        if !bound.contains(v) {
-                            return Err(OverlogError::UnsafeRule {
-                                rule: label.clone(),
-                                var: v.clone(),
-                            });
-                        }
-                        Some(slots.slot(v))
-                    }
-                    None => None,
-                };
+                let slot = var.as_ref().map(|v| slots.slot(v));
                 head_args.push(CHeadArg::Agg(*kind, slot));
             }
         }
     }
 
-    Ok(CompiledRule {
+    CompiledRule {
         id,
         label,
-        delete: rule.delete,
+        delete: ra.class.delete,
         head_table: rule.head.table.clone(),
         head_args,
         head_loc: rule.head.loc,
-        aggregate,
+        aggregate: ra.class.aggregate,
         positive_tables,
         variants,
-        is_view,
-        inductive,
+        is_view: ra.class.is_view,
+        inductive: ra.class.inductive,
         stratum: 0,
         nslots: slots.names.len(),
         slot_names: slots.names,
-    })
+    }
 }
 
-/// All variables bound by some positive predicate or assignment.
-fn all_bindable_vars(rule: &Rule) -> HashSet<String> {
-    let mut bound = HashSet::new();
-    // Iterate until fixpoint: assignments may chain.
-    loop {
-        let before = bound.len();
-        for elem in &rule.body {
-            match elem {
-                BodyElem::Pred(p) if !p.negated => {
-                    for a in &p.args {
-                        if let Some(v) = a.as_var() {
-                            bound.insert(v.to_string());
-                        }
-                    }
-                }
-                BodyElem::Assign(v, e) => {
-                    if expr_vars(e).iter().all(|x| bound.contains(x)) {
-                        bound.insert(v.clone());
-                    }
-                }
-                _ => {}
-            }
-        }
-        if bound.len() == before {
-            break;
-        }
-    }
-    bound
-}
-
-/// Greedy ready-element scheduling: the delta predicate is placed first, the
-/// remaining elements run in source order as soon as their inputs are bound.
-fn schedule(
-    rule: &Rule,
-    label: &str,
-    delta_pred: Option<usize>,
-    slots: &mut SlotMap,
-) -> Result<Vec<Op>> {
-    // Work list of body element indices, delta predicate hoisted to front.
-    let mut order: Vec<usize> = Vec::new();
-    if let Some(d) = delta_pred {
-        // Find the body index of the d-th positive predicate.
-        let mut seen = 0usize;
-        for (i, e) in rule.body.iter().enumerate() {
-            if let BodyElem::Pred(p) = e {
-                if !p.negated {
-                    if seen == d {
-                        order.push(i);
-                    }
-                    seen += 1;
-                }
-            }
-        }
-    }
-    for i in 0..rule.body.len() {
-        if !order.contains(&i) {
-            order.push(i);
-        }
-    }
-
-    let mut ops = Vec::new();
-    let mut bound: HashSet<String> = HashSet::new();
-    let mut remaining: Vec<usize> = order;
+/// Emit the operator sequence for one variant, walking the body elements in
+/// the (already validated) execution `order`. Shares `slots` across
+/// variants so a variable keeps one slot in every variant of the rule.
+fn emit_ops(rule: &Rule, order: &[usize], slots: &mut SlotMap) -> Vec<Op> {
+    // Positive-predicate ordinal for each body index.
     let mut pred_counter: HashMap<usize, usize> = HashMap::new();
-    {
-        // Precompute positive-predicate ordinal for each body index.
-        let mut n = 0usize;
-        for (i, e) in rule.body.iter().enumerate() {
-            if let BodyElem::Pred(p) = e {
-                if !p.negated {
-                    pred_counter.insert(i, n);
-                    n += 1;
-                }
+    let mut n = 0usize;
+    for (i, e) in rule.body.iter().enumerate() {
+        if let BodyElem::Pred(p) = e {
+            if !p.negated {
+                pred_counter.insert(i, n);
+                n += 1;
             }
         }
     }
 
-    while !remaining.is_empty() {
-        let mut picked = None;
-        for (pos, &bi) in remaining.iter().enumerate() {
-            let ready = match &rule.body[bi] {
-                BodyElem::Pred(p) if !p.negated => {
-                    // Non-variable argument expressions must be bound.
-                    p.args.iter().all(|a| match a {
-                        Expr::Var(_) | Expr::Wildcard => true,
-                        other => expr_vars(other).iter().all(|v| bound.contains(v)),
-                    })
-                }
-                BodyElem::Pred(p) => p
-                    .args
-                    .iter()
-                    .flat_map(expr_vars)
-                    .all(|v| bound.contains(&v)),
-                BodyElem::Cond(e) => expr_vars(e).iter().all(|v| bound.contains(v)),
-                BodyElem::Assign(_, e) => expr_vars(e).iter().all(|v| bound.contains(v)),
-            };
-            if ready {
-                picked = Some(pos);
-                break;
-            }
-        }
-        let Some(pos) = picked else {
-            // Report the first blocked variable for diagnostics.
-            let bi = remaining[0];
-            let var = match &rule.body[bi] {
-                BodyElem::Pred(p) => p
-                    .args
-                    .iter()
-                    .flat_map(expr_vars)
-                    .find(|v| !bound.contains(v)),
-                BodyElem::Cond(e) | BodyElem::Assign(_, e) => {
-                    expr_vars(e).into_iter().find(|v| !bound.contains(v))
-                }
-            }
-            .unwrap_or_else(|| "?".to_string());
-            return Err(OverlogError::UnsafeRule {
-                rule: label.to_string(),
-                var,
-            });
-        };
-        let bi = remaining.remove(pos);
+    let mut ops = Vec::with_capacity(order.len());
+    let mut bound: HashSet<String> = HashSet::new();
+    for &bi in order {
         match &rule.body[bi] {
             BodyElem::Pred(p) if !p.negated => {
                 let mut pats = Vec::with_capacity(p.args.len());
@@ -590,84 +364,13 @@ fn schedule(
             }
         }
     }
-    Ok(ops)
-}
-
-/// Assign strata to tables and rules.
-///
-/// Constraints, for every non-delete rule `H :- B...`:
-/// * positive `B`: `stratum(H) >= stratum(B)`
-/// * negated `B` or aggregate rule: `stratum(H) > stratum(B)`
-///
-/// Deletion rules run in the stratum where their body settles and impose no
-/// constraint on the head (their effect is deferred to the tick boundary).
-fn stratify(
-    decls: &HashMap<String, TableDecl>,
-    rules: &[Rule],
-    compiled: &mut [CompiledRule],
-) -> Result<(Vec<Vec<usize>>, HashMap<String, usize>)> {
-    let mut stratum: HashMap<String, usize> = decls.keys().map(|k| (k.clone(), 0)).collect();
-    let ntables = decls.len().max(1);
-    let mut changed = true;
-    let mut iters = 0usize;
-    while changed {
-        changed = false;
-        iters += 1;
-        if iters > ntables * rules.len().max(1) + ntables + 2 {
-            return Err(OverlogError::Unstratifiable(
-                "negation or aggregation appears in a recursive cycle".into(),
-            ));
-        }
-        for (rule, cr) in rules.iter().zip(compiled.iter()) {
-            // Deletion and inductive rules act across the timestep boundary:
-            // no within-tick stratification constraint.
-            if cr.delete || cr.inductive {
-                continue;
-            }
-            let h = rule.head.table.clone();
-            let agg = rule.is_aggregate();
-            for elem in &rule.body {
-                if let BodyElem::Pred(p) = elem {
-                    let sb = stratum[&p.table];
-                    let sh = stratum[&h];
-                    let needed = if p.negated || agg { sb + 1 } else { sb };
-                    if sh < needed {
-                        if needed > ntables {
-                            return Err(OverlogError::Unstratifiable(
-                                "negation or aggregation appears in a recursive cycle".into(),
-                            ));
-                        }
-                        stratum.insert(h.clone(), needed);
-                        changed = true;
-                    }
-                }
-            }
-        }
-    }
-
-    for cr in compiled.iter_mut() {
-        let rule_stratum = if cr.delete || cr.inductive {
-            cr.positive_tables
-                .iter()
-                .map(|t| stratum[t])
-                .max()
-                .unwrap_or(0)
-        } else {
-            stratum[&cr.head_table]
-        };
-        cr.stratum = rule_stratum;
-    }
-    let max_stratum = compiled.iter().map(|c| c.stratum).max().unwrap_or(0);
-    let mut strata = vec![Vec::new(); max_stratum + 1];
-    for cr in compiled.iter() {
-        strata[cr.stratum].push(cr.id);
-    }
-    Ok((strata, stratum))
+    ops
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::OverlogError;
     use crate::parser::parse_program;
 
     fn plan_of(src: &str) -> Result<Plan> {
@@ -754,7 +457,7 @@ mod tests {
              b(X) :- a(X), notin b(X);",
         )
         .unwrap_err();
-        assert!(matches!(err, OverlogError::Unstratifiable(_)));
+        assert!(matches!(err, OverlogError::Unstratifiable { .. }));
     }
 
     #[test]
@@ -774,14 +477,14 @@ mod tests {
              c(X, count<Y>) :- t(X, Y);",
         )
         .unwrap_err();
-        assert!(matches!(err, OverlogError::Unstratifiable(_)));
+        assert!(matches!(err, OverlogError::Unstratifiable { .. }));
     }
 
     #[test]
     fn unknown_table_and_arity_errors() {
         assert!(matches!(
             plan_of("define(p, keys(0), {Int}); p(X) :- q(X);").unwrap_err(),
-            OverlogError::UnknownTable(_)
+            OverlogError::UnknownTable { .. }
         ));
         assert!(matches!(
             plan_of(

@@ -34,14 +34,15 @@
 //! recomputation of all view tables at the end of the tick — a simple,
 //! sound replacement for JOL's incremental delete propagation.
 
-use crate::ast::{Rule, Statement, TableDecl, TableKind};
+use crate::analysis::{self, Diagnostic, SourceMap};
+use crate::ast::{AggKind, BinOp, UnOp};
+use crate::ast::{Rule, Span, Statement, TableDecl, TableKind};
 use crate::builtins::Builtins;
 use crate::error::{OverlogError, Result};
 use crate::parser::parse_program;
 use crate::plan::{self, CExpr, CHeadArg, CompiledRule, Op, Pat, Plan, Variant};
 use crate::table::{InsertOutcome, Table};
 use crate::value::{Row, TypeTag, Value};
-use crate::ast::{AggKind, BinOp, UnOp};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -115,6 +116,11 @@ pub struct OverlogRuntime {
     decls: HashMap<String, TableDecl>,
     tables: HashMap<String, Table>,
     rule_sources: Vec<Rule>,
+    /// Program texts successfully loaded, in order (static re-analysis).
+    sources: Vec<String>,
+    /// Tables the host has inserted into or deleted from directly; the
+    /// analyzer treats them as externally filled.
+    host_inserted: HashSet<String>,
     plan: Plan,
     builtins: Builtins,
     timers: Vec<TimerState>,
@@ -189,6 +195,8 @@ impl OverlogRuntime {
             decls: HashMap::new(),
             tables: HashMap::new(),
             rule_sources: Vec::new(),
+            sources: Vec::new(),
+            host_inserted: HashSet::new(),
             plan: Plan::default(),
             builtins: Builtins::standard(),
             timers: Vec::new(),
@@ -207,6 +215,7 @@ impl OverlogRuntime {
             keys: None,
             types: vec![TypeTag::Addr],
             kind: TableKind::Materialized,
+            span: Span::default(),
         };
         rt.decls.insert("me".into(), me.clone());
         let mut t = Table::new(me);
@@ -260,30 +269,39 @@ impl OverlogRuntime {
             match stmt {
                 Statement::Define(d) => {
                     if let Some(existing) = self.decls.get(&d.name) {
-                        if existing != d {
-                            return Err(OverlogError::Redefinition(d.name.clone()));
+                        if !existing.same_schema(d) {
+                            return Err(OverlogError::Redefinition {
+                                table: d.name.clone(),
+                                span: d.span,
+                            });
                         }
                     } else {
                         self.decls.insert(d.name.clone(), d.clone());
                         self.tables.insert(d.name.clone(), Table::new(d.clone()));
                     }
                 }
-                Statement::Timer { name, interval_ms } => {
+                Statement::Timer {
+                    name,
+                    interval_ms,
+                    span,
+                } => {
                     if !self.decls.contains_key(name) {
                         let d = TableDecl {
                             name: name.clone(),
                             keys: None,
                             types: vec![TypeTag::Int],
                             kind: TableKind::Event,
+                            span: *span,
                         };
                         self.decls.insert(name.clone(), d.clone());
                         self.tables.insert(name.clone(), Table::new(d));
                     } else {
                         let d = &self.decls[name];
                         if d.kind != TableKind::Event || d.arity() != 1 {
-                            return Err(OverlogError::Redefinition(format!(
-                                "timer `{name}` conflicts with an existing table"
-                            )));
+                            return Err(OverlogError::Redefinition {
+                                table: name.clone(),
+                                span: *span,
+                            });
                         }
                     }
                     self.timers.push(TimerState {
@@ -292,17 +310,37 @@ impl OverlogRuntime {
                         next: 0,
                     });
                 }
-                Statement::Watch { table } => {
-                    self.watches.insert(table.clone());
-                }
                 _ => {}
+            }
+        }
+        // Watches: validated after the declaration pass so a watch may
+        // precede its table's define in the same source.
+        for stmt in &prog.statements {
+            if let Statement::Watch { table, span } = stmt {
+                if !self.decls.contains_key(table) {
+                    return Err(OverlogError::UnknownTable {
+                        table: table.clone(),
+                        rule: None,
+                        span: *span,
+                    });
+                }
+                self.watches.insert(table.clone());
             }
         }
         // Facts: constant-fold and queue.
         for stmt in &prog.statements {
-            if let Statement::Fact { table, values } = stmt {
+            if let Statement::Fact {
+                table,
+                values,
+                span,
+            } = stmt
+            {
                 if !self.decls.contains_key(table) {
-                    return Err(OverlogError::UnknownTable(table.clone()));
+                    return Err(OverlogError::UnknownTable {
+                        table: table.clone(),
+                        rule: None,
+                        span: *span,
+                    });
                 }
                 let mut row = Vec::with_capacity(values.len());
                 for e in values {
@@ -312,12 +350,14 @@ impl OverlogRuntime {
                         return Err(OverlogError::UnsafeRule {
                             rule: format!("fact {table}"),
                             var: vars.into_iter().next().unwrap_or_else(|| "_".into()),
+                            span: *span,
                         });
                     }
                     let ce = plan::compile_fact_expr(e);
                     row.push(eval_cexpr(&ce, &[], &self.builtins)?);
                 }
-                self.pending.push_back(Pending::Insert(table.clone(), Arc::new(row)));
+                self.pending
+                    .push_back(Pending::Insert(table.clone(), Arc::new(row)));
             }
         }
         // Rules: append and recompile the whole plan.
@@ -327,6 +367,7 @@ impl OverlogRuntime {
             Ok(p) => {
                 self.plan = p;
                 self.rule_fires.resize(self.plan.rules.len(), 0);
+                self.sources.push(src.to_string());
                 Ok(())
             }
             Err(e) => {
@@ -344,18 +385,22 @@ impl OverlogRuntime {
         let t = self
             .tables
             .get(table)
-            .ok_or_else(|| OverlogError::UnknownTable(table.to_string()))?;
+            .ok_or_else(|| OverlogError::unknown_table(table))?;
         t.typecheck(&row)?;
-        self.pending.push_back(Pending::Insert(table.to_string(), row));
+        self.host_inserted.insert(table.to_string());
+        self.pending
+            .push_back(Pending::Insert(table.to_string(), row));
         Ok(())
     }
 
     /// Queue an external deletion for the next tick.
     pub fn delete(&mut self, table: &str, row: Row) -> Result<()> {
         if !self.tables.contains_key(table) {
-            return Err(OverlogError::UnknownTable(table.to_string()));
+            return Err(OverlogError::unknown_table(table));
         }
-        self.pending.push_back(Pending::Delete(table.to_string(), row));
+        self.host_inserted.insert(table.to_string());
+        self.pending
+            .push_back(Pending::Delete(table.to_string(), row));
         Ok(())
     }
 
@@ -412,6 +457,32 @@ impl OverlogRuntime {
         self.plan.rules.len()
     }
 
+    /// Statically analyze everything loaded so far (the `olgcheck` pass,
+    /// without executing anything): every load-time check plus the lint
+    /// suite. Tables the host has inserted into are treated as externally
+    /// filled. Returns the diagnostics; see
+    /// [`OverlogRuntime::check_with_sources`] to render them.
+    pub fn check(&self) -> Vec<Diagnostic> {
+        self.check_with_sources().0
+    }
+
+    /// Like [`OverlogRuntime::check`], also returning the [`SourceMap`]
+    /// needed to render diagnostics with file/line/column positions.
+    pub fn check_with_sources(&self) -> (Vec<Diagnostic>, SourceMap) {
+        let mut ctx = analysis::ProgramContext::new();
+        for d in analysis::ProgramContext::runtime_ambient() {
+            ctx.add_ambient(d);
+        }
+        let mut map = SourceMap::new();
+        for (i, src) in self.sources.iter().enumerate() {
+            ctx.add_source(&format!("loaded#{i}"), src, &mut map);
+        }
+        for t in &self.host_inserted {
+            ctx.mark_external(t);
+        }
+        (analysis::analyze(&ctx), map)
+    }
+
     /// Tick repeatedly (at the same virtual time) until no queued or
     /// inductively-deferred work remains, collecting all network sends.
     /// Bounded; errors if the program does not quiesce within 64 ticks.
@@ -437,8 +508,10 @@ impl OverlogRuntime {
         // 1. Fire due timers.
         for t in &mut self.timers {
             if now >= t.next {
-                self.pending
-                    .push_back(Pending::Insert(t.name.clone(), Arc::new(vec![Value::Int(now as i64)])));
+                self.pending.push_back(Pending::Insert(
+                    t.name.clone(),
+                    Arc::new(vec![Value::Int(now as i64)]),
+                ));
                 t.next = now + t.interval;
             }
         }
@@ -455,7 +528,7 @@ impl OverlogRuntime {
                     let t = self
                         .tables
                         .get_mut(&table)
-                        .ok_or_else(|| OverlogError::UnknownTable(table.clone()))?;
+                        .ok_or_else(|| OverlogError::unknown_table(table.clone()))?;
                     if t.delete(&row) {
                         ctx.changed_tables.insert(table.clone());
                         self.record_trace(&table, &row, TraceOp::Delete);
@@ -513,7 +586,9 @@ impl OverlogRuntime {
                         continue;
                     }
                     for variant in &rule.variants {
-                        let Some(d) = variant.delta_pred else { continue };
+                        let Some(d) = variant.delta_pred else {
+                            continue;
+                        };
                         let dtable = &rule.positive_tables[d];
                         let Some(delta_rows) = current.get(dtable) else {
                             continue;
@@ -612,12 +687,15 @@ impl OverlogRuntime {
         let t = self
             .tables
             .get_mut(table)
-            .ok_or_else(|| OverlogError::UnknownTable(table.to_string()))?;
+            .ok_or_else(|| OverlogError::unknown_table(table))?;
         // Deltas must hold exactly what the table holds (Addr coercion).
         let row = t.coerce(row);
         match t.insert(row.clone())? {
             InsertOutcome::New => {
-                ctx.added.entry(table.to_string()).or_default().push(row.clone());
+                ctx.added
+                    .entry(table.to_string())
+                    .or_default()
+                    .push(row.clone());
                 ctx.next_delta
                     .entry(table.to_string())
                     .or_default()
@@ -634,7 +712,10 @@ impl OverlogRuntime {
                 }
             }
             InsertOutcome::Replaced(_old) => {
-                ctx.added.entry(table.to_string()).or_default().push(row.clone());
+                ctx.added
+                    .entry(table.to_string())
+                    .or_default()
+                    .push(row.clone());
                 ctx.next_delta
                     .entry(table.to_string())
                     .or_default()
@@ -760,7 +841,15 @@ impl OverlogRuntime {
     ) -> Result<Vec<Row>> {
         let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
         let mut env = vec![None; rule.nslots];
-        self.exec_ops(rule, &variant.ops, 0, variant.delta_pred, delta_rows, &mut env, &mut envs)?;
+        self.exec_ops(
+            rule,
+            &variant.ops,
+            0,
+            variant.delta_pred,
+            delta_rows,
+            &mut env,
+            &mut envs,
+        )?;
         // Project heads (non-aggregate rules only reach here).
         let mut out = Vec::with_capacity(envs.len());
         for env in &envs {
@@ -782,7 +871,7 @@ impl OverlogRuntime {
     }
 
     /// Recursive nested-loop execution of a scheduled op sequence.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
     fn exec_ops(
         &mut self,
         rule: &CompiledRule,
@@ -818,12 +907,14 @@ impl OverlogRuntime {
                 }
                 Ok(())
             }
-            Op::Scan { table, pred_idx, pats } => {
+            Op::Scan {
+                table,
+                pred_idx,
+                pats,
+            } => {
                 let use_delta = delta_pred == Some(*pred_idx) && delta_rows.is_some();
                 let candidates: Vec<Row> = if use_delta {
-                    delta_rows
-                        .expect("use_delta implies delta_rows")
-                        .to_vec()
+                    delta_rows.expect("use_delta implies delta_rows").to_vec()
                 } else {
                     self.candidates(table, pats, env)?
                 };
@@ -870,12 +961,7 @@ impl OverlogRuntime {
 
     /// Candidate rows for a scan, using a maintained index when any check
     /// column is evaluable from the current environment.
-    fn candidates(
-        &mut self,
-        table: &str,
-        pats: &[Pat],
-        env: &[Option<Value>],
-    ) -> Result<Vec<Row>> {
+    fn candidates(&mut self, table: &str, pats: &[Pat], env: &[Option<Value>]) -> Result<Vec<Row>> {
         let mut cols = Vec::new();
         let mut vals = Vec::new();
         for (i, p) in pats.iter().enumerate() {
@@ -889,7 +975,7 @@ impl OverlogRuntime {
         let t = self
             .tables
             .get_mut(table)
-            .ok_or_else(|| OverlogError::UnknownTable(table.to_string()))?;
+            .ok_or_else(|| OverlogError::unknown_table(table))?;
         Ok(if cols.is_empty() {
             t.scan().cloned().collect()
         } else {
@@ -1085,9 +1171,13 @@ impl OverlogRuntime {
                         continue;
                     }
                     for variant in &rule.variants {
-                        let Some(d) = variant.delta_pred else { continue };
+                        let Some(d) = variant.delta_pred else {
+                            continue;
+                        };
                         let dtable = &rule.positive_tables[d];
-                        let Some(delta_rows) = current.get(dtable) else { continue };
+                        let Some(delta_rows) = current.get(dtable) else {
+                            continue;
+                        };
                         if delta_rows.is_empty() {
                             continue;
                         }
@@ -1100,19 +1190,16 @@ impl OverlogRuntime {
                                     "derivation budget exceeded during view recomputation".into(),
                                 ));
                             }
-                            let t = self
-                                .tables
-                                .get_mut(&rule.head_table)
-                                .ok_or_else(|| OverlogError::UnknownTable(rule.head_table.clone()))?;
+                            let t = self.tables.get_mut(&rule.head_table).ok_or_else(|| {
+                                OverlogError::unknown_table(rule.head_table.clone())
+                            })?;
                             match t.insert(row.clone())? {
                                 InsertOutcome::New | InsertOutcome::Replaced(_) => {
                                     added
                                         .entry(rule.head_table.clone())
                                         .or_default()
                                         .push(row.clone());
-                                    next.entry(rule.head_table.clone())
-                                        .or_default()
-                                        .push(row);
+                                    next.entry(rule.head_table.clone()).or_default().push(row);
                                 }
                                 InsertOutcome::Duplicate => {}
                             }

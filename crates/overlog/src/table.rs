@@ -82,6 +82,8 @@ impl Table {
                 table: self.def.name.clone(),
                 expected: self.def.arity(),
                 got: row.len(),
+                rule: None,
+                span: crate::ast::Span::default(),
             });
         }
         for (i, (tag, v)) in self.def.types.iter().zip(row.iter()).enumerate() {
@@ -224,10 +226,7 @@ impl Table {
             }
             self.indexes.insert(cols.to_vec(), idx);
         }
-        self.indexes[cols]
-            .get(vals)
-            .map(|v| v.clone())
-            .unwrap_or_default()
+        self.indexes[cols].get(vals).cloned().unwrap_or_default()
     }
 
     fn index_add(&mut self, row: &Row) {
@@ -264,6 +263,7 @@ mod tests {
             keys,
             types: vec![TypeTag::Int, TypeTag::Str],
             kind: TableKind::Materialized,
+            span: crate::ast::Span::default(),
         }
     }
 

@@ -1,0 +1,196 @@
+//! Golden diagnostic tests: each analyzer code fires on its fixture with
+//! the expected line/column position (resolved through the `SourceMap`,
+//! so these also pin the span threading from lexer to diagnostic).
+
+use boom_overlog::analysis::analyze_sources;
+
+/// Analyze one source and return `(code, line, col)` per diagnostic.
+fn golden(src: &str) -> Vec<(&'static str, usize, usize)> {
+    let (diags, map) = analyze_sources(&[("fix.olg", src)]);
+    diags
+        .iter()
+        .map(|d| {
+            let (file, line, col) = map.resolve(d.span.start);
+            assert_eq!(file, "fix.olg");
+            (d.code, line, col)
+        })
+        .collect()
+}
+
+#[test]
+fn e0001_parse_error_points_at_offending_line() {
+    let src = "define(p, keys(0), {Int});\np(X) :- ;\n";
+    assert_eq!(golden(src), vec![("E0001", 2, 9)]);
+}
+
+#[test]
+fn e0002_unknown_table_points_at_the_predicate() {
+    let src = "define(p, keys(0), {Int});\np(X) :- ghost(X);\n";
+    assert_eq!(golden(src), vec![("E0002", 2, 9)]);
+}
+
+#[test]
+fn e0003_arity_mismatch_points_at_the_predicate() {
+    let src = "define(p, keys(0), {Int});\n\
+               define(q, keys(0,1), {Int, Int});\n\
+               q(1, 2);\n\
+               p(X) :- q(X);\n";
+    assert_eq!(golden(src), vec![("E0003", 4, 9)]);
+}
+
+#[test]
+fn e0004_unsafe_rule_points_at_the_unbound_use() {
+    let src = "define(p, keys(0), {Int});\n\
+               define(q, keys(0), {Int});\n\
+               q(1);\n\
+               p(Y) :- q(X);\n";
+    assert_eq!(golden(src), vec![("E0004", 4, 1)]);
+}
+
+#[test]
+fn e0005_unstratifiable_cycle_names_the_path() {
+    let src = "define(a, keys(0), {Int});\n\
+               define(b, keys(0), {Int});\n\
+               a(1);\n\
+               a(X) :- b(X);\n\
+               b(X) :- a(X), notin b(X);\n";
+    let (diags, _) = analyze_sources(&[("fix.olg", src)]);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "E0005");
+    assert!(
+        diags[0].message.contains("b -> b") || diags[0].message.contains("cycle"),
+        "cycle path missing: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn e0006_aggregate_head_keyed_on_wrong_columns() {
+    let src = "define(c, keys(0,1), {Int, Int});\n\
+               define(q, keys(0,1), {Int, Int});\n\
+               q(1, 2);\n\
+               c(X, count<Y>) :- q(X, Y);\n";
+    assert_eq!(golden(src), vec![("E0006", 4, 1)]);
+}
+
+#[test]
+fn e0007_view_base_conflict() {
+    let src = "define(base, keys(0), {Int});\n\
+               define(v, keys(0), {Int});\n\
+               event e, {Int};\n\
+               base(1);\n\
+               v(X) :- base(X);\n\
+               v(X) :- e(X);\n";
+    let codes: Vec<_> = golden(src).iter().map(|g| g.0).collect();
+    assert_eq!(codes, vec!["E0007"]);
+}
+
+#[test]
+fn e0008_conflicting_redeclaration_points_at_second_define() {
+    let src = "define(p, keys(0), {Int});\ndefine(p, keys(0), {Str});\np(1);\np(X) :- p(X);\n";
+    assert_eq!(golden(src), vec![("E0008", 2, 1)]);
+}
+
+#[test]
+fn e0009_location_on_int_column() {
+    let src = "define(p, keys(0,1), {Int, Int});\n\
+               define(q, keys(0,1), {Int, Int});\n\
+               q(1, 2);\n\
+               p(@X, Y) :- q(X, Y);\n";
+    assert_eq!(golden(src), vec![("E0009", 4, 1)]);
+}
+
+#[test]
+fn e0010_newid_outside_single_event_rule() {
+    let src = "define(p, keys(0), {Int});\n\
+               define(q, keys(0), {Int});\n\
+               q(1);\n\
+               p(newid()) :- q(_);\n";
+    assert_eq!(golden(src), vec![("E0010", 4, 1)]);
+}
+
+#[test]
+fn e0011_derivation_into_timer_table() {
+    let src = "timer(tick, 100);\n\
+               define(q, keys(0), {Int});\n\
+               q(1);\n\
+               use_tick(T) :- tick(T);\n\
+               event use_tick, {Int};\n\
+               tick(X) :- q(X);\n";
+    assert_eq!(golden(src), vec![("E0011", 6, 1)]);
+}
+
+#[test]
+fn e0012_head_type_mismatch() {
+    let src = "define(p, keys(0), {Str});\n\
+               define(q, keys(0), {Int});\n\
+               q(1);\n\
+               p(X) :- q(X);\n";
+    assert_eq!(golden(src), vec![("E0012", 4, 1)]);
+}
+
+#[test]
+fn w0001_unused_table_points_at_its_define() {
+    let src = "define(used, keys(0), {Int});\n\
+               define(unused, keys(0), {Int});\n\
+               used(1);\n";
+    assert_eq!(golden(src), vec![("W0001", 2, 1)]);
+}
+
+#[test]
+fn w0002_unfillable_join_points_at_the_read() {
+    let src = "define(p, keys(0), {Int});\n\
+               define(empty, keys(0), {Int});\n\
+               event e, {Int};\n\
+               e_seen(X) :- e(X);\n\
+               event e_seen, {Int};\n\
+               p(X) :- empty(X);\n";
+    assert_eq!(golden(src), vec![("W0002", 6, 9)]);
+}
+
+#[test]
+fn w0003_singleton_variable_points_at_the_predicate() {
+    let src = "define(p, keys(0), {Int});\n\
+               define(q, keys(0,1), {Int, Int});\n\
+               q(1, 2);\n\
+               p(X) :- q(X, Lonely);\n";
+    assert_eq!(golden(src), vec![("W0003", 4, 9)]);
+}
+
+#[test]
+fn w0004_duplicate_rule_name() {
+    let src = "define(p, keys(0), {Int});\n\
+               define(q, keys(0), {Int});\n\
+               q(1);\n\
+               r1 p(X) :- q(X);\n\
+               r1 q(X) :- p(X);\n";
+    assert_eq!(golden(src), vec![("W0004", 5, 1)]);
+}
+
+#[test]
+fn w0005_unconsumed_timer() {
+    let src = "timer(beat, 500);\n";
+    assert_eq!(golden(src), vec![("W0005", 1, 1)]);
+}
+
+#[test]
+fn multi_file_groups_resolve_to_the_right_file() {
+    let a = "define(p, keys(0), {Int});\np(1);\n";
+    let b = "p(X) :- ghost(X);\n";
+    let (diags, map) = analyze_sources(&[("a.olg", a), ("b.olg", b)]);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "E0002");
+    let (file, line, col) = map.resolve(diags[0].span.start);
+    assert_eq!((file, line, col), ("b.olg", 1, 9));
+}
+
+#[test]
+fn rendered_diagnostic_carries_caret_and_help() {
+    let src = "define(p, keys(0), {Int});\np(X) :- ghost(X);\n";
+    let (diags, map) = analyze_sources(&[("fix.olg", src)]);
+    let text = boom_overlog::analysis::render(&diags[0], &map);
+    assert!(text.contains("fix.olg:2:9"), "{text}");
+    assert!(text.contains("error[E0002]"), "{text}");
+    assert!(text.contains("^^^^^^^^"), "{text}");
+    assert!(text.contains("help:"), "{text}");
+}

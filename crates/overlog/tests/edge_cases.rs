@@ -17,15 +17,13 @@ fn rt(src: &str) -> OverlogRuntime {
 fn unknown_table_in_fact_rejected() {
     let mut r = OverlogRuntime::new("n");
     let err = r.load("ghost(1);").unwrap_err();
-    assert!(matches!(err, OverlogError::UnknownTable(ref t) if t == "ghost"));
+    assert!(matches!(err, OverlogError::UnknownTable { ref table, .. } if table == "ghost"));
 }
 
 #[test]
 fn fact_with_variable_rejected() {
     let mut r = OverlogRuntime::new("n");
-    let err = r
-        .load("define(t, keys(0), {Int}); t(X);")
-        .unwrap_err();
+    let err = r.load("define(t, keys(0), {Int}); t(X);").unwrap_err();
     assert!(matches!(err, OverlogError::UnsafeRule { .. }));
 }
 
@@ -52,7 +50,7 @@ fn aggregate_into_wrongly_keyed_table_rejected() {
              c(G, count<V>) :- t(G, V);",
         )
         .unwrap_err();
-    assert!(matches!(err, OverlogError::Unstratifiable(_)));
+    assert!(matches!(err, OverlogError::Unstratifiable { .. }));
 }
 
 #[test]
@@ -67,7 +65,7 @@ fn view_and_event_derivation_into_same_table_rejected() {
              mix(X) :- e(X);",
         )
         .unwrap_err();
-    assert!(matches!(err, OverlogError::Unstratifiable(_)));
+    assert!(matches!(err, OverlogError::Unstratifiable { .. }));
 }
 
 #[test]
@@ -76,7 +74,7 @@ fn timer_name_conflicting_with_table_rejected() {
     let err = r
         .load("define(tick, keys(0), {Int, Int}); timer(tick, 100);")
         .unwrap_err();
-    assert!(matches!(err, OverlogError::Redefinition(_)));
+    assert!(matches!(err, OverlogError::Redefinition { .. }));
 }
 
 // --- insertion-time rejections ---
@@ -94,7 +92,7 @@ fn typed_inserts_validated() {
     ));
     assert!(matches!(
         r.insert("ghost", row(vec![])),
-        Err(OverlogError::UnknownTable(_))
+        Err(OverlogError::UnknownTable { .. })
     ));
 }
 
@@ -275,7 +273,9 @@ fn multiline_comments_and_weird_whitespace_parse() {
 #[test]
 fn parse_errors_carry_positions() {
     let mut r = OverlogRuntime::new("n");
-    let err = r.load("define(t, keys(0), {Int});\n t(1) :- ;").unwrap_err();
+    let err = r
+        .load("define(t, keys(0), {Int});\n t(1) :- ;")
+        .unwrap_err();
     match err {
         OverlogError::Parse { line, .. } => assert_eq!(line, 2),
         other => panic!("expected parse error, got {other}"),

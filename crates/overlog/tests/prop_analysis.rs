@@ -1,0 +1,138 @@
+//! Property tests tying the analyzer to the runtime: load-time rejection
+//! and `olgcheck` share one implementation, so on randomized programs
+//! (valid and broken alike) they must agree — and anything the analyzer
+//! passes must load and evaluate without panicking.
+
+use boom_overlog::analysis::analyze_sources;
+use boom_overlog::value::row;
+use boom_overlog::{OverlogRuntime, Value};
+use proptest::prelude::*;
+
+/// The diagnostic codes that correspond to load-time rejection. E0009+
+/// (the lint-only errors) and warnings are tolerated by the evaluator.
+const LOAD_CODES: &[&str] = &[
+    "E0001", "E0002", "E0003", "E0004", "E0005", "E0006", "E0007", "E0008",
+];
+
+/// Deterministically expand a spec vector into an Overlog program over a
+/// fixed schema. The spec space deliberately produces a mix of clean
+/// programs and every load-rejection class: unknown tables, arity
+/// mismatches, unsafe rules, unstratifiable negation, view/base conflicts.
+fn gen_program(specs: &[(u8, u8, u8, u8)]) -> String {
+    let mut src = String::from(
+        "define(m0, keys(0), {Int});\n\
+         define(m1, keys(0,1), {Int, Int});\n\
+         define(m2, keys(0,1), {Int, Int});\n\
+         define(cnt, keys(), {Int});\n\
+         event ev, {Int};\n\
+         m0(1);\n\
+         m1(1, 2);\n\
+         m2(2, 3);\n",
+    );
+    // (name, head args, body args) for each schema table.
+    const TABLES: &[(&str, &str, &str)] = &[
+        ("m0", "X", "X"),
+        ("m1", "X, Y", "X, Y"),
+        ("m2", "X, Y", "X, Y"),
+        ("ev", "X", "X"),
+        ("cnt", "X", "X"),
+    ];
+    for &(h, b1, b2, flavor) in specs {
+        let aggregate = flavor & 4 != 0;
+        // Head: one of the schema tables, sometimes an unknown one.
+        let (head, head_args) = if h as usize % 6 == 5 {
+            ("ghost", "X")
+        } else {
+            let t = TABLES[h as usize % 5];
+            (t.0, t.1)
+        };
+        let head_args = if flavor & 8 != 0 {
+            // Replace the first head variable with one the body never
+            // binds: an unsafe rule.
+            head_args.replacen('X', "W", 1)
+        } else {
+            head_args.to_string()
+        };
+        // First body predicate: always a known table, positive.
+        let (b1_name, _, b1_args) = TABLES[b1 as usize % 5];
+        let b1_args = if flavor & 16 != 0 { "X, Y, Z" } else { b1_args };
+        // Optional second body predicate, possibly negated, possibly
+        // unknown.
+        let body2 = match b2 as usize % 7 {
+            0..=4 => {
+                let (n, _, a) = TABLES[b2 as usize % 5];
+                let neg = if flavor & 1 != 0 { "notin " } else { "" };
+                format!(", {neg}{n}({a})")
+            }
+            5 => ", ghost(X)".to_string(),
+            _ => String::new(),
+        };
+        let delete = if flavor & 2 != 0 { "delete " } else { "" };
+        if aggregate {
+            src.push_str(&format!(
+                "{delete}cnt(count<*>) :- {b1_name}({b1_args}){body2};\n"
+            ));
+        } else {
+            src.push_str(&format!(
+                "{delete}{head}({head_args}) :- {b1_name}({b1_args}){body2};\n"
+            ));
+        }
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The analyzer flags a load-rejection code iff `load()` rejects —
+    /// the two are the same functions, and this pins that they stay so.
+    #[test]
+    fn analyzer_agrees_with_load(
+        specs in proptest::collection::vec(
+            (0u8..12, 0u8..12, 0u8..12, 0u8..32), 0..8)
+    ) {
+        let src = gen_program(&specs);
+        let (diags, _) = analyze_sources(&[("gen.olg", src.as_str())]);
+        let analyzer_rejects = diags.iter().any(|d| LOAD_CODES.contains(&d.code));
+        let mut rt = OverlogRuntime::new("n");
+        let load = rt.load(&src);
+        prop_assert_eq!(
+            analyzer_rejects,
+            load.is_err(),
+            "analyzer and load disagree on:\n{}\ndiags: {:?}\nload: {:?}",
+            src,
+            diags,
+            load.err()
+        );
+    }
+
+    /// Whatever the analyzer passes must evaluate without panicking:
+    /// insert event tuples, tick a few times, and check the runtime's own
+    /// re-analysis stays clean of load-rejection codes.
+    #[test]
+    fn analyzer_clean_programs_evaluate(
+        specs in proptest::collection::vec(
+            (0u8..12, 0u8..12, 0u8..12, 0u8..32), 0..8),
+        events in proptest::collection::vec(0i64..5, 0..4)
+    ) {
+        let src = gen_program(&specs);
+        let (diags, _) = analyze_sources(&[("gen.olg", src.as_str())]);
+        if !diags.iter().any(|d| LOAD_CODES.contains(&d.code)) {
+            let mut rt = OverlogRuntime::new("n");
+            rt.load(&src).expect("analyzer-clean program must load");
+            for (i, &v) in events.iter().enumerate() {
+                rt.insert("ev", row(vec![Value::Int(v)])).unwrap();
+                rt.tick(i as u64 * 10).unwrap();
+            }
+            rt.tick(1_000).unwrap();
+            let recheck = rt.check();
+            prop_assert!(
+                !recheck.iter().any(|d| LOAD_CODES.contains(&d.code)),
+                "runtime re-analysis found load-level problems in a loaded \
+                 program:\n{}\n{:?}",
+                src,
+                recheck
+            );
+        }
+    }
+}

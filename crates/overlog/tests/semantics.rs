@@ -3,7 +3,7 @@
 //! specifiers, and timers.
 
 use boom_overlog::value::row;
-use boom_overlog::{OverlogRuntime, OverlogError, TraceOp, Value};
+use boom_overlog::{OverlogError, OverlogRuntime, TraceOp, Value};
 use std::sync::Arc;
 
 fn rt(src: &str) -> OverlogRuntime {
@@ -47,7 +47,11 @@ fn events_live_for_one_tick() {
     r.settle(0).unwrap();
     assert_eq!(ints(&r, "log"), vec![vec![7]], "event effect persisted");
     r.tick(1).unwrap();
-    assert_eq!(ints(&r, "log"), vec![vec![7]], "no event, no new derivation");
+    assert_eq!(
+        ints(&r, "log"),
+        vec![vec![7]],
+        "no event, no new derivation"
+    );
 }
 
 #[test]
@@ -119,7 +123,11 @@ fn aggregate_updates_when_inputs_grow() {
     assert_eq!(ints(&r, "c"), vec![vec![1]]);
     r.insert("t", row(vec![Value::Int(2)])).unwrap();
     r.tick(1).unwrap();
-    assert_eq!(ints(&r, "c"), vec![vec![2]], "old count replaced via key overwrite");
+    assert_eq!(
+        ints(&r, "c"),
+        vec![vec![2]],
+        "old count replaced via key overwrite"
+    );
 }
 
 #[test]
@@ -128,7 +136,8 @@ fn count_star_counts_tuples() {
                     define(c, keys(0), {Int, Int});
                     c(X, count<*>) :- t(X, _);");
     for (a, b) in [(1, 1), (1, 2), (2, 9)] {
-        r.insert("t", row(vec![Value::Int(a), Value::Int(b)])).unwrap();
+        r.insert("t", row(vec![Value::Int(a), Value::Int(b)]))
+            .unwrap();
     }
     r.tick(0).unwrap();
     assert_eq!(ints(&r, "c"), vec![vec![1, 2], vec![2, 1]]);
@@ -159,12 +168,14 @@ fn views_recompute_after_deletion() {
                     reach(X, Y) :- edge(X, Y);
                     reach(X, Z) :- edge(X, Y), reach(Y, Z);");
     for (a, b) in [(1, 2), (2, 3)] {
-        r.insert("edge", row(vec![Value::Int(a), Value::Int(b)])).unwrap();
+        r.insert("edge", row(vec![Value::Int(a), Value::Int(b)]))
+            .unwrap();
     }
     r.tick(0).unwrap();
     assert_eq!(r.count("reach"), 3);
     // Remove edge 2→3: derived paths through it must disappear.
-    r.delete("edge", row(vec![Value::Int(2), Value::Int(3)])).unwrap();
+    r.delete("edge", row(vec![Value::Int(2), Value::Int(3)]))
+        .unwrap();
     let res = r.tick(1).unwrap();
     assert_eq!(ints(&r, "reach"), vec![vec![1, 2]]);
     // The recompute happened at the start of the tick (external delete).
@@ -177,11 +188,17 @@ fn key_overwrite_semantics() {
     let mut r = rt("define(hb, keys(0), {Int, Int});
                     event beat, {Int, Int};
                     hb(N, T) :- beat(N, T);");
-    r.insert("beat", row(vec![Value::Int(1), Value::Int(100)])).unwrap();
+    r.insert("beat", row(vec![Value::Int(1), Value::Int(100)]))
+        .unwrap();
     r.settle(0).unwrap();
-    r.insert("beat", row(vec![Value::Int(1), Value::Int(200)])).unwrap();
+    r.insert("beat", row(vec![Value::Int(1), Value::Int(200)]))
+        .unwrap();
     r.settle(1).unwrap();
-    assert_eq!(ints(&r, "hb"), vec![vec![1, 200]], "newer heartbeat replaced older");
+    assert_eq!(
+        ints(&r, "hb"),
+        vec![vec![1, 200]],
+        "newer heartbeat replaced older"
+    );
 }
 
 #[test]
@@ -244,7 +261,10 @@ fn assignments_and_builtins() {
                     out(P, L) :- in(Name), P := "/dir/" ++ Name, L := strlen(P);"#);
     r.insert("in", row(vec![Value::str("f")])).unwrap();
     r.settle(0).unwrap();
-    assert_eq!(r.rows("out")[0], row(vec![Value::str("/dir/f"), Value::Int(6)]));
+    assert_eq!(
+        r.rows("out")[0],
+        row(vec![Value::str("/dir/f"), Value::Int(6)])
+    );
 }
 
 #[test]
@@ -305,7 +325,7 @@ fn multiple_programs_merge() {
 fn conflicting_redefinition_rejected() {
     let mut r = rt("define(t, keys(0), {Int});");
     let err = r.load("define(t, keys(0), {String});").unwrap_err();
-    assert!(matches!(err, OverlogError::Redefinition(_)));
+    assert!(matches!(err, OverlogError::Redefinition { .. }));
     // Identical redefinition is fine.
     r.load("define(t, keys(0), {Int});").unwrap();
 }
@@ -345,7 +365,10 @@ fn rename_pattern_overwrite_plus_delete_same_tick() {
     r.insert("rmstale", Arc::new(vec![Value::Int(1), Value::str("old")]))
         .unwrap();
     r.settle(1).unwrap();
-    assert_eq!(r.rows("file"), vec![row(vec![Value::Int(1), Value::str("new")])]);
+    assert_eq!(
+        r.rows("file"),
+        vec![row(vec![Value::Int(1), Value::str("new")])]
+    );
 }
 
 #[test]
@@ -366,7 +389,8 @@ fn self_join_with_distinct_bindings() {
                     define(sib, keys(0,1), {Int, Int});
                     sib(A, B) :- p(X, A), p(X, B), A != B;");
     for (x, c) in [(1, 10), (1, 11), (2, 20)] {
-        r.insert("p", row(vec![Value::Int(x), Value::Int(c)])).unwrap();
+        r.insert("p", row(vec![Value::Int(x), Value::Int(c)]))
+            .unwrap();
     }
     r.tick(0).unwrap();
     assert_eq!(ints(&r, "sib"), vec![vec![10, 11], vec![11, 10]]);

@@ -2,7 +2,6 @@
 //! leader failover, recovery of in-flight values, and tolerance to message
 //! loss.
 
-use boom_overlog::{Value, value::row};
 use boom_paxos::{decided_log, paxos_runtime, propose_row, PaxosGroup};
 use boom_simnet::{OverlogActor, Sim, SimConfig};
 
@@ -55,9 +54,9 @@ fn three_replicas_decide_in_proposal_order() {
         sim.run_for(200);
     }
     let ok = sim.run_while(30_000, |s| {
-        MEMBERS.iter().all(|m| {
-            s.with_actor::<OverlogActor, _>(m, |a| a.runtime_ref().count("decided") >= 5)
-        })
+        MEMBERS
+            .iter()
+            .all(|m| s.with_actor::<OverlogActor, _>(m, |a| a.runtime_ref().count("decided") >= 5))
     });
     assert!(ok, "not all replicas learned 5 decisions");
     let l0 = log_of(&mut sim, "px0");
@@ -74,7 +73,11 @@ fn three_replicas_decide_in_proposal_order() {
 #[test]
 fn leader_failover_elects_and_continues() {
     let (mut sim, _) = build(SimConfig::default(), 3_000);
-    sim.inject("px0", "propose", propose_row("c", 1, "before-crash", vec![]));
+    sim.inject(
+        "px0",
+        "propose",
+        propose_row("c", 1, "before-crash", vec![]),
+    );
     let ok = sim.run_while(10_000, |s| {
         MEMBERS
             .iter()
@@ -107,13 +110,21 @@ fn agreement_holds_per_slot_after_failover() {
     // the same slot.
     let (mut sim, _) = build(SimConfig::default(), 3_000);
     for i in 0..3 {
-        sim.inject("px0", "propose", propose_row("c", i, &format!("a{i}"), vec![]));
+        sim.inject(
+            "px0",
+            "propose",
+            propose_row("c", i, &format!("a{i}"), vec![]),
+        );
     }
     sim.run_for(1_500);
     sim.schedule_crash("px0", sim.now() + 1);
     sim.run_for(50);
     for i in 0..3 {
-        sim.inject("px1", "propose", propose_row("c", 10 + i, &format!("b{i}"), vec![]));
+        sim.inject(
+            "px1",
+            "propose",
+            propose_row("c", 10 + i, &format!("b{i}"), vec![]),
+        );
     }
     sim.run_while(90_000, |s| {
         ["px1", "px2"].iter().all(|m| {
@@ -148,11 +159,14 @@ fn tolerates_message_loss() {
         min_latency: 1,
         max_latency: 20,
         seed: 11,
-        ..Default::default()
     };
     let (mut sim, _) = build(cfg, 4_000);
     for i in 0..4 {
-        sim.inject("px0", "propose", propose_row("c", i, &format!("v{i}"), vec![]));
+        sim.inject(
+            "px0",
+            "propose",
+            propose_row("c", i, &format!("v{i}"), vec![]),
+        );
         sim.run_for(300);
     }
     let ok = sim.run_while(120_000, |s| {
@@ -186,7 +200,9 @@ fn minority_partition_makes_no_progress_majority_does() {
     sim.inject("px1", "propose", propose_row("c", 3, "majority", vec![]));
     let ok = sim.run_while(sim.now() + 60_000, |s| {
         s.with_actor::<OverlogActor, _>("px1", |a| {
-            decided_log(a.runtime_ref()).iter().any(|(_, c)| c == "majority")
+            decided_log(a.runtime_ref())
+                .iter()
+                .any(|(_, c)| c == "majority")
         })
     });
     assert!(ok, "majority side stalled");

@@ -27,13 +27,15 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         proptest::collection::vec((0usize..3, 50u64..800), 1..6),
         proptest::option::of((0usize..3, 500u64..4000)),
     )
-        .prop_map(|(seed, drop_prob, max_latency, proposals, crash)| Scenario {
-            seed,
-            drop_prob,
-            max_latency,
-            proposals,
-            crash,
-        })
+        .prop_map(
+            |(seed, drop_prob, max_latency, proposals, crash)| Scenario {
+                seed,
+                drop_prob,
+                max_latency,
+                proposals,
+                crash,
+            },
+        )
 }
 
 proptest! {

@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn two_runtimes_exchange_tuples() {
         let mut sim = Sim::new(SimConfig::default());
-        sim.add_node("server", Box::new(OverlogActor::new(echo_runtime("server"), 50)));
+        sim.add_node(
+            "server",
+            Box::new(OverlogActor::new(echo_runtime("server"), 50)),
+        );
         let mut client = OverlogRuntime::new("client");
         client
             .load(
@@ -189,7 +192,7 @@ mod tests {
         sim.add_node(
             "server",
             Box::new(OverlogActor::with_factory(
-                Box::new(|n| echo_runtime(n)),
+                Box::new(echo_runtime),
                 50,
                 "server",
             )),

@@ -58,7 +58,9 @@ fn main() {
     );
 
     println!("\n== mutations keep working on the new leader ==");
-    client.create(&mut cluster.sim, "/jobs/after-failover").unwrap();
+    client
+        .create(&mut cluster.sim, "/jobs/after-failover")
+        .unwrap();
     let listing = client.ls(&mut cluster.sim, "/jobs").unwrap();
     println!("ls /jobs -> {listing:?}");
     assert!(listing.contains(&"after-failover".to_string()));

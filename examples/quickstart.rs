@@ -56,8 +56,11 @@ fn main() {
     }
 
     // Deletion: retract a link and watch the views heal.
-    rt.delete("link", row(vec![Value::str("us-east"), Value::str("us-west")]))
-        .expect("link row is well-typed");
+    rt.delete(
+        "link",
+        row(vec![Value::str("us-east"), Value::str("us-west")]),
+    )
+    .expect("link row is well-typed");
     rt.tick(1).expect("evaluation succeeds");
     println!(
         "\nafter deleting us-east -> us-west: {} paths",

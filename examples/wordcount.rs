@@ -38,7 +38,10 @@ fn main() {
     };
     let deadline = cluster.sim.now() + 3_600_000;
     let (job_id, took) = driver.run(&mut cluster.sim, &fs, &job, deadline).unwrap();
-    println!("job {job_id} completed in {:.1}s of simulated time", took as f64 / 1000.0);
+    println!(
+        "job {job_id} completed in {:.1}s of simulated time",
+        took as f64 / 1000.0
+    );
 
     let output = MrDriver::collect_output(&mut cluster.sim, &cluster.trackers.clone(), job_id);
     let mut by_count: Vec<(&String, &i64)> = output.iter().collect();

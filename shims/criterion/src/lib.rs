@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the small slice of the `criterion 0.5` API the workspace's benches use:
+//! [`Criterion`], benchmark groups, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, [`Throughput`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It measures simple wall-clock medians — no warm-up modeling, outlier
+//! analysis, or HTML reports — and prints one line per benchmark. That is
+//! enough to compile the benches under `cargo test`/`cargo clippy` and to
+//! give order-of-magnitude numbers under `cargo bench`.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted, not interpreted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Units the harness reports per-iteration throughput in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Prevent the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: u32,
+}
+
+impl Bencher {
+    fn new(iters: u32) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters,
+        }
+    }
+
+    /// Time `routine` over several iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        s[s.len() / 2]
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Set the target measurement time (accepted, not interpreted).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_one(&name.into(), self.sample_size, None, f);
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the per-benchmark iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.criterion.sample_size, self.throughput, f);
+    }
+
+    /// Close the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    iters: u32,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher::new(iters);
+    f(&mut b);
+    let med = b.median();
+    match throughput {
+        Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+            let rate = n as f64 / med.as_secs_f64();
+            println!("bench {name:<48} median {med:>12?}  ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+            let rate = n as f64 / med.as_secs_f64();
+            println!("bench {name:<48} median {med:>12?}  ({rate:.0} B/s)");
+        }
+        _ => println!("bench {name:<48} median {med:>12?}"),
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit a `main` running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

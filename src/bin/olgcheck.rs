@@ -1,0 +1,134 @@
+//! `olgcheck` — static analysis and lint for Overlog programs.
+//!
+//! Runs the same checks the runtime applies at load time (plus the lint
+//! suite) without executing anything, and renders spanned diagnostics.
+//!
+//! ```text
+//! olgcheck [--deny-warnings] [--graph] [FILE.olg ... | GROUP ...]
+//! ```
+//!
+//! With no arguments, every shipped program group is checked (`fs`,
+//! `paxos`, `mr-*`, `core` — see `boom::shipped`). Arguments naming
+//! existing files are read from disk and checked together as one program;
+//! otherwise arguments select shipped groups by name. `--graph` prints
+//! each group's table-precedence graph as DOT instead of diagnostics.
+
+use boom::overlog::analysis::{self, render, ProgramContext, SourceMap};
+use boom::shipped;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: olgcheck [--deny-warnings] [--graph] [FILE.olg ... | GROUP ...]
+
+  --deny-warnings  exit non-zero on warnings, not just errors
+  --graph          print the table-precedence graph as DOT and exit
+  -h, --help       this help
+
+With no files or group names, checks every shipped program group.
+Shipped groups: fs, paxos, mr-{fifo,locality}-{none,naive,late}, core.
+";
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut graph = false;
+    let mut rest: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--graph" => graph = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("olgcheck: unknown flag `{arg}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => rest.push(arg),
+        }
+    }
+
+    let file_mode = !rest.is_empty() && rest.iter().all(|a| std::path::Path::new(a).is_file());
+    let groups: Vec<shipped::ShippedGroup> = if file_mode {
+        let mut sources = Vec::new();
+        for path in &rest {
+            match std::fs::read_to_string(path) {
+                Ok(text) => sources.push((path.clone(), text)),
+                Err(e) => {
+                    eprintln!("olgcheck: cannot read `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        vec![shipped::ShippedGroup {
+            name: rest.join(" "),
+            sources,
+            external: vec![],
+        }]
+    } else {
+        let all = shipped::groups();
+        if rest.is_empty() {
+            all
+        } else {
+            let mut picked = Vec::new();
+            for want in &rest {
+                let before = picked.len();
+                picked.extend(
+                    shipped::groups()
+                        .into_iter()
+                        .filter(|g| g.name == *want || g.name.starts_with(&format!("{want}-"))),
+                );
+                if picked.len() == before {
+                    let names: Vec<String> = all.iter().map(|g| g.name.clone()).collect();
+                    eprintln!(
+                        "olgcheck: `{want}` is neither a file nor a shipped group \
+                         (groups: {})",
+                        names.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+            picked
+        }
+    };
+
+    let mut failed = false;
+    for group in &groups {
+        let (ctx, map) = group.context();
+        if graph {
+            if groups.len() > 1 {
+                println!("// group: {}", group.name);
+            }
+            print!("{}", analysis::dot(&ctx));
+            continue;
+        }
+        failed |= report(&group.name, &ctx, &map, deny_warnings);
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Analyze one group, print its diagnostics and a one-line summary.
+/// Returns whether the group fails under the given warning policy.
+fn report(name: &str, ctx: &ProgramContext, map: &SourceMap, deny_warnings: bool) -> bool {
+    let diags = analysis::analyze(ctx);
+    for d in &diags {
+        eprintln!("{}", render(d, map));
+    }
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    let verdict = if errors > 0 || (deny_warnings && warnings > 0) {
+        "FAIL"
+    } else {
+        "ok"
+    };
+    println!(
+        "olgcheck: {name}: {verdict} ({} rule(s), {} table(s), {errors} error(s), \
+         {warnings} warning(s))",
+        ctx.rules.len(),
+        ctx.decls.len(),
+    );
+    verdict == "FAIL"
+}

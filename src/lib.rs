@@ -1,6 +1,8 @@
 //! Umbrella crate for the BOOM Analytics reproduction.
 //!
 //! Re-exports the whole stack; see the individual crates for details.
+pub mod shipped;
+
 pub use boom_core as core;
 pub use boom_fs as fs;
 pub use boom_mr as mr;

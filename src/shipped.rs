@@ -1,0 +1,131 @@
+//! The shipped Overlog program groups, composed exactly as the runtimes
+//! load them (same source order, same host facts), so `olgcheck` and the
+//! CI gate analyze what actually runs.
+
+use boom_mr::jobtracker::{AssignPolicy, SpecPolicy};
+use boom_overlog::analysis::{self, Diagnostic, ProgramContext, SourceMap};
+use boom_paxos::PaxosGroup;
+
+/// One named group of Overlog sources checked as a unit.
+pub struct ShippedGroup {
+    /// Group name (`fs`, `paxos`, `mr-<assign>-<spec>`, `core`).
+    pub name: String,
+    /// `(source name, source text)` pairs in load order.
+    pub sources: Vec<(String, String)>,
+    /// Tables the host fills via `insert`/`delete` at setup or runtime
+    /// (exempt from the unused/unfillable lints).
+    pub external: Vec<&'static str>,
+}
+
+impl ShippedGroup {
+    /// Build the analysis context for the group: runtime ambient tables,
+    /// every source, and the host-filled table marks.
+    pub fn context(&self) -> (ProgramContext, SourceMap) {
+        let mut ctx = ProgramContext::new();
+        for d in ProgramContext::runtime_ambient() {
+            ctx.add_ambient(d);
+        }
+        let mut map = SourceMap::new();
+        for (name, text) in &self.sources {
+            ctx.add_source(name, text, &mut map);
+        }
+        for t in &self.external {
+            ctx.mark_external(t);
+        }
+        (ctx, map)
+    }
+
+    /// Run the full analysis over the group.
+    pub fn analyze(&self) -> (Vec<Diagnostic>, SourceMap) {
+        let (ctx, map) = self.context();
+        (analysis::analyze(&ctx), map)
+    }
+}
+
+/// The demo Paxos group every checked composition uses: three replicas,
+/// 3-second lease — the same shape as the paper's availability experiments.
+fn demo_group() -> PaxosGroup {
+    PaxosGroup::new(&["px0", "px1", "px2"], 3_000)
+}
+
+/// All shipped program groups:
+///
+/// * `fs` — the BOOM-FS NameNode
+/// * `paxos` — the Paxos kernel plus one replica's group facts
+/// * `mr-<assign>-<spec>` — the JobTracker under each assignment policy
+///   (`fifo`, `locality`) and speculation policy (`none`, `naive`, `late`)
+/// * `core` — the replicated NameNode: NameNode + Paxos + glue + facts
+pub fn groups() -> Vec<ShippedGroup> {
+    let mut out = Vec::new();
+
+    // The NameNode's tunables are overridden via host delete/insert, and
+    // clients/datanodes inject its request events directly.
+    let fs_external = vec!["repfactor", "hb_timeout"];
+    out.push(ShippedGroup {
+        name: "fs".into(),
+        sources: vec![("namenode.olg".into(), boom_fs::NAMENODE_OLG.into())],
+        external: fs_external.clone(),
+    });
+
+    let group = demo_group();
+    out.push(ShippedGroup {
+        name: "paxos".into(),
+        sources: vec![
+            ("paxos.olg".into(), boom_paxos::PAXOS_OLG.into()),
+            ("group.facts".into(), group.facts_for("px0")),
+        ],
+        external: vec!["propose"],
+    });
+
+    for (aname, assign) in [
+        ("fifo", AssignPolicy::Fifo),
+        (
+            "locality",
+            AssignPolicy::Locality(vec![("dn0".into(), "tt0".into())]),
+        ),
+    ] {
+        for (sname, spec) in [
+            ("none", SpecPolicy::None),
+            ("naive", SpecPolicy::Naive),
+            ("late", SpecPolicy::Late),
+        ] {
+            let mut sources = vec![
+                ("jobtracker.olg".into(), boom_mr::JOBTRACKER_OLG.into()),
+                (format!("{aname}.olg"), assign.olg().to_string()),
+            ];
+            let facts = assign.facts();
+            if !facts.is_empty() {
+                sources.push(("colocated.facts".into(), facts));
+            }
+            if !spec.olg().is_empty() {
+                sources.push((format!("{sname}.olg"), spec.olg().to_string()));
+            }
+            out.push(ShippedGroup {
+                name: format!("mr-{aname}-{sname}"),
+                sources,
+                external: vec![],
+            });
+        }
+    }
+
+    let group = demo_group();
+    out.push(ShippedGroup {
+        name: "core".into(),
+        sources: vec![
+            ("namenode.olg".into(), boom_fs::NAMENODE_OLG.into()),
+            ("paxos.olg".into(), boom_paxos::PAXOS_OLG.into()),
+            (
+                "replicated.olg".into(),
+                boom_core::REPLICATED_GLUE_OLG.into(),
+            ),
+            ("group.facts".into(), group.facts_for("px0")),
+        ],
+        external: {
+            let mut e = fs_external;
+            e.push("propose");
+            e
+        },
+    });
+
+    out
+}

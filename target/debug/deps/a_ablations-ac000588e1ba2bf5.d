@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/a_ablations-ac000588e1ba2bf5.d: crates/bench/src/bin/a_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/liba_ablations-ac000588e1ba2bf5.rmeta: crates/bench/src/bin/a_ablations.rs Cargo.toml
+
+crates/bench/src/bin/a_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

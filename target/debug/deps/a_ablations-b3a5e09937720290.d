@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/a_ablations-b3a5e09937720290.d: crates/bench/src/bin/a_ablations.rs
+
+/root/repo/target/debug/deps/a_ablations-b3a5e09937720290: crates/bench/src/bin/a_ablations.rs
+
+crates/bench/src/bin/a_ablations.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/boom-758bb922f521a7ba.d: src/lib.rs src/shipped.rs
+
+/root/repo/target/debug/deps/boom-758bb922f521a7ba: src/lib.rs src/shipped.rs
+
+src/lib.rs:
+src/shipped.rs:

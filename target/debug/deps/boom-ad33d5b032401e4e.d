@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/boom-ad33d5b032401e4e.d: src/lib.rs src/shipped.rs
+
+/root/repo/target/debug/deps/libboom-ad33d5b032401e4e.rlib: src/lib.rs src/shipped.rs
+
+/root/repo/target/debug/deps/libboom-ad33d5b032401e4e.rmeta: src/lib.rs src/shipped.rs
+
+src/lib.rs:
+src/shipped.rs:

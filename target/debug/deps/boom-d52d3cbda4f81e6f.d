@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boom-d52d3cbda4f81e6f.d: src/lib.rs src/shipped.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboom-d52d3cbda4f81e6f.rmeta: src/lib.rs src/shipped.rs Cargo.toml
+
+src/lib.rs:
+src/shipped.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boom_bench-b6e1becd98f7b683.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/locs.rs
+
+/root/repo/target/debug/deps/boom_bench-b6e1becd98f7b683: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/locs.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/locs.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

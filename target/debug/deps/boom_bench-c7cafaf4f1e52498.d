@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boom_bench-c7cafaf4f1e52498.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/locs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboom_bench-c7cafaf4f1e52498.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/locs.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/locs.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boom_bench-d60821531f0f32a5.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/locs.rs
+
+/root/repo/target/debug/deps/libboom_bench-d60821531f0f32a5.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/locs.rs
+
+/root/repo/target/debug/deps/libboom_bench-d60821531f0f32a5.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/locs.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/locs.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

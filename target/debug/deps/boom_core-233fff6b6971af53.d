@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/boom_core-233fff6b6971af53.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/fullstack.rs crates/core/src/replicated.rs crates/core/src/olg/replicated.olg Cargo.toml
+
+/root/repo/target/debug/deps/libboom_core-233fff6b6971af53.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/fullstack.rs crates/core/src/replicated.rs crates/core/src/olg/replicated.olg Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/fullstack.rs:
+crates/core/src/replicated.rs:
+crates/core/src/olg/replicated.olg:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

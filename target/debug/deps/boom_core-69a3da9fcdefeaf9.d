@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boom_core-69a3da9fcdefeaf9.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/fullstack.rs crates/core/src/replicated.rs crates/core/src/olg/replicated.olg
+
+/root/repo/target/debug/deps/boom_core-69a3da9fcdefeaf9: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/fullstack.rs crates/core/src/replicated.rs crates/core/src/olg/replicated.olg
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/fullstack.rs:
+crates/core/src/replicated.rs:
+crates/core/src/olg/replicated.olg:

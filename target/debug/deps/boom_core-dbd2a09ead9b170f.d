@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boom_core-dbd2a09ead9b170f.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/fullstack.rs crates/core/src/replicated.rs crates/core/src/olg/replicated.olg
+
+/root/repo/target/debug/deps/libboom_core-dbd2a09ead9b170f.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/fullstack.rs crates/core/src/replicated.rs crates/core/src/olg/replicated.olg
+
+/root/repo/target/debug/deps/libboom_core-dbd2a09ead9b170f.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/fullstack.rs crates/core/src/replicated.rs crates/core/src/olg/replicated.olg
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/fullstack.rs:
+crates/core/src/replicated.rs:
+crates/core/src/olg/replicated.olg:

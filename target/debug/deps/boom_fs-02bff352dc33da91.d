@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/boom_fs-02bff352dc33da91.d: crates/fs/src/lib.rs crates/fs/src/baseline.rs crates/fs/src/client.rs crates/fs/src/cluster.rs crates/fs/src/datanode.rs crates/fs/src/namenode.rs crates/fs/src/proto.rs crates/fs/src/olg/namenode.olg Cargo.toml
+
+/root/repo/target/debug/deps/libboom_fs-02bff352dc33da91.rmeta: crates/fs/src/lib.rs crates/fs/src/baseline.rs crates/fs/src/client.rs crates/fs/src/cluster.rs crates/fs/src/datanode.rs crates/fs/src/namenode.rs crates/fs/src/proto.rs crates/fs/src/olg/namenode.olg Cargo.toml
+
+crates/fs/src/lib.rs:
+crates/fs/src/baseline.rs:
+crates/fs/src/client.rs:
+crates/fs/src/cluster.rs:
+crates/fs/src/datanode.rs:
+crates/fs/src/namenode.rs:
+crates/fs/src/proto.rs:
+crates/fs/src/olg/namenode.olg:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/boom_fs-5ee0f2fe8551d769.d: crates/fs/src/lib.rs crates/fs/src/baseline.rs crates/fs/src/client.rs crates/fs/src/cluster.rs crates/fs/src/datanode.rs crates/fs/src/namenode.rs crates/fs/src/proto.rs crates/fs/src/olg/namenode.olg
+
+/root/repo/target/debug/deps/boom_fs-5ee0f2fe8551d769: crates/fs/src/lib.rs crates/fs/src/baseline.rs crates/fs/src/client.rs crates/fs/src/cluster.rs crates/fs/src/datanode.rs crates/fs/src/namenode.rs crates/fs/src/proto.rs crates/fs/src/olg/namenode.olg
+
+crates/fs/src/lib.rs:
+crates/fs/src/baseline.rs:
+crates/fs/src/client.rs:
+crates/fs/src/cluster.rs:
+crates/fs/src/datanode.rs:
+crates/fs/src/namenode.rs:
+crates/fs/src/proto.rs:
+crates/fs/src/olg/namenode.olg:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/boom_fs-d56683caf35f493c.d: crates/fs/src/lib.rs crates/fs/src/baseline.rs crates/fs/src/client.rs crates/fs/src/cluster.rs crates/fs/src/datanode.rs crates/fs/src/namenode.rs crates/fs/src/proto.rs crates/fs/src/olg/namenode.olg
+
+/root/repo/target/debug/deps/libboom_fs-d56683caf35f493c.rlib: crates/fs/src/lib.rs crates/fs/src/baseline.rs crates/fs/src/client.rs crates/fs/src/cluster.rs crates/fs/src/datanode.rs crates/fs/src/namenode.rs crates/fs/src/proto.rs crates/fs/src/olg/namenode.olg
+
+/root/repo/target/debug/deps/libboom_fs-d56683caf35f493c.rmeta: crates/fs/src/lib.rs crates/fs/src/baseline.rs crates/fs/src/client.rs crates/fs/src/cluster.rs crates/fs/src/datanode.rs crates/fs/src/namenode.rs crates/fs/src/proto.rs crates/fs/src/olg/namenode.olg
+
+crates/fs/src/lib.rs:
+crates/fs/src/baseline.rs:
+crates/fs/src/client.rs:
+crates/fs/src/cluster.rs:
+crates/fs/src/datanode.rs:
+crates/fs/src/namenode.rs:
+crates/fs/src/proto.rs:
+crates/fs/src/olg/namenode.olg:

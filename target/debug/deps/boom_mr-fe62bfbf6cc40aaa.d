@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/boom_mr-fe62bfbf6cc40aaa.d: crates/mr/src/lib.rs crates/mr/src/baseline.rs crates/mr/src/cluster.rs crates/mr/src/driver.rs crates/mr/src/jobtracker.rs crates/mr/src/proto.rs crates/mr/src/tasktracker.rs crates/mr/src/workload.rs crates/mr/src/olg/jobtracker.olg crates/mr/src/olg/fifo.olg crates/mr/src/olg/locality.olg crates/mr/src/olg/late.olg crates/mr/src/olg/naive.olg Cargo.toml
+
+/root/repo/target/debug/deps/libboom_mr-fe62bfbf6cc40aaa.rmeta: crates/mr/src/lib.rs crates/mr/src/baseline.rs crates/mr/src/cluster.rs crates/mr/src/driver.rs crates/mr/src/jobtracker.rs crates/mr/src/proto.rs crates/mr/src/tasktracker.rs crates/mr/src/workload.rs crates/mr/src/olg/jobtracker.olg crates/mr/src/olg/fifo.olg crates/mr/src/olg/locality.olg crates/mr/src/olg/late.olg crates/mr/src/olg/naive.olg Cargo.toml
+
+crates/mr/src/lib.rs:
+crates/mr/src/baseline.rs:
+crates/mr/src/cluster.rs:
+crates/mr/src/driver.rs:
+crates/mr/src/jobtracker.rs:
+crates/mr/src/proto.rs:
+crates/mr/src/tasktracker.rs:
+crates/mr/src/workload.rs:
+crates/mr/src/olg/jobtracker.olg:
+crates/mr/src/olg/fifo.olg:
+crates/mr/src/olg/locality.olg:
+crates/mr/src/olg/late.olg:
+crates/mr/src/olg/naive.olg:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

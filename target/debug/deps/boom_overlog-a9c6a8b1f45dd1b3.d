@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/boom_overlog-a9c6a8b1f45dd1b3.d: crates/overlog/src/lib.rs crates/overlog/src/analysis/mod.rs crates/overlog/src/analysis/diag.rs crates/overlog/src/analysis/graph.rs crates/overlog/src/analysis/lints.rs crates/overlog/src/analysis/safety.rs crates/overlog/src/analysis/stratify.rs crates/overlog/src/ast.rs crates/overlog/src/builtins.rs crates/overlog/src/error.rs crates/overlog/src/parser.rs crates/overlog/src/plan.rs crates/overlog/src/runtime.rs crates/overlog/src/table.rs crates/overlog/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboom_overlog-a9c6a8b1f45dd1b3.rmeta: crates/overlog/src/lib.rs crates/overlog/src/analysis/mod.rs crates/overlog/src/analysis/diag.rs crates/overlog/src/analysis/graph.rs crates/overlog/src/analysis/lints.rs crates/overlog/src/analysis/safety.rs crates/overlog/src/analysis/stratify.rs crates/overlog/src/ast.rs crates/overlog/src/builtins.rs crates/overlog/src/error.rs crates/overlog/src/parser.rs crates/overlog/src/plan.rs crates/overlog/src/runtime.rs crates/overlog/src/table.rs crates/overlog/src/value.rs Cargo.toml
+
+crates/overlog/src/lib.rs:
+crates/overlog/src/analysis/mod.rs:
+crates/overlog/src/analysis/diag.rs:
+crates/overlog/src/analysis/graph.rs:
+crates/overlog/src/analysis/lints.rs:
+crates/overlog/src/analysis/safety.rs:
+crates/overlog/src/analysis/stratify.rs:
+crates/overlog/src/ast.rs:
+crates/overlog/src/builtins.rs:
+crates/overlog/src/error.rs:
+crates/overlog/src/parser.rs:
+crates/overlog/src/plan.rs:
+crates/overlog/src/runtime.rs:
+crates/overlog/src/table.rs:
+crates/overlog/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

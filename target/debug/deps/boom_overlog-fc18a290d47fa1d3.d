@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/boom_overlog-fc18a290d47fa1d3.d: crates/overlog/src/lib.rs crates/overlog/src/analysis/mod.rs crates/overlog/src/analysis/diag.rs crates/overlog/src/analysis/graph.rs crates/overlog/src/analysis/lints.rs crates/overlog/src/analysis/safety.rs crates/overlog/src/analysis/stratify.rs crates/overlog/src/ast.rs crates/overlog/src/builtins.rs crates/overlog/src/error.rs crates/overlog/src/parser.rs crates/overlog/src/plan.rs crates/overlog/src/runtime.rs crates/overlog/src/table.rs crates/overlog/src/value.rs
+
+/root/repo/target/debug/deps/boom_overlog-fc18a290d47fa1d3: crates/overlog/src/lib.rs crates/overlog/src/analysis/mod.rs crates/overlog/src/analysis/diag.rs crates/overlog/src/analysis/graph.rs crates/overlog/src/analysis/lints.rs crates/overlog/src/analysis/safety.rs crates/overlog/src/analysis/stratify.rs crates/overlog/src/ast.rs crates/overlog/src/builtins.rs crates/overlog/src/error.rs crates/overlog/src/parser.rs crates/overlog/src/plan.rs crates/overlog/src/runtime.rs crates/overlog/src/table.rs crates/overlog/src/value.rs
+
+crates/overlog/src/lib.rs:
+crates/overlog/src/analysis/mod.rs:
+crates/overlog/src/analysis/diag.rs:
+crates/overlog/src/analysis/graph.rs:
+crates/overlog/src/analysis/lints.rs:
+crates/overlog/src/analysis/safety.rs:
+crates/overlog/src/analysis/stratify.rs:
+crates/overlog/src/ast.rs:
+crates/overlog/src/builtins.rs:
+crates/overlog/src/error.rs:
+crates/overlog/src/parser.rs:
+crates/overlog/src/plan.rs:
+crates/overlog/src/runtime.rs:
+crates/overlog/src/table.rs:
+crates/overlog/src/value.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/boom_paxos-ade8d7f71c1d8a29.d: crates/paxos/src/lib.rs crates/paxos/src/olg/paxos.olg
+
+/root/repo/target/debug/deps/libboom_paxos-ade8d7f71c1d8a29.rlib: crates/paxos/src/lib.rs crates/paxos/src/olg/paxos.olg
+
+/root/repo/target/debug/deps/libboom_paxos-ade8d7f71c1d8a29.rmeta: crates/paxos/src/lib.rs crates/paxos/src/olg/paxos.olg
+
+crates/paxos/src/lib.rs:
+crates/paxos/src/olg/paxos.olg:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/boom_paxos-b77a8e7e053abeda.d: crates/paxos/src/lib.rs crates/paxos/src/olg/paxos.olg
+
+/root/repo/target/debug/deps/boom_paxos-b77a8e7e053abeda: crates/paxos/src/lib.rs crates/paxos/src/olg/paxos.olg
+
+crates/paxos/src/lib.rs:
+crates/paxos/src/olg/paxos.olg:

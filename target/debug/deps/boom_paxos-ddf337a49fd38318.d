@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/boom_paxos-ddf337a49fd38318.d: crates/paxos/src/lib.rs crates/paxos/src/olg/paxos.olg Cargo.toml
+
+/root/repo/target/debug/deps/libboom_paxos-ddf337a49fd38318.rmeta: crates/paxos/src/lib.rs crates/paxos/src/olg/paxos.olg Cargo.toml
+
+crates/paxos/src/lib.rs:
+crates/paxos/src/olg/paxos.olg:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

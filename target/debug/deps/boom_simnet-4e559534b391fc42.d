@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/boom_simnet-4e559534b391fc42.d: crates/simnet/src/lib.rs crates/simnet/src/metrics.rs crates/simnet/src/overlog_actor.rs
+
+/root/repo/target/debug/deps/boom_simnet-4e559534b391fc42: crates/simnet/src/lib.rs crates/simnet/src/metrics.rs crates/simnet/src/overlog_actor.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/overlog_actor.rs:

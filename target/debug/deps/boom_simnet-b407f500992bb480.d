@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/boom_simnet-b407f500992bb480.d: crates/simnet/src/lib.rs crates/simnet/src/metrics.rs crates/simnet/src/overlog_actor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboom_simnet-b407f500992bb480.rmeta: crates/simnet/src/lib.rs crates/simnet/src/metrics.rs crates/simnet/src/overlog_actor.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/overlog_actor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boom_simnet-d1dceefda2590e78.d: crates/simnet/src/lib.rs crates/simnet/src/metrics.rs crates/simnet/src/overlog_actor.rs
+
+/root/repo/target/debug/deps/libboom_simnet-d1dceefda2590e78.rlib: crates/simnet/src/lib.rs crates/simnet/src/metrics.rs crates/simnet/src/overlog_actor.rs
+
+/root/repo/target/debug/deps/libboom_simnet-d1dceefda2590e78.rmeta: crates/simnet/src/lib.rs crates/simnet/src/metrics.rs crates/simnet/src/overlog_actor.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/overlog_actor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consensus-81771682c9c120ae.d: crates/paxos/tests/consensus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsensus-81771682c9c120ae.rmeta: crates/paxos/tests/consensus.rs Cargo.toml
+
+crates/paxos/tests/consensus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

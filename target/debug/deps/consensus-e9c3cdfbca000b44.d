@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consensus-e9c3cdfbca000b44.d: crates/paxos/tests/consensus.rs
+
+/root/repo/target/debug/deps/consensus-e9c3cdfbca000b44: crates/paxos/tests/consensus.rs
+
+crates/paxos/tests/consensus.rs:

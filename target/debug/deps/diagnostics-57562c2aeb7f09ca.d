@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diagnostics-57562c2aeb7f09ca.d: crates/overlog/tests/diagnostics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiagnostics-57562c2aeb7f09ca.rmeta: crates/overlog/tests/diagnostics.rs Cargo.toml
+
+crates/overlog/tests/diagnostics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

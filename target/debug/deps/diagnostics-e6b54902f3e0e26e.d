@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnostics-e6b54902f3e0e26e.d: crates/overlog/tests/diagnostics.rs
+
+/root/repo/target/debug/deps/diagnostics-e6b54902f3e0e26e: crates/overlog/tests/diagnostics.rs
+
+crates/overlog/tests/diagnostics.rs:

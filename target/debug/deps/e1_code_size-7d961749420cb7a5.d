@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_code_size-7d961749420cb7a5.d: crates/bench/src/bin/e1_code_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_code_size-7d961749420cb7a5.rmeta: crates/bench/src/bin/e1_code_size.rs Cargo.toml
+
+crates/bench/src/bin/e1_code_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_code_size-d3f42437d6c3bfc3.d: crates/bench/src/bin/e1_code_size.rs
+
+/root/repo/target/debug/deps/e1_code_size-d3f42437d6c3bfc3: crates/bench/src/bin/e1_code_size.rs
+
+crates/bench/src/bin/e1_code_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_map_cdf-7c847964ae6baa53.d: crates/bench/src/bin/e2_map_cdf.rs
+
+/root/repo/target/debug/deps/e2_map_cdf-7c847964ae6baa53: crates/bench/src/bin/e2_map_cdf.rs
+
+crates/bench/src/bin/e2_map_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_map_cdf-95a16a392508c048.d: crates/bench/src/bin/e2_map_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_map_cdf-95a16a392508c048.rmeta: crates/bench/src/bin/e2_map_cdf.rs Cargo.toml
+
+crates/bench/src/bin/e2_map_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

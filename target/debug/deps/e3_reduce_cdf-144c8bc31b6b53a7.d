@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_reduce_cdf-144c8bc31b6b53a7.d: crates/bench/src/bin/e3_reduce_cdf.rs
+
+/root/repo/target/debug/deps/e3_reduce_cdf-144c8bc31b6b53a7: crates/bench/src/bin/e3_reduce_cdf.rs
+
+crates/bench/src/bin/e3_reduce_cdf.rs:

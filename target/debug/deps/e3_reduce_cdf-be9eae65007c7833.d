@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_reduce_cdf-be9eae65007c7833.d: crates/bench/src/bin/e3_reduce_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_reduce_cdf-be9eae65007c7833.rmeta: crates/bench/src/bin/e3_reduce_cdf.rs Cargo.toml
+
+crates/bench/src/bin/e3_reduce_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

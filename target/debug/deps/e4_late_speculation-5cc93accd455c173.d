@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_late_speculation-5cc93accd455c173.d: crates/bench/src/bin/e4_late_speculation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_late_speculation-5cc93accd455c173.rmeta: crates/bench/src/bin/e4_late_speculation.rs Cargo.toml
+
+crates/bench/src/bin/e4_late_speculation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

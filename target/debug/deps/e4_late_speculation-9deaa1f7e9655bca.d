@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_late_speculation-9deaa1f7e9655bca.d: crates/bench/src/bin/e4_late_speculation.rs
+
+/root/repo/target/debug/deps/e4_late_speculation-9deaa1f7e9655bca: crates/bench/src/bin/e4_late_speculation.rs
+
+crates/bench/src/bin/e4_late_speculation.rs:

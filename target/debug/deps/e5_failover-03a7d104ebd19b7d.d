@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_failover-03a7d104ebd19b7d.d: crates/bench/src/bin/e5_failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_failover-03a7d104ebd19b7d.rmeta: crates/bench/src/bin/e5_failover.rs Cargo.toml
+
+crates/bench/src/bin/e5_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_failover-4a41168908a22148.d: crates/bench/src/bin/e5_failover.rs
+
+/root/repo/target/debug/deps/e5_failover-4a41168908a22148: crates/bench/src/bin/e5_failover.rs
+
+crates/bench/src/bin/e5_failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_partitioned_nn-2e4abf05e6d21f5b.d: crates/bench/src/bin/e6_partitioned_nn.rs
+
+/root/repo/target/debug/deps/e6_partitioned_nn-2e4abf05e6d21f5b: crates/bench/src/bin/e6_partitioned_nn.rs
+
+crates/bench/src/bin/e6_partitioned_nn.rs:

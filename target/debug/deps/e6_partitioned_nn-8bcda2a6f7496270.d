@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_partitioned_nn-8bcda2a6f7496270.d: crates/bench/src/bin/e6_partitioned_nn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_partitioned_nn-8bcda2a6f7496270.rmeta: crates/bench/src/bin/e6_partitioned_nn.rs Cargo.toml
+
+crates/bench/src/bin/e6_partitioned_nn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_monitoring-56de52cde27ae859.d: crates/bench/src/bin/e7_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_monitoring-56de52cde27ae859.rmeta: crates/bench/src/bin/e7_monitoring.rs Cargo.toml
+
+crates/bench/src/bin/e7_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

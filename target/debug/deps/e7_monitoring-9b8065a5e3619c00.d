@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_monitoring-9b8065a5e3619c00.d: crates/bench/src/bin/e7_monitoring.rs
+
+/root/repo/target/debug/deps/e7_monitoring-9b8065a5e3619c00: crates/bench/src/bin/e7_monitoring.rs
+
+crates/bench/src/bin/e7_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-cb39073c40e17efd.d: crates/overlog/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-cb39073c40e17efd: crates/overlog/tests/edge_cases.rs
+
+crates/overlog/tests/edge_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-edb8811fc9d45379.d: crates/overlog/tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-edb8811fc9d45379.rmeta: crates/overlog/tests/edge_cases.rs Cargo.toml
+
+crates/overlog/tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fs_ops-26e4d5a384b5dce9.d: crates/fs/tests/fs_ops.rs
+
+/root/repo/target/debug/deps/fs_ops-26e4d5a384b5dce9: crates/fs/tests/fs_ops.rs
+
+crates/fs/tests/fs_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fs_ops-fe5e0d2a24c329b3.d: crates/fs/tests/fs_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfs_ops-fe5e0d2a24c329b3.rmeta: crates/fs/tests/fs_ops.rs Cargo.toml
+
+crates/fs/tests/fs_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

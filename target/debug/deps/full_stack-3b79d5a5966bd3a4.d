@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-3b79d5a5966bd3a4.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-3b79d5a5966bd3a4: tests/full_stack.rs
+
+tests/full_stack.rs:

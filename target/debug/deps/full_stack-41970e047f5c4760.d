@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-41970e047f5c4760.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-41970e047f5c4760: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/locality-0f3e9b0cc377da45.d: crates/mr/tests/locality.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocality-0f3e9b0cc377da45.rmeta: crates/mr/tests/locality.rs Cargo.toml
+
+crates/mr/tests/locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

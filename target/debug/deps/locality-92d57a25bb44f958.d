@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/locality-92d57a25bb44f958.d: crates/mr/tests/locality.rs
+
+/root/repo/target/debug/deps/locality-92d57a25bb44f958: crates/mr/tests/locality.rs
+
+crates/mr/tests/locality.rs:

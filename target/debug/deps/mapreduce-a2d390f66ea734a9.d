@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapreduce-a2d390f66ea734a9.d: crates/mr/tests/mapreduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapreduce-a2d390f66ea734a9.rmeta: crates/mr/tests/mapreduce.rs Cargo.toml
+
+crates/mr/tests/mapreduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

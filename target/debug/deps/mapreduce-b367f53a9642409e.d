@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapreduce-b367f53a9642409e.d: crates/mr/tests/mapreduce.rs
+
+/root/repo/target/debug/deps/mapreduce-b367f53a9642409e: crates/mr/tests/mapreduce.rs
+
+crates/mr/tests/mapreduce.rs:

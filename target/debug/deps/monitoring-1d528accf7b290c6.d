@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitoring-1d528accf7b290c6.d: tests/monitoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitoring-1d528accf7b290c6.rmeta: tests/monitoring.rs Cargo.toml
+
+tests/monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

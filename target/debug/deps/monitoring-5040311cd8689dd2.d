@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring-5040311cd8689dd2.d: tests/monitoring.rs
+
+/root/repo/target/debug/deps/monitoring-5040311cd8689dd2: tests/monitoring.rs
+
+tests/monitoring.rs:

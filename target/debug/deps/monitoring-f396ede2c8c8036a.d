@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring-f396ede2c8c8036a.d: tests/monitoring.rs
+
+/root/repo/target/debug/deps/monitoring-f396ede2c8c8036a: tests/monitoring.rs
+
+tests/monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multijob-10fd7f41f6c10fc0.d: crates/mr/tests/multijob.rs
+
+/root/repo/target/debug/deps/multijob-10fd7f41f6c10fc0: crates/mr/tests/multijob.rs
+
+crates/mr/tests/multijob.rs:

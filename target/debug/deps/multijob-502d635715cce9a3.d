@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multijob-502d635715cce9a3.d: crates/mr/tests/multijob.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultijob-502d635715cce9a3.rmeta: crates/mr/tests/multijob.rs Cargo.toml
+
+crates/mr/tests/multijob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olgcheck-1a628591b4e4226b.d: tests/olgcheck.rs
+
+/root/repo/target/debug/deps/olgcheck-1a628591b4e4226b: tests/olgcheck.rs
+
+tests/olgcheck.rs:

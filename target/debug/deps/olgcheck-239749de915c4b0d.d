@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olgcheck-239749de915c4b0d.d: src/bin/olgcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolgcheck-239749de915c4b0d.rmeta: src/bin/olgcheck.rs Cargo.toml
+
+src/bin/olgcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olgcheck-622d2686ff496a4b.d: tests/olgcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolgcheck-622d2686ff496a4b.rmeta: tests/olgcheck.rs Cargo.toml
+
+tests/olgcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

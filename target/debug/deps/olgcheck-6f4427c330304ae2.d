@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olgcheck-6f4427c330304ae2.d: src/bin/olgcheck.rs
+
+/root/repo/target/debug/deps/olgcheck-6f4427c330304ae2: src/bin/olgcheck.rs
+
+src/bin/olgcheck.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olgcheck-fe16a11e4758bac4.d: src/bin/olgcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolgcheck-fe16a11e4758bac4.rmeta: src/bin/olgcheck.rs Cargo.toml
+
+src/bin/olgcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olgcheck-ff173fff6b24e223.d: src/bin/olgcheck.rs
+
+/root/repo/target/debug/deps/olgcheck-ff173fff6b24e223: src/bin/olgcheck.rs
+
+src/bin/olgcheck.rs:

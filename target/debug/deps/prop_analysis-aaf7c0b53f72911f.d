@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_analysis-aaf7c0b53f72911f.d: crates/overlog/tests/prop_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_analysis-aaf7c0b53f72911f.rmeta: crates/overlog/tests/prop_analysis.rs Cargo.toml
+
+crates/overlog/tests/prop_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_analysis-cbc3147745ebd1c2.d: crates/overlog/tests/prop_analysis.rs
+
+/root/repo/target/debug/deps/prop_analysis-cbc3147745ebd1c2: crates/overlog/tests/prop_analysis.rs
+
+crates/overlog/tests/prop_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_engine-179a26b66261c558.d: crates/overlog/tests/prop_engine.rs
+
+/root/repo/target/debug/deps/prop_engine-179a26b66261c558: crates/overlog/tests/prop_engine.rs
+
+crates/overlog/tests/prop_engine.rs:

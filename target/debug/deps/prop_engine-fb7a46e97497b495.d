@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_engine-fb7a46e97497b495.d: crates/overlog/tests/prop_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_engine-fb7a46e97497b495.rmeta: crates/overlog/tests/prop_engine.rs Cargo.toml
+
+crates/overlog/tests/prop_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

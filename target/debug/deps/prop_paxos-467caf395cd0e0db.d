@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_paxos-467caf395cd0e0db.d: crates/paxos/tests/prop_paxos.rs
+
+/root/repo/target/debug/deps/prop_paxos-467caf395cd0e0db: crates/paxos/tests/prop_paxos.rs
+
+crates/paxos/tests/prop_paxos.rs:

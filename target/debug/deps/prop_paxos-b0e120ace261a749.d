@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_paxos-b0e120ace261a749.d: crates/paxos/tests/prop_paxos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_paxos-b0e120ace261a749.rmeta: crates/paxos/tests/prop_paxos.rs Cargo.toml
+
+crates/paxos/tests/prop_paxos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sim-0f6fa21dd364af20.d: crates/simnet/tests/prop_sim.rs
+
+/root/repo/target/debug/deps/prop_sim-0f6fa21dd364af20: crates/simnet/tests/prop_sim.rs
+
+crates/simnet/tests/prop_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_sim-681c9c46d8393e6c.d: crates/simnet/tests/prop_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_sim-681c9c46d8393e6c.rmeta: crates/simnet/tests/prop_sim.rs Cargo.toml
+
+crates/simnet/tests/prop_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

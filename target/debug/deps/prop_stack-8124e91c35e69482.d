@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_stack-8124e91c35e69482.d: tests/prop_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_stack-8124e91c35e69482.rmeta: tests/prop_stack.rs Cargo.toml
+
+tests/prop_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_stack-8e65908619194e87.d: tests/prop_stack.rs
+
+/root/repo/target/debug/deps/prop_stack-8e65908619194e87: tests/prop_stack.rs
+
+tests/prop_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_stack-b69bcccce252ffbb.d: tests/prop_stack.rs
+
+/root/repo/target/debug/deps/prop_stack-b69bcccce252ffbb: tests/prop_stack.rs
+
+tests/prop_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-5d2d5fe81f379193.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-5d2d5fe81f379193.rlib: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-5d2d5fe81f379193.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rename-567cd2060862c5d4.d: crates/fs/tests/rename.rs Cargo.toml
+
+/root/repo/target/debug/deps/librename-567cd2060862c5d4.rmeta: crates/fs/tests/rename.rs Cargo.toml
+
+crates/fs/tests/rename.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

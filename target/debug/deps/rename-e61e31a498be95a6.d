@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rename-e61e31a498be95a6.d: crates/fs/tests/rename.rs
+
+/root/repo/target/debug/deps/rename-e61e31a498be95a6: crates/fs/tests/rename.rs
+
+crates/fs/tests/rename.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replicated_fs-ad2a00c460669363.d: crates/core/tests/replicated_fs.rs
+
+/root/repo/target/debug/deps/replicated_fs-ad2a00c460669363: crates/core/tests/replicated_fs.rs
+
+crates/core/tests/replicated_fs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replicated_fs-c9ad11bd9be49b7d.d: crates/core/tests/replicated_fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplicated_fs-c9ad11bd9be49b7d.rmeta: crates/core/tests/replicated_fs.rs Cargo.toml
+
+crates/core/tests/replicated_fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

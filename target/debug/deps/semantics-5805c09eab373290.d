@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-5805c09eab373290.d: crates/overlog/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-5805c09eab373290.rmeta: crates/overlog/tests/semantics.rs Cargo.toml
+
+crates/overlog/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-d51a33989d70644b.d: crates/overlog/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-d51a33989d70644b: crates/overlog/tests/semantics.rs
+
+crates/overlog/tests/semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stack-a87053ae2dae7f18.d: crates/bench/benches/stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstack-a87053ae2dae7f18.rmeta: crates/bench/benches/stack.rs Cargo.toml
+
+crates/bench/benches/stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/boomfs_tour-952fa9074c551260.d: examples/boomfs_tour.rs
+
+/root/repo/target/debug/examples/boomfs_tour-952fa9074c551260: examples/boomfs_tour.rs
+
+examples/boomfs_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/boomfs_tour-b2ebde0fccc6cbc6.d: examples/boomfs_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libboomfs_tour-b2ebde0fccc6cbc6.rmeta: examples/boomfs_tour.rs Cargo.toml
+
+examples/boomfs_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/late_stragglers-84330e0c5290ad6d.d: examples/late_stragglers.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblate_stragglers-84330e0c5290ad6d.rmeta: examples/late_stragglers.rs Cargo.toml
+
+examples/late_stragglers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

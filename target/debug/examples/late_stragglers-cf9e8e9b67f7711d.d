@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/late_stragglers-cf9e8e9b67f7711d.d: examples/late_stragglers.rs
+
+/root/repo/target/debug/examples/late_stragglers-cf9e8e9b67f7711d: examples/late_stragglers.rs
+
+examples/late_stragglers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/namenode_failover-607f1ae9d18004c1.d: examples/namenode_failover.rs
+
+/root/repo/target/debug/examples/namenode_failover-607f1ae9d18004c1: examples/namenode_failover.rs
+
+examples/namenode_failover.rs:

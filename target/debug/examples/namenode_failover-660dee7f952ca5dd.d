@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/namenode_failover-660dee7f952ca5dd.d: examples/namenode_failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnamenode_failover-660dee7f952ca5dd.rmeta: examples/namenode_failover.rs Cargo.toml
+
+examples/namenode_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

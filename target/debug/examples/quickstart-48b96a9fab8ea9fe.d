@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-48b96a9fab8ea9fe.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-48b96a9fab8ea9fe: examples/quickstart.rs
+
+examples/quickstart.rs:

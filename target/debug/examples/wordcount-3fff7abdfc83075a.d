@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wordcount-3fff7abdfc83075a.d: examples/wordcount.rs
+
+/root/repo/target/debug/examples/wordcount-3fff7abdfc83075a: examples/wordcount.rs
+
+examples/wordcount.rs:

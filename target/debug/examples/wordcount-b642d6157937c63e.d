@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wordcount-b642d6157937c63e.d: examples/wordcount.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwordcount-b642d6157937c63e.rmeta: examples/wordcount.rs Cargo.toml
+
+examples/wordcount.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/boom-f978fd0c9ebfeb9d.d: src/lib.rs src/shipped.rs
+
+/root/repo/target/release/deps/libboom-f978fd0c9ebfeb9d.rlib: src/lib.rs src/shipped.rs
+
+/root/repo/target/release/deps/libboom-f978fd0c9ebfeb9d.rmeta: src/lib.rs src/shipped.rs
+
+src/lib.rs:
+src/shipped.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/boom_bench-2af0d7b4a7b6f4a8.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/locs.rs
+
+/root/repo/target/release/deps/libboom_bench-2af0d7b4a7b6f4a8.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/locs.rs
+
+/root/repo/target/release/deps/libboom_bench-2af0d7b4a7b6f4a8.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/locs.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/locs.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/boom_core-7a207c66c3f0e3f0.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/fullstack.rs crates/core/src/replicated.rs crates/core/src/olg/replicated.olg
+
+/root/repo/target/release/deps/libboom_core-7a207c66c3f0e3f0.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/fullstack.rs crates/core/src/replicated.rs crates/core/src/olg/replicated.olg
+
+/root/repo/target/release/deps/libboom_core-7a207c66c3f0e3f0.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/fullstack.rs crates/core/src/replicated.rs crates/core/src/olg/replicated.olg
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/fullstack.rs:
+crates/core/src/replicated.rs:
+crates/core/src/olg/replicated.olg:

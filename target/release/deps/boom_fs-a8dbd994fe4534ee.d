@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/boom_fs-a8dbd994fe4534ee.d: crates/fs/src/lib.rs crates/fs/src/baseline.rs crates/fs/src/client.rs crates/fs/src/cluster.rs crates/fs/src/datanode.rs crates/fs/src/namenode.rs crates/fs/src/proto.rs crates/fs/src/olg/namenode.olg
+
+/root/repo/target/release/deps/libboom_fs-a8dbd994fe4534ee.rlib: crates/fs/src/lib.rs crates/fs/src/baseline.rs crates/fs/src/client.rs crates/fs/src/cluster.rs crates/fs/src/datanode.rs crates/fs/src/namenode.rs crates/fs/src/proto.rs crates/fs/src/olg/namenode.olg
+
+/root/repo/target/release/deps/libboom_fs-a8dbd994fe4534ee.rmeta: crates/fs/src/lib.rs crates/fs/src/baseline.rs crates/fs/src/client.rs crates/fs/src/cluster.rs crates/fs/src/datanode.rs crates/fs/src/namenode.rs crates/fs/src/proto.rs crates/fs/src/olg/namenode.olg
+
+crates/fs/src/lib.rs:
+crates/fs/src/baseline.rs:
+crates/fs/src/client.rs:
+crates/fs/src/cluster.rs:
+crates/fs/src/datanode.rs:
+crates/fs/src/namenode.rs:
+crates/fs/src/proto.rs:
+crates/fs/src/olg/namenode.olg:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/boom_mr-a5607300ab6ef963.d: crates/mr/src/lib.rs crates/mr/src/baseline.rs crates/mr/src/cluster.rs crates/mr/src/driver.rs crates/mr/src/jobtracker.rs crates/mr/src/proto.rs crates/mr/src/tasktracker.rs crates/mr/src/workload.rs crates/mr/src/olg/jobtracker.olg crates/mr/src/olg/fifo.olg crates/mr/src/olg/locality.olg crates/mr/src/olg/late.olg crates/mr/src/olg/naive.olg
+
+/root/repo/target/release/deps/libboom_mr-a5607300ab6ef963.rlib: crates/mr/src/lib.rs crates/mr/src/baseline.rs crates/mr/src/cluster.rs crates/mr/src/driver.rs crates/mr/src/jobtracker.rs crates/mr/src/proto.rs crates/mr/src/tasktracker.rs crates/mr/src/workload.rs crates/mr/src/olg/jobtracker.olg crates/mr/src/olg/fifo.olg crates/mr/src/olg/locality.olg crates/mr/src/olg/late.olg crates/mr/src/olg/naive.olg
+
+/root/repo/target/release/deps/libboom_mr-a5607300ab6ef963.rmeta: crates/mr/src/lib.rs crates/mr/src/baseline.rs crates/mr/src/cluster.rs crates/mr/src/driver.rs crates/mr/src/jobtracker.rs crates/mr/src/proto.rs crates/mr/src/tasktracker.rs crates/mr/src/workload.rs crates/mr/src/olg/jobtracker.olg crates/mr/src/olg/fifo.olg crates/mr/src/olg/locality.olg crates/mr/src/olg/late.olg crates/mr/src/olg/naive.olg
+
+crates/mr/src/lib.rs:
+crates/mr/src/baseline.rs:
+crates/mr/src/cluster.rs:
+crates/mr/src/driver.rs:
+crates/mr/src/jobtracker.rs:
+crates/mr/src/proto.rs:
+crates/mr/src/tasktracker.rs:
+crates/mr/src/workload.rs:
+crates/mr/src/olg/jobtracker.olg:
+crates/mr/src/olg/fifo.olg:
+crates/mr/src/olg/locality.olg:
+crates/mr/src/olg/late.olg:
+crates/mr/src/olg/naive.olg:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/boom_paxos-040585dd5d176608.d: crates/paxos/src/lib.rs crates/paxos/src/olg/paxos.olg
+
+/root/repo/target/release/deps/libboom_paxos-040585dd5d176608.rlib: crates/paxos/src/lib.rs crates/paxos/src/olg/paxos.olg
+
+/root/repo/target/release/deps/libboom_paxos-040585dd5d176608.rmeta: crates/paxos/src/lib.rs crates/paxos/src/olg/paxos.olg
+
+crates/paxos/src/lib.rs:
+crates/paxos/src/olg/paxos.olg:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/boom_simnet-ecae9e4c53334e6f.d: crates/simnet/src/lib.rs crates/simnet/src/metrics.rs crates/simnet/src/overlog_actor.rs
+
+/root/repo/target/release/deps/libboom_simnet-ecae9e4c53334e6f.rlib: crates/simnet/src/lib.rs crates/simnet/src/metrics.rs crates/simnet/src/overlog_actor.rs
+
+/root/repo/target/release/deps/libboom_simnet-ecae9e4c53334e6f.rmeta: crates/simnet/src/lib.rs crates/simnet/src/metrics.rs crates/simnet/src/overlog_actor.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/overlog_actor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e1_code_size-1daaf76013016369.d: crates/bench/src/bin/e1_code_size.rs
+
+/root/repo/target/release/deps/e1_code_size-1daaf76013016369: crates/bench/src/bin/e1_code_size.rs
+
+crates/bench/src/bin/e1_code_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e5_failover-e4a3d8a91d0c3d5a.d: crates/bench/src/bin/e5_failover.rs
+
+/root/repo/target/release/deps/e5_failover-e4a3d8a91d0c3d5a: crates/bench/src/bin/e5_failover.rs
+
+crates/bench/src/bin/e5_failover.rs:

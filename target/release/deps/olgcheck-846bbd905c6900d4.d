@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/olgcheck-846bbd905c6900d4.d: src/bin/olgcheck.rs
+
+/root/repo/target/release/deps/olgcheck-846bbd905c6900d4: src/bin/olgcheck.rs
+
+src/bin/olgcheck.rs:

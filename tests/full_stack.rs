@@ -21,8 +21,7 @@ fn mapreduce_over_replicated_namenode() {
     s.fs.mkdir(&mut s.sim, "/input").unwrap();
     for i in 0..2 {
         let text = synth_text(77 + i, 2_000);
-        s.fs
-            .write_file(&mut s.sim, &format!("/input/part{i}"), &text)
+        s.fs.write_file(&mut s.sim, &format!("/input/part{i}"), &text)
             .unwrap();
     }
     let job = MrJob {
@@ -48,8 +47,7 @@ fn job_survives_primary_namenode_crash_midway() {
     s.fs.mkdir(&mut s.sim, "/input").unwrap();
     for i in 0..3 {
         let text = synth_text(200 + i, 2_500);
-        s.fs
-            .write_file(&mut s.sim, &format!("/input/part{i}"), &text)
+        s.fs.write_file(&mut s.sim, &format!("/input/part{i}"), &text)
             .unwrap();
     }
     let job = MrJob {
@@ -67,7 +65,10 @@ fn job_survives_primary_namenode_crash_midway() {
     s.sim.schedule_crash(&primary, at);
     let deadline = s.sim.now() + 3_600_000;
     let done = s.driver.wait(&mut s.sim, job_id, deadline);
-    assert!(done.is_some(), "job must finish despite the NameNode failover");
+    assert!(
+        done.is_some(),
+        "job must finish despite the NameNode failover"
+    );
     let out = MrDriver::collect_output(&mut s.sim, &s.trackers.clone(), job_id);
     let total: i64 = out.values().sum();
     assert_eq!(total, 7_500);
@@ -91,8 +92,7 @@ fn tracker_crash_reschedules_its_tasks() {
     s.fs.mkdir(&mut s.sim, "/input").unwrap();
     for i in 0..2 {
         let text = synth_text(300 + i, 3_000);
-        s.fs
-            .write_file(&mut s.sim, &format!("/input/part{i}"), &text)
+        s.fs.write_file(&mut s.sim, &format!("/input/part{i}"), &text)
             .unwrap();
     }
     let job = MrJob {

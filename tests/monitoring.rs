@@ -24,7 +24,9 @@ fn watch_traces_namenode_metadata_flow() {
     cl.mkdir(&mut c.sim, "/traced").unwrap();
     cl.write_file(&mut c.sim, "/traced/f", "payload").unwrap();
     cl.rm(&mut c.sim, "/traced/f").unwrap();
-    let trace = c.sim.with_actor::<OverlogActor, _>("nn0", |nn| nn.runtime().take_trace());
+    let trace = c
+        .sim
+        .with_actor::<OverlogActor, _>("nn0", |nn| nn.runtime().take_trace());
     let file_inserts = trace
         .iter()
         .filter(|e| e.table == "file" && e.op == TraceOp::Insert)
@@ -33,7 +35,10 @@ fn watch_traces_namenode_metadata_flow() {
         .iter()
         .filter(|e| e.table == "file" && e.op == TraceOp::Delete)
         .count();
-    assert!(file_inserts >= 2, "mkdir + create traced, got {file_inserts}");
+    assert!(
+        file_inserts >= 2,
+        "mkdir + create traced, got {file_inserts}"
+    );
     assert!(file_deletes >= 1, "rm traced");
     assert!(trace.iter().any(|e| e.table == "fchunk"));
 }
@@ -51,11 +56,12 @@ fn trace_all_counts_every_derivation() {
         .with_actor::<OverlogActor, _>("nn0", |nn| nn.runtime().set_trace_all(true));
     let cl = c.client.clone();
     cl.mkdir(&mut c.sim, "/d").unwrap();
-    let trace = c.sim.with_actor::<OverlogActor, _>("nn0", |nn| nn.runtime().take_trace());
+    let trace = c
+        .sim
+        .with_actor::<OverlogActor, _>("nn0", |nn| nn.runtime().take_trace());
     // With trace-all on, many internal tables show up, not just watched
     // ones (fqpath maintenance, heartbeat bookkeeping, ...).
-    let tables: std::collections::HashSet<&str> =
-        trace.iter().map(|e| e.table.as_str()).collect();
+    let tables: std::collections::HashSet<&str> = trace.iter().map(|e| e.table.as_str()).collect();
     assert!(tables.len() >= 4, "saw only {tables:?}");
     assert!(tables.contains("fqpath"));
 }
@@ -73,7 +79,9 @@ fn rule_fire_counters_attribute_work() {
     for i in 0..5 {
         cl.create(&mut c.sim, &format!("/f{i}")).unwrap();
     }
-    let fires = c.sim.with_actor::<OverlogActor, _>("nn0", |nn| nn.runtime().rule_fire_counts());
+    let fires = c
+        .sim
+        .with_actor::<OverlogActor, _>("nn0", |nn| nn.runtime().rule_fire_counts());
     let total: u64 = fires.iter().map(|(_, n)| n).sum();
     assert!(total > 20, "expected plenty of rule firings, got {total}");
     // The fqpath view rule must have fired once per created file at least.

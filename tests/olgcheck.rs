@@ -1,0 +1,73 @@
+//! Tier-1 gate: every shipped Overlog program group must be
+//! diagnostic-clean at deny-warnings level — the same bar CI enforces via
+//! `cargo run --bin olgcheck -- --deny-warnings`.
+
+use boom::overlog::analysis::render;
+use boom::shipped;
+
+#[test]
+fn shipped_programs_are_diagnostic_clean() {
+    for group in shipped::groups() {
+        let (diags, map) = group.analyze();
+        let rendered: Vec<String> = diags.iter().map(|d| render(d, &map)).collect();
+        assert!(
+            diags.is_empty(),
+            "group `{}` has {} diagnostic(s):\n{}",
+            group.name,
+            diags.len(),
+            rendered.join("\n")
+        );
+    }
+}
+
+#[test]
+fn shipped_groups_cover_every_composition() {
+    let names: Vec<String> = shipped::groups().into_iter().map(|g| g.name).collect();
+    for want in [
+        "fs",
+        "paxos",
+        "mr-fifo-none",
+        "mr-fifo-naive",
+        "mr-fifo-late",
+        "mr-locality-none",
+        "mr-locality-naive",
+        "mr-locality-late",
+        "core",
+    ] {
+        assert!(names.iter().any(|n| n == want), "missing group `{want}`");
+    }
+}
+
+#[test]
+fn loaded_runtime_recheck_is_clean() {
+    // `Runtime::check()` re-analyzes exactly what was loaded; a freshly
+    // built replicated NameNode (the largest composition) must pass.
+    let group = boom::paxos::PaxosGroup::new(&["nn0", "nn1", "nn2"], 3_000);
+    let cfg = boom::fs::namenode::NameNodeConfig::default();
+    let rt = boom::core::replicated::replicated_nn_runtime("nn0", &group, &cfg);
+    let (diags, map) = rt.check_with_sources();
+    let errors: Vec<String> = diags
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| render(d, &map))
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "loaded runtime re-analysis found errors:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn precedence_graph_renders_for_every_group() {
+    for group in shipped::groups() {
+        let (ctx, _) = group.context();
+        let dot = boom::overlog::analysis::dot(&ctx);
+        assert!(dot.starts_with("digraph precedence {"), "{}", group.name);
+        assert!(
+            dot.contains("stratum"),
+            "group `{}` graph lacks strata annotations",
+            group.name
+        );
+    }
+}

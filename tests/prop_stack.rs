@@ -60,10 +60,7 @@ fn apply(c: &mut FsCluster, op: &Op) -> String {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Differential test: declarative vs baseline NameNode agree on every
     /// observable outcome of random op sequences.
