@@ -1,0 +1,33 @@
+//! E8 — chaos schedules & self-healing: every named fault schedule runs
+//! against the full stack (twinned with a fault-free run on the same
+//! seed) and prints the invariant report plus recovery times.
+
+use boom_bench::{run_chaos, ChaosConfig, NamedSchedule};
+
+fn main() {
+    let seeds = [1u64, 2, 3];
+    eprintln!(
+        "E8: chaos schedules, {} schedules x {} seeds",
+        NamedSchedule::all().len(),
+        seeds.len()
+    );
+    println!("# E8: chaos schedules & self-healing");
+    let mut failures = 0;
+    for named in NamedSchedule::all() {
+        for seed in seeds {
+            let cfg = ChaosConfig {
+                seed,
+                ..Default::default()
+            };
+            let report = run_chaos(&cfg, named);
+            print!("{}", report.render());
+            if !report.all_green() {
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("E8: {failures} run(s) violated invariants");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,489 @@
+//! E8 — chaos schedules & self-healing: deterministic fault injection
+//! against the full stack (MapReduce over the Paxos-replicated BOOM-FS)
+//! with cross-run invariant checking.
+//!
+//! Each run is twinned: the same seed and workload execute once
+//! fault-free and once under a named [`ChaosSchedule`]. After the chaotic
+//! run the harness checks, end to end:
+//!
+//! * **no-acked-write-lost** — every file whose write was acknowledged
+//!   reads back byte-identical;
+//! * **replication-restored** — every chunk of every input file is back
+//!   at (at least) the configured replication factor;
+//! * **output-exact** — the chaotic job's output equals the fault-free
+//!   twin's output *and* the reference wordcount;
+//! * **no-divergent-commit** — if a reduce partition's output exists on
+//!   several trackers (reschedule after a flap), all copies are
+//!   identical: nobody committed divergent results.
+//!
+//! Failures are injected through the simulator's seeded event queue, so a
+//! report is a pure function of `(schedule, seed, config)` — rerunning
+//! reproduces the identical fault log and verdicts.
+
+use boom_core::{FullStack, FullStackBuilder};
+use boom_mr::tasktracker::TaskTracker;
+use boom_mr::workload::{reference_wordcount, synth_text};
+use boom_mr::{CostModel, MrDriver, MrJob};
+use boom_simnet::chaos::ChaosSchedule;
+use boom_simnet::SimConfig;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The named schedules the `chaoscheck` CLI and the CI matrix run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamedSchedule {
+    /// Crash one DataNode mid-write, restart it long after the NameNode's
+    /// failure detector has reaped it and re-replicated its chunks.
+    DatanodeCrash,
+    /// Partition one NameNode replica away from everyone, then heal: the
+    /// Paxos majority keeps serving, the minority catches up.
+    NnPartition,
+    /// Flap one TaskTracker faster than the JobTracker's heartbeat
+    /// timeout: only the registration generation betrays the restart.
+    TrackerFlap,
+    /// The acceptance gauntlet: a DataNode crash mid-write *and* a
+    /// tracker flap mid-job in the same run.
+    Mixed,
+}
+
+impl NamedSchedule {
+    /// All named schedules, in CLI/report order.
+    pub fn all() -> [NamedSchedule; 4] {
+        [
+            NamedSchedule::DatanodeCrash,
+            NamedSchedule::NnPartition,
+            NamedSchedule::TrackerFlap,
+            NamedSchedule::Mixed,
+        ]
+    }
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NamedSchedule::DatanodeCrash => "datanode-crash",
+            NamedSchedule::NnPartition => "nn-partition",
+            NamedSchedule::TrackerFlap => "tracker-flap",
+            NamedSchedule::Mixed => "mixed",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<NamedSchedule> {
+        Self::all().into_iter().find(|n| n.name() == s)
+    }
+
+    /// Materialize the schedule. Offsets are relative to install time,
+    /// which the harness sets to just before the corpus write begins, so
+    /// early faults land mid-write and later ones mid-job.
+    fn schedule(&self) -> ChaosSchedule {
+        match self {
+            NamedSchedule::DatanodeCrash => ChaosSchedule::new(self.name())
+                // Down at 200ms (mid corpus write); back long after the
+                // 15s heartbeat timeout forced re-replication.
+                .flap("dn1", 200, 40_000),
+            NamedSchedule::NnPartition => ChaosSchedule::new(self.name()).partition(
+                &["nn2"],
+                &["nn0", "nn1", "dn0", "dn1", "dn2", "dn3", "client0"],
+                300,
+                12_000,
+            ),
+            NamedSchedule::TrackerFlap => ChaosSchedule::new(self.name())
+                // Down for 2.5s mid-job — far under the tracker timeout.
+                .flap("tt1", 1_200, 3_700),
+            NamedSchedule::Mixed => ChaosSchedule::new(self.name())
+                .flap("dn1", 200, 40_000)
+                .flap("tt2", 1_200, 3_700),
+        }
+    }
+}
+
+/// Workload and cluster shape for one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Simulator seed (drives latency, jitter, backoff, and straggler
+    /// draws in both twins identically).
+    pub seed: u64,
+    /// Workers (each = DataNode + TaskTracker).
+    pub workers: usize,
+    /// Chunk replication factor.
+    pub replication: usize,
+    /// Input files.
+    pub files: usize,
+    /// Words per input file.
+    pub words_per_file: usize,
+    /// Reduce partitions.
+    pub nreduces: usize,
+    /// Chunk size (bytes).
+    pub chunk_size: usize,
+    /// Hard deadline for the chaotic job (virtual ms from submit).
+    pub deadline_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 1,
+            workers: 4,
+            replication: 2,
+            files: 2,
+            words_per_file: 4_000,
+            nreduces: 3,
+            chunk_size: 2048,
+            deadline_ms: 1_200_000,
+        }
+    }
+}
+
+/// One invariant verdict.
+#[derive(Debug, Clone)]
+pub struct InvariantCheck {
+    /// Short invariant name.
+    pub name: &'static str,
+    /// Did it hold?
+    pub pass: bool,
+    /// Evidence (counts, offending keys) either way.
+    pub detail: String,
+}
+
+/// The full report of one twinned chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Schedule name.
+    pub schedule: String,
+    /// Seed used for both twins.
+    pub seed: u64,
+    /// Faults actually applied, `(virtual ms, description)`.
+    pub fault_log: Vec<(u64, String)>,
+    /// Invariant verdicts.
+    pub checks: Vec<InvariantCheck>,
+    /// Job completion time in the fault-free twin (virtual ms).
+    pub job_ms_clean: u64,
+    /// Job completion time under chaos (virtual ms).
+    pub job_ms_faulty: u64,
+    /// Virtual ms from install until every chunk was back at full
+    /// replication (`None` if it never happened inside the deadline).
+    pub rereplication_ms: Option<u64>,
+}
+
+impl ChaosReport {
+    /// Did every invariant hold?
+    pub fn all_green(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Human-readable report block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "## chaos schedule `{}` seed {} — {}",
+            self.schedule,
+            self.seed,
+            if self.all_green() { "GREEN" } else { "RED" }
+        );
+        let _ = writeln!(
+            out,
+            "job: {} ms fault-free, {} ms under chaos (+{} ms); replication restored {}",
+            self.job_ms_clean,
+            self.job_ms_faulty,
+            self.job_ms_faulty.saturating_sub(self.job_ms_clean),
+            self.rereplication_ms
+                .map(|v| format!("after {v} ms"))
+                .unwrap_or_else(|| "never".into()),
+        );
+        for (at, what) in &self.fault_log {
+            let _ = writeln!(out, "  fault @{at:>7}ms  {what}");
+        }
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "  [{}] {:<22} {}",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.name,
+                c.detail
+            );
+        }
+        out
+    }
+}
+
+fn build_stack(cfg: &ChaosConfig) -> FullStack {
+    FullStackBuilder {
+        sim: SimConfig {
+            seed: cfg.seed,
+            ..Default::default()
+        },
+        workers: cfg.workers,
+        replication: cfg.replication,
+        chunk_size: cfg.chunk_size,
+        cost: CostModel {
+            map_ms_per_kib: 200.0,
+            reduce_ms_per_krec: 200.0,
+            min_ms: 100,
+        },
+        ..Default::default()
+    }
+    .build()
+}
+
+fn corpus(cfg: &ChaosConfig) -> Vec<(String, String)> {
+    (0..cfg.files)
+        .map(|i| {
+            (
+                format!("/input/part{i}"),
+                synth_text(cfg.seed.wrapping_add(i as u64), cfg.words_per_file),
+            )
+        })
+        .collect()
+}
+
+fn wordcount(inputs: Vec<String>, nreduces: usize) -> MrJob {
+    MrJob {
+        job_type: "wordcount".into(),
+        inputs,
+        nreduces,
+        outdir: "/out".into(),
+    }
+}
+
+/// Write the corpus and run the job; returns `(output, job_ms)`. Used for
+/// both twins — only the installed schedule differs. `install_at` receives
+/// the virtual time the schedule was installed (untouched when `schedule`
+/// is `None` or mkdir fails first).
+fn run_workload(
+    stack: &mut FullStack,
+    cfg: &ChaosConfig,
+    files: &[(String, String)],
+    schedule: Option<&ChaosSchedule>,
+    install_at: &mut u64,
+) -> Result<(BTreeMap<String, i64>, u64), boom_fs::FsError> {
+    let fs = stack.fs.clone();
+    let mut driver = stack.driver.clone();
+    fs.mkdir(&mut stack.sim, "/input")?;
+    if let Some(s) = schedule {
+        *install_at = stack.sim.now();
+        stack.sim.install_chaos(s);
+    }
+    for (path, text) in files {
+        fs.write_file(&mut stack.sim, path, text)?;
+    }
+    let job = wordcount(files.iter().map(|(p, _)| p.clone()).collect(), cfg.nreduces);
+    let deadline = stack.sim.now() + cfg.deadline_ms;
+    let (id, job_ms) = driver.run_robust(&mut stack.sim, &fs, &job, deadline)?;
+    let trackers = stack.trackers.clone();
+    Ok((
+        MrDriver::collect_output(&mut stack.sim, &trackers, id),
+        job_ms,
+    ))
+}
+
+/// Run one named schedule (and its fault-free twin) and produce a report.
+pub fn run_chaos(cfg: &ChaosConfig, named: NamedSchedule) -> ChaosReport {
+    let files = corpus(cfg);
+    let expect: BTreeMap<String, i64> = {
+        let mut m = BTreeMap::new();
+        for (_, text) in &files {
+            for (w, n) in reference_wordcount(text) {
+                *m.entry(w).or_insert(0) += n;
+            }
+        }
+        m
+    };
+
+    // Twin 1: fault-free baseline.
+    let mut clean = build_stack(cfg);
+    let mut unused = 0;
+    let (clean_out, job_ms_clean) = run_workload(&mut clean, cfg, &files, None, &mut unused)
+        .expect("fault-free twin must complete");
+
+    // Twin 2: same seed, same workload, chaos installed.
+    let mut stack = build_stack(cfg);
+    let schedule = named.schedule();
+    let mut install_at = stack.sim.now();
+    let run = run_workload(&mut stack, cfg, &files, Some(&schedule), &mut install_at);
+
+    let mut checks = Vec::new();
+
+    let (faulty_out, job_ms_faulty) = match run {
+        Ok(v) => v,
+        Err(e) => {
+            checks.push(InvariantCheck {
+                name: "job-completes",
+                pass: false,
+                detail: format!("chaotic run failed: {e:?}"),
+            });
+            return ChaosReport {
+                schedule: schedule.name.clone(),
+                seed: cfg.seed,
+                fault_log: stack
+                    .sim
+                    .fault_log()
+                    .iter()
+                    .map(|f| (f.at, f.action.clone()))
+                    .collect(),
+                checks,
+                job_ms_clean,
+                job_ms_faulty: 0,
+                rereplication_ms: None,
+            };
+        }
+    };
+
+    let fs = stack.fs.clone();
+    let sim = &mut stack.sim;
+
+    // Invariant: no acked write lost.
+    let mut lost = Vec::new();
+    for (path, text) in &files {
+        match fs.read_file(sim, path) {
+            Ok(got) if got == *text => {}
+            Ok(_) => lost.push(format!("{path} (corrupt)")),
+            Err(e) => lost.push(format!("{path} ({e:?})")),
+        }
+    }
+    checks.push(InvariantCheck {
+        name: "no-acked-write-lost",
+        pass: lost.is_empty(),
+        detail: if lost.is_empty() {
+            format!("{} files intact", files.len())
+        } else {
+            lost.join(", ")
+        },
+    });
+
+    // Invariant: replication restored. Give the control plane time to
+    // re-replicate, polling so we can report the recovery latency.
+    let mut rereplication_ms = None;
+    let settle_deadline = sim.now() + 120_000;
+    loop {
+        let mut under = 0usize;
+        let mut total = 0usize;
+        for (path, _) in &files {
+            let chunks = fs.chunks(sim, path).unwrap_or_default();
+            for c in chunks {
+                total += 1;
+                let locs = fs.locations(sim, path, c).unwrap_or_default();
+                let live = locs.iter().filter(|l| sim.is_up(l)).count();
+                if live < cfg.replication {
+                    under += 1;
+                }
+            }
+        }
+        if under == 0 && total > 0 {
+            rereplication_ms = Some(sim.now().saturating_sub(install_at));
+            checks.push(InvariantCheck {
+                name: "replication-restored",
+                pass: true,
+                detail: format!("{total} chunks at >= {}x", cfg.replication),
+            });
+            break;
+        }
+        if sim.now() >= settle_deadline {
+            checks.push(InvariantCheck {
+                name: "replication-restored",
+                pass: false,
+                detail: format!("{under}/{total} chunks under-replicated at deadline"),
+            });
+            break;
+        }
+        sim.run_for(1_000);
+    }
+
+    // Invariant: output equals the fault-free twin and the reference.
+    let matches_twin = faulty_out == clean_out;
+    let matches_ref = faulty_out == expect;
+    checks.push(InvariantCheck {
+        name: "output-exact",
+        pass: matches_twin && matches_ref,
+        detail: if matches_twin && matches_ref {
+            format!("{} distinct words, twin and reference agree", expect.len())
+        } else {
+            format!(
+                "twin match: {matches_twin}, reference match: {matches_ref} ({} vs {} words)",
+                faulty_out.len(),
+                expect.len()
+            )
+        },
+    });
+
+    // Invariant: no divergent double-commit. Any reduce partition staged
+    // on several trackers must be byte-identical everywhere.
+    type PartitionCopies = Vec<(String, BTreeMap<String, i64>)>;
+    let mut copies: BTreeMap<i64, PartitionCopies> = BTreeMap::new();
+    for tt in &stack.trackers {
+        let found = sim.with_actor::<TaskTracker, _>(tt, |t| {
+            t.outputs
+                .iter()
+                .map(|(&(_, p), v)| (p, v.clone()))
+                .collect::<Vec<_>>()
+        });
+        for (p, counts) in found {
+            copies.entry(p).or_default().push((tt.clone(), counts));
+        }
+    }
+    let divergent: Vec<String> = copies
+        .iter()
+        .filter(|(_, v)| v.len() > 1 && v.iter().any(|(_, c)| *c != v[0].1))
+        .map(|(p, v)| {
+            format!(
+                "partition {p} on {}",
+                v.iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            )
+        })
+        .collect();
+    checks.push(InvariantCheck {
+        name: "no-divergent-commit",
+        pass: divergent.is_empty(),
+        detail: if divergent.is_empty() {
+            format!("{} partitions consistent", copies.len())
+        } else {
+            divergent.join(", ")
+        },
+    });
+
+    // Flush any schedule events still in the future (e.g. a late restart)
+    // so the fault log records the complete script as applied.
+    let horizon = install_at + schedule.horizon() + 1;
+    if sim.now() < horizon {
+        let dur = horizon - sim.now();
+        sim.run_for(dur);
+    }
+
+    ChaosReport {
+        schedule: schedule.name.clone(),
+        seed: cfg.seed,
+        fault_log: stack
+            .sim
+            .fault_log()
+            .iter()
+            .map(|f| (f.at, f.action.clone()))
+            .collect(),
+        checks,
+        job_ms_clean,
+        job_ms_faulty,
+        rereplication_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_schedules_round_trip() {
+        for n in NamedSchedule::all() {
+            assert_eq!(NamedSchedule::parse(n.name()), Some(n));
+        }
+        assert_eq!(NamedSchedule::parse("nope"), None);
+    }
+
+    #[test]
+    fn schedules_have_events() {
+        for n in NamedSchedule::all() {
+            assert!(!n.schedule().events.is_empty());
+        }
+    }
+}

@@ -13,11 +13,14 @@
 //! | E5 | `e5_failover` | NameNode failover latency & op latency vs replicas |
 //! | E6 | `e6_partitioned_nn` | metadata throughput vs partition count |
 //! | E7 | `e7_monitoring` | tracing-overhead table |
+//! | E8 | `e8_chaos` | chaos schedules: fault injection + self-healing invariants |
 //!
 //! Criterion microbenches (`cargo bench`) cover engine-level numbers that
 //! back the latency/throughput cells at CI-friendly scale.
 
+pub mod chaos;
 pub mod experiments;
 pub mod locs;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, NamedSchedule};
 pub use experiments::*;

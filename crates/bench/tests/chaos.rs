@@ -1,0 +1,73 @@
+//! E8 acceptance tests: the chaos harness must come back all-green for
+//! the gauntlet schedule (DataNode crash mid-write + TaskTracker flap
+//! mid-job) on every CI seed, and a report must be a pure function of
+//! `(schedule, seed, config)`.
+
+use boom_bench::{run_chaos, ChaosConfig, NamedSchedule};
+
+fn cfg(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        ..Default::default()
+    }
+}
+
+/// The ISSUE acceptance criterion: one DataNode crashes mid-write and one
+/// TaskTracker flaps mid-job, yet every invariant checker stays green —
+/// deterministically, across the three CI seeds.
+#[test]
+fn mixed_schedule_green_across_ci_seeds() {
+    for seed in [1u64, 2, 3] {
+        let report = run_chaos(&cfg(seed), NamedSchedule::Mixed);
+        assert!(
+            report.all_green(),
+            "seed {seed} violated invariants:\n{}",
+            report.render()
+        );
+        // The schedule actually fired: a crash and a flap hit the run.
+        let crashes = report
+            .fault_log
+            .iter()
+            .filter(|(_, what)| what.starts_with("crash "))
+            .count();
+        assert_eq!(
+            crashes,
+            2,
+            "expected dn + tt crashes, got:\n{}",
+            report.render()
+        );
+        // Faults were disruptive (the chaotic twin really took longer) and
+        // the NameNode healed the lost replicas.
+        assert!(report.job_ms_faulty > report.job_ms_clean);
+        assert!(report.rereplication_ms.is_some());
+    }
+}
+
+/// Same seed, same schedule, same config → byte-identical fault log and
+/// verdicts. This is what lets CI pin exact seeds.
+#[test]
+fn chaos_reports_are_deterministic() {
+    let a = run_chaos(&cfg(1), NamedSchedule::TrackerFlap);
+    let b = run_chaos(&cfg(1), NamedSchedule::TrackerFlap);
+    assert_eq!(a.fault_log, b.fault_log);
+    assert_eq!(a.job_ms_clean, b.job_ms_clean);
+    assert_eq!(a.job_ms_faulty, b.job_ms_faulty);
+    assert_eq!(a.rereplication_ms, b.rereplication_ms);
+    assert_eq!(a.render(), b.render());
+    assert!(a.all_green(), "{}", a.render());
+}
+
+/// The single-fault schedules stay green on the default seed as well (the
+/// full 4x3 matrix runs in CI via `chaoscheck`).
+#[test]
+fn single_fault_schedules_green_on_default_seed() {
+    for named in [NamedSchedule::DatanodeCrash, NamedSchedule::NnPartition] {
+        let report = run_chaos(&cfg(1), named);
+        assert!(
+            report.all_green(),
+            "{} violated invariants:\n{}",
+            named.name(),
+            report.render()
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Whole-stack cluster assembly for the replicated (Paxos) deployment.
 
 use crate::replicated::replicated_nn_actor;
-use boom_fs::client::{ClientActor, FsClient, FsConfig, NameNodeMode};
+use boom_fs::client::{ClientActor, FsClient, FsConfig, NameNodeMode, RetryPolicy};
 use boom_fs::datanode::{DataNode, DataNodeConfig};
 use boom_fs::namenode::NameNodeConfig;
 use boom_paxos::PaxosGroup;
@@ -97,6 +97,7 @@ impl ReplicatedFsBuilder {
                 chunk_size: self.chunk_size,
                 rpc_timeout: self.rpc_timeout,
                 write_acks: 1,
+                retry: RetryPolicy::default(),
             },
         );
         ReplicatedFsCluster {

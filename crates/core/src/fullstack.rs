@@ -3,11 +3,11 @@
 //! simulated cluster.
 
 use crate::replicated::replicated_nn_actor;
-use boom_fs::client::{ClientActor, FsClient, FsConfig, NameNodeMode};
+use boom_fs::client::{ClientActor, FsClient, FsConfig, NameNodeMode, RetryPolicy};
 use boom_fs::datanode::{DataNode, DataNodeConfig};
 use boom_fs::namenode::NameNodeConfig;
 use boom_mr::driver::MrDriver;
-use boom_mr::jobtracker::{jobtracker_actor, AssignPolicy, SpecPolicy};
+use boom_mr::jobtracker::{jobtracker_actor_cfg, AssignPolicy, JobTrackerConfig, SpecPolicy};
 use boom_mr::tasktracker::{TaskTracker, TaskTrackerConfig};
 use boom_mr::workload::CostModel;
 use boom_paxos::PaxosGroup;
@@ -33,6 +33,8 @@ pub struct FullStackBuilder {
     pub chunk_size: usize,
     /// Speculation policy.
     pub policy: SpecPolicy,
+    /// Tracker heartbeat timeout (ms) at the JobTracker.
+    pub tt_timeout: u64,
     /// Task cost model.
     pub cost: CostModel,
 }
@@ -48,6 +50,7 @@ impl Default for FullStackBuilder {
             replication: 2,
             chunk_size: 2048,
             policy: SpecPolicy::None,
+            tt_timeout: 20_000,
             cost: CostModel {
                 map_ms_per_kib: 400.0,
                 reduce_ms_per_krec: 400.0,
@@ -105,7 +108,14 @@ impl FullStackBuilder {
         }
         sim.add_node(
             "jt",
-            Box::new(jobtracker_actor("jt", self.policy, AssignPolicy::Fifo)),
+            Box::new(jobtracker_actor_cfg(
+                "jt",
+                self.policy,
+                AssignPolicy::Fifo,
+                JobTrackerConfig {
+                    tt_timeout: self.tt_timeout,
+                },
+            )),
         );
         let trackers: Vec<String> = (0..self.workers).map(|i| format!("tt{i}")).collect();
         for (i, tt) in trackers.iter().enumerate() {
@@ -132,6 +142,7 @@ impl FullStackBuilder {
                 chunk_size: self.chunk_size,
                 rpc_timeout: 1_200,
                 write_acks: 1,
+                retry: RetryPolicy::default(),
             },
         );
         let driver = MrDriver::new("client0", "jt");

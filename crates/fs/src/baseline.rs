@@ -329,6 +329,17 @@ impl BaselineNameNode {
                     _ => self.respond(ctx, &src, req, false, Value::str("nolocations")),
                 }
             }
+            "abandon" => {
+                let Some(chunk) = args.first().and_then(|v| v.as_int()) else {
+                    return self.respond(ctx, &src, req, false, Value::str("badargs"));
+                };
+                if let Some(fid) = self.chunk_file.remove(&chunk) {
+                    if let Some(list) = self.fchunks.get_mut(&fid) {
+                        list.retain(|&c| c != chunk);
+                    }
+                }
+                self.respond(ctx, &src, req, true, Value::Int(chunk));
+            }
             _ => self.respond(ctx, &src, req, false, Value::str("badcmd")),
         }
     }

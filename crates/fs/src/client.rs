@@ -11,6 +11,7 @@ use boom_overlog::{stable_hash, NetTuple, Value};
 use boom_simnet::{Actor, Ctx, Sim};
 use std::any::Any;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Client-side errors.
@@ -52,6 +53,45 @@ pub enum NameNodeMode {
     Replicated,
 }
 
+/// Retry discipline for client operations: exponential backoff with
+/// deterministic jitter (drawn from the simulation RNG, so retry traces
+/// replay from the seed).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per logical operation (per replica round in
+    /// Replicated mode). At least 1.
+    pub max_attempts: usize,
+    /// Backoff before the first retry (ms); doubles each retry.
+    pub base_backoff: u64,
+    /// Backoff ceiling (ms).
+    pub max_backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: 200,
+            max_backoff: 5_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sleep length before retry number `attempt` (1-based): exponential
+    /// growth capped at `max_backoff`, with the upper half jittered to
+    /// decorrelate clients that failed together.
+    pub fn backoff(&self, sim: &mut Sim, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1).min(16);
+        let ceil = self
+            .base_backoff
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff)
+            .max(1);
+        ceil / 2 + sim.rand_jitter(ceil.div_ceil(2))
+    }
+}
+
 /// Client-side filesystem configuration.
 #[derive(Debug, Clone)]
 pub struct FsConfig {
@@ -66,6 +106,8 @@ pub struct FsConfig {
     /// Write acknowledgements to wait for (capped by the actual replica
     /// count the NameNode returns).
     pub write_acks: usize,
+    /// Retry discipline for timeouts and transient failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for FsConfig {
@@ -76,6 +118,7 @@ impl Default for FsConfig {
             chunk_size: 4096,
             rpc_timeout: 10_000,
             write_acks: 1,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -162,6 +205,11 @@ pub struct FsClient {
     pub node: String,
     /// Routing configuration.
     pub cfg: FsConfig,
+    /// Index of the replica that last answered (Replicated mode): retries
+    /// start here and rotate, instead of re-probing dead replicas in a
+    /// fixed order. Shared across clones so drivers holding copies of the
+    /// client converge on the same leader.
+    leader_hint: Arc<AtomicUsize>,
 }
 
 impl FsClient {
@@ -170,6 +218,7 @@ impl FsClient {
         FsClient {
             node: node.to_string(),
             cfg,
+            leader_hint: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -219,7 +268,9 @@ impl FsClient {
             .expect("run_while guaranteed presence"))
     }
 
-    /// A metadata RPC routed according to the deployment mode.
+    /// A metadata RPC routed according to the deployment mode. Timeouts
+    /// are retried with exponential backoff and jitter up to the retry
+    /// cap; real (non-timeout) errors surface immediately.
     pub fn rpc(
         &self,
         sim: &mut Sim,
@@ -228,25 +279,63 @@ impl FsClient {
         args: Vec<Value>,
     ) -> Result<FsResponse, FsError> {
         match self.cfg.mode {
-            NameNodeMode::Single => {
-                let nn = self.cfg.namenodes[0].clone();
-                self.rpc_to(sim, &nn, cmd, args)
-            }
-            NameNodeMode::Partitioned => {
-                let nn = self.cfg.namenodes[self.partition_for(path)].clone();
-                self.rpc_to(sim, &nn, cmd, args)
-            }
-            NameNodeMode::Replicated => {
-                // Try every replica: the leader answers, followers stay
-                // silent, dead nodes time out.
-                let mut last = FsError::Timeout(cmd.to_string());
-                for nn in self.cfg.namenodes.clone() {
+            NameNodeMode::Single | NameNodeMode::Partitioned => {
+                let nn = match self.cfg.mode {
+                    NameNodeMode::Single => self.cfg.namenodes[0].clone(),
+                    _ => self.cfg.namenodes[self.partition_for(path)].clone(),
+                };
+                let max = self.cfg.retry.max_attempts.max(1);
+                let mut attempt = 0;
+                loop {
                     match self.rpc_to(sim, &nn, cmd, args.clone()) {
                         Ok(resp) => return Ok(resp),
-                        Err(e) => last = e,
+                        Err(e @ FsError::Timeout(_)) => {
+                            attempt += 1;
+                            if attempt >= max {
+                                return Err(e);
+                            }
+                            let sleep = self.cfg.retry.backoff(sim, attempt as u32);
+                            sim.run_for(sleep);
+                        }
+                        Err(e) => return Err(e),
                     }
                 }
-                Err(last)
+            }
+            NameNodeMode::Replicated => {
+                // Rotate through the group starting at the last replica
+                // known to answer (the leaseholder): followers stay silent
+                // and dead nodes time out, so starting anywhere else just
+                // burns timeouts. Total attempts are capped; the first
+                // *real* error is preserved rather than each replica's
+                // timeout overwriting it.
+                let n = self.cfg.namenodes.len();
+                let start = self.leader_hint.load(Ordering::Relaxed) % n.max(1);
+                let total = self.cfg.retry.max_attempts.max(1) * n;
+                let mut first_real: Option<FsError> = None;
+                for attempt in 0..total {
+                    let idx = (start + attempt) % n;
+                    let nn = self.cfg.namenodes[idx].clone();
+                    match self.rpc_to(sim, &nn, cmd, args.clone()) {
+                        Ok(resp) => {
+                            self.leader_hint.store(idx, Ordering::Relaxed);
+                            return Ok(resp);
+                        }
+                        Err(FsError::Timeout(_)) => {}
+                        Err(e) => {
+                            if first_real.is_none() {
+                                first_real = Some(e);
+                            }
+                        }
+                    }
+                    // Back off after each full rotation: the group may be
+                    // mid-election, so hammering it helps nobody.
+                    if (attempt + 1) % n == 0 && attempt + 1 < total {
+                        let round = ((attempt + 1) / n) as u32;
+                        let sleep = self.cfg.retry.backoff(sim, round);
+                        sim.run_for(sleep);
+                    }
+                }
+                Err(first_real.unwrap_or_else(|| FsError::Timeout(cmd.to_string())))
             }
         }
     }
@@ -393,6 +482,13 @@ impl FsClient {
         Ok((chunk, nodes))
     }
 
+    /// Detach a chunk from its file after a failed write. Reads then never
+    /// see the half-written chunk, and the NameNode's GC sweep reclaims
+    /// whatever replicas the aborted pipeline did reach. Idempotent.
+    pub fn abandon(&self, sim: &mut Sim, path: &str, chunk: i64) -> Result<(), FsError> {
+        Self::expect_ok(self.rpc(sim, path, "abandon", vec![Value::Int(chunk)])?).map(|_| ())
+    }
+
     /// Ordered chunk ids of a file.
     pub fn chunks(&self, sim: &mut Sim, path: &str) -> Result<Vec<i64>, FsError> {
         let payload = Self::expect_ok(self.rpc(sim, path, "chunks", vec![Value::str(path)])?)?;
@@ -444,10 +540,47 @@ impl FsClient {
             }
             let piece = &content[start..end];
             start = end;
-            let (chunk, nodes) = self.new_chunk(sim, path)?;
-            if nodes.is_empty() {
-                return Err(FsError::Failed("no datanodes for chunk".into()));
-            }
+            self.write_chunk(sim, path, piece)?;
+        }
+        Ok(())
+    }
+
+    /// Write one chunk's content with retry: allocate, pipeline to the
+    /// replicas, await the ack quorum. A write that misses its quorum is
+    /// abandoned at the NameNode (so the file never references it) and
+    /// retried after backoff against freshly chosen targets — the NameNode
+    /// only places on currently-live DataNodes, so a retry routes around
+    /// the nodes that just failed.
+    fn write_chunk(&self, sim: &mut Sim, path: &str, piece: &str) -> Result<(), FsError> {
+        let max = self.cfg.retry.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            let alloc = self.new_chunk(sim, path);
+            let (chunk, nodes) = match alloc {
+                Ok((chunk, nodes)) if !nodes.is_empty() => (chunk, nodes),
+                // No live DataNodes right now (all crashed or partitioned
+                // away): transient during chaos, so retry after backoff.
+                Ok((chunk, _)) => {
+                    let _ = self.abandon(sim, path, chunk);
+                    attempt += 1;
+                    if attempt >= max {
+                        return Err(FsError::Failed("no datanodes for chunk".into()));
+                    }
+                    let sleep = self.cfg.retry.backoff(sim, attempt as u32);
+                    sim.run_for(sleep);
+                    continue;
+                }
+                Err(FsError::Failed(why)) if why == "nonodes" => {
+                    attempt += 1;
+                    if attempt >= max {
+                        return Err(FsError::Failed(why));
+                    }
+                    let sleep = self.cfg.retry.backoff(sim, attempt as u32);
+                    sim.run_for(sleep);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let req = self.fresh_req(sim);
             let pipeline: Vec<Value> = nodes[1..].iter().map(Value::addr).collect();
             sim.inject(
@@ -469,44 +602,78 @@ impl FsClient {
                     c.acks.get(&req).map(|a| a.len()).unwrap_or(0) >= need
                 })
             });
-            if !ok {
+            if ok {
+                return Ok(());
+            }
+            let _ = self.abandon(sim, path, chunk);
+            attempt += 1;
+            if attempt >= max {
                 return Err(FsError::Timeout(format!("write chunk {chunk}")));
             }
+            let sleep = self.cfg.retry.backoff(sim, attempt as u32);
+            sim.run_for(sleep);
         }
-        Ok(())
     }
 
-    /// Read a whole file back.
+    /// Read a whole file back. Each chunk's location list is refreshed and
+    /// the read retried with backoff when every replica fails — the
+    /// NameNode may be mid-re-replication after a DataNode death, in which
+    /// case the next round lists the freshly copied replica.
     pub fn read_file(&self, sim: &mut Sim, path: &str) -> Result<String, FsError> {
         let chunks = self.chunks(sim, path)?;
+        let max = self.cfg.retry.max_attempts.max(1);
         let mut out = String::new();
         for chunk in chunks {
-            let locs = self.locations(sim, path, chunk)?;
             let mut got = None;
-            for dn in &locs {
-                let req = self.fresh_req(sim);
-                sim.inject(
-                    dn,
-                    proto::DN_READ,
-                    Arc::new(vec![
-                        Value::addr(&self.node),
-                        Value::Int(req),
-                        Value::Int(chunk),
-                    ]),
-                );
-                let deadline = sim.now() + self.cfg.rpc_timeout;
-                let node = self.node.clone();
-                let answered = sim.run_while(deadline, |s| {
-                    s.with_actor::<ClientActor, _>(&node, |c| c.chunk_data.contains_key(&req))
-                });
-                if answered {
-                    let data =
-                        sim.with_actor::<ClientActor, _>(&self.node, |c| c.chunk_data.remove(&req));
-                    if let Some(Some(content)) = data {
-                        got = Some(content);
-                        break;
+            let mut attempt = 0;
+            loop {
+                let locs = match self.locations(sim, path, chunk) {
+                    Ok(locs) => locs,
+                    // "nolocations" while the failure detector and
+                    // re-replication catch up is transient; retry.
+                    Err(FsError::Failed(_)) | Err(FsError::Timeout(_)) if attempt + 1 < max => {
+                        Vec::new()
+                    }
+                    Err(e) => return Err(e),
+                };
+                // Rotate the starting replica by attempt so a stuck first
+                // replica doesn't eat a full timeout every round.
+                for i in 0..locs.len() {
+                    let dn = &locs[(i + attempt) % locs.len()];
+                    let req = self.fresh_req(sim);
+                    sim.inject(
+                        dn,
+                        proto::DN_READ,
+                        Arc::new(vec![
+                            Value::addr(&self.node),
+                            Value::Int(req),
+                            Value::Int(chunk),
+                        ]),
+                    );
+                    let deadline = sim.now() + self.cfg.rpc_timeout;
+                    let node = self.node.clone();
+                    let answered = sim.run_while(deadline, |s| {
+                        s.with_actor::<ClientActor, _>(&node, |c| c.chunk_data.contains_key(&req))
+                    });
+                    if answered {
+                        let data = sim.with_actor::<ClientActor, _>(&self.node, |c| {
+                            c.chunk_data.remove(&req)
+                        });
+                        if let Some(Some(content)) = data {
+                            got = Some(content);
+                            break;
+                        }
                     }
                 }
+                if got.is_some() {
+                    break;
+                }
+                attempt += 1;
+                if attempt >= max {
+                    break;
+                }
+                let sleep = self.cfg.retry.backoff(sim, attempt as u32);
+                sim.run_for(sleep);
             }
             match got {
                 Some(content) => out.push_str(&content),

@@ -3,7 +3,7 @@
 //! DataNodes, and a client node.
 
 use crate::baseline::{BaselineConfig, BaselineNameNode};
-use crate::client::{ClientActor, FsClient, FsConfig, NameNodeMode};
+use crate::client::{ClientActor, FsClient, FsConfig, NameNodeMode, RetryPolicy};
 use crate::datanode::{DataNode, DataNodeConfig};
 use crate::namenode::{namenode_actor, NameNodeConfig};
 use boom_simnet::{Sim, SimConfig};
@@ -130,6 +130,7 @@ impl FsClusterBuilder {
                 chunk_size: self.chunk_size,
                 rpc_timeout: 10_000,
                 write_acks: 1,
+                retry: RetryPolicy::default(),
             },
         );
         FsCluster {

@@ -1,0 +1,144 @@
+//! Self-healing BOOM-FS: heartbeat-driven failure detection,
+//! re-replication of under-replicated chunks, client retry with backoff
+//! across NameNode outages, and the abandon protocol for failed writes.
+
+use boom_fs::cluster::{ControlPlane, FsCluster, FsClusterBuilder};
+use boom_fs::FsError;
+use boom_simnet::OverlogActor;
+
+fn cluster() -> FsCluster {
+    FsClusterBuilder {
+        control: ControlPlane::Declarative,
+        datanodes: 4,
+        replication: 2,
+        chunk_size: 64,
+        hb_interval: 1_000,
+        hb_timeout: 6_000,
+        ..Default::default()
+    }
+    .build()
+}
+
+#[test]
+fn datanode_crash_triggers_rereplication() {
+    let mut c = cluster();
+    let cl = c.client.clone();
+    let sim = &mut c.sim;
+    let content = "the quick brown fox jumps over the lazy dog ".repeat(8);
+    cl.write_file(sim, "/f", &content).unwrap();
+    let chunks = cl.chunks(sim, "/f").unwrap();
+    assert!(!chunks.is_empty());
+    // Crash a DataNode holding the first chunk.
+    let victim = cl.locations(sim, "/f", chunks[0]).unwrap()[0].clone();
+    let at = sim.now() + 10;
+    sim.schedule_crash(&victim, at);
+    // Heartbeats stop; after hb_timeout the failure detector reaps the
+    // node and repcheck copies every affected chunk to a live node.
+    sim.run_for(30_000);
+    for &chunk in &chunks {
+        let locs = cl.locations(sim, "/f", chunk).unwrap();
+        assert!(
+            locs.len() >= 2,
+            "chunk {chunk} still under-replicated: {locs:?}"
+        );
+        assert!(!locs.contains(&victim), "dead node still listed");
+    }
+    // The NameNode's own bookkeeping view agrees.
+    sim.with_actor::<OverlogActor, _>("nn0", |a| {
+        assert_eq!(a.runtime().count("underrep"), 0);
+    });
+    // And no acked byte was lost.
+    assert_eq!(cl.read_file(sim, "/f").unwrap(), content);
+}
+
+#[test]
+fn rpc_retries_across_namenode_flap() {
+    let mut c = cluster();
+    let cl = c.client.clone();
+    let sim = &mut c.sim;
+    // Crash the NameNode and bring it back during the client's backoff
+    // window: the first attempt times out, the retry succeeds. (The
+    // restarted NameNode loses its soft state, but "/" always exists.)
+    let at = sim.now() + 10;
+    sim.schedule_crash("nn0", at);
+    sim.schedule_restart("nn0", at + 11_000); // rpc_timeout is 10s
+    let ok = cl.exists(sim, "/");
+    assert!(ok.unwrap(), "retry must ride out the flap");
+}
+
+#[test]
+fn rpc_timeout_respects_attempt_cap() {
+    let mut c = cluster();
+    let cl = c.client.clone();
+    let sim = &mut c.sim;
+    let at = sim.now() + 10;
+    sim.schedule_crash("nn0", at);
+    sim.run_for(20);
+    let t0 = sim.now();
+    let err = cl.exists(sim, "/").unwrap_err();
+    assert!(matches!(err, FsError::Timeout(_)));
+    let elapsed = sim.now() - t0;
+    // Default policy: 4 attempts × 10s timeout + 3 backoffs (≤ 5s each).
+    assert!(elapsed >= 40_000, "all attempts used: {elapsed}ms");
+    assert!(elapsed <= 60_000, "attempt cap respected: {elapsed}ms");
+}
+
+#[test]
+fn abandon_detaches_chunk_and_gc_reclaims_replicas() {
+    let mut c = cluster();
+    let cl = c.client.clone();
+    let sim = &mut c.sim;
+    cl.write_file(sim, "/f", "hello world").unwrap();
+    let chunks = cl.chunks(sim, "/f").unwrap();
+    assert_eq!(chunks.len(), 1);
+    cl.abandon(sim, "/f", chunks[0]).unwrap();
+    assert_eq!(cl.chunks(sim, "/f").unwrap(), vec![]);
+    // Abandoning again is a no-op, not an error.
+    cl.abandon(sim, "/f", chunks[0]).unwrap();
+    // The replicas are garbage-collected off the DataNodes: once the next
+    // gcsweep (10s) plus a heartbeat round trip pass, nobody reports the
+    // chunk any more.
+    sim.run_for(25_000);
+    assert!(matches!(
+        cl.locations(sim, "/f", chunks[0]),
+        Err(FsError::Failed(ref m)) if m == "nolocations"
+    ));
+    // The file itself is intact and writable again.
+    cl.append(sim, "/f", "fresh content").unwrap();
+    assert_eq!(cl.read_file(sim, "/f").unwrap(), "fresh content");
+}
+
+#[test]
+fn newchunk_with_no_datanodes_fails_clean_then_recovers() {
+    let mut c = FsClusterBuilder {
+        control: ControlPlane::Declarative,
+        datanodes: 1,
+        replication: 1,
+        chunk_size: 64,
+        hb_interval: 1_000,
+        hb_timeout: 4_000,
+        ..Default::default()
+    }
+    .build();
+    let cl = c.client.clone();
+    let sim = &mut c.sim;
+    cl.create(sim, "/f").unwrap();
+    // Kill the only DataNode and let the failure detector notice.
+    let at = sim.now() + 10;
+    sim.schedule_crash("dn0", at);
+    sim.run_for(10_000);
+    // Writes cannot succeed, but they fail cleanly (no orphan chunk rows)
+    // after exhausting retries...
+    let err = cl.append(sim, "/f", "doomed").unwrap_err();
+    assert!(
+        matches!(err, FsError::Failed(ref m) if m == "nonodes"),
+        "{err:?}"
+    );
+    assert_eq!(cl.chunks(sim, "/f").unwrap(), vec![]);
+    // ...and once the DataNode returns (its disk intact), writes succeed.
+    let at = sim.now() + 10;
+    sim.schedule_restart("dn0", at);
+    sim.run_for(3_000);
+    cl.append(sim, "/f", "alive again").unwrap();
+    assert_eq!(cl.read_file(sim, "/f").unwrap(), "alive again");
+}

@@ -47,6 +47,8 @@ pub struct BaselineJobTracker {
     attempts: BTreeMap<(i64, i64, i64), AttemptMeta>,
     trackers: BTreeMap<String, i64>,
     tracker_hb: HashMap<String, u64>,
+    tracker_gen: HashMap<String, i64>,
+    tt_timeout: u64,
     /// (job, task, attempt, type, start, end) for completed attempts —
     /// feeds the evaluation harness, mirroring the Overlog `attempt_end`
     /// table.
@@ -64,8 +66,16 @@ impl BaselineJobTracker {
             attempts: BTreeMap::new(),
             trackers: BTreeMap::new(),
             tracker_hb: HashMap::new(),
+            tracker_gen: HashMap::new(),
+            tt_timeout: 20_000,
             task_times: Vec::new(),
         }
+    }
+
+    /// Set the tracker heartbeat timeout (ms).
+    pub fn with_tt_timeout(mut self, ms: u64) -> Self {
+        self.tt_timeout = ms;
+        self
     }
 
     fn busy(&self, tracker: &str) -> i64 {
@@ -337,41 +347,48 @@ impl BaselineJobTracker {
         let dead: Vec<String> = self
             .tracker_hb
             .iter()
-            .filter(|(_, &last)| now.saturating_sub(last) > 20_000)
+            .filter(|(_, &last)| now.saturating_sub(last) > self.tt_timeout)
             .map(|(n, _)| n.clone())
             .collect();
         for n in dead {
             self.trackers.remove(&n);
             self.tracker_hb.remove(&n);
-            // Jobs that already finished keep their results; incomplete
-            // jobs lose the dead tracker's outputs and must re-execute.
-            let complete_jobs: Vec<i64> = self
-                .jobs
-                .keys()
-                .filter(|j| {
-                    self.tasks
-                        .iter()
-                        .filter(|((tj, _), _)| tj == *j)
-                        .all(|(_, t)| t.done)
-                })
-                .cloned()
-                .collect();
-            let mut lost_tasks = Vec::new();
-            for (&(j, t, _), a) in &mut self.attempts {
-                if a.tracker != n {
-                    continue;
-                }
-                if a.state == proto::state::RUNNING {
-                    a.state = "failed".to_string();
-                } else if a.state == proto::state::DONE && !complete_jobs.contains(&j) {
-                    a.state = "lost".to_string();
-                    lost_tasks.push((j, t));
-                }
+            self.tracker_gen.remove(&n);
+            self.reap_attempts(&n);
+        }
+    }
+
+    /// Fail a vanished tracker's running attempts and mark its completed
+    /// ones lost so the affected tasks become runnable again. Jobs that
+    /// already finished keep their results; incomplete jobs lose the
+    /// tracker's outputs and must re-execute.
+    fn reap_attempts(&mut self, n: &str) {
+        let complete_jobs: Vec<i64> = self
+            .jobs
+            .keys()
+            .filter(|j| {
+                self.tasks
+                    .iter()
+                    .filter(|((tj, _), _)| tj == *j)
+                    .all(|(_, t)| t.done)
+            })
+            .cloned()
+            .collect();
+        let mut lost_tasks = Vec::new();
+        for (&(j, t, _), a) in &mut self.attempts {
+            if a.tracker != n {
+                continue;
             }
-            for key in lost_tasks {
-                if let Some(tm) = self.tasks.get_mut(&key) {
-                    tm.done = false;
-                }
+            if a.state == proto::state::RUNNING {
+                a.state = "failed".to_string();
+            } else if a.state == proto::state::DONE && !complete_jobs.contains(&j) {
+                a.state = "lost".to_string();
+                lost_tasks.push((j, t));
+            }
+        }
+        for key in lost_tasks {
+            if let Some(tm) = self.tasks.get_mut(&key) {
+                tm.done = false;
             }
         }
     }
@@ -385,7 +402,7 @@ impl Actor for BaselineJobTracker {
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
         // Volatile job state, like stock Hadoop's JobTracker.
-        *self = BaselineJobTracker::new(self.policy);
+        *self = BaselineJobTracker::new(self.policy).with_tt_timeout(self.tt_timeout);
         ctx.set_timer(10, 0);
         ctx.set_timer(5_000, 1);
     }
@@ -410,15 +427,22 @@ impl Actor for BaselineJobTracker {
                     row.get(2).and_then(|v| v.as_str()),
                     row.get(4).and_then(|v| v.as_int()),
                 ) {
-                    self.jobs.insert(
-                        j,
-                        JobMeta {
-                            client: c.to_string(),
-                            job_type: ty.to_string(),
-                            nreduces: r,
-                            notified: false,
-                        },
-                    );
+                    // Resubmission of a known job must not reset task
+                    // state; clearing `notified` makes the periodic sweep
+                    // re-ack a completed job whose response was lost.
+                    if let Some(jm) = self.jobs.get_mut(&j) {
+                        jm.notified = false;
+                    } else {
+                        self.jobs.insert(
+                            j,
+                            JobMeta {
+                                client: c.to_string(),
+                                job_type: ty.to_string(),
+                                nreduces: r,
+                                notified: false,
+                            },
+                        );
+                    }
                 }
             }
             proto::TASK_SUBMIT => {
@@ -429,27 +453,44 @@ impl Actor for BaselineJobTracker {
                     row.get(3).and_then(|v| v.as_int()),
                     row.get(4).and_then(|v| v.as_list()),
                 ) {
-                    self.tasks.insert(
-                        (j, t),
-                        TaskMeta {
-                            ty: ty.to_string(),
-                            chunk: ch,
-                            locs: locs
-                                .iter()
-                                .filter_map(|v| v.as_str().map(str::to_string))
-                                .collect(),
-                            done: false,
-                            attempts: 0,
-                        },
-                    );
+                    // Keep done/attempt state across resubmission; only
+                    // refresh the replica locations.
+                    let locs: Vec<String> = locs
+                        .iter()
+                        .filter_map(|v| v.as_str().map(str::to_string))
+                        .collect();
+                    if let Some(tm) = self.tasks.get_mut(&(j, t)) {
+                        tm.locs = locs;
+                    } else {
+                        self.tasks.insert(
+                            (j, t),
+                            TaskMeta {
+                                ty: ty.to_string(),
+                                chunk: ch,
+                                locs,
+                                done: false,
+                                attempts: 0,
+                            },
+                        );
+                    }
                 }
             }
             proto::TT_REGISTER => {
                 if let (Some(n), Some(s)) = (
-                    row.first().and_then(|v| v.as_str()),
+                    row.first().and_then(|v| v.as_str()).map(str::to_string),
                     row.get(1).and_then(|v| v.as_int()),
                 ) {
-                    self.trackers.insert(n.to_string(), s);
+                    let gen = row.get(2).and_then(|v| v.as_int()).unwrap_or(0);
+                    // A higher registration generation means the tracker
+                    // crashed and came back faster than the heartbeat
+                    // timeout: its outputs are gone all the same.
+                    if let Some(&old) = self.tracker_gen.get(&n) {
+                        if gen > old {
+                            self.reap_attempts(&n);
+                        }
+                    }
+                    self.tracker_gen.insert(n.clone(), gen);
+                    self.trackers.insert(n, s);
                 }
             }
             proto::TT_HB => {

@@ -5,11 +5,11 @@
 
 use crate::baseline::BaselineJobTracker;
 use crate::driver::MrDriver;
-use crate::jobtracker::{jobtracker_actor, AssignPolicy, SpecPolicy};
+use crate::jobtracker::{jobtracker_actor_cfg, AssignPolicy, JobTrackerConfig, SpecPolicy};
 use crate::tasktracker::{TaskTracker, TaskTrackerConfig};
 use crate::workload::CostModel;
 use boom_fs::baseline::{BaselineConfig, BaselineNameNode};
-use boom_fs::client::{ClientActor, FsClient, FsConfig, NameNodeMode};
+use boom_fs::client::{ClientActor, FsClient, FsConfig, NameNodeMode, RetryPolicy};
 use boom_fs::cluster::ControlPlane;
 use boom_fs::datanode::{DataNode, DataNodeConfig};
 use boom_fs::namenode::{namenode_actor, NameNodeConfig};
@@ -58,6 +58,8 @@ pub struct MrClusterBuilder {
     pub replication: usize,
     /// Client chunk size in bytes (also the map-split size).
     pub chunk_size: usize,
+    /// Tracker heartbeat timeout (ms) at the JobTracker.
+    pub tt_timeout: u64,
     /// Straggler injection.
     pub stragglers: StragglerConfig,
     /// Task cost model.
@@ -76,6 +78,7 @@ impl Default for MrClusterBuilder {
             slots: 2,
             replication: 2,
             chunk_size: 4096,
+            tt_timeout: 20_000,
             stragglers: StragglerConfig::default(),
             cost: CostModel::default(),
         }
@@ -138,10 +141,23 @@ impl MrClusterBuilder {
         };
         match self.mr_control {
             ControlPlane::Declarative => {
-                sim.add_node("jt", Box::new(jobtracker_actor("jt", self.policy, assign)));
+                sim.add_node(
+                    "jt",
+                    Box::new(jobtracker_actor_cfg(
+                        "jt",
+                        self.policy,
+                        assign,
+                        JobTrackerConfig {
+                            tt_timeout: self.tt_timeout,
+                        },
+                    )),
+                );
             }
             ControlPlane::Baseline => {
-                sim.add_node("jt", Box::new(BaselineJobTracker::new(self.policy)));
+                sim.add_node(
+                    "jt",
+                    Box::new(BaselineJobTracker::new(self.policy).with_tt_timeout(self.tt_timeout)),
+                );
             }
         }
         let mut straggler_nodes = Vec::new();
@@ -185,6 +201,7 @@ impl MrClusterBuilder {
                 chunk_size: self.chunk_size,
                 rpc_timeout: 10_000,
                 write_acks: 1,
+                retry: RetryPolicy::default(),
             },
         );
         let driver = MrDriver::new("client0", "jt");

@@ -71,6 +71,31 @@ impl MrDriver {
     pub fn submit(&mut self, sim: &mut Sim, fs: &FsClient, job: &MrJob) -> Result<i64, FsError> {
         let job_id = self.next_job;
         self.next_job += 1;
+        self.send_job(sim, fs, job, job_id)?;
+        Ok(job_id)
+    }
+
+    /// Re-send a job's rows under an existing id. Idempotent on both
+    /// JobTracker implementations (keyed rows overwrite; task state is
+    /// preserved), so the driver can recover from a JobTracker restart
+    /// that wiped its volatile job state, or from a lost completion ack.
+    pub fn resubmit(
+        &self,
+        sim: &mut Sim,
+        fs: &FsClient,
+        job: &MrJob,
+        job_id: i64,
+    ) -> Result<(), FsError> {
+        self.send_job(sim, fs, job, job_id)
+    }
+
+    fn send_job(
+        &self,
+        sim: &mut Sim,
+        fs: &FsClient,
+        job: &MrJob,
+        job_id: i64,
+    ) -> Result<(), FsError> {
         // Resolve splits first so task_submit rows precede job scheduling.
         let mut splits: Vec<(i64, Vec<String>)> = Vec::new();
         for input in &job.inputs {
@@ -107,7 +132,7 @@ impl MrDriver {
                 proto::task_submit_row(job_id, nmaps + r as i64, "reduce", r as i64, vec![]),
             );
         }
-        Ok(job_id)
+        Ok(())
     }
 
     /// Run the simulation until the job-completion notification arrives;
@@ -154,21 +179,64 @@ impl MrDriver {
         }
     }
 
-    /// Merge the reduce outputs of a job from every tracker.
+    /// Submit and wait with recovery: if no completion arrives within a
+    /// quiet window, re-send the job rows (the JobTracker may have
+    /// restarted and forgotten everything, or the completion ack may have
+    /// been lost) and wait again with exponential backoff plus jitter, up
+    /// to the deadline. Returns `(job_id, completion_time)`.
+    pub fn run_robust(
+        &mut self,
+        sim: &mut Sim,
+        fs: &FsClient,
+        job: &MrJob,
+        deadline: u64,
+    ) -> Result<(i64, u64), FsError> {
+        let start = sim.now();
+        let id = self.submit(sim, fs, job)?;
+        let mut window: u64 = 30_000;
+        loop {
+            let until = deadline.min(sim.now() + window);
+            if let Some(done) = self.wait(sim, id, until) {
+                return Ok((id, done.saturating_sub(start)));
+            }
+            if sim.now() >= deadline {
+                return Err(FsError::Timeout(format!("job {id}")));
+            }
+            self.resubmit(sim, fs, job, id)?;
+            window = window.saturating_mul(2).min(240_000) + sim.rand_jitter(window / 4);
+        }
+    }
+
+    /// Merge the reduce outputs of a job from every tracker, one copy per
+    /// partition: a reduce rescheduled after a tracker failure can leave
+    /// identical outputs on two trackers, and a crashed tracker may still
+    /// hold a stale copy — prefer a live tracker's copy and never sum
+    /// duplicates.
     pub fn collect_output(sim: &mut Sim, trackers: &[String], job: i64) -> BTreeMap<String, i64> {
-        let mut merged = BTreeMap::new();
+        let mut parts: BTreeMap<i64, (bool, BTreeMap<String, i64>)> = BTreeMap::new();
         for tt in trackers {
-            let parts = sim.with_actor::<TaskTracker, _>(tt, |t| {
+            let live = sim.is_up(tt);
+            let found = sim.with_actor::<TaskTracker, _>(tt, |t| {
                 t.outputs
                     .iter()
                     .filter(|((j, _), _)| *j == job)
-                    .map(|(k, v)| (*k, v.clone()))
+                    .map(|(&(_, p), v)| (p, v.clone()))
                     .collect::<Vec<_>>()
             });
-            for (_, counts) in parts {
-                for (w, c) in counts {
-                    *merged.entry(w).or_insert(0) += c;
+            for (p, counts) in found {
+                match parts.get(&p) {
+                    Some((true, _)) => {}
+                    Some((false, _)) if !live => {}
+                    _ => {
+                        parts.insert(p, (live, counts));
+                    }
                 }
+            }
+        }
+        let mut merged = BTreeMap::new();
+        for (_, (_, counts)) in parts {
+            for (w, c) in counts {
+                *merged.entry(w).or_insert(0) += c;
             }
         }
         merged

@@ -1,7 +1,8 @@
 //! Construction of the declarative (Overlog) JobTracker.
 
-use boom_overlog::OverlogRuntime;
+use boom_overlog::{OverlogRuntime, Value};
 use boom_simnet::OverlogActor;
+use std::sync::Arc;
 
 /// The core JobTracker program (bookkeeping; assignment policy separate).
 pub const JOBTRACKER_OLG: &str = include_str!("olg/jobtracker.olg");
@@ -71,12 +72,39 @@ impl AssignPolicy {
     }
 }
 
+/// JobTracker tunables (beyond the swappable policy programs).
+#[derive(Debug, Clone, Copy)]
+pub struct JobTrackerConfig {
+    /// Tracker heartbeat timeout (ms): a tracker silent this long is
+    /// reaped and its attempts failed / marked lost.
+    pub tt_timeout: u64,
+}
+
+impl Default for JobTrackerConfig {
+    fn default() -> Self {
+        JobTrackerConfig { tt_timeout: 20_000 }
+    }
+}
+
 /// Build a JobTracker runtime with the given speculation and assignment
-/// policies.
-pub fn jobtracker_runtime(addr: &str, policy: SpecPolicy, assign: &AssignPolicy) -> OverlogRuntime {
+/// policies and tunables.
+pub fn jobtracker_runtime_cfg(
+    addr: &str,
+    policy: SpecPolicy,
+    assign: &AssignPolicy,
+    cfg: JobTrackerConfig,
+) -> OverlogRuntime {
     let mut rt = OverlogRuntime::new(addr);
     rt.load(JOBTRACKER_OLG)
         .expect("embedded jobtracker.olg must compile");
+    // Override tunables: delete the default fact, insert the configured one.
+    rt.delete("tt_timeout", Arc::new(vec![Value::Int(20_000)]))
+        .expect("tt_timeout is declared");
+    rt.insert(
+        "tt_timeout",
+        Arc::new(vec![Value::Int(cfg.tt_timeout as i64)]),
+    )
+    .expect("tt_timeout row is well-typed");
     rt.load(assign.olg())
         .expect("embedded assignment policy must compile");
     let facts = assign.facts();
@@ -91,14 +119,29 @@ pub fn jobtracker_runtime(addr: &str, policy: SpecPolicy, assign: &AssignPolicy)
     rt
 }
 
+/// Build a JobTracker runtime with default tunables.
+pub fn jobtracker_runtime(addr: &str, policy: SpecPolicy, assign: &AssignPolicy) -> OverlogRuntime {
+    jobtracker_runtime_cfg(addr, policy, assign, JobTrackerConfig::default())
+}
+
 /// Build the JobTracker as a simulator actor (restarts lose job state,
 /// like stock Hadoop's JobTracker).
-pub fn jobtracker_actor(addr: &str, policy: SpecPolicy, assign: AssignPolicy) -> OverlogActor {
+pub fn jobtracker_actor_cfg(
+    addr: &str,
+    policy: SpecPolicy,
+    assign: AssignPolicy,
+    cfg: JobTrackerConfig,
+) -> OverlogActor {
     OverlogActor::with_factory(
-        Box::new(move |name| jobtracker_runtime(name, policy, &assign)),
+        Box::new(move |name| jobtracker_runtime_cfg(name, policy, &assign, cfg)),
         10,
         addr,
     )
+}
+
+/// [`jobtracker_actor_cfg`] with default tunables.
+pub fn jobtracker_actor(addr: &str, policy: SpecPolicy, assign: AssignPolicy) -> OverlogActor {
+    jobtracker_actor_cfg(addr, policy, assign, JobTrackerConfig::default())
 }
 
 #[cfg(test)]

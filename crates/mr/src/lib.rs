@@ -27,7 +27,8 @@ pub use baseline::BaselineJobTracker;
 pub use cluster::{MrCluster, MrClusterBuilder, StragglerConfig};
 pub use driver::{MrDriver, MrJob, TaskTime};
 pub use jobtracker::{
-    jobtracker_actor, jobtracker_runtime, SpecPolicy, JOBTRACKER_OLG, LATE_OLG, NAIVE_OLG,
+    jobtracker_actor, jobtracker_actor_cfg, jobtracker_runtime, jobtracker_runtime_cfg,
+    JobTrackerConfig, SpecPolicy, JOBTRACKER_OLG, LATE_OLG, NAIVE_OLG,
 };
 pub use tasktracker::{TaskTracker, TaskTrackerConfig};
 pub use workload::{reference_wordcount, synth_text, CostModel};

@@ -9,7 +9,9 @@ use std::sync::Arc;
 pub const JOB_SUBMIT: &str = "job_submit";
 /// Driver → JobTracker: `task_submit(JobId, TaskId, Type, Chunk, Locs)`.
 pub const TASK_SUBMIT: &str = "task_submit";
-/// Tracker → JobTracker: `tt_register(Name, Slots)`.
+/// Tracker → JobTracker: `tt_register(Name, Slots, Generation)` — the
+/// generation bumps on every tracker restart so flaps faster than the
+/// heartbeat timeout are still detected.
 pub const TT_REGISTER: &str = "tt_register";
 /// Tracker → JobTracker: `tt_hb(Name, Time)`.
 pub const TT_HB: &str = "tt_hb";

@@ -20,6 +20,11 @@ type AttemptKey = (i64, i64, i64);
 /// attempt failed (a peer died mid-shuffle).
 const FETCH_TIMEOUT_MS: u64 = 8_000;
 
+/// How long a mapper waits for chunk data before moving to the next
+/// replica (a DataNode died between placement and the read: the request
+/// is silently dropped and no error will ever come back).
+const READ_TIMEOUT_MS: u64 = 4_000;
+
 /// TaskTracker configuration.
 #[derive(Debug, Clone)]
 pub struct TaskTrackerConfig {
@@ -88,6 +93,7 @@ pub struct TaskTracker {
     read_reqs: HashMap<i64, AttemptKey>,
     fetch_reqs: HashMap<i64, AttemptKey>,
     fetch_deadlines: HashMap<u64, AttemptKey>,
+    read_deadlines: HashMap<u64, i64>,
     next_req: i64,
     timer_keys: HashMap<u64, AttemptKey>,
     next_timer: u64,
@@ -104,6 +110,11 @@ pub struct TaskTracker {
     pub local_reads: u64,
     /// Map inputs read from a remote DataNode.
     pub remote_reads: u64,
+    /// Incarnation number, bumped on every restart and carried in
+    /// `tt_register`: lets the JobTracker detect a tracker that crashed
+    /// and came back *faster* than the heartbeat timeout (a flap), whose
+    /// map outputs and reduce results are nevertheless gone.
+    generation: i64,
 }
 
 /// One running attempt in a [`TaskTracker::debug_state`] snapshot:
@@ -141,6 +152,7 @@ impl TaskTracker {
             read_reqs: HashMap::new(),
             fetch_reqs: HashMap::new(),
             fetch_deadlines: HashMap::new(),
+            read_deadlines: HashMap::new(),
             next_req: 0,
             timer_keys: HashMap::new(),
             next_timer: 1,
@@ -149,6 +161,7 @@ impl TaskTracker {
             killed: 0,
             local_reads: 0,
             remote_reads: 0,
+            generation: 0,
         }
     }
 
@@ -162,7 +175,11 @@ impl TaskTracker {
         ctx.send(
             &self.cfg.jobtracker.clone(),
             proto::TT_REGISTER,
-            Arc::new(vec![Value::addr(&me), Value::Int(self.cfg.slots as i64)]),
+            Arc::new(vec![
+                Value::addr(&me),
+                Value::Int(self.cfg.slots as i64),
+                Value::Int(self.generation),
+            ]),
         );
     }
 
@@ -228,42 +245,35 @@ impl TaskTracker {
                     launch.locs.swap(0, pos);
                 }
             }
-            let req = self.fresh_req();
-            self.read_reqs.insert(req, key);
-            let me = ctx.me().to_string();
-            let phase = if let Some(dn) = launch.locs.first() {
-                if Some(dn) == self.cfg.colocated_dn.as_ref() {
+            if let Some(dn) = launch.locs.first().cloned() {
+                if Some(&dn) == self.cfg.colocated_dn.as_ref() {
                     self.local_reads += 1;
                 } else {
                     self.remote_reads += 1;
                 }
-                ctx.send(
-                    dn,
-                    fsproto::DN_READ,
-                    Arc::new(vec![
-                        Value::addr(&me),
-                        Value::Int(req),
-                        Value::Int(launch.chunk),
-                    ]),
+                let chunk = launch.chunk;
+                self.running.insert(
+                    key,
+                    Running {
+                        launch,
+                        start: now,
+                        phase: Phase::Reading(0),
+                    },
                 );
-                Phase::Reading(0)
+                self.send_read(ctx, key, &dn, chunk);
             } else {
                 // No input replica: degenerate empty map.
-                Phase::Computing {
-                    finish_at: now + self.cfg.cost.map_duration(0, self.cfg.speed),
-                }
-            };
-            if let Phase::Computing { finish_at } = phase {
+                let finish_at = now + self.cfg.cost.map_duration(0, self.cfg.speed);
+                self.running.insert(
+                    key,
+                    Running {
+                        launch,
+                        start: now,
+                        phase: Phase::Computing { finish_at },
+                    },
+                );
                 self.arm_completion(ctx, key, finish_at);
             }
-            self.running.insert(
-                key,
-                Running {
-                    launch,
-                    start: now,
-                    phase,
-                },
-            );
         } else {
             // Reduce: shuffle from every tracker.
             let req = self.fresh_req();
@@ -308,6 +318,55 @@ impl TaskTracker {
             self.next_timer += 1;
             self.fetch_deadlines.insert(tag, key);
             ctx.set_timer(FETCH_TIMEOUT_MS, tag);
+        }
+    }
+
+    /// Send a chunk read to `dn` and arm the replica-advance deadline: a
+    /// DataNode that died between placement and the read drops the
+    /// request silently, so no error tuple will ever answer it.
+    fn send_read(&mut self, ctx: &mut Ctx<'_>, key: AttemptKey, dn: &str, chunk: i64) {
+        let req = self.fresh_req();
+        self.read_reqs.insert(req, key);
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        self.read_deadlines.insert(tag, req);
+        ctx.set_timer(READ_TIMEOUT_MS, tag);
+        let me = ctx.me().to_string();
+        ctx.send(
+            dn,
+            fsproto::DN_READ,
+            Arc::new(vec![Value::addr(&me), Value::Int(req), Value::Int(chunk)]),
+        );
+    }
+
+    /// Move a reading attempt to its next replica; with replicas
+    /// exhausted, report the attempt failed so the JobTracker reschedules
+    /// it (a later resubmission refreshes stale replica locations).
+    fn advance_replica(&mut self, ctx: &mut Ctx<'_>, key: AttemptKey) {
+        let mut retry: Option<(String, i64)> = None;
+        let mut give_up = false;
+        if let Some(r) = self.running.get_mut(&key) {
+            if let Phase::Reading(idx) = r.phase {
+                let next = idx + 1;
+                if let Some(dn) = r.launch.locs.get(next) {
+                    r.phase = Phase::Reading(next);
+                    retry = Some((dn.clone(), r.launch.chunk));
+                } else {
+                    give_up = true;
+                }
+            }
+        }
+        if let Some((dn, chunk)) = retry {
+            self.send_read(ctx, key, &dn, chunk);
+        } else if give_up {
+            self.running.remove(&key);
+            let me = ctx.me().to_string();
+            ctx.send(
+                &self.cfg.jobtracker.clone(),
+                proto::PROGRESS_REPORT,
+                proto::progress_row(key.0, key.1, key.2, &me, "failed", 0, ctx.now() as i64),
+            );
+            self.drain_queue(ctx);
         }
     }
 
@@ -536,40 +595,7 @@ impl TaskTracker {
         let Some(key) = self.read_reqs.remove(&req) else {
             return;
         };
-        // Try the next replica; if exhausted, drop the attempt — the
-        // JobTracker's liveness rules will reschedule it.
-        let me = ctx.me().to_string();
-        let mut retry: Option<(String, i64, i64)> = None;
-        let mut give_up = false;
-        if let Some(r) = self.running.get_mut(&key) {
-            if let Phase::Reading(idx) = r.phase {
-                let next = idx + 1;
-                if let Some(dn) = r.launch.locs.get(next) {
-                    let req2 = self.next_req + 1;
-                    r.phase = Phase::Reading(next);
-                    retry = Some((dn.clone(), req2, r.launch.chunk));
-                } else {
-                    give_up = true;
-                }
-            }
-        }
-        if let Some((dn, _, chunk)) = retry {
-            let req2 = self.fresh_req();
-            self.read_reqs.insert(req2, key);
-            ctx.send(
-                &dn,
-                fsproto::DN_READ,
-                Arc::new(vec![Value::addr(&me), Value::Int(req2), Value::Int(chunk)]),
-            );
-        } else if give_up {
-            self.running.remove(&key);
-            ctx.send(
-                &self.cfg.jobtracker.clone(),
-                proto::PROGRESS_REPORT,
-                proto::progress_row(key.0, key.1, key.2, &me, "failed", 0, ctx.now() as i64),
-            );
-            self.drain_queue(ctx);
-        }
+        self.advance_replica(ctx, key);
     }
 }
 
@@ -581,13 +607,19 @@ impl Actor for TaskTracker {
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
-        // A restarted tracker lost its running tasks and map outputs.
+        // A restarted tracker lost its running tasks, map outputs, and
+        // staged reduce results; the bumped generation tells the
+        // JobTracker even if the outage was shorter than its heartbeat
+        // timeout.
+        self.generation += 1;
         self.running.clear();
         self.queued.clear();
         self.map_outputs.clear();
         self.read_reqs.clear();
         self.fetch_reqs.clear();
         self.fetch_deadlines.clear();
+        self.read_deadlines.clear();
+        self.outputs.clear();
         self.register(ctx);
         self.heartbeat(ctx);
         ctx.set_timer(self.cfg.hb_interval, 0);
@@ -598,6 +630,14 @@ impl Actor for TaskTracker {
             self.register(ctx);
             self.heartbeat(ctx);
             ctx.set_timer(self.cfg.hb_interval, 0);
+            return;
+        }
+        if let Some(req) = self.read_deadlines.remove(&tag) {
+            // Still waiting on this read? The replica is unresponsive —
+            // move on. (If the data already arrived this is a no-op.)
+            if let Some(key) = self.read_reqs.remove(&req) {
+                self.advance_replica(ctx, key);
+            }
             return;
         }
         if let Some(key) = self.fetch_deadlines.remove(&tag) {

@@ -1,0 +1,121 @@
+//! Self-healing BOOM-MR: tracker flaps detected via registration
+//! generations, JobTracker restarts ridden out by driver resubmission,
+//! and lost completion acks recovered by re-acking on resubmit.
+
+use boom_fs::cluster::ControlPlane;
+use boom_mr::{
+    reference_wordcount, synth_text, CostModel, MrClusterBuilder, MrDriver, MrJob, SpecPolicy,
+};
+use boom_simnet::ChaosSchedule;
+use std::collections::BTreeMap;
+
+fn builder(mr_control: ControlPlane) -> MrClusterBuilder {
+    MrClusterBuilder {
+        mr_control,
+        workers: 4,
+        chunk_size: 2048,
+        policy: SpecPolicy::None,
+        cost: CostModel {
+            map_ms_per_kib: 200.0,
+            reduce_ms_per_krec: 200.0,
+            min_ms: 100,
+        },
+        ..Default::default()
+    }
+}
+
+fn wordcount_job(inputs: Vec<String>) -> MrJob {
+    MrJob {
+        job_type: "wordcount".to_string(),
+        inputs,
+        nreduces: 3,
+        outdir: "/out".to_string(),
+    }
+}
+
+fn expected_counts(seed: u64, nfiles: u64, nwords: usize) -> BTreeMap<String, i64> {
+    let mut expect = BTreeMap::new();
+    for i in 0..nfiles {
+        for (w, n) in reference_wordcount(&synth_text(seed + i, nwords)) {
+            *expect.entry(w).or_insert(0) += n;
+        }
+    }
+    expect
+}
+
+/// A tracker that crashes and re-registers *faster* than the JobTracker's
+/// heartbeat timeout never goes silent long enough for the failure
+/// detector — only the registration generation betrays that its map
+/// outputs and staged reduce results are gone. Both control planes must
+/// recover and produce exact output.
+#[test]
+fn tracker_flap_faster_than_timeout_still_recovers() {
+    for mr_control in [ControlPlane::Declarative, ControlPlane::Baseline] {
+        let mut c = builder(mr_control).build();
+        let inputs = c.load_corpus(11, 2, 2_000).unwrap();
+        let expect = expected_counts(11, 2, 2_000);
+        let fs = c.fs.clone();
+        let mut driver = c.driver.clone();
+        let job = wordcount_job(inputs);
+        let id = driver.submit(&mut c.sim, &fs, &job).unwrap();
+        // Flap tt1 mid-job: down for 2s, far less than the 20s timeout.
+        // (Offsets are relative to install time.)
+        c.sim
+            .install_chaos(&ChaosSchedule::new("tt-flap").flap("tt1", 300, 2_300));
+        let deadline = c.sim.now() + 600_000;
+        let done = driver.wait(&mut c.sim, id, deadline);
+        assert!(done.is_some(), "{mr_control:?}: job must survive the flap");
+        let got = MrDriver::collect_output(&mut c.sim, &c.trackers.clone(), id);
+        assert_eq!(got, expect, "{mr_control:?}: output must be exact");
+    }
+}
+
+/// The JobTracker loses all job state on restart (stock-Hadoop
+/// semantics): the driver's robust path notices the silence and re-sends
+/// the job rows, which is idempotent, and the job completes.
+#[test]
+fn jobtracker_restart_mid_job_recovers_via_resubmit() {
+    for mr_control in [ControlPlane::Declarative, ControlPlane::Baseline] {
+        let mut c = builder(mr_control).build();
+        let inputs = c.load_corpus(13, 2, 2_000).unwrap();
+        let expect = expected_counts(13, 2, 2_000);
+        let fs = c.fs.clone();
+        let mut driver = c.driver.clone();
+        let job = wordcount_job(inputs);
+        c.sim
+            .install_chaos(&ChaosSchedule::new("jt-flap").flap("jt", 300, 3_300));
+        let deadline = c.sim.now() + 600_000;
+        let (id, _took) = driver.run_robust(&mut c.sim, &fs, &job, deadline).unwrap();
+        let got = MrDriver::collect_output(&mut c.sim, &c.trackers.clone(), id);
+        assert_eq!(got, expect, "{mr_control:?}: output must be exact");
+    }
+}
+
+/// If the completion ack is lost in transit the driver resubmits the job
+/// and the JobTracker — which still considers it complete — must ack
+/// again rather than stay silent behind its notified-guard.
+#[test]
+fn lost_completion_ack_is_reacked_on_resubmit() {
+    for mr_control in [ControlPlane::Declarative, ControlPlane::Baseline] {
+        let mut c = builder(mr_control).build();
+        let inputs = c.load_corpus(17, 1, 1_500).unwrap();
+        let expect = expected_counts(17, 1, 1_500);
+        let fs = c.fs.clone();
+        let mut driver = c.driver.clone();
+        let job = wordcount_job(inputs);
+        // Drop every jt→client message until well past job completion:
+        // the first ack (and any early re-acks) are lost; once the link
+        // heals, a resubmission elicits a fresh ack.
+        c.sim.install_chaos(
+            &ChaosSchedule::new("ack-loss").link_drop("jt", "client0", 0, 120_000, 1.0),
+        );
+        let deadline = c.sim.now() + 600_000;
+        let (id, took) = driver.run_robust(&mut c.sim, &fs, &job, deadline).unwrap();
+        assert!(
+            took >= 120_000 - 10_000,
+            "{mr_control:?}: ack can only land after the link heals, took {took}ms"
+        );
+        let got = MrDriver::collect_output(&mut c.sim, &c.trackers.clone(), id);
+        assert_eq!(got, expect, "{mr_control:?}: output must be exact");
+    }
+}

@@ -1,0 +1,396 @@
+//! Deterministic chaos schedules: declarative, seeded scripts of timed
+//! fault events applied during a simulation run.
+//!
+//! The paper argues that data-centric state makes failure handling a small,
+//! localized patch; a claim like that is only testable if failures can be
+//! injected *reproducibly*. A [`ChaosSchedule`] is a list of
+//! `(offset_ms, action)` pairs — crash/restart a node, cut/heal a
+//! partition, degrade a link for a window, burst message duplication —
+//! installed into a [`Sim`] with [`Sim::install_chaos`]. Actions fire as
+//! ordinary simulator events at deterministic virtual times, so the same
+//! seed plus the same schedule replays the same trace bit-for-bit.
+//!
+//! Every action actually applied (whether from a schedule or from the
+//! direct [`Sim::schedule_crash`] / [`Sim::schedule_restart`] paths) is
+//! appended to the simulator's fault log, which harnesses read back to
+//! assert that the intended faults really happened and when.
+//!
+//! ```
+//! use boom_simnet::{Sim, SimConfig};
+//! use boom_simnet::chaos::ChaosSchedule;
+//!
+//! let mut sim = Sim::new(SimConfig::default());
+//! let schedule = ChaosSchedule::new("flap-dn0")
+//!     .flap("dn0", 1_000, 4_000)
+//!     .partition(&["nn0"], &["dn1"], 2_000, 6_000);
+//! sim.install_chaos(&schedule);
+//! sim.run_for(10_000);
+//! assert_eq!(sim.fault_log().len(), 4, "crash, cut, restart, heal");
+//! ```
+
+use crate::Sim;
+
+/// Per-link quality override, applied on top of the global [`crate::SimConfig`]
+/// while installed. All fields compose with the base config: the link drop
+/// check runs after (independently of) the global one, `extra_latency` is
+/// added to the drawn latency, and `duplicate_prob` gives a second,
+/// link-local duplication chance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Additional probability this link silently drops a message.
+    pub drop_prob: f64,
+    /// Extra one-way latency (ms) added to every message on this link.
+    pub extra_latency: u64,
+    /// Additional probability a message on this link is delivered twice.
+    pub duplicate_prob: f64,
+}
+
+impl Default for LinkFault {
+    fn default() -> Self {
+        LinkFault {
+            drop_prob: 0.0,
+            extra_latency: 0,
+            duplicate_prob: 0.0,
+        }
+    }
+}
+
+/// One scripted fault. Times live in the enclosing [`ChaosSchedule`];
+/// actions themselves are instantaneous state changes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosAction {
+    /// Crash a node (volatile state lost; pending timers and in-flight
+    /// deliveries invalidated).
+    Crash(String),
+    /// Restart a previously crashed node.
+    Restart(String),
+    /// Cut all links (both directions) between two node groups.
+    Cut { a: Vec<String>, b: Vec<String> },
+    /// Heal all links (both directions) between two node groups.
+    Heal { a: Vec<String>, b: Vec<String> },
+    /// Install a quality override on the directed link `from → to`.
+    SetLinkFault {
+        from: String,
+        to: String,
+        fault: LinkFault,
+    },
+    /// Remove the quality override on the directed link `from → to`.
+    ClearLinkFault { from: String, to: String },
+    /// For `dur` ms, duplicate every delivered message with probability
+    /// `prob` (in addition to the global duplication probability).
+    DupBurst { dur: u64, prob: f64 },
+}
+
+impl ChaosAction {
+    /// Compact human-readable form used in the fault log.
+    pub fn describe(&self) -> String {
+        match self {
+            ChaosAction::Crash(n) => format!("crash {n}"),
+            ChaosAction::Restart(n) => format!("restart {n}"),
+            ChaosAction::Cut { a, b } => format!("cut {} | {}", a.join(","), b.join(",")),
+            ChaosAction::Heal { a, b } => format!("heal {} | {}", a.join(","), b.join(",")),
+            ChaosAction::SetLinkFault { from, to, fault } => format!(
+                "degrade {from}->{to} drop={} lat+={} dup={}",
+                fault.drop_prob, fault.extra_latency, fault.duplicate_prob
+            ),
+            ChaosAction::ClearLinkFault { from, to } => format!("restore {from}->{to}"),
+            ChaosAction::DupBurst { dur, prob } => format!("dup-burst {dur}ms p={prob}"),
+        }
+    }
+}
+
+/// One entry in the simulator's fault log: an action that was actually
+/// applied, stamped with the virtual time it took effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Virtual time (ms) the action was applied.
+    pub at: u64,
+    /// [`ChaosAction::describe`]-style description.
+    pub action: String,
+}
+
+/// A named, declarative script of timed fault events. Offsets are relative
+/// to the install time, so the same schedule can be replayed against runs
+/// that start their workload at different absolute times.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSchedule {
+    /// Schedule name (surfaced in reports and logs).
+    pub name: String,
+    /// `(offset_ms, action)` pairs; order of insertion breaks ties.
+    pub events: Vec<(u64, ChaosAction)>,
+}
+
+impl ChaosSchedule {
+    /// Start an empty schedule.
+    pub fn new(name: &str) -> Self {
+        ChaosSchedule {
+            name: name.to_string(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Add a raw `(offset, action)` pair.
+    pub fn at(mut self, offset: u64, action: ChaosAction) -> Self {
+        self.events.push((offset, action));
+        self
+    }
+
+    /// Crash `node` at `offset`.
+    pub fn crash_at(self, node: &str, offset: u64) -> Self {
+        self.at(offset, ChaosAction::Crash(node.to_string()))
+    }
+
+    /// Restart `node` at `offset`.
+    pub fn restart_at(self, node: &str, offset: u64) -> Self {
+        self.at(offset, ChaosAction::Restart(node.to_string()))
+    }
+
+    /// Crash `node` at `down_at` and restart it at `up_at`.
+    pub fn flap(self, node: &str, down_at: u64, up_at: u64) -> Self {
+        self.crash_at(node, down_at).restart_at(node, up_at)
+    }
+
+    /// Cut all links between two groups at `from`, heal them at `until`.
+    pub fn partition(self, a: &[&str], b: &[&str], from: u64, until: u64) -> Self {
+        let av: Vec<String> = a.iter().map(|s| s.to_string()).collect();
+        let bv: Vec<String> = b.iter().map(|s| s.to_string()).collect();
+        self.at(
+            from,
+            ChaosAction::Cut {
+                a: av.clone(),
+                b: bv.clone(),
+            },
+        )
+        .at(until, ChaosAction::Heal { a: av, b: bv })
+    }
+
+    /// Degrade the directed link `from → to` for a window.
+    pub fn link_fault(
+        self,
+        from: &str,
+        to: &str,
+        start: u64,
+        until: u64,
+        fault: LinkFault,
+    ) -> Self {
+        self.at(
+            start,
+            ChaosAction::SetLinkFault {
+                from: from.to_string(),
+                to: to.to_string(),
+                fault,
+            },
+        )
+        .at(
+            until,
+            ChaosAction::ClearLinkFault {
+                from: from.to_string(),
+                to: to.to_string(),
+            },
+        )
+    }
+
+    /// Drop messages on `from → to` with probability `prob` for a window.
+    pub fn link_drop(self, from: &str, to: &str, start: u64, until: u64, prob: f64) -> Self {
+        self.link_fault(
+            from,
+            to,
+            start,
+            until,
+            LinkFault {
+                drop_prob: prob,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Add `extra` ms of latency on `from → to` for a window.
+    pub fn link_latency(self, from: &str, to: &str, start: u64, until: u64, extra: u64) -> Self {
+        self.link_fault(
+            from,
+            to,
+            start,
+            until,
+            LinkFault {
+                extra_latency: extra,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Start a global duplication burst at `offset` lasting `dur` ms.
+    pub fn dup_burst(self, offset: u64, dur: u64, prob: f64) -> Self {
+        self.at(offset, ChaosAction::DupBurst { dur, prob })
+    }
+
+    /// Latest event offset in the schedule (0 for an empty schedule) —
+    /// handy for sizing run deadlines.
+    pub fn horizon(&self) -> u64 {
+        self.events.iter().map(|(t, _)| *t).max().unwrap_or(0)
+    }
+}
+
+impl Sim {
+    /// Install every event of `schedule`, with offsets relative to the
+    /// current virtual time. Actions fire as ordinary events during
+    /// [`Sim::step`] and are appended to the fault log when applied.
+    pub fn install_chaos(&mut self, schedule: &ChaosSchedule) {
+        let base = self.now();
+        for (offset, action) in &schedule.events {
+            self.schedule_fault(base + offset, action.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Actor, Ctx, SimConfig};
+    use boom_overlog::value::row;
+    use boom_overlog::{NetTuple, Value};
+    use std::any::Any;
+
+    struct Counter {
+        got: Vec<NetTuple>,
+    }
+    impl Actor for Counter {
+        fn on_tuple(&mut self, _ctx: &mut Ctx<'_>, tuple: NetTuple) {
+            self.got.push(tuple);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Pinger {
+        target: String,
+        period: u64,
+    }
+    impl Actor for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_tuple(&mut self, _ctx: &mut Ctx<'_>, _tuple: NetTuple) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            let target = self.target.clone();
+            let t = ctx.now() as i64;
+            ctx.send(&target, "ping", row(vec![Value::Int(t)]));
+            ctx.set_timer(self.period, 0);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn ping_pair(cfg: SimConfig) -> Sim {
+        let mut sim = Sim::new(cfg);
+        sim.add_node(
+            "p",
+            Box::new(Pinger {
+                target: "c".into(),
+                period: 100,
+            }),
+        );
+        sim.add_node("c", Box::new(Counter { got: Vec::new() }));
+        sim
+    }
+
+    #[test]
+    fn schedule_crash_and_restart_fire_at_offsets() {
+        let mut sim = ping_pair(SimConfig {
+            min_latency: 1,
+            max_latency: 1,
+            ..Default::default()
+        });
+        let schedule = ChaosSchedule::new("flap").flap("c", 250, 650);
+        sim.install_chaos(&schedule);
+        sim.run_until(1_049);
+        let got = sim.with_actor::<Counter, _>("c", |c| c.got.len());
+        assert_eq!(got, 6, "2 before crash + 4 after restart");
+        let log = sim.fault_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].at, 250);
+        assert_eq!(log[0].action, "crash c");
+        assert_eq!(log[1].at, 650);
+        assert_eq!(log[1].action, "restart c");
+    }
+
+    #[test]
+    fn schedule_partition_window_blocks_then_heals() {
+        let mut sim = ping_pair(SimConfig {
+            min_latency: 1,
+            max_latency: 1,
+            ..Default::default()
+        });
+        let schedule = ChaosSchedule::new("part").partition(&["p"], &["c"], 450, 950);
+        sim.install_chaos(&schedule);
+        sim.run_until(1_250);
+        let got = sim.with_actor::<Counter, _>("c", |c| c.got.len());
+        assert_eq!(got, 4 + 3, "4 before cut, 3 after heal");
+    }
+
+    #[test]
+    fn link_drop_window_loses_messages_deterministically() {
+        fn run(seed: u64) -> (usize, u64, Vec<FaultRecord>) {
+            let mut sim = ping_pair(SimConfig {
+                seed,
+                min_latency: 1,
+                max_latency: 1,
+                ..Default::default()
+            });
+            let schedule = ChaosSchedule::new("lossy").link_drop("p", "c", 50, 1_550, 0.5);
+            sim.install_chaos(&schedule);
+            sim.run_until(2_049);
+            let got = sim.with_actor::<Counter, _>("c", |c| c.got.len());
+            (got, sim.dropped_count(), sim.fault_log().to_vec())
+        }
+        let (got, dropped, log) = run(9);
+        assert!(dropped > 0, "a 50% window must drop something");
+        assert!(got < 20, "some pings lost");
+        assert_eq!(got as u64 + dropped, 20, "every ping delivered or dropped");
+        // Identical seed ⇒ identical trace, including the fault log.
+        assert_eq!(run(9), (got, dropped, log));
+    }
+
+    #[test]
+    fn link_latency_window_delays_messages() {
+        let mut sim = ping_pair(SimConfig {
+            min_latency: 1,
+            max_latency: 1,
+            ..Default::default()
+        });
+        let schedule = ChaosSchedule::new("slow").link_latency("p", "c", 0, 450, 300);
+        sim.install_chaos(&schedule);
+        sim.run_until(350);
+        // Pings at 100,200,300 are in flight with +300ms latency.
+        let got = sim.with_actor::<Counter, _>("c", |c| c.got.len());
+        assert_eq!(got, 0, "still in flight");
+        sim.run_until(1_049);
+        let got = sim.with_actor::<Counter, _>("c", |c| c.got.len());
+        assert_eq!(got, 10, "delayed but not lost");
+    }
+
+    #[test]
+    fn dup_burst_duplicates_within_window_only() {
+        let mut sim = ping_pair(SimConfig {
+            min_latency: 1,
+            max_latency: 1,
+            ..Default::default()
+        });
+        let schedule = ChaosSchedule::new("dup").dup_burst(50, 500, 1.0);
+        sim.install_chaos(&schedule);
+        sim.run_until(1_049);
+        // Pings at 100..500 duplicated (5 × 2), 600..1000 single (5).
+        let got = sim.with_actor::<Counter, _>("c", |c| c.got.len());
+        assert_eq!(got, 15);
+    }
+
+    #[test]
+    fn horizon_reports_latest_offset() {
+        let s = ChaosSchedule::new("h")
+            .flap("x", 100, 900)
+            .crash_at("y", 400);
+        assert_eq!(s.horizon(), 900);
+        assert_eq!(ChaosSchedule::new("empty").horizon(), 0);
+    }
+}

@@ -36,10 +36,12 @@
 //! assert!(sim.delivered_count() >= 2);
 //! ```
 
+pub mod chaos;
 pub mod metrics;
 pub mod overlog_actor;
 
 use boom_overlog::{NetTuple, Row, Value};
+use chaos::{ChaosAction, FaultRecord, LinkFault};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
@@ -47,6 +49,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
+pub use chaos::ChaosSchedule;
 pub use overlog_actor::OverlogActor;
 
 /// Simulator configuration.
@@ -157,6 +160,7 @@ enum EventKind {
     Timer(String, u64),
     Crash(String),
     Restart(String),
+    Fault(ChaosAction),
 }
 
 struct Node {
@@ -180,6 +184,13 @@ pub struct Sim {
     events: HashMap<usize, (EventKind, u64)>,
     nodes: HashMap<String, Node>,
     blocked_links: HashSet<(String, String)>,
+    /// Per-link quality overrides installed by chaos schedules (or
+    /// directly); consulted on top of the global config in `route`.
+    link_faults: HashMap<(String, String), LinkFault>,
+    /// Active duplication burst: `(until, prob)`. Lazily expires.
+    dup_burst: Option<(u64, f64)>,
+    /// Every fault actually applied, in application order.
+    fault_log: Vec<FaultRecord>,
     delivered: u64,
     dropped: u64,
 }
@@ -197,6 +208,9 @@ impl Sim {
             events: HashMap::new(),
             nodes: HashMap::new(),
             blocked_links: HashSet::new(),
+            link_faults: HashMap::new(),
+            dup_burst: None,
+            fault_log: Vec::new(),
             delivered: 0,
             dropped: 0,
         }
@@ -271,6 +285,36 @@ impl Sim {
         self.push_event(at, EventKind::Restart(node.to_string()), ANY_EPOCH);
     }
 
+    /// Schedule a [`ChaosAction`] at absolute time `at`. Prefer building a
+    /// [`ChaosSchedule`] and calling [`Sim::install_chaos`]; this is the
+    /// low-level hook it uses.
+    pub fn schedule_fault(&mut self, at: u64, action: ChaosAction) {
+        self.push_event(at, EventKind::Fault(action), ANY_EPOCH);
+    }
+
+    /// The log of every fault applied so far, in application order.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.fault_log
+    }
+
+    /// Deterministic uniform draw in `0..=max` from the simulation RNG —
+    /// the jitter source for client backoff, so retry traces replay from
+    /// the seed.
+    pub fn rand_jitter(&mut self, max: u64) -> u64 {
+        self.rng.gen_range(0..=max)
+    }
+
+    /// Install a quality override on the directed link `from → to`.
+    pub fn set_link_fault(&mut self, from: &str, to: &str, fault: LinkFault) {
+        self.link_faults
+            .insert((from.to_string(), to.to_string()), fault);
+    }
+
+    /// Remove any quality override on the directed link `from → to`.
+    pub fn clear_link_fault(&mut self, from: &str, to: &str) {
+        self.link_faults.remove(&(from.to_string(), to.to_string()));
+    }
+
     /// Block or unblock the directed link `from → to`.
     pub fn set_link_blocked(&mut self, from: &str, to: &str, blocked: bool) {
         let key = (from.to_string(), to.to_string());
@@ -313,6 +357,67 @@ impl Sim {
         f(actor)
     }
 
+    fn record_fault(&mut self, action: String) {
+        self.fault_log.push(FaultRecord {
+            at: self.now,
+            action,
+        });
+    }
+
+    fn apply_crash(&mut self, name: &str) {
+        if let Some(node) = self.nodes.get_mut(name) {
+            node.up = false;
+            node.epoch += 1;
+        }
+    }
+
+    fn apply_restart(&mut self, name: &str) {
+        let Some(node) = self.nodes.get_mut(name) else {
+            return;
+        };
+        if node.up {
+            return;
+        }
+        node.up = true;
+        let mut ctx = Ctx {
+            now: self.now,
+            me: name,
+            rng: &mut self.rng,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
+        node.actor.on_restart(&mut ctx);
+        let (outbox, timers) = (ctx.outbox, ctx.timers);
+        self.absorb(name, outbox, timers);
+    }
+
+    fn apply_action(&mut self, action: ChaosAction) {
+        match action {
+            ChaosAction::Crash(name) => self.apply_crash(&name),
+            ChaosAction::Restart(name) => self.apply_restart(&name),
+            ChaosAction::Cut { a, b } => {
+                let av: Vec<&str> = a.iter().map(|s| s.as_str()).collect();
+                let bv: Vec<&str> = b.iter().map(|s| s.as_str()).collect();
+                self.set_partition(&av, &bv, true);
+            }
+            ChaosAction::Heal { a, b } => {
+                let av: Vec<&str> = a.iter().map(|s| s.as_str()).collect();
+                let bv: Vec<&str> = b.iter().map(|s| s.as_str()).collect();
+                self.set_partition(&av, &bv, false);
+            }
+            ChaosAction::SetLinkFault { from, to, fault } => {
+                self.set_link_fault(&from, &to, fault);
+            }
+            ChaosAction::ClearLinkFault { from, to } => {
+                self.clear_link_fault(&from, &to);
+            }
+            ChaosAction::DupBurst { dur, prob } => {
+                // Overlapping bursts: the most recent one wins.
+                self.dup_burst = Some((self.now + dur, prob));
+            }
+        }
+    }
+
     fn push_event(&mut self, at: u64, kind: EventKind, epoch: u64) {
         let id = self.seq as usize;
         self.seq += 1;
@@ -343,14 +448,47 @@ impl Sim {
             self.dropped += 1;
             return;
         }
-        let lat = if self.cfg.max_latency > self.cfg.min_latency {
+        // Chaos overrides: only consulted (and only drawing from the RNG)
+        // when a fault is actually installed, so fault-free runs keep the
+        // exact random stream of earlier revisions.
+        let fault = if self.link_faults.is_empty() || from == dest {
+            None
+        } else {
+            self.link_faults
+                .get(&(from.to_string(), dest.to_string()))
+                .copied()
+        };
+        if let Some(f) = fault {
+            if f.drop_prob > 0.0 && self.rng.gen_bool(f.drop_prob) {
+                self.dropped += 1;
+                return;
+            }
+        }
+        let mut lat = if self.cfg.max_latency > self.cfg.min_latency {
             self.rng
                 .gen_range(self.cfg.min_latency..=self.cfg.max_latency)
         } else {
             self.cfg.min_latency
         };
+        if let Some(f) = fault {
+            lat += f.extra_latency;
+        }
         let epoch = self.nodes.get(dest).map(|n| n.epoch).unwrap_or(0);
-        let dup = self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob);
+        let mut dup = self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob);
+        if let Some(f) = fault {
+            if !dup && f.duplicate_prob > 0.0 {
+                dup = self.rng.gen_bool(f.duplicate_prob);
+            }
+        }
+        if let Some((until, prob)) = self.dup_burst {
+            if self.now < until {
+                if !dup && prob > 0.0 {
+                    dup = self.rng.gen_bool(prob);
+                }
+            } else {
+                self.dup_burst = None;
+            }
+        }
         self.push_event(
             self.now + lat,
             EventKind::Deliver(dest.to_string(), tuple.clone()),
@@ -376,29 +514,16 @@ impl Sim {
         };
         match kind {
             EventKind::Crash(name) => {
-                if let Some(node) = self.nodes.get_mut(&name) {
-                    node.up = false;
-                    node.epoch += 1;
-                }
+                self.record_fault(format!("crash {name}"));
+                self.apply_crash(&name);
             }
             EventKind::Restart(name) => {
-                let Some(node) = self.nodes.get_mut(&name) else {
-                    return true;
-                };
-                if node.up {
-                    return true;
-                }
-                node.up = true;
-                let mut ctx = Ctx {
-                    now: self.now,
-                    me: &name,
-                    rng: &mut self.rng,
-                    outbox: Vec::new(),
-                    timers: Vec::new(),
-                };
-                node.actor.on_restart(&mut ctx);
-                let (outbox, timers) = (ctx.outbox, ctx.timers);
-                self.absorb(&name, outbox, timers);
+                self.record_fault(format!("restart {name}"));
+                self.apply_restart(&name);
+            }
+            EventKind::Fault(action) => {
+                self.record_fault(action.describe());
+                self.apply_action(action);
             }
             EventKind::Deliver(name, tuple) => {
                 // Coalesce all deliveries to this node scheduled for this

@@ -1,0 +1,86 @@
+//! `chaoscheck` — run a named chaos schedule against the full stack and
+//! print the self-healing invariant report.
+//!
+//! ```text
+//! chaoscheck [--seed N]... [SCHEDULE ...]
+//! ```
+//!
+//! With no schedule arguments every named schedule runs; with no `--seed`
+//! flags seed 1 is used. Each run is twinned with a fault-free execution
+//! on the same seed, and the exit code is non-zero if any invariant
+//! (acked writes intact, replication restored, output exact, no divergent
+//! commits) fails — the same checks CI's chaos matrix gates on.
+
+use boom_bench::{run_chaos, ChaosConfig, NamedSchedule};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: chaoscheck [--seed N]... [SCHEDULE ...]
+
+  --seed N    add a seed to run each schedule under (repeatable; default 1)
+  -h, --help  this help
+
+Schedules: datanode-crash, nn-partition, tracker-flap, mixed.
+With no schedule arguments, all of them run.
+";
+
+fn main() -> ExitCode {
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut schedules: Vec<NamedSchedule> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("chaoscheck: --seed needs an integer\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                seeds.push(v);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("chaoscheck: unknown flag `{arg}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            name => {
+                let Some(s) = NamedSchedule::parse(name) else {
+                    eprintln!("chaoscheck: unknown schedule `{name}`\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                schedules.push(s);
+            }
+        }
+    }
+    if seeds.is_empty() {
+        seeds.push(1);
+    }
+    if schedules.is_empty() {
+        schedules.extend(NamedSchedule::all());
+    }
+
+    let mut failures = 0;
+    for named in &schedules {
+        for &seed in &seeds {
+            let cfg = ChaosConfig {
+                seed,
+                ..Default::default()
+            };
+            let report = run_chaos(&cfg, *named);
+            print!("{}", report.render());
+            if !report.all_green() {
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("chaoscheck: {failures} run(s) violated invariants");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "chaoscheck: {} run(s), all invariants green",
+        schedules.len() * seeds.len()
+    );
+    ExitCode::SUCCESS
+}

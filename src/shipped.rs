@@ -60,7 +60,9 @@ pub fn groups() -> Vec<ShippedGroup> {
 
     // The NameNode's tunables are overridden via host delete/insert, and
     // clients/datanodes inject its request events directly.
-    let fs_external = vec!["repfactor", "hb_timeout"];
+    // `underrep` is a bookkeeping view read by the chaos harness, not by
+    // any rule.
+    let fs_external = vec!["repfactor", "hb_timeout", "underrep"];
     out.push(ShippedGroup {
         name: "fs".into(),
         sources: vec![("namenode.olg".into(), boom_fs::NAMENODE_OLG.into())],
@@ -103,7 +105,8 @@ pub fn groups() -> Vec<ShippedGroup> {
             out.push(ShippedGroup {
                 name: format!("mr-{aname}-{sname}"),
                 sources,
-                external: vec![],
+                // tt_timeout is overridden by the host via delete/insert.
+                external: vec!["tt_timeout"],
             });
         }
     }
