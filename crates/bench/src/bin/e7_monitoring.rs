@@ -1,21 +1,76 @@
-//! E7 — the monitoring revision: metadata-op latency with full derivation
-//! tracing off vs on (the paper added tracing via Overlog metaprogramming
-//! and measured modest overhead).
+//! E7 — the monitoring revision: metadata-op CPU cost with derivation
+//! tracing off, with the engine's trace-all switch, and with the
+//! `boom-trace` metaprogrammed monitor (generated watch + row-count
+//! rules) installed — the paper added tracing via Overlog metaprogramming
+//! and measured modest overhead.
+//!
+//! `--smoke` runs a small op count, takes the best overhead factor of
+//! three trials (wall-clock CPU is noisy on shared CI machines), and
+//! exits non-zero if monitoring ever costs more than `SMOKE_BOUND`× the
+//! untraced baseline — the CI guard on "monitoring is cheap".
 
 use boom_bench::run_monitoring;
+use std::process::ExitCode;
 
-fn main() {
-    eprintln!("E7: monitoring overhead, 200 create ops");
-    let r = run_monitoring(200);
-    println!("# E7: tracing overhead on NameNode metadata ops (CPU per op)");
-    println!("cpu without tracing : {:.1} us/op", r.cpu_us_off);
-    println!("cpu with tracing    : {:.1} us/op", r.cpu_us_on);
-    let overhead = if r.cpu_us_off > 0.0 {
-        (r.cpu_us_on / r.cpu_us_off - 1.0) * 100.0
-    } else {
-        0.0
-    };
-    println!("overhead                : {overhead:.1}%");
-    println!("trace events captured   : {}", r.trace_events);
-    println!("rule firings            : {}", r.rule_firings);
+/// Overhead factor the smoke mode tolerates. The measured factor sits
+/// well under 2× on an idle machine; the bound is looser so scheduler
+/// noise on CI cannot fail the build spuriously.
+const SMOKE_BOUND: f64 = 5.0;
+
+fn factors(nops: usize) -> (f64, f64, String) {
+    let r = run_monitoring(nops);
+    let base = r.cpu_us_off.max(1e-9);
+    let report = format!(
+        "# E7: tracing overhead on NameNode metadata ops (CPU per op, {nops} creates)\n\
+         cpu without tracing       : {:.1} us/op\n\
+         cpu with trace-all        : {:.1} us/op ({:+.1}%)\n\
+         cpu with generated monitor: {:.1} us/op ({:+.1}%)\n\
+         monitor statements        : {}\n\
+         trace events captured     : {}\n\
+         trace events dropped      : {}\n\
+         rule firings              : {}\n\
+         {}",
+        r.cpu_us_off,
+        r.cpu_us_on,
+        (r.cpu_us_on / base - 1.0) * 100.0,
+        r.cpu_us_meta,
+        (r.cpu_us_meta / base - 1.0) * 100.0,
+        r.monitor_statements,
+        r.trace_events,
+        r.trace_dropped,
+        r.rule_firings,
+        r.hot_rules,
+    );
+    (r.cpu_us_on / base, r.cpu_us_meta / base, report)
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if !smoke {
+        eprintln!("E7: monitoring overhead, 200 create ops");
+        let (_, _, report) = factors(200);
+        println!("{report}");
+        return ExitCode::SUCCESS;
+    }
+    // Smoke: best of three trials bounds the overhead factor.
+    let mut best_on = f64::INFINITY;
+    let mut best_meta = f64::INFINITY;
+    let mut last_report = String::new();
+    for trial in 0..3 {
+        let (on, meta, report) = factors(40);
+        eprintln!("E7 smoke trial {trial}: trace-all {on:.2}x, generated monitor {meta:.2}x");
+        best_on = best_on.min(on);
+        best_meta = best_meta.min(meta);
+        last_report = report;
+        if best_on < SMOKE_BOUND && best_meta < SMOKE_BOUND {
+            break;
+        }
+    }
+    println!("{last_report}");
+    println!("smoke: best trace-all {best_on:.2}x, best generated monitor {best_meta:.2}x (bound {SMOKE_BOUND}x)");
+    if best_on >= SMOKE_BOUND || best_meta >= SMOKE_BOUND {
+        eprintln!("E7 smoke FAIL: monitoring overhead exceeds {SMOKE_BOUND}x");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

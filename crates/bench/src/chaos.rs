@@ -117,6 +117,9 @@ pub struct ChaosConfig {
     pub chunk_size: usize,
     /// Hard deadline for the chaotic job (virtual ms from submit).
     pub deadline_ms: u64,
+    /// Attach a Chrome trace recorder to the chaotic twin and return the
+    /// rendered JSON in the report.
+    pub chrome: bool,
 }
 
 impl Default for ChaosConfig {
@@ -130,6 +133,7 @@ impl Default for ChaosConfig {
             nreduces: 3,
             chunk_size: 2048,
             deadline_ms: 1_200_000,
+            chrome: false,
         }
     }
 }
@@ -163,6 +167,8 @@ pub struct ChaosReport {
     /// Virtual ms from install until every chunk was back at full
     /// replication (`None` if it never happened inside the deadline).
     pub rereplication_ms: Option<u64>,
+    /// Chrome trace-event JSON of the chaotic twin, when requested.
+    pub chrome_json: Option<String>,
 }
 
 impl ChaosReport {
@@ -298,6 +304,9 @@ pub fn run_chaos(cfg: &ChaosConfig, named: NamedSchedule) -> ChaosReport {
 
     // Twin 2: same seed, same workload, chaos installed.
     let mut stack = build_stack(cfg);
+    if cfg.chrome {
+        stack.sim.set_recorder(boom_trace::ChromeRecorder::new());
+    }
     let schedule = named.schedule();
     let mut install_at = stack.sim.now();
     let run = run_workload(&mut stack, cfg, &files, Some(&schedule), &mut install_at);
@@ -325,6 +334,7 @@ pub fn run_chaos(cfg: &ChaosConfig, named: NamedSchedule) -> ChaosReport {
                 job_ms_clean,
                 job_ms_faulty: 0,
                 rereplication_ms: None,
+                chrome_json: stack.sim.take_recorder().map(|r| r.render()),
             };
         }
     };
@@ -465,6 +475,7 @@ pub fn run_chaos(cfg: &ChaosConfig, named: NamedSchedule) -> ChaosReport {
         job_ms_clean,
         job_ms_faulty,
         rereplication_ms,
+        chrome_json: stack.sim.take_recorder().map(|r| r.render()),
     }
 }
 

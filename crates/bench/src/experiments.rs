@@ -448,6 +448,18 @@ pub fn run_partition_scaleout(
 // E7: monitoring overhead
 // ---------------------------------------------------------------------------
 
+/// How the NameNode is monitored during a measured run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MonitorMode {
+    /// No tracing at all — the baseline.
+    Off,
+    /// `set_trace_all(true)`: every derivation into the trace ring.
+    TraceAll,
+    /// The `boom-trace` metaprogrammed monitor: generated watch +
+    /// row-count rules installed into the running program.
+    Meta,
+}
+
 /// Result of the tracing-overhead measurement.
 #[derive(Debug, Clone)]
 pub struct MonitoringResult {
@@ -455,15 +467,35 @@ pub struct MonitoringResult {
     pub cpu_us_off: f64,
     /// NameNode CPU microseconds per op with every derivation traced.
     pub cpu_us_on: f64,
-    /// Trace records captured during the traced run.
+    /// NameNode CPU microseconds per op with the generated
+    /// metaprogrammed monitor (watches + row-count views) installed.
+    pub cpu_us_meta: f64,
+    /// Trace records captured during the trace-all run.
     pub trace_events: usize,
-    /// Rule firings during the traced run.
+    /// Trace records lost to the ring-buffer cap during the trace-all
+    /// run (0 unless the cap was exceeded — never silently swallowed).
+    pub trace_dropped: u64,
+    /// Rule firings during the trace-all run.
     pub rule_firings: u64,
+    /// Statements in the generated monitoring program.
+    pub monitor_statements: usize,
+    /// Deterministic top-5 hot-rules report from the meta run.
+    pub hot_rules: String,
 }
 
-/// E7: metadata-op latency with the monitoring revision off vs on.
+/// E7: metadata-op latency with the monitoring revision off vs on —
+/// both the engine's trace-all switch and the paper-style generated
+/// monitoring program.
 pub fn run_monitoring(nops: usize) -> MonitoringResult {
-    let run = |trace: bool| -> (f64, usize, u64) {
+    struct ModeRun {
+        cpu_us: f64,
+        trace_events: usize,
+        trace_dropped: u64,
+        rule_firings: u64,
+        monitor_statements: usize,
+        hot_rules: String,
+    }
+    let run = |mode: MonitorMode| -> ModeRun {
         let mut c = FsClusterBuilder {
             control: ControlPlane::Declarative,
             datanodes: 2,
@@ -471,10 +503,19 @@ pub fn run_monitoring(nops: usize) -> MonitoringResult {
             ..Default::default()
         }
         .build();
-        if trace {
-            c.sim
-                .with_actor::<OverlogActor, _>("nn0", |nn| nn.runtime().set_trace_all(true));
-        }
+        let monitor_statements = match mode {
+            MonitorMode::Off => 0,
+            MonitorMode::TraceAll => {
+                c.sim
+                    .with_actor::<OverlogActor, _>("nn0", |nn| nn.runtime().set_trace_all(true));
+                0
+            }
+            MonitorMode::Meta => c.sim.with_actor::<OverlogActor, _>("nn0", |nn| {
+                boom_trace::install_monitor(nn.runtime())
+                    .expect("generated monitor loads")
+                    .statements()
+            }),
+        };
         let cl = c.client.clone();
         cl.mkdir(&mut c.sim, "/mon").expect("mkdir works");
         c.sim
@@ -483,22 +524,35 @@ pub fn run_monitoring(nops: usize) -> MonitoringResult {
             cl.create(&mut c.sim, &format!("/mon/f{i}"))
                 .expect("create works");
         }
-        let (busy, events, firings) = c.sim.with_actor::<OverlogActor, _>("nn0", |nn| {
+        let (busy, drain, firings, profile) = c.sim.with_actor::<OverlogActor, _>("nn0", |nn| {
             let busy = nn.busy;
             let rt = nn.runtime();
-            let ev = rt.take_trace().len();
+            let drain = rt.drain_trace();
             let fi: u64 = rt.rule_fire_counts().iter().map(|(_, n)| n).sum();
-            (busy, ev, fi)
+            let profile = boom_trace::collect_rule_profile("nn0", rt);
+            (busy, drain, fi, profile)
         });
-        (busy.as_secs_f64() * 1e6 / nops as f64, events, firings)
+        ModeRun {
+            cpu_us: busy.as_secs_f64() * 1e6 / nops as f64,
+            trace_events: drain.events.len(),
+            trace_dropped: drain.dropped,
+            rule_firings: firings,
+            monitor_statements,
+            hot_rules: boom_trace::render_hot_rules(&profile, 5, false),
+        }
     };
-    let (cpu_us_off, _, _) = run(false);
-    let (cpu_us_on, trace_events, rule_firings) = run(true);
+    let off = run(MonitorMode::Off);
+    let on = run(MonitorMode::TraceAll);
+    let meta = run(MonitorMode::Meta);
     MonitoringResult {
-        cpu_us_off,
-        cpu_us_on,
-        trace_events,
-        rule_firings,
+        cpu_us_off: off.cpu_us,
+        cpu_us_on: on.cpu_us,
+        cpu_us_meta: meta.cpu_us,
+        trace_events: on.trace_events,
+        trace_dropped: on.trace_dropped,
+        rule_firings: on.rule_firings,
+        monitor_statements: meta.monitor_statements,
+        hot_rules: meta.hot_rules,
     }
 }
 
@@ -587,7 +641,11 @@ mod tests {
         let r = run_monitoring(5);
         assert!(r.cpu_us_off > 0.0);
         assert!(r.cpu_us_on > 0.0);
+        assert!(r.cpu_us_meta > 0.0);
         assert!(r.trace_events > 0);
+        assert_eq!(r.trace_dropped, 0, "tiny run must not overflow the ring");
         assert!(r.rule_firings > 0);
+        assert!(r.monitor_statements > 10, "{}", r.monitor_statements);
+        assert!(r.hot_rules.contains("hot rules"), "{}", r.hot_rules);
     }
 }

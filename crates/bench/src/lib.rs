@@ -21,6 +21,8 @@
 pub mod chaos;
 pub mod experiments;
 pub mod locs;
+pub mod observe;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport, NamedSchedule};
 pub use experiments::*;
+pub use observe::{run_observed, ObserveConfig, ObservedRun};

@@ -47,6 +47,7 @@ pub(super) fn run(ctx: &ProgramContext, rule_ok: &[bool], out: &mut Vec<Diagnost
     unused_tables(ctx, out);
     dead_rules(ctx, rule_ok, out);
     unconsumed_timers(ctx, out);
+    stale_watches(ctx, out);
 }
 
 /// E0009: a `@` location specifier must sit on an address-typed column
@@ -412,6 +413,45 @@ fn unconsumed_timers(ctx: &ProgramContext, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// W0006: a `watch` on a table nothing fills — no rule derives into it, no
+/// fact or timer seeds it — records nothing and is almost certainly a
+/// monitoring rule that outlived the table it traced. Event tables and
+/// externally-filled tables are exempt (the host inserts into them), as
+/// with W0002. A watch on an *undeclared* table is already error E0002.
+fn stale_watches(ctx: &ProgramContext, out: &mut Vec<Diagnostic>) {
+    let mut writers: HashSet<&str> = ctx
+        .rules
+        .iter()
+        .filter(|r| !r.delete)
+        .map(|r| r.head.table.as_str())
+        .collect();
+    writers.extend(ctx.facts.iter().map(|f| f.table.as_str()));
+    writers.extend(ctx.timers.iter().map(|t| t.name.as_str()));
+
+    for (table, span) in &ctx.watches {
+        let Some(decl) = ctx.decls.get(table) else {
+            continue; // undeclared: E0002 already reported
+        };
+        if decl.kind == TableKind::Event
+            || ctx.external.contains(table)
+            || writers.contains(table.as_str())
+        {
+            continue;
+        }
+        out.push(
+            Diagnostic::warning(
+                "W0006",
+                *span,
+                format!(
+                    "`watch({table})` traces a table no rule, fact or timer fills; \
+                     it will never record anything"
+                ),
+            )
+            .with_help("drop the stale watch, or derive into the table"),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::analysis::analyze_sources;
@@ -520,5 +560,30 @@ mod tests {
     fn unconsumed_timer_is_w0005() {
         let src = "timer(tick, 50);";
         assert!(codes(src).contains(&"W0005"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn watch_on_unfilled_table_is_w0006() {
+        let src = "define(ghost, keys(0), {Int});
+                   watch(ghost);";
+        assert!(codes(src).contains(&"W0006"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn watch_on_derived_fact_or_event_table_is_not_w0006() {
+        let derived = "event e, {Int};
+                       define(t, keys(0), {Int});
+                       t(X) :- e(X);
+                       watch(t);";
+        assert!(!codes(derived).contains(&"W0006"), "{:?}", codes(derived));
+        let fact = "define(t, keys(0), {Int});
+                    t(1);
+                    watch(t);";
+        assert!(!codes(fact).contains(&"W0006"), "{:?}", codes(fact));
+        let event = "event e, {Int};
+                     define(t, keys(0), {Int});
+                     t(X) :- e(X);
+                     watch(e);";
+        assert!(!codes(event).contains(&"W0006"), "{:?}", codes(event));
     }
 }

@@ -30,6 +30,7 @@
 //! | W0003 | variable bound but used only once |
 //! | W0004 | duplicate rule name |
 //! | W0005 | timer ticks are never consumed |
+//! | W0006 | `watch` on a table nothing fills (stale monitoring rule) |
 
 pub mod diag;
 pub mod graph;
@@ -555,7 +556,7 @@ pub fn analyze(ctx: &ProgramContext) -> Vec<Diagnostic> {
         out.push(error_to_diag(&e, Span::default()).with_code("E0007"));
     }
 
-    // The lint suite (E0009..E0012, W0001..W0005).
+    // The lint suite (E0009..E0012, W0001..W0006).
     lints::run(ctx, &rule_ok, &mut out);
 
     out.sort_by_key(|d| (d.span.start, d.code, d.message.clone()));

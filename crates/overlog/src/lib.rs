@@ -53,7 +53,10 @@ pub use ast::{Program, Rule, Span, Statement, TableDecl, TableKind};
 pub use builtins::{stable_hash, Builtins};
 pub use error::{OverlogError, Result};
 pub use parser::parse_program;
-pub use runtime::{NetTuple, OverlogRuntime, TickResult, TraceEvent, TraceOp};
+pub use runtime::{
+    EvalStats, NetTuple, OverlogRuntime, ProvRecord, RuleStats, TickResult, TraceDrain, TraceEvent,
+    TraceOp,
+};
 pub use table::{InsertOutcome, Table};
 pub use value::{row, Row, TypeTag, Value};
 

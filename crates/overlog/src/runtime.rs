@@ -97,6 +97,66 @@ pub struct TraceEvent {
     pub op: TraceOp,
 }
 
+/// A drained watch trace plus the number of records lost to the ring
+/// buffer's capacity since the previous drain.
+#[derive(Debug, Default)]
+pub struct TraceDrain {
+    /// The surviving records, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Records evicted because the buffer hit `trace_cap` — silently lost
+    /// history the consumer must account for.
+    pub dropped: u64,
+}
+
+/// One why-provenance record: a derived tuple, the rule that produced it,
+/// and the positive body tuples that matched (the *first witness* — later
+/// re-derivations of the same tuple are not recorded).
+#[derive(Debug, Clone)]
+pub struct ProvRecord {
+    /// Tick counter when the derivation happened.
+    pub tick: u64,
+    /// Virtual time of the tick.
+    pub time: u64,
+    /// Label of the deriving rule. Aggregate rules record empty `inputs`
+    /// (their support is the whole group).
+    pub rule: String,
+    /// Head table of the derivation.
+    pub table: String,
+    /// The derived tuple.
+    pub row: Row,
+    /// The positive body tuples joined to produce the head, in scan order.
+    pub inputs: Vec<(String, Row)>,
+}
+
+/// Per-rule evaluation statistics — the rule-level profiler. All fields
+/// except `eval_ns` are deterministic for a fixed program and input
+/// schedule; `eval_ns` is wall-clock and varies run to run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Effective derivations (new tuple, remote send, deferred insert, or
+    /// deferred delete).
+    pub fires: u64,
+    /// Head rows produced by body evaluation before set-semantics dedup —
+    /// the rule's join fanout.
+    pub attempts: u64,
+    /// Delta rows consumed by this rule's semi-naive variants.
+    pub delta_in: u64,
+    /// Wall-clock nanoseconds spent evaluating the body and dispatching
+    /// heads (non-deterministic; excluded from reproducibility checks).
+    pub eval_ns: u64,
+}
+
+/// Tick-granularity evaluation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Total semi-naive fixpoint rounds across all strata and ticks.
+    pub fixpoint_rounds: u64,
+    /// Full view recomputations triggered by deletions/overwrites.
+    pub view_recomputes: u64,
+}
+
 #[derive(Debug)]
 enum Pending {
     Insert(String, Row),
@@ -128,11 +188,20 @@ pub struct OverlogRuntime {
     pending: VecDeque<Pending>,
     trace: VecDeque<TraceEvent>,
     trace_cap: usize,
+    /// Records evicted from `trace` since the last drain.
+    trace_dropped: u64,
     /// Count every derivation into the trace, not just watched tables
     /// (the "monitoring revision" toggle measured by experiment E7).
     trace_all: bool,
+    /// Why-provenance capture (off by default; see [`ProvRecord`]).
+    prov_on: bool,
+    prov: Vec<ProvRecord>,
+    prov_seen: HashSet<(String, Row)>,
+    prov_cap: usize,
+    prov_dropped: u64,
     budget: u64,
-    rule_fires: Vec<u64>,
+    rule_stats: Vec<RuleStats>,
+    eval_stats: EvalStats,
     tick_count: u64,
     now: u64,
 }
@@ -161,6 +230,33 @@ struct TickCtx {
     attempts: u64,
     dirty_views: bool,
     changed_tables: HashSet<String>,
+}
+
+/// Captures, for each environment a rule body emits, the positive body
+/// tuples that matched along the way. Disabled (and cost-free beyond a
+/// branch per scan) unless provenance capture is on.
+struct SupportSink {
+    enabled: bool,
+    cur: Vec<(String, Row)>,
+    out: Vec<Vec<(String, Row)>>,
+}
+
+impl SupportSink {
+    fn new(enabled: bool) -> Self {
+        SupportSink {
+            enabled,
+            cur: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    fn into_supports(self) -> Option<Vec<Vec<(String, Row)>>> {
+        if self.enabled {
+            Some(self.out)
+        } else {
+            None
+        }
+    }
 }
 
 impl TickCtx {
@@ -204,9 +300,16 @@ impl OverlogRuntime {
             pending: VecDeque::new(),
             trace: VecDeque::new(),
             trace_cap: 100_000,
+            trace_dropped: 0,
             trace_all: false,
+            prov_on: false,
+            prov: Vec::new(),
+            prov_seen: HashSet::new(),
+            prov_cap: 200_000,
+            prov_dropped: 0,
             budget: 5_000_000,
-            rule_fires: Vec::new(),
+            rule_stats: Vec::new(),
+            eval_stats: EvalStats::default(),
             tick_count: 0,
             now: 0,
         };
@@ -366,7 +469,8 @@ impl OverlogRuntime {
         match plan::compile(&self.decls, &self.rule_sources) {
             Ok(p) => {
                 self.plan = p;
-                self.rule_fires.resize(self.plan.rules.len(), 0);
+                self.rule_stats
+                    .resize(self.plan.rules.len(), RuleStats::default());
                 self.sources.push(src.to_string());
                 Ok(())
             }
@@ -438,9 +542,63 @@ impl OverlogRuntime {
         self.watches.insert(table.to_string());
     }
 
-    /// Drain the accumulated trace.
+    /// Drain the accumulated trace, discarding the drop counter. Prefer
+    /// [`OverlogRuntime::drain_trace`], which reports losses.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        self.trace.drain(..).collect()
+        self.drain_trace().events
+    }
+
+    /// Drain the accumulated trace together with the number of records the
+    /// ring buffer evicted since the last drain; resets the drop counter.
+    pub fn drain_trace(&mut self) -> TraceDrain {
+        TraceDrain {
+            events: self.trace.drain(..).collect(),
+            dropped: std::mem::take(&mut self.trace_dropped),
+        }
+    }
+
+    /// Records evicted from the trace ring buffer since the last drain.
+    pub fn trace_drops(&self) -> u64 {
+        self.trace_dropped
+    }
+
+    /// Resize the trace ring buffer (evicting oldest records if shrinking).
+    pub fn set_trace_cap(&mut self, cap: usize) {
+        self.trace_cap = cap.max(1);
+        while self.trace.len() > self.trace_cap {
+            self.trace.pop_front();
+            self.trace_dropped += 1;
+        }
+    }
+
+    /// Enable or disable why-provenance capture (off by default; costs one
+    /// `(table, row)` clone per joined body tuple while on).
+    pub fn set_provenance(&mut self, on: bool) {
+        self.prov_on = on;
+    }
+
+    /// Cap on retained provenance records; derivations past the cap are
+    /// counted in [`OverlogRuntime::prov_drops`] instead of stored.
+    pub fn set_prov_cap(&mut self, cap: usize) {
+        self.prov_cap = cap;
+    }
+
+    /// Provenance records captured so far, in derivation order.
+    pub fn provenance(&self) -> &[ProvRecord] {
+        &self.prov
+    }
+
+    /// Derivations not recorded because the provenance store hit its cap.
+    pub fn prov_drops(&self) -> u64 {
+        self.prov_dropped
+    }
+
+    /// Drain captured provenance, resetting the first-witness set and drop
+    /// counter (subsequent derivations are recorded afresh).
+    pub fn take_provenance(&mut self) -> Vec<ProvRecord> {
+        self.prov_seen.clear();
+        self.prov_dropped = 0;
+        std::mem::take(&mut self.prov)
     }
 
     /// Per-rule derivation counters, labeled.
@@ -448,8 +606,54 @@ impl OverlogRuntime {
         self.plan
             .rules
             .iter()
-            .map(|r| (r.label.clone(), self.rule_fires[r.id]))
+            .map(|r| (r.label.clone(), self.rule_stats[r.id].fires))
             .collect()
+    }
+
+    /// Per-rule profiler counters, labeled (see [`RuleStats`]).
+    pub fn rule_stats(&self) -> Vec<(String, RuleStats)> {
+        self.plan
+            .rules
+            .iter()
+            .map(|r| (r.label.clone(), self.rule_stats[r.id]))
+            .collect()
+    }
+
+    /// Tick-granularity evaluation counters.
+    pub fn eval_stats(&self) -> EvalStats {
+        self.eval_stats
+    }
+
+    /// Program texts successfully loaded so far, in load order.
+    pub fn loaded_sources(&self) -> &[String] {
+        &self.sources
+    }
+
+    /// All declared tables, including runtime-ambient ones.
+    pub fn table_decls(&self) -> impl Iterator<Item = &TableDecl> {
+        self.decls.values()
+    }
+
+    /// Tables currently watched, sorted.
+    pub fn watched_tables(&self) -> Vec<String> {
+        let mut w: Vec<String> = self.watches.iter().cloned().collect();
+        w.sort();
+        w
+    }
+
+    /// Head tables of loaded non-delete rules (tables the program derives
+    /// into), sorted and deduplicated.
+    pub fn derived_tables(&self) -> Vec<String> {
+        let mut ts: Vec<String> = self
+            .plan
+            .rules
+            .iter()
+            .filter(|r| !r.delete)
+            .map(|r| r.head_table.clone())
+            .collect();
+        ts.sort();
+        ts.dedup();
+        ts
     }
 
     /// Number of loaded rules.
@@ -569,8 +773,11 @@ impl OverlogRuntime {
                         self.eval_aggregate(&rule, &mut ctx)?;
                     }
                 } else if rule.variants[0].delta_pred.is_none() {
-                    let rows = self.eval_variant(&rule, &rule.variants[0], None, &mut ctx)?;
-                    self.dispatch(&rule, rows, &mut ctx)?;
+                    let t0 = std::time::Instant::now();
+                    let (rows, sups) =
+                        self.eval_variant(&rule, &rule.variants[0], None, &mut ctx)?;
+                    self.dispatch(&rule, rows, sups, &mut ctx)?;
+                    self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
                 }
             }
             // Seed the stratum with everything added so far this tick.
@@ -580,6 +787,7 @@ impl OverlogRuntime {
                 if current.values().all(|v| v.is_empty()) {
                     break;
                 }
+                self.eval_stats.fixpoint_rounds += 1;
                 for &rid in stratum {
                     let rule = self.plan.rules[rid].clone();
                     if rule.aggregate {
@@ -597,9 +805,12 @@ impl OverlogRuntime {
                             continue;
                         }
                         let delta_rows = delta_rows.clone();
-                        let rows =
+                        self.rule_stats[rid].delta_in += delta_rows.len() as u64;
+                        let t0 = std::time::Instant::now();
+                        let (rows, sups) =
                             self.eval_variant(&rule, variant, Some(&delta_rows), &mut ctx)?;
-                        self.dispatch(&rule, rows, &mut ctx)?;
+                        self.dispatch(&rule, rows, sups, &mut ctx)?;
+                        self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
                     }
                 }
                 // Aggregates whose inputs changed within this stratum's
@@ -665,6 +876,7 @@ impl OverlogRuntime {
         }
 
         self.tick_count += 1;
+        self.eval_stats.ticks += 1;
         for send in &ctx.outbox {
             self.record_trace(&send.table, &send.row, TraceOp::Send);
         }
@@ -742,6 +954,7 @@ impl OverlogRuntime {
         if self.trace_all || self.watches.contains(table) {
             if self.trace.len() >= self.trace_cap {
                 self.trace.pop_front();
+                self.trace_dropped += 1;
             }
             self.trace.push_back(TraceEvent {
                 tick: self.tick_count,
@@ -753,20 +966,58 @@ impl OverlogRuntime {
         }
     }
 
+    /// First-witness why-provenance: remember which rule and body tuples
+    /// produced `row` the first time it was derived.
+    fn record_prov(&mut self, rule: &CompiledRule, row: &Row, inputs: &[(String, Row)]) {
+        if !self.prov_on {
+            return;
+        }
+        let key = (rule.head_table.clone(), row.clone());
+        if self.prov_seen.contains(&key) {
+            return;
+        }
+        if self.prov.len() >= self.prov_cap {
+            self.prov_dropped += 1;
+            return;
+        }
+        self.prov_seen.insert(key);
+        self.prov.push(ProvRecord {
+            tick: self.tick_count,
+            time: self.now,
+            rule: rule.label.clone(),
+            table: rule.head_table.clone(),
+            row: row.clone(),
+            inputs: inputs.to_vec(),
+        });
+    }
+
     /// Route derived rows for a rule: remote sends, deferred deletes, or
-    /// local insertion.
-    fn dispatch(&mut self, rule: &CompiledRule, rows: Vec<Row>, ctx: &mut TickCtx) -> Result<()> {
-        for row in rows {
+    /// local insertion. `supports[i]` (when provenance is on) holds the
+    /// positive body tuples behind `rows[i]`.
+    fn dispatch(
+        &mut self,
+        rule: &CompiledRule,
+        rows: Vec<Row>,
+        supports: Option<Vec<Vec<(String, Row)>>>,
+        ctx: &mut TickCtx,
+    ) -> Result<()> {
+        for (i, row) in rows.into_iter().enumerate() {
             ctx.attempts += 1;
+            self.rule_stats[rule.id].attempts += 1;
             if ctx.attempts > self.budget {
                 return Err(OverlogError::Eval(format!(
                     "derivation budget exceeded in tick {} (rule `{}`)",
                     self.tick_count, rule.label
                 )));
             }
+            let inputs: &[(String, Row)] = supports
+                .as_ref()
+                .and_then(|s| s.get(i))
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
             if rule.delete {
                 ctx.derivations += 1;
-                self.rule_fires[rule.id] += 1;
+                self.rule_stats[rule.id].fires += 1;
                 ctx.deferred_deletes.push((rule.head_table.clone(), row));
                 continue;
             }
@@ -788,7 +1039,8 @@ impl OverlogRuntime {
                         .insert((dest.clone(), rule.head_table.clone(), row.clone()))
                     {
                         ctx.derivations += 1;
-                        self.rule_fires[rule.id] += 1;
+                        self.rule_stats[rule.id].fires += 1;
+                        self.record_prov(rule, &row, inputs);
                         ctx.outbox.push(NetTuple {
                             dest,
                             table: rule.head_table.clone(),
@@ -805,7 +1057,8 @@ impl OverlogRuntime {
                 let key = (rule.head_table.clone(), row.clone());
                 if ctx.deferred_seen.insert(key) {
                     ctx.derivations += 1;
-                    self.rule_fires[rule.id] += 1;
+                    self.rule_stats[rule.id].fires += 1;
+                    self.record_prov(rule, &row, inputs);
                     ctx.deferred_inserts.push((rule.head_table.clone(), row));
                 }
                 continue;
@@ -817,30 +1070,34 @@ impl OverlogRuntime {
                     .get(&table)
                     .map(|t| t.contains(&row))
                     .unwrap_or(false);
-                self.apply_insert(&table, row, rule.is_view, ctx)?;
+                self.apply_insert(&table, row.clone(), rule.is_view, ctx)?;
                 !before
             };
             if effective {
                 ctx.derivations += 1;
-                self.rule_fires[rule.id] += 1;
+                self.rule_stats[rule.id].fires += 1;
+                self.record_prov(rule, &row, inputs);
             }
         }
         Ok(())
     }
 
-    /// Evaluate one rule variant; returns projected head rows.
+    /// Evaluate one rule variant; returns projected head rows plus (when
+    /// provenance capture is on) the body tuples behind each row.
     ///
     /// `delta_rows == None` makes the delta predicate read its full table
     /// (used for body-less variants, aggregates, and view recomputation).
+    #[allow(clippy::type_complexity)]
     fn eval_variant(
         &mut self,
         rule: &CompiledRule,
         variant: &Variant,
         delta_rows: Option<&[Row]>,
         _ctx: &mut TickCtx,
-    ) -> Result<Vec<Row>> {
+    ) -> Result<(Vec<Row>, Option<Vec<Vec<(String, Row)>>>)> {
         let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
         let mut env = vec![None; rule.nslots];
+        let mut sup = SupportSink::new(self.prov_on);
         self.exec_ops(
             rule,
             &variant.ops,
@@ -849,6 +1106,7 @@ impl OverlogRuntime {
             delta_rows,
             &mut env,
             &mut envs,
+            &mut sup,
         )?;
         // Project heads (non-aggregate rules only reach here).
         let mut out = Vec::with_capacity(envs.len());
@@ -867,7 +1125,7 @@ impl OverlogRuntime {
             }
             out.push(Arc::new(row));
         }
-        Ok(out)
+        Ok((out, sup.into_supports()))
     }
 
     /// Recursive nested-loop execution of a scheduled op sequence.
@@ -881,29 +1139,33 @@ impl OverlogRuntime {
         delta_rows: Option<&[Row]>,
         env: &mut Vec<Option<Value>>,
         out: &mut Vec<Vec<Option<Value>>>,
+        sup: &mut SupportSink,
     ) -> Result<()> {
         if oi == ops.len() {
             out.push(env.clone());
+            if sup.enabled {
+                sup.out.push(sup.cur.clone());
+            }
             return Ok(());
         }
         match &ops[oi] {
             Op::Assign(slot, e) => {
                 let v = eval_cexpr(e, env, &self.builtins)?;
                 let prev = env[*slot].replace(v);
-                self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out)?;
+                self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out, sup)?;
                 env[*slot] = prev;
                 Ok(())
             }
             Op::Filter(e) => {
                 if eval_cexpr(e, env, &self.builtins)?.truthy() {
-                    self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out)?;
+                    self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out, sup)?;
                 }
                 Ok(())
             }
             Op::NegScan { table, pats } => {
                 let matched = self.probe(table, pats, env)?;
                 if !matched {
-                    self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out)?;
+                    self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out, sup)?;
                 }
                 Ok(())
             }
@@ -948,7 +1210,13 @@ impl OverlogRuntime {
                         }
                     }
                     if ok {
-                        self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out)?;
+                        if sup.enabled {
+                            sup.cur.push((table.clone(), row.clone()));
+                        }
+                        self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out, sup)?;
+                        if sup.enabled {
+                            sup.cur.pop();
+                        }
                     }
                     for s in &bind_slots {
                         env[*s] = None;
@@ -1013,10 +1281,23 @@ impl OverlogRuntime {
     /// Full recomputation of an aggregate rule: evaluate the body, group,
     /// fold, and key-overwrite the head table.
     fn eval_aggregate(&mut self, rule: &CompiledRule, ctx: &mut TickCtx) -> Result<()> {
+        let t0 = std::time::Instant::now();
         let variant = &rule.variants[0];
         let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
         let mut env = vec![None; rule.nslots];
-        self.exec_ops(rule, &variant.ops, 0, None, None, &mut env, &mut envs)?;
+        // Aggregate provenance records empty inputs: the support of a fold
+        // is the whole group, not a single join path.
+        let mut sup = SupportSink::new(false);
+        self.exec_ops(
+            rule,
+            &variant.ops,
+            0,
+            None,
+            None,
+            &mut env,
+            &mut envs,
+            &mut sup,
+        )?;
 
         #[derive(Clone)]
         enum Acc {
@@ -1127,11 +1408,14 @@ impl OverlogRuntime {
             }
             rows.push(Arc::new(row));
         }
-        self.dispatch(rule, rows, ctx)
+        let res = self.dispatch(rule, rows, None, ctx);
+        self.rule_stats[rule.id].eval_ns += t0.elapsed().as_nanos() as u64;
+        res
     }
 
     /// Clear all view tables and re-derive them from base state.
     fn recompute_views(&mut self, ctx: &mut TickCtx) -> Result<()> {
+        self.eval_stats.view_recomputes += 1;
         let view_tables: Vec<String> = self.plan.view_tables.iter().cloned().collect();
         for v in &view_tables {
             if let Some(t) = self.tables.get_mut(v) {
@@ -1182,8 +1466,9 @@ impl OverlogRuntime {
                             continue;
                         }
                         let delta_rows = delta_rows.clone();
-                        let rows = self.eval_variant(&rule, variant, Some(&delta_rows), ctx)?;
-                        for row in rows {
+                        let (rows, sups) =
+                            self.eval_variant(&rule, variant, Some(&delta_rows), ctx)?;
+                        for (i, row) in rows.into_iter().enumerate() {
                             ctx.derivations += 1;
                             if ctx.derivations > self.budget {
                                 return Err(OverlogError::Eval(
@@ -1195,6 +1480,12 @@ impl OverlogRuntime {
                             })?;
                             match t.insert(row.clone())? {
                                 InsertOutcome::New | InsertOutcome::Replaced(_) => {
+                                    let inputs: &[(String, Row)] = sups
+                                        .as_ref()
+                                        .and_then(|s| s.get(i))
+                                        .map(|v| v.as_slice())
+                                        .unwrap_or(&[]);
+                                    self.record_prov(&rule, &row, inputs);
                                     added
                                         .entry(rule.head_table.clone())
                                         .or_default()

@@ -156,7 +156,9 @@ impl Ctx<'_> {
 }
 
 enum EventKind {
-    Deliver(String, NetTuple),
+    /// Delivery of a tuple, with the Chrome-trace flow id assigned at send
+    /// time (None when no recorder was attached or for duplicates).
+    Deliver(String, NetTuple, Option<u64>),
     Timer(String, u64),
     Crash(String),
     Restart(String),
@@ -193,6 +195,11 @@ pub struct Sim {
     fault_log: Vec<FaultRecord>,
     delivered: u64,
     dropped: u64,
+    /// Optional Chrome trace-event recorder (`boom-trace`). When attached,
+    /// message flows, delivery spans and fault markers are recorded; the
+    /// RNG stream is never touched, so recorded and bare runs take
+    /// identical schedules.
+    recorder: Option<boom_trace::ChromeRecorder>,
 }
 
 impl Sim {
@@ -213,7 +220,24 @@ impl Sim {
             fault_log: Vec::new(),
             delivered: 0,
             dropped: 0,
+            recorder: None,
         }
+    }
+
+    /// Attach a Chrome trace-event recorder; subsequent sends, deliveries,
+    /// timer/tuple processing spans and faults are recorded into it.
+    pub fn set_recorder(&mut self, r: boom_trace::ChromeRecorder) {
+        self.recorder = Some(r);
+    }
+
+    /// Borrow the attached recorder (to add harness-level marks/spans).
+    pub fn recorder_mut(&mut self) -> Option<&mut boom_trace::ChromeRecorder> {
+        self.recorder.as_mut()
+    }
+
+    /// Detach and return the recorder, e.g. to render its JSON.
+    pub fn take_recorder(&mut self) -> Option<boom_trace::ChromeRecorder> {
+        self.recorder.take()
     }
 
     /// Current virtual time.
@@ -272,7 +296,15 @@ impl Sim {
             row,
         };
         let epoch = self.nodes.get(dest).map(|n| n.epoch).unwrap_or(0);
-        self.push_event(self.now, EventKind::Deliver(dest.to_string(), t), epoch);
+        let flow = self
+            .recorder
+            .as_mut()
+            .map(|r| r.sent("client", dest, &t.table, self.now));
+        self.push_event(
+            self.now,
+            EventKind::Deliver(dest.to_string(), t, flow),
+            epoch,
+        );
     }
 
     /// Schedule a crash of `node` at absolute time `at`.
@@ -442,10 +474,26 @@ impl Sim {
                 .contains(&(from.to_string(), dest.to_string()))
         {
             self.dropped += 1;
+            if let Some(r) = self.recorder.as_mut() {
+                r.mark(
+                    from,
+                    &format!("blocked {} -> {dest}", tuple.table),
+                    "net.drop",
+                    self.now,
+                );
+            }
             return;
         }
         if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
             self.dropped += 1;
+            if let Some(r) = self.recorder.as_mut() {
+                r.mark(
+                    from,
+                    &format!("drop {} -> {dest}", tuple.table),
+                    "net.drop",
+                    self.now,
+                );
+            }
             return;
         }
         // Chaos overrides: only consulted (and only drawing from the RNG)
@@ -489,15 +537,19 @@ impl Sim {
                 self.dup_burst = None;
             }
         }
+        let flow = self
+            .recorder
+            .as_mut()
+            .map(|r| r.sent(from, dest, &tuple.table, self.now));
         self.push_event(
             self.now + lat,
-            EventKind::Deliver(dest.to_string(), tuple.clone()),
+            EventKind::Deliver(dest.to_string(), tuple.clone(), flow),
             epoch,
         );
         if dup {
             self.push_event(
                 self.now + lat + 1,
-                EventKind::Deliver(dest.to_string(), tuple),
+                EventKind::Deliver(dest.to_string(), tuple, None),
                 epoch,
             );
         }
@@ -515,22 +567,31 @@ impl Sim {
         match kind {
             EventKind::Crash(name) => {
                 self.record_fault(format!("crash {name}"));
+                if let Some(r) = self.recorder.as_mut() {
+                    r.mark(&name, "crash", "fault", self.now);
+                }
                 self.apply_crash(&name);
             }
             EventKind::Restart(name) => {
                 self.record_fault(format!("restart {name}"));
+                if let Some(r) = self.recorder.as_mut() {
+                    r.mark(&name, "restart", "fault", self.now);
+                }
                 self.apply_restart(&name);
             }
             EventKind::Fault(action) => {
                 self.record_fault(action.describe());
+                if let Some(r) = self.recorder.as_mut() {
+                    r.mark("chaos", &action.describe(), "fault", self.now);
+                }
                 self.apply_action(action);
             }
-            EventKind::Deliver(name, tuple) => {
+            EventKind::Deliver(name, tuple, flow) => {
                 // Coalesce all deliveries to this node scheduled for this
                 // exact instant into one batch, even when interleaved with
                 // events for other nodes: drain everything at `at`, keep
                 // ours, re-queue the rest in their original order.
-                let mut batch = vec![(tuple, armed_epoch)];
+                let mut batch = vec![(tuple, armed_epoch, flow)];
                 let mut requeue = Vec::new();
                 loop {
                     let (seq2, id2) = match self.queue.peek() {
@@ -540,11 +601,12 @@ impl Sim {
                     self.queue.pop();
                     let ours = matches!(
                         self.events.get(&id2),
-                        Some((EventKind::Deliver(n2, _), _)) if *n2 == name
+                        Some((EventKind::Deliver(n2, _, _), _)) if *n2 == name
                     );
                     if ours {
-                        if let Some((EventKind::Deliver(_, t2), e2)) = self.events.remove(&id2) {
-                            batch.push((t2, e2));
+                        if let Some((EventKind::Deliver(_, t2, f2), e2)) = self.events.remove(&id2)
+                        {
+                            batch.push((t2, e2, f2));
                         }
                     } else {
                         requeue.push(Reverse((at, seq2, id2)));
@@ -561,8 +623,11 @@ impl Sim {
                     }
                 };
                 let mut deliverable: Vec<NetTuple> = Vec::with_capacity(batch.len());
-                for (t, e) in batch {
+                for (t, e, f) in batch {
                     if up && (e == ANY_EPOCH || e == epoch) {
+                        if let (Some(r), Some(id)) = (self.recorder.as_mut(), f) {
+                            r.delivered(&name, &t.table, self.now, id);
+                        }
                         deliverable.push(t);
                     } else {
                         self.dropped += 1;
@@ -576,6 +641,7 @@ impl Sim {
                     .get_mut(&name)
                     .expect("checked above that the node exists");
                 self.delivered += deliverable.len() as u64;
+                let n_tuples = deliverable.len();
                 let mut ctx = Ctx {
                     now: self.now,
                     me: &name,
@@ -583,7 +649,17 @@ impl Sim {
                     outbox: Vec::new(),
                     timers: Vec::new(),
                 };
+                let t0 = self.recorder.is_some().then(std::time::Instant::now);
                 node.actor.on_tuples(&mut ctx, deliverable);
+                if let (Some(r), Some(t0)) = (self.recorder.as_mut(), t0) {
+                    r.span(
+                        &name,
+                        &format!("on_tuples x{n_tuples}"),
+                        "actor",
+                        self.now,
+                        t0.elapsed().as_nanos() as f64 / 1e3,
+                    );
+                }
                 let (outbox, timers) = (ctx.outbox, ctx.timers);
                 self.absorb(&name, outbox, timers);
             }
@@ -601,7 +677,17 @@ impl Sim {
                     outbox: Vec::new(),
                     timers: Vec::new(),
                 };
+                let t0 = self.recorder.is_some().then(std::time::Instant::now);
                 node.actor.on_timer(&mut ctx, tag);
+                if let (Some(r), Some(t0)) = (self.recorder.as_mut(), t0) {
+                    r.span(
+                        &name,
+                        "on_timer",
+                        "actor",
+                        self.now,
+                        t0.elapsed().as_nanos() as f64 / 1e3,
+                    );
+                }
                 let (outbox, timers) = (ctx.outbox, ctx.timers);
                 self.absorb(&name, outbox, timers);
             }
@@ -849,6 +935,41 @@ mod tests {
         let ok = sim.run_while(500, |s| s.delivered_count() > 0);
         assert!(!ok);
         assert_eq!(sim.now(), 500);
+    }
+
+    #[test]
+    fn recorder_captures_flows_without_changing_schedule() {
+        fn run(with_rec: bool) -> (u64, u64, Option<String>) {
+            let mut sim = Sim::new(SimConfig {
+                seed: 9,
+                min_latency: 1,
+                max_latency: 20,
+                drop_prob: 0.1,
+                duplicate_prob: 0.05,
+            });
+            if with_rec {
+                sim.set_recorder(boom_trace::ChromeRecorder::new());
+            }
+            sim.add_node(
+                "p",
+                Box::new(Pinger {
+                    target: "c".into(),
+                    period: 50,
+                }),
+            );
+            sim.add_node("c", Box::new(Counter::new()));
+            sim.run_until(2_000);
+            let doc = sim.take_recorder().map(|r| r.render());
+            (sim.delivered_count(), sim.dropped_count(), doc)
+        }
+        let (d1, x1, doc) = run(true);
+        let (d2, x2, none) = run(false);
+        assert_eq!((d1, x1), (d2, x2), "recorder must not perturb the schedule");
+        assert!(none.is_none());
+        let doc = doc.expect("recorder attached");
+        assert!(doc.contains("\"ph\":\"s\""), "flow starts recorded");
+        assert!(doc.contains("\"ph\":\"f\""), "flow ends recorded");
+        assert!(doc.contains("on_tuples"), "delivery spans recorded");
     }
 
     #[test]

@@ -1,188 +1,6 @@
-//! Measurement helpers shared by experiments: sample collections,
-//! percentiles, and CDF series matching the paper's figures.
+//! Measurement helpers shared by experiments — moved to
+//! `boom_trace::metrics` as part of the unified observability layer and
+//! re-exported here so existing call sites keep working. New code should
+//! use `boom_trace::metrics` (and its [`boom_trace::Registry`]) directly.
 
-/// A collection of scalar samples (latencies, completion times).
-#[derive(Debug, Clone, Default)]
-pub struct Samples {
-    values: Vec<f64>,
-    sorted: bool,
-}
-
-impl Samples {
-    /// Empty sample set.
-    pub fn new() -> Self {
-        Samples::default()
-    }
-
-    /// Record one sample.
-    pub fn record(&mut self, v: f64) {
-        self.values.push(v);
-        self.sorted = false;
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    /// True when no samples were recorded.
-    pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
-    }
-
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.values.sort_by(|a, b| a.total_cmp(b));
-            self.sorted = true;
-        }
-    }
-
-    /// Arithmetic mean (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.values.is_empty() {
-            0.0
-        } else {
-            self.values.iter().sum::<f64>() / self.values.len() as f64
-        }
-    }
-
-    /// Minimum sample (0 when empty).
-    pub fn min(&mut self) -> f64 {
-        self.ensure_sorted();
-        self.values.first().copied().unwrap_or(0.0)
-    }
-
-    /// Maximum sample (0 when empty).
-    pub fn max(&mut self) -> f64 {
-        self.ensure_sorted();
-        self.values.last().copied().unwrap_or(0.0)
-    }
-
-    /// The `p`-th percentile with nearest-rank interpolation, `p` in
-    /// `[0, 100]`. Returns 0 when empty.
-    pub fn percentile(&mut self, p: f64) -> f64 {
-        self.ensure_sorted();
-        if self.values.is_empty() {
-            return 0.0;
-        }
-        let rank = (p / 100.0) * (self.values.len() - 1) as f64;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
-        if lo == hi {
-            self.values[lo]
-        } else {
-            let frac = rank - lo as f64;
-            self.values[lo] * (1.0 - frac) + self.values[hi] * frac
-        }
-    }
-
-    /// The empirical CDF as `(value, cumulative_fraction)` points — the
-    /// series plotted in the paper's task-completion figures.
-    pub fn cdf(&mut self) -> Vec<(f64, f64)> {
-        self.ensure_sorted();
-        let n = self.values.len();
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
-            .collect()
-    }
-
-    /// Downsampled CDF with at most `points` entries (always keeps the
-    /// final point).
-    pub fn cdf_sampled(&mut self, points: usize) -> Vec<(f64, f64)> {
-        let full = self.cdf();
-        if full.len() <= points || points < 2 {
-            return full;
-        }
-        let mut out = Vec::with_capacity(points);
-        for i in 0..points - 1 {
-            let idx = i * (full.len() - 1) / (points - 1);
-            out.push(full[idx]);
-        }
-        out.push(*full.last().expect("nonempty by guard above"));
-        out
-    }
-
-    /// All samples, sorted.
-    pub fn sorted_values(&mut self) -> &[f64] {
-        self.ensure_sorted();
-        &self.values
-    }
-}
-
-/// Render a labeled table of `(x, series...)` rows, space-aligned — the
-/// format the experiment harnesses print.
-pub fn print_series(header: &[&str], rows: &[Vec<f64>]) -> String {
-    let mut out = String::new();
-    out.push_str(&header.join("\t"));
-    out.push('\n');
-    for row in rows {
-        let cells: Vec<String> = row.iter().map(|v| format!("{v:.3}")).collect();
-        out.push_str(&cells.join("\t"));
-        out.push('\n');
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn percentiles_interpolate() {
-        let mut s = Samples::new();
-        for v in [1.0, 2.0, 3.0, 4.0] {
-            s.record(v);
-        }
-        assert_eq!(s.percentile(0.0), 1.0);
-        assert_eq!(s.percentile(100.0), 4.0);
-        assert_eq!(s.percentile(50.0), 2.5);
-        assert_eq!(s.min(), 1.0);
-        assert_eq!(s.max(), 4.0);
-        assert_eq!(s.mean(), 2.5);
-    }
-
-    #[test]
-    fn empty_samples_are_safe() {
-        let mut s = Samples::new();
-        assert_eq!(s.percentile(50.0), 0.0);
-        assert_eq!(s.mean(), 0.0);
-        assert!(s.cdf().is_empty());
-        assert!(s.is_empty());
-    }
-
-    #[test]
-    fn cdf_is_monotone_and_ends_at_one() {
-        let mut s = Samples::new();
-        for v in [5.0, 1.0, 3.0, 3.0, 9.0] {
-            s.record(v);
-        }
-        let cdf = s.cdf();
-        assert_eq!(cdf.len(), 5);
-        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
-        for w in cdf.windows(2) {
-            assert!(w[0].0 <= w[1].0);
-            assert!(w[0].1 < w[1].1);
-        }
-    }
-
-    #[test]
-    fn cdf_downsampling_keeps_extremes() {
-        let mut s = Samples::new();
-        for i in 0..1000 {
-            s.record(i as f64);
-        }
-        let cdf = s.cdf_sampled(11);
-        assert_eq!(cdf.len(), 11);
-        assert_eq!(cdf[0].0, 0.0);
-        assert_eq!(cdf.last().unwrap().0, 999.0);
-    }
-
-    #[test]
-    fn series_printer_formats() {
-        let out = print_series(&["x", "a"], &[vec![1.0, 2.0], vec![3.0, 4.5]]);
-        assert!(out.contains("x\ta"));
-        assert!(out.contains("3.000\t4.500"));
-    }
-}
+pub use boom_trace::metrics::{print_series, Samples};

@@ -1,0 +1,325 @@
+//! The unified metrics layer: scalar sample collections (percentiles,
+//! CDFs) and a named registry of counters/gauges/samples shared by the
+//! simulator, the system crates and the experiment harnesses.
+//!
+//! `Samples` and `print_series` moved here from `simnet::metrics` (which
+//! re-exports them for compatibility); [`Registry`] is new.
+
+use crate::{json_escape, json_num};
+use std::collections::BTreeMap;
+
+/// A collection of scalar samples (latencies, completion times).
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.total_cmp(b));
+            self.sorted = true;
+        }
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Minimum sample (0 when empty).
+    pub fn min(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    /// The `p`-th percentile with nearest-rank interpolation, `p` in
+    /// `[0, 100]`. Returns 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        self.ensure_sorted();
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let rank = (p / 100.0) * (self.values.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            self.values[lo]
+        } else {
+            let frac = rank - lo as f64;
+            self.values[lo] * (1.0 - frac) + self.values[hi] * frac
+        }
+    }
+
+    /// The empirical CDF as `(value, cumulative_fraction)` points — the
+    /// series plotted in the paper's task-completion figures.
+    pub fn cdf(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.values.len();
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Downsampled CDF with at most `points` entries (always keeps the
+    /// final point).
+    pub fn cdf_sampled(&mut self, points: usize) -> Vec<(f64, f64)> {
+        let full = self.cdf();
+        if full.len() <= points || points < 2 {
+            return full;
+        }
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points - 1 {
+            let idx = i * (full.len() - 1) / (points - 1);
+            out.push(full[idx]);
+        }
+        out.push(*full.last().expect("nonempty by guard above"));
+        out
+    }
+
+    /// All samples, sorted.
+    pub fn sorted_values(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.values
+    }
+}
+
+/// Render a labeled table of `(x, series...)` rows, space-aligned — the
+/// format the experiment harnesses print.
+pub fn print_series(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join("\t"));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.3}")).collect();
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+/// One registry of named counters, gauges and sample sets. Names are
+/// dotted paths (`net.delivered`, `fs.create.latency_ms`); iteration and
+/// export order is the `BTreeMap` name order, so output is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    samples: BTreeMap<String, Samples>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add to a monotonic counter (created at 0).
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Record one sample into a named sample set.
+    pub fn sample(&mut self, name: &str, v: f64) {
+        self.samples.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Borrow a named sample set, creating it empty if absent.
+    pub fn samples_mut(&mut self, name: &str) -> &mut Samples {
+        self.samples.entry(name.to_string()).or_default()
+    }
+
+    /// Fold another registry into this one (counters add, gauges take the
+    /// other's value, samples concatenate).
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, s) in &other.samples {
+            let dst = self.samples.entry(k.clone()).or_default();
+            for v in &s.values {
+                dst.record(*v);
+            }
+        }
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Export everything as a JSON object: counters verbatim, gauges
+    /// verbatim, each sample set summarized as count/mean/p50/p95/max.
+    pub fn to_json(&mut self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{v}", json_escape(k)));
+        }
+        out.push_str("},\"gauges\":{");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{}", json_escape(k), json_num(*v)));
+        }
+        out.push_str("},\"samples\":{");
+        first = true;
+        let names: Vec<String> = self.samples.keys().cloned().collect();
+        for k in names {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let s = self.samples.get_mut(&k).expect("key from keys()");
+            let (count, mean) = (s.len(), s.mean());
+            let (p50, p95, max) = (s.percentile(50.0), s.percentile(95.0), s.max());
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{count},\"mean\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
+                json_escape(&k),
+                json_num(mean),
+                json_num(p50),
+                json_num(p95),
+                json_num(max)
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s = Samples::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert_eq!(s.percentile(50.0), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.mean(), 2.5);
+    }
+
+    #[test]
+    fn empty_samples_are_safe() {
+        let mut s = Samples::new();
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.cdf().is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut s = Samples::new();
+        for v in [5.0, 1.0, 3.0, 3.0, 9.0] {
+            s.record(v);
+        }
+        let cdf = s.cdf();
+        assert_eq!(cdf.len(), 5);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn cdf_downsampling_keeps_extremes() {
+        let mut s = Samples::new();
+        for i in 0..1000 {
+            s.record(i as f64);
+        }
+        let cdf = s.cdf_sampled(11);
+        assert_eq!(cdf.len(), 11);
+        assert_eq!(cdf[0].0, 0.0);
+        assert_eq!(cdf.last().unwrap().0, 999.0);
+    }
+
+    #[test]
+    fn series_printer_formats() {
+        let out = print_series(&["x", "a"], &[vec![1.0, 2.0], vec![3.0, 4.5]]);
+        assert!(out.contains("x\ta"));
+        assert!(out.contains("3.000\t4.500"));
+    }
+
+    #[test]
+    fn registry_counts_merges_and_exports() {
+        let mut r = Registry::new();
+        r.count("net.sent", 2);
+        r.count("net.sent", 3);
+        r.gauge("fs.files", 7.0);
+        r.sample("lat_ms", 1.0);
+        r.sample("lat_ms", 3.0);
+        let mut other = Registry::new();
+        other.count("net.sent", 5);
+        other.sample("lat_ms", 5.0);
+        r.merge(&other);
+        assert_eq!(r.counter("net.sent"), 10);
+        let json = r.to_json();
+        assert!(json.contains("\"net.sent\":10"), "{json}");
+        assert!(json.contains("\"fs.files\":7"), "{json}");
+        assert!(json.contains("\"count\":3"), "{json}");
+        // Deterministic: identical on re-render.
+        assert_eq!(json, r.to_json());
+    }
+}

@@ -2,7 +2,7 @@
 //! print the self-healing invariant report.
 //!
 //! ```text
-//! chaoscheck [--seed N]... [SCHEDULE ...]
+//! chaoscheck [--seed N]... [--chrome OUT.json] [SCHEDULE ...]
 //! ```
 //!
 //! With no schedule arguments every named schedule runs; with no `--seed`
@@ -14,10 +14,12 @@
 use boom_bench::{run_chaos, ChaosConfig, NamedSchedule};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: chaoscheck [--seed N]... [SCHEDULE ...]
+const USAGE: &str = "usage: chaoscheck [--seed N]... [--chrome OUT.json] [SCHEDULE ...]
 
-  --seed N    add a seed to run each schedule under (repeatable; default 1)
-  -h, --help  this help
+  --seed N      add a seed to run each schedule under (repeatable; default 1)
+  --chrome OUT  record the first run's chaotic twin as Chrome trace-event
+                JSON (node lanes, message flows, fault markers) into OUT
+  -h, --help    this help
 
 Schedules: datanode-crash, nn-partition, tracker-flap, mixed.
 With no schedule arguments, all of them run.
@@ -26,6 +28,7 @@ With no schedule arguments, all of them run.
 fn main() -> ExitCode {
     let mut seeds: Vec<u64> = Vec::new();
     let mut schedules: Vec<NamedSchedule> = Vec::new();
+    let mut chrome_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,6 +38,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 seeds.push(v);
+            }
+            "--chrome" => {
+                let Some(v) = args.next() else {
+                    eprintln!("chaoscheck: --chrome needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                chrome_out = Some(v);
             }
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -65,10 +75,23 @@ fn main() -> ExitCode {
         for &seed in &seeds {
             let cfg = ChaosConfig {
                 seed,
+                chrome: chrome_out.is_some(),
                 ..Default::default()
             };
             let report = run_chaos(&cfg, *named);
             print!("{}", report.render());
+            if let (Some(out), Some(doc)) = (chrome_out.take(), &report.chrome_json) {
+                match std::fs::write(&out, doc) {
+                    Ok(()) => eprintln!(
+                        "chaoscheck: wrote Chrome trace of {} (seed {seed}) to {out}",
+                        report.schedule
+                    ),
+                    Err(e) => {
+                        eprintln!("chaoscheck: cannot write `{out}`: {e}");
+                        failures += 1;
+                    }
+                }
+            }
             if !report.all_green() {
                 failures += 1;
             }

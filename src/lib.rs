@@ -9,3 +9,4 @@ pub use boom_mr as mr;
 pub use boom_overlog as overlog;
 pub use boom_paxos as paxos;
 pub use boom_simnet as simnet;
+pub use boom_trace as trace;

@@ -1,0 +1,85 @@
+//! Cross-crate tests of the `boom-trace` provenance and profiling layer:
+//! a golden derivation tree from the shipped NameNode program, and
+//! reproducibility properties — the same simulator seed must yield
+//! byte-identical provenance, profile and metrics output on every run.
+
+use boom_bench::observe::{run_observed_fs, ObserveConfig};
+use boom_bench::ObservedRun;
+use boom_trace::render_hot_rules;
+use proptest::prelude::*;
+
+/// Strip the `[tick N]` annotations: tick numbers are deterministic for
+/// a fixed seed but shift whenever unrelated scheduling changes, which
+/// would make the golden test churn for no semantic reason.
+fn strip_ticks(tree: &str) -> String {
+    tree.lines()
+        .map(|l| l.split(" [tick ").next().expect("split is total"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+fn observed(seed: u64) -> ObservedRun {
+    run_observed_fs(&ObserveConfig {
+        seed,
+        provenance: true,
+        // Chrome spans carry wall-clock durations; keep the recorder off
+        // wherever output is compared byte-for-byte.
+        chrome: false,
+    })
+}
+
+#[test]
+fn golden_fqpath_derivation_tree() {
+    // Why does `/obs` resolve? Because mkdir derived a `file` row under
+    // the root, and the recursive `fqpath` view joined it with the
+    // root's path — the shipped namenode.olg rules, witnessed end to end.
+    let run = observed(42);
+    let targets = run.prov.find("fqpath(\"/obs\", ");
+    assert_eq!(targets.len(), 1, "{targets:?}");
+    let (t, r) = &targets[0];
+    let got = strip_ticks(&run.prov.derivation(t, r).render());
+    let want = "\
+fqpath(\"/obs\", 2)  <- rule#1(fqpath) @nn0
+|- file(2, 1, \"obs\", true)  <- rule#9(file) @nn0
+|  `- do_mkdir(\"/obs\", 1)  <- rule#8(do_mkdir) @nn0
+|     |- request(@client0, 1, \"mkdir\", [\"/obs\"])  (base/external)
+|     |- fqpath(\"/\", 1)  <- rule#0(fqpath) @nn0
+|     |  `- file(1, 0, \"\", true)  (base/external)
+|     `- file(1, 0, \"\", true)  (base/external)
+`- fqpath(\"/\", 1)  <- rule#0(fqpath) @nn0
+   `- file(1, 0, \"\", true)  (base/external)
+";
+    assert_eq!(got, want, "derivation tree drifted:\n{got}");
+}
+
+/// Render everything deterministic an observed run produces, in one
+/// string: provenance trees for a fixed query, the hot-rules profile
+/// (without the wall-clock column), and the metrics registry JSON.
+fn deterministic_render(run: &ObservedRun) -> String {
+    let mut out = String::new();
+    for (t, r) in run.prov.find("fqpath(") {
+        out.push_str(&run.prov.derivation(&t, &r).render());
+        out.push('\n');
+    }
+    out.push_str(&render_hot_rules(&run.profile, usize::MAX, false));
+    out.push_str(&run.registry.clone().to_json());
+    out.push_str(&format!(
+        "\ntrace_events={} trace_dropped={} prov_dropped={}",
+        run.trace_events, run.trace_dropped, run.prov_dropped
+    ));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The reproducibility contract: identical seed, identical output —
+    /// byte for byte — across independent runs of the whole cluster.
+    #[test]
+    fn provenance_and_profile_are_reproducible(seed in 0u64..1000) {
+        let a = deterministic_render(&observed(seed));
+        let b = deterministic_render(&observed(seed));
+        prop_assert_eq!(a, b);
+    }
+}
