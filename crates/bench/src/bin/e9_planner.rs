@@ -1,0 +1,78 @@
+//! E9 — the analysis-driven planner: NameNode metadata-churn CPU cost
+//! with `plan.rs` consuming the semantic analysis (cardinality-ordered
+//! joins + CALM-scoped view recompute) vs the source-order baseline.
+//! The paper's thesis is that declarative programs are *analyzable*
+//! artifacts; this experiment is the payoff loop — the analysis makes
+//! the same program faster without touching a single rule.
+//!
+//! `--smoke` runs a small op count, requires byte-identical final state
+//! between the two plans (a hard correctness gate), and exits non-zero
+//! if the analysis-driven plan ever costs more than `SMOKE_BOUND`× the
+//! baseline (wall-clock CPU is noisy on shared CI machines, so the bound
+//! is loose; the full run records the real factor).
+
+use boom_bench::run_planner_ab;
+use std::process::ExitCode;
+
+/// Cost factor the smoke mode tolerates (analysis plan vs baseline).
+const SMOKE_BOUND: f64 = 1.5;
+
+fn report(nops: usize) -> (f64, bool, String) {
+    let r = run_planner_ab(nops);
+    let factor = r.cpu_us_analysis / r.cpu_us_baseline.max(1e-9);
+    let text = format!(
+        "# E9: analysis-driven planner, chunk churn on a stable namespace ({nops} alloc/abandon ops)\n\
+         cpu baseline planner      : {:.1} us/op\n\
+         cpu analysis-driven plan  : {:.1} us/op ({:+.1}%)\n\
+         view recomputes           : {} -> {}\n\
+         fixpoint rounds           : {} -> {}\n\
+         final state byte-identical: {}",
+        r.cpu_us_baseline,
+        r.cpu_us_analysis,
+        (factor - 1.0) * 100.0,
+        r.view_recomputes_baseline,
+        r.view_recomputes_analysis,
+        r.fixpoint_rounds_baseline,
+        r.fixpoint_rounds_analysis,
+        r.identical,
+    );
+    (factor, r.identical, text)
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if !smoke {
+        eprintln!("E9: planner A/B, 600 metadata ops");
+        let (_, identical, text) = report(600);
+        println!("{text}");
+        return if identical {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("E9 FAIL: plans diverged");
+            ExitCode::FAILURE
+        };
+    }
+    let mut best = f64::INFINITY;
+    let mut last = String::new();
+    for trial in 0..3 {
+        let (factor, identical, text) = report(150);
+        if !identical {
+            eprintln!("E9 smoke FAIL: analysis-driven plan diverged from baseline");
+            println!("{text}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("E9 smoke trial {trial}: analysis plan {factor:.2}x baseline");
+        best = best.min(factor);
+        last = text;
+        if best < SMOKE_BOUND {
+            break;
+        }
+    }
+    println!("{last}");
+    println!("smoke: best analysis-plan factor {best:.2}x (bound {SMOKE_BOUND}x)");
+    if best >= SMOKE_BOUND {
+        eprintln!("E9 smoke FAIL: analysis-driven plan costs more than {SMOKE_BOUND}x baseline");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,7 @@
 //! | E6 | `e6_partitioned_nn` | metadata throughput vs partition count |
 //! | E7 | `e7_monitoring` | tracing-overhead table |
 //! | E8 | `e8_chaos` | chaos schedules: fault injection + self-healing invariants |
+//! | E9 | `e9_planner` | analysis-driven planner A/B (CALM-scoped views, join order) |
 //!
 //! Criterion microbenches (`cargo bench`) cover engine-level numbers that
 //! back the latency/throughput cells at CI-friendly scale.

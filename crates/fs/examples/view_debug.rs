@@ -1,0 +1,58 @@
+//! Dump the NameNode plan's view structure (debug aid).
+use boom_overlog::{parse_program, plan, Statement};
+use std::collections::HashMap;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "fs".into());
+    let src = match which.as_str() {
+        "fs" => boom_fs::NAMENODE_OLG.to_string(),
+        other => panic!("unknown program `{other}`"),
+    };
+    let prog = parse_program(&src).unwrap();
+    let mut decls = HashMap::new();
+    let mut rules = Vec::new();
+    for st in prog.statements {
+        match st {
+            Statement::Define(d) => {
+                decls.insert(d.name.clone(), d);
+            }
+            Statement::Rule(r) => rules.push(r),
+            Statement::Timer { name, span, .. } => {
+                decls.insert(
+                    name.clone(),
+                    boom_overlog::TableDecl {
+                        name,
+                        keys: None,
+                        types: vec![boom_overlog::value::TypeTag::Int],
+                        kind: boom_overlog::TableKind::Event,
+                        span,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    for d in boom_overlog::analysis::ProgramContext::runtime_ambient() {
+        decls.entry(d.name.clone()).or_insert(d);
+    }
+    let p = plan::compile(&decls, &rules).unwrap();
+    let mut vt: Vec<_> = p.view_tables.iter().collect();
+    vt.sort();
+    println!("view_tables: {vt:?}");
+    let mut vi: Vec<_> = p.view_inputs.iter().collect();
+    vi.sort();
+    println!("view_inputs: {vi:?}");
+    let mut nv: Vec<_> = p.neg_view_inputs.iter().collect();
+    nv.sort();
+    println!("neg_view_inputs: {nv:?}");
+    let mut mv: Vec<_> = p.monotonic_views.iter().collect();
+    mv.sort();
+    println!("monotonic_views: {mv:?}");
+    let mut dv: Vec<_> = p.view_deps.iter().collect();
+    dv.sort_by_key(|(k, _)| (*k).clone());
+    for (v, deps) in dv {
+        let mut d: Vec<_> = deps.iter().collect();
+        d.sort();
+        println!("deps {v}: {d:?}");
+    }
+}

@@ -243,6 +243,45 @@ impl MrDriver {
     }
 }
 
+/// A job's catalog record as stored by the Overlog JobTracker (the
+/// paper's Table 2 `job` relation) — the job-status view a JobClient
+/// polls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Job id.
+    pub job: i64,
+    /// Submitting client node.
+    pub client: String,
+    /// "wordcount" or "grep:&lt;pattern&gt;".
+    pub job_type: String,
+    /// Output directory name.
+    pub outdir: String,
+    /// Number of reduce partitions.
+    pub nreduces: i64,
+    /// Submission time (virtual ms).
+    pub submitted: i64,
+}
+
+/// Read a job's status record back from the **Overlog** JobTracker's
+/// `job` table (the JobClient's job-status query).
+pub fn job_record(sim: &mut Sim, jt: &str, job: i64) -> Option<JobRecord> {
+    sim.with_actor::<OverlogActor, _>(jt, |a| {
+        a.runtime_ref().rows("job").iter().find_map(|r| {
+            if r[0].as_int()? != job {
+                return None;
+            }
+            Some(JobRecord {
+                job,
+                client: r[1].as_str()?.to_string(),
+                job_type: r[2].as_str()?.to_string(),
+                outdir: r[3].as_str()?.to_string(),
+                nreduces: r[4].as_int()?,
+                submitted: r[5].as_int()?,
+            })
+        })
+    })
+}
+
 /// Harvest per-task completion measurements from the **Overlog**
 /// JobTracker (joins its `attempt`, `attempt_end` and `task` tables).
 pub fn harvest_task_times_declarative(sim: &mut Sim, jt: &str) -> Vec<TaskTime> {

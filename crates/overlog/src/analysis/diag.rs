@@ -246,6 +246,81 @@ pub fn render(diag: &Diagnostic, map: &SourceMap) -> String {
     out
 }
 
+/// Render one diagnostic as a GitHub Actions workflow command, so CI
+/// findings surface as inline annotations on pull requests:
+///
+/// ```text
+/// ::warning file=namenode.olg,line=41,col=3::W0003: variable `X` ...
+/// ```
+pub fn render_github(diag: &Diagnostic, map: &SourceMap) -> String {
+    let (file, line, col) = map.resolve(diag.span.start);
+    let (_, end_line, _) = map.resolve(diag.span.end.saturating_sub(1).max(diag.span.start));
+    let level = match diag.severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    };
+    format!(
+        "::{level} file={file},line={line},endLine={end_line},col={col},title={}::{}",
+        diag.code,
+        github_escape(&diag.message)
+    )
+}
+
+/// Escape a message for the data portion of a workflow command.
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Render a diagnostic list as a JSON array (machine-readable `--format
+/// json` output). Hand-rolled: the schema is flat and stable, and the
+/// build carries no JSON dependency.
+pub fn render_json(diags: &[Diagnostic], map: &SourceMap) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (file, line, col) = map.resolve(d.span.start);
+        let (_, end_line, end_col) = map.resolve(d.span.end.saturating_sub(1).max(d.span.start));
+        out.push_str(&format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\",\"file\":{},\"line\":{line},\
+             \"col\":{col},\"end_line\":{end_line},\"end_col\":{end_col},\
+             \"message\":{}",
+            d.severity,
+            d.code,
+            json_string(file),
+            json_string(&d.message)
+        ));
+        if let Some(h) = &d.help {
+            out.push_str(&format!(",\"help\":{}", json_string(h)));
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// JSON string literal with the escapes the grammar requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,5 +361,34 @@ mod tests {
         assert!(s.contains("t.olg:1:9: error[E0002]"), "{s}");
         assert!(s.contains("^^^^"), "{s}");
         assert!(s.contains("help: declare"), "{s}");
+    }
+
+    #[test]
+    fn github_rendering_is_a_workflow_command() {
+        let mut map = SourceMap::new();
+        map.add("t.olg", "p(X) :- q(X);\n");
+        let d = Diagnostic::warning("W0003", Span::new(8, 12), "odd\n100% odd");
+        let s = render_github(&d, &map);
+        assert_eq!(
+            s,
+            "::warning file=t.olg,line=1,endLine=1,col=9,title=W0003::odd%0A100%25 odd"
+        );
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_positions() {
+        let mut map = SourceMap::new();
+        map.add("t.olg", "p(X) :- q(X);\n");
+        let diags = vec![
+            Diagnostic::error("E0002", Span::new(8, 12), "unknown \"q\"").with_help("declare it"),
+            Diagnostic::warning("W0001", Span::new(0, 1), "unused"),
+        ];
+        let s = render_json(&diags, &map);
+        assert!(s.starts_with('[') && s.ends_with(']'), "{s}");
+        assert!(s.contains("\"code\":\"E0002\""), "{s}");
+        assert!(s.contains("\"message\":\"unknown \\\"q\\\"\""), "{s}");
+        assert!(s.contains("\"help\":\"declare it\""), "{s}");
+        assert!(s.contains("\"line\":1,\"col\":9"), "{s}");
+        assert!(s.contains("\"code\":\"W0001\""), "{s}");
     }
 }

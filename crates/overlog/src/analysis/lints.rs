@@ -1,12 +1,14 @@
 //! The lint suite: checks beyond what load-time validation enforces.
 //!
-//! Errors here (E0009..E0012) are genuine bugs that the evaluator happens
-//! to tolerate or only trips over at runtime; warnings (W0001..W0005) are
+//! Errors here (E0009..E0011) are genuine bugs that the evaluator happens
+//! to tolerate or only trips over at runtime; warnings (W0001..W0007) are
 //! strong hints of dead or mistyped program structure. See the code table
-//! in [`super`].
+//! in [`super`]. Type errors (E0012/E0013) live in [`super::types`], where
+//! whole-program inference gives them sharper verdicts than a per-rule
+//! lint could.
 
 use super::{Diagnostic, ProgramContext};
-use crate::ast::{AggKind, BodyElem, Expr, HeadArg, Rule, Span, TableKind};
+use crate::ast::{BodyElem, Expr, HeadArg, Rule, Span, TableDecl, TableKind};
 use crate::value::TypeTag;
 use std::collections::{HashMap, HashSet};
 
@@ -38,7 +40,6 @@ pub(super) fn run(ctx: &ProgramContext, rule_ok: &[bool], out: &mut Vec<Diagnost
             );
         }
         if rule_ok[i] {
-            head_types(ctx, rule, &label, out);
             singleton_variables(rule, &label, out);
         }
     }
@@ -48,6 +49,7 @@ pub(super) fn run(ctx: &ProgramContext, rule_ok: &[bool], out: &mut Vec<Diagnost
     dead_rules(ctx, rule_ok, out);
     unconsumed_timers(ctx, out);
     stale_watches(ctx, out);
+    dead_columns(ctx, rule_ok, out);
 }
 
 /// E0009: a `@` location specifier must sit on an address-typed column
@@ -143,79 +145,6 @@ fn non_deterministic_builtins(
                  triggering tuple derives exactly once",
             ),
         );
-    }
-}
-
-/// Type compatibility for E0012, mirroring `TypeTag::admits` at the
-/// schema level: `Value` admits anything, ints coerce to floats, and
-/// strings interchange with addresses.
-fn compatible(decl: TypeTag, inferred: TypeTag) -> bool {
-    decl == inferred
-        || decl == TypeTag::Any
-        || inferred == TypeTag::Any
-        || (decl == TypeTag::Float && inferred == TypeTag::Int)
-        || matches!(
-            (decl, inferred),
-            (TypeTag::Addr, TypeTag::Str) | (TypeTag::Str, TypeTag::Addr)
-        )
-}
-
-/// E0012: infer head column types from body bindings and literals and check
-/// them against the head declaration. Conservative: only bare variables
-/// (with one consistent body inference) and literals are checked.
-fn head_types(ctx: &ProgramContext, rule: &Rule, label: &str, out: &mut Vec<Diagnostic>) {
-    let Some(head_decl) = ctx.decls.get(&rule.head.table) else {
-        return;
-    };
-    // Infer one type per variable from positive body predicate positions;
-    // conflicting inferences disable the variable.
-    let mut inferred: HashMap<&str, Option<TypeTag>> = HashMap::new();
-    for p in rule.positive_predicates() {
-        let Some(decl) = ctx.decls.get(&p.table) else {
-            continue;
-        };
-        for (i, arg) in p.args.iter().enumerate() {
-            let (Some(v), Some(&t)) = (arg.as_var(), decl.types.get(i)) else {
-                continue;
-            };
-            inferred
-                .entry(v)
-                .and_modify(|slot| {
-                    if *slot != Some(t) {
-                        *slot = None;
-                    }
-                })
-                .or_insert(Some(t));
-        }
-    }
-
-    for (i, arg) in rule.head.args.iter().enumerate() {
-        let Some(&decl_t) = head_decl.types.get(i) else {
-            continue;
-        };
-        let inf = match arg {
-            HeadArg::Expr(Expr::Lit(v)) => Some(v.type_tag()),
-            HeadArg::Expr(Expr::Var(v)) => inferred.get(v.as_str()).copied().flatten(),
-            HeadArg::Agg(AggKind::Count, _) => Some(TypeTag::Int),
-            HeadArg::Agg(AggKind::Avg, _) => Some(TypeTag::Float),
-            HeadArg::Agg(AggKind::Set, _) => Some(TypeTag::List),
-            HeadArg::Agg(AggKind::Sum | AggKind::Min | AggKind::Max, Some(v)) => {
-                inferred.get(v.as_str()).copied().flatten()
-            }
-            _ => None,
-        };
-        if let Some(inf_t) = inf {
-            if !compatible(decl_t, inf_t) {
-                out.push(Diagnostic::error(
-                    "E0012",
-                    rule.head.span,
-                    format!(
-                        "rule `{label}` writes a {inf_t} into column {i} of `{}`, declared {decl_t}",
-                        rule.head.table
-                    ),
-                ));
-            }
-        }
     }
 }
 
@@ -452,6 +381,86 @@ fn stale_watches(ctx: &ProgramContext, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// W0007: a dead column — every body occurrence of the table matches the
+/// column as `_`, so its value never reaches any head, aggregate,
+/// condition or join of the program set. External, watched and
+/// host-observed tables are exempt (their rows leave the program text),
+/// as are location-specifier columns (they route messages even when no
+/// rule reads them back) and explicitly declared key columns (they carry
+/// row identity: dropping one would merge rows, read or not). Tables
+/// never read in any body are skipped: write-only tables are a different
+/// smell.
+fn dead_columns(ctx: &ProgramContext, rule_ok: &[bool], out: &mut Vec<Diagnostic>) {
+    let watched: HashSet<&str> = ctx.watches.iter().map(|(t, _)| t.as_str()).collect();
+    // Timer tables carry a runtime-filled tick counter; consuming rules
+    // idiomatically match it as `_`.
+    let timers: HashSet<&str> = ctx.timers.iter().map(|t| t.name.as_str()).collect();
+    let mut reads: HashMap<&str, Vec<bool>> = HashMap::new();
+    let mut loc_cols: HashSet<(&str, usize)> = HashSet::new();
+    for (i, rule) in ctx.rules.iter().enumerate() {
+        if let Some(l) = rule.head.loc {
+            loc_cols.insert((rule.head.table.as_str(), l));
+        }
+        if !rule_ok[i] {
+            continue;
+        }
+        for elem in &rule.body {
+            let BodyElem::Pred(p) = elem else { continue };
+            if let Some(l) = p.loc {
+                loc_cols.insert((p.table.as_str(), l));
+            }
+            let Some(decl) = ctx.decls.get(&p.table) else {
+                continue;
+            };
+            let slots = reads
+                .entry(p.table.as_str())
+                .or_insert_with(|| vec![false; decl.arity()]);
+            for (j, a) in p.args.iter().enumerate() {
+                if !matches!(a, Expr::Wildcard) {
+                    if let Some(s) = slots.get_mut(j) {
+                        *s = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut decls: Vec<&TableDecl> = ctx.decls.values().collect();
+    decls.sort_by_key(|d| d.span.start);
+    for d in decls {
+        if ctx.external.contains(&d.name)
+            || ctx.observed.contains(&d.name)
+            || watched.contains(d.name.as_str())
+            || timers.contains(d.name.as_str())
+        {
+            continue;
+        }
+        let Some(slots) = reads.get(d.name.as_str()) else {
+            continue;
+        };
+        for (j, read) in slots.iter().enumerate() {
+            if *read
+                || loc_cols.contains(&(d.name.as_str(), j))
+                || d.keys.as_ref().is_some_and(|k| k.contains(&j))
+            {
+                continue;
+            }
+            out.push(
+                Diagnostic::warning(
+                    "W0007",
+                    d.span,
+                    format!(
+                        "column {j} of `{}` is only ever matched as `_`; \
+                         no rule reads its value",
+                        d.name
+                    ),
+                )
+                .with_help("drop the column, or mark the table observed if the host reads it"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::analysis::analyze_sources;
@@ -567,6 +576,56 @@ mod tests {
         let src = "define(ghost, keys(0), {Int});
                    watch(ghost);";
         assert!(codes(src).contains(&"W0006"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn dead_column_is_w0007() {
+        let src = "event e, {Int, Int};
+                   define(t, keys(0), {Int, Int});
+                   define(u, keys(0), {Int});
+                   t(X, Y) :- e(X, Y);
+                   u(X) :- t(X, _);";
+        assert_eq!(codes(src), vec!["W0007"], "t column 1 is never read");
+    }
+
+    #[test]
+    fn observed_tables_are_exempt_from_w0007() {
+        use crate::analysis::{analyze, ProgramContext, SourceMap};
+        let src = "event e, {Int, Int};
+                   define(t, keys(0), {Int, Int});
+                   define(u, keys(0), {Int});
+                   t(X, Y) :- e(X, Y);
+                   u(X) :- t(X, _);";
+        let mut ctx = ProgramContext::new();
+        let mut map = SourceMap::new();
+        assert!(ctx.add_source("t.olg", src, &mut map));
+        ctx.mark_observed("t");
+        assert!(analyze(&ctx).iter().all(|d| d.code != "W0007"));
+    }
+
+    #[test]
+    fn key_columns_are_exempt_from_w0007() {
+        // Column 1 carries row identity (declared key) even though no rule
+        // reads it: per-source rows must stay distinct.
+        let src = "event e, {Int, Int};
+                   define(t, keys(0,1), {Int, Int});
+                   define(c, keys(0), {Int, Int});
+                   t(X, Y) :- e(X, Y);
+                   c(X, count<Y>) :- t(X, _), e(_, Y);";
+        assert!(!codes(src).contains(&"W0007"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn location_columns_are_exempt_from_w0007() {
+        let src = "event req, {String, Int};
+                   define(t, keys(0), {Int});
+                   t(X) :- req(_, X);
+                   req(@A, X) :- t(X), A := \"n1\";";
+        assert_eq!(
+            codes(src),
+            Vec::<&str>::new(),
+            "addr column routes messages"
+        );
     }
 
     #[test]

@@ -25,20 +25,30 @@
 //! | E0010 | non-deterministic builtin outside a single-event-body rule |
 //! | E0011 | derivation into a timer-driven table |
 //! | E0012 | inferred column type conflicts with the declaration |
+//! | E0013 | join over disjoint column types can never match |
 //! | W0001 | table is never referenced |
 //! | W0002 | rule reads a table nothing can fill |
 //! | W0003 | variable bound but used only once |
 //! | W0004 | duplicate rule name |
 //! | W0005 | timer ticks are never consumed |
 //! | W0006 | `watch` on a table nothing fills (stale monitoring rule) |
+//! | W0007 | dead column: only ever matched as `_`, its value never read |
+//!
+//! Beyond diagnostics, [`report`] runs the semantic passes — monotonicity
+//! / CALM classification ([`mono`]), whole-program type inference
+//! ([`types`]) and cardinality estimation ([`card`]) — whose results feed
+//! the planner and the `olgcheck analyze` subcommand.
 
+pub mod card;
 pub mod diag;
 pub mod graph;
 mod lints;
+pub mod mono;
 pub mod safety;
 pub mod stratify;
+pub mod types;
 
-pub use diag::{render, Diagnostic, LineIndex, Severity, SourceMap};
+pub use diag::{render, render_github, render_json, Diagnostic, LineIndex, Severity, SourceMap};
 
 use crate::ast::{BodyElem, HeadArg, Program, Rule, Span, Statement, TableDecl, TableKind};
 use crate::error::OverlogError;
@@ -318,6 +328,9 @@ pub struct ProgramContext {
     /// Tables filled from outside the program text (runtime-injected `me`,
     /// host inserts): exempt from unused/unfillable lints.
     pub external: HashSet<String>,
+    /// Tables whose rows the host *reads* (via lookups or scans) even when
+    /// no rule consumes them: exempt from the dead-column lint (W0007).
+    pub observed: HashSet<String>,
     /// Diagnostics found while building the context (parse errors,
     /// redefinitions).
     pub diags: Vec<Diagnostic>,
@@ -339,6 +352,11 @@ impl ProgramContext {
     /// Mark a table as filled by the host (exempt from W0001/W0002).
     pub fn mark_external(&mut self, table: &str) {
         self.external.insert(table.to_string());
+    }
+
+    /// Mark a table as read by the host (exempt from W0007).
+    pub fn mark_observed(&mut self, table: &str) {
+        self.observed.insert(table.to_string());
     }
 
     /// Parse one source file, relocate its spans into the group offset
@@ -456,9 +474,67 @@ impl ProgramContext {
     }
 }
 
-/// Run the full analysis over a context: every load-time (error) check plus
-/// the lint suite. Diagnostics are ordered by source position.
+/// Everything [`report`] computes: the diagnostics plus the semantic
+/// pass results the planner and `olgcheck analyze` consume.
+#[derive(Debug, Default)]
+pub struct AnalysisReport {
+    /// All diagnostics, ordered by source position.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-rule pass/fail of the error-level checks.
+    pub rule_ok: Vec<bool>,
+    /// Whole-program inferred column types.
+    pub catalog: types::TypedCatalog,
+    /// Monotonicity / CALM classification and points of order.
+    pub mono: mono::MonoReport,
+    /// Cardinality and selectivity estimates.
+    pub cost: card::CostModel,
+}
+
+impl AnalysisReport {
+    /// Render the semantic sections (not the diagnostics — those go
+    /// through [`render`]) for `olgcheck analyze`.
+    pub fn render_semantic(&self, map: &SourceMap) -> String {
+        let mut s = mono::render(&self.mono, map);
+        s.push('\n');
+        s.push_str(&types::render(&self.catalog));
+        s.push('\n');
+        s.push_str("cardinality estimates (rows):\n");
+        for (table, rows) in &self.cost.rows {
+            s.push_str(&format!("  {table}: {rows:.0}\n"));
+        }
+        s
+    }
+}
+
+/// Run the full analysis over a context: every load-time (error) check,
+/// the lint suite, whole-program type inference, and the semantic passes.
+/// Diagnostics are ordered by source position.
+pub fn report(ctx: &ProgramContext) -> AnalysisReport {
+    let (mut out, rule_ok) = error_pass(ctx);
+    lints::run(ctx, &rule_ok, &mut out);
+    let catalog = types::infer(ctx, &rule_ok);
+    types::check(ctx, &rule_ok, &catalog, &mut out);
+    out.sort_by_key(|d| (d.span.start, d.code, d.message.clone()));
+    let mono = mono::analyze_mono(ctx, &rule_ok);
+    let cost = card::CostModel::from_context(ctx);
+    AnalysisReport {
+        diagnostics: out,
+        rule_ok,
+        catalog,
+        mono,
+        cost,
+    }
+}
+
+/// The diagnostics of [`report`] alone.
 pub fn analyze(ctx: &ProgramContext) -> Vec<Diagnostic> {
+    report(ctx).diagnostics
+}
+
+/// The error-level checks: per-rule validation (references, aggregates,
+/// safety), facts, watches, stratification and view conflicts. Returns
+/// the diagnostics so far plus the per-rule pass mask.
+fn error_pass(ctx: &ProgramContext) -> (Vec<Diagnostic>, Vec<bool>) {
     let mut out = ctx.diags.clone();
 
     // Per-rule error checks, via the exact functions the planner runs.
@@ -556,11 +632,7 @@ pub fn analyze(ctx: &ProgramContext) -> Vec<Diagnostic> {
         out.push(error_to_diag(&e, Span::default()).with_code("E0007"));
     }
 
-    // The lint suite (E0009..E0012, W0001..W0006).
-    lints::run(ctx, &rule_ok, &mut out);
-
-    out.sort_by_key(|d| (d.span.start, d.code, d.message.clone()));
-    out
+    (out, rule_ok)
 }
 
 impl Diagnostic {

@@ -1,0 +1,592 @@
+//! Monotonicity / coordination analysis (CALM).
+//!
+//! The CALM conjecture — consistency as logical monotonicity — says a
+//! distributed program whose derivations are monotonic produces the same
+//! result under any message ordering, with no coordination. Non-monotonic
+//! constructs (negation, aggregation, deletion) are where reordering can
+//! change the answer; when such a construct consumes data that arrived
+//! over the network, the program has a **point of order**: a place that
+//! needs coordination (or a proof it doesn't) to stay deterministic.
+//!
+//! Two independent axes are reported per table:
+//!
+//! * **derivation monotonicity** — the rules transitively deriving the
+//!   table are free of negation and aggregation, so the table is a
+//!   monotonic query of its inputs: it only ever grows as its inputs grow.
+//!   (BOOM-FS path resolution is the paper's flagship example.)
+//! * **retraction taint** — the table, or something in its derivation
+//!   closure, is the target of a deletion rule, so its contents can
+//!   shrink across ticks. A table can be a perfectly monotonic *query*
+//!   and still retract when its base inputs are deleted.
+//!
+//! Points of order are computed by forward reachability from the
+//! **network inputs** — tables filled by `@`-located rule heads (message
+//! channels) and host-driven external event tables — to the inputs of
+//! each non-monotonic construct.
+
+use super::{ProgramContext, SourceMap};
+use crate::ast::{BodyElem, Rule, Span, TableKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Why a table's derivation is non-monotonic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Taint {
+    /// "negation" or "aggregation".
+    pub kind: &'static str,
+    /// Label of the rule introducing the construct.
+    pub rule: String,
+    /// Table the taint entered through (the construct's own head for
+    /// direct taint; the tainted body table for inherited taint).
+    pub via: String,
+}
+
+/// Verdict for one table.
+#[derive(Debug, Clone)]
+pub struct TableVerdict {
+    /// Table name.
+    pub table: String,
+    /// Derivation closure is negation- and aggregation-free.
+    pub monotonic: bool,
+    /// The table's *own* deriving rules are pure joins/recursion — it is a
+    /// certified monotonic query of its direct inputs, even when the whole
+    /// closure is tainted. This is the axis the paper's "path resolution
+    /// is monotonic" claim lives on: `fqpath` is a monotone query of
+    /// `file`, although file creation itself needs negation.
+    pub locally_monotonic: bool,
+    /// Why not, when `monotonic` is false.
+    pub taint: Option<Taint>,
+    /// A deletion rule targets this table or something it derives from.
+    pub retractable: bool,
+    /// The delete-targeted table retraction flows through.
+    pub retract_via: Option<String>,
+    /// Reachable from a network input.
+    pub network_reachable: bool,
+}
+
+/// One place the program needs coordination: a non-monotonic construct
+/// consuming network-reachable data.
+#[derive(Debug, Clone)]
+pub struct PointOfOrder {
+    /// "negation", "aggregation" or "deletion".
+    pub kind: &'static str,
+    /// Label of the rule containing the construct.
+    pub rule: String,
+    /// The table whose contents the construct decides (rule head, or the
+    /// deletion target).
+    pub table: String,
+    /// The network-reachable body table feeding the construct.
+    pub input: String,
+    /// A path from a network input to `input` (first element is the
+    /// network input; last is `input` itself).
+    pub path: Vec<String>,
+    /// Span of the contributing rule.
+    pub span: Span,
+}
+
+/// The whole monotonicity report for a program group.
+#[derive(Debug, Clone, Default)]
+pub struct MonoReport {
+    /// Network inputs, with why each qualifies ("message" for tables
+    /// fed by `@`-located heads, "external event" for host-driven events).
+    pub network_inputs: Vec<(String, &'static str)>,
+    /// Per-table verdicts, sorted by name.
+    pub tables: Vec<TableVerdict>,
+    /// Points of order, in rule order.
+    pub points_of_order: Vec<PointOfOrder>,
+}
+
+impl MonoReport {
+    /// Verdict for one table, if declared.
+    pub fn verdict(&self, table: &str) -> Option<&TableVerdict> {
+        self.tables.iter().find(|t| t.table == table)
+    }
+
+    /// Tables certified monotonic (derivation axis).
+    pub fn monotonic_tables(&self) -> impl Iterator<Item = &str> {
+        self.tables
+            .iter()
+            .filter(|t| t.monotonic)
+            .map(|t| t.table.as_str())
+    }
+
+    /// Tables whose own rules are certified monotonic queries although the
+    /// derivation closure is tainted (taint is inherited, never introduced).
+    pub fn certified_queries(&self) -> impl Iterator<Item = &str> {
+        self.tables
+            .iter()
+            .filter(|t| !t.monotonic && t.locally_monotonic)
+            .map(|t| t.table.as_str())
+    }
+}
+
+/// Derivation taint over a rule set: the tables whose derivation closure
+/// contains negation or aggregation, each with the first (deterministic)
+/// reason found. Standalone so the planner can consult it without a full
+/// [`ProgramContext`].
+pub fn derivation_taint(rules: &[Rule]) -> BTreeMap<String, Taint> {
+    let mut taint: BTreeMap<String, Taint> = BTreeMap::new();
+    // Direct taint: the rule's own construct.
+    for (i, rule) in rules.iter().enumerate() {
+        if rule.delete {
+            continue;
+        }
+        let head = rule.head.table.clone();
+        if rule.is_aggregate() && !taint.contains_key(&head) {
+            taint.insert(
+                head.clone(),
+                Taint {
+                    kind: "aggregation",
+                    rule: rule.label(i),
+                    via: head.clone(),
+                },
+            );
+        }
+        let negated = rule.body.iter().any(|b| match b {
+            BodyElem::Pred(p) => p.negated,
+            _ => false,
+        });
+        if negated && !taint.contains_key(&head) {
+            taint.insert(
+                head.clone(),
+                Taint {
+                    kind: "negation",
+                    rule: rule.label(i),
+                    via: head,
+                },
+            );
+        }
+    }
+    // Inherited taint: a head deriving from a tainted body table.
+    loop {
+        let mut changed = false;
+        for rule in rules.iter() {
+            if rule.delete || taint.contains_key(&rule.head.table) {
+                continue;
+            }
+            for p in rule.positive_predicates() {
+                if let Some(t) = taint.get(&p.table) {
+                    let inherited = Taint {
+                        kind: t.kind,
+                        rule: t.rule.clone(),
+                        via: p.table.clone(),
+                    };
+                    taint.insert(rule.head.table.clone(), inherited);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    taint
+}
+
+/// Retraction taint: tables that are delete-targeted, plus everything
+/// transitively derived from them. Maps each to the delete-targeted table
+/// retraction flows through.
+fn retraction_taint(rules: &[Rule]) -> BTreeMap<String, String> {
+    let mut via: BTreeMap<String, String> = BTreeMap::new();
+    for rule in rules {
+        if rule.delete {
+            via.entry(rule.head.table.clone())
+                .or_insert_with(|| rule.head.table.clone());
+        }
+    }
+    loop {
+        let mut changed = false;
+        for rule in rules {
+            if rule.delete || via.contains_key(&rule.head.table) {
+                continue;
+            }
+            for p in rule.positive_predicates() {
+                if via.contains_key(&p.table) {
+                    let v = via[&p.table].clone();
+                    via.insert(rule.head.table.clone(), v);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    via
+}
+
+/// Network inputs of a context: tables fed by `@`-located rule heads
+/// (message channels) and external event tables (host-driven).
+fn network_inputs(ctx: &ProgramContext) -> Vec<(String, &'static str)> {
+    let mut inputs: BTreeMap<String, &'static str> = BTreeMap::new();
+    for rule in &ctx.rules {
+        if rule.head.loc.is_some() {
+            inputs.insert(rule.head.table.clone(), "message");
+        }
+    }
+    for name in &ctx.external {
+        if let Some(d) = ctx.decls.get(name) {
+            if d.kind == TableKind::Event {
+                inputs.entry(name.clone()).or_insert("external event");
+            }
+        }
+    }
+    inputs.into_iter().collect()
+}
+
+/// Forward reachability from the network inputs over all rule edges
+/// (body table -> head table; for deletion rules the edge targets the
+/// deleted table, since a network-driven deletion mutates it). Returns
+/// each reachable table's BFS predecessor for path reconstruction.
+fn network_reach(
+    rules: &[Rule],
+    inputs: &[(String, &'static str)],
+) -> BTreeMap<String, Option<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for rule in rules {
+        for elem in &rule.body {
+            if let BodyElem::Pred(p) = elem {
+                adj.entry(p.table.as_str())
+                    .or_default()
+                    .insert(rule.head.table.as_str());
+            }
+        }
+    }
+    let mut prev: BTreeMap<String, Option<String>> = BTreeMap::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    for (t, _) in inputs {
+        prev.insert(t.clone(), None);
+        queue.push_back(t.clone());
+    }
+    while let Some(t) = queue.pop_front() {
+        if let Some(nexts) = adj.get(t.as_str()) {
+            for &n in nexts {
+                if !prev.contains_key(n) {
+                    prev.insert(n.to_string(), Some(t.clone()));
+                    queue.push_back(n.to_string());
+                }
+            }
+        }
+    }
+    prev
+}
+
+/// Reconstruct the network path ending at `table`.
+fn path_to(table: &str, prev: &BTreeMap<String, Option<String>>) -> Vec<String> {
+    let mut path = vec![table.to_string()];
+    let mut cur = table.to_string();
+    while let Some(Some(p)) = prev.get(&cur) {
+        path.push(p.clone());
+        cur = p.clone();
+    }
+    path.reverse();
+    path
+}
+
+/// Run the full monotonicity analysis over a context. `rule_ok` masks
+/// rules that failed the error-level checks (their structure is not
+/// trustworthy).
+pub fn analyze_mono(ctx: &ProgramContext, rule_ok: &[bool]) -> MonoReport {
+    let rules: Vec<Rule> = ctx
+        .rules
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| rule_ok.get(*i).copied().unwrap_or(false))
+        .map(|(_, r)| r.clone())
+        .collect();
+
+    let taint = derivation_taint(&rules);
+    let retract = retraction_taint(&rules);
+    let inputs = network_inputs(ctx);
+    let reach = network_reach(&rules, &inputs);
+
+    let mut names: Vec<&String> = ctx.decls.keys().collect();
+    names.sort();
+    let tables = names
+        .into_iter()
+        .map(|name| TableVerdict {
+            table: name.clone(),
+            monotonic: !taint.contains_key(name),
+            // Direct taint records `via == head`; anything else means the
+            // table's own rules are clean and the taint flowed in.
+            locally_monotonic: taint.get(name).is_none_or(|t| t.via != *name),
+            taint: taint.get(name).cloned(),
+            retractable: retract.contains_key(name),
+            retract_via: retract.get(name).cloned(),
+            network_reachable: reach.contains_key(name),
+        })
+        .collect();
+
+    // Points of order: every non-monotonic construct whose inputs can
+    // carry network-derived data.
+    let mut points = Vec::new();
+    for (i, rule) in rules.iter().enumerate() {
+        let label = rule.label(i);
+        let mut constructs: Vec<(&'static str, String, Span)> = Vec::new();
+        if rule.delete {
+            constructs.push(("deletion", rule.head.table.clone(), rule.span));
+        } else {
+            if rule.is_aggregate() {
+                constructs.push(("aggregation", rule.head.table.clone(), rule.head.span));
+            }
+            for elem in &rule.body {
+                if let BodyElem::Pred(p) = elem {
+                    if p.negated {
+                        constructs.push(("negation", rule.head.table.clone(), p.span));
+                    }
+                }
+            }
+        }
+        if constructs.is_empty() {
+            continue;
+        }
+        // The construct's inputs: prefer the negated table itself for
+        // negation (that is where reordering bites); otherwise any body
+        // table.
+        let body_tables: Vec<&str> = rule
+            .body
+            .iter()
+            .filter_map(|b| match b {
+                BodyElem::Pred(p) => Some(p.table.as_str()),
+                _ => None,
+            })
+            .collect();
+        for (kind, table, span) in constructs {
+            let candidates: Vec<&str> = if kind == "negation" {
+                rule.body
+                    .iter()
+                    .filter_map(|b| match b {
+                        BodyElem::Pred(p) if p.negated => Some(p.table.as_str()),
+                        _ => None,
+                    })
+                    .chain(body_tables.iter().copied())
+                    .collect()
+            } else {
+                body_tables.clone()
+            };
+            if let Some(input) = candidates.iter().find(|t| reach.contains_key(**t)) {
+                points.push(PointOfOrder {
+                    kind,
+                    rule: label.clone(),
+                    table,
+                    input: input.to_string(),
+                    path: path_to(input, &reach),
+                    span,
+                });
+            }
+        }
+    }
+
+    MonoReport {
+        network_inputs: inputs,
+        tables,
+        points_of_order: points,
+    }
+}
+
+/// Render the report as text for `olgcheck analyze`.
+pub fn render(report: &MonoReport, map: &SourceMap) -> String {
+    let mut s = String::new();
+    s.push_str("monotonicity (CALM):\n");
+    if report.network_inputs.is_empty() {
+        s.push_str("  network inputs: none (program is sealed)\n");
+    } else {
+        let rendered: Vec<String> = report
+            .network_inputs
+            .iter()
+            .map(|(t, why)| format!("{t} ({why})"))
+            .collect();
+        s.push_str(&format!("  network inputs: {}\n", rendered.join(", ")));
+    }
+
+    let monotonic: Vec<&TableVerdict> = report.tables.iter().filter(|t| t.monotonic).collect();
+    let non_monotonic: Vec<&TableVerdict> = report.tables.iter().filter(|t| !t.monotonic).collect();
+    s.push_str(&format!(
+        "  monotonic tables ({}): {}\n",
+        monotonic.len(),
+        monotonic
+            .iter()
+            .map(|t| t.table.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    for t in &monotonic {
+        if let Some(via) = &t.retract_via {
+            s.push_str(&format!(
+                "    note: `{}` is a monotonic derivation but retracts via deletions on `{via}`\n",
+                t.table
+            ));
+        }
+    }
+    s.push_str(&format!(
+        "  non-monotonic tables ({}):\n",
+        non_monotonic.len()
+    ));
+    for t in &non_monotonic {
+        let taint = t.taint.as_ref().expect("non-monotonic implies taint");
+        if taint.via == t.table {
+            s.push_str(&format!(
+                "    {}: {} in rule `{}`\n",
+                t.table, taint.kind, taint.rule
+            ));
+        } else {
+            s.push_str(&format!(
+                "    {}: inherits {} (rule `{}`) via `{}`\n",
+                t.table, taint.kind, taint.rule, taint.via
+            ));
+        }
+    }
+
+    let certified: Vec<&str> = report.certified_queries().collect();
+    if !certified.is_empty() {
+        s.push_str(&format!(
+            "  certified monotonic queries ({}) — own rules are pure joins/recursion, \
+             taint only inherited: {}\n",
+            certified.len(),
+            certified.join(", ")
+        ));
+    }
+
+    if report.points_of_order.is_empty() {
+        s.push_str("  points of order: none — network-facing derivations are monotonic\n");
+    } else {
+        s.push_str(&format!(
+            "  points of order ({}):\n",
+            report.points_of_order.len()
+        ));
+        for (n, p) in report.points_of_order.iter().enumerate() {
+            let (file, line, col) = map.resolve(p.span.start);
+            s.push_str(&format!(
+                "    {}. {} in rule `{}` decides `{}` from network-reachable `{}`\n",
+                n + 1,
+                p.kind,
+                p.rule,
+                p.table,
+                p.input
+            ));
+            s.push_str(&format!(
+                "       network path: {}\n       at {file}:{line}:{col}\n",
+                p.path.join(" -> ")
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(src: &str, external_events: &[&str]) -> MonoReport {
+        let mut ctx = ProgramContext::new();
+        let mut map = SourceMap::new();
+        assert!(ctx.add_source("t.olg", src, &mut map));
+        for e in external_events {
+            ctx.mark_external(e);
+        }
+        let rule_ok = vec![true; ctx.rules.len()];
+        analyze_mono(&ctx, &rule_ok)
+    }
+
+    #[test]
+    fn positive_recursion_is_monotonic() {
+        let r = report(
+            "define(edge, keys(0,1), {Int, Int});
+             define(path, keys(0,1), {Int, Int});
+             edge(1, 2);
+             path(X, Y) :- edge(X, Y);
+             path(X, Z) :- edge(X, Y), path(Y, Z);",
+            &[],
+        );
+        assert!(r.verdict("path").unwrap().monotonic);
+        assert!(r.points_of_order.is_empty());
+    }
+
+    #[test]
+    fn aggregation_taints_downstream() {
+        let r = report(
+            "define(t, keys(0,1), {Int, Int});
+             define(c, keys(0), {Int, Int});
+             define(d, keys(0), {Int, Int});
+             t(1, 2);
+             c(X, count<Y>) :- t(X, Y);
+             d(X, N) :- c(X, N);",
+            &[],
+        );
+        let c = r.verdict("c").unwrap();
+        assert!(!c.monotonic);
+        assert!(!c.locally_monotonic, "aggregate is c's own construct");
+        let d = r.verdict("d").unwrap();
+        assert!(!d.monotonic);
+        assert!(
+            d.locally_monotonic,
+            "d's own rule is a plain copy; taint is inherited"
+        );
+        assert_eq!(d.taint.as_ref().unwrap().via, "c");
+        assert_eq!(r.certified_queries().collect::<Vec<_>>(), vec!["d"]);
+        // No network inputs, so no point of order despite the aggregate.
+        assert!(r.points_of_order.is_empty());
+    }
+
+    #[test]
+    fn network_fed_aggregate_is_a_point_of_order() {
+        let r = report(
+            "define(seen, keys(0), {Int});
+             define(best, keys(0), {Int, Int});
+             event vote, {String, Int};
+             vote(@A, B) :- seen(B), A := \"px1\";
+             seen(B) :- vote(_, B);
+             best(0, max<B>) :- seen(B);",
+            &[],
+        );
+        assert_eq!(r.network_inputs, vec![("vote".to_string(), "message")]);
+        let p = r
+            .points_of_order
+            .iter()
+            .find(|p| p.kind == "aggregation")
+            .expect("aggregation point of order");
+        assert_eq!(p.table, "best");
+        assert_eq!(p.input, "seen");
+        assert_eq!(p.path.first().map(String::as_str), Some("vote"));
+    }
+
+    #[test]
+    fn deletion_marks_retraction_not_derivation() {
+        let r = report(
+            "define(file, keys(0), {String});
+             define(fq, keys(0), {String});
+             event rm, {String};
+             file(\"/a\");
+             fq(P) :- file(P);
+             delete file(P) :- rm(P), file(P);",
+            &["rm"],
+        );
+        let fq = r.verdict("fq").unwrap();
+        assert!(fq.monotonic, "deletion must not break derivation verdict");
+        assert!(fq.retractable);
+        assert_eq!(fq.retract_via.as_deref(), Some("file"));
+        // rm is an external event -> the deletion is a point of order.
+        assert!(r
+            .points_of_order
+            .iter()
+            .any(|p| p.kind == "deletion" && p.table == "file"));
+    }
+
+    #[test]
+    fn negation_fed_by_network_is_a_point_of_order() {
+        let r = report(
+            "define(alive, keys(0), {String});
+             define(lonely, keys(0), {Int});
+             event hb, {String, String};
+             hb(@A, N) :- alive(N), A := \"x\";
+             alive(N) :- hb(_, N);
+             lonely(1) :- alive(_), notin alive(\"ghost\");",
+            &[],
+        );
+        assert!(r
+            .points_of_order
+            .iter()
+            .any(|p| p.kind == "negation" && p.input == "alive"));
+    }
+}

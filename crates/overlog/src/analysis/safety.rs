@@ -174,6 +174,131 @@ pub fn schedule_order(rule: &Rule, delta_pred: Option<usize>) -> Result<Vec<usiz
     Ok(scheduled)
 }
 
+/// Cost-based ready-element scheduling: the same safety discipline as
+/// [`schedule_order`] (only elements whose inputs are bound may run, and
+/// the delta predicate runs as early as possible), but among the ready
+/// elements the *cheapest* runs next instead of the first in source order.
+/// Assignments and conditions are free (binding and pruning early never
+/// hurts), negation probes are cheap filters, and a positive scan costs
+/// `scan_cost(table, bound_columns)` — the estimated number of rows it
+/// yields given which of its columns are already constrained. Ties break
+/// to source order, so plans are deterministic.
+///
+/// Scheduling any ready element keeps every other ready element ready
+/// (binding only grows), so this succeeds exactly when [`schedule_order`]
+/// does; callers still fall back to the greedy order on error.
+pub fn schedule_order_costed<F>(
+    rule: &Rule,
+    delta_pred: Option<usize>,
+    scan_cost: F,
+) -> Result<Vec<usize>, UnsafeVar>
+where
+    F: Fn(&str, &[usize]) -> f64,
+{
+    // Body index of the delta predicate, if any.
+    let delta_bi = delta_pred.and_then(|d| {
+        rule.body
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, BodyElem::Pred(p) if !p.negated))
+            .nth(d)
+            .map(|(i, _)| i)
+    });
+
+    let mut scheduled = Vec::with_capacity(rule.body.len());
+    let mut bound: HashSet<String> = HashSet::new();
+    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+    while !remaining.is_empty() {
+        let mut best: Option<(f64, usize)> = None; // (cost, position in remaining)
+        for (pos, &bi) in remaining.iter().enumerate() {
+            let cost = match &rule.body[bi] {
+                BodyElem::Pred(p) if !p.negated => {
+                    let ready = p.args.iter().all(|a| match a {
+                        Expr::Var(_) | Expr::Wildcard => true,
+                        other => expr_vars(other).iter().all(|v| bound.contains(v)),
+                    });
+                    if !ready {
+                        continue;
+                    }
+                    if Some(bi) == delta_bi {
+                        // The delta is the smallest input by construction:
+                        // run it the moment it is ready.
+                        f64::NEG_INFINITY
+                    } else {
+                        let cols: Vec<usize> = p
+                            .args
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, a)| match a {
+                                Expr::Wildcard => false,
+                                Expr::Var(v) => bound.contains(v.as_str()),
+                                _ => true, // ready ⇒ the expression is bound
+                            })
+                            .map(|(i, _)| i)
+                            .collect();
+                        scan_cost(&p.table, &cols)
+                    }
+                }
+                BodyElem::Pred(p) => {
+                    let ready = p
+                        .args
+                        .iter()
+                        .flat_map(expr_vars)
+                        .all(|v| bound.contains(&v));
+                    if !ready {
+                        continue;
+                    }
+                    0.5 // a cheap existence probe: prune early
+                }
+                BodyElem::Cond(e) | BodyElem::Assign(_, e) => {
+                    if !expr_vars(e).iter().all(|v| bound.contains(v)) {
+                        continue;
+                    }
+                    0.0
+                }
+            };
+            if best.map(|(c, _)| cost < c).unwrap_or(true) {
+                best = Some((cost, pos));
+            }
+        }
+        let Some((_, pos)) = best else {
+            // Same blocked-variable report as the greedy scheduler.
+            let bi = remaining[0];
+            let var = match &rule.body[bi] {
+                BodyElem::Pred(p) => p
+                    .args
+                    .iter()
+                    .flat_map(expr_vars)
+                    .find(|v| !bound.contains(v)),
+                BodyElem::Cond(e) | BodyElem::Assign(_, e) => {
+                    expr_vars(e).into_iter().find(|v| !bound.contains(v))
+                }
+            }
+            .unwrap_or_else(|| "?".to_string());
+            return Err(UnsafeVar {
+                var,
+                span: elem_span(rule, bi),
+            });
+        };
+        let bi = remaining.remove(pos);
+        match &rule.body[bi] {
+            BodyElem::Pred(p) if !p.negated => {
+                for a in &p.args {
+                    if let Some(v) = a.as_var() {
+                        bound.insert(v.to_string());
+                    }
+                }
+            }
+            BodyElem::Assign(v, _) => {
+                bound.insert(v.clone());
+            }
+            _ => {}
+        }
+        scheduled.push(bi);
+    }
+    Ok(scheduled)
+}
+
 /// Check that every head argument is bound by the body (and contains no
 /// wildcard). Aggregate arguments check their input variable.
 pub fn check_head(rule: &Rule) -> Result<(), UnsafeVar> {
@@ -270,5 +395,38 @@ mod tests {
         let err = check_head(&r).unwrap_err();
         assert_eq!(err.var, "Y");
         assert_eq!(err.span, r.head.span);
+    }
+
+    #[test]
+    fn costed_order_puts_cheap_scans_first() {
+        let cost = |t: &str, _bound: &[usize]| if t == "big" { 1000.0 } else { 2.0 };
+
+        // The cheap table runs before the expensive one (as a generator —
+        // plain variable arguments never block readiness).
+        let r = rule("p(X) :- e(X), big(X, Y), small(Y, Z);");
+        let order = schedule_order_costed(&r, Some(0), cost).unwrap();
+        assert_eq!(order, vec![0, 2, 1], "delta first, then cheap, then big");
+
+        // An expression argument pins the scan until its inputs are bound:
+        // small cannot run before big binds Y.
+        let r = rule("p(X) :- e(X), big(X, Y), small(Y * 1, Z);");
+        let order = schedule_order_costed(&r, Some(0), cost).unwrap();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn costed_order_hoists_filters_and_probes() {
+        let r = rule("p(X) :- e(X), big(X, Y), X > 3, notin dead(X);");
+        let order = schedule_order_costed(&r, Some(0), |_, _| 100.0).unwrap();
+        // Filter and negation probe depend only on X: both run before the
+        // expensive join.
+        assert_eq!(order, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn costed_order_fails_like_greedy_on_unsafe_rules() {
+        let r = rule("p(X) :- q(X), Y > 2;");
+        let err = schedule_order_costed(&r, Some(0), |_, _| 1.0).unwrap_err();
+        assert_eq!(err.var, "Y");
     }
 }

@@ -1,0 +1,457 @@
+//! Whole-program type inference.
+//!
+//! A lattice fixpoint over the merged program: declared column types seed
+//! a catalog, every rule head and ground fact contributes the types it
+//! writes, and `Value`-declared (wildcard) columns are *refined* to the
+//! join of their contributions. Variable types flow through the refined
+//! catalog, so a type learned in one rule reaches every other rule that
+//! joins the same table — upgrading the old per-rule E0012 check to a
+//! whole-program one, and enabling a new error:
+//!
+//! * **E0012** — a rule head writes a type incompatible with the column's
+//!   declaration (span: the offending head argument).
+//! * **E0013** — one variable is bound at two body positions whose types
+//!   cannot unify; the join can never match (span: the second binding).
+//!
+//! The lattice is small: `Value` sits at the top, `Int` coerces to
+//! `Float`, `String` interchanges with `Addr` (mirroring the evaluator's
+//! `TypeTag::admits`), and everything else unifies only with itself.
+//! Refinement joins conflicting contributions back up to `Value`, so a
+//! genuinely heterogeneous column stays wildcard-typed rather than
+//! erroring. Tables the host fills (external) are never refined — the
+//! program text does not see those writes.
+
+use super::{Diagnostic, ProgramContext};
+use crate::ast::{AggKind, Expr, HeadArg, Rule, TableKind};
+use crate::value::TypeTag;
+use std::collections::{BTreeMap, HashMap};
+
+/// Refinement rounds before giving up (the lattice is tiny; two or three
+/// rounds settle every shipped program).
+const MAX_ROUNDS: usize = 10;
+
+/// The inferred whole-program catalog: declared types with `Value`
+/// columns narrowed to what the program actually writes.
+#[derive(Debug, Clone, Default)]
+pub struct TypedCatalog {
+    /// Final column types per table.
+    pub cols: BTreeMap<String, Vec<TypeTag>>,
+    /// Columns the fixpoint narrowed from a `Value` declaration, with the
+    /// type they settled at. Sorted by (table, column).
+    pub refined: Vec<(String, usize, TypeTag)>,
+}
+
+impl TypedCatalog {
+    fn col(&self, table: &str, i: usize) -> Option<TypeTag> {
+        self.cols.get(table).and_then(|ts| ts.get(i)).copied()
+    }
+}
+
+/// Unification on the type lattice: `None` means the two types are
+/// disjoint (a join over them can never match).
+pub fn unify(a: TypeTag, b: TypeTag) -> Option<TypeTag> {
+    match (a, b) {
+        _ if a == b => Some(a),
+        (TypeTag::Any, t) | (t, TypeTag::Any) => Some(t),
+        (TypeTag::Int, TypeTag::Float) | (TypeTag::Float, TypeTag::Int) => Some(TypeTag::Float),
+        (TypeTag::Str, TypeTag::Addr) | (TypeTag::Addr, TypeTag::Str) => Some(TypeTag::Addr),
+        _ => None,
+    }
+}
+
+/// Type compatibility for E0012, mirroring `TypeTag::admits` at the
+/// schema level: `Value` admits anything, ints coerce to floats, and
+/// strings interchange with addresses.
+pub fn compatible(decl: TypeTag, inferred: TypeTag) -> bool {
+    decl == inferred
+        || decl == TypeTag::Any
+        || inferred == TypeTag::Any
+        || (decl == TypeTag::Float && inferred == TypeTag::Int)
+        || matches!(
+            (decl, inferred),
+            (TypeTag::Addr, TypeTag::Str) | (TypeTag::Str, TypeTag::Addr)
+        )
+}
+
+/// Join for catalog refinement: like [`unify`], but disjoint
+/// contributions widen back to `Value` instead of failing — a column fed
+/// both ints and strings is a wildcard column, not an error.
+fn join(a: TypeTag, b: TypeTag) -> TypeTag {
+    unify(a, b).unwrap_or(TypeTag::Any)
+}
+
+/// One variable's inferred type plus where it was first pinned down
+/// (for E0013 messages).
+#[derive(Clone, Copy)]
+struct Binding {
+    ty: TypeTag,
+    table_col: (usize, usize), // (body predicate ordinal, column)
+    poisoned: bool,            // conflicting inferences: stop using it
+}
+
+/// Infer variable types for one rule from positive body predicate
+/// positions, resolving column types through `catalog`. When `out` is
+/// given, unification failures are reported as E0013.
+fn rule_var_types<'r>(
+    rule: &'r Rule,
+    label: &str,
+    catalog: &TypedCatalog,
+    mut out: Option<&mut Vec<Diagnostic>>,
+) -> HashMap<&'r str, TypeTag> {
+    let mut bound: HashMap<&str, Binding> = HashMap::new();
+    let positives: Vec<_> = rule.positive_predicates().collect();
+    for (pi, p) in positives.iter().enumerate() {
+        for (i, arg) in p.args.iter().enumerate() {
+            let (Some(v), Some(t)) = (arg.as_var(), catalog.col(&p.table, i)) else {
+                continue;
+            };
+            match bound.get_mut(v) {
+                None => {
+                    bound.insert(
+                        v,
+                        Binding {
+                            ty: t,
+                            table_col: (pi, i),
+                            poisoned: false,
+                        },
+                    );
+                }
+                Some(b) if b.poisoned => {}
+                Some(b) => match unify(b.ty, t) {
+                    Some(u) => b.ty = u,
+                    None => {
+                        if let Some(out) = out.as_deref_mut() {
+                            let (ppi, pcol) = b.table_col;
+                            let prev = positives[ppi];
+                            out.push(
+                                Diagnostic::error(
+                                    "E0013",
+                                    p.arg_span(i),
+                                    format!(
+                                        "rule `{label}` joins `{v}` as {t} (column {i} of \
+                                         `{}`), but it is {} (column {pcol} of `{}`); \
+                                         the join can never match",
+                                        p.table, b.ty, prev.table
+                                    ),
+                                )
+                                .with_help(
+                                    "the column types are disjoint; rename one variable \
+                                     or fix the schema",
+                                ),
+                            );
+                        }
+                        b.poisoned = true;
+                    }
+                },
+            }
+        }
+    }
+    bound
+        .into_iter()
+        .filter(|(_, b)| !b.poisoned)
+        .map(|(v, b)| (v, b.ty))
+        .collect()
+}
+
+/// The type a head argument writes, given the rule's variable types.
+/// `None` when it cannot be determined statically.
+fn head_arg_type(arg: &HeadArg, vars: &HashMap<&str, TypeTag>) -> Option<TypeTag> {
+    match arg {
+        HeadArg::Expr(Expr::Lit(v)) => Some(v.type_tag()),
+        HeadArg::Expr(Expr::Var(v)) => vars.get(v.as_str()).copied(),
+        HeadArg::Agg(AggKind::Count, _) => Some(TypeTag::Int),
+        HeadArg::Agg(AggKind::Avg, _) => Some(TypeTag::Float),
+        HeadArg::Agg(AggKind::Set, _) => Some(TypeTag::List),
+        HeadArg::Agg(AggKind::Sum | AggKind::Min | AggKind::Max, Some(v)) => {
+            vars.get(v.as_str()).copied()
+        }
+        _ => None,
+    }
+}
+
+/// Run the refinement fixpoint: start from the declared types and narrow
+/// `Value` columns of non-external materialized tables to the join of
+/// everything the program writes into them. `rule_ok` masks rules that
+/// failed the error-level checks.
+pub fn infer(ctx: &ProgramContext, rule_ok: &[bool]) -> TypedCatalog {
+    let mut catalog = TypedCatalog {
+        cols: ctx
+            .decls
+            .values()
+            .map(|d| (d.name.clone(), d.types.clone()))
+            .collect(),
+        refined: Vec::new(),
+    };
+    // Which (table, col) slots may be narrowed: declared Value, on a
+    // materialized table the host does not fill. Events are host-insertable
+    // by convention (message channels), so their wildcards stay wild.
+    let refinable: HashMap<&str, Vec<bool>> = ctx
+        .decls
+        .values()
+        .map(|d| {
+            let ok = d.kind == TableKind::Materialized && !ctx.external.contains(&d.name);
+            (
+                d.name.as_str(),
+                d.types.iter().map(|t| ok && *t == TypeTag::Any).collect(),
+            )
+        })
+        .collect();
+
+    for _ in 0..MAX_ROUNDS {
+        // Contributions this round: None = nothing written yet. An
+        // unknowable contribution widens to Value — we cannot prove the
+        // column narrow.
+        let mut contrib: HashMap<String, Vec<Option<TypeTag>>> = HashMap::new();
+        let contribute =
+            |table: &str,
+             i: usize,
+             t: Option<TypeTag>,
+             contrib: &mut HashMap<String, Vec<Option<TypeTag>>>| {
+                let Some(flags) = refinable.get(table) else {
+                    return;
+                };
+                if !flags.get(i).copied().unwrap_or(false) {
+                    return;
+                }
+                let slots = contrib
+                    .entry(table.to_string())
+                    .or_insert_with(|| vec![None; flags.len()]);
+                let t = t.unwrap_or(TypeTag::Any);
+                slots[i] = Some(match slots[i] {
+                    None => t,
+                    Some(prev) => join(prev, t),
+                });
+            };
+
+        for f in &ctx.facts {
+            for (i, e) in f.values.iter().enumerate() {
+                let t = match e {
+                    Expr::Lit(v) => Some(v.type_tag()),
+                    _ => None,
+                };
+                contribute(&f.table, i, t, &mut contrib);
+            }
+        }
+        for (ri, rule) in ctx.rules.iter().enumerate() {
+            if rule.delete || !rule_ok.get(ri).copied().unwrap_or(false) {
+                continue;
+            }
+            let vars = rule_var_types(rule, &rule.label(ri), &catalog, None);
+            for (i, arg) in rule.head.args.iter().enumerate() {
+                contribute(&rule.head.table, i, head_arg_type(arg, &vars), &mut contrib);
+            }
+        }
+
+        // Fold contributions into the catalog.
+        let mut changed = false;
+        for (table, slots) in contrib {
+            let Some(cols) = catalog.cols.get_mut(&table) else {
+                continue;
+            };
+            for (i, slot) in slots.into_iter().enumerate() {
+                if let Some(t) = slot {
+                    if cols[i] != t {
+                        cols[i] = t;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Record what the fixpoint narrowed.
+    for d in ctx.decls.values() {
+        let Some(cols) = catalog.cols.get(&d.name) else {
+            continue;
+        };
+        for (i, (&decl_t, &final_t)) in d.types.iter().zip(cols).enumerate() {
+            if decl_t == TypeTag::Any && final_t != TypeTag::Any {
+                catalog.refined.push((d.name.clone(), i, final_t));
+            }
+        }
+    }
+    catalog
+        .refined
+        .sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    catalog
+}
+
+/// The diagnostic pass: with the fixpoint catalog in hand, check every
+/// valid rule for body join conflicts (E0013) and head/declaration
+/// mismatches (E0012). Spans point at the offending argument.
+pub fn check(
+    ctx: &ProgramContext,
+    rule_ok: &[bool],
+    catalog: &TypedCatalog,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (ri, rule) in ctx.rules.iter().enumerate() {
+        if !rule_ok.get(ri).copied().unwrap_or(false) {
+            continue;
+        }
+        let label = rule.label(ri);
+        let vars = rule_var_types(rule, &label, catalog, Some(out));
+        let Some(head_decl) = ctx.decls.get(&rule.head.table) else {
+            continue;
+        };
+        for (i, arg) in rule.head.args.iter().enumerate() {
+            let Some(&decl_t) = head_decl.types.get(i) else {
+                continue;
+            };
+            if let Some(inf_t) = head_arg_type(arg, &vars) {
+                if !compatible(decl_t, inf_t) {
+                    out.push(Diagnostic::error(
+                        "E0012",
+                        rule.head.arg_span(i),
+                        format!(
+                            "rule `{label}` writes a {inf_t} into column {i} of `{}`, \
+                             declared {decl_t}",
+                            rule.head.table
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Render the catalog for `olgcheck analyze`: one line per table, with
+/// refined columns marked.
+pub fn render(catalog: &TypedCatalog) -> String {
+    let mut s = String::new();
+    s.push_str("typed catalog:\n");
+    let refined: std::collections::HashSet<(&str, usize)> = catalog
+        .refined
+        .iter()
+        .map(|(t, i, _)| (t.as_str(), *i))
+        .collect();
+    for (table, cols) in &catalog.cols {
+        let rendered: Vec<String> = cols
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if refined.contains(&(table.as_str(), i)) {
+                    format!("{t}*")
+                } else {
+                    format!("{t}")
+                }
+            })
+            .collect();
+        s.push_str(&format!("  {table}({})\n", rendered.join(", ")));
+    }
+    if !catalog.refined.is_empty() {
+        s.push_str("  (* = narrowed from Value by whole-program inference)\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze_sources, SourceMap};
+
+    fn catalog(src: &str) -> TypedCatalog {
+        let mut ctx = ProgramContext::new();
+        let mut map = SourceMap::new();
+        assert!(ctx.add_source("t.olg", src, &mut map));
+        let rule_ok = vec![true; ctx.rules.len()];
+        infer(&ctx, &rule_ok)
+    }
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let (diags, _) = analyze_sources(&[("t.olg", src)]);
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn value_column_is_refined_from_writers() {
+        let c = catalog(
+            "define(u, keys(0), {Value});
+             event e, {String};
+             u(X) :- e(X);",
+        );
+        assert_eq!(c.col("u", 0), Some(TypeTag::Str));
+        assert_eq!(c.refined, vec![("u".to_string(), 0, TypeTag::Str)]);
+    }
+
+    #[test]
+    fn conflicting_writers_keep_value() {
+        let c = catalog(
+            "define(u, keys(0), {Value});
+             event e, {String};
+             event f, {Int};
+             u(X) :- e(X);
+             u(X) :- f(X);",
+        );
+        assert_eq!(c.col("u", 0), Some(TypeTag::Any));
+        assert!(c.refined.is_empty());
+    }
+
+    #[test]
+    fn inference_flows_through_refined_tables() {
+        // Per-rule inference sees only `u`'s declared Value and stays
+        // silent; the whole-program pass learns u is a String column and
+        // flags the write into the Int-typed `t`.
+        let src = "define(u, keys(0), {Value});
+                   define(t, keys(0), {Int});
+                   event e, {String};
+                   u(X) :- e(X);
+                   t(Y) :- u(Y);";
+        assert!(codes(src).contains(&"E0012"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn disjoint_join_is_e0013() {
+        let src = "define(q, keys(0), {Int});
+                   define(r, keys(0), {String});
+                   define(p, keys(0), {Int});
+                   q(1); r(\"a\");
+                   p(X) :- q(X), r(X);";
+        let c = codes(src);
+        assert!(c.contains(&"E0013"), "{c:?}");
+        // The conflicted variable must not cascade into an E0012.
+        assert!(!c.contains(&"E0012"), "{c:?}");
+    }
+
+    #[test]
+    fn coercible_join_is_not_e0013() {
+        let src = "define(q, keys(0), {Int});
+                   define(r, keys(0), {Float});
+                   define(p, keys(0), {Float});
+                   q(1); r(2.0);
+                   p(X) :- q(X), r(X);";
+        assert_eq!(codes(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn e0012_span_points_at_the_offending_argument() {
+        let src = "event e, {String};\ndefine(t, keys(0,1), {Int, String});\nt(X, X) :- e(X);";
+        let (diags, map) = analyze_sources(&[("t.olg", src)]);
+        let d = diags.iter().find(|d| d.code == "E0012").expect("E0012");
+        let (file, line, col) = map.resolve(d.span.start);
+        assert_eq!(
+            (file, line, col),
+            ("t.olg", 3, 3),
+            "span = first head argument"
+        );
+    }
+
+    #[test]
+    fn external_tables_are_not_refined() {
+        let mut ctx = ProgramContext::new();
+        let mut map = SourceMap::new();
+        assert!(ctx.add_source(
+            "t.olg",
+            "define(cfg, keys(0), {Value});
+             event e, {Int};
+             cfg(X) :- e(X);",
+            &mut map
+        ));
+        ctx.mark_external("cfg");
+        let c = infer(&ctx, &vec![true; ctx.rules.len()]);
+        assert_eq!(c.col("cfg", 0), Some(TypeTag::Any));
+    }
+}

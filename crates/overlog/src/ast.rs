@@ -108,9 +108,15 @@ impl Program {
                 Statement::Rule(r) => {
                     r.span = r.span.offset(base);
                     r.head.span = r.head.span.offset(base);
+                    for s in &mut r.head.arg_spans {
+                        *s = s.offset(base);
+                    }
                     for elem in &mut r.body {
                         if let BodyElem::Pred(p) = elem {
                             p.span = p.span.offset(base);
+                            for s in &mut p.arg_spans {
+                                *s = s.offset(base);
+                            }
                         }
                     }
                 }
@@ -249,6 +255,17 @@ pub struct Head {
     pub loc: Option<usize>,
     /// Source location of the head (table name through closing paren).
     pub span: Span,
+    /// Source location of each argument, aligned with `args` (empty for
+    /// synthesized heads; diagnostics fall back to `span`).
+    pub arg_spans: Vec<Span>,
+}
+
+impl Head {
+    /// Span of argument `i`, falling back to the whole head for synthesized
+    /// nodes without per-argument positions.
+    pub fn arg_span(&self, i: usize) -> Span {
+        self.arg_spans.get(i).copied().unwrap_or(self.span)
+    }
 }
 
 /// A rule: `head :- body;` (optionally `delete head :- body;`).
@@ -318,6 +335,17 @@ pub struct Predicate {
     pub loc: Option<usize>,
     /// Source location of the predicate (table name through closing paren).
     pub span: Span,
+    /// Source location of each argument, aligned with `args` (empty for
+    /// synthesized predicates; diagnostics fall back to `span`).
+    pub arg_spans: Vec<Span>,
+}
+
+impl Predicate {
+    /// Span of argument `i`, falling back to the whole predicate for
+    /// synthesized nodes without per-argument positions.
+    pub fn arg_span(&self, i: usize) -> Span {
+        self.arg_spans.get(i).copied().unwrap_or(self.span)
+    }
 }
 
 /// Binary operators.
@@ -464,6 +492,7 @@ mod tests {
                 args: vec![],
                 loc: None,
                 span: Span::default(),
+                arg_spans: vec![],
             },
             body: vec![],
             span: Span::default(),
@@ -486,6 +515,7 @@ mod tests {
                 ],
                 loc: None,
                 span: Span::default(),
+                arg_spans: vec![],
             },
             body: vec![],
             span: Span::default(),

@@ -53,6 +53,7 @@ pub use ast::{Program, Rule, Span, Statement, TableDecl, TableKind};
 pub use builtins::{stable_hash, Builtins};
 pub use error::{OverlogError, Result};
 pub use parser::parse_program;
+pub use plan::PlanOptions;
 pub use runtime::{
     EvalStats, NetTuple, OverlogRuntime, ProvRecord, RuleStats, TickResult, TraceDrain, TraceEvent,
     TraceOp,

@@ -586,7 +586,7 @@ impl Parser {
         };
         let save = self.pos;
         let table = self.lower_ident("table name")?;
-        let (args, loc) = self.head_args()?;
+        let (args, loc, arg_spans) = self.head_args()?;
         let head_span = self.span_from(save);
         match self.peek() {
             Tok::Semi if name.is_none() => {
@@ -618,6 +618,7 @@ impl Parser {
                         args,
                         loc,
                         span: head_span,
+                        arg_spans,
                     },
                     body,
                     span: self.span_from(start),
@@ -633,7 +634,7 @@ impl Parser {
     fn rule_after_name(&mut self, name: Option<String>, start: usize) -> Result<Rule> {
         let head_start = self.pos;
         let table = self.lower_ident("table name")?;
-        let (args, loc) = self.head_args()?;
+        let (args, loc, arg_spans) = self.head_args()?;
         let head_span = self.span_from(head_start);
         self.expect(Tok::Turnstile, "`:-`")?;
         let body = self.body()?;
@@ -646,15 +647,17 @@ impl Parser {
                 args,
                 loc,
                 span: head_span,
+                arg_spans,
             },
             body,
             span: self.span_from(start),
         })
     }
 
-    fn head_args(&mut self) -> Result<(Vec<HeadArg>, Option<usize>)> {
+    fn head_args(&mut self) -> Result<(Vec<HeadArg>, Option<usize>, Vec<Span>)> {
         self.expect(Tok::LParen, "`(`")?;
         let mut args = Vec::new();
+        let mut spans = Vec::new();
         let mut loc = None;
         if *self.peek() != Tok::RParen {
             loop {
@@ -666,7 +669,9 @@ impl Parser {
                     }
                     loc = Some(idx);
                 }
+                let arg_start = self.pos;
                 args.push(self.head_arg()?);
+                spans.push(self.span_from(arg_start));
                 if *self.peek() == Tok::Comma {
                     self.next();
                 } else {
@@ -675,7 +680,7 @@ impl Parser {
             }
         }
         self.expect(Tok::RParen, "`)`")?;
-        Ok((args, loc))
+        Ok((args, loc, spans))
     }
 
     fn head_arg(&mut self) -> Result<HeadArg> {
@@ -770,6 +775,7 @@ impl Parser {
         let table = self.lower_ident("predicate table")?;
         self.expect(Tok::LParen, "`(`")?;
         let mut args = Vec::new();
+        let mut arg_spans = Vec::new();
         let mut loc = None;
         if *self.peek() != Tok::RParen {
             loop {
@@ -780,7 +786,9 @@ impl Parser {
                     }
                     loc = Some(args.len());
                 }
+                let arg_start = self.pos;
                 args.push(self.expr()?);
+                arg_spans.push(self.span_from(arg_start));
                 if *self.peek() == Tok::Comma {
                     self.next();
                 } else {
@@ -795,6 +803,7 @@ impl Parser {
             args,
             loc,
             span: self.span_from(start),
+            arg_spans,
         })
     }
 

@@ -13,7 +13,8 @@
 //! emission cannot fail and load-time rejection is byte-for-byte the same
 //! check olgcheck reports.
 
-use crate::analysis::{self, RuleAnalysis};
+use crate::analysis::card::CostModel;
+use crate::analysis::{self, mono, safety, RuleAnalysis};
 use crate::ast::*;
 use crate::error::Result;
 use crate::value::Value;
@@ -132,6 +133,38 @@ pub struct CompiledRule {
     pub slot_names: Vec<String>,
 }
 
+/// Analysis-driven planner knobs. Both default to on; hosts can disable
+/// them (see `OverlogRuntime::set_plan_options`) to fall back to the
+/// source-order, globally-recomputing evaluator — useful for A/B
+/// verification that the optimizations preserve behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Reorder join schedules by estimated cardinality (the
+    /// [`CostModel`]): among ready body elements, run the cheapest next
+    /// instead of following source order. Rules whose bodies call
+    /// builtins outside the pure standard library keep their source
+    /// order (a stateful builtin like `qid()` must not change how often
+    /// it runs).
+    pub reorder_joins: bool,
+    /// Scope view recomputation to the views transitively affected by
+    /// the tables that were actually deleted/overwritten, instead of
+    /// rebuilding every view. Monotonic views (derivation closure free
+    /// of negation and aggregation — the CALM certificate from
+    /// [`mono::derivation_taint`]) additionally skip recomputes
+    /// triggered by *insertions* into negated view inputs: growth can
+    /// only grow them, and the incremental delta path already did.
+    pub scoped_views: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            reorder_joins: true,
+            scoped_views: true,
+        }
+    }
+}
+
 /// Full compilation output over a set of declarations and rules.
 #[derive(Debug, Default)]
 pub struct Plan {
@@ -151,14 +184,105 @@ pub struct Plan {
     /// these can retract view tuples, so they must trigger recomputation
     /// just like deletions (stratified negation is non-monotone).
     pub neg_view_inputs: HashSet<String>,
+    /// Transitive input closure per view table: every table whose change
+    /// can invalidate the view, walking backwards through view rules
+    /// (includes intermediate view tables).
+    pub view_deps: HashMap<String, HashSet<String>>,
+    /// View tables whose whole derivation closure is free of negation and
+    /// aggregation — provably monotonic (CALM), so growth of their inputs
+    /// never retracts their tuples.
+    pub monotonic_views: HashSet<String>,
+    /// The options this plan was compiled with.
+    pub options: PlanOptions,
 }
 
-/// Compile all `rules` against the table `decls`.
+/// Builtins the planner may freely reorder across joins: pure functions of
+/// their arguments (the whole standard library). Host-registered builtins
+/// — paxos's `qid()` draws from a counter — may be stateful, and moving
+/// them across a join changes how often they run; any call outside this
+/// list pins its rule to the source-order schedule.
+const PURE_BUILTINS: &[&str] = &[
+    "tostr",
+    "toint",
+    "tofloat",
+    "toaddr",
+    "strlen",
+    "substr",
+    "startswith",
+    "dirname",
+    "basename",
+    "hash",
+    "hashmod",
+    "abs",
+    "min2",
+    "max2",
+    "size",
+    "nth",
+    "contains",
+    "append",
+    "pick",
+    "ifelse",
+];
+
+fn expr_reorderable(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Wildcard => true,
+        Expr::Binary(_, a, b) => expr_reorderable(a) && expr_reorderable(b),
+        Expr::Unary(_, a) => expr_reorderable(a),
+        Expr::Call(f, args) => {
+            PURE_BUILTINS.contains(&f.as_str()) && args.iter().all(expr_reorderable)
+        }
+        Expr::ListLit(items) => items.iter().all(expr_reorderable),
+    }
+}
+
+fn rule_reorderable(rule: &Rule) -> bool {
+    rule.body.iter().all(|b| match b {
+        BodyElem::Pred(p) => p.args.iter().all(expr_reorderable),
+        BodyElem::Cond(e) | BodyElem::Assign(_, e) => expr_reorderable(e),
+    })
+}
+
+/// Compile all `rules` against the table `decls` with default options and
+/// no fact statistics.
 pub fn compile(decls: &HashMap<String, TableDecl>, rules: &[Rule]) -> Result<Plan> {
+    compile_with(decls, rules, &HashMap::new(), PlanOptions::default())
+}
+
+/// Compile all `rules` against the table `decls`, feeding ground-fact
+/// counts into the cardinality model that drives join reordering.
+pub fn compile_with(
+    decls: &HashMap<String, TableDecl>,
+    rules: &[Rule],
+    fact_counts: &HashMap<String, usize>,
+    options: PlanOptions,
+) -> Result<Plan> {
+    let cost = options.reorder_joins.then(|| {
+        let mut deriving: HashMap<String, usize> = HashMap::new();
+        for r in rules {
+            if !r.delete {
+                *deriving.entry(r.head.table.clone()).or_default() += 1;
+            }
+        }
+        CostModel::build(decls, fact_counts, &deriving, |_| false)
+    });
     let mut compiled = Vec::with_capacity(rules.len());
     let mut classes = Vec::with_capacity(rules.len());
     for (i, rule) in rules.iter().enumerate() {
-        let ra = analysis::validate_rule(i, rule, decls)?;
+        let mut ra = analysis::validate_rule(i, rule, decls)?;
+        if let Some(cm) = &cost {
+            if rule_reorderable(rule) {
+                let npos = rule.positive_predicates().count();
+                for (d, order) in ra.orders.iter_mut().enumerate() {
+                    let delta = (npos > 0).then_some(d);
+                    if let Ok(costed) =
+                        safety::schedule_order_costed(rule, delta, |t, b| cm.scan_estimate(t, b))
+                    {
+                        *order = costed;
+                    }
+                }
+            }
+        }
         classes.push(ra.class);
         compiled.push(compile_rule(i, rule, &ra));
     }
@@ -188,6 +312,55 @@ pub fn compile(decls: &HashMap<String, TableDecl>, rules: &[Rule]) -> Result<Pla
             }
         }
     }
+    // Transitive input closure per view: start from the direct body
+    // tables of each view's rules, then fold in the closures of view
+    // dependencies until a fixpoint.
+    let mut view_deps: HashMap<String, HashSet<String>> = HashMap::new();
+    for (cr, rule) in compiled.iter().zip(rules) {
+        if cr.is_view {
+            let deps = view_deps.entry(cr.head_table.clone()).or_default();
+            for b in &rule.body {
+                if let BodyElem::Pred(p) = b {
+                    deps.insert(p.table.clone());
+                }
+            }
+        }
+    }
+    loop {
+        let mut grew = false;
+        let views: Vec<String> = view_deps.keys().cloned().collect();
+        for v in &views {
+            let nested: Vec<String> = view_deps[v]
+                .iter()
+                .filter(|d| view_deps.contains_key(*d) && *d != v)
+                .cloned()
+                .collect();
+            for d in nested {
+                let extra: Vec<String> = view_deps[&d]
+                    .iter()
+                    .filter(|t| !view_deps[v].contains(*t))
+                    .cloned()
+                    .collect();
+                if !extra.is_empty() {
+                    grew = true;
+                    view_deps.get_mut(v).unwrap().extend(extra);
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // CALM certificate: views whose derivation closure is free of negation
+    // and aggregation can only grow when their inputs grow.
+    let taint = mono::derivation_taint(rules);
+    let monotonic_views: HashSet<String> = view_tables
+        .iter()
+        .filter(|t| !taint.contains_key(*t))
+        .cloned()
+        .collect();
+
     // A table must be either a view (fully re-derivable) or base state, not
     // both: recomputation would silently drop event-derived tuples.
     analysis::view_conflict(rules, &classes)?;
@@ -198,6 +371,9 @@ pub fn compile(decls: &HashMap<String, TableDecl>, rules: &[Rule]) -> Result<Pla
         view_tables,
         view_inputs,
         neg_view_inputs,
+        view_deps,
+        monotonic_views,
+        options,
     })
 }
 
@@ -522,6 +698,98 @@ mod tests {
         let del = p.rules.iter().find(|r| r.delete).unwrap();
         let b_rule = &p.rules[0];
         assert!(del.stratum >= b_rule.stratum);
+    }
+
+    fn plan_with(src: &str, facts: &[(&str, usize)], opts: PlanOptions) -> Plan {
+        let prog = parse_program(src).unwrap();
+        let decls: HashMap<String, TableDecl> = prog
+            .declarations()
+            .map(|d| (d.name.clone(), d.clone()))
+            .collect();
+        let rules: Vec<Rule> = prog.rules().cloned().collect();
+        let fact_counts: HashMap<String, usize> =
+            facts.iter().map(|(t, n)| (t.to_string(), *n)).collect();
+        compile_with(&decls, &rules, &fact_counts, opts).unwrap()
+    }
+
+    fn scan_tables(p: &Plan, rule: usize, variant: usize) -> Vec<String> {
+        p.rules[rule].variants[variant]
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Scan { table, .. } => Some(table.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cost_model_reorders_joins_cheapest_first() {
+        let src = "event e, {Int};
+             define(big, keys(0,1), {Int, Int});
+             define(cfg, keys(0,1), {Int, Int});
+             define(p, keys(0,1), {Int, Int});
+             p(X, Z) :- e(X), big(X, Y), cfg(X, Z);";
+        let p = plan_with(src, &[("big", 500), ("cfg", 2)], PlanOptions::default());
+        assert_eq!(scan_tables(&p, 0, 0), vec!["e", "cfg", "big"]);
+
+        let p = plan_with(
+            src,
+            &[("big", 500), ("cfg", 2)],
+            PlanOptions {
+                reorder_joins: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(scan_tables(&p, 0, 0), vec!["e", "big", "cfg"]);
+    }
+
+    #[test]
+    fn impure_builtin_pins_source_order() {
+        // qid() is host-registered (not in the pure standard library), so
+        // the rule keeps its source order even with reordering on.
+        let src = "event e, {Int};
+             define(big, keys(0,1), {Int, Int});
+             define(cfg, keys(0,1), {Int, Int});
+             define(p, keys(0,1), {Int, Int});
+             p(X, I) :- e(X), big(X, Y), cfg(X, Z), I := qid();";
+        let p = plan_with(src, &[("big", 500), ("cfg", 2)], PlanOptions::default());
+        assert_eq!(scan_tables(&p, 0, 0), vec!["e", "big", "cfg"]);
+    }
+
+    #[test]
+    fn view_deps_are_transitive() {
+        let p = plan_of(
+            "define(base, keys(0), {Int});
+             define(mid, keys(0), {Int});
+             define(top, keys(0), {Int});
+             mid(X) :- base(X);
+             top(X) :- mid(X);",
+        )
+        .unwrap();
+        assert!(p.view_deps["top"].contains("mid"));
+        assert!(p.view_deps["top"].contains("base"), "closure is transitive");
+    }
+
+    #[test]
+    fn monotonic_views_exclude_negation_downstream() {
+        let p = plan_of(
+            "define(a, keys(0), {Int});
+             define(g, keys(0), {Int});
+             define(pos, keys(0), {Int});
+             define(neg, keys(0), {Int});
+             define(over, keys(0), {Int});
+             pos(X) :- a(X);
+             neg(X) :- a(X), notin g(X);
+             over(X) :- neg(X);",
+        )
+        .unwrap();
+        assert!(p.monotonic_views.contains("pos"));
+        assert!(!p.monotonic_views.contains("neg"));
+        assert!(
+            !p.monotonic_views.contains("over"),
+            "taint flows through the closure"
+        );
     }
 
     #[test]

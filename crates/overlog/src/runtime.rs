@@ -182,6 +182,10 @@ pub struct OverlogRuntime {
     /// analyzer treats them as externally filled.
     host_inserted: HashSet<String>,
     plan: Plan,
+    plan_opts: plan::PlanOptions,
+    /// Ground facts loaded per table — feeds the planner's cardinality
+    /// model so join orders reflect actual configuration sizes.
+    fact_counts: HashMap<String, usize>,
     builtins: Builtins,
     timers: Vec<TimerState>,
     watches: HashSet<String>,
@@ -228,7 +232,13 @@ struct TickCtx {
     sent: HashSet<(Arc<str>, String, Row)>,
     derivations: u64,
     attempts: u64,
-    dirty_views: bool,
+    /// View inputs that *shrank* this tick (deletions, key-overwrites):
+    /// every view depending on one of these must be rebuilt.
+    shrink_dirty: HashSet<String>,
+    /// Negated view inputs that *grew* this tick: only non-monotonic
+    /// views (negation/aggregation in their closure) can lose tuples to
+    /// growth, so the CALM-certified ones skip the rebuild.
+    grow_dirty: HashSet<String>,
     changed_tables: HashSet<String>,
 }
 
@@ -272,7 +282,8 @@ impl TickCtx {
             sent: HashSet::new(),
             derivations: 0,
             attempts: 0,
-            dirty_views: false,
+            shrink_dirty: HashSet::new(),
+            grow_dirty: HashSet::new(),
             changed_tables: HashSet::new(),
         }
     }
@@ -294,6 +305,8 @@ impl OverlogRuntime {
             sources: Vec::new(),
             host_inserted: HashSet::new(),
             plan: Plan::default(),
+            plan_opts: plan::PlanOptions::default(),
+            fact_counts: HashMap::new(),
             builtins: Builtins::standard(),
             timers: Vec::new(),
             watches: HashSet::new(),
@@ -459,6 +472,7 @@ impl OverlogRuntime {
                     let ce = plan::compile_fact_expr(e);
                     row.push(eval_cexpr(&ce, &[], &self.builtins)?);
                 }
+                *self.fact_counts.entry(table.clone()).or_default() += 1;
                 self.pending
                     .push_back(Pending::Insert(table.clone(), Arc::new(row)));
             }
@@ -466,7 +480,7 @@ impl OverlogRuntime {
         // Rules: append and recompile the whole plan.
         let before = self.rule_sources.len();
         self.rule_sources.extend(prog.rules().cloned());
-        match plan::compile(&self.decls, &self.rule_sources) {
+        match self.recompile() {
             Ok(p) => {
                 self.plan = p;
                 self.rule_stats
@@ -477,11 +491,34 @@ impl OverlogRuntime {
             Err(e) => {
                 self.rule_sources.truncate(before);
                 // Restore the previous (still valid) plan.
-                self.plan = plan::compile(&self.decls, &self.rule_sources)
-                    .expect("previous plan compiled before");
+                self.plan = self.recompile().expect("previous plan compiled before");
                 Err(e)
             }
         }
+    }
+
+    fn recompile(&self) -> Result<Plan> {
+        plan::compile_with(
+            &self.decls,
+            &self.rule_sources,
+            &self.fact_counts,
+            self.plan_opts,
+        )
+    }
+
+    /// Set the analysis-driven planner options (see
+    /// [`plan::PlanOptions`]) and recompile the plan. Table contents are
+    /// untouched, so hosts can flip options mid-run to A/B the optimizer.
+    pub fn set_plan_options(&mut self, opts: plan::PlanOptions) {
+        self.plan_opts = opts;
+        self.plan = self.recompile().expect("loaded sources compiled before");
+        self.rule_stats
+            .resize(self.plan.rules.len(), RuleStats::default());
+    }
+
+    /// The planner options currently in effect.
+    pub fn plan_options(&self) -> plan::PlanOptions {
+        self.plan_opts
     }
 
     /// Queue an external insertion for the next tick.
@@ -738,13 +775,17 @@ impl OverlogRuntime {
                         self.record_trace(&table, &row, TraceOp::Delete);
                         if self.plan.view_inputs.contains(&table) {
                             pre_dirty = true;
+                            ctx.shrink_dirty.insert(table.clone());
                         }
                     }
                 }
             }
         }
         if pre_dirty {
-            self.recompute_views(&mut ctx)?;
+            let affected = self.affected_views(&ctx.shrink_dirty, &ctx.grow_dirty);
+            self.recompute_views(&affected, &mut ctx)?;
+            ctx.shrink_dirty.clear();
+            ctx.grow_dirty.clear();
         }
         // Everything queued so far is already in `added`, which seeds every
         // stratum; drop it from `next_delta` so the first stratum's rounds
@@ -851,7 +892,7 @@ impl OverlogRuntime {
                     deletions += 1;
                     self.record_trace(&table, &row, TraceOp::Delete);
                     if self.plan.view_inputs.contains(&table) {
-                        ctx.dirty_views = true;
+                        ctx.shrink_dirty.insert(table.clone());
                     }
                 }
             }
@@ -864,10 +905,12 @@ impl OverlogRuntime {
             }
         }
 
-        // 6. Recompute views if needed.
-        let views_recomputed = ctx.dirty_views;
-        if ctx.dirty_views {
-            self.recompute_views(&mut ctx)?;
+        // 6. Recompute the affected views if any input shrank (or a
+        // negated input of a non-monotonic view grew).
+        let affected = self.affected_views(&ctx.shrink_dirty, &ctx.grow_dirty);
+        let views_recomputed = !affected.is_empty();
+        if views_recomputed {
+            self.recompute_views(&affected, &mut ctx)?;
         }
 
         // 7. Queue inductive insertions for the next tick.
@@ -888,21 +931,23 @@ impl OverlogRuntime {
         })
     }
 
-    /// Insert a derived or external row into a local table.
+    /// Insert a derived or external row into a local table; reports
+    /// whether the insert was new, a key-overwrite, or a duplicate.
     fn apply_insert(
         &mut self,
         table: &str,
         row: Row,
         from_view_rule: bool,
         ctx: &mut TickCtx,
-    ) -> Result<()> {
+    ) -> Result<InsertOutcome> {
         let t = self
             .tables
             .get_mut(table)
             .ok_or_else(|| OverlogError::unknown_table(table))?;
         // Deltas must hold exactly what the table holds (Addr coercion).
         let row = t.coerce(row);
-        match t.insert(row.clone())? {
+        let outcome = t.insert(row.clone())?;
+        match &outcome {
             InsertOutcome::New => {
                 ctx.added
                     .entry(table.to_string())
@@ -920,7 +965,7 @@ impl OverlogRuntime {
                 // the insert itself came from a view rule (one view can
                 // feed another's negation).
                 if self.plan.neg_view_inputs.contains(table) {
-                    ctx.dirty_views = true;
+                    ctx.grow_dirty.insert(table.to_string());
                 }
             }
             InsertOutcome::Replaced(_old) => {
@@ -939,15 +984,16 @@ impl OverlogRuntime {
                 // the overwrite came from a view rule itself (aggregates
                 // refreshing their groups), which is self-consistent.
                 // Negated inputs dirty unconditionally (see above).
-                if (!from_view_rule && self.plan.view_inputs.contains(table))
-                    || self.plan.neg_view_inputs.contains(table)
-                {
-                    ctx.dirty_views = true;
+                if !from_view_rule && self.plan.view_inputs.contains(table) {
+                    ctx.shrink_dirty.insert(table.to_string());
+                }
+                if self.plan.neg_view_inputs.contains(table) {
+                    ctx.grow_dirty.insert(table.to_string());
                 }
             }
             InsertOutcome::Duplicate => {}
         }
-        Ok(())
+        Ok(outcome)
     }
 
     fn record_trace(&mut self, table: &str, row: &Row, op: TraceOp) {
@@ -1063,17 +1109,10 @@ impl OverlogRuntime {
                 }
                 continue;
             }
-            let effective = {
-                let table = rule.head_table.clone();
-                let before = self
-                    .tables
-                    .get(&table)
-                    .map(|t| t.contains(&row))
-                    .unwrap_or(false);
-                self.apply_insert(&table, row.clone(), rule.is_view, ctx)?;
-                !before
-            };
-            if effective {
+            // Effectiveness comes straight from the insert outcome: a new
+            // row or a key-overwrite fires the rule, a duplicate does not.
+            let outcome = self.apply_insert(&rule.head_table, row.clone(), rule.is_view, ctx)?;
+            if !matches!(outcome, InsertOutcome::Duplicate) {
                 ctx.derivations += 1;
                 self.rule_stats[rule.id].fires += 1;
                 self.record_prov(rule, &row, inputs);
@@ -1125,6 +1164,11 @@ impl OverlogRuntime {
             }
             out.push(Arc::new(row));
         }
+        // Emission order follows the delta's arrival order (the outermost
+        // ready dimension): within-tick key overwrites keep last-writer-wins
+        // along the event stream. Inner join dimensions come from hash-map
+        // lookups, so their relative order carries no semantics with or
+        // without planner reordering.
         Ok((out, sup.into_supports()))
     }
 
@@ -1413,19 +1457,58 @@ impl OverlogRuntime {
         res
     }
 
-    /// Clear all view tables and re-derive them from base state.
-    fn recompute_views(&mut self, ctx: &mut TickCtx) -> Result<()> {
+    /// Which view tables must be rebuilt, given the inputs that shrank
+    /// (deletions, key-overwrites) and the negated inputs that grew.
+    /// With scoping disabled this is all-or-nothing, the pre-analysis
+    /// behavior; with scoping on, only views whose transitive dependency
+    /// closure intersects the dirty set are affected — and growth skips
+    /// the CALM-certified monotonic views entirely, because insertions
+    /// were already propagated incrementally by the delta path.
+    fn affected_views(&self, shrink: &HashSet<String>, grow: &HashSet<String>) -> HashSet<String> {
+        if shrink.is_empty() && grow.is_empty() {
+            return HashSet::new();
+        }
+        if !self.plan.options.scoped_views {
+            return self.plan.view_tables.clone();
+        }
+        let mut out = HashSet::new();
+        for (v, deps) in &self.plan.view_deps {
+            let shrunk = shrink.contains(v) || deps.iter().any(|d| shrink.contains(d));
+            let grown = !self.plan.monotonic_views.contains(v)
+                && (grow.contains(v) || deps.iter().any(|d| grow.contains(d)));
+            if shrunk || grown {
+                out.insert(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Clear the `affected` view tables and re-derive them, treating every
+    /// other materialized table (bases *and* unaffected views) as stable
+    /// seed state.
+    fn recompute_views(&mut self, affected: &HashSet<String>, ctx: &mut TickCtx) -> Result<()> {
         self.eval_stats.view_recomputes += 1;
-        let view_tables: Vec<String> = self.plan.view_tables.iter().cloned().collect();
-        for v in &view_tables {
+        for v in affected {
             if let Some(t) = self.tables.get_mut(v) {
                 t.clear();
             }
         }
-        // Seed: full contents of every non-view materialized table.
+        // Seed: full contents of every materialized table that is not
+        // being rebuilt *and* is actually consumed by an affected rule's
+        // positive body. Negated bodies and aggregate inputs read the live
+        // tables directly, so they need no seed rows; everything else is
+        // dead weight in the delta maps.
+        let mut needed: HashSet<&str> = HashSet::new();
+        for rule in self.plan.rules.iter() {
+            if rule.is_view && !rule.aggregate && affected.contains(&rule.head_table) {
+                for t in &rule.positive_tables {
+                    needed.insert(t.as_str());
+                }
+            }
+        }
         let mut delta: HashMap<String, Vec<Row>> = HashMap::new();
         for (name, t) in &self.tables {
-            if t.is_event() || self.plan.view_tables.contains(name) {
+            if t.is_event() || affected.contains(name) || !needed.contains(name.as_str()) {
                 continue;
             }
             if !t.is_empty() {
@@ -1437,7 +1520,7 @@ impl OverlogRuntime {
         for stratum in &strata {
             for &rid in stratum {
                 let rule = self.plan.rules[rid].clone();
-                if rule.is_view && rule.aggregate {
+                if rule.is_view && rule.aggregate && affected.contains(&rule.head_table) {
                     // Recompute into the cleared table.
                     self.eval_agg_into(&rule, &mut added, ctx)?;
                 }
@@ -1451,7 +1534,7 @@ impl OverlogRuntime {
                 let mut next: HashMap<String, Vec<Row>> = HashMap::new();
                 for &rid in stratum {
                     let rule = self.plan.rules[rid].clone();
-                    if !rule.is_view || rule.aggregate {
+                    if !rule.is_view || rule.aggregate || !affected.contains(&rule.head_table) {
                         continue;
                     }
                     for variant in &rule.variants {

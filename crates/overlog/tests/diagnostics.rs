@@ -126,7 +126,8 @@ fn e0012_head_type_mismatch() {
                define(q, keys(0), {Int});\n\
                q(1);\n\
                p(X) :- q(X);\n";
-    assert_eq!(golden(src), vec![("E0012", 4, 1)]);
+    // The span points at the offending head argument, not the whole head.
+    assert_eq!(golden(src), vec![("E0012", 4, 3)]);
 }
 
 #[test]

@@ -50,7 +50,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 pub use chaos::ChaosSchedule;
-pub use overlog_actor::OverlogActor;
+pub use overlog_actor::{overlog_state_fingerprint, set_plan_options_all, OverlogActor};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -387,6 +387,18 @@ impl Sim {
             .downcast_mut::<T>()
             .unwrap_or_else(|| panic!("node `{name}` hosts a different actor type"));
         f(actor)
+    }
+
+    /// Like [`Sim::with_actor`], but returns `None` when the node does not
+    /// exist or hosts a different actor type — for sweeps over heterogeneous
+    /// clusters.
+    pub fn try_with_actor<T: Actor + 'static, R>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        let node = self.nodes.get_mut(name)?;
+        node.actor.as_any().downcast_mut::<T>().map(f)
     }
 
     fn record_fault(&mut self, action: String) {

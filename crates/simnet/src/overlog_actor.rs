@@ -93,6 +93,47 @@ impl OverlogActor {
     }
 }
 
+/// Apply planner options to every Overlog node in the simulation — the
+/// A/B switch the planner experiments flip between the analysis-driven
+/// plan and the source-order baseline.
+pub fn set_plan_options_all(sim: &mut crate::Sim, opts: boom_overlog::PlanOptions) {
+    for name in sim.node_names() {
+        sim.try_with_actor::<OverlogActor, _>(&name, |a| a.runtime().set_plan_options(opts));
+    }
+}
+
+/// Canonical dump of every Overlog node's materialized (non-event) state:
+/// nodes sorted by name, tables sorted by name, rows sorted. Two runs of
+/// the same scenario are behaviorally identical iff these strings are
+/// byte-identical.
+pub fn overlog_state_fingerprint(sim: &mut crate::Sim) -> String {
+    let mut names = sim.node_names();
+    names.sort();
+    let mut out = String::new();
+    for name in names {
+        let dump = sim.try_with_actor::<OverlogActor, _>(&name, |a| {
+            let rt = a.runtime_ref();
+            let mut tables: Vec<String> = rt.table_decls().map(|d| d.name.clone()).collect();
+            tables.sort();
+            let mut s = String::new();
+            for t in tables {
+                let table = rt.table(&t).expect("declared table exists");
+                if table.is_event() {
+                    continue;
+                }
+                for row in table.sorted_rows() {
+                    s.push_str(&format!("  {t}{row:?}\n"));
+                }
+            }
+            s
+        });
+        if let Some(dump) = dump {
+            out.push_str(&format!("node {name}:\n{dump}"));
+        }
+    }
+    out
+}
+
 impl Actor for OverlogActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.tick_and_route(ctx);

@@ -4,7 +4,8 @@
 //! suite) without executing anything, and renders spanned diagnostics.
 //!
 //! ```text
-//! olgcheck [--deny-warnings] [--graph] [FILE.olg ... | GROUP ...]
+//! olgcheck [check|analyze] [--deny-warnings] [--graph]
+//!          [--format text|json|github] [FILE.olg ... | GROUP ...]
 //! ```
 //!
 //! With no arguments, every shipped program group is checked (`fs`,
@@ -12,29 +13,80 @@
 //! existing files are read from disk and checked together as one program;
 //! otherwise arguments select shipped groups by name. `--graph` prints
 //! each group's table-precedence graph as DOT instead of diagnostics.
+//!
+//! The `analyze` subcommand renders the semantic passes on top of the
+//! diagnostics: the monotonicity / CALM report with points of order, the
+//! whole-program typed catalog, and cardinality estimates.
+//!
+//! Exit codes: `0` clean, `1` errors (or any finding under
+//! `--deny-warnings`), `2` usage error, `3` warnings only.
 
-use boom::overlog::analysis::{self, render, ProgramContext, SourceMap};
+use boom::overlog::analysis::{
+    self, render, render_github, render_json, ProgramContext, SourceMap,
+};
 use boom::shipped;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: olgcheck [--deny-warnings] [--graph] [FILE.olg ... | GROUP ...]
+const USAGE: &str = "usage: olgcheck [check|analyze] [--deny-warnings] [--graph]
+                [--format text|json|github] [FILE.olg ... | GROUP ...]
 
-  --deny-warnings  exit non-zero on warnings, not just errors
+  check            diagnostics only (the default)
+  analyze          also render monotonicity (CALM), typed catalog and
+                   cardinality reports per group
+  --deny-warnings  treat warnings as errors (exit 1)
   --graph          print the table-precedence graph as DOT and exit
+  --format FMT     diagnostic output: text (default), json, github
   -h, --help       this help
 
 With no files or group names, checks every shipped program group.
 Shipped groups: fs, paxos, mr-{fifo,locality}-{none,naive,late}, core.
+Exit codes: 0 clean, 1 errors, 2 usage, 3 warnings only.
 ";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
 
 fn main() -> ExitCode {
     let mut deny_warnings = false;
     let mut graph = false;
+    let mut semantic = false;
+    let mut format = Format::Text;
     let mut rest: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1).peekable();
+    if let Some(first) = args.peek() {
+        match first.as_str() {
+            "check" => {
+                args.next();
+            }
+            "analyze" => {
+                semantic = true;
+                args.next();
+            }
+            _ => {}
+        }
+    }
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
             "--graph" => graph = true,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("github") => Format::Github,
+                    other => {
+                        eprintln!(
+                            "olgcheck: --format expects text, json or github (got `{}`)\n{USAGE}",
+                            other.unwrap_or("")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -63,6 +115,7 @@ fn main() -> ExitCode {
             name: rest.join(" "),
             sources,
             external: vec![],
+            observed: vec![],
         }]
     } else {
         let all = shipped::groups();
@@ -91,7 +144,9 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut failed = false;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut json_groups: Vec<String> = Vec::new();
     for group in &groups {
         let (ctx, map) = group.context();
         if graph {
@@ -101,34 +156,69 @@ fn main() -> ExitCode {
             print!("{}", analysis::dot(&ctx));
             continue;
         }
-        failed |= report(&group.name, &ctx, &map, deny_warnings);
+        let (e, w) = report(&group.name, &ctx, &map, semantic, format, &mut json_groups);
+        errors += e;
+        warnings += w;
     }
-    if failed {
+    if format == Format::Json && !graph {
+        println!("[{}]", json_groups.join(","));
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
         ExitCode::FAILURE
+    } else if warnings > 0 {
+        ExitCode::from(3)
     } else {
         ExitCode::SUCCESS
     }
 }
 
-/// Analyze one group, print its diagnostics and a one-line summary.
-/// Returns whether the group fails under the given warning policy.
-fn report(name: &str, ctx: &ProgramContext, map: &SourceMap, deny_warnings: bool) -> bool {
-    let diags = analysis::analyze(ctx);
-    for d in &diags {
-        eprintln!("{}", render(d, map));
+/// Analyze one group, print its diagnostics (in the chosen format), the
+/// semantic report if requested, and a one-line summary. Returns the
+/// `(errors, warnings)` counts.
+fn report(
+    name: &str,
+    ctx: &ProgramContext,
+    map: &SourceMap,
+    semantic: bool,
+    format: Format,
+    json_groups: &mut Vec<String>,
+) -> (usize, usize) {
+    let rep = analysis::report(ctx);
+    let diags = &rep.diagnostics;
+    match format {
+        Format::Text => {
+            for d in diags {
+                eprintln!("{}", render(d, map));
+            }
+        }
+        Format::Github => {
+            for d in diags {
+                println!("{}", render_github(d, map));
+            }
+        }
+        Format::Json => {
+            json_groups.push(format!(
+                "{{\"group\":\"{name}\",\"errors\":{},\"warnings\":{},\"diagnostics\":{}}}",
+                diags.iter().filter(|d| d.is_error()).count(),
+                diags.iter().filter(|d| !d.is_error()).count(),
+                render_json(diags, map)
+            ));
+        }
     }
     let errors = diags.iter().filter(|d| d.is_error()).count();
     let warnings = diags.len() - errors;
-    let verdict = if errors > 0 || (deny_warnings && warnings > 0) {
-        "FAIL"
-    } else {
-        "ok"
-    };
-    println!(
-        "olgcheck: {name}: {verdict} ({} rule(s), {} table(s), {errors} error(s), \
-         {warnings} warning(s))",
-        ctx.rules.len(),
-        ctx.decls.len(),
-    );
-    verdict == "FAIL"
+    if semantic && format != Format::Json {
+        println!("== {name} ==");
+        print!("{}", rep.render_semantic(map));
+    }
+    if format != Format::Json {
+        let verdict = if errors > 0 { "FAIL" } else { "ok" };
+        println!(
+            "olgcheck: {name}: {verdict} ({} rule(s), {} table(s), {errors} error(s), \
+             {warnings} warning(s))",
+            ctx.rules.len(),
+            ctx.decls.len(),
+        );
+    }
+    (errors, warnings)
 }
