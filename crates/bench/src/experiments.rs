@@ -663,6 +663,243 @@ pub fn run_planner_ab(nops: usize) -> PlannerAbResult {
 }
 
 // ---------------------------------------------------------------------------
+// E10: engine hot path — tuples/sec and serial-vs-parallel wall clock
+// ---------------------------------------------------------------------------
+
+/// One measured `(workload, engine)` cell of the E10 table.
+#[derive(Debug, Clone)]
+pub struct EngineBenchCase {
+    /// Workload name (`chunk-churn`, `mr-shuffle`, `partitioned-nn-4`).
+    pub workload: String,
+    /// Engine mode (`serial` or `parallel`).
+    pub mode: String,
+    /// Head rows produced by rule-body evaluation during the measured
+    /// section, summed over every Overlog node — the engine's tuple
+    /// throughput denominator (deterministic, identical across engines).
+    pub tuples: u64,
+    /// Overlog CPU seconds consumed during the measured section.
+    pub busy_secs: f64,
+    /// Tuples per CPU second — the hot-path figure of merit.
+    pub tuples_per_sec: f64,
+    /// Host wall-clock milliseconds for the measured section.
+    pub wall_ms: f64,
+    /// Did this run's final state match the serial run byte for byte?
+    /// (Trivially true for the serial rows.)
+    pub fingerprint_match: bool,
+}
+
+/// Everything one engine run of one workload yields.
+struct EngineRun {
+    tuples: u64,
+    busy_secs: f64,
+    wall_ms: f64,
+    fingerprint: String,
+}
+
+/// Sum `(derived tuples, busy seconds)` across every Overlog node.
+fn overlog_meters(sim: &mut boom_simnet::Sim) -> (u64, f64) {
+    let mut tuples = 0u64;
+    let mut busy = 0f64;
+    for name in sim.node_names() {
+        if let Some((t, b)) = sim.try_with_actor::<OverlogActor, _>(&name, |a| {
+            let t: u64 = a
+                .runtime()
+                .rule_stats()
+                .iter()
+                .map(|(_, s)| s.attempts)
+                .sum();
+            (t, a.busy.as_secs_f64())
+        }) {
+            tuples += t;
+            busy += b;
+        }
+    }
+    (tuples, busy)
+}
+
+fn engine_mode(sim: &mut boom_simnet::Sim, parallel: bool) {
+    if parallel {
+        assert!(
+            sim.set_parallel(true),
+            "E10 parallel rows need the `parallel` feature"
+        );
+    }
+}
+
+/// Chunk-allocation churn against a stable namespace (the E9 workload):
+/// a single NameNode's tick hot path, dominated by semi-naive deltas and
+/// view maintenance.
+fn bench_chunk_churn(parallel: bool, nops: usize) -> EngineRun {
+    use boom_simnet::overlog_state_fingerprint;
+    let mut c = FsClusterBuilder {
+        control: ControlPlane::Declarative,
+        datanodes: 2,
+        replication: 1,
+        ..Default::default()
+    }
+    .build();
+    engine_mode(&mut c.sim, parallel);
+    let cl = c.client.clone();
+    cl.mkdir(&mut c.sim, "/data").expect("mkdir works");
+    for d in 0..E9_DIRS {
+        cl.mkdir(&mut c.sim, &format!("/data/d{d}")).expect("mkdir");
+        for f in 0..E9_FILES_PER_DIR {
+            cl.create(&mut c.sim, &format!("/data/d{d}/f{f}"))
+                .expect("create");
+        }
+    }
+    let (t0, b0) = overlog_meters(&mut c.sim);
+    let wall = std::time::Instant::now();
+    for i in 0..nops {
+        let path = format!("/data/d{}/f{}", i % E9_DIRS, i % E9_FILES_PER_DIR);
+        let (chunk, _) = cl.new_chunk(&mut c.sim, &path).expect("newchunk");
+        cl.abandon(&mut c.sim, &path, chunk).expect("abandon");
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let (t1, b1) = overlog_meters(&mut c.sim);
+    EngineRun {
+        tuples: t1 - t0,
+        busy_secs: (b1 - b0).max(1e-9),
+        wall_ms,
+        fingerprint: overlog_state_fingerprint(&mut c.sim),
+    }
+}
+
+/// A full wordcount job — map scheduling, shuffle, and reduce commit all
+/// flow through JobTracker/TaskTracker Overlog programs.
+fn bench_mr_shuffle(parallel: bool, words_per_file: usize) -> EngineRun {
+    use boom_mr::MrDriver;
+    use boom_simnet::overlog_state_fingerprint;
+    let mut c = MrClusterBuilder {
+        policy: SpecPolicy::Late,
+        locality: true,
+        workers: 4,
+        ..Default::default()
+    }
+    .build();
+    engine_mode(&mut c.sim, parallel);
+    let inputs = c.load_corpus(11, 2, words_per_file).expect("corpus loads");
+    let fs = c.fs.clone();
+    let mut driver = c.driver.clone();
+    let job = MrJob {
+        job_type: "wordcount".into(),
+        inputs,
+        nreduces: 3,
+        outdir: "/out".into(),
+    };
+    let (t0, b0) = overlog_meters(&mut c.sim);
+    let wall = std::time::Instant::now();
+    let deadline = c.sim.now() + 50_000_000;
+    let (job_id, _) = driver
+        .run(&mut c.sim, &fs, &job, deadline)
+        .expect("job completes");
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let (t1, b1) = overlog_meters(&mut c.sim);
+    let out = MrDriver::collect_output(&mut c.sim, &c.trackers.clone(), job_id);
+    EngineRun {
+        tuples: t1 - t0,
+        busy_secs: (b1 - b0).max(1e-9),
+        wall_ms,
+        fingerprint: format!("{out:?}\n{}", overlog_state_fingerprint(&mut c.sim)),
+    }
+}
+
+/// The E6 scale-out storm on a 4-way partitioned NameNode: many nodes
+/// busy at overlapping instants — the workload the parallel engine is
+/// for.
+fn bench_partitioned_nn(parallel: bool, nclients: usize, nops: usize) -> EngineRun {
+    use boom_simnet::overlog_state_fingerprint;
+    let mut c = FsClusterBuilder {
+        control: ControlPlane::Declarative,
+        partitions: 4,
+        datanodes: 2,
+        replication: 1,
+        ..Default::default()
+    }
+    .build();
+    engine_mode(&mut c.sim, parallel);
+    let clients: Vec<String> = (0..nclients).map(|i| format!("client{i}")).collect();
+    for cl in clients.iter().skip(1) {
+        c.sim.add_node(cl, Box::new(ClientActor::new()));
+    }
+    let root_client = c.client.clone();
+    root_client.mkdir(&mut c.sim, "/load").expect("mkdir works");
+    for i in 0..nops {
+        let path = format!("/load/file{i}");
+        let client = clients[i % nclients].clone();
+        let nn = c.namenodes[root_client.partition_for(&path)].clone();
+        c.sim.inject(
+            &nn,
+            fsproto::REQUEST,
+            fsproto::request_row(&client, i as i64, "create", vec![Value::str(&path)]),
+        );
+    }
+    let (t0, b0) = overlog_meters(&mut c.sim);
+    let wall = std::time::Instant::now();
+    let deadline = c.sim.now() + 10_000_000;
+    let clients2 = clients.clone();
+    let done = c.sim.run_while(deadline, move |s| {
+        let total: usize = clients2
+            .iter()
+            .map(|cl| s.with_actor::<ClientActor, _>(cl, |a| a.response_count()))
+            .sum();
+        total >= nops
+    });
+    assert!(done, "partitioned-NN storm did not finish");
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let (t1, b1) = overlog_meters(&mut c.sim);
+    EngineRun {
+        tuples: t1 - t0,
+        busy_secs: (b1 - b0).max(1e-9),
+        wall_ms,
+        fingerprint: overlog_state_fingerprint(&mut c.sim),
+    }
+}
+
+/// E10: run the three engine workloads under the serial engine and (when
+/// the `parallel` feature is compiled in) the parallel engine. Every
+/// parallel row carries a hard byte-identity verdict against its serial
+/// twin's full materialized state.
+pub fn run_engine_bench(churn_ops: usize, mr_words: usize, nn_ops: usize) -> Vec<EngineBenchCase> {
+    let parallel_available = boom_simnet::Sim::new(SimConfig::default()).set_parallel(true);
+    type Workload = (&'static str, Box<dyn Fn(bool) -> EngineRun>);
+    let workloads: Vec<Workload> = vec![
+        (
+            "chunk-churn",
+            Box::new(move |p| bench_chunk_churn(p, churn_ops)),
+        ),
+        (
+            "mr-shuffle",
+            Box::new(move |p| bench_mr_shuffle(p, mr_words)),
+        ),
+        (
+            "partitioned-nn-4",
+            Box::new(move |p| bench_partitioned_nn(p, 4, nn_ops)),
+        ),
+    ];
+    let mut out = Vec::new();
+    for (name, run) in workloads {
+        let serial = run(false);
+        let case = |mode: &str, r: &EngineRun, fingerprint_match: bool| EngineBenchCase {
+            workload: name.to_string(),
+            mode: mode.to_string(),
+            tuples: r.tuples,
+            busy_secs: r.busy_secs,
+            tuples_per_sec: r.tuples as f64 / r.busy_secs,
+            wall_ms: r.wall_ms,
+            fingerprint_match,
+        };
+        out.push(case("serial", &serial, true));
+        if parallel_available {
+            let par = run(true);
+            let identical = par.fingerprint == serial.fingerprint;
+            out.push(case("parallel", &par, identical));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Rendering helpers shared by the binaries
 // ---------------------------------------------------------------------------
 

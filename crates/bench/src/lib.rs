@@ -15,6 +15,7 @@
 //! | E7 | `e7_monitoring` | tracing-overhead table |
 //! | E8 | `e8_chaos` | chaos schedules: fault injection + self-healing invariants |
 //! | E9 | `e9_planner` | analysis-driven planner A/B (CALM-scoped views, join order) |
+//! | E10 | `e10_engine` | engine hot path: tuples/CPU-sec, serial-vs-parallel identity |
 //!
 //! Criterion microbenches (`cargo bench`) cover engine-level numbers that
 //! back the latency/throughput cells at CI-friendly scale.

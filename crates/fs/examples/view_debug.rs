@@ -36,23 +36,22 @@ fn main() {
         decls.entry(d.name.clone()).or_insert(d);
     }
     let p = plan::compile(&decls, &rules).unwrap();
-    let mut vt: Vec<_> = p.view_tables.iter().collect();
-    vt.sort();
-    println!("view_tables: {vt:?}");
-    let mut vi: Vec<_> = p.view_inputs.iter().collect();
-    vi.sort();
-    println!("view_inputs: {vi:?}");
-    let mut nv: Vec<_> = p.neg_view_inputs.iter().collect();
-    nv.sort();
-    println!("neg_view_inputs: {nv:?}");
-    let mut mv: Vec<_> = p.monotonic_views.iter().collect();
-    mv.sort();
-    println!("monotonic_views: {mv:?}");
-    let mut dv: Vec<_> = p.view_deps.iter().collect();
-    dv.sort_by_key(|(k, _)| (*k).clone());
-    for (v, deps) in dv {
-        let mut d: Vec<_> = deps.iter().collect();
-        d.sort();
+    let names = |s: &boom_overlog::IdSet| -> Vec<String> {
+        let mut v: Vec<String> = s.iter().map(|t| p.ids.name(t).to_string()).collect();
+        v.sort();
+        v
+    };
+    println!("view_tables: {:?}", names(&p.view_tables));
+    println!("view_inputs: {:?}", names(&p.view_inputs));
+    println!("neg_view_inputs: {:?}", names(&p.neg_view_inputs));
+    println!("monotonic_views: {:?}", names(&p.monotonic_views));
+    let mut dv: Vec<_> = p
+        .view_deps
+        .iter()
+        .map(|(v, deps)| (p.ids.name(*v).to_string(), names(deps)))
+        .collect();
+    dv.sort();
+    for (v, d) in dv {
         println!("deps {v}: {d:?}");
     }
 }

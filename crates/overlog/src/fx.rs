@@ -1,0 +1,131 @@
+//! A fast, seed-free hasher for the tick hot path.
+//!
+//! Table row maps, secondary indexes, and the runtime's dedup sets hash a
+//! `Vec<Value>` on every insert and probe; with `std`'s default SipHash
+//! that hashing dominates the per-tuple cost. [`FxHasher`] is the classic
+//! rotate-xor-multiply word hash (as used by rustc): a few cycles per
+//! word, quality that is ample for our short structured keys, and — being
+//! seedless — identical across processes, which strengthens rather than
+//! weakens the simulator's determinism story. Not DoS-resistant, which is
+//! fine: every key hashed here comes from the program under simulation,
+//! not from an untrusted network peer.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier with a good bit-dispersion pattern (2^64 / golden ratio).
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Rotate-xor-multiply word hasher. See module docs for the trade-offs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold in the tail length so "ab" + "" != "a" + "b".
+            self.add(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (stateless, so `Default` is free).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let rows = [
+            crate::tuple!(1, "alpha"),
+            crate::tuple!(2, "beta"),
+            crate::tuple!(3, 3.5),
+        ];
+        for r in &rows {
+            assert_eq!(hash_of(r), hash_of(r));
+        }
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&"ab".to_string()), hash_of(&"ba".to_string()));
+        assert_ne!(hash_of(&(1u64, 2u64)), hash_of(&(2u64, 1u64)));
+        assert_ne!(hash_of(&vec![1u8, 2, 3]), hash_of(&vec![1u8, 2, 3, 0]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("x".into(), 1);
+        assert_eq!(m.get("x"), Some(&1));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

@@ -1,0 +1,208 @@
+//! Dense table identifiers.
+//!
+//! The tick hot path must not hash strings: table names are interned to a
+//! [`TableId`] (a dense `u32`) when tables are declared, and every
+//! tick-path structure — delta logs, dirty sets, stats — is indexed by it.
+//! Names survive only at the API boundary and in diagnostics, resolved
+//! through the [`TableIds`] interner.
+
+use std::collections::HashMap;
+
+/// Dense identifier of a declared table. Ids are assigned in declaration
+/// order, are stable for the lifetime of a runtime (the interner only
+/// appends), and index directly into `Vec`-shaped tick-path storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// The id as a `Vec` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only name ↔ id interner.
+#[derive(Debug, Clone, Default)]
+pub struct TableIds {
+    names: Vec<String>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl TableIds {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its existing or freshly assigned id.
+    pub fn intern(&mut self, name: &str) -> TableId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = TableId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolve a name to its id, if interned.
+    #[inline]
+    pub fn get(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve an id back to its name.
+    #[inline]
+    pub fn name(&self, id: TableId) -> &str {
+        &self.names[id.idx()]
+    }
+
+    /// Number of interned names (ids are `0..len`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+/// A set of [`TableId`]s as a compact bitset. Replaces the
+/// `HashSet<String>` dirty/membership sets on the tick path: insert,
+/// contains and intersection are a couple of word operations, `clear`
+/// keeps the allocation, and iteration is in ascending id order
+/// (deterministic, unlike hash-set iteration).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdSet {
+    words: Vec<u64>,
+}
+
+impl IdSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `id`; returns true when it was not already present.
+    pub fn insert(&mut self, id: TableId) -> bool {
+        let (w, b) = (id.idx() / 64, id.idx() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: TableId) -> bool {
+        let (w, b) = (id.idx() / 64, id.idx() % 64);
+        self.words.get(w).is_some_and(|x| x & (1 << b) != 0)
+    }
+
+    /// Remove every element, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// True when no id is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of ids present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Do the two sets share any id?
+    pub fn intersects(&self, other: &IdSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Add every id of `other`.
+    pub fn union_with(&mut self, other: &IdSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterate ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = TableId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| TableId((wi * 64 + b) as u32))
+        })
+    }
+}
+
+impl FromIterator<TableId> for IdSet {
+    fn from_iter<I: IntoIterator<Item = TableId>>(iter: I) -> Self {
+        let mut s = IdSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_dense() {
+        let mut ids = TableIds::new();
+        let a = ids.intern("a");
+        let b = ids.intern("b");
+        assert_eq!(a, TableId(0));
+        assert_eq!(b, TableId(1));
+        assert_eq!(ids.intern("a"), a);
+        assert_eq!(ids.get("b"), Some(b));
+        assert_eq!(ids.get("c"), None);
+        assert_eq!(ids.name(a), "a");
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn idset_basic_ops() {
+        let mut s = IdSet::new();
+        assert!(s.insert(TableId(3)));
+        assert!(!s.insert(TableId(3)));
+        assert!(s.insert(TableId(70)));
+        assert!(s.contains(TableId(3)));
+        assert!(!s.contains(TableId(4)));
+        assert!(s.contains(TableId(70)));
+        assert_eq!(s.len(), 2);
+        let got: Vec<u32> = s.iter().map(|t| t.0).collect();
+        assert_eq!(got, vec![3, 70]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(TableId(70)));
+    }
+
+    #[test]
+    fn idset_intersects_and_union() {
+        let a: IdSet = [TableId(1), TableId(65)].into_iter().collect();
+        let b: IdSet = [TableId(2), TableId(65)].into_iter().collect();
+        let c: IdSet = [TableId(0)].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(TableId(2)));
+    }
+}

@@ -42,6 +42,8 @@ pub mod analysis;
 pub mod ast;
 pub mod builtins;
 pub mod error;
+pub mod fx;
+pub mod ids;
 pub mod parser;
 pub mod plan;
 pub mod runtime;
@@ -52,13 +54,15 @@ pub use analysis::{Diagnostic, Severity, SourceMap};
 pub use ast::{Program, Rule, Span, Statement, TableDecl, TableKind};
 pub use builtins::{stable_hash, Builtins};
 pub use error::{OverlogError, Result};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{IdSet, TableId, TableIds};
 pub use parser::parse_program;
 pub use plan::PlanOptions;
 pub use runtime::{
     EvalStats, NetTuple, OverlogRuntime, ProvRecord, RuleStats, TickResult, TraceDrain, TraceEvent,
     TraceOp,
 };
-pub use table::{InsertOutcome, Table};
+pub use table::{Candidates, InsertOutcome, Table};
 pub use value::{row, Row, TypeTag, Value};
 
 /// Count the rules and non-blank, non-comment source lines of an Overlog

@@ -17,6 +17,7 @@ use crate::analysis::card::CostModel;
 use crate::analysis::{self, mono, safety, RuleAnalysis};
 use crate::ast::*;
 use crate::error::Result;
+use crate::ids::{IdSet, TableId, TableIds};
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -56,24 +57,48 @@ pub enum Op {
     /// Join against a table (or the delta set for the delta predicate).
     Scan {
         /// Table to read.
-        table: String,
+        tid: TableId,
         /// Index of this predicate among the rule's positive predicates.
         pred_idx: usize,
         /// Per-column patterns.
         pats: Vec<Pat>,
+        /// Columns whose `Check` expressions are statically bound when
+        /// this op runs (every referenced variable was bound by an earlier
+        /// op in the schedule): the secondary index the scan probes. Empty
+        /// means a full scan. Computed at plan time so the evaluator's
+        /// lookups need no per-row boundness analysis and the runtime can
+        /// build the index eagerly.
+        index_cols: Vec<usize>,
+        /// Slots bound by this scan's `Bind` patterns, precomputed so the
+        /// evaluator's backtracking reset allocates nothing per probe.
+        bind_slots: Vec<usize>,
+        /// Literal `Check` columns, extracted so the evaluator rejects
+        /// non-matching rows with one direct value comparison — before
+        /// binding slots or evaluating any expression. This is the fast
+        /// path for discriminator columns (e.g. the op-name column of a
+        /// protocol event scanned by every handler rule).
+        const_checks: Vec<(usize, Value)>,
     },
     /// Negated predicate: succeed when no matching row exists.
     NegScan {
         /// Table to probe.
-        table: String,
+        tid: TableId,
         /// Per-column patterns (`Bind` never occurs here).
         pats: Vec<Pat>,
+        /// Statically bound check columns (see [`Op::Scan::index_cols`]).
+        index_cols: Vec<usize>,
+        /// Literal `Check` columns (see [`Op::Scan::const_checks`]).
+        const_checks: Vec<(usize, Value)>,
     },
     /// Boolean filter.
     Filter(CExpr),
     /// `X := expr`.
     Assign(usize, CExpr),
 }
+
+/// One stratum's entry in [`Plan::strata_delta`]: `(table index,
+/// [(rule id, variant index)])` pairs sorted by table index.
+pub type StratumDeltaIndex = Vec<(usize, Vec<(usize, usize)>)>;
 
 /// One semi-naive variant of a rule.
 #[derive(Debug, Clone)]
@@ -83,6 +108,16 @@ pub struct Variant {
     pub delta_pred: Option<usize>,
     /// Scheduled operator sequence.
     pub ops: Vec<Op>,
+    /// The delta scan's literal `Check` columns, copied up from `ops[0]`
+    /// when the delta scan is scheduled first (empty otherwise). When no
+    /// row of a round's delta slice passes these, the evaluator skips the
+    /// variant without entering the operator machinery at all: with zero
+    /// rows surviving the first op, the remaining ops would never run, so
+    /// the skip is observationally identical (including stateful-builtin
+    /// call counts). This is the tick-loop fast path for protocol
+    /// dispatch, where dozens of handler rules scan the same event table
+    /// and disagree only on a literal discriminator column.
+    pub delta_gate: Vec<(usize, Value)>,
 }
 
 /// Compiled head argument.
@@ -106,6 +141,8 @@ pub struct CompiledRule {
     pub delete: bool,
     /// Head target table.
     pub head_table: String,
+    /// Dense id of the head table.
+    pub head_tid: TableId,
     /// Compiled head arguments.
     pub head_args: Vec<CHeadArg>,
     /// Location-specifier argument index, if any.
@@ -114,6 +151,8 @@ pub struct CompiledRule {
     pub aggregate: bool,
     /// Tables of positive body predicates, in order.
     pub positive_tables: Vec<String>,
+    /// Dense ids of the positive body predicates, in order.
+    pub positive_tids: Vec<TableId>,
     /// Semi-naive variants (one per positive predicate; a single
     /// `delta_pred == None` variant when there are none).
     pub variants: Vec<Variant>,
@@ -173,25 +212,37 @@ pub struct Plan {
     pub rules: Vec<Arc<CompiledRule>>,
     /// Rule ids grouped per stratum, lowest first.
     pub strata: Vec<Vec<usize>>,
+    /// Per stratum, the delta-consumption index driving the semi-naive
+    /// fixpoint: `(table index, [(rule id, variant index)])` pairs, sorted
+    /// by table index, listing every delta variant that reads that table.
+    /// A round only needs to look at these tables (anything else appended
+    /// to the tick log is invisible to the stratum's rules) and only needs
+    /// to run the variants whose delta slice is non-empty — the evaluator
+    /// re-sorts the selected variants by `(rule id, variant index)` so the
+    /// execution order is identical to sweeping every rule in the stratum.
+    pub strata_delta: Vec<StratumDeltaIndex>,
     /// Stratum per table.
     pub table_stratum: HashMap<String, usize>,
+    /// The table-name interner this plan was compiled against (snapshot);
+    /// resolves every `TableId` below back to a name for diagnostics.
+    pub ids: TableIds,
     /// Tables derived by view rules.
-    pub view_tables: HashSet<String>,
+    pub view_tables: IdSet,
     /// Tables read by view rules (direct inputs; recompute is global so
     /// transitivity is implicit).
-    pub view_inputs: HashSet<String>,
+    pub view_inputs: IdSet,
     /// Tables appearing **negated** in a view rule's body: insertions into
     /// these can retract view tuples, so they must trigger recomputation
     /// just like deletions (stratified negation is non-monotone).
-    pub neg_view_inputs: HashSet<String>,
+    pub neg_view_inputs: IdSet,
     /// Transitive input closure per view table: every table whose change
     /// can invalidate the view, walking backwards through view rules
     /// (includes intermediate view tables).
-    pub view_deps: HashMap<String, HashSet<String>>,
+    pub view_deps: HashMap<TableId, IdSet>,
     /// View tables whose whole derivation closure is free of negation and
     /// aggregation — provably monotonic (CALM), so growth of their inputs
     /// never retracts their tuples.
-    pub monotonic_views: HashSet<String>,
+    pub monotonic_views: IdSet,
     /// The options this plan was compiled with.
     pub options: PlanOptions,
 }
@@ -244,19 +295,40 @@ fn rule_reorderable(rule: &Rule) -> bool {
 }
 
 /// Compile all `rules` against the table `decls` with default options and
-/// no fact statistics.
+/// no fact statistics. Table ids are assigned fresh, in sorted declaration
+/// name order (hosts that own an interner use [`compile_with`]).
 pub fn compile(decls: &HashMap<String, TableDecl>, rules: &[Rule]) -> Result<Plan> {
-    compile_with(decls, rules, &HashMap::new(), PlanOptions::default())
+    let mut ids = TableIds::new();
+    compile_with(
+        decls,
+        rules,
+        &HashMap::new(),
+        PlanOptions::default(),
+        &mut ids,
+    )
 }
 
 /// Compile all `rules` against the table `decls`, feeding ground-fact
 /// counts into the cardinality model that drives join reordering.
+///
+/// `ids` is the caller's table-name interner: ids already assigned stay
+/// stable (the runtime's `Vec`-indexed storage depends on that), and any
+/// declared table not yet interned is added in sorted name order so
+/// standalone compilation is deterministic. The plan keeps a snapshot.
 pub fn compile_with(
     decls: &HashMap<String, TableDecl>,
     rules: &[Rule],
     fact_counts: &HashMap<String, usize>,
     options: PlanOptions,
+    ids: &mut TableIds,
 ) -> Result<Plan> {
+    {
+        let mut names: Vec<&str> = decls.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        for n in names {
+            ids.intern(n);
+        }
+    }
     let cost = options.reorder_joins.then(|| {
         let mut deriving: HashMap<String, usize> = HashMap::new();
         for r in rules {
@@ -284,7 +356,7 @@ pub fn compile_with(
             }
         }
         classes.push(ra.class);
-        compiled.push(compile_rule(i, rule, &ra));
+        compiled.push(compile_rule(i, rule, &ra, ids));
     }
     let (table_stratum, rule_strata) = analysis::stratify_rules(decls, rules, &classes)?;
     for (cr, s) in compiled.iter_mut().zip(&rule_strata) {
@@ -295,18 +367,41 @@ pub fn compile_with(
     for cr in compiled.iter() {
         strata[cr.stratum].push(cr.id);
     }
+    let strata_delta = strata
+        .iter()
+        .map(|stratum| {
+            let mut by_table: std::collections::BTreeMap<usize, Vec<(usize, usize)>> =
+                std::collections::BTreeMap::new();
+            for &rid in stratum {
+                let cr = &compiled[rid];
+                if cr.aggregate {
+                    continue;
+                }
+                for (vi, v) in cr.variants.iter().enumerate() {
+                    if let Some(d) = v.delta_pred {
+                        by_table
+                            .entry(cr.positive_tids[d].idx())
+                            .or_default()
+                            .push((rid, vi));
+                    }
+                }
+            }
+            by_table.into_iter().collect()
+        })
+        .collect();
 
-    let mut view_tables = HashSet::new();
-    let mut view_inputs = HashSet::new();
-    let mut neg_view_inputs = HashSet::new();
+    let tid_of = |name: &str| ids.get(name).expect("validated tables are interned");
+    let mut view_tables = IdSet::new();
+    let mut view_inputs = IdSet::new();
+    let mut neg_view_inputs = IdSet::new();
     for (cr, rule) in compiled.iter().zip(rules) {
         if cr.is_view {
-            view_tables.insert(cr.head_table.clone());
+            view_tables.insert(cr.head_tid);
             for p in rule.body.iter() {
                 if let BodyElem::Pred(p) = p {
-                    view_inputs.insert(p.table.clone());
+                    view_inputs.insert(tid_of(&p.table));
                     if p.negated {
-                        neg_view_inputs.insert(p.table.clone());
+                        neg_view_inputs.insert(tid_of(&p.table));
                     }
                 }
             }
@@ -315,35 +410,32 @@ pub fn compile_with(
     // Transitive input closure per view: start from the direct body
     // tables of each view's rules, then fold in the closures of view
     // dependencies until a fixpoint.
-    let mut view_deps: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut view_deps: HashMap<TableId, IdSet> = HashMap::new();
     for (cr, rule) in compiled.iter().zip(rules) {
         if cr.is_view {
-            let deps = view_deps.entry(cr.head_table.clone()).or_default();
+            let deps = view_deps.entry(cr.head_tid).or_default();
             for b in &rule.body {
                 if let BodyElem::Pred(p) = b {
-                    deps.insert(p.table.clone());
+                    deps.insert(tid_of(&p.table));
                 }
             }
         }
     }
     loop {
         let mut grew = false;
-        let views: Vec<String> = view_deps.keys().cloned().collect();
-        for v in &views {
-            let nested: Vec<String> = view_deps[v]
+        let views: Vec<TableId> = view_deps.keys().copied().collect();
+        for &v in &views {
+            let nested: Vec<TableId> = view_deps[&v]
                 .iter()
-                .filter(|d| view_deps.contains_key(*d) && *d != v)
-                .cloned()
+                .filter(|d| view_deps.contains_key(d) && *d != v)
                 .collect();
             for d in nested {
-                let extra: Vec<String> = view_deps[&d]
-                    .iter()
-                    .filter(|t| !view_deps[v].contains(*t))
-                    .cloned()
-                    .collect();
-                if !extra.is_empty() {
+                let before = view_deps[&v].len();
+                let extra = view_deps[&d].clone();
+                let deps = view_deps.get_mut(&v).unwrap();
+                deps.union_with(&extra);
+                if deps.len() != before {
                     grew = true;
-                    view_deps.get_mut(v).unwrap().extend(extra);
                 }
             }
         }
@@ -355,10 +447,9 @@ pub fn compile_with(
     // CALM certificate: views whose derivation closure is free of negation
     // and aggregation can only grow when their inputs grow.
     let taint = mono::derivation_taint(rules);
-    let monotonic_views: HashSet<String> = view_tables
+    let monotonic_views: IdSet = view_tables
         .iter()
-        .filter(|t| !taint.contains_key(*t))
-        .cloned()
+        .filter(|t| !taint.contains_key(ids.name(*t)))
         .collect();
 
     // A table must be either a view (fully re-derivable) or base state, not
@@ -367,7 +458,9 @@ pub fn compile_with(
     Ok(Plan {
         rules: compiled.into_iter().map(Arc::new).collect(),
         strata,
+        strata_delta,
         table_stratum,
+        ids: ids.clone(),
         view_tables,
         view_inputs,
         neg_view_inputs,
@@ -430,11 +523,15 @@ pub fn compile_fact_expr(e: &Expr) -> CExpr {
 /// Lower one validated rule. `ra` carries the classification and the
 /// per-variant execution orders computed by [`analysis::validate_rule`];
 /// emission just follows them, so it cannot fail.
-fn compile_rule(id: usize, rule: &Rule, ra: &RuleAnalysis) -> CompiledRule {
+fn compile_rule(id: usize, rule: &Rule, ra: &RuleAnalysis, ids: &TableIds) -> CompiledRule {
     let label = rule.label(id);
     let positive_tables: Vec<String> = rule
         .positive_predicates()
         .map(|p| p.table.clone())
+        .collect();
+    let positive_tids: Vec<TableId> = positive_tables
+        .iter()
+        .map(|t| ids.get(t).expect("validated tables are interned"))
         .collect();
 
     // Build variants following the analysis-provided orders.
@@ -446,8 +543,23 @@ fn compile_rule(id: usize, rule: &Rule, ra: &RuleAnalysis) -> CompiledRule {
         } else {
             Some(d)
         };
-        let ops = emit_ops(rule, order, &mut slots);
-        variants.push(Variant { delta_pred, ops });
+        let ops = emit_ops(rule, order, &mut slots, ids);
+        let delta_gate = match (delta_pred, ops.first()) {
+            (
+                Some(d),
+                Some(Op::Scan {
+                    pred_idx,
+                    const_checks,
+                    ..
+                }),
+            ) if *pred_idx == d => const_checks.clone(),
+            _ => Vec::new(),
+        };
+        variants.push(Variant {
+            delta_pred,
+            ops,
+            delta_gate,
+        });
     }
 
     // Compile head args; safety of every head variable was already checked.
@@ -466,11 +578,15 @@ fn compile_rule(id: usize, rule: &Rule, ra: &RuleAnalysis) -> CompiledRule {
         id,
         label,
         delete: ra.class.delete,
+        head_tid: ids
+            .get(&rule.head.table)
+            .expect("validated tables are interned"),
         head_table: rule.head.table.clone(),
         head_args,
         head_loc: rule.head.loc,
         aggregate: ra.class.aggregate,
         positive_tables,
+        positive_tids,
         variants,
         is_view: ra.class.is_view,
         inductive: ra.class.inductive,
@@ -480,10 +596,35 @@ fn compile_rule(id: usize, rule: &Rule, ra: &RuleAnalysis) -> CompiledRule {
     }
 }
 
+/// Is every variable of `e` in the `bound` set? Statically mirrors the
+/// evaluator's old per-row `cexpr_bound` probe: a check column whose
+/// expression is fully bound *before* the scan runs can drive an index
+/// lookup.
+fn expr_bound(e: &Expr, bound: &HashSet<String>) -> bool {
+    let mut vars = Vec::new();
+    e.collect_vars(&mut vars);
+    vars.iter().all(|v| bound.contains(v))
+}
+
 /// Emit the operator sequence for one variant, walking the body elements in
 /// the (already validated) execution `order`. Shares `slots` across
 /// variants so a variable keeps one slot in every variant of the rule.
-fn emit_ops(rule: &Rule, order: &[usize], slots: &mut SlotMap) -> Vec<Op> {
+/// Extract the literal `Check` columns of a pattern list (see
+/// [`Op::Scan::const_checks`]). Comparing the literal directly is exactly
+/// what evaluating `CExpr::Lit` and comparing would do, so hoisting these
+/// ahead of slot binding changes no outcomes — only the per-row cost.
+fn lit_checks(pats: &[Pat]) -> Vec<(usize, Value)> {
+    pats.iter()
+        .enumerate()
+        .filter_map(|(i, p)| match p {
+            Pat::Check(CExpr::Lit(v)) => Some((i, v.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+fn emit_ops(rule: &Rule, order: &[usize], slots: &mut SlotMap, ids: &TableIds) -> Vec<Op> {
+    let tid_of = |t: &str| ids.get(t).expect("validated tables are interned");
     // Positive-predicate ordinal for each body index.
     let mut pred_counter: HashMap<usize, usize> = HashMap::new();
     let mut n = 0usize;
@@ -501,35 +642,65 @@ fn emit_ops(rule: &Rule, order: &[usize], slots: &mut SlotMap) -> Vec<Op> {
     for &bi in order {
         match &rule.body[bi] {
             BodyElem::Pred(p) if !p.negated => {
+                // Check columns are index-usable only when their variables
+                // were bound before this scan: a duplicate variable bound
+                // by an earlier column of the *same* predicate is checked
+                // per row, not probed.
+                let pre_bound = bound.clone();
                 let mut pats = Vec::with_capacity(p.args.len());
-                for a in &p.args {
+                let mut index_cols = Vec::new();
+                for (i, a) in p.args.iter().enumerate() {
                     pats.push(match a {
                         Expr::Wildcard => Pat::Wild,
                         Expr::Var(v) if !bound.contains(v) => {
                             bound.insert(v.clone());
                             Pat::Bind(slots.slot(v))
                         }
-                        other => Pat::Check(compile_expr(other, slots)),
+                        other => {
+                            if expr_bound(other, &pre_bound) {
+                                index_cols.push(i);
+                            }
+                            Pat::Check(compile_expr(other, slots))
+                        }
                     });
                 }
+                let bind_slots = pats
+                    .iter()
+                    .filter_map(|p| match p {
+                        Pat::Bind(s) => Some(*s),
+                        _ => None,
+                    })
+                    .collect();
+                let const_checks = lit_checks(&pats);
                 ops.push(Op::Scan {
-                    table: p.table.clone(),
+                    tid: tid_of(&p.table),
                     pred_idx: pred_counter[&bi],
                     pats,
+                    index_cols,
+                    bind_slots,
+                    const_checks,
                 });
             }
             BodyElem::Pred(p) => {
-                let pats = p
-                    .args
-                    .iter()
-                    .map(|a| match a {
+                let mut pats = Vec::with_capacity(p.args.len());
+                let mut index_cols = Vec::new();
+                for (i, a) in p.args.iter().enumerate() {
+                    pats.push(match a {
                         Expr::Wildcard => Pat::Wild,
-                        other => Pat::Check(compile_expr(other, slots)),
-                    })
-                    .collect();
+                        other => {
+                            if expr_bound(other, &bound) {
+                                index_cols.push(i);
+                            }
+                            Pat::Check(compile_expr(other, slots))
+                        }
+                    });
+                }
+                let const_checks = lit_checks(&pats);
                 ops.push(Op::NegScan {
-                    table: p.table.clone(),
+                    tid: tid_of(&p.table),
                     pats,
+                    index_cols,
+                    const_checks,
                 });
             }
             BodyElem::Cond(e) => ops.push(Op::Filter(compile_expr(e, slots))),
@@ -709,7 +880,8 @@ mod tests {
         let rules: Vec<Rule> = prog.rules().cloned().collect();
         let fact_counts: HashMap<String, usize> =
             facts.iter().map(|(t, n)| (t.to_string(), *n)).collect();
-        compile_with(&decls, &rules, &fact_counts, opts).unwrap()
+        let mut ids = TableIds::new();
+        compile_with(&decls, &rules, &fact_counts, opts, &mut ids).unwrap()
     }
 
     fn scan_tables(p: &Plan, rule: usize, variant: usize) -> Vec<String> {
@@ -717,7 +889,7 @@ mod tests {
             .ops
             .iter()
             .filter_map(|op| match op {
-                Op::Scan { table, .. } => Some(table.clone()),
+                Op::Scan { tid, .. } => Some(p.ids.name(*tid).to_string()),
                 _ => None,
             })
             .collect()
@@ -767,8 +939,12 @@ mod tests {
              top(X) :- mid(X);",
         )
         .unwrap();
-        assert!(p.view_deps["top"].contains("mid"));
-        assert!(p.view_deps["top"].contains("base"), "closure is transitive");
+        let tid = |n: &str| p.ids.get(n).unwrap();
+        assert!(p.view_deps[&tid("top")].contains(tid("mid")));
+        assert!(
+            p.view_deps[&tid("top")].contains(tid("base")),
+            "closure is transitive"
+        );
     }
 
     #[test]
@@ -784,10 +960,11 @@ mod tests {
              over(X) :- neg(X);",
         )
         .unwrap();
-        assert!(p.monotonic_views.contains("pos"));
-        assert!(!p.monotonic_views.contains("neg"));
+        let tid = |n: &str| p.ids.get(n).unwrap();
+        assert!(p.monotonic_views.contains(tid("pos")));
+        assert!(!p.monotonic_views.contains(tid("neg")));
         assert!(
-            !p.monotonic_views.contains("over"),
+            !p.monotonic_views.contains(tid("over")),
             "taint flows through the closure"
         );
     }
@@ -802,11 +979,60 @@ mod tests {
         .unwrap();
         let ops = &p.rules[0].variants[0].ops;
         match &ops[0] {
-            Op::Scan { pats, .. } => {
+            Op::Scan {
+                pats, index_cols, ..
+            } => {
                 assert!(matches!(pats[0], Pat::Bind(_)));
                 assert!(matches!(pats[1], Pat::Check(CExpr::Slot(_))));
+                // The duplicate-variable check binds within the same scan:
+                // it cannot drive an index probe.
+                assert!(index_cols.is_empty());
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn index_cols_follow_static_boundness() {
+        let p = plan_of(
+            "define(q, keys(0,1), {Int, Int});
+             define(r, keys(0,1), {Int, Int});
+             define(p, keys(0,1), {Int, Int});
+             p(X, Z) :- q(X, Y), r(Y, Z);",
+        )
+        .unwrap();
+        let ops = &p.rules[0].variants[0].ops;
+        match (&ops[0], &ops[1]) {
+            (
+                Op::Scan {
+                    index_cols: first, ..
+                },
+                Op::Scan {
+                    index_cols: second, ..
+                },
+            ) => {
+                assert!(first.is_empty(), "first scan has nothing bound");
+                assert_eq!(second, &vec![0], "join column of r is bound by q");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The negated probe is fully bound.
+        let p = plan_of(
+            "define(q, keys(0), {Int});
+             define(g, keys(0), {Int});
+             define(p, keys(0), {Int});
+             p(X) :- q(X), notin g(X);",
+        )
+        .unwrap();
+        let neg = p.rules[0]
+            .variants
+            .iter()
+            .flat_map(|v| &v.ops)
+            .find_map(|op| match op {
+                Op::NegScan { index_cols, .. } => Some(index_cols.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(neg, vec![0]);
     }
 }

@@ -39,9 +39,11 @@ use crate::ast::{AggKind, BinOp, UnOp};
 use crate::ast::{Rule, Span, Statement, TableDecl, TableKind};
 use crate::builtins::Builtins;
 use crate::error::{OverlogError, Result};
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::ids::{IdSet, TableId, TableIds};
 use crate::parser::parse_program;
 use crate::plan::{self, CExpr, CHeadArg, CompiledRule, Op, Pat, Plan, Variant};
-use crate::table::{InsertOutcome, Table};
+use crate::table::{Candidates, InsertOutcome, Table};
 use crate::value::{Row, TypeTag, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -159,13 +161,13 @@ pub struct EvalStats {
 
 #[derive(Debug)]
 enum Pending {
-    Insert(String, Row),
-    Delete(String, Row),
+    Insert(TableId, Row),
+    Delete(TableId, Row),
 }
 
 #[derive(Debug)]
 struct TimerState {
-    name: String,
+    tid: TableId,
     interval: u64,
     next: u64,
 }
@@ -174,21 +176,28 @@ struct TimerState {
 pub struct OverlogRuntime {
     addr: Arc<str>,
     decls: HashMap<String, TableDecl>,
-    tables: HashMap<String, Table>,
+    /// Table-name interner: `tables` is indexed by [`TableId`], so
+    /// `ids.len() == tables.len()` always holds (ids are only assigned
+    /// when a table is created).
+    ids: TableIds,
+    tables: Vec<Table>,
     rule_sources: Vec<Rule>,
     /// Program texts successfully loaded, in order (static re-analysis).
     sources: Vec<String>,
     /// Tables the host has inserted into or deleted from directly; the
     /// analyzer treats them as externally filled.
     host_inserted: HashSet<String>,
-    plan: Plan,
+    plan: Arc<Plan>,
     plan_opts: plan::PlanOptions,
     /// Ground facts loaded per table — feeds the planner's cardinality
     /// model so join orders reflect actual configuration sizes.
     fact_counts: HashMap<String, usize>,
     builtins: Builtins,
     timers: Vec<TimerState>,
-    watches: HashSet<String>,
+    /// Watched names (API surface; may include not-yet-declared tables).
+    watch_names: HashSet<String>,
+    /// Ids of watched tables — the hot-path membership test.
+    watch_ids: IdSet,
     pending: VecDeque<Pending>,
     trace: VecDeque<TraceEvent>,
     trace_cap: usize,
@@ -200,7 +209,7 @@ pub struct OverlogRuntime {
     /// Why-provenance capture (off by default; see [`ProvRecord`]).
     prov_on: bool,
     prov: Vec<ProvRecord>,
-    prov_seen: HashSet<(String, Row)>,
+    prov_seen: FxHashSet<(TableId, Row)>,
     prov_cap: usize,
     prov_dropped: u64,
     budget: u64,
@@ -208,6 +217,13 @@ pub struct OverlogRuntime {
     eval_stats: EvalStats,
     tick_count: u64,
     now: u64,
+    /// Pooled tick workspace: taken at tick start, restored at tick end,
+    /// so the per-table delta logs and dedup sets keep their allocations
+    /// across ticks instead of being rebuilt.
+    scratch: TickCtx,
+    /// Pooled sub-context for view-aggregate recomputation (see
+    /// `eval_agg_into`).
+    agg_scratch: TickCtx,
 }
 
 impl std::fmt::Debug for OverlogRuntime {
@@ -221,25 +237,56 @@ impl std::fmt::Debug for OverlogRuntime {
     }
 }
 
+/// Per-tick workspace. The semi-naive delta is *zero-copy*: every row
+/// inserted this tick is appended once to the per-table `added` log, and a
+/// round's delta for table `t` is the slice `added[t][cursor[t]..hi[t]]` —
+/// references move, rows are never re-cloned into round buffers (the old
+/// `round_delta = added.clone()` / `delta_rows.clone()` copies).
+#[derive(Default)]
 struct TickCtx {
-    added: HashMap<String, Vec<Row>>,
-    round_delta: HashMap<String, Vec<Row>>,
-    next_delta: HashMap<String, Vec<Row>>,
-    deferred_deletes: Vec<(String, Row)>,
-    deferred_inserts: Vec<(String, Row)>,
-    deferred_seen: HashSet<(String, Row)>,
+    /// Append-only per-table log of rows added this tick, indexed by
+    /// [`TableId`].
+    added: Vec<Vec<Row>>,
+    /// Per-table read position of the current semi-naive round; reset to 0
+    /// at stratum entry (each stratum reprocesses the whole tick's log).
+    cursor: Vec<usize>,
+    /// Per-table end of the current round's delta slice (the log length
+    /// snapshotted at round start; rows appended during the round are the
+    /// next round's delta).
+    hi: Vec<usize>,
+    deferred_deletes: Vec<(TableId, Row)>,
+    deferred_inserts: Vec<(TableId, Row)>,
+    deferred_seen: FxHashSet<(TableId, Row)>,
+    /// Dedup scratch for applying `deferred_deletes`.
+    delete_seen: FxHashSet<(TableId, Row)>,
     outbox: Vec<NetTuple>,
-    sent: HashSet<(Arc<str>, String, Row)>,
+    sent: FxHashSet<(Arc<str>, TableId, Row)>,
     derivations: u64,
     attempts: u64,
     /// View inputs that *shrank* this tick (deletions, key-overwrites):
     /// every view depending on one of these must be rebuilt.
-    shrink_dirty: HashSet<String>,
+    shrink_dirty: IdSet,
     /// Negated view inputs that *grew* this tick: only non-monotonic
     /// views (negation/aggregation in their closure) can lose tuples to
     /// growth, so the CALM-certified ones skip the rebuild.
-    grow_dirty: HashSet<String>,
-    changed_tables: HashSet<String>,
+    grow_dirty: IdSet,
+    changed_tables: IdSet,
+    /// Pooled evaluator buffers (see [`EvalScratch`]); cleared per use,
+    /// not per tick.
+    eval: EvalScratch,
+    /// Round scratch: `(rule id, variant index, delta table index)` of the
+    /// variants selected to run this round, sorted to match sweep order.
+    pairs: Vec<(usize, usize, usize)>,
+}
+
+/// Pooled per-evaluation buffers: the slot environment and the index
+/// probe-key scratch. Most rule evaluations derive nothing (a delta row
+/// rarely matches more than a few of the rules scanning its table), and
+/// with these pooled such evaluations allocate nothing at all.
+#[derive(Default)]
+struct EvalScratch {
+    env: Vec<Option<Value>>,
+    probe_vals: Vec<Value>,
 }
 
 /// Captures, for each environment a rule body emits, the positive body
@@ -270,22 +317,33 @@ impl SupportSink {
 }
 
 impl TickCtx {
-    fn new() -> Self {
-        TickCtx {
-            added: HashMap::new(),
-            round_delta: HashMap::new(),
-            next_delta: HashMap::new(),
-            deferred_deletes: Vec::new(),
-            deferred_inserts: Vec::new(),
-            deferred_seen: HashSet::new(),
-            outbox: Vec::new(),
-            sent: HashSet::new(),
-            derivations: 0,
-            attempts: 0,
-            shrink_dirty: HashSet::new(),
-            grow_dirty: HashSet::new(),
-            changed_tables: HashSet::new(),
+    /// Clear for a fresh tick over `ntables` tables, keeping allocations.
+    fn reset(&mut self, ntables: usize) {
+        self.added.iter_mut().for_each(Vec::clear);
+        self.added.resize_with(ntables, Vec::new);
+        self.cursor.clear();
+        self.cursor.resize(ntables, 0);
+        self.hi.clear();
+        self.hi.resize(ntables, 0);
+        self.deferred_deletes.clear();
+        self.deferred_inserts.clear();
+        // Guarded clears: a pooled hash set keeps its high-water capacity,
+        // and clearing one sweeps that capacity even when it holds nothing.
+        if !self.deferred_seen.is_empty() {
+            self.deferred_seen.clear();
         }
+        if !self.delete_seen.is_empty() {
+            self.delete_seen.clear();
+        }
+        self.outbox.clear();
+        if !self.sent.is_empty() {
+            self.sent.clear();
+        }
+        self.derivations = 0;
+        self.attempts = 0;
+        self.shrink_dirty.clear();
+        self.grow_dirty.clear();
+        self.changed_tables.clear();
     }
 }
 
@@ -300,16 +358,18 @@ impl OverlogRuntime {
         let mut rt = OverlogRuntime {
             addr: addr.clone(),
             decls: HashMap::new(),
-            tables: HashMap::new(),
+            ids: TableIds::new(),
+            tables: Vec::new(),
             rule_sources: Vec::new(),
             sources: Vec::new(),
             host_inserted: HashSet::new(),
-            plan: Plan::default(),
+            plan: Arc::new(Plan::default()),
             plan_opts: plan::PlanOptions::default(),
             fact_counts: HashMap::new(),
             builtins: Builtins::standard(),
             timers: Vec::new(),
-            watches: HashSet::new(),
+            watch_names: HashSet::new(),
+            watch_ids: IdSet::new(),
             pending: VecDeque::new(),
             trace: VecDeque::new(),
             trace_cap: 100_000,
@@ -317,7 +377,7 @@ impl OverlogRuntime {
             trace_all: false,
             prov_on: false,
             prov: Vec::new(),
-            prov_seen: HashSet::new(),
+            prov_seen: FxHashSet::default(),
             prov_cap: 200_000,
             prov_dropped: 0,
             budget: 5_000_000,
@@ -325,6 +385,8 @@ impl OverlogRuntime {
             eval_stats: EvalStats::default(),
             tick_count: 0,
             now: 0,
+            scratch: TickCtx::default(),
+            agg_scratch: TickCtx::default(),
         };
         let me = TableDecl {
             name: "me".into(),
@@ -333,12 +395,28 @@ impl OverlogRuntime {
             kind: TableKind::Materialized,
             span: Span::default(),
         };
-        rt.decls.insert("me".into(), me.clone());
-        let mut t = Table::new(me);
-        t.insert(Arc::new(vec![Value::Addr(addr)]))
+        rt.declare_table(me);
+        rt.tables[0]
+            .insert(Arc::new(vec![Value::Addr(addr)]))
             .expect("me fact matches its own declaration");
-        rt.tables.insert("me".into(), t);
         rt
+    }
+
+    /// Create the table for `d`, assigning the next dense [`TableId`]:
+    /// `ids` and `tables` grow in lockstep, so every interned name has a
+    /// table at `tid.idx()`.
+    fn declare_table(&mut self, d: TableDecl) {
+        let tid = self.ids.intern(&d.name);
+        debug_assert_eq!(
+            tid.idx(),
+            self.tables.len(),
+            "table ids are assigned in creation order"
+        );
+        if self.watch_names.contains(&d.name) {
+            self.watch_ids.insert(tid);
+        }
+        self.decls.insert(d.name.clone(), d.clone());
+        self.tables.push(Table::new(d));
     }
 
     /// This runtime's address.
@@ -392,8 +470,7 @@ impl OverlogRuntime {
                             });
                         }
                     } else {
-                        self.decls.insert(d.name.clone(), d.clone());
-                        self.tables.insert(d.name.clone(), Table::new(d.clone()));
+                        self.declare_table(d.clone());
                     }
                 }
                 Statement::Timer {
@@ -402,15 +479,13 @@ impl OverlogRuntime {
                     span,
                 } => {
                     if !self.decls.contains_key(name) {
-                        let d = TableDecl {
+                        self.declare_table(TableDecl {
                             name: name.clone(),
                             keys: None,
                             types: vec![TypeTag::Int],
                             kind: TableKind::Event,
                             span: *span,
-                        };
-                        self.decls.insert(name.clone(), d.clone());
-                        self.tables.insert(name.clone(), Table::new(d));
+                        });
                     } else {
                         let d = &self.decls[name];
                         if d.kind != TableKind::Event || d.arity() != 1 {
@@ -421,7 +496,7 @@ impl OverlogRuntime {
                         }
                     }
                     self.timers.push(TimerState {
-                        name: name.clone(),
+                        tid: self.ids.get(name).expect("timer table declared above"),
                         interval: *interval_ms,
                         next: 0,
                     });
@@ -440,7 +515,7 @@ impl OverlogRuntime {
                         span: *span,
                     });
                 }
-                self.watches.insert(table.clone());
+                self.watch(table);
             }
         }
         // Facts: constant-fold and queue.
@@ -473,8 +548,8 @@ impl OverlogRuntime {
                     row.push(eval_cexpr(&ce, &[], &self.builtins)?);
                 }
                 *self.fact_counts.entry(table.clone()).or_default() += 1;
-                self.pending
-                    .push_back(Pending::Insert(table.clone(), Arc::new(row)));
+                let tid = self.ids.get(table).expect("declared tables are interned");
+                self.pending.push_back(Pending::Insert(tid, Arc::new(row)));
             }
         }
         // Rules: append and recompile the whole plan.
@@ -482,28 +557,55 @@ impl OverlogRuntime {
         self.rule_sources.extend(prog.rules().cloned());
         match self.recompile() {
             Ok(p) => {
-                self.plan = p;
+                self.plan = Arc::new(p);
                 self.rule_stats
                     .resize(self.plan.rules.len(), RuleStats::default());
+                self.build_indexes();
                 self.sources.push(src.to_string());
                 Ok(())
             }
             Err(e) => {
                 self.rule_sources.truncate(before);
                 // Restore the previous (still valid) plan.
-                self.plan = self.recompile().expect("previous plan compiled before");
+                self.plan = Arc::new(self.recompile().expect("previous plan compiled before"));
                 Err(e)
             }
         }
     }
 
-    fn recompile(&self) -> Result<Plan> {
+    fn recompile(&mut self) -> Result<Plan> {
         plan::compile_with(
             &self.decls,
             &self.rule_sources,
             &self.fact_counts,
             self.plan_opts,
+            &mut self.ids,
         )
+    }
+
+    /// Eagerly build every secondary index the plan's scans probe, so
+    /// tick-path lookups go through `&self` (zero-copy candidate slices)
+    /// instead of creating indexes lazily under `&mut self`.
+    fn build_indexes(&mut self) {
+        let plan = Arc::clone(&self.plan);
+        for rule in plan.rules.iter() {
+            for variant in &rule.variants {
+                for op in &variant.ops {
+                    let (tid, cols) = match op {
+                        Op::Scan {
+                            tid, index_cols, ..
+                        }
+                        | Op::NegScan {
+                            tid, index_cols, ..
+                        } => (tid, index_cols),
+                        _ => continue,
+                    };
+                    if !cols.is_empty() {
+                        self.tables[tid.idx()].ensure_index(cols);
+                    }
+                }
+            }
+        }
     }
 
     /// Set the analysis-driven planner options (see
@@ -511,9 +613,11 @@ impl OverlogRuntime {
     /// untouched, so hosts can flip options mid-run to A/B the optimizer.
     pub fn set_plan_options(&mut self, opts: plan::PlanOptions) {
         self.plan_opts = opts;
-        self.plan = self.recompile().expect("loaded sources compiled before");
+        let p = self.recompile().expect("loaded sources compiled before");
+        self.plan = Arc::new(p);
         self.rule_stats
             .resize(self.plan.rules.len(), RuleStats::default());
+        self.build_indexes();
     }
 
     /// The planner options currently in effect.
@@ -523,25 +627,24 @@ impl OverlogRuntime {
 
     /// Queue an external insertion for the next tick.
     pub fn insert(&mut self, table: &str, row: Row) -> Result<()> {
-        let t = self
-            .tables
+        let tid = self
+            .ids
             .get(table)
             .ok_or_else(|| OverlogError::unknown_table(table))?;
-        t.typecheck(&row)?;
+        self.tables[tid.idx()].typecheck(&row)?;
         self.host_inserted.insert(table.to_string());
-        self.pending
-            .push_back(Pending::Insert(table.to_string(), row));
+        self.pending.push_back(Pending::Insert(tid, row));
         Ok(())
     }
 
     /// Queue an external deletion for the next tick.
     pub fn delete(&mut self, table: &str, row: Row) -> Result<()> {
-        if !self.tables.contains_key(table) {
-            return Err(OverlogError::unknown_table(table));
-        }
+        let tid = self
+            .ids
+            .get(table)
+            .ok_or_else(|| OverlogError::unknown_table(table))?;
         self.host_inserted.insert(table.to_string());
-        self.pending
-            .push_back(Pending::Delete(table.to_string(), row));
+        self.pending.push_back(Pending::Delete(tid, row));
         Ok(())
     }
 
@@ -558,25 +661,28 @@ impl OverlogRuntime {
 
     /// Borrow a table.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name)
+        self.ids.get(name).map(|tid| &self.tables[tid.idx()])
     }
 
     /// Sorted rows of a table (empty when the table is unknown).
     pub fn rows(&self, name: &str) -> Vec<Row> {
-        self.tables
-            .get(name)
+        self.table(name)
             .map(|t| t.sorted_rows())
             .unwrap_or_default()
     }
 
     /// Number of rows in a table.
     pub fn count(&self, name: &str) -> usize {
-        self.tables.get(name).map(|t| t.len()).unwrap_or(0)
+        self.table(name).map(|t| t.len()).unwrap_or(0)
     }
 
-    /// Add a watch on a table at runtime.
+    /// Add a watch on a table at runtime. Unknown names are remembered:
+    /// the watch takes effect if the table is declared later.
     pub fn watch(&mut self, table: &str) {
-        self.watches.insert(table.to_string());
+        if let Some(tid) = self.ids.get(table) {
+            self.watch_ids.insert(tid);
+        }
+        self.watch_names.insert(table.to_string());
     }
 
     /// Drain the accumulated trace, discarding the drop counter. Prefer
@@ -673,7 +779,7 @@ impl OverlogRuntime {
 
     /// Tables currently watched, sorted.
     pub fn watched_tables(&self) -> Vec<String> {
-        let mut w: Vec<String> = self.watches.iter().cloned().collect();
+        let mut w: Vec<String> = self.watch_names.iter().cloned().collect();
         w.sort();
         w
     }
@@ -744,13 +850,16 @@ impl OverlogRuntime {
     /// Execute one timestep at virtual time `now`.
     pub fn tick(&mut self, now: u64) -> Result<TickResult> {
         self.now = now;
-        let mut ctx = TickCtx::new();
+        let plan = Arc::clone(&self.plan);
+        let ntables = self.tables.len();
+        let mut ctx = std::mem::take(&mut self.scratch);
+        ctx.reset(ntables);
 
         // 1. Fire due timers.
         for t in &mut self.timers {
             if now >= t.next {
                 self.pending.push_back(Pending::Insert(
-                    t.name.clone(),
+                    t.tid,
                     Arc::new(vec![Value::Int(now as i64)]),
                 ));
                 t.next = now + t.interval;
@@ -759,45 +868,38 @@ impl OverlogRuntime {
 
         // 2. Apply externally queued work.
         let mut pre_dirty = false;
-        let work: Vec<Pending> = self.pending.drain(..).collect();
-        for p in work {
+        let mut work = std::mem::take(&mut self.pending);
+        for p in work.drain(..) {
             match p {
-                Pending::Insert(table, row) => {
-                    self.apply_insert(&table, row, false, &mut ctx)?;
+                Pending::Insert(tid, row) => {
+                    self.apply_insert(tid, row, false, &mut ctx)?;
                 }
-                Pending::Delete(table, row) => {
-                    let t = self
-                        .tables
-                        .get_mut(&table)
-                        .ok_or_else(|| OverlogError::unknown_table(table.clone()))?;
-                    if t.delete(&row) {
-                        ctx.changed_tables.insert(table.clone());
-                        self.record_trace(&table, &row, TraceOp::Delete);
-                        if self.plan.view_inputs.contains(&table) {
+                Pending::Delete(tid, row) => {
+                    if self.tables[tid.idx()].delete(&row) {
+                        ctx.changed_tables.insert(tid);
+                        self.record_trace(tid, &row, TraceOp::Delete);
+                        if plan.view_inputs.contains(tid) {
                             pre_dirty = true;
-                            ctx.shrink_dirty.insert(table.clone());
+                            ctx.shrink_dirty.insert(tid);
                         }
                     }
                 }
             }
         }
+        self.pending = work;
         if pre_dirty {
             let affected = self.affected_views(&ctx.shrink_dirty, &ctx.grow_dirty);
             self.recompute_views(&affected, &mut ctx)?;
             ctx.shrink_dirty.clear();
             ctx.grow_dirty.clear();
         }
-        // Everything queued so far is already in `added`, which seeds every
-        // stratum; drop it from `next_delta` so the first stratum's rounds
-        // don't process it twice.
-        ctx.next_delta.clear();
 
-        // 3. Stratified semi-naive fixpoint.
-        let strata: Vec<Vec<usize>> = self.plan.strata.clone();
-        for stratum in &strata {
+        // 3. Stratified semi-naive fixpoint. A round's delta for table `t`
+        // is the log slice `ctx.added[t][cursor[t]..hi[t]]` — no cloning.
+        for (stratum, stratum_delta) in plan.strata.iter().zip(&plan.strata_delta) {
             // Aggregates and body-less rules run once, at stratum entry.
             for &rid in stratum {
-                let rule = self.plan.rules[rid].clone();
+                let rule = &plan.rules[rid];
                 if rule.aggregate {
                     // Inductive aggregates (event-fed, materialized head)
                     // run after the fixpoint: their outputs only become
@@ -807,100 +909,119 @@ impl OverlogRuntime {
                         continue;
                     }
                     let inputs_changed = rule
-                        .positive_tables
+                        .positive_tids
                         .iter()
-                        .any(|t| ctx.changed_tables.contains(t));
+                        .any(|t| ctx.changed_tables.contains(*t));
                     if inputs_changed {
-                        self.eval_aggregate(&rule, &mut ctx)?;
+                        self.eval_aggregate(rule, &mut ctx)?;
                     }
                 } else if rule.variants[0].delta_pred.is_none() {
                     let t0 = std::time::Instant::now();
                     let (rows, sups) =
-                        self.eval_variant(&rule, &rule.variants[0], None, &mut ctx)?;
-                    self.dispatch(&rule, rows, sups, &mut ctx)?;
+                        self.eval_variant(rule, &rule.variants[0], None, &mut ctx.eval)?;
+                    self.dispatch(rule, rows, sups, &mut ctx)?;
                     self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
                 }
             }
-            // Seed the stratum with everything added so far this tick.
-            ctx.round_delta = ctx.added.clone();
+            // Seed the stratum with everything added so far this tick:
+            // rewinding the cursors makes the whole log the first delta.
+            // Rounds are driven by the plan's delta index: only the tables
+            // some variant in this stratum consumes can extend the
+            // fixpoint (rows logged for any other table are invisible
+            // here and are picked up by later strata, which rewind the
+            // cursors again), so `hi`/`cursor` maintenance and the
+            // dirty-check touch just those tables, and only the variants
+            // whose delta slice is non-empty run — sorted back to the
+            // `(rule id, variant)` sweep order so derivation order (and
+            // with it key-overwrite conflict resolution) is unchanged.
+            ctx.cursor.iter_mut().for_each(|c| *c = 0);
             loop {
-                let current = std::mem::take(&mut ctx.round_delta);
-                if current.values().all(|v| v.is_empty()) {
+                let mut any = false;
+                for (t, _) in stratum_delta {
+                    ctx.hi[*t] = ctx.added[*t].len();
+                    any |= ctx.cursor[*t] < ctx.hi[*t];
+                }
+                if !any {
                     break;
                 }
                 self.eval_stats.fixpoint_rounds += 1;
-                for &rid in stratum {
-                    let rule = self.plan.rules[rid].clone();
-                    if rule.aggregate {
-                        continue;
-                    }
-                    for variant in &rule.variants {
-                        let Some(d) = variant.delta_pred else {
-                            continue;
-                        };
-                        let dtable = &rule.positive_tables[d];
-                        let Some(delta_rows) = current.get(dtable) else {
-                            continue;
-                        };
-                        if delta_rows.is_empty() {
-                            continue;
-                        }
-                        let delta_rows = delta_rows.clone();
-                        self.rule_stats[rid].delta_in += delta_rows.len() as u64;
-                        let t0 = std::time::Instant::now();
-                        let (rows, sups) =
-                            self.eval_variant(&rule, variant, Some(&delta_rows), &mut ctx)?;
-                        self.dispatch(&rule, rows, sups, &mut ctx)?;
-                        self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
+                ctx.pairs.clear();
+                for (t, variants) in stratum_delta {
+                    if ctx.cursor[*t] < ctx.hi[*t] {
+                        ctx.pairs
+                            .extend(variants.iter().map(|&(rid, vi)| (rid, vi, *t)));
                     }
                 }
-                // Aggregates whose inputs changed within this stratum's
-                // rounds cannot exist (strictly lower strata), so only
-                // non-aggregate next_delta carries over.
-                ctx.round_delta = std::mem::take(&mut ctx.next_delta);
+                ctx.pairs.sort_unstable();
+                let mut pairs = std::mem::take(&mut ctx.pairs);
+                for &(rid, vi, dt) in &pairs {
+                    let rule = &plan.rules[rid];
+                    let variant = &rule.variants[vi];
+                    let (lo, hi) = (ctx.cursor[dt], ctx.hi[dt]);
+                    self.rule_stats[rid].delta_in += (hi - lo) as u64;
+                    // Delta-gate: if every delta row fails the scheduled
+                    // delta scan's literal checks, the evaluation cannot
+                    // derive anything — skip the call (see
+                    // [`Variant::delta_gate`]).
+                    if !variant.delta_gate.is_empty()
+                        && ctx.added[dt][lo..hi]
+                            .iter()
+                            .all(|r| variant.delta_gate.iter().any(|(i, v)| r[*i] != *v))
+                    {
+                        continue;
+                    }
+                    let t0 = std::time::Instant::now();
+                    let (rows, sups) = self.eval_variant(
+                        rule,
+                        variant,
+                        Some(&ctx.added[dt][lo..hi]),
+                        &mut ctx.eval,
+                    )?;
+                    self.dispatch(rule, rows, sups, &mut ctx)?;
+                    self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
+                }
+                pairs.clear();
+                ctx.pairs = pairs;
+                // Rows appended during this round (beyond the `hi`
+                // snapshot) become the next round's delta.
+                for (t, _) in stratum_delta {
+                    ctx.cursor[*t] = ctx.hi[*t];
+                }
             }
         }
 
         // 3b. Inductive aggregates, now that all event derivations settled.
-        let agg_rules: Vec<_> = self
-            .plan
-            .rules
-            .iter()
-            .filter(|r| r.aggregate && r.inductive)
-            .cloned()
-            .collect();
-        for rule in agg_rules {
+        for rule in plan.rules.iter().filter(|r| r.aggregate && r.inductive) {
             let inputs_changed = rule
-                .positive_tables
+                .positive_tids
                 .iter()
-                .any(|t| ctx.changed_tables.contains(t));
+                .any(|t| ctx.changed_tables.contains(*t));
             if inputs_changed {
-                self.eval_aggregate(&rule, &mut ctx)?;
+                self.eval_aggregate(rule, &mut ctx)?;
             }
         }
 
         // 4. Apply deferred deletions.
         let mut deletions = 0usize;
         let deferred = std::mem::take(&mut ctx.deferred_deletes);
-        let mut seen: HashSet<(String, Row)> = HashSet::new();
-        for (table, row) in deferred {
-            if !seen.insert((table.clone(), row.clone())) {
+        for (tid, row) in &deferred {
+            if !ctx.delete_seen.insert((*tid, row.clone())) {
                 continue;
             }
-            if let Some(t) = self.tables.get_mut(&table) {
-                if t.delete(&row) {
-                    deletions += 1;
-                    self.record_trace(&table, &row, TraceOp::Delete);
-                    if self.plan.view_inputs.contains(&table) {
-                        ctx.shrink_dirty.insert(table.clone());
-                    }
+            if self.tables[tid.idx()].delete(row) {
+                deletions += 1;
+                self.record_trace(*tid, row, TraceOp::Delete);
+                if plan.view_inputs.contains(*tid) {
+                    ctx.shrink_dirty.insert(*tid);
                 }
             }
         }
+        ctx.deferred_deletes = deferred;
 
-        // 5. Clear event tables.
-        for t in self.tables.values_mut() {
-            if t.is_event() {
+        // 5. Clear event tables (skipping the untouched ones: `clear` on a
+        // pooled hash map costs its capacity, not its length).
+        for t in &mut self.tables {
+            if t.is_event() && !t.is_empty() {
                 t.clear();
             }
         }
@@ -914,81 +1035,69 @@ impl OverlogRuntime {
         }
 
         // 7. Queue inductive insertions for the next tick.
-        for (table, row) in std::mem::take(&mut ctx.deferred_inserts) {
-            self.pending.push_back(Pending::Insert(table, row));
+        for (tid, row) in ctx.deferred_inserts.drain(..) {
+            self.pending.push_back(Pending::Insert(tid, row));
         }
 
         self.tick_count += 1;
         self.eval_stats.ticks += 1;
         for send in &ctx.outbox {
-            self.record_trace(&send.table, &send.row, TraceOp::Send);
+            if let Some(tid) = self.ids.get(&send.table) {
+                self.record_trace(tid, &send.row, TraceOp::Send);
+            }
         }
-        Ok(TickResult {
+        let result = TickResult {
             sends: std::mem::take(&mut ctx.outbox),
             derivations: ctx.derivations,
             deletions,
             views_recomputed,
-        })
+        };
+        // Return the workspace to the pool so next tick reuses its buffers.
+        self.scratch = ctx;
+        Ok(result)
     }
 
     /// Insert a derived or external row into a local table; reports
     /// whether the insert was new, a key-overwrite, or a duplicate.
     fn apply_insert(
         &mut self,
-        table: &str,
+        tid: TableId,
         row: Row,
         from_view_rule: bool,
         ctx: &mut TickCtx,
     ) -> Result<InsertOutcome> {
-        let t = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| OverlogError::unknown_table(table))?;
+        let t = &mut self.tables[tid.idx()];
         // Deltas must hold exactly what the table holds (Addr coercion).
         let row = t.coerce(row);
         let outcome = t.insert(row.clone())?;
         match &outcome {
             InsertOutcome::New => {
-                ctx.added
-                    .entry(table.to_string())
-                    .or_default()
-                    .push(row.clone());
-                ctx.next_delta
-                    .entry(table.to_string())
-                    .or_default()
-                    .push(row.clone());
-                ctx.changed_tables.insert(table.to_string());
-                self.record_trace(table, &row, TraceOp::Insert);
+                ctx.added[tid.idx()].push(row.clone());
+                ctx.changed_tables.insert(tid);
+                self.record_trace(tid, &row, TraceOp::Insert);
                 // Negation is non-monotone: growing a table that appears
                 // negated in a view rule can retract view tuples, so it
                 // dirties views exactly like a deletion would — even when
                 // the insert itself came from a view rule (one view can
                 // feed another's negation).
-                if self.plan.neg_view_inputs.contains(table) {
-                    ctx.grow_dirty.insert(table.to_string());
+                if self.plan.neg_view_inputs.contains(tid) {
+                    ctx.grow_dirty.insert(tid);
                 }
             }
             InsertOutcome::Replaced(_old) => {
-                ctx.added
-                    .entry(table.to_string())
-                    .or_default()
-                    .push(row.clone());
-                ctx.next_delta
-                    .entry(table.to_string())
-                    .or_default()
-                    .push(row.clone());
-                ctx.changed_tables.insert(table.to_string());
-                self.record_trace(table, &row, TraceOp::Insert);
+                ctx.added[tid.idx()].push(row.clone());
+                ctx.changed_tables.insert(tid);
+                self.record_trace(tid, &row, TraceOp::Insert);
                 // A key-overwrite removes a tuple other derivations may have
                 // consumed: views over this table must be rebuilt — unless
                 // the overwrite came from a view rule itself (aggregates
                 // refreshing their groups), which is self-consistent.
                 // Negated inputs dirty unconditionally (see above).
-                if !from_view_rule && self.plan.view_inputs.contains(table) {
-                    ctx.shrink_dirty.insert(table.to_string());
+                if !from_view_rule && self.plan.view_inputs.contains(tid) {
+                    ctx.shrink_dirty.insert(tid);
                 }
-                if self.plan.neg_view_inputs.contains(table) {
-                    ctx.grow_dirty.insert(table.to_string());
+                if self.plan.neg_view_inputs.contains(tid) {
+                    ctx.grow_dirty.insert(tid);
                 }
             }
             InsertOutcome::Duplicate => {}
@@ -996,8 +1105,8 @@ impl OverlogRuntime {
         Ok(outcome)
     }
 
-    fn record_trace(&mut self, table: &str, row: &Row, op: TraceOp) {
-        if self.trace_all || self.watches.contains(table) {
+    fn record_trace(&mut self, tid: TableId, row: &Row, op: TraceOp) {
+        if self.trace_all || self.watch_ids.contains(tid) {
             if self.trace.len() >= self.trace_cap {
                 self.trace.pop_front();
                 self.trace_dropped += 1;
@@ -1005,7 +1114,7 @@ impl OverlogRuntime {
             self.trace.push_back(TraceEvent {
                 tick: self.tick_count,
                 time: self.now,
-                table: table.to_string(),
+                table: self.ids.name(tid).to_string(),
                 row: row.clone(),
                 op,
             });
@@ -1018,7 +1127,7 @@ impl OverlogRuntime {
         if !self.prov_on {
             return;
         }
-        let key = (rule.head_table.clone(), row.clone());
+        let key = (rule.head_tid, row.clone());
         if self.prov_seen.contains(&key) {
             return;
         }
@@ -1064,7 +1173,7 @@ impl OverlogRuntime {
             if rule.delete {
                 ctx.derivations += 1;
                 self.rule_stats[rule.id].fires += 1;
-                ctx.deferred_deletes.push((rule.head_table.clone(), row));
+                ctx.deferred_deletes.push((rule.head_tid, row));
                 continue;
             }
             if let Some(loc) = rule.head_loc {
@@ -1080,10 +1189,7 @@ impl OverlogRuntime {
                 if dest != self.addr {
                     // Set semantics: ship each distinct remote tuple once
                     // per tick, even if semi-naive re-derives it.
-                    if ctx
-                        .sent
-                        .insert((dest.clone(), rule.head_table.clone(), row.clone()))
-                    {
+                    if ctx.sent.insert((dest.clone(), rule.head_tid, row.clone())) {
                         ctx.derivations += 1;
                         self.rule_stats[rule.id].fires += 1;
                         self.record_prov(rule, &row, inputs);
@@ -1100,18 +1206,18 @@ impl OverlogRuntime {
                 // Dedalus-style induction: the update lands at the start of
                 // the next timestep, so this tick's rules all read a
                 // consistent pre-state.
-                let key = (rule.head_table.clone(), row.clone());
+                let key = (rule.head_tid, row.clone());
                 if ctx.deferred_seen.insert(key) {
                     ctx.derivations += 1;
                     self.rule_stats[rule.id].fires += 1;
                     self.record_prov(rule, &row, inputs);
-                    ctx.deferred_inserts.push((rule.head_table.clone(), row));
+                    ctx.deferred_inserts.push((rule.head_tid, row));
                 }
                 continue;
             }
             // Effectiveness comes straight from the insert outcome: a new
             // row or a key-overwrite fires the rule, a duplicate does not.
-            let outcome = self.apply_insert(&rule.head_table, row.clone(), rule.is_view, ctx)?;
+            let outcome = self.apply_insert(rule.head_tid, row.clone(), rule.is_view, ctx)?;
             if !matches!(outcome, InsertOutcome::Duplicate) {
                 ctx.derivations += 1;
                 self.rule_stats[rule.id].fires += 1;
@@ -1126,16 +1232,22 @@ impl OverlogRuntime {
     ///
     /// `delta_rows == None` makes the delta predicate read its full table
     /// (used for body-less variants, aggregates, and view recomputation).
+    /// Takes `&self` — indexes are prebuilt, so the delta slice can borrow
+    /// the tick context while tables are probed in place. `scratch` holds
+    /// the pooled environment and probe-key buffers: most evaluations
+    /// derive nothing, and with pooling they allocate nothing either.
     #[allow(clippy::type_complexity)]
     fn eval_variant(
-        &mut self,
+        &self,
         rule: &CompiledRule,
         variant: &Variant,
         delta_rows: Option<&[Row]>,
-        _ctx: &mut TickCtx,
+        scratch: &mut EvalScratch,
     ) -> Result<(Vec<Row>, Option<Vec<Vec<(String, Row)>>>)> {
         let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
-        let mut env = vec![None; rule.nslots];
+        let EvalScratch { env, probe_vals } = scratch;
+        env.clear();
+        env.resize(rule.nslots, None);
         let mut sup = SupportSink::new(self.prov_on);
         self.exec_ops(
             rule,
@@ -1143,9 +1255,10 @@ impl OverlogRuntime {
             0,
             variant.delta_pred,
             delta_rows,
-            &mut env,
+            env,
             &mut envs,
             &mut sup,
+            probe_vals,
         )?;
         // Project heads (non-aggregate rules only reach here).
         let mut out = Vec::with_capacity(envs.len());
@@ -1173,9 +1286,11 @@ impl OverlogRuntime {
     }
 
     /// Recursive nested-loop execution of a scheduled op sequence.
+    /// `probe_vals` is a shared probe-key scratch buffer: every index
+    /// probe refills it in place instead of allocating a fresh `Vec`.
     #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
     fn exec_ops(
-        &mut self,
+        &self,
         rule: &CompiledRule,
         ops: &[Op],
         oi: usize,
@@ -1184,6 +1299,7 @@ impl OverlogRuntime {
         env: &mut Vec<Option<Value>>,
         out: &mut Vec<Vec<Option<Value>>>,
         sup: &mut SupportSink,
+        probe_vals: &mut Vec<Value>,
     ) -> Result<()> {
         if oi == ops.len() {
             out.push(env.clone());
@@ -1196,48 +1312,92 @@ impl OverlogRuntime {
             Op::Assign(slot, e) => {
                 let v = eval_cexpr(e, env, &self.builtins)?;
                 let prev = env[*slot].replace(v);
-                self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out, sup)?;
+                self.exec_ops(
+                    rule,
+                    ops,
+                    oi + 1,
+                    delta_pred,
+                    delta_rows,
+                    env,
+                    out,
+                    sup,
+                    probe_vals,
+                )?;
                 env[*slot] = prev;
                 Ok(())
             }
             Op::Filter(e) => {
                 if eval_cexpr(e, env, &self.builtins)?.truthy() {
-                    self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out, sup)?;
+                    self.exec_ops(
+                        rule,
+                        ops,
+                        oi + 1,
+                        delta_pred,
+                        delta_rows,
+                        env,
+                        out,
+                        sup,
+                        probe_vals,
+                    )?;
                 }
                 Ok(())
             }
-            Op::NegScan { table, pats } => {
-                let matched = self.probe(table, pats, env)?;
+            Op::NegScan {
+                tid,
+                pats,
+                index_cols,
+                const_checks,
+            } => {
+                let matched = self.probe(*tid, index_cols, pats, const_checks, env, probe_vals)?;
                 if !matched {
-                    self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out, sup)?;
+                    self.exec_ops(
+                        rule,
+                        ops,
+                        oi + 1,
+                        delta_pred,
+                        delta_rows,
+                        env,
+                        out,
+                        sup,
+                        probe_vals,
+                    )?;
                 }
                 Ok(())
             }
             Op::Scan {
-                table,
+                tid,
                 pred_idx,
                 pats,
+                index_cols,
+                bind_slots,
+                const_checks,
             } => {
                 let use_delta = delta_pred == Some(*pred_idx) && delta_rows.is_some();
-                let candidates: Vec<Row> = if use_delta {
-                    delta_rows.expect("use_delta implies delta_rows").to_vec()
+                // Candidates are borrowed — a delta slice, an index bucket,
+                // or the full table — never cloned into a scratch vector.
+                // `exact` marks rows proven equal to the probe key on every
+                // indexed column, whose checks can therefore be skipped.
+                let (candidates, exact) = if use_delta {
+                    (
+                        Candidates::Slice(delta_rows.expect("use_delta implies delta_rows").iter()),
+                        false,
+                    )
                 } else {
-                    self.candidates(table, pats, env)?
+                    self.candidates(*tid, index_cols, pats, env, probe_vals)?
                 };
-                // Slots bound by this op (for check-vs-bind separation and
-                // backtracking).
-                let bind_slots: Vec<usize> = pats
-                    .iter()
-                    .filter_map(|p| match p {
-                        Pat::Bind(s) => Some(*s),
-                        _ => None,
-                    })
-                    .collect();
-                for row in candidates {
+                'rows: for row in candidates {
                     if row.len() != pats.len() {
                         continue;
                     }
-                    // Bind first, then check (duplicate-variable patterns
+                    // Literal checks first: reject a non-matching row with
+                    // direct comparisons before touching the environment
+                    // (comparing the literal equals evaluating its `Lit`).
+                    for (i, v) in const_checks {
+                        if row[*i] != *v {
+                            continue 'rows;
+                        }
+                    }
+                    // Bind, then check (duplicate-variable patterns
                     // reference same-row binds).
                     for (val, pat) in row.iter().zip(pats) {
                         if let Pat::Bind(slot) = pat {
@@ -1245,8 +1405,11 @@ impl OverlogRuntime {
                         }
                     }
                     let mut ok = true;
-                    for (val, pat) in row.iter().zip(pats) {
+                    for (i, (val, pat)) in row.iter().zip(pats).enumerate() {
                         if let Pat::Check(e) = pat {
+                            if matches!(e, CExpr::Lit(_)) || (exact && index_cols.contains(&i)) {
+                                continue;
+                            }
                             if eval_cexpr(e, env, &self.builtins)? != *val {
                                 ok = false;
                                 break;
@@ -1255,14 +1418,24 @@ impl OverlogRuntime {
                     }
                     if ok {
                         if sup.enabled {
-                            sup.cur.push((table.clone(), row.clone()));
+                            sup.cur.push((self.ids.name(*tid).to_string(), row.clone()));
                         }
-                        self.exec_ops(rule, ops, oi + 1, delta_pred, delta_rows, env, out, sup)?;
+                        self.exec_ops(
+                            rule,
+                            ops,
+                            oi + 1,
+                            delta_pred,
+                            delta_rows,
+                            env,
+                            out,
+                            sup,
+                            probe_vals,
+                        )?;
                         if sup.enabled {
                             sup.cur.pop();
                         }
                     }
-                    for s in &bind_slots {
+                    for s in bind_slots {
                         env[*s] = None;
                     }
                 }
@@ -1271,41 +1444,68 @@ impl OverlogRuntime {
         }
     }
 
-    /// Candidate rows for a scan, using a maintained index when any check
-    /// column is evaluable from the current environment.
-    fn candidates(&mut self, table: &str, pats: &[Pat], env: &[Option<Value>]) -> Result<Vec<Row>> {
-        let mut cols = Vec::new();
-        let mut vals = Vec::new();
-        for (i, p) in pats.iter().enumerate() {
-            if let Pat::Check(e) = p {
-                if cexpr_bound(e, env) {
-                    cols.push(i);
-                    vals.push(eval_cexpr(e, env, &self.builtins)?);
-                }
-            }
+    /// Candidate rows for a scan: the prebuilt index over the plan's
+    /// statically-bound check columns, or a full scan when there are none.
+    /// The flag is true when the rows are an exact-match index bucket for
+    /// an *uncoerced* probe — every indexed column of every returned row
+    /// is already known equal to its check expression, so the caller can
+    /// skip rechecking those columns. A coerced probe (`Str` widened to
+    /// `Addr`) is excluded: the recheck compares the uncoerced value and
+    /// is the binding semantics.
+    fn candidates(
+        &self,
+        tid: TableId,
+        index_cols: &[usize],
+        pats: &[Pat],
+        env: &[Option<Value>],
+        vals: &mut Vec<Value>,
+    ) -> Result<(Candidates<'_>, bool)> {
+        let t = &self.tables[tid.idx()];
+        if index_cols.is_empty() {
+            return Ok((t.all_candidates(), false));
         }
-        let t = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| OverlogError::unknown_table(table))?;
-        Ok(if cols.is_empty() {
-            t.scan().cloned().collect()
-        } else {
-            t.lookup(&cols, &vals)
-        })
+        vals.clear();
+        for &i in index_cols {
+            let Pat::Check(e) = &pats[i] else {
+                return Err(OverlogError::Eval(
+                    "internal: index column is not a check pattern".into(),
+                ));
+            };
+            vals.push(eval_cexpr(e, env, &self.builtins)?);
+        }
+        let coerced = t.coerce_probe(index_cols, vals);
+        let (cands, bucket) = t.candidates(index_cols, vals);
+        Ok((cands, bucket && !coerced))
     }
 
     /// Does any row match the (fully-bound) patterns?
-    fn probe(&mut self, table: &str, pats: &[Pat], env: &[Option<Value>]) -> Result<bool> {
-        let rows = self.candidates(table, pats, env)?;
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        &self,
+        tid: TableId,
+        index_cols: &[usize],
+        pats: &[Pat],
+        const_checks: &[(usize, Value)],
+        env: &[Option<Value>],
+        vals: &mut Vec<Value>,
+    ) -> Result<bool> {
+        let (rows, exact) = self.candidates(tid, index_cols, pats, env, vals)?;
         'row: for row in rows {
             if row.len() != pats.len() {
                 continue;
             }
-            for (val, pat) in row.iter().zip(pats) {
+            for (i, v) in const_checks {
+                if row[*i] != *v {
+                    continue 'row;
+                }
+            }
+            for (i, (val, pat)) in row.iter().zip(pats).enumerate() {
                 match pat {
                     Pat::Wild => {}
                     Pat::Check(e) => {
+                        if matches!(e, CExpr::Lit(_)) || (exact && index_cols.contains(&i)) {
+                            continue;
+                        }
                         if eval_cexpr(e, env, &self.builtins)? != *val {
                             continue 'row;
                         }
@@ -1328,7 +1528,9 @@ impl OverlogRuntime {
         let t0 = std::time::Instant::now();
         let variant = &rule.variants[0];
         let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
-        let mut env = vec![None; rule.nslots];
+        let EvalScratch { env, probe_vals } = &mut ctx.eval;
+        env.clear();
+        env.resize(rule.nslots, None);
         // Aggregate provenance records empty inputs: the support of a fold
         // is the whole group, not a single join path.
         let mut sup = SupportSink::new(false);
@@ -1338,9 +1540,10 @@ impl OverlogRuntime {
             0,
             None,
             None,
-            &mut env,
+            env,
             &mut envs,
             &mut sup,
+            probe_vals,
         )?;
 
         #[derive(Clone)]
@@ -1352,7 +1555,7 @@ impl OverlogRuntime {
             Avg(f64, i64),
             Set(std::collections::BTreeSet<Value>),
         }
-        let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+        let mut groups: FxHashMap<Vec<Value>, Vec<Acc>> = FxHashMap::default();
         for env in &envs {
             let mut key = Vec::new();
             for arg in &rule.head_args {
@@ -1464,20 +1667,20 @@ impl OverlogRuntime {
     /// closure intersects the dirty set are affected — and growth skips
     /// the CALM-certified monotonic views entirely, because insertions
     /// were already propagated incrementally by the delta path.
-    fn affected_views(&self, shrink: &HashSet<String>, grow: &HashSet<String>) -> HashSet<String> {
+    fn affected_views(&self, shrink: &IdSet, grow: &IdSet) -> IdSet {
         if shrink.is_empty() && grow.is_empty() {
-            return HashSet::new();
+            return IdSet::new();
         }
         if !self.plan.options.scoped_views {
             return self.plan.view_tables.clone();
         }
-        let mut out = HashSet::new();
-        for (v, deps) in &self.plan.view_deps {
-            let shrunk = shrink.contains(v) || deps.iter().any(|d| shrink.contains(d));
+        let mut out = IdSet::new();
+        for (&v, deps) in &self.plan.view_deps {
+            let shrunk = shrink.contains(v) || deps.intersects(shrink);
             let grown = !self.plan.monotonic_views.contains(v)
-                && (grow.contains(v) || deps.iter().any(|d| grow.contains(d)));
+                && (grow.contains(v) || deps.intersects(grow));
             if shrunk || grown {
-                out.insert(v.clone());
+                out.insert(v);
             }
         }
         out
@@ -1485,72 +1688,77 @@ impl OverlogRuntime {
 
     /// Clear the `affected` view tables and re-derive them, treating every
     /// other materialized table (bases *and* unaffected views) as stable
-    /// seed state.
-    fn recompute_views(&mut self, affected: &HashSet<String>, ctx: &mut TickCtx) -> Result<()> {
+    /// seed state. Uses the same cursor-over-log delta representation as
+    /// `tick`, local to this call.
+    fn recompute_views(&mut self, affected: &IdSet, ctx: &mut TickCtx) -> Result<()> {
         self.eval_stats.view_recomputes += 1;
-        for v in affected {
-            if let Some(t) = self.tables.get_mut(v) {
-                t.clear();
-            }
+        for v in affected.iter() {
+            self.tables[v.idx()].clear();
         }
+        let plan = Arc::clone(&self.plan);
+        let ntables = self.tables.len();
         // Seed: full contents of every materialized table that is not
         // being rebuilt *and* is actually consumed by an affected rule's
         // positive body. Negated bodies and aggregate inputs read the live
         // tables directly, so they need no seed rows; everything else is
-        // dead weight in the delta maps.
-        let mut needed: HashSet<&str> = HashSet::new();
-        for rule in self.plan.rules.iter() {
-            if rule.is_view && !rule.aggregate && affected.contains(&rule.head_table) {
-                for t in &rule.positive_tables {
-                    needed.insert(t.as_str());
+        // dead weight in the delta logs.
+        let mut needed = IdSet::new();
+        for rule in plan.rules.iter() {
+            if rule.is_view && !rule.aggregate && affected.contains(rule.head_tid) {
+                for t in &rule.positive_tids {
+                    needed.insert(*t);
                 }
             }
         }
-        let mut delta: HashMap<String, Vec<Row>> = HashMap::new();
-        for (name, t) in &self.tables {
-            if t.is_event() || affected.contains(name) || !needed.contains(name.as_str()) {
+        let mut added: Vec<Vec<Row>> = vec![Vec::new(); ntables];
+        let mut cursor = vec![0usize; ntables];
+        let mut hi = vec![0usize; ntables];
+        for (i, t) in self.tables.iter().enumerate() {
+            let tid = TableId(i as u32);
+            if t.is_event() || affected.contains(tid) || !needed.contains(tid) {
                 continue;
             }
-            if !t.is_empty() {
-                delta.insert(name.clone(), t.scan().cloned().collect());
-            }
+            added[i].extend(t.scan().cloned());
         }
-        let strata: Vec<Vec<usize>> = self.plan.strata.clone();
-        let mut added: HashMap<String, Vec<Row>> = delta;
-        for stratum in &strata {
+        for stratum in &plan.strata {
             for &rid in stratum {
-                let rule = self.plan.rules[rid].clone();
-                if rule.is_view && rule.aggregate && affected.contains(&rule.head_table) {
+                let rule = &plan.rules[rid];
+                if rule.is_view && rule.aggregate && affected.contains(rule.head_tid) {
                     // Recompute into the cleared table.
-                    self.eval_agg_into(&rule, &mut added, ctx)?;
+                    self.eval_agg_into(rule, &mut added, ctx)?;
                 }
             }
-            let mut round: HashMap<String, Vec<Row>> = added.clone();
+            // Reseed each stratum with the cumulative log, as in `tick`.
+            cursor.iter_mut().for_each(|c| *c = 0);
             loop {
-                if round.values().all(|v| v.is_empty()) {
+                let mut any = false;
+                for t in 0..ntables {
+                    hi[t] = added[t].len();
+                    any |= cursor[t] < hi[t];
+                }
+                if !any {
                     break;
                 }
-                let current = std::mem::take(&mut round);
-                let mut next: HashMap<String, Vec<Row>> = HashMap::new();
                 for &rid in stratum {
-                    let rule = self.plan.rules[rid].clone();
-                    if !rule.is_view || rule.aggregate || !affected.contains(&rule.head_table) {
+                    let rule = &plan.rules[rid];
+                    if !rule.is_view || rule.aggregate || !affected.contains(rule.head_tid) {
                         continue;
                     }
                     for variant in &rule.variants {
                         let Some(d) = variant.delta_pred else {
                             continue;
                         };
-                        let dtable = &rule.positive_tables[d];
-                        let Some(delta_rows) = current.get(dtable) else {
-                            continue;
-                        };
-                        if delta_rows.is_empty() {
+                        let dt = rule.positive_tids[d].idx();
+                        let (lo, h) = (cursor[dt], hi[dt]);
+                        if lo == h {
                             continue;
                         }
-                        let delta_rows = delta_rows.clone();
-                        let (rows, sups) =
-                            self.eval_variant(&rule, variant, Some(&delta_rows), ctx)?;
+                        let (rows, sups) = self.eval_variant(
+                            rule,
+                            variant,
+                            Some(&added[dt][lo..h]),
+                            &mut ctx.eval,
+                        )?;
                         for (i, row) in rows.into_iter().enumerate() {
                             ctx.derivations += 1;
                             if ctx.derivations > self.budget {
@@ -1558,29 +1766,22 @@ impl OverlogRuntime {
                                     "derivation budget exceeded during view recomputation".into(),
                                 ));
                             }
-                            let t = self.tables.get_mut(&rule.head_table).ok_or_else(|| {
-                                OverlogError::unknown_table(rule.head_table.clone())
-                            })?;
-                            match t.insert(row.clone())? {
+                            match self.tables[rule.head_tid.idx()].insert(row.clone())? {
                                 InsertOutcome::New | InsertOutcome::Replaced(_) => {
                                     let inputs: &[(String, Row)] = sups
                                         .as_ref()
                                         .and_then(|s| s.get(i))
                                         .map(|v| v.as_slice())
                                         .unwrap_or(&[]);
-                                    self.record_prov(&rule, &row, inputs);
-                                    added
-                                        .entry(rule.head_table.clone())
-                                        .or_default()
-                                        .push(row.clone());
-                                    next.entry(rule.head_table.clone()).or_default().push(row);
+                                    self.record_prov(rule, &row, inputs);
+                                    added[rule.head_tid.idx()].push(row);
                                 }
                                 InsertOutcome::Duplicate => {}
                             }
                         }
                     }
                 }
-                round = next;
+                cursor.copy_from_slice(&hi);
             }
         }
         Ok(())
@@ -1590,27 +1791,21 @@ impl OverlogRuntime {
     fn eval_agg_into(
         &mut self,
         rule: &CompiledRule,
-        added: &mut HashMap<String, Vec<Row>>,
+        added: &mut [Vec<Row>],
         ctx: &mut TickCtx,
     ) -> Result<()> {
-        // Reuse eval_aggregate but capture its insertions via a fresh ctx.
-        let mut sub = TickCtx::new();
+        // Reuse eval_aggregate but capture its insertions via the pooled
+        // sub-context (a fresh `TickCtx` per recompute would re-allocate
+        // every per-table buffer each time a view aggregate rebuilds).
+        let mut sub = std::mem::take(&mut self.agg_scratch);
+        sub.reset(self.tables.len());
         self.eval_aggregate(rule, &mut sub)?;
         ctx.derivations += sub.derivations;
-        for (t, rows) in sub.added {
-            added.entry(t).or_default().extend(rows);
+        for (i, rows) in sub.added.iter_mut().enumerate() {
+            added[i].append(rows);
         }
+        self.agg_scratch = sub;
         Ok(())
-    }
-}
-
-fn cexpr_bound(e: &CExpr, env: &[Option<Value>]) -> bool {
-    match e {
-        CExpr::Lit(_) => true,
-        CExpr::Slot(s) => env.get(*s).map(|v| v.is_some()).unwrap_or(false),
-        CExpr::Binary(_, a, b) => cexpr_bound(a, env) && cexpr_bound(b, env),
-        CExpr::Unary(_, a) => cexpr_bound(a, env),
-        CExpr::Call(_, args) | CExpr::List(args) => args.iter().all(|a| cexpr_bound(a, env)),
     }
 }
 

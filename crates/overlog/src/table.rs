@@ -3,9 +3,9 @@
 
 use crate::ast::{TableDecl, TableKind};
 use crate::error::{OverlogError, Result};
+use crate::fx::FxHashMap;
 use crate::value::{Row, Value};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
 /// Outcome of inserting a row into a table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +19,34 @@ pub enum InsertOutcome {
     Duplicate,
 }
 
+/// Borrowed candidate rows for a scan: either one index bucket or the
+/// whole table. Lets the evaluator iterate join candidates without
+/// cloning them into a `Vec<Row>` first (the zero-copy hot path).
+pub enum Candidates<'a> {
+    /// Rows of one secondary-index bucket (or a delta slice).
+    Slice(std::slice::Iter<'a, Row>),
+    /// Every stored row (full scan).
+    All(std::collections::hash_map::Values<'a, Vec<Value>, Row>),
+}
+
+impl<'a> Iterator for Candidates<'a> {
+    type Item = &'a Row;
+
+    fn next(&mut self) -> Option<&'a Row> {
+        match self {
+            Candidates::Slice(it) => it.next(),
+            Candidates::All(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Candidates::Slice(it) => it.size_hint(),
+            Candidates::All(it) => it.size_hint(),
+        }
+    }
+}
+
 /// One stored relation.
 ///
 /// Rows are stored in a primary-key map (`keys(...)` columns from the
@@ -28,8 +56,8 @@ pub enum InsertOutcome {
 #[derive(Debug)]
 pub struct Table {
     def: TableDecl,
-    rows: HashMap<Vec<Value>, Row>,
-    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<Row>>>,
+    rows: FxHashMap<Vec<Value>, Row>,
+    indexes: FxHashMap<Vec<usize>, FxHashMap<Vec<Value>, Vec<Row>>>,
 }
 
 impl Table {
@@ -37,8 +65,8 @@ impl Table {
     pub fn new(def: TableDecl) -> Self {
         Table {
             def,
-            rows: HashMap::new(),
-            indexes: HashMap::new(),
+            rows: FxHashMap::default(),
+            indexes: FxHashMap::default(),
         }
     }
 
@@ -201,32 +229,69 @@ impl Table {
         v
     }
 
-    /// Ensure a secondary index over `cols` exists, then return matches for
-    /// `vals`. Full-scan fallback is never needed: an empty `cols` means the
-    /// caller should use [`Table::scan`].
-    pub fn lookup(&mut self, cols: &[usize], vals: &[Value]) -> Vec<Row> {
+    /// Build the secondary index over `cols` if it does not exist yet.
+    /// The evaluator calls this eagerly for every index the plan's join
+    /// analysis says a scan will probe, so [`Table::lookup`] works through
+    /// `&self` on the hot path.
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        debug_assert!(!cols.is_empty());
+        if self.indexes.contains_key(cols) {
+            return;
+        }
+        let mut idx: FxHashMap<Vec<Value>, Vec<Row>> = FxHashMap::default();
+        for row in self.rows.values() {
+            let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            idx.entry(k).or_default().push(row.clone());
+        }
+        self.indexes.insert(cols.to_vec(), idx);
+    }
+
+    /// Coerce index probe values in place to declared column types (`Addr`
+    /// columns match string probes), mirroring `insert`. Returns true when
+    /// any value was rewritten: a coerced probe can match bucket rows the
+    /// evaluator's per-row pattern recheck would reject (`Str != Addr`
+    /// under rank comparison), so such buckets are *not* recheck-exempt.
+    pub fn coerce_probe(&self, cols: &[usize], vals: &mut [Value]) -> bool {
+        let mut coerced = false;
+        for (&c, v) in cols.iter().zip(vals.iter_mut()) {
+            if let (Some(crate::value::TypeTag::Addr), Value::Str(s)) = (self.def.types.get(c), &v)
+            {
+                *v = Value::Addr(s.clone());
+                coerced = true;
+            }
+        }
+        coerced
+    }
+
+    /// Matches for `vals` in the secondary index over `cols`. Returns
+    /// `None` when no such index was built (the caller falls back to a
+    /// full scan — semantically identical because every check pattern is
+    /// re-verified per row). Probe values must already be coerced (see
+    /// [`Table::coerce_probe`]).
+    pub fn lookup(&self, cols: &[usize], vals: &[Value]) -> Option<&[Row]> {
         debug_assert_eq!(cols.len(), vals.len());
         debug_assert!(!cols.is_empty());
-        // Coerce probe values to declared types (Addr columns match string
-        // probes), mirroring `insert`.
-        let vals: Vec<Value> = cols
-            .iter()
-            .zip(vals.iter())
-            .map(|(&c, v)| match (self.def.types.get(c), v) {
-                (Some(crate::value::TypeTag::Addr), Value::Str(s)) => Value::Addr(s.clone()),
-                _ => v.clone(),
-            })
-            .collect();
-        let vals = &vals[..];
-        if !self.indexes.contains_key(cols) {
-            let mut idx: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
-            for row in self.rows.values() {
-                let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
-                idx.entry(k).or_default().push(row.clone());
-            }
-            self.indexes.insert(cols.to_vec(), idx);
+        let idx = self.indexes.get(cols)?;
+        Some(idx.get(vals).map(|b| b.as_slice()).unwrap_or(&[]))
+    }
+
+    /// Candidate rows for an index probe: the matching bucket when the
+    /// index exists, otherwise every row (the full-scan fallback — sound
+    /// because scans re-verify each check pattern per row). The second
+    /// return is true when the rows come from an exact-match bucket: the
+    /// index key equality already proves `row[c] == vals[i]` for every
+    /// indexed column, so the evaluator may skip rechecking those columns
+    /// (unless the probe was coerced — see [`Table::coerce_probe`]).
+    pub fn candidates(&self, cols: &[usize], vals: &[Value]) -> (Candidates<'_>, bool) {
+        match self.lookup(cols, vals) {
+            Some(bucket) => (Candidates::Slice(bucket.iter()), true),
+            None => (self.all_candidates(), false),
         }
-        self.indexes[cols].get(vals).cloned().unwrap_or_default()
+    }
+
+    /// Every stored row, as a [`Candidates`] full scan.
+    pub fn all_candidates(&self) -> Candidates<'_> {
+        Candidates::All(self.rows.values())
     }
 
     fn index_add(&mut self, row: &Row) {
@@ -312,32 +377,37 @@ mod tests {
         assert!(!t.delete(&tuple!(1, "a")));
     }
 
+    fn hits(t: &Table, cols: &[usize], vals: &[Value]) -> usize {
+        t.lookup(cols, vals).expect("index built").len()
+    }
+
     #[test]
     fn secondary_index_tracks_mutations() {
         let mut t = Table::new(decl(Some(vec![0])));
         t.insert(tuple!(1, "x")).unwrap();
         t.insert(tuple!(2, "x")).unwrap();
         t.insert(tuple!(3, "y")).unwrap();
-        let hits = t.lookup(&[1], &[Value::str("x")]);
-        assert_eq!(hits.len(), 2);
+        assert!(t.lookup(&[1], &[Value::str("x")]).is_none(), "not built");
+        t.ensure_index(&[1]);
+        assert_eq!(hits(&t, &[1], &[Value::str("x")]), 2);
         // Mutate after the index exists; it must stay consistent.
         t.insert(tuple!(2, "y")).unwrap(); // replace 2,"x" -> 2,"y"
         t.delete(&tuple!(1, "x"));
-        assert!(t.lookup(&[1], &[Value::str("x")]).is_empty());
-        assert_eq!(t.lookup(&[1], &[Value::str("y")]).len(), 2);
+        assert_eq!(hits(&t, &[1], &[Value::str("x")]), 0);
+        assert_eq!(hits(&t, &[1], &[Value::str("y")]), 2);
         t.insert(tuple!(9, "x")).unwrap();
-        assert_eq!(t.lookup(&[1], &[Value::str("x")]).len(), 1);
+        assert_eq!(hits(&t, &[1], &[Value::str("x")]), 1);
     }
 
     #[test]
     fn clear_keeps_indexes_working() {
         let mut t = Table::new(decl(Some(vec![0])));
         t.insert(tuple!(1, "x")).unwrap();
-        t.lookup(&[1], &[Value::str("x")]);
+        t.ensure_index(&[1]);
         t.clear();
         assert!(t.is_empty());
         t.insert(tuple!(2, "x")).unwrap();
-        assert_eq!(t.lookup(&[1], &[Value::str("x")]).len(), 1);
+        assert_eq!(hits(&t, &[1], &[Value::str("x")]), 1);
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl Default for SimConfig {
 
 /// A node-resident behavior. All hooks receive a [`Ctx`] for sending
 /// tuples, arming timers, and reading the clock.
-pub trait Actor {
+///
+/// Actors must be `Send` so the parallel engine (the `parallel` cargo
+/// feature) can evaluate nodes scheduled at the same virtual instant on
+/// separate threads.
+pub trait Actor: Send {
     /// Called once when the simulation starts (or the node is added to a
     /// running simulation).
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
@@ -110,7 +114,9 @@ pub trait Actor {
 pub struct Ctx<'a> {
     now: u64,
     me: &'a str,
-    rng: &'a mut StdRng,
+    /// `None` during parallel callbacks: the simulation RNG is shared
+    /// state, so actors may only draw from it on the serial path.
+    rng: Option<&'a mut StdRng>,
     outbox: Vec<(String, NetTuple)>,
     timers: Vec<(u64, u64)>, // (fire_at, tag)
 }
@@ -127,8 +133,17 @@ impl Ctx<'_> {
     }
 
     /// Deterministic per-simulation randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics during parallel evaluation (see [`Sim::set_parallel`]): the
+    /// RNG is simulator-global, so an actor that draws from it inside a
+    /// callback cannot be evaluated concurrently. Such actors must run
+    /// with the parallel flag off.
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
+            .as_deref_mut()
+            .expect("Ctx::rng is unavailable during parallel evaluation")
     }
 
     /// Send a tuple to `dest` (latency, drops and duplication applied by the
@@ -200,6 +215,9 @@ pub struct Sim {
     /// RNG stream is never touched, so recorded and bare runs take
     /// identical schedules.
     recorder: Option<boom_trace::ChromeRecorder>,
+    /// Evaluate same-instant node callbacks concurrently (only effective
+    /// when the `parallel` cargo feature is compiled in).
+    parallel: bool,
 }
 
 impl Sim {
@@ -221,7 +239,38 @@ impl Sim {
             delivered: 0,
             dropped: 0,
             recorder: None,
+            parallel: false,
         }
+    }
+
+    /// Request parallel same-instant node evaluation.
+    ///
+    /// When enabled (and the `parallel` cargo feature is compiled in), all
+    /// deliveries and timers scheduled for the same virtual instant are
+    /// evaluated concurrently — one thread per node — and their outputs are
+    /// absorbed in the exact order the serial engine would have produced
+    /// them. Schedules, RNG streams, fault logs, and state fingerprints are
+    /// byte-identical to serial execution; only wall-clock time changes.
+    ///
+    /// The engine silently falls back to the serial path whenever
+    /// correctness requires it: when a recorder is attached (span order),
+    /// when `min_latency == 0` (a callback could extend the very instant
+    /// being evaluated), and for any instant containing a crash, restart,
+    /// or chaos event (those mutate shared simulator state mid-instant).
+    ///
+    /// Returns whether the engine is now in the requested mode; `false`
+    /// means the `parallel` feature is not compiled in and the simulator
+    /// stays serial.
+    pub fn set_parallel(&mut self, on: bool) -> bool {
+        if cfg!(feature = "parallel") {
+            self.parallel = on;
+        }
+        self.parallel == on
+    }
+
+    /// Is parallel same-instant evaluation currently requested?
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
     }
 
     /// Attach a Chrome trace-event recorder; subsequent sends, deliveries,
@@ -265,7 +314,7 @@ impl Sim {
         let mut ctx = Ctx {
             now: self.now,
             me: name,
-            rng: &mut self.rng,
+            rng: Some(&mut self.rng),
             outbox: Vec::new(),
             timers: Vec::new(),
         };
@@ -426,7 +475,7 @@ impl Sim {
         let mut ctx = Ctx {
             now: self.now,
             me: name,
-            rng: &mut self.rng,
+            rng: Some(&mut self.rng),
             outbox: Vec::new(),
             timers: Vec::new(),
         };
@@ -568,7 +617,194 @@ impl Sim {
     }
 
     /// Process the next event. Returns `false` when the queue is empty.
+    ///
+    /// With [`Sim::set_parallel`] enabled this processes *every* event
+    /// scheduled for the next virtual instant, evaluating nodes
+    /// concurrently; otherwise (and on the serial fallbacks documented
+    /// there) it processes exactly one event.
     pub fn step(&mut self) -> bool {
+        #[cfg(feature = "parallel")]
+        if self.parallel && self.recorder.is_none() && self.cfg.min_latency > 0 {
+            return self.step_parallel();
+        }
+        self.step_serial()
+    }
+
+    /// Evaluate the entire next instant with one thread per node.
+    ///
+    /// Equivalence to the serial engine: events are drained in `(at, seq)`
+    /// order exactly as the serial loop would pop them; per-tuple up/epoch
+    /// checks happen up front (no crash/restart can occur mid-instant —
+    /// mixed instants take the serial path); same-instant deliveries to one
+    /// node coalesce into a single `on_tuples` batch anchored at the first
+    /// delivery's sequence number, matching the serial coalescing rule; and
+    /// every callback's outbox/timers are absorbed serially in ascending
+    /// anchor order, so each RNG draw in `route` happens at the same point
+    /// in the stream as under serial execution. Actor callbacks themselves
+    /// never touch the simulation RNG ([`Ctx::rng`] panics here), so the
+    /// thread interleaving is unobservable.
+    #[cfg(feature = "parallel")]
+    fn step_parallel(&mut self) -> bool {
+        enum CbKind {
+            Tuples(Vec<NetTuple>),
+            Timer(u64),
+        }
+        struct Cb {
+            seq: u64,
+            kind: CbKind,
+        }
+        /// One callback's captured effects: its delivery sequence anchor,
+        /// the tuples it sent, and the timers it set.
+        type CbEffects = (u64, Vec<(String, NetTuple)>, Vec<(u64, u64)>);
+        fn run_node(
+            actor: &mut Box<dyn Actor>,
+            me: &str,
+            now: u64,
+            cbs: Vec<Cb>,
+        ) -> Vec<CbEffects> {
+            cbs.into_iter()
+                .map(|cb| {
+                    let mut ctx = Ctx {
+                        now,
+                        me,
+                        rng: None,
+                        outbox: Vec::new(),
+                        timers: Vec::new(),
+                    };
+                    match cb.kind {
+                        CbKind::Tuples(tuples) => actor.on_tuples(&mut ctx, tuples),
+                        CbKind::Timer(tag) => actor.on_timer(&mut ctx, tag),
+                    }
+                    (cb.seq, ctx.outbox, ctx.timers)
+                })
+                .collect()
+        }
+
+        let Some(&Reverse((at, _, _))) = self.queue.peek() else {
+            return false;
+        };
+        // Drain every event scheduled for this instant, in seq order.
+        let mut popped: Vec<(u64, usize)> = Vec::new();
+        let mut plain = true;
+        while let Some(&Reverse((at2, seq, id))) = self.queue.peek() {
+            if at2 != at {
+                break;
+            }
+            self.queue.pop();
+            plain &= matches!(
+                self.events.get(&id),
+                Some((EventKind::Deliver(..) | EventKind::Timer(..), _))
+            );
+            popped.push((seq, id));
+        }
+        if !plain || popped.len() == 1 {
+            // Crash/restart/chaos events mutate shared simulator state
+            // between callbacks; hand the instant back to the serial engine
+            // (re-pushing restores the exact (time, seq) heap order).
+            for &(seq, id) in &popped {
+                self.queue.push(Reverse((at, seq, id)));
+            }
+            return self.step_serial();
+        }
+        self.now = self.now.max(at);
+
+        // Group callbacks per node, preserving serial callback order via
+        // each callback's anchor seq. All delivers to one node merge into
+        // one batch anchored at the first; timers stay individual events.
+        let mut per_node: HashMap<String, Vec<Cb>> = HashMap::new();
+        for (seq, id) in popped {
+            let Some((kind, armed_epoch)) = self.events.remove(&id) else {
+                continue;
+            };
+            match kind {
+                EventKind::Deliver(name, tuple, _flow) => {
+                    let Some(node) = self.nodes.get(&name) else {
+                        self.dropped += 1;
+                        continue;
+                    };
+                    if !node.up || (armed_epoch != ANY_EPOCH && armed_epoch != node.epoch) {
+                        self.dropped += 1;
+                        continue;
+                    }
+                    self.delivered += 1;
+                    let cbs = per_node.entry(name).or_default();
+                    match cbs
+                        .iter_mut()
+                        .find(|cb| matches!(cb.kind, CbKind::Tuples(_)))
+                    {
+                        Some(Cb {
+                            kind: CbKind::Tuples(batch),
+                            ..
+                        }) => batch.push(tuple),
+                        _ => cbs.push(Cb {
+                            seq,
+                            kind: CbKind::Tuples(vec![tuple]),
+                        }),
+                    }
+                }
+                EventKind::Timer(name, tag) => {
+                    let alive = self
+                        .nodes
+                        .get(&name)
+                        .map(|n| n.up && n.epoch == armed_epoch)
+                        .unwrap_or(false);
+                    if alive {
+                        per_node.entry(name).or_default().push(Cb {
+                            seq,
+                            kind: CbKind::Timer(tag),
+                        });
+                    }
+                }
+                _ => unreachable!("mixed instants take the serial path"),
+            }
+        }
+
+        let now = self.now;
+        let mut work: Vec<(&str, &mut Box<dyn Actor>, Vec<Cb>)> = Vec::new();
+        for (name, node) in self.nodes.iter_mut() {
+            if let Some(cbs) = per_node.remove(name) {
+                work.push((name.as_str(), &mut node.actor, cbs));
+            }
+        }
+        type NodeEffects = (String, u64, Vec<(String, NetTuple)>, Vec<(u64, u64)>);
+        let mut results: Vec<NodeEffects> = match work.len() {
+            0 => return true,
+            1 => {
+                // Single busy node: skip thread spawn overhead.
+                let (name, actor, cbs) = work.pop().expect("len checked");
+                run_node(actor, name, now, cbs)
+                    .into_iter()
+                    .map(|(seq, out, tm)| (name.to_string(), seq, out, tm))
+                    .collect()
+            }
+            _ => std::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .into_iter()
+                    .map(|(name, actor, cbs)| {
+                        scope.spawn(move || (name, run_node(actor, name, now, cbs)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| {
+                        let (name, outs) = h.join().expect("actor panicked in parallel evaluation");
+                        outs.into_iter()
+                            .map(|(seq, out, tm)| (name.to_string(), seq, out, tm))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect()
+            }),
+        };
+        // Absorb outputs in the order the serial engine would have produced
+        // them, so every RNG draw happens at the same point in the stream.
+        results.sort_by_key(|r| r.1);
+        for (name, _seq, outbox, timers) in results {
+            self.absorb(&name, outbox, timers);
+        }
+        true
+    }
+
+    fn step_serial(&mut self) -> bool {
         let Some(Reverse((at, _, id))) = self.queue.pop() else {
             return false;
         };
@@ -657,7 +893,7 @@ impl Sim {
                 let mut ctx = Ctx {
                     now: self.now,
                     me: &name,
-                    rng: &mut self.rng,
+                    rng: Some(&mut self.rng),
                     outbox: Vec::new(),
                     timers: Vec::new(),
                 };
@@ -685,7 +921,7 @@ impl Sim {
                 let mut ctx = Ctx {
                     now: self.now,
                     me: &name,
-                    rng: &mut self.rng,
+                    rng: Some(&mut self.rng),
                     outbox: Vec::new(),
                     timers: Vec::new(),
                 };
@@ -724,21 +960,30 @@ impl Sim {
         self.run_until(until);
     }
 
-    /// Run until `pred` returns true, polling after every event; gives up at
-    /// `deadline` (absolute time) and returns the predicate's final value.
+    /// Run until `pred` returns true, polling between virtual instants;
+    /// gives up at `deadline` (absolute time) and returns the predicate's
+    /// final value.
+    ///
+    /// All events sharing a virtual timestamp are processed atomically
+    /// before the predicate is re-checked, so serial and parallel engines
+    /// observe the predicate at identical points and take byte-identical
+    /// schedules.
     pub fn run_while(&mut self, deadline: u64, mut pred: impl FnMut(&mut Sim) -> bool) -> bool {
         loop {
             if pred(self) {
                 return true;
             }
-            match self.queue.peek() {
-                Some(Reverse((at, _, _))) if *at <= deadline => {
-                    self.step();
-                }
+            let at = match self.queue.peek() {
+                Some(Reverse((at, _, _))) if *at <= deadline => *at,
                 _ => {
                     self.now = self.now.max(deadline);
                     return pred(self);
                 }
+            };
+            // Drain the whole instant (including any zero-delay timers the
+            // callbacks arm at the same timestamp) before polling again.
+            while matches!(self.queue.peek(), Some(Reverse((a, _, _))) if *a == at) {
+                self.step();
             }
         }
     }
@@ -982,6 +1227,97 @@ mod tests {
         assert!(doc.contains("\"ph\":\"s\""), "flow starts recorded");
         assert!(doc.contains("\"ph\":\"f\""), "flow ends recorded");
         assert!(doc.contains("on_tuples"), "delivery spans recorded");
+    }
+
+    /// Run a churny multi-pinger cluster (shared timer instants, drops,
+    /// duplicates, a crash/restart pair mid-run) and return everything
+    /// observable: counters plus the exact tuple sequence the sink saw.
+    #[cfg(feature = "parallel")]
+    fn chatty_run(parallel: bool) -> (u64, u64, u64, Vec<(String, Row)>) {
+        let mut sim = Sim::new(SimConfig {
+            seed: 11,
+            min_latency: 1,
+            max_latency: 40,
+            drop_prob: 0.15,
+            duplicate_prob: 0.1,
+        });
+        if parallel {
+            assert!(sim.set_parallel(true), "parallel feature is compiled in");
+        }
+        // Identical periods land many nodes on the same virtual instant,
+        // exercising multi-node parallel batches.
+        for i in 0..4 {
+            let name = format!("p{i}");
+            sim.add_node(
+                &name,
+                Box::new(Pinger {
+                    target: "c".into(),
+                    period: 10,
+                }),
+            );
+        }
+        sim.add_node("c", Box::new(Counter::new()));
+        sim.schedule_crash("c", 1_000);
+        sim.schedule_restart("c", 2_000);
+        sim.run_until(5_000);
+        let got = sim.with_actor::<Counter, _>("c", |c| {
+            c.got
+                .iter()
+                .map(|t| (t.table.clone(), t.row.clone()))
+                .collect()
+        });
+        (sim.now(), sim.delivered_count(), sim.dropped_count(), got)
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_matches_serial_schedule_exactly() {
+        let serial = chatty_run(false);
+        let parallel = chatty_run(true);
+        assert_eq!(
+            serial, parallel,
+            "parallel engine must not perturb the schedule"
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn set_parallel_reports_support() {
+        let mut sim = Sim::new(SimConfig::default());
+        assert!(!sim.is_parallel());
+        assert!(sim.set_parallel(true));
+        assert!(sim.is_parallel());
+        assert!(sim.set_parallel(false));
+        assert!(!sim.is_parallel());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn zero_latency_configs_fall_back_to_serial() {
+        // min_latency == 0 means a callback could extend the instant being
+        // evaluated; the engine must quietly take the serial path.
+        fn run(parallel: bool) -> (u64, u64) {
+            let mut sim = Sim::new(SimConfig {
+                seed: 3,
+                min_latency: 0,
+                max_latency: 0,
+                ..Default::default()
+            });
+            if parallel {
+                sim.set_parallel(true);
+            }
+            sim.add_node(
+                "p",
+                Box::new(Pinger {
+                    target: "c".into(),
+                    period: 7,
+                }),
+            );
+            sim.add_node("c", Box::new(Counter::new()));
+            sim.run_until(500);
+            (sim.delivered_count(), sim.dropped_count())
+        }
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -172,6 +172,37 @@ fn run_one<F: FnMut(&mut Bencher)>(
         }
         _ => println!("bench {name:<48} median {med:>12?}"),
     }
+    // Machine-readable twin of the human line: one JSON object per case
+    // with a fixed key order, so CI can grep `bench-json` and diff perf
+    // across commits.
+    let mut json = format!(
+        "{{\"name\":\"{}\",\"median_ns\":{}",
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        med.as_nanos()
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            json.push_str(&format!(",\"elements\":{n}"));
+            if med > Duration::ZERO {
+                json.push_str(&format!(
+                    ",\"elements_per_sec\":{:.1}",
+                    n as f64 / med.as_secs_f64()
+                ));
+            }
+        }
+        Some(Throughput::Bytes(n)) => {
+            json.push_str(&format!(",\"bytes\":{n}"));
+            if med > Duration::ZERO {
+                json.push_str(&format!(
+                    ",\"bytes_per_sec\":{:.1}",
+                    n as f64 / med.as_secs_f64()
+                ));
+            }
+        }
+        None => {}
+    }
+    json.push('}');
+    println!("bench-json {json}");
 }
 
 /// Declare a group of benchmark functions.

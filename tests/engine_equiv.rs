@@ -1,0 +1,295 @@
+//! Serial vs parallel engine byte-identity: with the `parallel` feature
+//! on and [`Sim::set_parallel`] enabled, every shipped scenario must
+//! produce exactly the state the serial engine produces — same virtual
+//! schedule, same RNG stream, same fault log, same client-visible
+//! outputs, and the same `overlog_state_fingerprint` byte for byte.
+//!
+//! Each scenario runs three times — serial, serial again (guards against
+//! pre-existing nondeterminism), and parallel — and the full observable
+//! state is compared as strings. A property test then sweeps randomized
+//! latency/drop/duplicate configs and crash/partition/dup-burst
+//! schedules through a chatty cluster under both engines.
+#![cfg(feature = "parallel")]
+
+use boom::core::FullStackBuilder;
+use boom::fs::{ControlPlane, FsClusterBuilder};
+use boom::mr::workload::synth_text;
+use boom::mr::{MrClusterBuilder, MrDriver, MrJob, SpecPolicy};
+use boom::simnet::{overlog_state_fingerprint, ChaosSchedule, Sim, SimConfig};
+
+fn enable(sim: &mut Sim, parallel: bool) {
+    if parallel {
+        assert!(
+            sim.set_parallel(true),
+            "the `parallel` feature must be compiled in for this suite"
+        );
+    }
+}
+
+fn assert_engine_identical(name: &str, run: impl Fn(bool) -> String) {
+    let s1 = run(false);
+    let s2 = run(false);
+    assert_eq!(s1, s2, "{name}: serial engine is not even self-stable");
+    let p = run(true);
+    assert_eq!(s1, p, "{name}: parallel engine diverged from serial");
+}
+
+/// BOOM-FS metadata workload: directories, files, a real chunk write,
+/// renames and deletions, fingerprinting every Overlog node at the end.
+#[test]
+fn fs_scenario_is_engine_independent() {
+    assert_engine_identical("fs", |parallel| {
+        let mut c = FsClusterBuilder {
+            control: ControlPlane::Declarative,
+            datanodes: 3,
+            replication: 2,
+            ..Default::default()
+        }
+        .build();
+        enable(&mut c.sim, parallel);
+        let cl = c.client.clone();
+        cl.mkdir(&mut c.sim, "/a").unwrap();
+        cl.mkdir(&mut c.sim, "/a/b").unwrap();
+        for i in 0..4 {
+            cl.create(&mut c.sim, &format!("/a/b/f{i}")).unwrap();
+        }
+        cl.write_file(&mut c.sim, "/a/data", &synth_text(7, 400))
+            .unwrap();
+        cl.rename(&mut c.sim, "/a/b/f0", "/a/b/g0").unwrap();
+        cl.rm(&mut c.sim, "/a/b/f1").unwrap();
+        let mut listing = cl.ls(&mut c.sim, "/a/b").unwrap();
+        listing.sort();
+        let content = cl.read_file(&mut c.sim, "/a/data").unwrap();
+        c.sim.run_for(3_000);
+        format!(
+            "ls={listing:?}\ncontent_len={}\n{}",
+            content.len(),
+            overlog_state_fingerprint(&mut c.sim)
+        )
+    });
+}
+
+/// BOOM-MR wordcount under every shipped (assignment × speculation)
+/// policy combination.
+#[test]
+fn mr_scenarios_are_engine_independent() {
+    for (locality, lname) in [(false, "fifo"), (true, "locality")] {
+        for (policy, sname) in [
+            (SpecPolicy::None, "none"),
+            (SpecPolicy::Naive, "naive"),
+            (SpecPolicy::Late, "late"),
+        ] {
+            assert_engine_identical(&format!("mr-{lname}-{sname}"), move |parallel| {
+                let mut c = MrClusterBuilder {
+                    policy,
+                    locality,
+                    workers: 3,
+                    ..Default::default()
+                }
+                .build();
+                enable(&mut c.sim, parallel);
+                let inputs = c.load_corpus(11, 2, 800).expect("corpus loads");
+                let fs = c.fs.clone();
+                let mut driver = c.driver.clone();
+                let job = MrJob {
+                    job_type: "wordcount".into(),
+                    inputs,
+                    nreduces: 2,
+                    outdir: "/out".into(),
+                };
+                let deadline = c.sim.now() + 50_000_000;
+                let (job_id, job_ms) = driver
+                    .run(&mut c.sim, &fs, &job, deadline)
+                    .expect("job completes");
+                let out = MrDriver::collect_output(&mut c.sim, &c.trackers.clone(), job_id);
+                format!(
+                    "job_ms={job_ms} out={out:?}\n{}",
+                    overlog_state_fingerprint(&mut c.sim)
+                )
+            });
+        }
+    }
+}
+
+/// The full replicated stack — MapReduce over the Paxos-replicated
+/// NameNode — under a chaos schedule (DataNode flap mid-write plus a
+/// NameNode replica partition), across three seeds. Fault logs, job
+/// output, and every node's fingerprint must match byte for byte.
+#[test]
+fn chaotic_full_stack_is_engine_independent() {
+    for seed in [1u64, 7, 23] {
+        assert_engine_identical(&format!("full-stack-chaos-seed{seed}"), move |parallel| {
+            let mut s = FullStackBuilder {
+                sim: SimConfig {
+                    seed,
+                    ..Default::default()
+                },
+                workers: 3,
+                ..Default::default()
+            }
+            .build();
+            enable(&mut s.sim, parallel);
+            s.fs.mkdir(&mut s.sim, "/input").unwrap();
+            let schedule = ChaosSchedule::new("equiv")
+                .flap("dn1", 200, 40_000)
+                .partition(
+                    &["nn2"],
+                    &["nn0", "nn1", "dn0", "dn1", "dn2", "client0"],
+                    300,
+                    12_000,
+                );
+            s.sim.install_chaos(&schedule);
+            for i in 0..2u64 {
+                let text = synth_text(50 + i, 800);
+                s.fs.write_file(&mut s.sim, &format!("/input/part{i}"), &text)
+                    .unwrap();
+            }
+            let job = MrJob {
+                job_type: "wordcount".to_string(),
+                inputs: vec!["/input/part0".into(), "/input/part1".into()],
+                nreduces: 2,
+                outdir: "/out".to_string(),
+            };
+            let fs = s.fs.clone();
+            let deadline = s.sim.now() + 3_600_000;
+            let (job_id, job_ms) = s
+                .driver
+                .run_robust(&mut s.sim, &fs, &job, deadline)
+                .expect("job completes under chaos");
+            let out = MrDriver::collect_output(&mut s.sim, &s.trackers.clone(), job_id);
+            s.sim.run_for(60_000);
+            let faults: Vec<String> = s
+                .sim
+                .fault_log()
+                .iter()
+                .map(|f| format!("{}:{}", f.at, f.action))
+                .collect();
+            format!(
+                "job_ms={job_ms} out={out:?}\nfaults={faults:?}\n{}",
+                overlog_state_fingerprint(&mut s.sim)
+            )
+        });
+    }
+}
+
+/// Randomized schedules: chatty imperative actors under random latency
+/// spreads, loss/duplication probabilities, and crash/partition/dup-burst
+/// chaos. The two engines must agree on the complete delivery record.
+mod random_schedules {
+    use super::enable;
+    use boom::overlog::value::row;
+    use boom::overlog::{NetTuple, Value};
+    use boom::simnet::{Actor, ChaosSchedule, Ctx, Sim, SimConfig};
+    use proptest::prelude::*;
+    use std::any::Any;
+
+    struct Counter {
+        got: Vec<(u64, String)>,
+    }
+    impl Actor for Counter {
+        fn on_tuple(&mut self, ctx: &mut Ctx<'_>, tuple: NetTuple) {
+            self.got.push((ctx.now(), format!("{:?}", tuple.row)));
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Pinger {
+        target: String,
+        period: u64,
+    }
+    impl Actor for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_tuple(&mut self, _ctx: &mut Ctx<'_>, _tuple: NetTuple) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            let target = self.target.clone();
+            let t = ctx.now() as i64;
+            ctx.send(&target, "ping", row(vec![Value::Int(t)]));
+            ctx.set_timer(self.period, 0);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// One random scenario, run under the requested engine. Returns every
+    /// observable: counters, per-sink delivery records, and fault log.
+    fn run(
+        parallel: bool,
+        seed: u64,
+        max_latency: u64,
+        drop_pct: u64,
+        dup_pct: u64,
+        pingers: usize,
+        chaos: &[(u64, u64, u64)],
+    ) -> String {
+        let mut sim = Sim::new(SimConfig {
+            seed,
+            min_latency: 1,
+            max_latency: max_latency.max(1),
+            drop_prob: drop_pct as f64 / 100.0,
+            duplicate_prob: dup_pct as f64 / 100.0,
+        });
+        enable(&mut sim, parallel);
+        for i in 0..pingers {
+            let name = format!("p{i}");
+            sim.add_node(
+                &name,
+                Box::new(Pinger {
+                    target: format!("c{}", i % 2),
+                    period: 10 + (i as u64 % 3),
+                }),
+            );
+        }
+        sim.add_node("c0", Box::new(Counter { got: Vec::new() }));
+        sim.add_node("c1", Box::new(Counter { got: Vec::new() }));
+        let mut schedule = ChaosSchedule::new("random");
+        for &(kind, at, dur) in chaos {
+            let at = at % 2_000;
+            let dur = 1 + dur % 1_500;
+            schedule = match kind % 3 {
+                0 => schedule.flap("c0", at, at + dur),
+                1 => schedule.partition(&["p0"], &["c0", "c1"], at, at + dur),
+                _ => schedule.dup_burst(at, dur, 0.5),
+            };
+        }
+        sim.install_chaos(&schedule);
+        sim.run_until(3_000);
+        let mut sinks = String::new();
+        for c in ["c0", "c1"] {
+            let got = sim.with_actor::<Counter, _>(c, |a| a.got.clone());
+            sinks.push_str(&format!("{c}: {got:?}\n"));
+        }
+        let faults: Vec<String> = sim
+            .fault_log()
+            .iter()
+            .map(|f| format!("{}:{}", f.at, f.action))
+            .collect();
+        format!(
+            "delivered={} dropped={} now={}\nfaults={faults:?}\n{sinks}",
+            sim.delivered_count(),
+            sim.dropped_count(),
+            sim.now()
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn random_schedules_are_engine_independent(
+            seed in 0u64..10_000,
+            max_latency in 1u64..60,
+            drop_pct in 0u64..30,
+            dup_pct in 0u64..20,
+            pingers in 1usize..6,
+            chaos in prop::collection::vec((0u64..3, 0u64..2_000, 0u64..1_500), 0..4),
+        ) {
+            let serial = run(false, seed, max_latency, drop_pct, dup_pct, pingers, &chaos);
+            let parallel = run(true, seed, max_latency, drop_pct, dup_pct, pingers, &chaos);
+            prop_assert_eq!(serial, parallel);
+        }
+    }
+}
