@@ -1,0 +1,183 @@
+//! E11 — analysis-driven intra-node sharded evaluation: the E10 create
+//! storm re-cut so each request batch lands at one simulated instant and
+//! becomes one wide request delta, swept over batch sizes × shard counts
+//! (1/2/4/8). Rules the shard-safety pass certifies `sharded` or
+//! `broadcast` fan that delta out across worker threads; everything else
+//! stays serial, and results merge back in delta order so the final
+//! state is byte-identical to the serial engine at every shard count.
+//!
+//! Every sharded row carries a hard byte-identity verdict against its
+//! shards=1 twin, and a `sharded_delta` counter proving the path
+//! actually engaged. The acceptance figure is the **crossover batch** —
+//! the first batch size at which some sharded run beats the serial wall
+//! clock (machine-dependent; absent on single-core CI boxes).
+//!
+//! `--smoke` runs CI-scale sizes and exits non-zero if any sharded row
+//! diverged (it does **not** gate speedup). Pass `--shards N` to pin a
+//! single shard count (the CI matrix uses this). The full run writes
+//! `results/e11_shard.txt` and `results/BENCH_e11.json`.
+
+use boom_bench::{run_shard_bench, ShardBenchCase, ShardBenchResult};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn render_text(res: &ShardBenchResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# E11: intra-node sharded evaluation — wall clock vs shard count on batched create storms"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>7} {:>12} {:>12} {:>10} {:>13} {:>8} {:>7}",
+        "batch", "shards", "tuples", "busy (s)", "wall (ms)", "sharded_delta", "speedup", "ident"
+    );
+    for c in &res.cases {
+        let serial = res
+            .cases
+            .iter()
+            .find(|s| s.shards == 1 && s.batch == c.batch)
+            .expect("serial twin exists");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>7} {:>12} {:>12.4} {:>10.1} {:>13} {:>7.2}x {:>7}",
+            c.batch,
+            c.shards,
+            c.tuples,
+            c.busy_secs,
+            c.wall_ms,
+            c.sharded_delta,
+            serial.wall_ms / c.wall_ms.max(1e-9),
+            c.fingerprint_match
+        );
+    }
+    let _ = writeln!(out, "# machine: {} core(s)", res.cores);
+    match res.crossover_batch {
+        Some(b) => {
+            let _ = writeln!(
+                out,
+                "# crossover: sharded beats serial (by >3%) from batch size {b}"
+            );
+        }
+        None if res.cores <= 1 => {
+            let _ = writeln!(
+                out,
+                "# crossover: none — single-core machine, fan-out is pure overhead here;\n\
+                 # the byte-identity column is the portable result"
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "# crossover: none at these sizes (sharding overhead exceeded the win)"
+            );
+        }
+    }
+    out.push_str("# per-shard attribution (widest sharded run):\n");
+    for line in res.profile.lines() {
+        let _ = writeln!(out, "#   {line}");
+    }
+    out
+}
+
+fn render_json(res: &ShardBenchResult) -> String {
+    let mut out = String::from("{\"experiment\":\"e11_shard\",\"cases\":[");
+    for (i, c) in res.cases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"batch\":{},\"shards\":{},\"tuples\":{},\"busy_secs\":{:.6},\
+             \"wall_ms\":{:.2},\"sharded_delta\":{},\"fingerprint_match\":{}}}",
+            c.batch,
+            c.shards,
+            c.tuples,
+            c.busy_secs,
+            c.wall_ms,
+            c.sharded_delta,
+            c.fingerprint_match
+        );
+    }
+    out.push_str("],\"crossover_batch\":");
+    match res.crossover_batch {
+        Some(b) => {
+            let _ = write!(out, "{b}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ",\"cores\":{}", res.cores);
+    out.push('}');
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let pinned_shards: Option<usize> = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let shard_counts: Vec<usize> = match pinned_shards {
+        Some(n) => vec![1, n],
+        None => vec![1, 2, 4, 8],
+    };
+    let sizes: Option<Vec<usize>> = args
+        .iter()
+        .position(|a| a == "--sizes")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect());
+    if args.iter().any(|a| a == "--hot") {
+        let batch = sizes
+            .as_ref()
+            .and_then(|s| s.first().copied())
+            .unwrap_or(512);
+        for &s in &shard_counts {
+            println!("== shards={s} batch={batch} ==");
+            print!("{}", boom_bench::profile_shard_storm(s, batch, 6));
+        }
+        return ExitCode::SUCCESS;
+    }
+    let res = if smoke {
+        eprintln!("E11 smoke: CI-scale batches, byte-identity gate");
+        run_shard_bench(3, &[24, 48], &shard_counts, 1)
+    } else {
+        eprintln!("E11: full-scale shard sweep (min of 3 repetitions per cell)");
+        let sizes = sizes.unwrap_or_else(|| vec![64, 128, 256, 512]);
+        run_shard_bench(6, &sizes, &shard_counts, 3)
+    };
+    let text = render_text(&res);
+    print!("{text}");
+    println!("{}", render_json(&res));
+    let divergent: Vec<&ShardBenchCase> =
+        res.cases.iter().filter(|c| !c.fingerprint_match).collect();
+    if !divergent.is_empty() {
+        for c in divergent {
+            eprintln!(
+                "E11 FAIL: batch {} shards {} diverged from the serial engine",
+                c.batch, c.shards
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    if !res
+        .cases
+        .iter()
+        .any(|c| c.shards > 1 && c.sharded_delta > 0)
+    {
+        eprintln!("E11 FAIL: no sharded run ever took the sharded evaluation path");
+        return ExitCode::FAILURE;
+    }
+    if !smoke {
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/e11_shard.txt", &text))
+            .and_then(|()| std::fs::write("results/BENCH_e11.json", render_json(&res)))
+        {
+            eprintln!("E11: could not write results files: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("E11: wrote results/e11_shard.txt and results/BENCH_e11.json");
+    }
+    ExitCode::SUCCESS
+}

@@ -303,7 +303,7 @@ pub fn render_json(diags: &[Diagnostic], map: &SourceMap) -> String {
 }
 
 /// JSON string literal with the escapes the grammar requires.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -7,6 +7,8 @@
 //! whole-program inference gives them sharper verdicts than a per-rule
 //! lint could.
 
+use super::card::CostModel;
+use super::shard::{ShardReport, ShardVerdict};
 use super::{Diagnostic, ProgramContext};
 use crate::ast::{BodyElem, Expr, HeadArg, Rule, Span, TableDecl, TableKind};
 use crate::value::TypeTag;
@@ -16,10 +18,21 @@ use std::collections::{HashMap, HashSet};
 /// driven by a single event so every derivation happens exactly once.
 const NON_DETERMINISTIC: [&str; 2] = ["newid", "qid"];
 
+/// Estimated total body rows at or above which a rule counts as *hot* for
+/// the shardability lint (W0008): below this, sharding would not pay off
+/// anyway and the rewrite suggestion is noise.
+const HOT_BODY_ROWS: f64 = 48.0;
+
 /// Run every lint over the context, appending to `out`. `rule_ok[i]` tells
 /// whether rule `i` passed the error-level checks (reference, aggregate and
 /// safety); structure-sensitive lints skip broken rules to avoid cascades.
-pub(super) fn run(ctx: &ProgramContext, rule_ok: &[bool], out: &mut Vec<Diagnostic>) {
+pub(super) fn run(
+    ctx: &ProgramContext,
+    rule_ok: &[bool],
+    cost: &CostModel,
+    shard: &ShardReport,
+    out: &mut Vec<Diagnostic>,
+) {
     let timer_tables: HashSet<&str> = ctx.timers.iter().map(|t| t.name.as_str()).collect();
 
     for (i, rule) in ctx.rules.iter().enumerate() {
@@ -50,6 +63,82 @@ pub(super) fn run(ctx: &ProgramContext, rule_ok: &[bool], out: &mut Vec<Diagnost
     unconsumed_timers(ctx, out);
     stale_watches(ctx, out);
     dead_columns(ctx, rule_ok, out);
+    hot_unshardable_rules(ctx, cost, shard, out);
+}
+
+/// W0008: a *hot* rule (large estimated body) whose every shard verdict is
+/// serial solely because a join attribute is not a function of the delta's
+/// key columns. Such rules are one head-key or join-key rewrite away from
+/// hash-distributing, which is exactly the kind of scalability bug the
+/// declarative style is supposed to make visible.
+fn hot_unshardable_rules(
+    ctx: &ProgramContext,
+    cost: &CostModel,
+    shard: &ShardReport,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (rule, entry) in ctx.rules.iter().zip(&shard.rules) {
+        if entry.variants.is_empty() {
+            continue;
+        }
+        // A directly recursive join (transitive closure and friends)
+        // re-shuffles by nature — each variant binds only one side of the
+        // recursive key — and no local rewrite removes the cross-shard
+        // probe, so the lint's suggestion would be wrong there.
+        if rule
+            .positive_predicates()
+            .any(|p| p.table == rule.head.table)
+        {
+            continue;
+        }
+        let heat: f64 = rule
+            .positive_predicates()
+            .map(|p| cost.table_rows(&p.table))
+            .sum();
+        if heat < HOT_BODY_ROWS {
+            continue;
+        }
+        // A rule that can never shard regardless of variant (stateful
+        // builtin, aggregate head) is not the lint's business: no join
+        // rewrite would help.
+        if super::shard::hard_serial_reason(rule).is_some() {
+            continue;
+        }
+        // Fire only when the rule gets *zero* parallelism (no variant
+        // shards or broadcasts) and at least one variant is blocked by a
+        // non-key join attribute — the case one key rewrite fixes.
+        if entry
+            .variants
+            .iter()
+            .any(|(_, v)| !matches!(v, ShardVerdict::Serial { .. }))
+        {
+            continue;
+        }
+        let Some(reason) = entry.variants.iter().find_map(|(_, v)| match v {
+            ShardVerdict::Serial {
+                reason,
+                nonkey: true,
+            } => Some(reason.as_str()),
+            _ => None,
+        }) else {
+            continue;
+        };
+        out.push(
+            Diagnostic::warning(
+                "W0008",
+                rule.span,
+                format!(
+                    "hot rule `{}` (~{heat:.0} body rows) cannot shard: {reason}",
+                    entry.label
+                ),
+            )
+            .with_help(
+                "restructure the join so every probed key column is computed from \
+                 the delta row (or shrink the probed table below the broadcast \
+                 threshold); see `olgcheck analyze` for the per-variant verdicts",
+            ),
+        );
+    }
 }
 
 /// E0009: a `@` location specifier must sit on an address-typed column
@@ -626,6 +715,40 @@ mod tests {
             Vec::<&str>::new(),
             "addr column routes messages"
         );
+    }
+
+    #[test]
+    fn hot_nonkey_join_is_w0008() {
+        // `idx` is derived by five rules (~160 estimated rows): hot and too
+        // big to broadcast. Probing it on the *non-key* delta column blocks
+        // sharding — exactly the rewrite W0008 suggests.
+        let src = "event e, {Int, Int};
+                   event f, {Int, Int};
+                   define(idx, keys(0), {Int, Int});
+                   define(out, keys(0), {Int, Int});
+                   idx(X, Y) :- e(X, Y); idx(Y, X) :- e(X, Y);
+                   idx(X, Y) :- f(X, Y); idx(Y, X) :- f(X, Y);
+                   idx(X, X) :- f(X, _);
+                   out(X, Z) :- e(X, Y), idx(Y, Z), Z > X;";
+        assert!(codes(src).contains(&"W0008"), "{:?}", codes(src));
+        // Probing on the key column co-partitions: no lint.
+        let good = src.replace("idx(Y, Z), Z > X", "idx(X, Z), Z > X");
+        assert!(!codes(&good).contains(&"W0008"), "{:?}", codes(&good));
+    }
+
+    #[test]
+    fn stateful_builtin_rules_are_not_w0008() {
+        // Hot, unshardable — but pinned by `newid()`, not by a join key;
+        // no rewrite would help, so the lint stays quiet.
+        let src = "event e, {Int, Int};
+                   event f, {Int, Int};
+                   define(idx, keys(0), {Int, Int});
+                   event out, {Int, String};
+                   idx(X, Y) :- e(X, Y); idx(Y, X) :- e(X, Y);
+                   idx(X, Y) :- f(X, Y); idx(Y, X) :- f(X, Y);
+                   idx(X, X) :- f(X, _);
+                   out(Y, I) :- e(X, Y), idx(Y, _), I := newid();";
+        assert!(!codes(src).contains(&"W0008"), "{:?}", codes(src));
     }
 
     #[test]

@@ -33,11 +33,13 @@
 //! | W0005 | timer ticks are never consumed |
 //! | W0006 | `watch` on a table nothing fills (stale monitoring rule) |
 //! | W0007 | dead column: only ever matched as `_`, its value never read |
+//! | W0008 | hot rule shard-unsafe only because of a non-key join attribute |
 //!
 //! Beyond diagnostics, [`report`] runs the semantic passes — monotonicity
 //! / CALM classification ([`mono`]), whole-program type inference
-//! ([`types`]) and cardinality estimation ([`card`]) — whose results feed
-//! the planner and the `olgcheck analyze` subcommand.
+//! ([`types`]), cardinality estimation ([`card`]) and shard safety
+//! ([`shard`]) — whose results feed the planner and the `olgcheck
+//! analyze` subcommand.
 
 pub mod card;
 pub mod diag;
@@ -45,6 +47,7 @@ pub mod graph;
 mod lints;
 pub mod mono;
 pub mod safety;
+pub mod shard;
 pub mod stratify;
 pub mod types;
 
@@ -488,6 +491,8 @@ pub struct AnalysisReport {
     pub mono: mono::MonoReport,
     /// Cardinality and selectivity estimates.
     pub cost: card::CostModel,
+    /// Per-rule, per-variant shard-safety verdicts.
+    pub shard: shard::ShardReport,
 }
 
 impl AnalysisReport {
@@ -502,6 +507,8 @@ impl AnalysisReport {
         for (table, rows) in &self.cost.rows {
             s.push_str(&format!("  {table}: {rows:.0}\n"));
         }
+        s.push('\n');
+        s.push_str(&shard::render(&self.shard));
         s
     }
 }
@@ -511,18 +518,20 @@ impl AnalysisReport {
 /// Diagnostics are ordered by source position.
 pub fn report(ctx: &ProgramContext) -> AnalysisReport {
     let (mut out, rule_ok) = error_pass(ctx);
-    lints::run(ctx, &rule_ok, &mut out);
+    let cost = card::CostModel::from_context(ctx);
+    let shard = shard::analyze(ctx, &rule_ok, &cost);
+    lints::run(ctx, &rule_ok, &cost, &shard, &mut out);
     let catalog = types::infer(ctx, &rule_ok);
     types::check(ctx, &rule_ok, &catalog, &mut out);
     out.sort_by_key(|d| (d.span.start, d.code, d.message.clone()));
     let mono = mono::analyze_mono(ctx, &rule_ok);
-    let cost = card::CostModel::from_context(ctx);
     AnalysisReport {
         diagnostics: out,
         rule_ok,
         catalog,
         mono,
         cost,
+        shard,
     }
 }
 

@@ -14,6 +14,35 @@ use std::sync::Arc;
 /// Signature of a builtin function.
 pub type BuiltinFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
 
+/// The names of the standard library: pure functions of their arguments
+/// with no hidden state. Both the planner and the shard-safety analysis
+/// consult this list — a pure call may be reordered across joins and
+/// evaluated concurrently, while a host-registered builtin (paxos's
+/// `qid()` draws from a counter) may be stateful and pins its rule to
+/// the serial, source-order schedule.
+pub const PURE_BUILTINS: &[&str] = &[
+    "tostr",
+    "toint",
+    "tofloat",
+    "toaddr",
+    "strlen",
+    "substr",
+    "startswith",
+    "dirname",
+    "basename",
+    "hash",
+    "hashmod",
+    "abs",
+    "min2",
+    "max2",
+    "size",
+    "nth",
+    "contains",
+    "append",
+    "pick",
+    "ifelse",
+];
+
 /// A name → function map with the standard library pre-registered.
 #[derive(Clone)]
 pub struct Builtins {

@@ -14,6 +14,7 @@
 //! check olgcheck reports.
 
 use crate::analysis::card::CostModel;
+use crate::analysis::shard::{self, rule_reorderable, ShardPlan};
 use crate::analysis::{self, mono, safety, RuleAnalysis};
 use crate::ast::*;
 use crate::error::Result;
@@ -193,6 +194,14 @@ pub struct PlanOptions {
     /// triggered by *insertions* into negated view inputs: growth can
     /// only grow them, and the incremental delta path already did.
     pub scoped_views: bool,
+    /// Evaluate shard-safe semi-naive variants over this many hash
+    /// partitions of the round's delta, on worker threads. `1` (the
+    /// default) keeps everything on the calling thread. Variants the
+    /// shard-safety analysis ([`crate::analysis::shard`]) marks serial
+    /// always stay serial regardless of this setting, and shard outputs
+    /// are merged back in delta order before any effect is applied, so
+    /// results are byte-identical at every shard count.
+    pub shards: usize,
 }
 
 impl Default for PlanOptions {
@@ -200,6 +209,7 @@ impl Default for PlanOptions {
         PlanOptions {
             reorder_joins: true,
             scoped_views: true,
+            shards: 1,
         }
     }
 }
@@ -243,55 +253,13 @@ pub struct Plan {
     /// aggregation — provably monotonic (CALM), so growth of their inputs
     /// never retracts their tuples.
     pub monotonic_views: IdSet,
+    /// Per-rule, per-variant shard-safety verdicts (the
+    /// [`crate::analysis::shard`] pass, run against the exact execution
+    /// orders compiled below); the runtime consults this to decide which
+    /// variants may fan out across worker threads.
+    pub shard: ShardPlan,
     /// The options this plan was compiled with.
     pub options: PlanOptions,
-}
-
-/// Builtins the planner may freely reorder across joins: pure functions of
-/// their arguments (the whole standard library). Host-registered builtins
-/// — paxos's `qid()` draws from a counter — may be stateful, and moving
-/// them across a join changes how often they run; any call outside this
-/// list pins its rule to the source-order schedule.
-const PURE_BUILTINS: &[&str] = &[
-    "tostr",
-    "toint",
-    "tofloat",
-    "toaddr",
-    "strlen",
-    "substr",
-    "startswith",
-    "dirname",
-    "basename",
-    "hash",
-    "hashmod",
-    "abs",
-    "min2",
-    "max2",
-    "size",
-    "nth",
-    "contains",
-    "append",
-    "pick",
-    "ifelse",
-];
-
-fn expr_reorderable(e: &Expr) -> bool {
-    match e {
-        Expr::Lit(_) | Expr::Var(_) | Expr::Wildcard => true,
-        Expr::Binary(_, a, b) => expr_reorderable(a) && expr_reorderable(b),
-        Expr::Unary(_, a) => expr_reorderable(a),
-        Expr::Call(f, args) => {
-            PURE_BUILTINS.contains(&f.as_str()) && args.iter().all(expr_reorderable)
-        }
-        Expr::ListLit(items) => items.iter().all(expr_reorderable),
-    }
-}
-
-fn rule_reorderable(rule: &Rule) -> bool {
-    rule.body.iter().all(|b| match b {
-        BodyElem::Pred(p) => p.args.iter().all(expr_reorderable),
-        BodyElem::Cond(e) | BodyElem::Assign(_, e) => expr_reorderable(e),
-    })
 }
 
 /// Compile all `rules` against the table `decls` with default options and
@@ -329,7 +297,7 @@ pub fn compile_with(
             ids.intern(n);
         }
     }
-    let cost = options.reorder_joins.then(|| {
+    let cost = {
         let mut deriving: HashMap<String, usize> = HashMap::new();
         for r in rules {
             if !r.delete {
@@ -337,24 +305,26 @@ pub fn compile_with(
             }
         }
         CostModel::build(decls, fact_counts, &deriving, |_| false)
-    });
+    };
     let mut compiled = Vec::with_capacity(rules.len());
     let mut classes = Vec::with_capacity(rules.len());
+    let mut shard_plan = ShardPlan::default();
     for (i, rule) in rules.iter().enumerate() {
         let mut ra = analysis::validate_rule(i, rule, decls)?;
-        if let Some(cm) = &cost {
-            if rule_reorderable(rule) {
-                let npos = rule.positive_predicates().count();
-                for (d, order) in ra.orders.iter_mut().enumerate() {
-                    let delta = (npos > 0).then_some(d);
-                    if let Ok(costed) =
-                        safety::schedule_order_costed(rule, delta, |t, b| cm.scan_estimate(t, b))
-                    {
-                        *order = costed;
-                    }
+        if options.reorder_joins && rule_reorderable(rule) {
+            let npos = rule.positive_predicates().count();
+            for (d, order) in ra.orders.iter_mut().enumerate() {
+                let delta = (npos > 0).then_some(d);
+                if let Ok(costed) =
+                    safety::schedule_order_costed(rule, delta, |t, b| cost.scan_estimate(t, b))
+                {
+                    *order = costed;
                 }
             }
         }
+        shard_plan
+            .verdicts
+            .push(shard::rule_verdicts(rule, &ra.orders, decls, &cost));
         classes.push(ra.class);
         compiled.push(compile_rule(i, rule, &ra, ids));
     }
@@ -466,6 +436,7 @@ pub fn compile_with(
         neg_view_inputs,
         view_deps,
         monotonic_views,
+        shard: shard_plan,
         options,
     })
 }

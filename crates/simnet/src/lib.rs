@@ -218,6 +218,38 @@ pub struct Sim {
     /// Evaluate same-instant node callbacks concurrently (only effective
     /// when the `parallel` cargo feature is compiled in).
     parallel: bool,
+    /// Instants actually evaluated by the parallel engine.
+    parallel_rounds: u64,
+    /// Instants handed back to the serial engine because only one event
+    /// was scheduled (no parallelism to extract).
+    par_fallback_single: u64,
+    /// Instants handed back to the serial engine because they mixed in a
+    /// crash, restart, or chaos event.
+    par_fallback_mixed: u64,
+}
+
+/// Why (and how often) same-instant evaluation ran in parallel — see
+/// [`Sim::parallelism_report`]. Benches print this so a run that silently
+/// fell back to the serial engine can explain itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelismReport {
+    /// The `parallel` cargo feature is compiled in.
+    pub feature_compiled: bool,
+    /// [`Sim::set_parallel`] was called with `true` (and stuck).
+    pub enabled: bool,
+    /// A recorder is attached: every instant takes the serial path to
+    /// keep span order stable.
+    pub recorder_attached: bool,
+    /// `SimConfig::min_latency == 0`: every instant takes the serial path
+    /// because a callback could extend the very instant being evaluated.
+    pub zero_latency: bool,
+    /// Instants evaluated by the parallel engine.
+    pub parallel_rounds: u64,
+    /// Single-event instants handed back to the serial engine.
+    pub serial_fallback_single: u64,
+    /// Instants containing crash/restart/chaos events handed back to the
+    /// serial engine.
+    pub serial_fallback_mixed: u64,
 }
 
 impl Sim {
@@ -240,6 +272,9 @@ impl Sim {
             dropped: 0,
             recorder: None,
             parallel: false,
+            parallel_rounds: 0,
+            par_fallback_single: 0,
+            par_fallback_mixed: 0,
         }
     }
 
@@ -271,6 +306,25 @@ impl Sim {
     /// Is parallel same-instant evaluation currently requested?
     pub fn is_parallel(&self) -> bool {
         self.parallel
+    }
+
+    /// Why (and how often) instants ran in parallel so far.
+    ///
+    /// The serial fallbacks documented on [`Sim::set_parallel`] are
+    /// otherwise silent; harnesses and benches use this to report whether
+    /// a "parallel" run actually parallelized: `recorder_attached` or
+    /// `zero_latency` mean *every* instant was serial, and the three
+    /// counters break down the per-instant decisions the engine made.
+    pub fn parallelism_report(&self) -> ParallelismReport {
+        ParallelismReport {
+            feature_compiled: cfg!(feature = "parallel"),
+            enabled: self.parallel,
+            recorder_attached: self.recorder.is_some(),
+            zero_latency: self.cfg.min_latency == 0,
+            parallel_rounds: self.parallel_rounds,
+            serial_fallback_single: self.par_fallback_single,
+            serial_fallback_mixed: self.par_fallback_mixed,
+        }
     }
 
     /// Attach a Chrome trace-event recorder; subsequent sends, deliveries,
@@ -621,7 +675,9 @@ impl Sim {
     /// With [`Sim::set_parallel`] enabled this processes *every* event
     /// scheduled for the next virtual instant, evaluating nodes
     /// concurrently; otherwise (and on the serial fallbacks documented
-    /// there) it processes exactly one event.
+    /// there: recorder attached, `min_latency == 0`, single-event or
+    /// crash/restart/chaos instants) it processes exactly one event.
+    /// [`Sim::parallelism_report`] counts which way each instant went.
     pub fn step(&mut self) -> bool {
         #[cfg(feature = "parallel")]
         if self.parallel && self.recorder.is_none() && self.cfg.min_latency > 0 {
@@ -701,11 +757,17 @@ impl Sim {
             // Crash/restart/chaos events mutate shared simulator state
             // between callbacks; hand the instant back to the serial engine
             // (re-pushing restores the exact (time, seq) heap order).
+            if plain {
+                self.par_fallback_single += 1;
+            } else {
+                self.par_fallback_mixed += 1;
+            }
             for &(seq, id) in &popped {
                 self.queue.push(Reverse((at, seq, id)));
             }
             return self.step_serial();
         }
+        self.parallel_rounds += 1;
         self.now = self.now.max(at);
 
         // Group callbacks per node, preserving serial callback order via
@@ -1318,6 +1380,59 @@ mod tests {
             (sim.delivered_count(), sim.dropped_count())
         }
         assert_eq!(run(false), run(true));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallelism_report_explains_fallbacks() {
+        let mut sim = Sim::new(SimConfig {
+            seed: 11,
+            min_latency: 1,
+            max_latency: 40,
+            ..Default::default()
+        });
+        assert!(sim.set_parallel(true));
+        for i in 0..4 {
+            let name = format!("p{i}");
+            sim.add_node(
+                &name,
+                Box::new(Pinger {
+                    target: "c".into(),
+                    period: 10,
+                }),
+            );
+        }
+        sim.add_node("c", Box::new(Counter::new()));
+        sim.schedule_crash("c", 1_000);
+        sim.schedule_restart("c", 2_000);
+        sim.run_until(5_000);
+        let rep = sim.parallelism_report();
+        assert!(rep.feature_compiled && rep.enabled);
+        assert!(!rep.recorder_attached && !rep.zero_latency);
+        assert!(rep.parallel_rounds > 0, "{rep:?}");
+        assert!(
+            rep.serial_fallback_mixed >= 2,
+            "crash + restart instants must be counted: {rep:?}"
+        );
+        assert!(rep.serial_fallback_single > 0, "{rep:?}");
+
+        // With a recorder attached the engine never even reaches the
+        // per-instant decision; the report says why.
+        let mut sim = Sim::new(SimConfig::default());
+        sim.set_parallel(true);
+        sim.set_recorder(boom_trace::ChromeRecorder::new());
+        sim.add_node(
+            "p",
+            Box::new(Pinger {
+                target: "c".into(),
+                period: 7,
+            }),
+        );
+        sim.add_node("c", Box::new(Counter::new()));
+        sim.run_until(500);
+        let rep = sim.parallelism_report();
+        assert!(rep.recorder_attached);
+        assert_eq!(rep.parallel_rounds, 0, "{rep:?}");
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!
 //! The `analyze` subcommand renders the semantic passes on top of the
 //! diagnostics: the monotonicity / CALM report with points of order, the
-//! whole-program typed catalog, and cardinality estimates.
+//! whole-program typed catalog, cardinality estimates, and the per-rule
+//! shard-safety verdicts (with the chosen shard key and broadcast sets).
+//! Under `--format json` the shard verdicts ride along as a `"shard"`
+//! array per group; under `--format github` each rule also gets a
+//! `::notice` annotation with its verdicts.
 //!
 //! Exit codes: `0` clean, `1` errors (or any finding under
 //! `--deny-warnings`), `2` usage error, `3` warnings only.
@@ -31,8 +35,8 @@ const USAGE: &str = "usage: olgcheck [check|analyze] [--deny-warnings] [--graph]
                 [--format text|json|github] [FILE.olg ... | GROUP ...]
 
   check            diagnostics only (the default)
-  analyze          also render monotonicity (CALM), typed catalog and
-                   cardinality reports per group
+  analyze          also render monotonicity (CALM), typed catalog,
+                   cardinality and shard-safety reports per group
   --deny-warnings  treat warnings as errors (exit 1)
   --graph          print the table-precedence graph as DOT and exit
   --format FMT     diagnostic output: text (default), json, github
@@ -197,8 +201,13 @@ fn report(
             }
         }
         Format::Json => {
+            let shard = if semantic {
+                format!(",\"shard\":{}", analysis::shard::render_json(&rep.shard))
+            } else {
+                String::new()
+            };
             json_groups.push(format!(
-                "{{\"group\":\"{name}\",\"errors\":{},\"warnings\":{},\"diagnostics\":{}}}",
+                "{{\"group\":\"{name}\",\"errors\":{},\"warnings\":{},\"diagnostics\":{}{shard}}}",
                 diags.iter().filter(|d| d.is_error()).count(),
                 diags.iter().filter(|d| !d.is_error()).count(),
                 render_json(diags, map)
@@ -207,6 +216,26 @@ fn report(
     }
     let errors = diags.iter().filter(|d| d.is_error()).count();
     let warnings = diags.len() - errors;
+    if semantic && format == Format::Github {
+        // One annotation per rule so the shard verdicts land on the PR
+        // diff next to the rule they judge.
+        for r in &rep.shard.rules {
+            let (file, line, col) = map.resolve(r.span.start);
+            let body = if r.variants.is_empty() {
+                "skipped (failed error-level checks)".to_string()
+            } else {
+                r.variants
+                    .iter()
+                    .map(|(d, v)| format!("delta {d}: {v}"))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            };
+            println!(
+                "::notice file={file},line={line},col={col},title=shard-safety::rule `{}`: {body}",
+                r.label
+            );
+        }
+    }
     if semantic && format != Format::Json {
         println!("== {name} ==");
         print!("{}", rep.render_semantic(map));

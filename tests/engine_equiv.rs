@@ -1,44 +1,72 @@
-//! Serial vs parallel engine byte-identity: with the `parallel` feature
-//! on and [`Sim::set_parallel`] enabled, every shipped scenario must
-//! produce exactly the state the serial engine produces — same virtual
-//! schedule, same RNG stream, same fault log, same client-visible
-//! outputs, and the same `overlog_state_fingerprint` byte for byte.
+//! Engine byte-identity across evaluation modes: with the `parallel`
+//! feature on, every shipped scenario must produce exactly the state the
+//! serial engine produces — same virtual schedule, same RNG stream, same
+//! fault log, same client-visible outputs, and the same
+//! `overlog_state_fingerprint` byte for byte — under the parallel
+//! simulator engine ([`Sim::set_parallel`]) AND under intra-node sharded
+//! rule evaluation (`PlanOptions::shards > 1`).
 //!
-//! Each scenario runs three times — serial, serial again (guards against
-//! pre-existing nondeterminism), and parallel — and the full observable
-//! state is compared as strings. A property test then sweeps randomized
-//! latency/drop/duplicate configs and crash/partition/dup-burst
-//! schedules through a chatty cluster under both engines.
+//! Each scenario runs four times — serial, serial again (guards against
+//! pre-existing nondeterminism), parallel, and sharded — and the full
+//! observable state is compared as strings. Property tests then sweep
+//! randomized latency/drop/duplicate configs and chaos schedules through
+//! a chatty cluster under both simulator engines, and randomized batched
+//! workloads through a sharded runtime at random shard counts.
 #![cfg(feature = "parallel")]
 
 use boom::core::FullStackBuilder;
 use boom::fs::{ControlPlane, FsClusterBuilder};
 use boom::mr::workload::synth_text;
 use boom::mr::{MrClusterBuilder, MrDriver, MrJob, SpecPolicy};
-use boom::simnet::{overlog_state_fingerprint, ChaosSchedule, Sim, SimConfig};
+use boom::overlog::PlanOptions;
+use boom::simnet::{
+    overlog_state_fingerprint, set_plan_options_all, ChaosSchedule, Sim, SimConfig,
+};
 
-fn enable(sim: &mut Sim, parallel: bool) {
-    if parallel {
-        assert!(
-            sim.set_parallel(true),
-            "the `parallel` feature must be compiled in for this suite"
-        );
+#[derive(Clone, Copy)]
+enum Mode {
+    Serial,
+    /// Parallel same-instant node evaluation in the simulator.
+    Parallel,
+    /// Serial simulator, but every Overlog runtime evaluates shard-safe
+    /// rule variants over N hash partitions on worker threads.
+    Sharded(usize),
+}
+
+fn enable(sim: &mut Sim, mode: Mode) {
+    match mode {
+        Mode::Serial => {}
+        Mode::Parallel => {
+            assert!(
+                sim.set_parallel(true),
+                "the `parallel` feature must be compiled in for this suite"
+            );
+        }
+        Mode::Sharded(n) => set_plan_options_all(
+            sim,
+            PlanOptions {
+                shards: n,
+                ..Default::default()
+            },
+        ),
     }
 }
 
-fn assert_engine_identical(name: &str, run: impl Fn(bool) -> String) {
-    let s1 = run(false);
-    let s2 = run(false);
+fn assert_engine_identical(name: &str, run: impl Fn(Mode) -> String) {
+    let s1 = run(Mode::Serial);
+    let s2 = run(Mode::Serial);
     assert_eq!(s1, s2, "{name}: serial engine is not even self-stable");
-    let p = run(true);
+    let p = run(Mode::Parallel);
     assert_eq!(s1, p, "{name}: parallel engine diverged from serial");
+    let sh = run(Mode::Sharded(4));
+    assert_eq!(s1, sh, "{name}: sharded evaluation diverged from serial");
 }
 
 /// BOOM-FS metadata workload: directories, files, a real chunk write,
 /// renames and deletions, fingerprinting every Overlog node at the end.
 #[test]
 fn fs_scenario_is_engine_independent() {
-    assert_engine_identical("fs", |parallel| {
+    assert_engine_identical("fs", |mode| {
         let mut c = FsClusterBuilder {
             control: ControlPlane::Declarative,
             datanodes: 3,
@@ -46,7 +74,7 @@ fn fs_scenario_is_engine_independent() {
             ..Default::default()
         }
         .build();
-        enable(&mut c.sim, parallel);
+        enable(&mut c.sim, mode);
         let cl = c.client.clone();
         cl.mkdir(&mut c.sim, "/a").unwrap();
         cl.mkdir(&mut c.sim, "/a/b").unwrap();
@@ -79,7 +107,7 @@ fn mr_scenarios_are_engine_independent() {
             (SpecPolicy::Naive, "naive"),
             (SpecPolicy::Late, "late"),
         ] {
-            assert_engine_identical(&format!("mr-{lname}-{sname}"), move |parallel| {
+            assert_engine_identical(&format!("mr-{lname}-{sname}"), move |mode| {
                 let mut c = MrClusterBuilder {
                     policy,
                     locality,
@@ -87,7 +115,7 @@ fn mr_scenarios_are_engine_independent() {
                     ..Default::default()
                 }
                 .build();
-                enable(&mut c.sim, parallel);
+                enable(&mut c.sim, mode);
                 let inputs = c.load_corpus(11, 2, 800).expect("corpus loads");
                 let fs = c.fs.clone();
                 let mut driver = c.driver.clone();
@@ -118,7 +146,7 @@ fn mr_scenarios_are_engine_independent() {
 #[test]
 fn chaotic_full_stack_is_engine_independent() {
     for seed in [1u64, 7, 23] {
-        assert_engine_identical(&format!("full-stack-chaos-seed{seed}"), move |parallel| {
+        assert_engine_identical(&format!("full-stack-chaos-seed{seed}"), move |mode| {
             let mut s = FullStackBuilder {
                 sim: SimConfig {
                     seed,
@@ -128,7 +156,7 @@ fn chaotic_full_stack_is_engine_independent() {
                 ..Default::default()
             }
             .build();
-            enable(&mut s.sim, parallel);
+            enable(&mut s.sim, mode);
             s.fs.mkdir(&mut s.sim, "/input").unwrap();
             let schedule = ChaosSchedule::new("equiv")
                 .flap("dn1", 200, 40_000)
@@ -176,7 +204,7 @@ fn chaotic_full_stack_is_engine_independent() {
 /// spreads, loss/duplication probabilities, and crash/partition/dup-burst
 /// chaos. The two engines must agree on the complete delivery record.
 mod random_schedules {
-    use super::enable;
+    use super::{enable, Mode};
     use boom::overlog::value::row;
     use boom::overlog::{NetTuple, Value};
     use boom::simnet::{Actor, ChaosSchedule, Ctx, Sim, SimConfig};
@@ -233,7 +261,14 @@ mod random_schedules {
             drop_prob: drop_pct as f64 / 100.0,
             duplicate_prob: dup_pct as f64 / 100.0,
         });
-        enable(&mut sim, parallel);
+        enable(
+            &mut sim,
+            if parallel {
+                Mode::Parallel
+            } else {
+                Mode::Serial
+            },
+        );
         for i in 0..pingers {
             let name = format!("p{i}");
             sim.add_node(
@@ -290,6 +325,85 @@ mod random_schedules {
             let serial = run(false, seed, max_latency, drop_pct, dup_pct, pingers, &chaos);
             let parallel = run(true, seed, max_latency, drop_pct, dup_pct, pingers, &chaos);
             prop_assert_eq!(serial, parallel);
+        }
+    }
+}
+
+/// Shard-count invariance: a single Overlog runtime fed randomized
+/// same-instant batches (coalescing into one big delta per tick) must
+/// produce a byte-identical state fingerprint at 1 shard and at any
+/// shard count, across programs exercising every verdict class —
+/// co-partitioned joins (sharded), event projections (sharded),
+/// aggregates and recursion (serial fallbacks).
+mod shard_invariance {
+    use boom::overlog::value::row;
+    use boom::overlog::{OverlogRuntime, PlanOptions, Value};
+    use boom::simnet::{
+        overlog_state_fingerprint, set_plan_options_all, OverlogActor, Sim, SimConfig,
+    };
+    use proptest::prelude::*;
+
+    fn runtime(name: &str) -> OverlogRuntime {
+        let mut rt = OverlogRuntime::new(name);
+        rt.load(
+            "event e, {Int, Int};
+             define(idx, keys(0), {Int, Int});
+             define(out, keys(0), {Int, Int});
+             define(total, keys(), {Int});
+             define(link, keys(0,1), {Int, Int});
+             define(path, keys(0,1), {Int, Int});
+             idx(X, Y) :- e(X, Y);
+             out(X, Y + Z) :- e(X, Y), idx(X, Z);
+             total(count<X>) :- out(X, _);
+             link(X, Y) :- e(X, Y), X != Y;
+             path(X, Y) :- link(X, Y);
+             path(X, Z) :- link(X, Y), path(Y, Z);",
+        )
+        .expect("program loads");
+        rt
+    }
+
+    /// Inject `vals` as one same-instant batch per tranche of 32 (fixed
+    /// unit latency makes them coalesce into a single `on_tuples` call,
+    /// i.e. one delta), run to quiescence, fingerprint.
+    fn run(shards: usize, keyspace: i64, vals: &[i64]) -> String {
+        let mut sim = Sim::new(SimConfig {
+            seed: 5,
+            min_latency: 1,
+            max_latency: 1,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        });
+        sim.add_node("n0", Box::new(OverlogActor::new(runtime("n0"), 50)));
+        set_plan_options_all(
+            &mut sim,
+            PlanOptions {
+                shards,
+                ..Default::default()
+            },
+        );
+        for (i, &v) in vals.iter().enumerate() {
+            sim.inject(
+                "n0",
+                "e",
+                row(vec![Value::Int(v % keyspace.max(1)), Value::Int(i as i64)]),
+            );
+        }
+        sim.run_until(3_000);
+        overlog_state_fingerprint(&mut sim)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn fingerprints_are_shard_count_invariant(
+            shards in 2usize..=8,
+            keyspace in 1i64..12,
+            vals in prop::collection::vec(0i64..1_000, 16..64),
+        ) {
+            let serial = run(1, keyspace, &vals);
+            let sharded = run(shards, keyspace, &vals);
+            prop_assert_eq!(serial, sharded);
         }
     }
 }

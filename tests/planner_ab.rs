@@ -17,6 +17,7 @@ use boom::simnet::{overlog_state_fingerprint, set_plan_options_all};
 const BASELINE: PlanOptions = PlanOptions {
     reorder_joins: false,
     scoped_views: false,
+    shards: 1,
 };
 
 fn assert_ab_identical(name: &str, run: impl Fn(PlanOptions) -> String) {
