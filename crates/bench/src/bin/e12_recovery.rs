@@ -1,0 +1,161 @@
+//! E12 — durable recovery cost: crash a churning Overlog node and measure
+//! how recovery scales with total history and checkpoint interval.
+//!
+//! The claim under test: with a fixed checkpoint interval, replay cost is
+//! bounded by churn since the last checkpoint — recovery stays flat as
+//! history grows — while with checkpointing off it replays the whole log.
+//! Every cell also gates on exactness: the recovered node's state
+//! fingerprint must equal a never-crashed twin's.
+//!
+//! `--smoke` runs CI-scale sizes and exits non-zero if any fingerprint
+//! diverges or any checkpointed cell replays more than its bound (it does
+//! **not** gate wall-clock — CI machines are noisy). The full run writes
+//! `results/e12_recovery.txt` and `results/BENCH_e12.json`.
+
+use boom_bench::{run_recovery_bench, RecoveryCase};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Batch-granularity slack on the checkpoint bound: a checkpoint is cut
+/// after the append that crosses the threshold, so the surviving suffix
+/// can exceed the interval by up to one activation's worth of entries.
+const CKPT_SLACK: usize = 8;
+
+fn render_text(cases: &[RecoveryCase]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# E12: durable recovery — replay cost vs history and checkpoint interval"
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} {:>10} {:>10} {:>10} {:>10} {:>9} {:>12} {:>6}",
+        "history", "ckpt", "wal@crash", "snap rows", "replayed", "batches", "recover(us)", "ident"
+    );
+    for c in cases {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>10} {:>10} {:>10} {:>10} {:>9} {:>12} {:>6}",
+            c.history,
+            if c.checkpoint_every == 0 {
+                "never".to_string()
+            } else {
+                c.checkpoint_every.to_string()
+            },
+            c.wal_entries_at_crash,
+            c.snapshot_rows,
+            c.replayed_entries,
+            c.wal_batches,
+            c.recovery_micros,
+            c.fingerprint_match
+        );
+    }
+    for ck in cases
+        .iter()
+        .map(|c| c.checkpoint_every)
+        .filter(|&ck| ck > 0)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let row: Vec<&RecoveryCase> = cases.iter().filter(|c| c.checkpoint_every == ck).collect();
+        if let (Some(first), Some(last)) = (row.first(), row.last()) {
+            let _ = writeln!(
+                out,
+                "# ckpt {}: history {} -> {} grows {:.1}x, replay {} -> {} stays bounded",
+                ck,
+                first.history,
+                last.history,
+                last.history as f64 / first.history.max(1) as f64,
+                first.replayed_entries,
+                last.replayed_entries
+            );
+        }
+    }
+    out
+}
+
+fn render_json(cases: &[RecoveryCase]) -> String {
+    let mut out = String::from("{\"experiment\":\"e12_recovery\",\"cases\":[");
+    for (i, c) in cases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"history\":{},\"checkpoint_every\":{},\"wal_entries_at_crash\":{},\
+             \"snapshot_rows\":{},\"replayed_entries\":{},\"wal_batches\":{},\
+             \"recovery_micros\":{},\"fingerprint_match\":{}}}",
+            c.history,
+            c.checkpoint_every,
+            c.wal_entries_at_crash,
+            c.snapshot_rows,
+            c.replayed_entries,
+            c.wal_batches,
+            c.recovery_micros,
+            c.fingerprint_match
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The deterministic gates: exactness everywhere, bounded replay in
+/// checkpointed cells, full replay in unbounded cells.
+fn violations(cases: &[RecoveryCase]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for c in cases {
+        if !c.fingerprint_match {
+            bad.push(format!(
+                "history {} ckpt {}: recovered state diverged from the twin",
+                c.history, c.checkpoint_every
+            ));
+        }
+        if c.checkpoint_every > 0 && c.replayed_entries > c.checkpoint_every + CKPT_SLACK {
+            bad.push(format!(
+                "history {} ckpt {}: replayed {} entries, bound is {}",
+                c.history,
+                c.checkpoint_every,
+                c.replayed_entries,
+                c.checkpoint_every + CKPT_SLACK
+            ));
+        }
+        if c.checkpoint_every == 0 && c.replayed_entries < c.history {
+            bad.push(format!(
+                "history {} ckpt never: replayed only {} entries — the log lost history",
+                c.history, c.replayed_entries
+            ));
+        }
+    }
+    bad
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cases = if smoke {
+        eprintln!("E12 smoke: CI-scale histories, exactness + replay-bound gates");
+        run_recovery_bench(1, &[60, 120], &[0, 32])
+    } else {
+        eprintln!("E12: full recovery-cost grid");
+        run_recovery_bench(1, &[250, 500, 1_000, 2_000], &[0, 64, 256])
+    };
+    let text = render_text(&cases);
+    print!("{text}");
+    println!("{}", render_json(&cases));
+    let bad = violations(&cases);
+    if !bad.is_empty() {
+        for b in &bad {
+            eprintln!("E12 FAIL: {b}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if !smoke {
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/e12_recovery.txt", &text))
+            .and_then(|()| std::fs::write("results/BENCH_e12.json", render_json(&cases)))
+        {
+            eprintln!("E12: could not write results files: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("E12: wrote results/e12_recovery.txt and results/BENCH_e12.json");
+    }
+    ExitCode::SUCCESS
+}

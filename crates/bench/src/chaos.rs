@@ -20,12 +20,12 @@
 //! report is a pure function of `(schedule, seed, config)` — rerunning
 //! reproduces the identical fault log and verdicts.
 
-use boom_core::{FullStack, FullStackBuilder};
+use boom_core::{FullStack, FullStackBuilder, ReplicatedFsBuilder};
 use boom_mr::tasktracker::TaskTracker;
 use boom_mr::workload::{reference_wordcount, synth_text};
 use boom_mr::{CostModel, MrDriver, MrJob};
 use boom_simnet::chaos::ChaosSchedule;
-use boom_simnet::SimConfig;
+use boom_simnet::{OverlogActor, SimConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -476,6 +476,228 @@ pub fn run_chaos(cfg: &ChaosConfig, named: NamedSchedule) -> ChaosReport {
         job_ms_faulty,
         rereplication_ms,
         chrome_json: stack.sim.take_recorder().map(|r| r.render()),
+    }
+}
+
+/// Configuration for the restart-storm recovery scenario (E12's chaos
+/// leg): a replicated NameNode cluster whose every replica is cycled
+/// through staggered crash/restart storms — including a window where the
+/// whole quorum is down at once.
+#[derive(Debug, Clone)]
+pub struct RestartStormConfig {
+    /// Simulator and disk-fault seed.
+    pub seed: u64,
+    /// Durable disks on (the fix) or off (reproduces the blank-acceptor
+    /// hazard the storm was built to expose).
+    pub durable: bool,
+    /// Metadata entries created (and acked) before the storm.
+    pub files: usize,
+    /// Crash/restart cycles per replica.
+    pub cycles: usize,
+    /// Storm period per replica (virtual ms); a replica is down for half
+    /// of each period.
+    pub period: u64,
+    /// Checkpoint interval in logged entries (durable mode; 0 = never).
+    pub checkpoint_every: usize,
+}
+
+impl Default for RestartStormConfig {
+    fn default() -> Self {
+        RestartStormConfig {
+            seed: 1,
+            durable: true,
+            files: 6,
+            cycles: 3,
+            period: 3_000,
+            checkpoint_every: 64,
+        }
+    }
+}
+
+/// Canonical rendering of a replica's decided log: slot → full row.
+fn decided_map(sim: &mut boom_simnet::Sim, node: &str) -> BTreeMap<i64, String> {
+    sim.with_actor::<OverlogActor, _>(node, |a| {
+        a.runtime_ref()
+            .rows("decided")
+            .iter()
+            .filter_map(|r| Some((r[0].as_int()?, format!("{r:?}"))))
+            .collect()
+    })
+}
+
+/// Run the restart-storm scenario and check its invariants:
+///
+/// * **service-resumed** — after the storm the cluster answers reads and
+///   accepts a fresh mutation;
+/// * **no-acked-write-lost** — every pre-storm file (and the one written
+///   through the data path) is still served;
+/// * **no-decided-lost** — every Paxos instance decided before the storm
+///   is still decided, with the same value, on every replica (polled with
+///   a deadline, since rejoining replicas catch up asynchronously);
+/// * **no-divergent-commit** — no slot holds different values on
+///   different replicas at any point we look.
+///
+/// With `durable: false` the full-quorum outage wipes every acceptor and
+/// the report goes RED — the regression the durable disks exist to fix.
+pub fn run_restart_storm(cfg: &RestartStormConfig) -> ChaosReport {
+    let mut c = ReplicatedFsBuilder {
+        sim: SimConfig {
+            seed: cfg.seed,
+            ..Default::default()
+        },
+        durable: cfg.durable,
+        checkpoint_every: cfg.checkpoint_every,
+        datanodes: 2,
+        replication: 2,
+        ..Default::default()
+    }
+    .build();
+    let cl = c.client.clone();
+
+    // Acked pre-storm state: metadata entries plus one data-path file.
+    cl.mkdir(&mut c.sim, "/pre")
+        .expect("pre-storm mkdir must ack");
+    let mut paths: Vec<String> = Vec::new();
+    for i in 0..cfg.files {
+        let p = format!("/pre/f{i}");
+        cl.create(&mut c.sim, &p)
+            .expect("pre-storm create must ack");
+        paths.push(p);
+    }
+    cl.write_file(&mut c.sim, "/pre/blob", "storm-proof payload")
+        .expect("pre-storm write must ack");
+    c.sim.run_for(2_000); // followers apply the full log
+
+    // The pre-storm decided union (and a first divergence scan).
+    let namenodes = c.namenodes.clone();
+    let mut pre_decided: BTreeMap<i64, String> = BTreeMap::new();
+    let mut divergent: Vec<String> = Vec::new();
+    for nn in &namenodes {
+        for (slot, val) in decided_map(&mut c.sim, nn) {
+            match pre_decided.get(&slot) {
+                Some(prev) if *prev != val => divergent.push(format!("slot {slot} pre-storm")),
+                _ => {
+                    pre_decided.insert(slot, val);
+                }
+            }
+        }
+    }
+
+    // Staggered per-replica storms; the overlap takes the whole quorum
+    // down at once partway through each cycle.
+    let mut sched = ChaosSchedule::new("restart-storm");
+    for (i, nn) in namenodes.iter().enumerate() {
+        sched = sched.restart_storm(nn, 500 + 200 * i as u64, cfg.period, cfg.cycles);
+    }
+    let install_at = c.sim.now();
+    c.sim.install_chaos(&sched);
+    c.sim.run_for(sched.horizon() + 500);
+
+    let mut checks = Vec::new();
+
+    // Invariant: service resumes — reads answer and a mutation commits.
+    let deadline = c.sim.now() + 90_000;
+    let mut resumed_at = None;
+    while c.sim.now() < deadline {
+        if cl.exists(&mut c.sim, "/pre").is_ok() && cl.create(&mut c.sim, "/post-storm").is_ok() {
+            resumed_at = Some(c.sim.now());
+            break;
+        }
+        c.sim.run_for(1_000);
+    }
+    checks.push(InvariantCheck {
+        name: "service-resumed",
+        pass: resumed_at.is_some(),
+        detail: match resumed_at {
+            Some(at) => format!("reads + mutations at {} ms after install", at - install_at),
+            None => "cluster never answered after the storm".into(),
+        },
+    });
+
+    // Invariant: no acked write lost.
+    let mut lost = Vec::new();
+    for p in &paths {
+        match cl.exists(&mut c.sim, p) {
+            Ok(true) => {}
+            Ok(false) => lost.push(format!("{p} (gone)")),
+            Err(e) => lost.push(format!("{p} ({e:?})")),
+        }
+    }
+    match cl.read_file(&mut c.sim, "/pre/blob") {
+        Ok(got) if got == "storm-proof payload" => {}
+        Ok(_) => lost.push("/pre/blob (corrupt)".into()),
+        Err(e) => lost.push(format!("/pre/blob ({e:?})")),
+    }
+    checks.push(InvariantCheck {
+        name: "no-acked-write-lost",
+        pass: lost.is_empty(),
+        detail: if lost.is_empty() {
+            format!("{} entries + data file intact", paths.len())
+        } else {
+            lost.join(", ")
+        },
+    });
+
+    // Invariants: no decided instance lost, no divergent slot. Rejoiners
+    // pull missed slots asynchronously, so poll with a deadline.
+    let catchup_deadline = c.sim.now() + 60_000;
+    let mut missing;
+    loop {
+        missing = 0;
+        for nn in &namenodes {
+            let post = decided_map(&mut c.sim, nn);
+            for (slot, val) in &pre_decided {
+                match post.get(slot) {
+                    Some(got) if got == val => {}
+                    Some(_) => divergent.push(format!("slot {slot} on {nn}")),
+                    None => missing += 1,
+                }
+            }
+        }
+        if (missing == 0 && divergent.is_empty()) || c.sim.now() >= catchup_deadline {
+            break;
+        }
+        c.sim.run_for(1_000);
+    }
+    divergent.sort();
+    divergent.dedup();
+    checks.push(InvariantCheck {
+        name: "no-decided-lost",
+        pass: missing == 0,
+        detail: if missing == 0 {
+            format!(
+                "{} pre-storm instances on all {} replicas",
+                pre_decided.len(),
+                namenodes.len()
+            )
+        } else {
+            format!("{missing} replica-slots missing at deadline")
+        },
+    });
+    checks.push(InvariantCheck {
+        name: "no-divergent-commit",
+        pass: divergent.is_empty(),
+        detail: if divergent.is_empty() {
+            "all replicas agree on every decided slot".into()
+        } else {
+            divergent.join(", ")
+        },
+    });
+
+    ChaosReport {
+        schedule: "restart-storm".into(),
+        seed: cfg.seed,
+        fault_log: c
+            .sim
+            .fault_log()
+            .iter()
+            .map(|f| (f.at, f.action.clone()))
+            .collect(),
+        checks,
+        job_ms_clean: 0,
+        job_ms_faulty: resumed_at.map(|at| at - install_at).unwrap_or(0),
+        rereplication_ms: None,
+        chrome_json: None,
     }
 }
 

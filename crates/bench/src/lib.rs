@@ -16,6 +16,8 @@
 //! | E8 | `e8_chaos` | chaos schedules: fault injection + self-healing invariants |
 //! | E9 | `e9_planner` | analysis-driven planner A/B (CALM-scoped views, join order) |
 //! | E10 | `e10_engine` | engine hot path: tuples/CPU-sec, serial-vs-parallel identity |
+//! | E11 | `e11_shard` | intra-node sharded evaluation (analysis-gated) |
+//! | E12 | `e12_recovery` | durable recovery: replay cost vs history and checkpoint interval |
 //!
 //! Criterion microbenches (`cargo bench`) cover engine-level numbers that
 //! back the latency/throughput cells at CI-friendly scale.
@@ -24,7 +26,11 @@ pub mod chaos;
 pub mod experiments;
 pub mod locs;
 pub mod observe;
+pub mod recovery;
 
-pub use chaos::{run_chaos, ChaosConfig, ChaosReport, NamedSchedule};
+pub use chaos::{
+    run_chaos, run_restart_storm, ChaosConfig, ChaosReport, NamedSchedule, RestartStormConfig,
+};
 pub use experiments::*;
 pub use observe::{run_observed, ObserveConfig, ObservedRun};
+pub use recovery::{run_recovery_bench, run_recovery_case, RecoveryCase};

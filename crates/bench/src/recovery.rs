@@ -1,0 +1,175 @@
+//! E12 — durable recovery cost: how long a crashed node takes to come
+//! back as a function of total history and checkpoint interval.
+//!
+//! One Overlog node runs a bounded-keyspace churn workload (every `set`
+//! event overwrites one of 64 keys and bumps an op counter), accumulating
+//! a write-ahead log on its simulated disk. The node is then crashed and
+//! restarted, and the recovery is measured three ways:
+//!
+//! * **replayed entries** — the physical log suffix the restore walked
+//!   (plus the snapshot rows it installed first);
+//! * **recovery wall time** — host microseconds inside the restore
+//!   (snapshot install + replay + view rebuild);
+//! * **exactness** — the recovered node's full state fingerprint must be
+//!   byte-identical to a twin that lived through the same workload
+//!   without ever crashing.
+//!
+//! The headline claim: with a fixed checkpoint interval, replay cost is
+//! bounded by churn since the last checkpoint, not by total history —
+//! recovery time stays flat as the log grows. With checkpointing off the
+//! replay is the whole history, growing linearly.
+
+use boom_overlog::{row, OverlogRuntime, Value};
+use boom_simnet::{
+    overlog_state_fingerprint, CheckpointPolicy, DurableStore, OverlogActor, Sim, SimConfig,
+};
+
+/// Bounded-keyspace churn: overwrites dominate, so the live state stays
+/// small while the log grows with every operation.
+const CHURN_PROG: &str = "
+    define(kv, keys(0), {Int, Int});
+    define(nops, keys(), {Int});
+    event set, {Int, Int};
+    nops(0);
+    kv(K, V) :- set(K, V);
+    nops(N + 1) :- set(_, _), nops(N);
+";
+
+/// Keys the churn cycles through (live-set size ceiling).
+const KEYSPACE: i64 = 64;
+
+fn churn_factory(name: &str) -> OverlogRuntime {
+    let mut rt = OverlogRuntime::new(name);
+    rt.load(CHURN_PROG).expect("churn program compiles");
+    rt.set_durable_all();
+    rt
+}
+
+/// One measured crash/recovery.
+#[derive(Debug, Clone)]
+pub struct RecoveryCase {
+    /// Churn operations before the crash (total history).
+    pub history: usize,
+    /// Checkpoint interval in log entries (0 = never checkpoint).
+    pub checkpoint_every: usize,
+    /// Write-ahead-log entries on disk at crash time.
+    pub wal_entries_at_crash: usize,
+    /// Rows installed from the checkpoint snapshot during recovery.
+    pub snapshot_rows: usize,
+    /// Log entries physically replayed during recovery.
+    pub replayed_entries: usize,
+    /// Log batches those entries came from.
+    pub wal_batches: usize,
+    /// Host wall time of the restore, microseconds.
+    pub recovery_micros: u128,
+    /// Recovered state byte-identical to the never-crashed twin?
+    pub fingerprint_match: bool,
+}
+
+fn build_sim(seed: u64, checkpoint_every: usize) -> (Sim, DurableStore) {
+    let mut sim = Sim::new(SimConfig {
+        seed,
+        ..Default::default()
+    });
+    let store = DurableStore::new(seed);
+    sim.set_durable_store(store.clone());
+    sim.add_node(
+        "n0",
+        Box::new(
+            OverlogActor::with_factory(Box::new(churn_factory), 20, "n0").with_durability(
+                store.clone(),
+                CheckpointPolicy {
+                    every_entries: checkpoint_every,
+                },
+            ),
+        ),
+    );
+    (sim, store)
+}
+
+fn churn(sim: &mut Sim, history: usize) {
+    for i in 0..history as i64 {
+        sim.inject(
+            "n0",
+            "set",
+            row(vec![Value::Int(i % KEYSPACE), Value::Int(i)]),
+        );
+        sim.run_for(5);
+    }
+}
+
+/// Run one `(history, checkpoint_every)` cell: churn, crash, restart,
+/// measure, and compare against the never-crashed twin.
+pub fn run_recovery_case(seed: u64, history: usize, checkpoint_every: usize) -> RecoveryCase {
+    // The crashing run.
+    let (mut sim, store) = build_sim(seed, checkpoint_every);
+    churn(&mut sim, history);
+    let wal_entries_at_crash = store.wal_entries("n0");
+    let now = sim.now();
+    sim.schedule_crash("n0", now + 7);
+    sim.schedule_restart("n0", now + 17);
+    sim.run_for(100);
+
+    // The twin: same seed, same churn, no crash, same elapsed time.
+    let (mut twin, _twin_store) = build_sim(seed, checkpoint_every);
+    churn(&mut twin, history);
+    twin.run_for(100);
+
+    let rec = sim.with_actor::<OverlogActor, _>("n0", |a| {
+        a.recoveries
+            .last()
+            .expect("the restart went through recovery")
+            .clone()
+    });
+    let fingerprint_match =
+        overlog_state_fingerprint(&mut sim) == overlog_state_fingerprint(&mut twin);
+    RecoveryCase {
+        history,
+        checkpoint_every,
+        wal_entries_at_crash,
+        snapshot_rows: rec.snapshot_rows,
+        replayed_entries: rec.replayed_entries,
+        wal_batches: rec.wal_batches,
+        recovery_micros: rec.wall.as_micros(),
+        fingerprint_match,
+    }
+}
+
+/// The E12 grid: every history × every checkpoint interval.
+pub fn run_recovery_bench(
+    seed: u64,
+    histories: &[usize],
+    checkpoints: &[usize],
+) -> Vec<RecoveryCase> {
+    let mut out = Vec::new();
+    for &ck in checkpoints {
+        for &h in histories {
+            out.push(run_recovery_case(seed, h, ck));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_is_exact_and_checkpoints_bound_replay() {
+        let unbounded = run_recovery_case(7, 80, 0);
+        assert!(unbounded.fingerprint_match, "recovered state diverged");
+        assert!(
+            unbounded.replayed_entries >= 80,
+            "without checkpoints the whole history replays, got {}",
+            unbounded.replayed_entries
+        );
+        let bounded = run_recovery_case(7, 80, 32);
+        assert!(bounded.fingerprint_match, "recovered state diverged");
+        assert!(
+            bounded.replayed_entries <= 32 + 8,
+            "replay must be bounded by churn since the checkpoint, got {}",
+            bounded.replayed_entries
+        );
+        assert!(bounded.snapshot_rows > 0, "recovery used the snapshot");
+    }
+}

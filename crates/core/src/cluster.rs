@@ -1,11 +1,11 @@
 //! Whole-stack cluster assembly for the replicated (Paxos) deployment.
 
-use crate::replicated::replicated_nn_actor;
+use crate::replicated::{durable_replicated_nn_actor, replicated_nn_actor};
 use boom_fs::client::{ClientActor, FsClient, FsConfig, NameNodeMode, RetryPolicy};
 use boom_fs::datanode::{DataNode, DataNodeConfig};
 use boom_fs::namenode::NameNodeConfig;
 use boom_paxos::PaxosGroup;
-use boom_simnet::{Sim, SimConfig};
+use boom_simnet::{CheckpointPolicy, DurableStore, Sim, SimConfig};
 
 /// Recipe for a BOOM-FS cluster whose NameNode is a Paxos group — the
 /// paper's availability revision.
@@ -27,6 +27,13 @@ pub struct ReplicatedFsBuilder {
     pub chunk_size: usize,
     /// Client per-RPC timeout (ms); lower = faster failover at the client.
     pub rpc_timeout: u64,
+    /// Give each replica a durable disk: write-ahead persistence plus
+    /// recovery on restart (the crash-recovery revision). Off by default —
+    /// the volatile cluster stays byte-identical to the pre-durability one.
+    pub durable: bool,
+    /// Checkpoint after this many logged entries (durable mode only;
+    /// 0 = never checkpoint, replay the whole log).
+    pub checkpoint_every: usize,
 }
 
 impl Default for ReplicatedFsBuilder {
@@ -40,6 +47,8 @@ impl Default for ReplicatedFsBuilder {
             lease_ms: 2_000,
             chunk_size: 4096,
             rpc_timeout: 1_500,
+            durable: false,
+            checkpoint_every: 512,
         }
     }
 }
@@ -56,6 +65,8 @@ pub struct ReplicatedFsCluster {
     pub datanodes: Vec<String>,
     /// The Paxos group description.
     pub group: PaxosGroup,
+    /// The shared durable store (populated when `durable` was set).
+    pub store: Option<DurableStore>,
 }
 
 impl ReplicatedFsBuilder {
@@ -71,11 +82,27 @@ impl ReplicatedFsBuilder {
             id_stride: 1,
             id_offset: 0,
         };
+        let store = if self.durable {
+            let store = DurableStore::new(self.sim.seed);
+            sim.set_durable_store(store.clone());
+            Some(store)
+        } else {
+            None
+        };
         for nn in &namenodes {
-            sim.add_node(
-                nn,
-                Box::new(replicated_nn_actor(nn, group.clone(), nn_cfg.clone())),
-            );
+            let actor: Box<dyn boom_simnet::Actor> = match &store {
+                Some(store) => Box::new(durable_replicated_nn_actor(
+                    nn,
+                    group.clone(),
+                    nn_cfg.clone(),
+                    store.clone(),
+                    CheckpointPolicy {
+                        every_entries: self.checkpoint_every,
+                    },
+                )),
+                None => Box::new(replicated_nn_actor(nn, group.clone(), nn_cfg.clone())),
+            };
+            sim.add_node(nn, actor);
         }
         let datanodes: Vec<String> = (0..self.datanodes).map(|i| format!("dn{i}")).collect();
         for dn in &datanodes {
@@ -106,6 +133,7 @@ impl ReplicatedFsBuilder {
             namenodes,
             datanodes,
             group,
+            store,
         }
     }
 }

@@ -25,4 +25,8 @@ pub mod replicated;
 
 pub use cluster::{ReplicatedFsBuilder, ReplicatedFsCluster};
 pub use fullstack::{FullStack, FullStackBuilder};
-pub use replicated::{replicated_nn_actor, replicated_nn_runtime, REPLICATED_GLUE_OLG};
+pub use replicated::{
+    catch_up_if_behind, durable_replicated_nn_actor, durable_replicated_nn_runtime,
+    replicated_nn_actor, replicated_nn_runtime, transfer_nn_snapshot, REPLICATED_GLUE_OLG,
+    SNAPSHOT_EXCLUDED_TABLES,
+};

@@ -2,10 +2,9 @@
 
 use boom_fs::namenode::NameNodeConfig;
 use boom_fs::NAMENODE_OLG;
-use boom_overlog::{OverlogError, OverlogRuntime, Value};
-use boom_paxos::{register_qid, PaxosGroup, PAXOS_OLG};
-use boom_simnet::OverlogActor;
-use std::sync::atomic::{AtomicI64, Ordering};
+use boom_overlog::{OverlogRuntime, Value};
+use boom_paxos::{register_qid, PaxosGroup, CATCHUP_OLG, PAXOS_OLG};
+use boom_simnet::{CheckpointPolicy, DurableStore, OverlogActor, Sim};
 use std::sync::Arc;
 
 /// The consensus-to-filesystem glue program.
@@ -20,14 +19,9 @@ pub fn replicated_nn_runtime(
 ) -> OverlogRuntime {
     let mut rt = OverlogRuntime::new(addr);
     // newid(): deterministic counter — replicas applying the same decided
-    // sequence allocate identical ids (state-machine replication).
-    let counter = Arc::new(AtomicI64::new(0));
-    rt.register_builtin("newid", move |args| {
-        if !args.is_empty() {
-            return Err(OverlogError::Eval("newid takes no arguments".into()));
-        }
-        Ok(Value::Int(2 + counter.fetch_add(1, Ordering::Relaxed)))
-    });
+    // sequence allocate identical ids (state-machine replication). Tracked
+    // (not a raw closure) so durable recovery resumes the sequence.
+    rt.register_counter("newid", 2);
     register_qid(&mut rt);
     rt.load(NAMENODE_OLG)
         .expect("embedded namenode.olg must compile");
@@ -61,6 +55,108 @@ pub fn replicated_nn_actor(addr: &str, group: PaxosGroup, cfg: NameNodeConfig) -
     )
 }
 
+/// Build a durable replica runtime: [`replicated_nn_runtime`] plus the
+/// catch-up rules and every base table marked durable — file-system
+/// metadata, acceptor promises, and the decided log all survive a restart.
+pub fn durable_replicated_nn_runtime(
+    addr: &str,
+    group: &PaxosGroup,
+    cfg: &NameNodeConfig,
+) -> OverlogRuntime {
+    let mut rt = replicated_nn_runtime(addr, group, cfg);
+    rt.load(CATCHUP_OLG)
+        .expect("embedded catchup.olg must compile");
+    rt.set_durable_all();
+    rt
+}
+
+/// Build a durable replica actor: the factory rebuilds a durable runtime on
+/// restart and the actor replays this node's disk (snapshot + write-ahead
+/// log) into it before rejoining — no more blank acceptors.
+pub fn durable_replicated_nn_actor(
+    addr: &str,
+    group: PaxosGroup,
+    cfg: NameNodeConfig,
+    store: DurableStore,
+    policy: CheckpointPolicy,
+) -> OverlogActor {
+    OverlogActor::with_factory(
+        Box::new(move |name| durable_replicated_nn_runtime(name, &group, &cfg)),
+        20,
+        addr,
+    )
+    .with_durability(store, policy)
+}
+
+/// Tables never shipped in a peer snapshot: a replica's identity, its
+/// ballot seed, and its acceptor promises are local facts — installing a
+/// peer's copy would let one node vote with another's promises.
+pub const SNAPSHOT_EXCLUDED_TABLES: &[&str] =
+    &["me", "member_idx", "ballot", "seen_ballot", "accepted"];
+
+/// Ship a state snapshot from replica `from` into replica `to`: base
+/// tables minus [`SNAPSHOT_EXCLUDED_TABLES`], plus a max-merge of tracked
+/// counters (so the joiner never re-issues an id the donor already
+/// allocated). Returns rows installed. The install reaches `to`'s
+/// write-ahead log, so it survives a further restart.
+pub fn transfer_nn_snapshot(sim: &mut Sim, from: &str, to: &str) -> usize {
+    let snap = sim.with_actor::<OverlogActor, _>(from, |a| a.runtime_ref().snapshot());
+    let tables: Vec<(String, Vec<boom_overlog::Row>)> = snap
+        .tables
+        .into_iter()
+        .filter(|(n, _)| !SNAPSHOT_EXCLUDED_TABLES.contains(&n.as_str()))
+        .collect();
+    let counters = snap.counters;
+    sim.with_actor::<OverlogActor, _>(to, |a| {
+        let rt = a.runtime();
+        let n = rt
+            .load_snapshot_rows(&tables)
+            .expect("peer snapshot rows are well-typed");
+        let mine = rt.counter_values();
+        for (name, v) in &counters {
+            let cur = mine.iter().find(|(m, _)| m == name).map(|(_, c)| *c);
+            if cur.is_some_and(|c| *v > c) {
+                rt.set_counter(name, *v);
+            }
+        }
+        n
+    })
+}
+
+/// Decided-log length at a replica.
+fn decided_len(sim: &mut Sim, node: &str) -> usize {
+    sim.with_actor::<OverlogActor, _>(node, |a| a.runtime_ref().count("decided"))
+}
+
+/// Install a peer snapshot into `node` if its decided log trails the most
+/// advanced live peer by more than `gap` slots. Chunked anti-entropy
+/// (catchup.olg) closes small gaps a window at a time; a replica that was
+/// down for a long stretch takes the whole state in one transfer instead
+/// of streaming history. Returns rows installed, or `None` if the node is
+/// close enough to catch up on its own.
+pub fn catch_up_if_behind(
+    sim: &mut Sim,
+    group: &PaxosGroup,
+    node: &str,
+    gap: usize,
+) -> Option<usize> {
+    let mine = decided_len(sim, node);
+    let best = group
+        .members
+        .iter()
+        .filter(|m| m.as_str() != node && sim.is_up(m))
+        .cloned()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|m| (decided_len(sim, &m), m))
+        .max()?;
+    if best.0 > mine + gap {
+        Some(transfer_nn_snapshot(sim, &best.1, node))
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +166,23 @@ mod tests {
         let group = PaxosGroup::new(&["nn0", "nn1", "nn2"], 3_000);
         let rt = replicated_nn_runtime("nn0", &group, &NameNodeConfig::default());
         assert!(rt.rule_count() > 70, "got {}", rt.rule_count());
+    }
+
+    #[test]
+    fn durable_runtime_marks_fs_and_acceptor_state() {
+        let group = PaxosGroup::new(&["nn0", "nn1", "nn2"], 3_000);
+        let rt = durable_replicated_nn_runtime("nn0", &group, &NameNodeConfig::default());
+        let marked = rt.durable_tables();
+        for t in ["file", "fchunk", "decided", "accepted", "seen_ballot"] {
+            assert!(marked.contains(&t.to_string()), "{t} must be durable");
+        }
+        assert!(
+            !marked.contains(&"fqpath".to_string()),
+            "views stay derived"
+        );
+        // The volatile runtime is untouched: no catch-up rules, no capture.
+        let base = replicated_nn_runtime("nn0", &group, &NameNodeConfig::default());
+        assert!(!base.durable_enabled());
+        assert!(base.rule_count() < rt.rule_count());
     }
 }

@@ -37,4 +37,6 @@ pub use baseline::{BaselineConfig, BaselineNameNode};
 pub use client::{ClientActor, FsClient, FsConfig, FsError, NameNodeMode};
 pub use cluster::{ControlPlane, FsCluster, FsClusterBuilder};
 pub use datanode::{DataNode, DataNodeConfig};
-pub use namenode::{namenode_actor, namenode_runtime, NameNodeConfig, NAMENODE_OLG};
+pub use namenode::{
+    namenode_actor, namenode_runtime, NameNodeConfig, NAMENODE_BASE_TABLES, NAMENODE_OLG,
+};

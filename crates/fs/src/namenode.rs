@@ -9,6 +9,20 @@ use std::sync::Arc;
 /// files on the classpath).
 pub const NAMENODE_OLG: &str = include_str!("olg/namenode.olg");
 
+/// The NameNode's base (stored, non-derived) tables — what a durable
+/// deployment persists and a snapshot transfer ships. Views (`fqpath`,
+/// `chunk_locs`, `live_nodes`, …) are recomputed from these on restore.
+pub const NAMENODE_BASE_TABLES: &[&str] = &[
+    "file",
+    "fchunk",
+    "datanode",
+    "dn_hb",
+    "hb_chunk",
+    "hb_chunk_t",
+    "repfactor",
+    "hb_timeout",
+];
+
 /// Options for a NameNode instance.
 #[derive(Debug, Clone)]
 pub struct NameNodeConfig {

@@ -59,8 +59,8 @@ pub use ids::{IdSet, TableId, TableIds};
 pub use parser::parse_program;
 pub use plan::PlanOptions;
 pub use runtime::{
-    EvalStats, NetTuple, OverlogRuntime, ProvRecord, RuleStats, ShardStats, TickResult, TraceDrain,
-    TraceEvent, TraceOp,
+    CommitOp, CommitRecord, EvalStats, NetTuple, OverlogRuntime, ProvRecord, RuleStats,
+    RuntimeSnapshot, ShardStats, TickResult, TraceDrain, TraceEvent, TraceOp,
 };
 pub use table::{Candidates, InsertOutcome, Table};
 pub use value::{row, Row, TypeTag, Value};

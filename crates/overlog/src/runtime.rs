@@ -46,6 +46,7 @@ use crate::plan::{self, CExpr, CHeadArg, CompiledRule, Op, Pat, Plan, Variant};
 use crate::table::{Candidates, InsertOutcome, Table};
 use crate::value::{Row, TypeTag, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 /// A tuple addressed to another node, produced by a rule whose head carries
@@ -193,6 +194,61 @@ struct TimerState {
     next: u64,
 }
 
+/// What happened to a durable table at tick commit: the unit of the
+/// write-ahead log (see [`OverlogRuntime::take_commit_delta`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOp {
+    /// Row inserted (new or key-overwrite; replay re-applies the overwrite).
+    Insert,
+    /// Row deleted (exact match).
+    Delete,
+}
+
+/// One committed delta of a durable table. Replaying a log of these with
+/// [`OverlogRuntime::restore`] reproduces the base-table state exactly:
+/// rows are logged post-coercion, and primary-key overwrite semantics make
+/// physical replay idempotent against the snapshot it starts from.
+#[derive(Debug, Clone)]
+pub struct CommitRecord {
+    /// Table name (names, not ids: the log outlives the runtime).
+    pub table: String,
+    /// The row as stored (coerced).
+    pub row: Row,
+    /// Insert or delete.
+    pub op: CommitOp,
+}
+
+/// A checkpoint of a runtime's durable state: full contents of every
+/// durable table (sorted, for deterministic bytes) plus the values of all
+/// tracked host counters (see [`OverlogRuntime::register_counter`]).
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeSnapshot {
+    /// `(table name, sorted rows)`, sorted by table name.
+    pub tables: Vec<(String, Vec<Row>)>,
+    /// `(counter name, next value)`, in registration order.
+    pub counters: Vec<(String, i64)>,
+}
+
+impl RuntimeSnapshot {
+    /// Total rows across all captured tables.
+    pub fn row_count(&self) -> usize {
+        self.tables.iter().map(|(_, rows)| rows.len()).sum()
+    }
+}
+
+/// Which tables are marked durable (see
+/// [`OverlogRuntime::set_durable_all`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+enum DurableMode {
+    /// No capture: the WAL hooks reduce to one always-false bitset test.
+    #[default]
+    Off,
+    /// Every eligible (non-event, non-view, non-`me`) table.
+    All,
+    /// Just these tables (ineligible names are ignored).
+    Named(Vec<String>),
+}
+
 /// A single-node Overlog runtime (the JOL equivalent).
 pub struct OverlogRuntime {
     addr: Arc<str>,
@@ -248,6 +304,17 @@ pub struct OverlogRuntime {
     /// Pooled sub-context for view-aggregate recomputation (see
     /// `eval_agg_into`).
     agg_scratch: TickCtx,
+    /// Durable marking in effect; `durable_ids` is the compiled form.
+    durable_mode: DurableMode,
+    /// Ids of the tables whose committed deltas are captured. Empty when
+    /// durability is off — the hot-path hooks are one bitset test.
+    durable_ids: IdSet,
+    /// Committed deltas since the last [`OverlogRuntime::take_commit_delta`]
+    /// drain (table ids resolve to names at drain time, off the hot path).
+    commit_log: Vec<(TableId, Row, CommitOp)>,
+    /// Host counters registered via [`OverlogRuntime::register_counter`],
+    /// snapshot and restored with durable state.
+    counters: Vec<(String, Arc<AtomicI64>)>,
 }
 
 impl std::fmt::Debug for OverlogRuntime {
@@ -412,6 +479,10 @@ impl OverlogRuntime {
             now: 0,
             scratch: TickCtx::default(),
             agg_scratch: TickCtx::default(),
+            durable_mode: DurableMode::Off,
+            durable_ids: IdSet::new(),
+            commit_log: Vec::new(),
+            counters: Vec::new(),
         };
         let me = TableDecl {
             name: "me".into(),
@@ -591,6 +662,7 @@ impl OverlogRuntime {
                 );
                 self.build_indexes();
                 self.sources.push(src.to_string());
+                self.refresh_durable_ids();
                 Ok(())
             }
             Err(e) => {
@@ -882,6 +954,253 @@ impl OverlogRuntime {
     /// Tick repeatedly (at the same virtual time) until no queued or
     /// inductively-deferred work remains, collecting all network sends.
     /// Bounded; errors if the program does not quiesce within 64 ticks.
+    /// Mark every eligible table durable: committed deltas of non-event,
+    /// non-view tables (except the ambient `me` fact, which the
+    /// constructor recreates) are appended to the commit log for the host
+    /// to persist. Call after loading programs; later `load`s keep the
+    /// marking current.
+    pub fn set_durable_all(&mut self) {
+        self.durable_mode = DurableMode::All;
+        self.refresh_durable_ids();
+    }
+
+    /// Mark just the named tables durable (ineligible or unknown names are
+    /// ignored; see [`OverlogRuntime::set_durable_all`] for eligibility).
+    pub fn set_durable_tables(&mut self, names: &[&str]) {
+        self.durable_mode = DurableMode::Named(names.iter().map(|s| s.to_string()).collect());
+        self.refresh_durable_ids();
+    }
+
+    /// Whether any table is marked durable.
+    pub fn durable_enabled(&self) -> bool {
+        !self.durable_ids.is_empty()
+    }
+
+    /// Names of the tables currently marked durable, sorted.
+    pub fn durable_tables(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .durable_ids
+            .iter()
+            .map(|tid| self.ids.name(tid).to_string())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Recompile `durable_mode` into the hot-path id set. Views are
+    /// excluded — they are derived state, rebuilt from the restored bases
+    /// by [`OverlogRuntime::restore`] — as are event tables (one-tick
+    /// lifetime) and `me` (identity, recreated by the constructor and
+    /// wrong to ship between nodes in a snapshot).
+    fn refresh_durable_ids(&mut self) {
+        self.durable_ids.clear();
+        if self.durable_mode == DurableMode::Off {
+            return;
+        }
+        for (i, t) in self.tables.iter().enumerate() {
+            let tid = TableId(i as u32);
+            if t.is_event() || self.plan.view_tables.contains(tid) || t.name() == "me" {
+                continue;
+            }
+            let wanted = match &self.durable_mode {
+                DurableMode::Off => false,
+                DurableMode::All => true,
+                DurableMode::Named(names) => names.iter().any(|n| n == t.name()),
+            };
+            if wanted {
+                self.durable_ids.insert(tid);
+            }
+        }
+    }
+
+    /// Drain the committed deltas captured since the last drain — the
+    /// host appends these to its write-ahead log. Empty (and free) unless
+    /// durable tables are marked.
+    pub fn take_commit_delta(&mut self) -> Vec<CommitRecord> {
+        self.commit_log
+            .drain(..)
+            .map(|(tid, row, op)| CommitRecord {
+                table: self.ids.name(tid).to_string(),
+                row,
+                op,
+            })
+            .collect()
+    }
+
+    /// Register a monotonically increasing host counter builtin: `name()`
+    /// returns `base, base+1, ...`. Unlike [`register_builtin`] closures,
+    /// tracked counters are captured in snapshots and restored with
+    /// durable state, so physically recovered runtimes do not re-issue
+    /// identifiers.
+    ///
+    /// [`register_builtin`]: OverlogRuntime::register_builtin
+    pub fn register_counter(&mut self, name: &str, base: i64) {
+        let cell = Arc::new(AtomicI64::new(base));
+        let in_builtin = Arc::clone(&cell);
+        self.builtins.register(name, move |_args| {
+            Ok(Value::Int(in_builtin.fetch_add(1, Ordering::Relaxed)))
+        });
+        self.counters.retain(|(n, _)| n != name);
+        self.counters.push((name.to_string(), cell));
+    }
+
+    /// Current values of all tracked counters (the next value each will
+    /// return), in registration order.
+    pub fn counter_values(&self) -> Vec<(String, i64)> {
+        self.counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Set a tracked counter's next value (unknown names are ignored).
+    pub fn set_counter(&mut self, name: &str, value: i64) {
+        if let Some((_, c)) = self.counters.iter().find(|(n, _)| n == name) {
+            c.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the durable tables and tracked counters — the checkpoint
+    /// a host pairs with write-ahead-log truncation. Deterministic: tables
+    /// and rows are sorted.
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        let mut tables: Vec<(String, Vec<Row>)> = self
+            .durable_ids
+            .iter()
+            .map(|tid| {
+                let t = &self.tables[tid.idx()];
+                (t.name().to_string(), t.sorted_rows())
+            })
+            .collect();
+        tables.sort_by(|a, b| a.0.cmp(&b.0));
+        RuntimeSnapshot {
+            tables,
+            counters: self.counter_values(),
+        }
+    }
+
+    /// Recover durable state into a factory-fresh runtime: apply the
+    /// queued load-time facts directly (so the first tick cannot overwrite
+    /// restored singletons with boot defaults), install the checkpoint
+    /// snapshot, physically replay the write-ahead log, set the tracked
+    /// counters to their recovered values, and rebuild every view over the
+    /// restored bases. Returns the number of snapshot and log rows
+    /// applied. Nothing here re-enters the commit log: restored state
+    /// becomes durable again only via the next checkpoint.
+    pub fn restore(
+        &mut self,
+        snapshot: Option<&RuntimeSnapshot>,
+        log: &[CommitRecord],
+        counters: &[(String, i64)],
+    ) -> Result<usize> {
+        // 1. Drain load-time facts without running rules.
+        let work: Vec<Pending> = self.pending.drain(..).collect();
+        for p in work {
+            match p {
+                Pending::Insert(tid, row) => {
+                    let t = &mut self.tables[tid.idx()];
+                    let row = t.coerce(row);
+                    t.insert(row)?;
+                }
+                Pending::Delete(tid, row) => {
+                    self.tables[tid.idx()].delete(&row);
+                }
+            }
+        }
+        let mut applied = 0usize;
+        // 2. Install the checkpoint snapshot (clear-and-load per table).
+        if let Some(snap) = snapshot {
+            for (name, rows) in &snap.tables {
+                let Some(tid) = self.ids.get(name) else {
+                    continue;
+                };
+                let t = &mut self.tables[tid.idx()];
+                t.clear();
+                for row in rows {
+                    let row = t.coerce(row.clone());
+                    t.insert(row)?;
+                    applied += 1;
+                }
+            }
+            for (name, v) in &snap.counters {
+                self.set_counter(name, *v);
+            }
+        }
+        // 3. Physically replay the log (key-overwrite makes this exact).
+        for rec in log {
+            let Some(tid) = self.ids.get(&rec.table) else {
+                continue;
+            };
+            let t = &mut self.tables[tid.idx()];
+            match rec.op {
+                CommitOp::Insert => {
+                    let row = t.coerce(rec.row.clone());
+                    t.insert(row)?;
+                }
+                CommitOp::Delete => {
+                    t.delete(&rec.row);
+                }
+            }
+            applied += 1;
+        }
+        // 4. Final counter values (the last batch's capture wins).
+        for (name, v) in counters {
+            self.set_counter(name, *v);
+        }
+        // 5. Derived state follows from the bases.
+        self.recompute_all_views()?;
+        Ok(applied)
+    }
+
+    /// Install rows shipped from a peer (snapshot catch-up): clear each
+    /// named table, load the rows, log them as durable inserts so the
+    /// transfer itself reaches this node's write-ahead log, then rebuild
+    /// views. Event and view tables are skipped — only base state can be
+    /// installed. Returns rows installed.
+    pub fn load_snapshot_rows(&mut self, tables: &[(String, Vec<Row>)]) -> Result<usize> {
+        let mut applied = 0usize;
+        for (name, rows) in tables {
+            let Some(tid) = self.ids.get(name) else {
+                continue;
+            };
+            if self.tables[tid.idx()].is_event() || self.plan.view_tables.contains(tid) {
+                continue;
+            }
+            // The clear must reach the log too, or a later physical replay
+            // would resurrect rows the install removed.
+            if self.durable_ids.contains(tid) {
+                let old: Vec<Row> = self.tables[tid.idx()].scan().cloned().collect();
+                self.commit_log
+                    .extend(old.into_iter().map(|r| (tid, r, CommitOp::Delete)));
+            }
+            self.tables[tid.idx()].clear();
+            for row in rows {
+                let t = &mut self.tables[tid.idx()];
+                let row = t.coerce(row.clone());
+                t.insert(row.clone())?;
+                if self.durable_ids.contains(tid) {
+                    self.commit_log.push((tid, row, CommitOp::Insert));
+                }
+                applied += 1;
+            }
+        }
+        self.recompute_all_views()?;
+        Ok(applied)
+    }
+
+    /// Rebuild every view table from the current base state.
+    fn recompute_all_views(&mut self) -> Result<()> {
+        let affected = self.plan.view_tables.clone();
+        if affected.is_empty() {
+            return Ok(());
+        }
+        let mut ctx = std::mem::take(&mut self.scratch);
+        ctx.reset(self.tables.len());
+        let res = self.recompute_views(&affected, &mut ctx);
+        self.scratch = ctx;
+        res
+    }
+
     pub fn settle(&mut self, now: u64) -> Result<Vec<NetTuple>> {
         let mut sends = Vec::new();
         for _ in 0..64 {
@@ -926,6 +1245,9 @@ impl OverlogRuntime {
                 Pending::Delete(tid, row) => {
                     if self.tables[tid.idx()].delete(&row) {
                         ctx.changed_tables.insert(tid);
+                        if self.durable_ids.contains(tid) {
+                            self.commit_log.push((tid, row.clone(), CommitOp::Delete));
+                        }
                         self.record_trace(tid, &row, TraceOp::Delete);
                         if plan.view_inputs.contains(tid) {
                             pre_dirty = true;
@@ -1085,6 +1407,9 @@ impl OverlogRuntime {
             }
             if self.tables[tid.idx()].delete(row) {
                 deletions += 1;
+                if self.durable_ids.contains(*tid) {
+                    self.commit_log.push((*tid, row.clone(), CommitOp::Delete));
+                }
                 self.record_trace(*tid, row, TraceOp::Delete);
                 if plan.view_inputs.contains(*tid) {
                     ctx.shrink_dirty.insert(*tid);
@@ -1149,6 +1474,9 @@ impl OverlogRuntime {
             InsertOutcome::New => {
                 ctx.added[tid.idx()].push(row.clone());
                 ctx.changed_tables.insert(tid);
+                if self.durable_ids.contains(tid) {
+                    self.commit_log.push((tid, row.clone(), CommitOp::Insert));
+                }
                 self.record_trace(tid, &row, TraceOp::Insert);
                 // Negation is non-monotone: growing a table that appears
                 // negated in a view rule can retract view tuples, so it
@@ -1162,6 +1490,9 @@ impl OverlogRuntime {
             InsertOutcome::Replaced(_old) => {
                 ctx.added[tid.idx()].push(row.clone());
                 ctx.changed_tables.insert(tid);
+                if self.durable_ids.contains(tid) {
+                    self.commit_log.push((tid, row.clone(), CommitOp::Insert));
+                }
                 self.record_trace(tid, &row, TraceOp::Insert);
                 // A key-overwrite removes a tuple other derivations may have
                 // consumed: views over this table must be rebuilt — unless

@@ -33,12 +33,21 @@
 //! sim.run_for(2_000);
 //! ```
 
-use boom_overlog::{OverlogError, OverlogRuntime, Row, Value};
-use std::sync::atomic::{AtomicI64, Ordering};
+use boom_overlog::{OverlogRuntime, Row, Value};
 use std::sync::Arc;
 
 /// The Overlog Paxos program.
 pub const PAXOS_OLG: &str = include_str!("olg/paxos.olg");
+
+/// Replica catch-up rules (anti-entropy over the decided sequence),
+/// loaded on top of [`PAXOS_OLG`] by the durable deployment variants.
+pub const CATCHUP_OLG: &str = include_str!("olg/catchup.olg");
+
+/// The tables a durable acceptor/learner must not forget: its promise
+/// floor (`seen_ballot`, from which the `promised` view is derived), its
+/// accepted values, and the learned decisions. Everything else (proposer
+/// queues, election scratch, leases) is safely volatile.
+pub const PAXOS_DURABLE_TABLES: &[&str] = &["seen_ballot", "accepted", "decided"];
 
 /// Static description of a Paxos group.
 #[derive(Debug, Clone)]
@@ -94,15 +103,10 @@ impl PaxosGroup {
 
 /// Register the `qid()` builtin: a per-runtime monotonic counter used for
 /// proposal-queue ids (kept separate from the NameNode's `newid()` so
-/// leader-only allocations never skew replicated state).
+/// leader-only allocations never skew replicated state). Registered as a
+/// tracked counter, so durable deployments snapshot and restore it.
 pub fn register_qid(rt: &mut OverlogRuntime) {
-    let counter = Arc::new(AtomicI64::new(0));
-    rt.register_builtin("qid", move |args| {
-        if !args.is_empty() {
-            return Err(OverlogError::Eval("qid takes no arguments".into()));
-        }
-        Ok(Value::Int(counter.fetch_add(1, Ordering::Relaxed)))
-    });
+    rt.register_counter("qid", 0);
 }
 
 /// Build a standalone Paxos replica runtime.
@@ -112,6 +116,18 @@ pub fn paxos_runtime(addr: &str, group: &PaxosGroup) -> OverlogRuntime {
     rt.load(PAXOS_OLG).expect("embedded paxos.olg must compile");
     rt.load(&group.facts_for(addr))
         .expect("group facts are well-formed");
+    rt
+}
+
+/// Build a durable Paxos replica runtime: [`paxos_runtime`] plus the
+/// catch-up rules ([`CATCHUP_OLG`]) and the acceptor/learner tables
+/// ([`PAXOS_DURABLE_TABLES`]) marked durable — a restarted replica keeps
+/// its promises instead of rejoining as a blank acceptor.
+pub fn paxos_durable_runtime(addr: &str, group: &PaxosGroup) -> OverlogRuntime {
+    let mut rt = paxos_runtime(addr, group);
+    rt.load(CATCHUP_OLG)
+        .expect("embedded catchup.olg must compile");
+    rt.set_durable_tables(PAXOS_DURABLE_TABLES);
     rt
 }
 
@@ -162,5 +178,23 @@ mod tests {
     #[should_panic(expected = "not a member")]
     fn unknown_member_panics() {
         PaxosGroup::new(&["a"], 1).index_of("zz");
+    }
+
+    #[test]
+    fn durable_runtime_marks_acceptor_state() {
+        let g = PaxosGroup::new(&["a", "b", "c"], 4_000);
+        let rt = paxos_durable_runtime("a", &g);
+        assert_eq!(
+            rt.durable_tables(),
+            vec![
+                "accepted".to_string(),
+                "decided".to_string(),
+                "seen_ballot".to_string()
+            ]
+        );
+        // The base runtime stays volatile (and catch-up-free).
+        let base = paxos_runtime("a", &g);
+        assert!(!base.durable_enabled());
+        assert!(base.rule_count() < rt.rule_count());
     }
 }

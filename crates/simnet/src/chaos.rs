@@ -79,6 +79,12 @@ pub enum ChaosAction {
     /// For `dur` ms, duplicate every delivered message with probability
     /// `prob` (in addition to the global duplication probability).
     DupBurst { dur: u64, prob: f64 },
+    /// Tear `node`'s next write-ahead-log append mid-batch (requires a
+    /// [`crate::DurableStore`] attached via [`Sim::set_durable_store`]).
+    TornWrite { node: String },
+    /// For `dur` ms, `node`'s log appends are written but not fsynced —
+    /// a crash in (or shortly after) the window loses the unsynced suffix.
+    LoseSync { node: String, dur: u64 },
 }
 
 impl ChaosAction {
@@ -95,6 +101,8 @@ impl ChaosAction {
             ),
             ChaosAction::ClearLinkFault { from, to } => format!("restore {from}->{to}"),
             ChaosAction::DupBurst { dur, prob } => format!("dup-burst {dur}ms p={prob}"),
+            ChaosAction::TornWrite { node } => format!("torn-write {node}"),
+            ChaosAction::LoseSync { node, dur } => format!("lose-sync {node} {dur}ms"),
         }
     }
 }
@@ -221,6 +229,41 @@ impl ChaosSchedule {
     /// Start a global duplication burst at `offset` lasting `dur` ms.
     pub fn dup_burst(self, offset: u64, dur: u64, prob: f64) -> Self {
         self.at(offset, ChaosAction::DupBurst { dur, prob })
+    }
+
+    /// Tear `node`'s next log append at `offset`.
+    pub fn torn_write(self, node: &str, offset: u64) -> Self {
+        self.at(
+            offset,
+            ChaosAction::TornWrite {
+                node: node.to_string(),
+            },
+        )
+    }
+
+    /// Make `node`'s log appends unsynced for `dur` ms starting at
+    /// `offset`.
+    pub fn lose_sync(self, node: &str, offset: u64, dur: u64) -> Self {
+        self.at(
+            offset,
+            ChaosAction::LoseSync {
+                node: node.to_string(),
+                dur,
+            },
+        )
+    }
+
+    /// Restart storm: `count` crash+restart pairs on `node`, the `k`-th
+    /// crashing at `first_at + k*period` and restarting half a period
+    /// later. Staggering the `first_at` of storms on different replicas
+    /// overlaps their down windows — including full-quorum outages.
+    pub fn restart_storm(mut self, node: &str, first_at: u64, period: u64, count: usize) -> Self {
+        let period = period.max(2);
+        for k in 0..count as u64 {
+            let down = first_at + k * period;
+            self = self.flap(node, down, down + period / 2);
+        }
+        self
     }
 
     /// Latest event offset in the schedule (0 for an empty schedule) —
@@ -383,6 +426,69 @@ mod tests {
         // Pings at 100..500 duplicated (5 × 2), 600..1000 single (5).
         let got = sim.with_actor::<Counter, _>("c", |c| c.got.len());
         assert_eq!(got, 15);
+    }
+
+    #[test]
+    fn restart_storm_builds_crash_restart_pairs() {
+        let s = ChaosSchedule::new("storm").restart_storm("nn0", 100, 1_000, 3);
+        assert_eq!(s.events.len(), 6, "3 crash+restart pairs");
+        assert_eq!(
+            s.events[0],
+            (100, ChaosAction::Crash("nn0".to_string())),
+            "first crash at first_at"
+        );
+        assert_eq!(
+            s.events[1],
+            (600, ChaosAction::Restart("nn0".to_string())),
+            "restart half a period later"
+        );
+        assert_eq!(s.events[4].0, 2_100, "k-th crash at first_at + k*period");
+        assert_eq!(s.horizon(), 2_600);
+    }
+
+    #[test]
+    fn restart_storm_fires_and_logs_each_cycle() {
+        let mut sim = ping_pair(SimConfig {
+            min_latency: 1,
+            max_latency: 1,
+            ..Default::default()
+        });
+        sim.install_chaos(&ChaosSchedule::new("storm").restart_storm("c", 150, 400, 2));
+        sim.run_until(1_200);
+        let log: Vec<String> = sim.fault_log().iter().map(|f| f.action.clone()).collect();
+        assert_eq!(log, vec!["crash c", "restart c", "crash c", "restart c"]);
+        assert_eq!(sim.fault_log()[2].at, 550);
+    }
+
+    #[test]
+    fn disk_fault_actions_describe_and_route_to_the_store() {
+        assert_eq!(
+            ChaosAction::TornWrite { node: "a".into() }.describe(),
+            "torn-write a"
+        );
+        assert_eq!(
+            ChaosAction::LoseSync {
+                node: "a".into(),
+                dur: 250
+            }
+            .describe(),
+            "lose-sync a 250ms"
+        );
+        let mut sim = ping_pair(SimConfig::default());
+        let store = crate::DurableStore::new(1);
+        sim.set_durable_store(store.clone());
+        sim.install_chaos(
+            &ChaosSchedule::new("disk")
+                .torn_write("p", 100)
+                .lose_sync("p", 100, 500),
+        );
+        sim.run_until(300);
+        assert_eq!(sim.fault_log().len(), 2, "both actions applied and logged");
+        // The torn-write reached the store: the next append is torn.
+        store.append("p", 300, Vec::new(), Vec::new());
+        let r = store.recover("p");
+        assert_eq!(r.batches, 0);
+        assert_eq!(r.discarded, 1, "append after the fault was torn");
     }
 
     #[test]

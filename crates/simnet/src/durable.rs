@@ -1,0 +1,381 @@
+//! Per-node durable storage that survives crash/restart.
+//!
+//! A [`DurableStore`] models each node's local disk: a checkpoint
+//! snapshot plus a write-ahead log of committed tick deltas. It lives in
+//! the harness, *outside* the actors, so [`crate::Sim::schedule_crash`] /
+//! [`crate::Sim::schedule_restart`] wipe a node's volatile runtime but
+//! not its disk — exactly the failure model a real NameNode faces.
+//!
+//! Everything is deterministic: the store draws no randomness on the
+//! normal path, and the injectable disk faults ([`torn
+//! write`](DurableStore::inject_torn_write), [`lost
+//! sync`](DurableStore::inject_lose_sync)) derive their corruption points
+//! from the store's seed, so a faulted run replays bit-for-bit.
+//!
+//! Fault semantics mirror real logs:
+//!
+//! * **Torn write** — the next append is truncated mid-batch and fails
+//!   its checksum; recovery stops at the torn batch and discards it and
+//!   everything after (a log is sequential: data past a corrupt record is
+//!   unreachable).
+//! * **Lost sync** — appends during the window are written but not
+//!   fsynced; the first append after the window hardens everything
+//!   buffered before it. Recovery drops a trailing unsynced suffix.
+//! * **Checkpoints** are atomic (write-new-then-rename + fsync), so they
+//!   are not subject to either fault; the log is truncated only once the
+//!   snapshot is safely installed.
+//!
+//! Recovery also truncates the surviving log at the first corrupt or
+//! unsynced batch, as a real recovering process does, so post-recovery
+//! appends extend a clean log.
+
+use boom_overlog::{CommitRecord, RuntimeSnapshot};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One appended batch: the committed deltas of a single actor activation
+/// (one or more runtime ticks), plus the tracked counter values after it.
+#[derive(Debug, Clone, Default)]
+pub struct WalBatch {
+    /// Virtual time of the append.
+    pub at: u64,
+    /// Committed deltas, in commit order.
+    pub entries: Vec<CommitRecord>,
+    /// Tracked counter values after this batch (last batch wins).
+    pub counters: Vec<(String, i64)>,
+    /// Batch failed its checksum (torn write); replay stops here.
+    pub torn: bool,
+    /// Batch reached the platter (fsync); unsynced suffixes are lost.
+    pub synced: bool,
+}
+
+/// What [`DurableStore::recover`] found on a node's disk.
+#[derive(Debug, Clone, Default)]
+pub struct Recovered {
+    /// Latest checkpoint, if any.
+    pub snapshot: Option<RuntimeSnapshot>,
+    /// Surviving log entries after the checkpoint, flattened in order.
+    pub log: Vec<CommitRecord>,
+    /// Final tracked counter values (from the last surviving batch, or
+    /// the checkpoint when the log is empty).
+    pub counters: Vec<(String, i64)>,
+    /// Surviving batches the log entries came from.
+    pub batches: usize,
+    /// Batches discarded as torn or unsynced.
+    pub discarded: usize,
+}
+
+#[derive(Debug, Default)]
+struct Disk {
+    snapshot: Option<RuntimeSnapshot>,
+    wal: Vec<WalBatch>,
+    /// The next append is torn (injected fault).
+    torn_next: bool,
+    /// Appends strictly before this virtual time are not fsynced.
+    lose_sync_until: u64,
+    appends: u64,
+    checkpoints: u64,
+    recoveries: u64,
+}
+
+/// Shared handle to every node's simulated disk. Cloning shares the
+/// underlying storage (actors hold one handle, the harness another).
+#[derive(Debug, Clone)]
+pub struct DurableStore {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    disks: HashMap<String, Disk>,
+    /// Seed-derived state advanced only by fault injection, so the
+    /// fault-free path is randomness-free.
+    fault_rng: u64,
+}
+
+impl Default for DurableStore {
+    fn default() -> Self {
+        DurableStore::new(0)
+    }
+}
+
+impl DurableStore {
+    /// Create a store; `seed` drives only the injected-fault corruption
+    /// points.
+    pub fn new(seed: u64) -> Self {
+        DurableStore {
+            inner: Arc::new(Mutex::new(Inner {
+                disks: HashMap::new(),
+                fault_rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+            })),
+        }
+    }
+
+    /// Append a batch of committed deltas to `node`'s log, applying any
+    /// pending injected fault. A synced append hardens everything
+    /// buffered before it (the fsync covers the file, not the write).
+    pub fn append(
+        &self,
+        node: &str,
+        at: u64,
+        entries: Vec<CommitRecord>,
+        counters: Vec<(String, i64)>,
+    ) {
+        let mut g = self.inner.lock().unwrap();
+        let cut = if g.disks.entry(node.to_string()).or_default().torn_next {
+            // xorshift64*: deterministic tear point from the seed.
+            g.fault_rng ^= g.fault_rng << 13;
+            g.fault_rng ^= g.fault_rng >> 7;
+            g.fault_rng ^= g.fault_rng << 17;
+            Some(g.fault_rng as usize)
+        } else {
+            None
+        };
+        let d = g.disks.get_mut(node).expect("entry created above");
+        let mut batch = WalBatch {
+            at,
+            entries,
+            counters,
+            torn: false,
+            synced: true,
+        };
+        if let Some(r) = cut {
+            d.torn_next = false;
+            let keep = if batch.entries.is_empty() {
+                0
+            } else {
+                r % batch.entries.len()
+            };
+            batch.entries.truncate(keep);
+            batch.torn = true;
+        }
+        if at < d.lose_sync_until {
+            batch.synced = false;
+        } else {
+            for b in d.wal.iter_mut() {
+                b.synced = true;
+            }
+        }
+        d.appends += 1;
+        d.wal.push(batch);
+    }
+
+    /// Install a checkpoint for `node` and truncate its log: replay cost
+    /// from now on is bounded by churn since this snapshot.
+    pub fn checkpoint(&self, node: &str, snapshot: RuntimeSnapshot) {
+        let mut g = self.inner.lock().unwrap();
+        let d = g.disks.entry(node.to_string()).or_default();
+        d.snapshot = Some(snapshot);
+        d.wal.clear();
+        d.checkpoints += 1;
+    }
+
+    /// Read back `node`'s durable state: the latest checkpoint plus the
+    /// surviving log prefix (stopping at the first torn or unsynced
+    /// batch, which is discarded along with everything after it — and
+    /// truncated from the disk, as a recovering process would).
+    pub fn recover(&self, node: &str) -> Recovered {
+        let mut g = self.inner.lock().unwrap();
+        let d = g.disks.entry(node.to_string()).or_default();
+        let mut out = Recovered {
+            snapshot: d.snapshot.clone(),
+            counters: d
+                .snapshot
+                .as_ref()
+                .map(|s| s.counters.clone())
+                .unwrap_or_default(),
+            ..Recovered::default()
+        };
+        let mut stop = d.wal.len();
+        for (i, b) in d.wal.iter().enumerate() {
+            if b.torn || !b.synced {
+                stop = i;
+                break;
+            }
+            out.log.extend(b.entries.iter().cloned());
+            out.counters = b.counters.clone();
+            out.batches += 1;
+        }
+        out.discarded = d.wal.len() - stop;
+        d.wal.truncate(stop);
+        d.recoveries += 1;
+        out
+    }
+
+    /// Copy `from`'s entire disk (checkpoint + log) over `to`'s — the
+    /// bulk state transfer behind snapshot catch-up. The caller filters
+    /// identity-bound tables before restoring on the target.
+    pub fn copy_disk(&self, from: &str, to: &str) {
+        let mut g = self.inner.lock().unwrap();
+        let src = g.disks.entry(from.to_string()).or_default();
+        let (snapshot, wal) = (src.snapshot.clone(), src.wal.clone());
+        let dst = g.disks.entry(to.to_string()).or_default();
+        dst.snapshot = snapshot;
+        dst.wal = wal;
+    }
+
+    /// Inject a torn write: `node`'s next append is truncated mid-batch.
+    pub fn inject_torn_write(&self, node: &str) {
+        let mut g = self.inner.lock().unwrap();
+        g.disks.entry(node.to_string()).or_default().torn_next = true;
+    }
+
+    /// Inject lost syncs: appends on `node` strictly before virtual time
+    /// `until` are written but not fsynced.
+    pub fn inject_lose_sync(&self, node: &str, until: u64) {
+        let mut g = self.inner.lock().unwrap();
+        let d = g.disks.entry(node.to_string()).or_default();
+        d.lose_sync_until = d.lose_sync_until.max(until);
+    }
+
+    /// Log batches currently on `node`'s disk.
+    pub fn wal_batches(&self, node: &str) -> usize {
+        let g = self.inner.lock().unwrap();
+        g.disks.get(node).map(|d| d.wal.len()).unwrap_or(0)
+    }
+
+    /// Log entries currently on `node`'s disk (across all batches).
+    pub fn wal_entries(&self, node: &str) -> usize {
+        let g = self.inner.lock().unwrap();
+        g.disks
+            .get(node)
+            .map(|d| d.wal.iter().map(|b| b.entries.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Whether `node` has a checkpoint on disk.
+    pub fn has_snapshot(&self, node: &str) -> bool {
+        let g = self.inner.lock().unwrap();
+        g.disks
+            .get(node)
+            .map(|d| d.snapshot.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Lifetime `(appends, checkpoints, recoveries)` counters for `node`.
+    pub fn stats(&self, node: &str) -> (u64, u64, u64) {
+        let g = self.inner.lock().unwrap();
+        g.disks
+            .get(node)
+            .map(|d| (d.appends, d.checkpoints, d.recoveries))
+            .unwrap_or((0, 0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boom_overlog::value::row;
+    use boom_overlog::{CommitOp, Value};
+
+    fn rec(table: &str, v: i64, op: CommitOp) -> CommitRecord {
+        CommitRecord {
+            table: table.into(),
+            row: row(vec![Value::Int(v)]),
+            op,
+        }
+    }
+
+    fn batch(vals: &[i64]) -> Vec<CommitRecord> {
+        vals.iter()
+            .map(|&v| rec("kv", v, CommitOp::Insert))
+            .collect()
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let store = DurableStore::new(7);
+        store.append("n", 10, batch(&[1, 2]), vec![("c".into(), 5)]);
+        store.append("n", 20, batch(&[3]), vec![("c".into(), 6)]);
+        let r = store.recover("n");
+        assert!(r.snapshot.is_none());
+        assert_eq!(r.log.len(), 3);
+        assert_eq!(r.counters, vec![("c".to_string(), 6)]);
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.discarded, 0);
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_log() {
+        let store = DurableStore::new(7);
+        store.append("n", 10, batch(&[1, 2, 3]), vec![]);
+        store.checkpoint(
+            "n",
+            RuntimeSnapshot {
+                tables: vec![(
+                    "kv".into(),
+                    batch(&[0]).into_iter().map(|r| r.row).collect(),
+                )],
+                counters: vec![],
+            },
+        );
+        assert_eq!(store.wal_entries("n"), 0);
+        store.append("n", 20, batch(&[4]), vec![]);
+        let r = store.recover("n");
+        assert!(r.snapshot.is_some());
+        assert_eq!(r.log.len(), 1, "replay bounded by churn since checkpoint");
+    }
+
+    #[test]
+    fn torn_write_discards_the_batch_and_suffix() {
+        let store = DurableStore::new(7);
+        store.append("n", 10, batch(&[1]), vec![]);
+        store.inject_torn_write("n");
+        store.append("n", 20, batch(&[2, 3]), vec![]);
+        store.append("n", 30, batch(&[4]), vec![]);
+        let r = store.recover("n");
+        assert_eq!(r.log.len(), 1, "replay stops at the torn batch");
+        assert_eq!(r.discarded, 2, "torn batch and unreachable suffix");
+        // Recovery truncated the debris: the log is clean again.
+        store.append("n", 40, batch(&[5]), vec![]);
+        assert_eq!(store.recover("n").log.len(), 2);
+    }
+
+    #[test]
+    fn lost_sync_drops_trailing_unsynced_suffix() {
+        let store = DurableStore::new(7);
+        store.append("n", 10, batch(&[1]), vec![]);
+        store.inject_lose_sync("n", 100);
+        store.append("n", 50, batch(&[2]), vec![]);
+        store.append("n", 60, batch(&[3]), vec![]);
+        let r = store.recover("n");
+        assert_eq!(r.log.len(), 1, "unsynced suffix lost");
+        assert_eq!(r.discarded, 2);
+    }
+
+    #[test]
+    fn later_sync_hardens_buffered_batches() {
+        let store = DurableStore::new(7);
+        store.inject_lose_sync("n", 100);
+        store.append("n", 50, batch(&[1]), vec![]);
+        // Past the window: this append's fsync hardens the buffered one.
+        store.append("n", 150, batch(&[2]), vec![]);
+        let r = store.recover("n");
+        assert_eq!(r.log.len(), 2);
+        assert_eq!(r.discarded, 0);
+    }
+
+    #[test]
+    fn torn_point_is_seed_deterministic() {
+        let cut = |seed| {
+            let s = DurableStore::new(seed);
+            s.inject_torn_write("n");
+            s.append("n", 10, batch(&[1, 2, 3, 4, 5, 6, 7, 8]), vec![]);
+            s.recover("n");
+            s.append("n", 20, batch(&[9]), vec![]);
+            s.recover("n").log.len()
+        };
+        assert_eq!(cut(1), cut(1), "same seed, same tear point");
+    }
+
+    #[test]
+    fn copy_disk_transfers_checkpoint_and_log() {
+        let store = DurableStore::new(7);
+        store.checkpoint("a", RuntimeSnapshot::default());
+        store.append("a", 10, batch(&[1]), vec![]);
+        store.copy_disk("a", "b");
+        let r = store.recover("b");
+        assert!(r.snapshot.is_some());
+        assert_eq!(r.log.len(), 1);
+    }
+}

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod chaos;
+pub mod durable;
 pub mod metrics;
 pub mod overlog_actor;
 
@@ -50,7 +51,10 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 pub use chaos::ChaosSchedule;
-pub use overlog_actor::{overlog_state_fingerprint, set_plan_options_all, OverlogActor};
+pub use durable::{DurableStore, Recovered, WalBatch};
+pub use overlog_actor::{
+    overlog_state_fingerprint, set_plan_options_all, CheckpointPolicy, OverlogActor, RecoveryStats,
+};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -208,6 +212,9 @@ pub struct Sim {
     dup_burst: Option<(u64, f64)>,
     /// Every fault actually applied, in application order.
     fault_log: Vec<FaultRecord>,
+    /// Per-node durable storage, surviving crash/restart (see
+    /// [`durable::DurableStore`]); disk-fault chaos actions route here.
+    durable: Option<durable::DurableStore>,
     delivered: u64,
     dropped: u64,
     /// Optional Chrome trace-event recorder (`boom-trace`). When attached,
@@ -268,6 +275,7 @@ impl Sim {
             link_faults: HashMap::new(),
             dup_burst: None,
             fault_log: Vec::new(),
+            durable: None,
             delivered: 0,
             dropped: 0,
             recorder: None,
@@ -432,6 +440,19 @@ impl Sim {
         &self.fault_log
     }
 
+    /// Attach the cluster's durable storage: disk-fault chaos actions
+    /// ([`ChaosAction::TornWrite`], [`ChaosAction::LoseSync`]) route to
+    /// it. Actors hold their own clone of the handle; registering it here
+    /// only makes it reachable from schedules and harnesses.
+    pub fn set_durable_store(&mut self, store: durable::DurableStore) {
+        self.durable = Some(store);
+    }
+
+    /// The attached durable storage, if any (cloned handle).
+    pub fn durable_store(&self) -> Option<durable::DurableStore> {
+        self.durable.clone()
+    }
+
     /// Deterministic uniform draw in `0..=max` from the simulation RNG —
     /// the jitter source for client backoff, so retry traces replay from
     /// the seed.
@@ -561,6 +582,16 @@ impl Sim {
             ChaosAction::DupBurst { dur, prob } => {
                 // Overlapping bursts: the most recent one wins.
                 self.dup_burst = Some((self.now + dur, prob));
+            }
+            ChaosAction::TornWrite { node } => {
+                if let Some(store) = &self.durable {
+                    store.inject_torn_write(&node);
+                }
+            }
+            ChaosAction::LoseSync { node, dur } => {
+                if let Some(store) = &self.durable {
+                    store.inject_lose_sync(&node, self.now + dur);
+                }
             }
         }
     }

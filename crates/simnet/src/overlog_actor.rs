@@ -4,6 +4,7 @@
 //! actor feeds arriving tuples into the runtime, drives its timestep clock,
 //! and routes outbound tuples over the simulated network.
 
+use crate::durable::DurableStore;
 use crate::{Actor, Ctx};
 use boom_overlog::{NetTuple, OverlogRuntime};
 use std::any::Any;
@@ -12,14 +13,61 @@ use std::any::Any;
 /// after a crash-restart, modeling loss of volatile state.
 pub type RuntimeFactory = Box<dyn FnMut(&str) -> OverlogRuntime + Send>;
 
+/// When a durable actor checkpoints: after this many write-ahead-log
+/// entries have accumulated since the last snapshot (`0` = never).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once this many log entries accumulate since the last
+    /// snapshot; `0` disables checkpointing (unbounded replay).
+    pub every_entries: usize,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy { every_entries: 512 }
+    }
+}
+
+/// What one crash-recovery cost (appended to
+/// [`OverlogActor::recoveries`]).
+#[derive(Debug, Clone)]
+pub struct RecoveryStats {
+    /// Virtual time of the restart.
+    pub at: u64,
+    /// Rows installed from the checkpoint snapshot.
+    pub snapshot_rows: usize,
+    /// Log entries physically replayed.
+    pub replayed_entries: usize,
+    /// Log batches the entries came from.
+    pub wal_batches: usize,
+    /// Wall-clock cost of restore (snapshot install + replay + view
+    /// rebuild) — the recovery time E12 measures.
+    pub wall: std::time::Duration,
+}
+
+/// Durable-mode state: the disk handle, the checkpoint policy, and the
+/// bookkeeping between appends.
+struct DurableState {
+    store: DurableStore,
+    policy: CheckpointPolicy,
+    /// Log entries appended since the last checkpoint.
+    entries_since_ckpt: usize,
+    /// Counter values as of the last append (a counters-only change still
+    /// needs an append, or recovered runtimes would re-issue ids).
+    last_counters: Vec<(String, i64)>,
+}
+
 /// An [`Actor`] that executes an Overlog program.
 pub struct OverlogActor {
     rt: OverlogRuntime,
     factory: Option<RuntimeFactory>,
     tick_period: u64,
+    durable: Option<DurableState>,
     /// Evaluation errors encountered while ticking (program bugs); the
     /// simulation keeps running so harnesses can inspect them.
     pub errors: Vec<String>,
+    /// One entry per crash-recovery performed (durable mode only).
+    pub recoveries: Vec<RecoveryStats>,
     /// Accumulated wall-clock time spent evaluating this runtime. The
     /// simulator's virtual clock models the network; this models the
     /// node's CPU, and is what capacity experiments (E6/E7) measure.
@@ -36,7 +84,9 @@ impl OverlogActor {
             rt,
             factory: None,
             tick_period: tick_period.max(1),
+            durable: None,
             errors: Vec::new(),
+            recoveries: Vec::new(),
             busy: std::time::Duration::ZERO,
         }
     }
@@ -50,9 +100,32 @@ impl OverlogActor {
             rt,
             factory: Some(factory),
             tick_period: tick_period.max(1),
+            durable: None,
             errors: Vec::new(),
+            recoveries: Vec::new(),
             busy: std::time::Duration::ZERO,
         }
+    }
+
+    /// Turn on durability: after every activation the runtime's committed
+    /// deltas are appended to `store`, a checkpoint is cut per `policy`,
+    /// and a restart recovers (snapshot + log replay) into the
+    /// factory-fresh runtime instead of rejoining blank. The hosted
+    /// runtime must have durable tables marked (the factory does this, so
+    /// the marking survives rebuilds).
+    pub fn enable_durability(&mut self, store: DurableStore, policy: CheckpointPolicy) {
+        self.durable = Some(DurableState {
+            store,
+            policy,
+            entries_since_ckpt: 0,
+            last_counters: self.rt.counter_values(),
+        });
+    }
+
+    /// Builder-style [`OverlogActor::enable_durability`].
+    pub fn with_durability(mut self, store: DurableStore, policy: CheckpointPolicy) -> Self {
+        self.enable_durability(store, policy);
+        self
     }
 
     /// Access the hosted runtime (for queries and instrumentation).
@@ -89,6 +162,34 @@ impl OverlogActor {
             if !self.rt.has_pending() {
                 break;
             }
+        }
+        self.persist(ctx.now(), ctx.me());
+    }
+
+    /// Durable mode: append this activation's committed deltas to the
+    /// write-ahead log and checkpoint when the policy says so. The append
+    /// happens before any tuple sent during the activation can be
+    /// delivered (network latency is ≥ the synchronous handler), so state
+    /// a peer can observe is always on disk first — an acceptor's promise
+    /// is durable before the proposer sees it.
+    fn persist(&mut self, now: u64, me: &str) {
+        let Some(d) = self.durable.as_mut() else {
+            return;
+        };
+        if !self.rt.durable_enabled() {
+            return;
+        }
+        let delta = self.rt.take_commit_delta();
+        let counters = self.rt.counter_values();
+        if delta.is_empty() && counters == d.last_counters {
+            return;
+        }
+        d.entries_since_ckpt += delta.len();
+        d.last_counters.clone_from(&counters);
+        d.store.append(me, now, delta, counters);
+        if d.policy.every_entries > 0 && d.entries_since_ckpt >= d.policy.every_entries {
+            d.store.checkpoint(me, self.rt.snapshot());
+            d.entries_since_ckpt = 0;
         }
     }
 }
@@ -167,6 +268,28 @@ impl Actor for OverlogActor {
     fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
         if let Some(factory) = &mut self.factory {
             self.rt = factory(ctx.me());
+        }
+        if let Some(d) = self.durable.as_mut() {
+            let rec = d.store.recover(ctx.me());
+            let t0 = std::time::Instant::now();
+            let snapshot_rows = rec.snapshot.as_ref().map(|s| s.row_count()).unwrap_or(0);
+            match self
+                .rt
+                .restore(rec.snapshot.as_ref(), &rec.log, &rec.counters)
+            {
+                Ok(_) => self.recoveries.push(RecoveryStats {
+                    at: ctx.now(),
+                    snapshot_rows,
+                    replayed_entries: rec.log.len(),
+                    wal_batches: rec.batches,
+                    wall: t0.elapsed(),
+                }),
+                Err(e) => self.errors.push(format!("t={} restore: {e}", ctx.now())),
+            }
+            // Appends continue onto the surviving log; keep counting
+            // replay cost from the last checkpoint, not from zero.
+            d.entries_since_ckpt = rec.log.len();
+            d.last_counters = rec.counters;
         }
         self.tick_and_route(ctx);
         ctx.set_timer(self.tick_period, 0);
@@ -248,6 +371,57 @@ mod tests {
         sim.run_for(300);
         sim.with_actor::<OverlogActor, _>("server", |a| {
             assert_eq!(a.runtime().count("seen"), 0, "state reset by factory");
+        });
+    }
+
+    #[test]
+    fn durable_factory_restart_recovers_state() {
+        let store = crate::DurableStore::new(3);
+        let mut sim = Sim::new(SimConfig::default());
+        sim.set_durable_store(store.clone());
+        let factory = |name: &str| {
+            let mut rt = echo_runtime(name);
+            rt.set_durable_all();
+            rt
+        };
+        sim.add_node(
+            "server",
+            Box::new(
+                OverlogActor::with_factory(Box::new(factory), 50, "server")
+                    .with_durability(store.clone(), CheckpointPolicy { every_entries: 0 }),
+            ),
+        );
+        sim.inject("server", "req", row(vec![Value::addr("x"), Value::Int(1)]));
+        sim.inject("server", "req", row(vec![Value::addr("x"), Value::Int(7)]));
+        sim.run_for(200);
+        sim.schedule_crash("server", sim.now() + 10);
+        sim.schedule_restart("server", sim.now() + 100);
+        sim.run_for(300);
+        sim.with_actor::<OverlogActor, _>("server", |a| {
+            assert_eq!(a.runtime().count("seen"), 2, "state recovered from WAL");
+            assert_eq!(a.recoveries.len(), 1);
+            assert_eq!(a.recoveries[0].replayed_entries, 2);
+            assert!(a.errors.is_empty(), "no restore errors: {:?}", a.errors);
+        });
+        // A second cycle recovers again — and checkpointing bounds replay.
+        sim.with_actor::<OverlogActor, _>("server", |a| {
+            a.enable_durability(store.clone(), CheckpointPolicy { every_entries: 1 });
+        });
+        sim.inject("server", "req", row(vec![Value::addr("x"), Value::Int(9)]));
+        sim.run_for(200);
+        assert!(store.has_snapshot("server"), "policy cut a checkpoint");
+        sim.schedule_crash("server", sim.now() + 10);
+        sim.schedule_restart("server", sim.now() + 100);
+        sim.run_for(300);
+        sim.with_actor::<OverlogActor, _>("server", |a| {
+            assert_eq!(a.runtime().count("seen"), 3);
+            let last = a.recoveries.last().unwrap();
+            assert!(
+                last.replayed_entries <= 1,
+                "replay bounded by churn since checkpoint, got {}",
+                last.replayed_entries
+            );
+            assert!(last.snapshot_rows >= 3, "checkpoint carried the state");
         });
     }
 

@@ -10,8 +10,14 @@
 //! on the same seed, and the exit code is non-zero if any invariant
 //! (acked writes intact, replication restored, output exact, no divergent
 //! commits) fails — the same checks CI's chaos matrix gates on.
+//!
+//! The `restart-storm` schedule is special: it runs the durable
+//! replicated-NameNode recovery scenario (staggered crash/restart storms
+//! over every replica, full-quorum outage included) instead of the
+//! MapReduce twin harness, gating on service resumption, acked-write
+//! survival, and decided-log integrity.
 
-use boom_bench::{run_chaos, ChaosConfig, NamedSchedule};
+use boom_bench::{run_chaos, run_restart_storm, ChaosConfig, NamedSchedule, RestartStormConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: chaoscheck [--seed N]... [--chrome OUT.json] [SCHEDULE ...]
@@ -21,13 +27,20 @@ const USAGE: &str = "usage: chaoscheck [--seed N]... [--chrome OUT.json] [SCHEDU
                 JSON (node lanes, message flows, fault markers) into OUT
   -h, --help    this help
 
-Schedules: datanode-crash, nn-partition, tracker-flap, mixed.
+Schedules: datanode-crash, nn-partition, tracker-flap, mixed, restart-storm.
 With no schedule arguments, all of them run.
 ";
 
+/// One runnable schedule: the twinned MapReduce harness or the
+/// replicated-NameNode restart storm.
+enum Run {
+    Named(NamedSchedule),
+    RestartStorm,
+}
+
 fn main() -> ExitCode {
     let mut seeds: Vec<u64> = Vec::new();
-    let mut schedules: Vec<NamedSchedule> = Vec::new();
+    let mut schedules: Vec<Run> = Vec::new();
     let mut chrome_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,12 +67,13 @@ fn main() -> ExitCode {
                 eprintln!("chaoscheck: unknown flag `{arg}`\n{USAGE}");
                 return ExitCode::from(2);
             }
+            "restart-storm" => schedules.push(Run::RestartStorm),
             name => {
                 let Some(s) = NamedSchedule::parse(name) else {
                     eprintln!("chaoscheck: unknown schedule `{name}`\n{USAGE}");
                     return ExitCode::from(2);
                 };
-                schedules.push(s);
+                schedules.push(Run::Named(s));
             }
         }
     }
@@ -67,18 +81,27 @@ fn main() -> ExitCode {
         seeds.push(1);
     }
     if schedules.is_empty() {
-        schedules.extend(NamedSchedule::all());
+        schedules.extend(NamedSchedule::all().into_iter().map(Run::Named));
+        schedules.push(Run::RestartStorm);
     }
 
     let mut failures = 0;
-    for named in &schedules {
+    for run in &schedules {
         for &seed in &seeds {
-            let cfg = ChaosConfig {
-                seed,
-                chrome: chrome_out.is_some(),
-                ..Default::default()
+            let report = match run {
+                Run::Named(named) => {
+                    let cfg = ChaosConfig {
+                        seed,
+                        chrome: chrome_out.is_some(),
+                        ..Default::default()
+                    };
+                    run_chaos(&cfg, *named)
+                }
+                Run::RestartStorm => run_restart_storm(&RestartStormConfig {
+                    seed,
+                    ..Default::default()
+                }),
             };
-            let report = run_chaos(&cfg, *named);
             print!("{}", report.render());
             if let (Some(out), Some(doc)) = (chrome_out.take(), &report.chrome_json) {
                 match std::fs::write(&out, doc) {

@@ -1,0 +1,65 @@
+//! Crash-recovery regression tests: the restart-storm scenario (staggered
+//! crash/restart cycles over every NameNode replica, including a window
+//! where the whole quorum is down) must keep every invariant with durable
+//! disks on — and must be *flagged* by the same harness with them off,
+//! pinning the blank-acceptor hazard the durability layer exists to fix.
+
+use boom_bench::{run_restart_storm, RestartStormConfig};
+
+#[test]
+fn restart_storm_with_durability_keeps_every_invariant() {
+    for seed in [1u64, 2, 3] {
+        let rep = run_restart_storm(&RestartStormConfig {
+            seed,
+            durable: true,
+            ..Default::default()
+        });
+        assert!(rep.all_green(), "seed {seed} went RED:\n{}", rep.render());
+    }
+}
+
+#[test]
+fn blank_acceptor_hazard_is_flagged_without_durability() {
+    // Same storm, volatile replicas: the full-quorum outage wipes every
+    // acceptor, so acked metadata and decided instances are gone. The
+    // invariant harness must catch that, not paper over it.
+    let rep = run_restart_storm(&RestartStormConfig {
+        seed: 1,
+        durable: false,
+        ..Default::default()
+    });
+    assert!(
+        !rep.all_green(),
+        "volatile replicas survived a full-quorum restart storm — the \
+         regression harness lost its teeth:\n{}",
+        rep.render()
+    );
+    assert!(
+        rep.checks
+            .iter()
+            .any(|c| c.name == "no-decided-lost" && !c.pass),
+        "the decided-log check specifically must flag blank acceptors:\n{}",
+        rep.render()
+    );
+}
+
+#[test]
+fn recovery_time_is_bounded_by_churn_not_history() {
+    // Checkpointing bounds replay: with a fixed checkpoint interval, a
+    // replica that lived through 4x the history must not replay 4x the
+    // entries (that is what E12 measures at scale).
+    let short = run_restart_storm(&RestartStormConfig {
+        seed: 2,
+        files: 4,
+        checkpoint_every: 16,
+        ..Default::default()
+    });
+    let long = run_restart_storm(&RestartStormConfig {
+        seed: 2,
+        files: 16,
+        checkpoint_every: 16,
+        ..Default::default()
+    });
+    assert!(short.all_green(), "{}", short.render());
+    assert!(long.all_green(), "{}", long.render());
+}
