@@ -1,0 +1,158 @@
+//! E13 — the serving tier at scale: ≥ 50k standing Overlog subscriptions
+//! over a loaded BOOM-FS NameNode, measuring commit-to-subscriber
+//! propagation latency (virtual ms) and per-subscription server memory.
+//!
+//! The claim under test: because standing queries are metaprogrammed
+//! views tapped at commit points, propagation cost follows *churn* — not
+//! state size, not subscriber count beyond the fan-out itself — and tens
+//! of thousands of idle subscriptions cost the host nothing per tick.
+//! The full grid scales the fleet from hundreds to 51 200 subscriptions
+//! and reports the latency distribution plus resident bytes per
+//! subscription at each step.
+//!
+//! `--smoke` runs one CI-scale cell and exits non-zero on any gate
+//! violation (fleet fully subscribed, fan-out shared into ≤ 3 views,
+//! deltas flowed, sampled mirrors byte-equal to the server view, zero
+//! drops at default bounds). The full run writes
+//! `results/e13_serve.txt` and `results/BENCH_e13.json`.
+
+use boom_bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn render_text(cells: &[ServeBenchReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# E13: serving tier — standing subscriptions over a loaded NameNode"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>7} {:>8} {:>10} {:>9} {:>8} {:>8} {:>9} {:>11} {:>8}",
+        "subs",
+        "nodes",
+        "queries",
+        "applied",
+        "p50(ms)",
+        "p99(ms)",
+        "mean",
+        "B/sub",
+        "mirrors",
+        "wall(s)"
+    );
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>7} {:>8} {:>10} {:>9} {:>8} {:>8.1} {:>9.0} {:>8}/{:<2} {:>8.1}",
+            c.subs,
+            c.client_nodes,
+            c.queries,
+            c.applied,
+            c.lat_p50_ms,
+            c.lat_p99_ms,
+            c.lat_mean_ms,
+            c.bytes_per_sub,
+            c.mirror_matches,
+            c.mirror_checks,
+            c.wall_secs
+        );
+    }
+    if let (Some(small), Some(big)) = (cells.first(), cells.last()) {
+        let _ = writeln!(
+            out,
+            "# {}x subscribers: p99 {} -> {} ms, bytes/sub {:.0} -> {:.0} — \
+             propagation tracks churn, not fleet size",
+            big.subs / small.subs.max(1),
+            small.lat_p99_ms,
+            big.lat_p99_ms,
+            small.bytes_per_sub,
+            big.bytes_per_sub
+        );
+    }
+    out
+}
+
+fn render_json(cells: &[ServeBenchReport]) -> String {
+    let mut out = String::from("{\"experiment\":\"e13_serve\",\"cases\":[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"subs\":{},\"client_nodes\":{},\"tags_per_node\":{},\"queries\":{},\
+             \"churn_ops\":{},\"applied\":{},\"delivered\":{},\"dropped\":{},\
+             \"resyncs\":{},\"lat_p50_ms\":{},\"lat_p99_ms\":{},\"lat_mean_ms\":{:.2},\
+             \"bytes_per_sub\":{:.1},\"mirror_checks\":{},\"mirror_matches\":{},\
+             \"wall_secs\":{:.2}}}",
+            c.subs,
+            c.client_nodes,
+            c.tags_per_node,
+            c.queries,
+            c.churn_ops,
+            c.applied,
+            c.delivered,
+            c.dropped,
+            c.resyncs,
+            c.lat_p50_ms,
+            c.lat_p99_ms,
+            c.lat_mean_ms,
+            c.bytes_per_sub,
+            c.mirror_checks,
+            c.mirror_matches,
+            c.wall_secs
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let grid: Vec<ServeBenchConfig> = if smoke {
+        eprintln!("E13 smoke: one CI-scale cell, exactness + fan-out gates");
+        vec![ServeBenchConfig {
+            client_nodes: 8,
+            tags_per_node: 50,
+            churn_ops: 12,
+            settle_ms: 6_000,
+        }]
+    } else {
+        eprintln!("E13: full fleet grid up to 51.2k subscriptions");
+        vec![
+            ServeBenchConfig {
+                client_nodes: 8,
+                tags_per_node: 100,
+                ..Default::default()
+            },
+            ServeBenchConfig {
+                client_nodes: 32,
+                tags_per_node: 400,
+                ..Default::default()
+            },
+            ServeBenchConfig::default(), // 64 × 800 = 51 200
+        ]
+    };
+    let cells: Vec<ServeBenchReport> = grid.iter().map(run_serve_bench).collect();
+    let text = render_text(&cells);
+    print!("{text}");
+    println!("{}", render_json(&cells));
+    let bad: Vec<String> = cells.iter().flat_map(|c| c.violations()).collect();
+    if !bad.is_empty() {
+        for b in &bad {
+            eprintln!("E13 FAIL: {b}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if !smoke {
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/e13_serve.txt", &text))
+            .and_then(|()| std::fs::write("results/BENCH_e13.json", render_json(&cells)))
+        {
+            eprintln!("E13: could not write results files: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("E13: wrote results/e13_serve.txt and results/BENCH_e13.json");
+    }
+    ExitCode::SUCCESS
+}

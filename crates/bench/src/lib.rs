@@ -18,6 +18,7 @@
 //! | E10 | `e10_engine` | engine hot path: tuples/CPU-sec, serial-vs-parallel identity |
 //! | E11 | `e11_shard` | intra-node sharded evaluation (analysis-gated) |
 //! | E12 | `e12_recovery` | durable recovery: replay cost vs history and checkpoint interval |
+//! | E13 | `e13_serve` | serving tier: standing subscriptions at scale over a loaded NameNode |
 //!
 //! Criterion microbenches (`cargo bench`) cover engine-level numbers that
 //! back the latency/throughput cells at CI-friendly scale.
@@ -27,6 +28,7 @@ pub mod experiments;
 pub mod locs;
 pub mod observe;
 pub mod recovery;
+pub mod serve;
 
 pub use chaos::{
     run_chaos, run_restart_storm, ChaosConfig, ChaosReport, NamedSchedule, RestartStormConfig,
@@ -34,3 +36,4 @@ pub use chaos::{
 pub use experiments::*;
 pub use observe::{run_observed, ObserveConfig, ObservedRun};
 pub use recovery::{run_recovery_bench, run_recovery_case, RecoveryCase};
+pub use serve::{run_serve_bench, ServeBenchConfig, ServeBenchReport};

@@ -1,0 +1,276 @@
+//! E13 — the serving tier at scale: tens of thousands of standing
+//! subscriptions over a churning BOOM-FS NameNode.
+//!
+//! The run attaches a [`ServeHost`] to the NameNode, spreads
+//! `client_nodes × tags_per_node` subscriptions over a fleet of
+//! [`SubscriberActor`] nodes (each node multiplexes many tagged
+//! subscriptions, the way a real API gateway would), drives metadata
+//! churn through the ordinary FS client, and measures:
+//!
+//! * **propagation latency** (virtual ms from commit to subscriber
+//!   arrival, incremental records only — snapshots excluded), reported as
+//!   p50/p99/mean over every record every subscriber applied;
+//! * **per-subscription server memory** (host-resident bytes / live
+//!   subscriptions); and
+//! * **exactness**: sampled subscriber mirrors must equal the server-side
+//!   query view row for row at quiescence, and drop/resync counters must
+//!   behave (no drops at default queue bounds).
+//!
+//! Because subscriptions ride the observed channel, the loaded NameNode
+//! runs the byte-identical schedule it would run with zero subscribers —
+//! `tests/serve_equiv.rs` pins that — so E13's churn numbers are directly
+//! comparable with the unobserved benchmarks.
+
+use boom_fs::cluster::{nn_name, FsCluster, FsClusterBuilder};
+use boom_overlog::Value;
+use boom_serve::{fs_queries, ServeConfig, ServeHost, SubscriberActor, SubscriptionSpec};
+use boom_simnet::OverlogActor;
+use std::collections::BTreeMap;
+
+/// Scale knobs for one E13 run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Subscriber nodes attached to the cluster.
+    pub client_nodes: usize,
+    /// Subscriptions multiplexed per node (total = nodes × tags).
+    pub tags_per_node: usize,
+    /// Metadata operations (creates, with periodic renames/removes)
+    /// driven through the FS client while the fleet watches.
+    pub churn_ops: usize,
+    /// Virtual quiescence window after the churn.
+    pub settle_ms: u64,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            client_nodes: 64,
+            tags_per_node: 800,
+            churn_ops: 24,
+            settle_ms: 8_000,
+        }
+    }
+}
+
+/// Everything E13 reports (and gates on).
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    pub subs: usize,
+    /// Distinct installed query views (fan-out sharing collapses the rest).
+    pub queries: usize,
+    pub client_nodes: usize,
+    pub tags_per_node: usize,
+    pub churn_ops: usize,
+    /// Incremental delta records applied across the whole fleet.
+    pub applied: u64,
+    /// Delta records flushed by the host (incremental + snapshot).
+    pub delivered: u64,
+    pub dropped: u64,
+    pub resyncs: u64,
+    /// Propagation latency over incremental records, virtual ms.
+    pub lat_p50_ms: u64,
+    pub lat_p99_ms: u64,
+    pub lat_mean_ms: f64,
+    /// Host-resident bytes per live subscription at quiescence.
+    pub bytes_per_sub: f64,
+    /// Sampled subscriber mirrors checked / found equal to the server view.
+    pub mirror_checks: usize,
+    pub mirror_matches: usize,
+    /// Wall-clock of the whole run (not gated — informational).
+    pub wall_secs: f64,
+}
+
+impl ServeBenchReport {
+    /// Deterministic gates: full fleet subscribed, fan-out shared, deltas
+    /// flowed, sampled mirrors exact, nothing dropped at default bounds.
+    pub fn violations(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        let expect = self.client_nodes * self.tags_per_node;
+        if self.subs != expect {
+            bad.push(format!(
+                "{} subscriptions live, expected {expect}",
+                self.subs
+            ));
+        }
+        if self.queries > 3 {
+            bad.push(format!(
+                "{} query views installed — fan-out sharing failed (3 distinct queries)",
+                self.queries
+            ));
+        }
+        if self.applied == 0 {
+            bad.push("no incremental delta reached any subscriber".into());
+        }
+        if self.mirror_matches != self.mirror_checks {
+            bad.push(format!(
+                "{}/{} sampled mirrors diverged from the server view",
+                self.mirror_checks - self.mirror_matches,
+                self.mirror_checks
+            ));
+        }
+        if self.dropped > 0 {
+            bad.push(format!(
+                "{} records dropped at default queue bounds",
+                self.dropped
+            ));
+        }
+        bad
+    }
+}
+
+/// Weighted percentile over a latency histogram (virtual ms → count).
+fn percentile(hist: &BTreeMap<u64, u64>, p: f64) -> u64 {
+    let total: u64 = hist.values().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for (&lat, &n) in hist {
+        seen += n;
+        if seen >= rank {
+            return lat;
+        }
+    }
+    *hist.keys().next_back().unwrap_or(&0)
+}
+
+fn canned_query(tag: i64) -> SubscriptionSpec {
+    match tag % 3 {
+        0 => fs_queries::file_status(),
+        1 => fs_queries::replication_health(),
+        _ => fs_queries::chunk_placement(),
+    }
+}
+
+fn server_rows(c: &mut FsCluster, table: &str) -> Vec<Vec<Value>> {
+    let nn = nn_name(0);
+    c.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.runtime_ref()
+            .table(table)
+            .map(|t| t.sorted_rows().into_iter().map(|r| r.to_vec()).collect())
+            .unwrap_or_default()
+    })
+}
+
+/// Run one E13 cell.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
+    let t0 = std::time::Instant::now();
+    let mut c = FsClusterBuilder::default().build();
+    let nn = nn_name(0);
+    c.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.add_hook(Box::new(ServeHost::new(ServeConfig::default())));
+    });
+    for i in 0..cfg.client_nodes {
+        let specs: Vec<(i64, SubscriptionSpec)> = (0..cfg.tags_per_node)
+            .map(|t| (t as i64, canned_query(t as i64)))
+            .collect();
+        c.sim.add_node(
+            &format!("sub{i}"),
+            Box::new(SubscriberActor::new(&nn, specs, 500)),
+        );
+    }
+    // Let the whole fleet subscribe and take its opening snapshots.
+    c.sim.run_for(2_000);
+
+    // Loaded-NameNode churn: namespace growth with periodic renames and
+    // removes, plus a data-path write so chunk tables move too.
+    let cl = c.client.clone();
+    cl.mkdir(&mut c.sim, "/live").unwrap();
+    cl.write_file(&mut c.sim, "/live/blob", "serving-tier payload")
+        .unwrap();
+    for i in 0..cfg.churn_ops {
+        let p = format!("/live/f{i}");
+        cl.create(&mut c.sim, &p).unwrap();
+        match i % 4 {
+            1 => cl.rename(&mut c.sim, &p, &format!("/live/g{i}")).unwrap(),
+            3 => cl.rm(&mut c.sim, &p).unwrap(),
+            _ => {}
+        }
+    }
+    c.sim.run_for(cfg.settle_ms);
+
+    // Harvest: host counters, fleet latency histogram, sampled mirrors.
+    let (subs, queries, delivered, dropped, resyncs, mem) =
+        c.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+            let h = a.hook_mut::<ServeHost>().unwrap();
+            (
+                h.sub_count(),
+                h.query_count(),
+                h.total_delivered,
+                h.total_dropped,
+                h.total_resyncs,
+                h.mem_bytes(),
+            )
+        });
+    let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut applied = 0u64;
+    for i in 0..cfg.client_nodes {
+        c.sim
+            .with_actor::<SubscriberActor, _>(&format!("sub{i}"), |w| {
+                w.merge_latencies(&mut hist);
+                applied += w.applied;
+            });
+    }
+    // Exactness sample: first/middle/last nodes, one tag per query kind.
+    let mut mirror_checks = 0;
+    let mut mirror_matches = 0;
+    let sample: Vec<usize> = [0, cfg.client_nodes / 2, cfg.client_nodes - 1]
+        .into_iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for i in sample {
+        for tag in 0..3i64.min(cfg.tags_per_node as i64) {
+            let mirror: Vec<Vec<Value>> =
+                c.sim
+                    .with_actor::<SubscriberActor, _>(&format!("sub{i}"), |w| {
+                        w.mirrors
+                            .get(&tag)
+                            .map(|m| m.iter().cloned().collect())
+                            .unwrap_or_default()
+                    });
+            let table = c
+                .sim
+                .with_actor::<OverlogActor, _>(&nn, |a| {
+                    a.hook_mut::<ServeHost>()
+                        .unwrap()
+                        .query_table(&canned_query(tag))
+                })
+                .unwrap_or_default();
+            let server = server_rows(&mut c, &table);
+            mirror_checks += 1;
+            if mirror == server {
+                mirror_matches += 1;
+            }
+        }
+    }
+    let total: u64 = hist.values().sum();
+    let mean = if total == 0 {
+        0.0
+    } else {
+        hist.iter().map(|(&l, &n)| l as f64 * n as f64).sum::<f64>() / total as f64
+    };
+    ServeBenchReport {
+        subs,
+        queries,
+        client_nodes: cfg.client_nodes,
+        tags_per_node: cfg.tags_per_node,
+        churn_ops: cfg.churn_ops,
+        applied,
+        delivered,
+        dropped,
+        resyncs,
+        lat_p50_ms: percentile(&hist, 50.0),
+        lat_p99_ms: percentile(&hist, 99.0),
+        lat_mean_ms: mean,
+        bytes_per_sub: if subs == 0 {
+            0.0
+        } else {
+            mem as f64 / subs as f64
+        },
+        mirror_checks,
+        mirror_matches,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}

@@ -34,6 +34,7 @@
 //! | W0006 | `watch` on a table nothing fills (stale monitoring rule) |
 //! | W0007 | dead column: only ever matched as `_`, its value never read |
 //! | W0008 | hot rule shard-unsafe only because of a non-key join attribute |
+//! | W0009 | watched table fed by a hard-serial rule over a hot body |
 //!
 //! Beyond diagnostics, [`report`] runs the semantic passes — monotonicity
 //! / CALM classification ([`mono`]), whole-program type inference

@@ -59,8 +59,9 @@ pub use ids::{IdSet, TableId, TableIds};
 pub use parser::parse_program;
 pub use plan::PlanOptions;
 pub use runtime::{
-    CommitOp, CommitRecord, EvalStats, NetTuple, OverlogRuntime, ProvRecord, RuleStats,
-    RuntimeSnapshot, ShardStats, TickResult, TraceDrain, TraceEvent, TraceOp,
+    is_observation_table, CommitOp, CommitRecord, EvalStats, NetTuple, OverlogRuntime, ProvRecord,
+    RuleStats, RuntimeSnapshot, ShardStats, TapRecord, TickResult, TraceDrain, TraceEvent, TraceOp,
+    OBSERVATION_PREFIXES,
 };
 pub use table::{Candidates, InsertOutcome, Table};
 pub use value::{row, Row, TypeTag, Value};

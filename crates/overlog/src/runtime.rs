@@ -218,6 +218,42 @@ pub struct CommitRecord {
     pub op: CommitOp,
 }
 
+/// Table-name prefixes reserved for the *observation plane*: tables
+/// generated by boom-trace monitors (`boomt_`) and boom-serve
+/// subscriptions (`srv_`). The observe-never-perturb contract says their
+/// presence must not change application state, the write-ahead log, or
+/// recovery behavior — so observation tables are never marked durable
+/// (they are rebuilt by re-installing the monitor / re-subscribing) and
+/// state fingerprints exclude them.
+pub const OBSERVATION_PREFIXES: [&str; 2] = ["boomt_", "srv_"];
+
+/// Whether a table belongs to the observation plane (see
+/// [`OBSERVATION_PREFIXES`]).
+pub fn is_observation_table(name: &str) -> bool {
+    OBSERVATION_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// One change record drained from a *delta tap* (see
+/// [`OverlogRuntime::add_tap`]): the serving tier's unit of subscription
+/// propagation. Unlike [`CommitRecord`] (the WAL unit, inserts as stored),
+/// a tap reports retractions explicitly: a key-overwrite emits
+/// `Delete(old)` then `Insert(new)`, so replaying a tap stream against a
+/// full-row mirror reproduces the table exactly.
+#[derive(Debug, Clone)]
+pub struct TapRecord {
+    /// Table name (names, not ids: the stream outlives the runtime).
+    pub table: String,
+    /// The row as stored (coerced).
+    pub row: Row,
+    /// Insert or delete (retraction).
+    pub op: CommitOp,
+    /// Tick ordinal at which the change committed.
+    pub tick: u64,
+    /// Virtual time of the committing tick — the timestamp propagation
+    /// latency is measured against.
+    pub time: u64,
+}
+
 /// A checkpoint of a runtime's durable state: full contents of every
 /// durable table (sorted, for deterministic bytes) plus the values of all
 /// tracked host counters (see [`OverlogRuntime::register_counter`]).
@@ -261,6 +297,10 @@ pub struct OverlogRuntime {
     rule_sources: Vec<Rule>,
     /// Program texts successfully loaded, in order (static re-analysis).
     sources: Vec<String>,
+    /// Which contiguous `rule_sources` range each loaded source produced
+    /// (`(start, len)`, parallel to `sources`) — the unit
+    /// [`OverlogRuntime::unload`] removes.
+    source_rule_spans: Vec<(usize, usize)>,
     /// Tables the host has inserted into or deleted from directly; the
     /// analyzer treats them as externally filled.
     host_inserted: HashSet<String>,
@@ -312,6 +352,16 @@ pub struct OverlogRuntime {
     /// Committed deltas since the last [`OverlogRuntime::take_commit_delta`]
     /// drain (table ids resolve to names at drain time, off the hot path).
     commit_log: Vec<(TableId, Row, CommitOp)>,
+    /// Tapped table names (see [`OverlogRuntime::add_tap`]); `tap_ids` is
+    /// the compiled hot-path membership test, empty when no taps exist.
+    tap_names: HashSet<String>,
+    tap_ids: IdSet,
+    /// Tap records since the last [`OverlogRuntime::take_tap_delta`] drain.
+    tap_log: Vec<(TableId, Row, CommitOp, u64, u64)>,
+    /// True while `recompute_views` rebuilds: incremental capture is
+    /// suspended (aggregate rebuilds re-insert every group through
+    /// `apply_insert`) — the rebuild is reported as an exact diff instead.
+    tap_suspended: bool,
     /// Host counters registered via [`OverlogRuntime::register_counter`],
     /// snapshot and restored with durable state.
     counters: Vec<(String, Arc<AtomicI64>)>,
@@ -453,6 +503,7 @@ impl OverlogRuntime {
             tables: Vec::new(),
             rule_sources: Vec::new(),
             sources: Vec::new(),
+            source_rule_spans: Vec::new(),
             host_inserted: HashSet::new(),
             plan: Arc::new(Plan::default()),
             plan_opts: plan::PlanOptions::default(),
@@ -482,6 +533,10 @@ impl OverlogRuntime {
             durable_mode: DurableMode::Off,
             durable_ids: IdSet::new(),
             commit_log: Vec::new(),
+            tap_names: HashSet::new(),
+            tap_ids: IdSet::new(),
+            tap_log: Vec::new(),
+            tap_suspended: false,
             counters: Vec::new(),
         };
         let me = TableDecl {
@@ -662,7 +717,10 @@ impl OverlogRuntime {
                 );
                 self.build_indexes();
                 self.sources.push(src.to_string());
+                self.source_rule_spans
+                    .push((before, self.rule_sources.len() - before));
                 self.refresh_durable_ids();
+                self.refresh_tap_ids();
                 Ok(())
             }
             Err(e) => {
@@ -672,6 +730,95 @@ impl OverlogRuntime {
                 Err(e)
             }
         }
+    }
+
+    /// Remove the most recent load of `src`: its rules leave the plan (and
+    /// their [`RuleStats`]/[`ShardStats`] slots go with them — rule ids are
+    /// dense indexes, so surviving rules' counters shift down in lockstep
+    /// with their new ids, never pointing at a removed rule's numbers).
+    /// This is the uninstall half of dynamic metaprogramming: monitors and
+    /// standing subscriptions install rules with [`OverlogRuntime::load`]
+    /// and retire them here.
+    ///
+    /// Declarations, facts, timers and watches contributed by the source
+    /// are kept — tables have dense ids and cannot be removed; use
+    /// [`OverlogRuntime::unwatch`] and [`OverlogRuntime::clear_table`] to
+    /// retire a generated table's watch and contents. Returns `Ok(false)`
+    /// when no load of `src` exists. On a recompile error (a later load's
+    /// rules depended on this source's derivations) the rules are restored
+    /// and the runtime is unchanged.
+    pub fn unload(&mut self, src: &str) -> Result<bool> {
+        let Some(i) = self.sources.iter().rposition(|s| s == src) else {
+            return Ok(false);
+        };
+        let (start, len) = self.source_rule_spans[i];
+        let removed: Vec<Rule> = self.rule_sources.drain(start..start + len).collect();
+        match self.recompile() {
+            Ok(p) => {
+                self.plan = Arc::new(p);
+                // Drop the removed rules' stats slots so the dense
+                // rule-id indexing stays aligned (the stale-stats fix).
+                if start + len <= self.rule_stats.len() {
+                    self.rule_stats.drain(start..start + len);
+                }
+                if start + len <= self.shard_stats.len() {
+                    self.shard_stats.drain(start..start + len);
+                }
+                self.rule_stats
+                    .resize(self.plan.rules.len(), RuleStats::default());
+                self.shard_stats.resize(
+                    self.plan.rules.len(),
+                    vec![ShardStats::default(); self.plan_opts.shards.max(1)],
+                );
+                self.sources.remove(i);
+                self.source_rule_spans.remove(i);
+                for span in &mut self.source_rule_spans[i..] {
+                    span.0 -= len;
+                }
+                self.build_indexes();
+                self.refresh_durable_ids();
+                self.refresh_tap_ids();
+                Ok(true)
+            }
+            Err(e) => {
+                // Splice the rules back where they were; the previous plan
+                // compiled before, so this recompile cannot fail.
+                self.rule_sources.splice(start..start, removed);
+                self.plan = Arc::new(self.recompile().expect("previous plan compiled before"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Empty a table's rows from the host (retiring a generated
+    /// observation table after [`OverlogRuntime::unload`]). Durable and
+    /// tapped tables log the removals; views depending on the table are
+    /// rebuilt. Returns the number of rows removed.
+    pub fn clear_table(&mut self, name: &str) -> Result<usize> {
+        let Some(tid) = self.ids.get(name) else {
+            return Ok(0);
+        };
+        let old: Vec<Row> = self.tables[tid.idx()].scan().cloned().collect();
+        if old.is_empty() {
+            return Ok(0);
+        }
+        if self.durable_ids.contains(tid) {
+            self.commit_log
+                .extend(old.iter().map(|r| (tid, r.clone(), CommitOp::Delete)));
+        }
+        if self.tap_ids.contains(tid) {
+            let (tick, now) = (self.tick_count, self.now);
+            self.tap_log.extend(
+                old.iter()
+                    .map(|r| (tid, r.clone(), CommitOp::Delete, tick, now)),
+            );
+        }
+        let n = old.len();
+        self.tables[tid.idx()].clear();
+        if self.plan.view_inputs.contains(tid) || self.plan.neg_view_inputs.contains(tid) {
+            self.recompute_all_views()?;
+        }
+        Ok(n)
     }
 
     fn recompile(&mut self) -> Result<Plan> {
@@ -787,6 +934,91 @@ impl OverlogRuntime {
             self.watch_ids.insert(tid);
         }
         self.watch_names.insert(table.to_string());
+    }
+
+    /// Remove a watch added by [`OverlogRuntime::watch`] or a loaded
+    /// `watch(t);` statement — the revert half `uninstall_monitor` needs.
+    /// Returns whether the table was watched.
+    pub fn unwatch(&mut self, table: &str) -> bool {
+        let was = self.watch_names.remove(table);
+        if was {
+            self.watch_ids.clear();
+            for name in &self.watch_names {
+                if let Some(tid) = self.ids.get(name) {
+                    self.watch_ids.insert(tid);
+                }
+            }
+        }
+        was
+    }
+
+    /// Attach a *delta tap* to a materialized table: from now on every
+    /// committed change to it (insert, retraction of an overwritten row,
+    /// deletion, view shrink/regrow) is appended to the tap log for
+    /// [`OverlogRuntime::take_tap_delta`] to drain. This is the serving
+    /// tier's capture mechanism: cost is proportional to the table's
+    /// churn, zero for untapped tables (one bitset test), and zero when no
+    /// taps exist. Returns `false` for unknown or event tables (events
+    /// clear every tick; subscribe to a view over them instead).
+    pub fn add_tap(&mut self, table: &str) -> bool {
+        match self.ids.get(table) {
+            Some(tid) if !self.tables[tid.idx()].is_event() => {
+                self.tap_names.insert(table.to_string());
+                self.tap_ids.insert(tid);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Detach a delta tap. Already-captured records stay in the log until
+    /// drained. Returns whether the table was tapped.
+    pub fn remove_tap(&mut self, table: &str) -> bool {
+        let was = self.tap_names.remove(table);
+        if was {
+            self.refresh_tap_ids();
+        }
+        was
+    }
+
+    /// Whether any table is tapped.
+    pub fn taps_enabled(&self) -> bool {
+        !self.tap_ids.is_empty()
+    }
+
+    /// Names of the tapped tables, sorted.
+    pub fn tapped_tables(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.tap_names.iter().cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// Drain the tap records captured since the last drain, in commit
+    /// order. Empty (and free) unless taps are attached.
+    pub fn take_tap_delta(&mut self) -> Vec<TapRecord> {
+        self.tap_log
+            .drain(..)
+            .map(|(tid, row, op, tick, time)| TapRecord {
+                table: self.ids.name(tid).to_string(),
+                row,
+                op,
+                tick,
+                time,
+            })
+            .collect()
+    }
+
+    /// Recompile `tap_names` into the hot-path id set (event tables are
+    /// ineligible; unknown names wait for their declaration).
+    fn refresh_tap_ids(&mut self) {
+        self.tap_ids.clear();
+        for name in &self.tap_names {
+            if let Some(tid) = self.ids.get(name) {
+                if !self.tables[tid.idx()].is_event() {
+                    self.tap_ids.insert(tid);
+                }
+            }
+        }
     }
 
     /// Drain the accumulated trace, discarding the drop counter. Prefer
@@ -1002,6 +1234,13 @@ impl OverlogRuntime {
             if t.is_event() || self.plan.view_tables.contains(tid) || t.name() == "me" {
                 continue;
             }
+            // Observation-plane tables (monitor rowcounts, subscription
+            // views) are never durable: they are rebuilt by re-installing
+            // the monitor / re-subscribing, and keeping them out of the
+            // WAL keeps its bytes identical with and without observers.
+            if is_observation_table(t.name()) {
+                continue;
+            }
             let wanted = match &self.durable_mode {
                 DurableMode::Off => false,
                 DurableMode::All => true,
@@ -1149,6 +1388,11 @@ impl OverlogRuntime {
         }
         // 5. Derived state follows from the bases.
         self.recompute_all_views()?;
+        // Tap records captured before the crash (or emitted by the restore
+        // rebuild) describe a stream the restored runtime does not
+        // continue — drop them; the serving tier resynchronizes
+        // subscribers with a fresh snapshot instead.
+        self.tap_log.clear();
         Ok(applied)
     }
 
@@ -1173,19 +1417,42 @@ impl OverlogRuntime {
                 self.commit_log
                     .extend(old.into_iter().map(|r| (tid, r, CommitOp::Delete)));
             }
+            if self.tap_ids.contains(tid) {
+                let (tick, now) = (self.tick_count, self.now);
+                let old: Vec<Row> = self.tables[tid.idx()].scan().cloned().collect();
+                self.tap_log.extend(
+                    old.into_iter()
+                        .map(|r| (tid, r, CommitOp::Delete, tick, now)),
+                );
+            }
             self.tables[tid.idx()].clear();
             for row in rows {
                 let t = &mut self.tables[tid.idx()];
                 let row = t.coerce(row.clone());
                 t.insert(row.clone())?;
                 if self.durable_ids.contains(tid) {
-                    self.commit_log.push((tid, row, CommitOp::Insert));
+                    self.commit_log.push((tid, row.clone(), CommitOp::Insert));
+                }
+                if self.tap_ids.contains(tid) {
+                    self.tap_log
+                        .push((tid, row, CommitOp::Insert, self.tick_count, self.now));
                 }
                 applied += 1;
             }
         }
         self.recompute_all_views()?;
         Ok(applied)
+    }
+
+    /// Force a full rebuild of every view table from current base state.
+    /// Rebuilding is idempotent (views are deterministic functions of
+    /// their inputs), so this never changes observable state — but it
+    /// *does* seed views installed after their inputs were already
+    /// populated, and tapped views report the rebuild as an exact diff.
+    /// The serving tier calls this right after installing a standing
+    /// query so the tap stream opens with the query's initial contents.
+    pub fn refresh_views(&mut self) -> Result<()> {
+        self.recompute_all_views()
     }
 
     /// Rebuild every view table from the current base state.
@@ -1247,6 +1514,15 @@ impl OverlogRuntime {
                         ctx.changed_tables.insert(tid);
                         if self.durable_ids.contains(tid) {
                             self.commit_log.push((tid, row.clone(), CommitOp::Delete));
+                        }
+                        if self.tap_ids.contains(tid) {
+                            self.tap_log.push((
+                                tid,
+                                row.clone(),
+                                CommitOp::Delete,
+                                self.tick_count,
+                                self.now,
+                            ));
                         }
                         self.record_trace(tid, &row, TraceOp::Delete);
                         if plan.view_inputs.contains(tid) {
@@ -1410,6 +1686,15 @@ impl OverlogRuntime {
                 if self.durable_ids.contains(*tid) {
                     self.commit_log.push((*tid, row.clone(), CommitOp::Delete));
                 }
+                if self.tap_ids.contains(*tid) {
+                    self.tap_log.push((
+                        *tid,
+                        row.clone(),
+                        CommitOp::Delete,
+                        self.tick_count,
+                        self.now,
+                    ));
+                }
                 self.record_trace(*tid, row, TraceOp::Delete);
                 if plan.view_inputs.contains(*tid) {
                     ctx.shrink_dirty.insert(*tid);
@@ -1477,6 +1762,15 @@ impl OverlogRuntime {
                 if self.durable_ids.contains(tid) {
                     self.commit_log.push((tid, row.clone(), CommitOp::Insert));
                 }
+                if self.tap_ids.contains(tid) && !self.tap_suspended {
+                    self.tap_log.push((
+                        tid,
+                        row.clone(),
+                        CommitOp::Insert,
+                        self.tick_count,
+                        self.now,
+                    ));
+                }
                 self.record_trace(tid, &row, TraceOp::Insert);
                 // Negation is non-monotone: growing a table that appears
                 // negated in a view rule can retract view tuples, so it
@@ -1487,11 +1781,29 @@ impl OverlogRuntime {
                     ctx.grow_dirty.insert(tid);
                 }
             }
-            InsertOutcome::Replaced(_old) => {
+            InsertOutcome::Replaced(old) => {
                 ctx.added[tid.idx()].push(row.clone());
                 ctx.changed_tables.insert(tid);
                 if self.durable_ids.contains(tid) {
                     self.commit_log.push((tid, row.clone(), CommitOp::Insert));
+                }
+                if self.tap_ids.contains(tid) && !self.tap_suspended {
+                    // Retraction semantics: the overwritten row leaves the
+                    // table, so subscribers see an explicit Delete first.
+                    self.tap_log.push((
+                        tid,
+                        old.clone(),
+                        CommitOp::Delete,
+                        self.tick_count,
+                        self.now,
+                    ));
+                    self.tap_log.push((
+                        tid,
+                        row.clone(),
+                        CommitOp::Insert,
+                        self.tick_count,
+                        self.now,
+                    ));
                 }
                 self.record_trace(tid, &row, TraceOp::Insert);
                 // A key-overwrite removes a tuple other derivations may have
@@ -2162,9 +2474,69 @@ impl OverlogRuntime {
     /// `tick`, local to this call.
     fn recompute_views(&mut self, affected: &IdSet, ctx: &mut TickCtx) -> Result<()> {
         self.eval_stats.view_recomputes += 1;
+        // Tapped views are about to be cleared and rebuilt wholesale;
+        // snapshot them so the rebuild can be reported to subscribers as
+        // an exact retract/insert diff (cost is bounded by the recompute
+        // that is happening anyway).
+        let tap_before: Vec<(TableId, Vec<Row>)> = if self.tap_ids.intersects(affected) {
+            affected
+                .iter()
+                .filter(|v| self.tap_ids.contains(*v))
+                .map(|v| (v, self.tables[v.idx()].sorted_rows()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         for v in affected.iter() {
             self.tables[v.idx()].clear();
         }
+        self.tap_suspended = !tap_before.is_empty();
+        let res = self.rebuild_affected_views(affected, ctx);
+        self.tap_suspended = false;
+        res?;
+        // Emit the rebuild diff for tapped views: rows that vanished are
+        // retractions, rows that appeared are inserts (sorted merge over
+        // the before/after snapshots).
+        for (tid, before) in tap_before {
+            let after = self.tables[tid.idx()].sorted_rows();
+            let (tick, now) = (self.tick_count, self.now);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < before.len() || j < after.len() {
+                match (before.get(i), after.get(j)) {
+                    (Some(b), Some(a)) if b == a => {
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(b), Some(a)) if b < a => {
+                        self.tap_log
+                            .push((tid, b.clone(), CommitOp::Delete, tick, now));
+                        i += 1;
+                    }
+                    (Some(_), Some(a)) => {
+                        self.tap_log
+                            .push((tid, a.clone(), CommitOp::Insert, tick, now));
+                        j += 1;
+                    }
+                    (Some(b), None) => {
+                        self.tap_log
+                            .push((tid, b.clone(), CommitOp::Delete, tick, now));
+                        i += 1;
+                    }
+                    (None, Some(a)) => {
+                        self.tap_log
+                            .push((tid, a.clone(), CommitOp::Insert, tick, now));
+                        j += 1;
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The rebuild loop of [`Self::recompute_views`], split out so tap
+    /// suspension brackets every exit path (including `?` errors).
+    fn rebuild_affected_views(&mut self, affected: &IdSet, ctx: &mut TickCtx) -> Result<()> {
         let plan = Arc::clone(&self.plan);
         let ntables = self.tables.len();
         // Seed: full contents of every materialized table that is not

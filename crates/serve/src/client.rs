@@ -1,0 +1,221 @@
+//! Client side of the serving tier: a simulator actor that holds many
+//! subscriptions against one server, maintains a full-row mirror of each
+//! query's result set from the delta stream, and measures
+//! update-propagation latency in virtual time.
+//!
+//! One actor multiplexes thousands of subscriptions (distinguished by
+//! integer *tags*), which is how E13 reaches ≥ 50k concurrent
+//! subscriptions over a few dozen simulated nodes.
+
+use crate::protocol::*;
+use boom_overlog::value::row;
+use boom_overlog::{NetTuple, Value};
+use boom_simnet::{Actor, Ctx};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The mirror a subscriber maintains per tag: exactly the rows the server's
+/// query view holds, reconstructed from inserts/retracts (and snapshots
+/// after a resync).
+pub type Mirror = BTreeSet<Vec<Value>>;
+
+/// A simulated subscriber node.
+pub struct SubscriberActor {
+    server: String,
+    specs: BTreeMap<i64, SubscriptionSpec>,
+    /// Per-tag replica of the query result set.
+    pub mirrors: BTreeMap<i64, Mirror>,
+    /// Histogram of update-propagation latency in virtual ms
+    /// (`arrival time − commit time`), over incremental records only.
+    pub latency_hist: BTreeMap<u64, u64>,
+    /// Incremental delta records applied.
+    pub applied: u64,
+    /// Snapshot rows applied (resyncs).
+    pub snap_rows: u64,
+    /// Stream resets observed (each one means the server dropped or
+    /// presumed-lost records for us and compensated with a snapshot).
+    pub resets: u64,
+    /// Analyzer warnings reported with our `srv_sub_ok` acks, summed.
+    pub warnings: u64,
+    /// Errors the server sent back (illegal queries, bad pulls).
+    pub errors: Vec<(i64, String)>,
+    /// Completed pulls: request id → (as-of virtual time, rows).
+    pub pulls: BTreeMap<i64, (u64, Vec<Vec<Value>>)>,
+    heartbeat: u64,
+}
+
+impl SubscriberActor {
+    /// Subscribe to `specs` (one tag each) on `server`. `heartbeat` is the
+    /// keepalive timer period in virtual ms.
+    pub fn new(server: &str, specs: Vec<(i64, SubscriptionSpec)>, heartbeat: u64) -> Self {
+        SubscriberActor {
+            server: server.to_string(),
+            specs: specs.into_iter().collect(),
+            mirrors: BTreeMap::new(),
+            latency_hist: BTreeMap::new(),
+            applied: 0,
+            snap_rows: 0,
+            resets: 0,
+            warnings: 0,
+            errors: Vec::new(),
+            pulls: BTreeMap::new(),
+            heartbeat: heartbeat.max(1),
+        }
+    }
+
+    /// Fire a one-shot pull of `table`; the reply lands in
+    /// [`SubscriberActor::pulls`] under `req`.
+    pub fn pull(&mut self, ctx: &mut Ctx<'_>, req: i64, table: &str) {
+        ctx.send_observed(
+            &self.server,
+            PULL_TABLE,
+            row(vec![
+                Value::str(ctx.me()),
+                Value::Int(req),
+                Value::str(table),
+            ]),
+        );
+    }
+
+    /// Retire one subscription.
+    pub fn unsubscribe(&mut self, ctx: &mut Ctx<'_>, tag: i64) {
+        self.specs.remove(&tag);
+        self.mirrors.remove(&tag);
+        ctx.send_observed(
+            &self.server,
+            UNSUB_TABLE,
+            row(vec![Value::str(ctx.me()), Value::Int(tag)]),
+        );
+    }
+
+    /// Number of live subscriptions on this actor.
+    pub fn sub_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Merge this subscriber's latency histogram into `hist`.
+    pub fn merge_latencies(&self, hist: &mut BTreeMap<u64, u64>) {
+        for (&lat, &n) in &self.latency_hist {
+            *hist.entry(lat).or_default() += n;
+        }
+    }
+
+    fn send_subs(&self, ctx: &mut Ctx<'_>) {
+        for (&tag, spec) in &self.specs {
+            ctx.send_observed(&self.server, SUB_TABLE, row(spec.to_row(ctx.me(), tag)));
+        }
+    }
+
+    fn apply_delta(&mut self, ctx: &mut Ctx<'_>, tuple: &NetTuple) {
+        let Some(entries) = tuple.row.get(1).and_then(Value::as_list) else {
+            return;
+        };
+        // Highest seq applied per tag this batch → one batched ack.
+        let mut acks: BTreeMap<i64, i64> = BTreeMap::new();
+        for e in entries {
+            let Some(rec) = e.as_list() else { continue };
+            let (Some(tag), Some(seq), Some(op), Some(time), Some(rowvals)) = (
+                rec.first().and_then(Value::as_int),
+                rec.get(1).and_then(Value::as_int),
+                rec.get(2).and_then(Value::as_int),
+                rec.get(4).and_then(Value::as_int),
+                rec.get(5).and_then(Value::as_list),
+            ) else {
+                continue;
+            };
+            let mirror = self.mirrors.entry(tag).or_default();
+            match op {
+                OP_INSERT => {
+                    mirror.insert(rowvals.to_vec());
+                    self.applied += 1;
+                    let lat = ctx.now().saturating_sub(time as u64);
+                    *self.latency_hist.entry(lat).or_default() += 1;
+                }
+                OP_DELETE => {
+                    mirror.remove(rowvals);
+                    self.applied += 1;
+                    let lat = ctx.now().saturating_sub(time as u64);
+                    *self.latency_hist.entry(lat).or_default() += 1;
+                }
+                OP_RESET => {
+                    mirror.clear();
+                    self.resets += 1;
+                }
+                OP_SNAP => {
+                    mirror.insert(rowvals.to_vec());
+                    self.snap_rows += 1;
+                }
+                _ => {}
+            }
+            let a = acks.entry(tag).or_insert(0);
+            *a = (*a).max(seq + 1);
+        }
+        if !acks.is_empty() {
+            let entries: Vec<Value> = acks
+                .into_iter()
+                .map(|(tag, seq)| Value::list(vec![Value::Int(tag), Value::Int(seq)]))
+                .collect();
+            ctx.send_observed(
+                &self.server,
+                ACK_TABLE,
+                row(vec![Value::str(ctx.me()), Value::list(entries)]),
+            );
+        }
+    }
+}
+
+impl Actor for SubscriberActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.send_subs(ctx);
+        ctx.set_timer(self.heartbeat, 0);
+    }
+
+    fn on_tuple(&mut self, ctx: &mut Ctx<'_>, tuple: NetTuple) {
+        match tuple.table.as_str() {
+            DELTA_TABLE => self.apply_delta(ctx, &tuple),
+            SUB_OK_TABLE => {
+                if let Some(w) = tuple.row.get(2).and_then(Value::as_int) {
+                    self.warnings += w as u64;
+                }
+            }
+            PULL_OK_TABLE => {
+                if let (Some(req), Some(as_of), Some(rows)) = (
+                    tuple.row.first().and_then(Value::as_int),
+                    tuple.row.get(1).and_then(Value::as_int),
+                    tuple.row.get(2).and_then(Value::as_list),
+                ) {
+                    let rows = rows
+                        .iter()
+                        .filter_map(|r| r.as_list().map(<[Value]>::to_vec))
+                        .collect();
+                    self.pulls.insert(req, (as_of as u64, rows));
+                }
+            }
+            ERR_TABLE => {
+                if let (Some(tag), Some(msg)) = (
+                    tuple.row.first().and_then(Value::as_int),
+                    tuple.row.get(1).and_then(Value::as_str),
+                ) {
+                    self.errors.push((tag, msg.to_string()));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+        ctx.set_timer(self.heartbeat, 0);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // Volatile mirrors are gone; re-subscribing resets every stream,
+        // so the server replies with fresh snapshots.
+        self.mirrors.clear();
+        self.send_subs(ctx);
+        ctx.set_timer(self.heartbeat, 0);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,115 @@
+//! # boom-serve — a serving tier over live cluster state
+//!
+//! BOOM's thesis is that cluster state *is* relations; this crate serves
+//! those relations. Simulated clients can
+//!
+//! * **subscribe** — register a standing Overlog query (an ordinary rule
+//!   body over any loaded table), compiled through the existing
+//!   analyzer/planner so illegal queries are rejected with olgcheck
+//!   diagnostics, and receive a stream of incremental output deltas
+//!   (insert/retract rows stamped with commit tick and virtual time); and
+//! * **pull** — run a one-shot indexed read against current state with
+//!   bounded staleness (the result carries its as-of virtual time; the
+//!   bound is one observed-channel hop plus the host's tick period).
+//!
+//! Subscriptions are implemented by metaprogramming a view into the
+//! running program (the same mechanism as `boom-trace`'s
+//! `install_monitor`) and *tapping* the runtime's delta log at commit
+//! points, so propagation cost is proportional to the churn each query
+//! observes — never to state size. The tier supports subscribe and
+//! unsubscribe at runtime, per-subscription backpressure (bounded queues
+//! with counted-never-silent drops and snapshot resync), and fan-out
+//! sharing: subscriptions with identical query text share one maintained
+//! view.
+//!
+//! Everything rides the simulator's *observed* channel
+//! ([`boom_simnet::Ctx::send_observed`]): deliveries are ordinary sim
+//! events — chaos schedules, partitions and crash epochs apply — but the
+//! channel draws nothing from the simulation RNG, so a run with 50 000
+//! subscribers takes the byte-identical schedule of a run with zero
+//! ("observe, never perturb"; the `engine_equiv` suite enforces it).
+
+pub mod client;
+pub mod host;
+pub mod protocol;
+
+pub use client::{Mirror, SubscriberActor};
+pub use host::{ServeConfig, ServeHost};
+pub use protocol::{
+    SubscriptionSpec, ACK_TABLE, DELTA_TABLE, ERR_TABLE, OP_DELETE, OP_INSERT, OP_RESET, OP_SNAP,
+    PULL_OK_TABLE, PULL_TABLE, QUERY_PREFIX, SUB_OK_TABLE, SUB_TABLE, UNSUB_TABLE,
+};
+
+/// Canned queries over the shipped BOOM-FS NameNode program — the watches
+/// an HDFS operator would actually stand up.
+pub mod fs_queries {
+    use crate::SubscriptionSpec;
+
+    /// Watch the full namespace: every `(path, file id)` pair, kept
+    /// current as files are created, renamed and removed.
+    pub fn file_status() -> SubscriptionSpec {
+        SubscriptionSpec::new(
+            "fs-file-status",
+            "0,1",
+            "String, Int",
+            "Path, FId",
+            "fqpath(Path, FId)",
+        )
+    }
+
+    /// Replication health: chunks holding fewer replicas than the
+    /// configured factor, with have/want counts — the feed a re-replication
+    /// dashboard would sit on.
+    pub fn replication_health() -> SubscriptionSpec {
+        SubscriptionSpec::new(
+            "fs-replication-health",
+            "0",
+            "Int, Int, Int",
+            "Chunk, Have, Want",
+            "underrep(Chunk, Have, Want)",
+        )
+    }
+
+    /// Chunk placement: each chunk's current holder list.
+    pub fn chunk_placement() -> SubscriptionSpec {
+        SubscriptionSpec::new(
+            "fs-chunk-placement",
+            "0",
+            "Int, List",
+            "Chunk, Locs",
+            "chunk_locs(Chunk, Locs)",
+        )
+    }
+}
+
+/// Canned queries over the shipped BOOM-MR JobTracker program.
+pub mod mr_queries {
+    use crate::SubscriptionSpec;
+
+    /// Job progress: per job, tasks total vs tasks done.
+    pub fn job_progress() -> SubscriptionSpec {
+        SubscriptionSpec::new(
+            "mr-job-progress",
+            "0",
+            "Int, Int, Int",
+            "Job, Total, Done",
+            "tasks_total(Job, Total), tasks_done_cnt(Job, Done)",
+        )
+    }
+
+    /// Completed jobs.
+    pub fn jobs_complete() -> SubscriptionSpec {
+        SubscriptionSpec::new("mr-jobs-complete", "0", "Int", "Job", "job_complete(Job)")
+    }
+
+    /// TaskTracker slot pressure: free slots per live tracker.
+    pub fn tracker_slots() -> SubscriptionSpec {
+        SubscriptionSpec::new(
+            "mr-tracker-slots",
+            "0",
+            "Addr, Int",
+            "TT, Free",
+            "freeslots(TT, Free)",
+        )
+    }
+}

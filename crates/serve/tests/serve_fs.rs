@@ -1,0 +1,268 @@
+//! End-to-end serving-tier tests over a real BOOM-FS cluster: subscribe,
+//! incremental deltas, unsubscribe, fan-out sharing, pull, backpressure,
+//! and rejection of illegal queries with analyzer diagnostics.
+
+use boom_fs::cluster::{nn_name, FsClusterBuilder};
+use boom_overlog::Value;
+use boom_serve::{fs_queries, ServeConfig, ServeHost, SubscriberActor, SubscriptionSpec};
+use boom_simnet::OverlogActor;
+
+fn attach_host(cluster: &mut boom_fs::cluster::FsCluster) {
+    let nn = nn_name(0);
+    cluster.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.add_hook(Box::new(ServeHost::new(ServeConfig::default())));
+    });
+}
+
+fn add_watcher(
+    cluster: &mut boom_fs::cluster::FsCluster,
+    name: &str,
+    specs: Vec<(i64, SubscriptionSpec)>,
+) {
+    let nn = nn_name(0);
+    cluster
+        .sim
+        .add_node(name, Box::new(SubscriberActor::new(&nn, specs, 200)));
+}
+
+/// The mirror a subscriber converges to must equal the server-side query
+/// view, row for row.
+fn server_rows(cluster: &mut boom_fs::cluster::FsCluster, table: &str) -> Vec<Vec<Value>> {
+    let nn = nn_name(0);
+    cluster.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.runtime_ref()
+            .table(table)
+            .map(|t| t.sorted_rows().into_iter().map(|r| r.to_vec()).collect())
+            .unwrap_or_default()
+    })
+}
+
+#[test]
+fn subscribe_streams_namespace_churn() {
+    let mut cluster = FsClusterBuilder::default().build();
+    attach_host(&mut cluster);
+    add_watcher(&mut cluster, "watch0", vec![(1, fs_queries::file_status())]);
+    cluster.sim.run_for(1_000);
+
+    cluster.client.mkdir(&mut cluster.sim, "/a").unwrap();
+    cluster.client.create(&mut cluster.sim, "/a/x").unwrap();
+    cluster.client.create(&mut cluster.sim, "/a/y").unwrap();
+    cluster.sim.run_for(2_000);
+
+    let (mirror, applied) = cluster.sim.with_actor::<SubscriberActor, _>("watch0", |w| {
+        (w.mirrors.get(&1).cloned().unwrap_or_default(), w.applied)
+    });
+    let paths: Vec<String> = mirror
+        .iter()
+        .filter_map(|r| r.first().and_then(Value::as_str).map(str::to_string))
+        .collect();
+    assert!(paths.contains(&"/a/x".to_string()), "mirror: {paths:?}");
+    assert!(paths.contains(&"/a/y".to_string()), "mirror: {paths:?}");
+    assert!(applied > 0, "deltas flowed incrementally");
+
+    // Retract flows too: removing a file removes its fqpath rows.
+    cluster.client.rm(&mut cluster.sim, "/a/y").unwrap();
+    cluster.sim.run_for(2_000);
+    let mirror = cluster
+        .sim
+        .with_actor::<SubscriberActor, _>("watch0", |w| w.mirrors.get(&1).cloned().unwrap());
+    let paths: Vec<String> = mirror
+        .iter()
+        .filter_map(|r| r.first().and_then(Value::as_str).map(str::to_string))
+        .collect();
+    assert!(!paths.contains(&"/a/y".to_string()), "mirror: {paths:?}");
+
+    // And the mirror is exactly the server-side view.
+    let nn_table = cluster.sim.with_actor::<OverlogActor, _>(&nn_name(0), |a| {
+        a.hook_mut::<ServeHost>().unwrap();
+        "srv_q0".to_string()
+    });
+    let server = server_rows(&mut cluster, &nn_table);
+    assert_eq!(mirror.into_iter().collect::<Vec<_>>(), server);
+}
+
+#[test]
+fn late_subscriber_gets_snapshot_of_preexisting_state() {
+    let mut cluster = FsClusterBuilder::default().build();
+    attach_host(&mut cluster);
+    cluster.sim.run_for(500);
+    cluster.client.mkdir(&mut cluster.sim, "/pre").unwrap();
+    cluster.client.create(&mut cluster.sim, "/pre/x").unwrap();
+    cluster.sim.run_for(1_000);
+
+    // Subscribe *after* the namespace exists: the stream must open with a
+    // snapshot of the current result set.
+    add_watcher(&mut cluster, "late0", vec![(7, fs_queries::file_status())]);
+    cluster.sim.run_for(2_000);
+    let (mirror, snap_rows) = cluster.sim.with_actor::<SubscriberActor, _>("late0", |w| {
+        (w.mirrors.get(&7).cloned().unwrap_or_default(), w.snap_rows)
+    });
+    let paths: Vec<String> = mirror
+        .iter()
+        .filter_map(|r| r.first().and_then(Value::as_str).map(str::to_string))
+        .collect();
+    assert!(paths.contains(&"/pre/x".to_string()), "mirror: {paths:?}");
+    assert!(snap_rows > 0, "opened with a snapshot");
+}
+
+#[test]
+fn fanout_sharing_and_unsubscribe_retire_views() {
+    let mut cluster = FsClusterBuilder::default().build();
+    attach_host(&mut cluster);
+    // Three subscriptions, two distinct queries → two installed views.
+    add_watcher(
+        &mut cluster,
+        "watch0",
+        vec![
+            (1, fs_queries::file_status()),
+            (2, fs_queries::replication_health()),
+        ],
+    );
+    add_watcher(&mut cluster, "watch1", vec![(1, fs_queries::file_status())]);
+    cluster.sim.run_for(1_000);
+    let nn = nn_name(0);
+    let (subs, queries, rules_now) = cluster.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        let rules = a.runtime_ref().rule_count();
+        let h = a.hook_mut::<ServeHost>().unwrap();
+        (h.sub_count(), h.query_count(), rules)
+    });
+    assert_eq!(subs, 3);
+    assert_eq!(queries, 2, "identical queries share one view");
+
+    // Unsubscribing the last subscriber of a query uninstalls its view
+    // (rule count drops back). Inject the unsubscribe directly — the same
+    // wire format SubscriberActor::unsubscribe sends.
+    cluster.sim.inject(
+        &nn,
+        boom_serve::UNSUB_TABLE,
+        boom_overlog::value::row(vec![Value::str("watch0"), Value::Int(2)]),
+    );
+    cluster.sim.run_for(1_000);
+    let (subs, queries, rules_after) = cluster.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        let rules = a.runtime_ref().rule_count();
+        let h = a.hook_mut::<ServeHost>().unwrap();
+        (h.sub_count(), h.query_count(), rules)
+    });
+    assert_eq!(subs, 2);
+    assert_eq!(queries, 1, "orphaned query view retired");
+    assert!(rules_after < rules_now, "its rule left the plan");
+}
+
+#[test]
+fn illegal_query_is_rejected_with_diagnostics() {
+    let mut cluster = FsClusterBuilder::default().build();
+    attach_host(&mut cluster);
+    // Unknown table in the body → analyzer rejects, subscriber gets the
+    // diagnostic, nothing is installed.
+    add_watcher(
+        &mut cluster,
+        "bad0",
+        vec![(
+            1,
+            SubscriptionSpec::new("bogus", "0", "Int", "X", "no_such_table(X)"),
+        )],
+    );
+    cluster.sim.run_for(1_000);
+    let errors = cluster
+        .sim
+        .with_actor::<SubscriberActor, _>("bad0", |w| w.errors.clone());
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert!(errors[0].1.contains("no_such_table"), "{errors:?}");
+    let nn = nn_name(0);
+    let queries = cluster
+        .sim
+        .with_actor::<OverlogActor, _>(&nn, |a| a.hook_mut::<ServeHost>().unwrap().query_count());
+    assert_eq!(queries, 0);
+}
+
+#[test]
+fn pull_returns_bounded_stale_snapshot() {
+    let mut cluster = FsClusterBuilder::default().build();
+    attach_host(&mut cluster);
+    add_watcher(&mut cluster, "watch0", vec![(1, fs_queries::file_status())]);
+    cluster.sim.run_for(500);
+    cluster.client.mkdir(&mut cluster.sim, "/d").unwrap();
+    cluster.sim.run_for(1_000);
+
+    // Fire a pull from inside the subscriber actor.
+    let nn = nn_name(0);
+    let t_req = cluster.sim.now();
+    cluster.sim.inject(
+        &nn,
+        boom_serve::PULL_TABLE,
+        boom_overlog::value::row(vec![
+            Value::str("watch0"),
+            Value::Int(99),
+            Value::str("fqpath"),
+        ]),
+    );
+    cluster.sim.run_for(1_000);
+    let pulls = cluster
+        .sim
+        .with_actor::<SubscriberActor, _>("watch0", |w| w.pulls.clone());
+    let (as_of, rows) = pulls.get(&99).expect("pull completed");
+    assert!(*as_of >= t_req, "snapshot is no older than the request");
+    let paths: Vec<&str> = rows.iter().filter_map(|r| r[0].as_str()).collect();
+    assert!(paths.contains(&"/d"), "{paths:?}");
+
+    // Pulling an unknown table errors instead of hanging.
+    cluster.sim.inject(
+        &nn,
+        boom_serve::PULL_TABLE,
+        boom_overlog::value::row(vec![
+            Value::str("watch0"),
+            Value::Int(100),
+            Value::str("nope"),
+        ]),
+    );
+    cluster.sim.run_for(1_000);
+    let errors = cluster
+        .sim
+        .with_actor::<SubscriberActor, _>("watch0", |w| w.errors.clone());
+    assert!(errors.iter().any(|(t, m)| *t == 100 && m.contains("nope")));
+}
+
+#[test]
+fn backpressure_drops_are_counted_and_resynced() {
+    let mut cluster = FsClusterBuilder::default().build();
+    let nn = nn_name(0);
+    // A pathologically small queue with a long ack timeout: churn must
+    // overflow it, and every overflow must be counted + resynced.
+    cluster.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.add_hook(Box::new(ServeHost::new(ServeConfig {
+            queue_cap: 2,
+            window: 1,
+            ack_timeout: 1_000,
+            resync_backoff: 200,
+        })));
+    });
+    add_watcher(&mut cluster, "watch0", vec![(1, fs_queries::file_status())]);
+    cluster.sim.run_for(500);
+    // Cut the delta path: no deliveries → no acks → the 1-record window
+    // stalls and churn piles into the 2-slot queue.
+    cluster.sim.set_link_blocked(&nn, "watch0", true);
+    for i in 0..40 {
+        cluster
+            .client
+            .create(&mut cluster.sim, &format!("/f{i}"))
+            .unwrap();
+    }
+    cluster.sim.set_link_blocked(&nn, "watch0", false);
+    cluster.sim.run_for(20_000);
+    let (dropped, resyncs) = cluster.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        let h = a.hook_mut::<ServeHost>().unwrap();
+        (h.total_dropped, h.total_resyncs)
+    });
+    assert!(dropped > 0, "tiny queue must overflow");
+    assert!(resyncs > 0, "drops are compensated with snapshots");
+    // Despite the drops, the subscriber converges to the exact view.
+    let resets = cluster
+        .sim
+        .with_actor::<SubscriberActor, _>("watch0", |w| w.resets);
+    assert!(resets > 0, "client saw the stream reset (never silent)");
+    let mirror = cluster.sim.with_actor::<SubscriberActor, _>("watch0", |w| {
+        w.mirrors.get(&1).cloned().unwrap_or_default()
+    });
+    let server = server_rows(&mut cluster, "srv_q0");
+    assert_eq!(mirror.into_iter().collect::<Vec<_>>(), server);
+}

@@ -54,6 +54,7 @@ pub use chaos::ChaosSchedule;
 pub use durable::{DurableStore, Recovered, WalBatch};
 pub use overlog_actor::{
     overlog_state_fingerprint, set_plan_options_all, CheckpointPolicy, OverlogActor, RecoveryStats,
+    ServeHook,
 };
 
 /// Simulator configuration.
@@ -122,6 +123,10 @@ pub struct Ctx<'a> {
     /// state, so actors may only draw from it on the serial path.
     rng: Option<&'a mut StdRng>,
     outbox: Vec<(String, NetTuple)>,
+    /// Observer-channel sends ([`Ctx::send_observed`]): routed with fixed
+    /// latency and zero RNG draws so attaching observers never perturbs the
+    /// simulation's random stream.
+    obs_outbox: Vec<(String, NetTuple)>,
     timers: Vec<(u64, u64)>, // (fire_at, tag)
 }
 
@@ -166,6 +171,24 @@ impl Ctx<'_> {
     /// Forward an already-built [`NetTuple`].
     pub fn send_tuple(&mut self, tuple: NetTuple) {
         self.outbox.push((tuple.dest.to_string(), tuple));
+    }
+
+    /// Send a tuple on the *observer* channel: delivered as an ordinary sim
+    /// event, but with fixed latency (`min_latency`, floored at 1) and **no
+    /// RNG draws** — no random latency, loss, or duplication. Partitions
+    /// ([`Sim::set_link_blocked`]) and crash epochs still apply, so chaos
+    /// schedules affect observers too. This keeps the simulation's random
+    /// stream byte-identical whether or not observers are attached — the
+    /// serving tier's "observe, never perturb" guarantee.
+    pub fn send_observed(&mut self, dest: &str, table: &str, row: Row) {
+        self.obs_outbox.push((
+            dest.to_string(),
+            NetTuple {
+                dest: Arc::from(dest),
+                table: table.to_string(),
+                row,
+            },
+        ));
     }
 
     /// Arm a timer that fires `delay` ms from now with the given tag.
@@ -378,12 +401,13 @@ impl Sim {
             me: name,
             rng: Some(&mut self.rng),
             outbox: Vec::new(),
+            obs_outbox: Vec::new(),
             timers: Vec::new(),
         };
         node.actor.on_start(&mut ctx);
-        let (outbox, timers) = (ctx.outbox, ctx.timers);
+        let (outbox, obs, timers) = (ctx.outbox, ctx.obs_outbox, ctx.timers);
         self.nodes.insert(name.to_string(), node);
-        self.absorb(name, outbox, timers);
+        self.absorb(name, outbox, obs, timers);
     }
 
     /// Node names, sorted.
@@ -552,11 +576,12 @@ impl Sim {
             me: name,
             rng: Some(&mut self.rng),
             outbox: Vec::new(),
+            obs_outbox: Vec::new(),
             timers: Vec::new(),
         };
         node.actor.on_restart(&mut ctx);
-        let (outbox, timers) = (ctx.outbox, ctx.timers);
-        self.absorb(name, outbox, timers);
+        let (outbox, obs, timers) = (ctx.outbox, ctx.obs_outbox, ctx.timers);
+        self.absorb(name, outbox, obs, timers);
     }
 
     fn apply_action(&mut self, action: ChaosAction) {
@@ -603,14 +628,58 @@ impl Sim {
         self.queue.push(Reverse((at, id as u64, id)));
     }
 
-    fn absorb(&mut self, from: &str, outbox: Vec<(String, NetTuple)>, timers: Vec<(u64, u64)>) {
+    fn absorb(
+        &mut self,
+        from: &str,
+        outbox: Vec<(String, NetTuple)>,
+        obs: Vec<(String, NetTuple)>,
+        timers: Vec<(u64, u64)>,
+    ) {
         for (dest, tuple) in outbox {
             self.route(from, &dest, tuple);
+        }
+        for (dest, tuple) in obs {
+            self.route_observed(from, &dest, tuple);
         }
         let epoch = self.nodes.get(from).map(|n| n.epoch).unwrap_or(0);
         for (at, tag) in timers {
             self.push_event(at, EventKind::Timer(from.to_string(), tag), epoch);
         }
+    }
+
+    /// Route an observer-channel tuple ([`Ctx::send_observed`]): fixed
+    /// latency, zero RNG draws (no random latency/loss/duplication), but
+    /// partitions still drop (counted) and the destination's crash epoch is
+    /// captured like any other delivery. Keeping the RNG untouched is what
+    /// makes observer traffic invisible to the rest of the schedule.
+    fn route_observed(&mut self, from: &str, dest: &str, tuple: NetTuple) {
+        if from != dest
+            && self
+                .blocked_links
+                .contains(&(from.to_string(), dest.to_string()))
+        {
+            self.dropped += 1;
+            if let Some(r) = self.recorder.as_mut() {
+                r.mark(
+                    from,
+                    &format!("blocked {} -> {dest}", tuple.table),
+                    "net.drop",
+                    self.now,
+                );
+            }
+            return;
+        }
+        let lat = self.cfg.min_latency.max(1);
+        let epoch = self.nodes.get(dest).map(|n| n.epoch).unwrap_or(0);
+        let flow = self
+            .recorder
+            .as_mut()
+            .map(|r| r.sent(from, dest, &tuple.table, self.now));
+        self.push_event(
+            self.now + lat,
+            EventKind::Deliver(dest.to_string(), tuple, flow),
+            epoch,
+        );
     }
 
     fn route(&mut self, from: &str, dest: &str, tuple: NetTuple) {
@@ -741,8 +810,14 @@ impl Sim {
             kind: CbKind,
         }
         /// One callback's captured effects: its delivery sequence anchor,
-        /// the tuples it sent, and the timers it set.
-        type CbEffects = (u64, Vec<(String, NetTuple)>, Vec<(u64, u64)>);
+        /// the tuples it sent (normal and observer channel), and the timers
+        /// it set.
+        type CbEffects = (
+            u64,
+            Vec<(String, NetTuple)>,
+            Vec<(String, NetTuple)>,
+            Vec<(u64, u64)>,
+        );
         fn run_node(
             actor: &mut Box<dyn Actor>,
             me: &str,
@@ -756,13 +831,14 @@ impl Sim {
                         me,
                         rng: None,
                         outbox: Vec::new(),
+                        obs_outbox: Vec::new(),
                         timers: Vec::new(),
                     };
                     match cb.kind {
                         CbKind::Tuples(tuples) => actor.on_tuples(&mut ctx, tuples),
                         CbKind::Timer(tag) => actor.on_timer(&mut ctx, tag),
                     }
-                    (cb.seq, ctx.outbox, ctx.timers)
+                    (cb.seq, ctx.outbox, ctx.obs_outbox, ctx.timers)
                 })
                 .collect()
         }
@@ -859,7 +935,13 @@ impl Sim {
                 work.push((name.as_str(), &mut node.actor, cbs));
             }
         }
-        type NodeEffects = (String, u64, Vec<(String, NetTuple)>, Vec<(u64, u64)>);
+        type NodeEffects = (
+            String,
+            u64,
+            Vec<(String, NetTuple)>,
+            Vec<(String, NetTuple)>,
+            Vec<(u64, u64)>,
+        );
         let mut results: Vec<NodeEffects> = match work.len() {
             0 => return true,
             1 => {
@@ -867,7 +949,7 @@ impl Sim {
                 let (name, actor, cbs) = work.pop().expect("len checked");
                 run_node(actor, name, now, cbs)
                     .into_iter()
-                    .map(|(seq, out, tm)| (name.to_string(), seq, out, tm))
+                    .map(|(seq, out, obs, tm)| (name.to_string(), seq, out, obs, tm))
                     .collect()
             }
             _ => std::thread::scope(|scope| {
@@ -882,7 +964,7 @@ impl Sim {
                     .flat_map(|h| {
                         let (name, outs) = h.join().expect("actor panicked in parallel evaluation");
                         outs.into_iter()
-                            .map(|(seq, out, tm)| (name.to_string(), seq, out, tm))
+                            .map(|(seq, out, obs, tm)| (name.to_string(), seq, out, obs, tm))
                             .collect::<Vec<_>>()
                     })
                     .collect()
@@ -891,8 +973,8 @@ impl Sim {
         // Absorb outputs in the order the serial engine would have produced
         // them, so every RNG draw happens at the same point in the stream.
         results.sort_by_key(|r| r.1);
-        for (name, _seq, outbox, timers) in results {
-            self.absorb(&name, outbox, timers);
+        for (name, _seq, outbox, obs, timers) in results {
+            self.absorb(&name, outbox, obs, timers);
         }
         true
     }
@@ -988,6 +1070,7 @@ impl Sim {
                     me: &name,
                     rng: Some(&mut self.rng),
                     outbox: Vec::new(),
+                    obs_outbox: Vec::new(),
                     timers: Vec::new(),
                 };
                 let t0 = self.recorder.is_some().then(std::time::Instant::now);
@@ -1001,8 +1084,8 @@ impl Sim {
                         t0.elapsed().as_nanos() as f64 / 1e3,
                     );
                 }
-                let (outbox, timers) = (ctx.outbox, ctx.timers);
-                self.absorb(&name, outbox, timers);
+                let (outbox, obs, timers) = (ctx.outbox, ctx.obs_outbox, ctx.timers);
+                self.absorb(&name, outbox, obs, timers);
             }
             EventKind::Timer(name, tag) => {
                 let Some(node) = self.nodes.get_mut(&name) else {
@@ -1016,6 +1099,7 @@ impl Sim {
                     me: &name,
                     rng: Some(&mut self.rng),
                     outbox: Vec::new(),
+                    obs_outbox: Vec::new(),
                     timers: Vec::new(),
                 };
                 let t0 = self.recorder.is_some().then(std::time::Instant::now);
@@ -1029,8 +1113,8 @@ impl Sim {
                         t0.elapsed().as_nanos() as f64 / 1e3,
                     );
                 }
-                let (outbox, timers) = (ctx.outbox, ctx.timers);
-                self.absorb(&name, outbox, timers);
+                let (outbox, obs, timers) = (ctx.outbox, ctx.obs_outbox, ctx.timers);
+                self.absorb(&name, outbox, obs, timers);
             }
         }
         true

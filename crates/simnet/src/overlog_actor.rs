@@ -6,8 +6,28 @@
 
 use crate::durable::DurableStore;
 use crate::{Actor, Ctx};
-use boom_overlog::{NetTuple, OverlogRuntime};
+use boom_overlog::{is_observation_table, NetTuple, OverlogRuntime};
 use std::any::Any;
+
+/// Extension point for layers that observe a hosted runtime without being
+/// part of its Overlog program — the serving tier (`boom-serve`) is the
+/// canonical implementor. Hooks see every control tuple before the runtime
+/// does, run after every committed activation, and are told about crash
+/// recoveries so they can resynchronize downstream observers.
+pub trait ServeHook: Send {
+    /// An inbound tuple arrived. Return `true` to consume it (the runtime
+    /// never sees it) — used for control-plane tables like `srv_sub` that
+    /// are not part of the hosted program.
+    fn on_tuple(&mut self, rt: &mut OverlogRuntime, ctx: &mut Ctx<'_>, tuple: &NetTuple) -> bool;
+    /// The runtime finished an activation (its deltas are committed and,
+    /// in durable mode, persisted). Drain taps and fan out here.
+    fn after_commit(&mut self, rt: &mut OverlogRuntime, ctx: &mut Ctx<'_>);
+    /// The node crash-restarted and (if durable) recovered. Reinstall any
+    /// metaprogrammed state the factory rebuild discarded.
+    fn after_restart(&mut self, rt: &mut OverlogRuntime, ctx: &mut Ctx<'_>);
+    /// Downcast support so harnesses can reach a concrete hook.
+    fn as_any(&mut self) -> &mut dyn Any;
+}
 
 /// Factory that (re)builds a node's runtime: used at startup and again
 /// after a crash-restart, modeling loss of volatile state.
@@ -63,6 +83,9 @@ pub struct OverlogActor {
     factory: Option<RuntimeFactory>,
     tick_period: u64,
     durable: Option<DurableState>,
+    /// Observers attached with [`OverlogActor::add_hook`]; called in
+    /// attachment order.
+    hooks: Vec<Box<dyn ServeHook>>,
     /// Evaluation errors encountered while ticking (program bugs); the
     /// simulation keeps running so harnesses can inspect them.
     pub errors: Vec<String>,
@@ -85,6 +108,7 @@ impl OverlogActor {
             factory: None,
             tick_period: tick_period.max(1),
             durable: None,
+            hooks: Vec::new(),
             errors: Vec::new(),
             recoveries: Vec::new(),
             busy: std::time::Duration::ZERO,
@@ -101,6 +125,7 @@ impl OverlogActor {
             factory: Some(factory),
             tick_period: tick_period.max(1),
             durable: None,
+            hooks: Vec::new(),
             errors: Vec::new(),
             recoveries: Vec::new(),
             busy: std::time::Duration::ZERO,
@@ -138,6 +163,24 @@ impl OverlogActor {
         &self.rt
     }
 
+    /// Attach a [`ServeHook`]. Hooks run in attachment order.
+    pub fn add_hook(&mut self, hook: Box<dyn ServeHook>) {
+        self.hooks.push(hook);
+    }
+
+    /// Builder-style [`OverlogActor::add_hook`].
+    pub fn with_hook(mut self, hook: Box<dyn ServeHook>) -> Self {
+        self.add_hook(hook);
+        self
+    }
+
+    /// Find the first attached hook of concrete type `T`.
+    pub fn hook_mut<T: ServeHook + 'static>(&mut self) -> Option<&mut T> {
+        self.hooks
+            .iter_mut()
+            .find_map(|h| h.as_any().downcast_mut::<T>())
+    }
+
     fn tick_and_route(&mut self, ctx: &mut Ctx<'_>) {
         let t0 = std::time::Instant::now();
         self.tick_and_route_inner(ctx);
@@ -164,6 +207,9 @@ impl OverlogActor {
             }
         }
         self.persist(ctx.now(), ctx.me());
+        for h in &mut self.hooks {
+            h.after_commit(&mut self.rt, ctx);
+        }
     }
 
     /// Durable mode: append this activation's committed deltas to the
@@ -218,6 +264,12 @@ pub fn overlog_state_fingerprint(sim: &mut crate::Sim) -> String {
             tables.sort();
             let mut s = String::new();
             for t in tables {
+                // Observation tables (generated monitors, serve-tier query
+                // views) are excluded: attaching observers must not change
+                // the fingerprint ("observe, never perturb").
+                if is_observation_table(&t) {
+                    continue;
+                }
                 let table = rt.table(&t).expect("declared table exists");
                 if table.is_event() {
                     continue;
@@ -247,7 +299,13 @@ impl Actor for OverlogActor {
 
     fn on_tuples(&mut self, ctx: &mut Ctx<'_>, tuples: Vec<NetTuple>) {
         let mut any = false;
-        for tuple in tuples {
+        'tuples: for tuple in tuples {
+            for h in &mut self.hooks {
+                if h.on_tuple(&mut self.rt, ctx, &tuple) {
+                    any = true;
+                    continue 'tuples;
+                }
+            }
             match self.rt.deliver(&tuple) {
                 Ok(()) => any = true,
                 Err(e) => self
@@ -290,6 +348,9 @@ impl Actor for OverlogActor {
             // replay cost from the last checkpoint, not from zero.
             d.entries_since_ckpt = rec.log.len();
             d.last_counters = rec.counters;
+        }
+        for h in &mut self.hooks {
+            h.after_restart(&mut self.rt, ctx);
         }
         self.tick_and_route(ctx);
         ctx.set_timer(self.tick_period, 0);

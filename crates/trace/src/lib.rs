@@ -26,7 +26,7 @@ pub mod profile;
 pub mod provenance;
 
 pub use chrome::{ChromeRecorder, ChromeTrace};
-pub use meta::{generate_monitor, install_monitor, MonitorSpec};
+pub use meta::{generate_monitor, install_monitor, uninstall_monitor, MonitorSpec};
 pub use metrics::{print_series, Registry, Samples};
 pub use profile::{
     collect_rule_profile, collect_shard_profile, render_hot_rules, render_shard_profile,

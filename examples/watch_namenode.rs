@@ -1,0 +1,173 @@
+//! The serving tier in action: stand up live watches over a running
+//! BOOM-FS NameNode and observe the namespace change in real time.
+//!
+//! A `ServeHost` hook turns the NameNode into a server for standing
+//! Overlog queries. We subscribe an operator console to two canned
+//! queries (the full namespace and replication health) plus one ad-hoc
+//! query written on the spot, churn the filesystem through the ordinary
+//! client, and watch incremental deltas keep the console's mirrors
+//! exact. Along the way: an illegal query bounces with an analyzer
+//! diagnostic instead of installing, and a one-shot `pull` grabs a
+//! bounded-staleness snapshot without a standing subscription.
+//!
+//! ```text
+//! cargo run --example watch_namenode
+//! ```
+
+use boom::fs::cluster::{nn_name, FsClusterBuilder};
+use boom::overlog::Value;
+use boom::serve::{fs_queries, ServeConfig, ServeHost, SubscriberActor, SubscriptionSpec};
+use boom::simnet::OverlogActor;
+
+const NAMESPACE: i64 = 1;
+const HEALTH: i64 = 2;
+const ADHOC: i64 = 3;
+const BOGUS: i64 = 4;
+
+fn print_mirror(cluster: &mut boom::fs::cluster::FsCluster, tag: i64, label: &str) {
+    let rows: Vec<String> = cluster
+        .sim
+        .with_actor::<SubscriberActor, _>("console", |w| {
+            w.mirrors
+                .get(&tag)
+                .map(|m| {
+                    m.iter()
+                        .map(|r| {
+                            r.iter()
+                                .map(Value::to_string)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        });
+    println!("  {label} ({} rows)", rows.len());
+    for r in &rows {
+        println!("    [{r}]");
+    }
+}
+
+fn main() {
+    let mut cluster = FsClusterBuilder::default().build();
+    let nn = nn_name(0);
+
+    // Attach the serving tier to the live NameNode — a hook on its actor,
+    // no restart, no second process.
+    cluster.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.add_hook(Box::new(ServeHost::new(ServeConfig::default())));
+    });
+
+    // One console node multiplexing four subscriptions: two canned
+    // queries, one ad-hoc join written here, and one deliberately broken
+    // query to show the analyzer guarding the door.
+    let adhoc = SubscriptionSpec::new(
+        "big-dirs",
+        "0,1",
+        "String, Int",
+        "Path, FId",
+        "fqpath(Path, FId), file(FId, _, _, true)",
+    );
+    let bogus = SubscriptionSpec::new("typo", "0", "Int", "X", "fqpth(X, X)");
+    cluster.sim.add_node(
+        "console",
+        Box::new(SubscriberActor::new(
+            &nn,
+            vec![
+                (NAMESPACE, fs_queries::file_status()),
+                (HEALTH, fs_queries::replication_health()),
+                (ADHOC, adhoc),
+                (BOGUS, bogus),
+            ],
+            500,
+        )),
+    );
+    cluster.sim.run_for(1_000);
+
+    let errors = cluster
+        .sim
+        .with_actor::<SubscriberActor, _>("console", |w| w.errors.clone());
+    println!("== the analyzer rejects the broken query before it installs ==");
+    for (tag, msg) in &errors {
+        println!("  tag {tag}: {}", msg.lines().next().unwrap_or(msg));
+    }
+    assert!(!errors.is_empty(), "the typo query must bounce");
+
+    println!("\n== churn the namespace through the ordinary FS client ==");
+    let client = cluster.client.clone();
+    client.mkdir(&mut cluster.sim, "/jobs").unwrap();
+    for i in 0..3 {
+        client
+            .create(&mut cluster.sim, &format!("/jobs/task{i}"))
+            .unwrap();
+    }
+    client
+        .write_file(&mut cluster.sim, "/jobs/log", "speculative re-execution")
+        .unwrap();
+    cluster.sim.run_for(2_000);
+    print_mirror(&mut cluster, NAMESPACE, "namespace mirror");
+    print_mirror(
+        &mut cluster,
+        ADHOC,
+        "ad-hoc `big-dirs` mirror (directories only)",
+    );
+
+    println!("\n== deletes retract; the mirror follows exactly ==");
+    client.rm(&mut cluster.sim, "/jobs/task1").unwrap();
+    client
+        .rename(&mut cluster.sim, "/jobs/task2", "/jobs/done2")
+        .unwrap();
+    cluster.sim.run_for(2_000);
+    print_mirror(&mut cluster, NAMESPACE, "namespace mirror");
+
+    // The mirror is not approximately right — it is the server's view.
+    let mirror: Vec<Vec<Value>> = cluster
+        .sim
+        .with_actor::<SubscriberActor, _>("console", |w| {
+            w.mirrors
+                .get(&NAMESPACE)
+                .map(|m| m.iter().cloned().collect())
+                .unwrap_or_default()
+        });
+    let table = cluster
+        .sim
+        .with_actor::<OverlogActor, _>(&nn, |a| {
+            a.hook_mut::<ServeHost>()
+                .unwrap()
+                .query_table(&fs_queries::file_status())
+        })
+        .expect("query installed");
+    let server: Vec<Vec<Value>> = cluster.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.runtime_ref()
+            .table(&table)
+            .map(|t| t.sorted_rows().into_iter().map(|r| r.to_vec()).collect())
+            .unwrap_or_default()
+    });
+    assert_eq!(mirror, server, "mirror must equal the server view");
+    println!("  mirror == server-side `{table}` view, row for row");
+
+    println!("\n== one-shot pull: a snapshot with bounded staleness ==");
+    let t_req = cluster.sim.now();
+    cluster.sim.inject(
+        &nn,
+        boom::serve::PULL_TABLE,
+        boom::overlog::value::row(vec![
+            Value::str("console"),
+            Value::Int(7),
+            Value::str("fchunk"),
+        ]),
+    );
+    cluster.sim.run_for(1_000);
+    let pulls = cluster
+        .sim
+        .with_actor::<SubscriberActor, _>("console", |w| w.pulls.clone());
+    let (as_of, rows) = pulls.get(&7).expect("pull completed");
+    println!(
+        "  pull(fchunk) -> {} rows, as-of t={as_of}ms (requested at t={t_req}ms)",
+        rows.len()
+    );
+    assert!(*as_of >= t_req);
+
+    println!("\nfour subscriptions, one hook, zero perturbation — the loaded");
+    println!("NameNode ran the byte-identical schedule it runs unwatched.");
+}

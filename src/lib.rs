@@ -8,5 +8,6 @@ pub use boom_fs as fs;
 pub use boom_mr as mr;
 pub use boom_overlog as overlog;
 pub use boom_paxos as paxos;
+pub use boom_serve as serve;
 pub use boom_simnet as simnet;
 pub use boom_trace as trace;

@@ -1,0 +1,184 @@
+//! Serving-tier determinism: "observe, never perturb".
+//!
+//! The serving tier rides the simulator's observed channel, which draws
+//! nothing from the simulation RNG — so a cluster carrying standing
+//! subscriptions must take the *byte-identical* schedule of the same
+//! cluster carrying none. The first test pins that: every client-visible
+//! output and every Overlog node's state fingerprint must match with zero
+//! subscriptions and with dozens.
+//!
+//! The second test is the chaos half of the contract: a restart storm over
+//! both the server and its subscribers must end with every subscriber's
+//! mirror exactly equal to the server-side query view — reconnection is
+//! automatic (re-subscribe on restart, counted resyncs on the host) and no
+//! acked delta is silently missing, because a mirror that lost one could
+//! not equal the view.
+
+use boom::fs::cluster::{nn_name, FsCluster, FsClusterBuilder};
+use boom::overlog::Value;
+use boom::serve::{fs_queries, ServeConfig, ServeHost, SubscriberActor, SubscriptionSpec};
+use boom::simnet::{overlog_state_fingerprint, ChaosSchedule, OverlogActor};
+
+fn attach_host(cluster: &mut FsCluster) {
+    let nn = nn_name(0);
+    cluster.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.add_hook(Box::new(ServeHost::new(ServeConfig::default())));
+    });
+}
+
+fn add_watcher(cluster: &mut FsCluster, name: &str, specs: Vec<(i64, SubscriptionSpec)>) {
+    let nn = nn_name(0);
+    cluster
+        .sim
+        .add_node(name, Box::new(SubscriberActor::new(&nn, specs, 200)));
+}
+
+fn mirror_of(cluster: &mut FsCluster, watcher: &str, tag: i64) -> Vec<Vec<Value>> {
+    cluster.sim.with_actor::<SubscriberActor, _>(watcher, |w| {
+        w.mirrors
+            .get(&tag)
+            .map(|m| m.iter().cloned().collect())
+            .unwrap_or_default()
+    })
+}
+
+fn server_rows(cluster: &mut FsCluster, table: &str) -> Vec<Vec<Value>> {
+    let nn = nn_name(0);
+    cluster.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.runtime_ref()
+            .table(table)
+            .map(|t| t.sorted_rows().into_iter().map(|r| r.to_vec()).collect())
+            .unwrap_or_default()
+    })
+}
+
+/// The shared FS metadata workload, returning every client-visible output
+/// plus the full-cluster state fingerprint.
+fn run_workload(watchers: usize) -> String {
+    let mut c = FsClusterBuilder::default().build();
+    if watchers > 0 {
+        attach_host(&mut c);
+        for i in 0..watchers {
+            add_watcher(
+                &mut c,
+                &format!("watch{i}"),
+                vec![
+                    (1, fs_queries::file_status()),
+                    (2, fs_queries::replication_health()),
+                    (3, fs_queries::chunk_placement()),
+                ],
+            );
+        }
+    }
+    let cl = c.client.clone();
+    cl.mkdir(&mut c.sim, "/a").unwrap();
+    cl.mkdir(&mut c.sim, "/a/b").unwrap();
+    for i in 0..4 {
+        cl.create(&mut c.sim, &format!("/a/b/f{i}")).unwrap();
+    }
+    cl.write_file(&mut c.sim, "/a/data", "deterministic payload")
+        .unwrap();
+    cl.rename(&mut c.sim, "/a/b/f0", "/a/b/g0").unwrap();
+    cl.rm(&mut c.sim, "/a/b/f1").unwrap();
+    let mut listing = cl.ls(&mut c.sim, "/a/b").unwrap();
+    listing.sort();
+    let content = cl.read_file(&mut c.sim, "/a/data").unwrap();
+    c.sim.run_for(3_000);
+    format!(
+        "ls={listing:?}\ncontent_len={}\n{}",
+        content.len(),
+        overlog_state_fingerprint(&mut c.sim)
+    )
+}
+
+/// Zero subscriptions vs. a cluster-wide fleet of them: byte-identical
+/// client outputs and state fingerprints. This is the load-bearing
+/// guarantee that lets E13 attach tens of thousands of subscriptions to a
+/// production scenario without changing what it computes.
+#[test]
+fn subscriptions_never_perturb_the_simulation() {
+    let bare = run_workload(0);
+    let bare2 = run_workload(0);
+    assert_eq!(bare, bare2, "baseline run is not even self-stable");
+    for watchers in [1, 8] {
+        let watched = run_workload(watchers);
+        assert_eq!(
+            bare, watched,
+            "{watchers} watcher node(s) perturbed the simulation schedule"
+        );
+    }
+}
+
+/// Restart storm over server and subscribers: crash the watchers while the
+/// namespace churns (their acks and deltas die with them), then crash the
+/// serving NameNode itself. Everyone reconnects on restart; at quiescence
+/// every mirror equals the server view row for row, with the resyncs
+/// counted — never silent.
+#[test]
+fn subscribers_survive_a_restart_storm_and_miss_nothing() {
+    let mut c = FsClusterBuilder::default().build();
+    let nn = nn_name(0);
+    // Aggressive timeouts so presumed-lost windows resolve within the test.
+    c.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.add_hook(Box::new(ServeHost::new(ServeConfig {
+            ack_timeout: 1_000,
+            resync_backoff: 300,
+            ..Default::default()
+        })));
+    });
+    add_watcher(&mut c, "watch0", vec![(1, fs_queries::file_status())]);
+    add_watcher(&mut c, "watch1", vec![(1, fs_queries::file_status())]);
+    c.sim.run_for(1_000);
+    let cl = c.client.clone();
+    cl.mkdir(&mut c.sim, "/d").unwrap();
+    for i in 0..5 {
+        cl.create(&mut c.sim, &format!("/d/pre{i}")).unwrap();
+    }
+    c.sim.run_for(1_000);
+
+    // Staggered storm (times relative to install): both watchers flap
+    // with overlapping windows, then the server itself.
+    let storm = ChaosSchedule::new("serve-storm")
+        .flap("watch0", 200, 2_200)
+        .flap("watch1", 900, 2_900)
+        .flap(&nn, 4_000, 4_800);
+    c.sim.install_chaos(&storm);
+
+    // Churn while the watchers are down: these deltas die on the floor.
+    c.sim.run_for(400);
+    for i in 0..8 {
+        cl.create(&mut c.sim, &format!("/d/mid{i}")).unwrap();
+    }
+    // Ride out the watcher flaps and the server flap. The NameNode is the
+    // paper's volatile single-node variant (`with_factory`, no durable
+    // disk): its restart wipes the namespace, which is itself a delta
+    // storm — every fqpath row retracts and the root reappears.
+    c.sim.run_for(6_000);
+    // Post-storm churn against the reborn namespace: the healed streams
+    // must carry it incrementally.
+    cl.mkdir(&mut c.sim, "/p").unwrap();
+    for i in 0..3 {
+        cl.create(&mut c.sim, &format!("/p/post{i}")).unwrap();
+    }
+    c.sim.run_for(10_000);
+
+    let server = server_rows(&mut c, "srv_q0");
+    let base = server_rows(&mut c, "fqpath");
+    assert!(
+        server.iter().any(|r| r[0] == Value::str("/p/post2")),
+        "server view carries post-storm state: {server:?}\nfqpath: {base:?}"
+    );
+    for w in ["watch0", "watch1"] {
+        let mirror = mirror_of(&mut c, w, 1);
+        assert_eq!(
+            mirror, server,
+            "{w}: mirror must equal the server view after the storm"
+        );
+        let resets = c.sim.with_actor::<SubscriberActor, _>(w, |s| s.resets);
+        assert!(resets > 0, "{w}: reconnection goes through a visible reset");
+    }
+    let resyncs = c
+        .sim
+        .with_actor::<OverlogActor, _>(&nn, |a| a.hook_mut::<ServeHost>().unwrap().total_resyncs);
+    assert!(resyncs > 0, "host counted the compensating resyncs");
+}
