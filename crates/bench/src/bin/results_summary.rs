@@ -255,6 +255,16 @@ const SHAPES: &[(&str, &[&str], &[&str])] = &[
             "mirror_matches",
         ],
     ),
+    (
+        "e14_maint",
+        &["rows", "mode"],
+        &[
+            "tuples_per_sec",
+            "maint_rounds",
+            "view_recomputes",
+            "fingerprint_match",
+        ],
+    ),
 ];
 
 fn shape_for(experiment: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {

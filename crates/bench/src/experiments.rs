@@ -1162,6 +1162,223 @@ pub fn run_shard_bench(
 }
 
 // ---------------------------------------------------------------------------
+// E14: incremental view maintenance — maintained vs full recompute under
+// heartbeat churn against a large materialized replica table
+// ---------------------------------------------------------------------------
+
+/// One measured `(rows, mode)` cell of the E14 table.
+#[derive(Debug, Clone)]
+pub struct MaintBenchCase {
+    /// `hb_chunk` rows materialized on the NameNode before churn begins —
+    /// the size of the state the aggregate views (`chunk_locs`,
+    /// `chunk_rep`) fold over.
+    pub rows: usize,
+    /// `maintained` (`PlanOptions::maintenance` on — the default) or
+    /// `recompute` (every affected view rebuilt from scratch per tick).
+    pub mode: String,
+    /// Churn heartbeat re-reports applied during the measured section.
+    /// Identical across modes by construction, which is what makes
+    /// `tuples_per_sec` comparable: same work delivered, different cost.
+    pub tuples: u64,
+    /// Overlog CPU seconds consumed during the measured section.
+    pub busy_secs: f64,
+    /// Churn tuples per CPU second — the E14 figure of merit.
+    pub tuples_per_sec: f64,
+    /// Host wall-clock milliseconds for the measured section.
+    pub wall_ms: f64,
+    /// Maintenance passes that updated at least one view in place.
+    pub maint_rounds: u64,
+    /// Views updated in place across those passes.
+    pub views_maintained: u64,
+    /// Full view-recomputation passes during the measured section (the
+    /// cost the maintained mode avoids; its own count here is the
+    /// fallback rate and should be 0 for this workload).
+    pub view_recomputes: u64,
+    /// Did this run's final state match the maintained run byte for
+    /// byte? (Trivially true for the maintained rows.)
+    pub fingerprint_match: bool,
+}
+
+/// Everything one `run_maint_bench` sweep yields.
+#[derive(Debug, Clone)]
+pub struct MaintBenchResult {
+    /// The `(rows, mode)` table, maintained row first within each size.
+    /// Busy seconds are the minimum over the sweep's repetitions; the
+    /// fingerprint gate must hold on every repetition.
+    pub cases: Vec<MaintBenchCase>,
+    /// Per table size: `busy_recompute / busy_maintained` — how many
+    /// times cheaper a churn tick gets when retractions flow through
+    /// the analysis-chosen maintenance strategies instead of clearing
+    /// and refolding every affected view.
+    pub speedups: Vec<(usize, f64)>,
+}
+
+/// Everything one `bench_maint_churn` run yields.
+struct MaintRun {
+    busy_secs: f64,
+    wall_ms: f64,
+    maint_rounds: u64,
+    views_maintained: u64,
+    view_recomputes: u64,
+    fingerprint: String,
+}
+
+/// The E14 workload: a NameNode holding `rows` replica reports
+/// (`hb_chunk`, keyed `(node, chunk)`), then `rounds` bursts of `churn`
+/// re-reports with changed lengths. Each re-report replaces its keyed
+/// row — an insert *plus a retraction* — so every burst pushes signed
+/// deltas into the aggregate views `chunk_locs(C, set<N>)` and
+/// `chunk_rep(C, count<N>)`. The maintenance analysis certifies both as
+/// `group-recompute(key=[0])` over the `hb_chunk` delta: the maintained
+/// engine refolds only the touched chunk groups (index lookups), while
+/// the recompute engine clears and refolds all `rows` groups per tick.
+/// Synthetic DataNode addresses (`sdn*`) keep the real DataNodes'
+/// heartbeat traffic out of the measured state.
+fn bench_maint_churn(maintenance: bool, rows: usize, rounds: usize, churn: usize) -> MaintRun {
+    use boom_overlog::PlanOptions;
+    use boom_simnet::{overlog_state_fingerprint, set_plan_options_all};
+    use std::sync::Arc;
+    let mut c = FsClusterBuilder {
+        sim: SimConfig {
+            min_latency: 1,
+            max_latency: 1,
+            ..SimConfig::default()
+        },
+        control: ControlPlane::Declarative,
+        datanodes: 2,
+        replication: 1,
+        ..Default::default()
+    }
+    .build();
+    set_plan_options_all(
+        &mut c.sim,
+        PlanOptions {
+            maintenance,
+            ..PlanOptions::default()
+        },
+    );
+    let nn = c.namenodes[0].clone();
+    // The synthetic report storm is far larger than any real tick; both
+    // modes get the same raised divergence-guard ceiling.
+    c.sim.with_actor::<OverlogActor, _>(&nn, |a| {
+        a.runtime().set_budget(200_000_000);
+    });
+    // Park the staleness window out of reach: the seeded reports carry
+    // injection-time stamps and must survive the whole run un-retracted
+    // (the churn itself is the only retraction source we measure).
+    c.sim
+        .inject(&nn, "hb_timeout", Arc::new(vec![Value::Int(1 << 40)]));
+    let now = c.sim.now() as i64;
+    let report = |cid: usize, len: i64| -> boom_overlog::Row {
+        Arc::new(vec![
+            Value::addr(format!("sdn{}", cid % 3)),
+            Value::Int(cid as i64),
+            Value::Int(len),
+            Value::Int(now),
+        ])
+    };
+    // Seed every chunk once, in tranches so each tick's event batch (and
+    // the recompute engine's per-tick rebuild) stays bounded.
+    let mut chunk = 0usize;
+    while chunk < rows {
+        let end = rows.min(chunk + 250_000);
+        for cid in chunk..end {
+            c.sim.inject(&nn, fsproto::HB_CHUNK_REPORT, report(cid, 1));
+        }
+        chunk = end;
+        c.sim.run_for(60);
+    }
+    // Measured section: the churn bursts. A multiplicative stride walks
+    // the chunk space so every burst touches spread-out groups.
+    let stats0 = c
+        .sim
+        .with_actor::<OverlogActor, _>(&nn, |a| a.runtime_ref().eval_stats());
+    let (_, b0) = overlog_meters(&mut c.sim);
+    let wall = std::time::Instant::now();
+    let mut seq = 0usize;
+    for _ in 0..rounds {
+        for _ in 0..churn {
+            let cid = seq.wrapping_mul(7919) % rows;
+            c.sim.inject(
+                &nn,
+                fsproto::HB_CHUNK_REPORT,
+                report(cid, 2 + (seq % 5) as i64),
+            );
+            seq += 1;
+        }
+        c.sim.run_for(60);
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let (_, b1) = overlog_meters(&mut c.sim);
+    let stats1 = c
+        .sim
+        .with_actor::<OverlogActor, _>(&nn, |a| a.runtime_ref().eval_stats());
+    MaintRun {
+        busy_secs: (b1 - b0).max(1e-9),
+        wall_ms,
+        maint_rounds: stats1.maint_rounds - stats0.maint_rounds,
+        views_maintained: stats1.views_maintained - stats0.views_maintained,
+        view_recomputes: stats1.view_recomputes - stats0.view_recomputes,
+        fingerprint: overlog_state_fingerprint(&mut c.sim),
+    }
+}
+
+/// E14: sweep the heartbeat-churn workload over table sizes × both
+/// maintenance modes, gating every recompute row on byte-identity with
+/// its maintained twin and recording the busy-second speedup per size.
+/// Each cell runs `reps` times keeping the minimum busy time (the
+/// standard noise filter for a deterministic workload); the fingerprint
+/// gate must hold on *every* repetition.
+pub fn run_maint_bench(
+    sizes: &[usize],
+    rounds: usize,
+    churn: usize,
+    reps: usize,
+) -> MaintBenchResult {
+    let reps = reps.max(1);
+    let min_of = |maintenance: bool, rows: usize| {
+        let mut best: Option<MaintRun> = None;
+        for _ in 0..reps {
+            let run = bench_maint_churn(maintenance, rows, rounds, churn);
+            if let Some(b) = &best {
+                assert_eq!(
+                    run.fingerprint, b.fingerprint,
+                    "E14 repetitions of an identical config must agree"
+                );
+            }
+            if best.as_ref().is_none_or(|b| run.busy_secs < b.busy_secs) {
+                best = Some(run);
+            }
+        }
+        best.expect("reps >= 1")
+    };
+    let tuples = (rounds * churn) as u64;
+    let mut cases = Vec::new();
+    let mut speedups = Vec::new();
+    for &rows in sizes {
+        let maintained = min_of(true, rows);
+        let recomputed = min_of(false, rows);
+        let case = |mode: &str, r: &MaintRun, fingerprint_match: bool| MaintBenchCase {
+            rows,
+            mode: mode.to_string(),
+            tuples,
+            busy_secs: r.busy_secs,
+            tuples_per_sec: tuples as f64 / r.busy_secs,
+            wall_ms: r.wall_ms,
+            maint_rounds: r.maint_rounds,
+            views_maintained: r.views_maintained,
+            view_recomputes: r.view_recomputes,
+            fingerprint_match,
+        };
+        let identical = recomputed.fingerprint == maintained.fingerprint;
+        cases.push(case("maintained", &maintained, true));
+        cases.push(case("recompute", &recomputed, identical));
+        speedups.push((rows, recomputed.busy_secs / maintained.busy_secs));
+    }
+    MaintBenchResult { cases, speedups }
+}
+
+// ---------------------------------------------------------------------------
 // Rendering helpers shared by the binaries
 // ---------------------------------------------------------------------------
 

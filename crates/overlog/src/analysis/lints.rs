@@ -8,6 +8,7 @@
 //! lint could.
 
 use super::card::CostModel;
+use super::maint::{MaintReport, MaintVerdict};
 use super::shard::{ShardReport, ShardVerdict};
 use super::{Diagnostic, ProgramContext};
 use crate::ast::{BodyElem, Expr, HeadArg, Rule, Span, TableDecl, TableKind};
@@ -31,6 +32,7 @@ pub(super) fn run(
     rule_ok: &[bool],
     cost: &CostModel,
     shard: &ShardReport,
+    maint: &MaintReport,
     out: &mut Vec<Diagnostic>,
 ) {
     let timer_tables: HashSet<&str> = ctx.timers.iter().map(|t| t.name.as_str()).collect();
@@ -65,6 +67,64 @@ pub(super) fn run(
     dead_columns(ctx, rule_ok, out);
     hot_unshardable_rules(ctx, cost, shard, out);
     serialized_watches(ctx, rule_ok, cost, out);
+    hot_full_recompute_views(ctx, cost, maint, out);
+}
+
+/// W0010: a *hot* view — its body joins a table the cardinality model
+/// marks big — that every retraction recomputes wholesale, for a reason
+/// the maintenance pass calls *fixable* (typically a head key that is
+/// join-bound instead of delta-bound). One key rewrite away from scaling
+/// with churn instead of state size, which is exactly the regression the
+/// incremental-maintenance engine exists to avoid.
+fn hot_full_recompute_views(
+    ctx: &ProgramContext,
+    cost: &CostModel,
+    maint: &MaintReport,
+    out: &mut Vec<Diagnostic>,
+) {
+    for entry in &maint.rules {
+        let rule = &ctx.rules[entry.rule_index];
+        // Any certified variant means deletions arriving through it
+        // maintain incrementally; the rule is not "forced" to recompute.
+        if entry.variants.iter().any(|(_, v)| v.incremental()) {
+            continue;
+        }
+        let Some(reason) = entry.variants.iter().find_map(|(_, v)| match v {
+            MaintVerdict::FullRecompute {
+                reason,
+                fixable: true,
+                ..
+            } => Some(reason.as_str()),
+            _ => None,
+        }) else {
+            continue;
+        };
+        let Some((big, rows)) = rule
+            .positive_predicates()
+            .map(|p| (p.table.as_str(), cost.table_rows(&p.table)))
+            .filter(|(_, r)| *r >= HOT_BODY_ROWS)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            continue;
+        };
+        out.push(
+            Diagnostic::warning(
+                "W0010",
+                rule.span,
+                format!(
+                    "view rule `{}` joins `{big}` (~{rows:.0} rows) but every \
+                     retraction recomputes `{}` wholesale: {reason}",
+                    entry.label, entry.head
+                ),
+            )
+            .with_help(
+                "make every head key column a column of each delta row (add the \
+                 missing key column or split the join) so deletions maintain the \
+                 view incrementally; see the maintenance verdicts in `olgcheck \
+                 analyze`",
+            ),
+        );
+    }
 }
 
 /// W0009: a watched table — a standing subscription or monitor feed — whose
@@ -858,6 +918,46 @@ mod tests {
                    view(X, Y) :- idx(X, Y), Y > 0;
                    watch(view);";
         assert!(!codes(src).contains(&"W0009"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn hot_view_forced_to_full_recompute_is_w0010() {
+        // `idx` is inductive state derived by five rules (~160 estimated
+        // rows). The view `v` is keyed on (Y, Z), and neither delta names
+        // both key columns — every retraction recomputes `v` wholesale,
+        // for the fixable unbound-head-key reason.
+        let src = "event e, {Int, Int};
+                   event f, {Int, Int};
+                   define(idx, keys(0), {Int, Int});
+                   define(m, keys(0), {Int, Int});
+                   define(v, keys(0,1), {Int, Int});
+                   idx(X, Y) :- e(X, Y); idx(Y, X) :- e(X, Y);
+                   idx(X, Y) :- f(X, Y); idx(Y, X) :- f(X, Y);
+                   idx(X, X) :- f(X, _);
+                   m(1, 2);
+                   v(Y, Z) :- idx(X, Y), m(X, Z);";
+        assert!(codes(src).contains(&"W0010"), "{:?}", codes(src));
+        // Key the view on Y alone: the idx-delta variant certifies
+        // support-rederive, so the view is no longer forced to recompute.
+        let keyed = src.replace(
+            "define(v, keys(0,1), {Int, Int})",
+            "define(v, keys(0), {Int, Int})",
+        );
+        assert!(!codes(&keyed).contains(&"W0010"), "{:?}", codes(&keyed));
+    }
+
+    #[test]
+    fn cold_full_recompute_view_is_not_w0010() {
+        // Same forced-recompute shape, but every body table is small: the
+        // recompute is cheap and the lint would be noise.
+        let src = "event e, {Int, Int};
+                   define(idx, keys(0), {Int, Int});
+                   define(m, keys(0), {Int, Int});
+                   define(v, keys(0,1), {Int, Int});
+                   idx(X, Y) :- e(X, Y);
+                   m(1, 2);
+                   v(Y, Z) :- idx(X, Y), m(X, Z);";
+        assert!(!codes(src).contains(&"W0010"), "{:?}", codes(src));
     }
 
     #[test]

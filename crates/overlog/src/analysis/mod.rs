@@ -35,6 +35,7 @@
 //! | W0007 | dead column: only ever matched as `_`, its value never read |
 //! | W0008 | hot rule shard-unsafe only because of a non-key join attribute |
 //! | W0009 | watched table fed by a hard-serial rule over a hot body |
+//! | W0010 | hot view recomputes wholesale for a fixable reason |
 //!
 //! Beyond diagnostics, [`report`] runs the semantic passes — monotonicity
 //! / CALM classification ([`mono`]), whole-program type inference
@@ -46,6 +47,7 @@ pub mod card;
 pub mod diag;
 pub mod graph;
 mod lints;
+pub mod maint;
 pub mod mono;
 pub mod safety;
 pub mod shard;
@@ -494,6 +496,8 @@ pub struct AnalysisReport {
     pub cost: card::CostModel,
     /// Per-rule, per-variant shard-safety verdicts.
     pub shard: shard::ShardReport,
+    /// Per-view-rule, per-variant maintenance-strategy verdicts.
+    pub maint: maint::MaintReport,
 }
 
 impl AnalysisReport {
@@ -510,6 +514,8 @@ impl AnalysisReport {
         }
         s.push('\n');
         s.push_str(&shard::render(&self.shard));
+        s.push('\n');
+        s.push_str(&maint::render(&self.maint));
         s
     }
 }
@@ -521,7 +527,8 @@ pub fn report(ctx: &ProgramContext) -> AnalysisReport {
     let (mut out, rule_ok) = error_pass(ctx);
     let cost = card::CostModel::from_context(ctx);
     let shard = shard::analyze(ctx, &rule_ok, &cost);
-    lints::run(ctx, &rule_ok, &cost, &shard, &mut out);
+    let maint = maint::analyze(ctx, &rule_ok);
+    lints::run(ctx, &rule_ok, &cost, &shard, &maint, &mut out);
     let catalog = types::infer(ctx, &rule_ok);
     types::check(ctx, &rule_ok, &catalog, &mut out);
     out.sort_by_key(|d| (d.span.start, d.code, d.message.clone()));
@@ -533,6 +540,7 @@ pub fn report(ctx: &ProgramContext) -> AnalysisReport {
         mono,
         cost,
         shard,
+        maint,
     }
 }
 

@@ -131,7 +131,7 @@ pub fn rule_reorderable(rule: &Rule) -> bool {
 /// The first call to a builtin outside the pure standard library anywhere
 /// in the rule (head included — head expressions run once per derived row
 /// too), or `None` for a fully pure rule.
-fn impure_call(rule: &Rule) -> Option<String> {
+pub(crate) fn impure_call(rule: &Rule) -> Option<String> {
     fn find(e: &Expr) -> Option<String> {
         match e {
             Expr::Call(f, args) => {

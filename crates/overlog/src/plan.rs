@@ -14,6 +14,7 @@
 //! check olgcheck reports.
 
 use crate::analysis::card::CostModel;
+use crate::analysis::maint::{self, MaintPlan};
 use crate::analysis::shard::{self, rule_reorderable, ShardPlan};
 use crate::analysis::{self, mono, safety, RuleAnalysis};
 use crate::ast::*;
@@ -202,6 +203,13 @@ pub struct PlanOptions {
     /// are merged back in delta order before any effect is applied, so
     /// results are byte-identical at every shard count.
     pub shards: usize,
+    /// Maintain views incrementally under retractions where the
+    /// maintenance-strategy analysis ([`crate::analysis::maint`])
+    /// certifies a strategy, instead of recomputing them. The runtime
+    /// falls back to recomputation per view, per round, whenever a dirty
+    /// input defeats the compiled strategy — so disabling this changes
+    /// cost, never results.
+    pub maintenance: bool,
 }
 
 impl Default for PlanOptions {
@@ -210,6 +218,7 @@ impl Default for PlanOptions {
             reorder_joins: true,
             scoped_views: true,
             shards: 1,
+            maintenance: true,
         }
     }
 }
@@ -258,6 +267,10 @@ pub struct Plan {
     /// orders compiled below); the runtime consults this to decide which
     /// variants may fan out across worker threads.
     pub shard: ShardPlan,
+    /// Per-view maintenance strategies and per-variant verdicts (the
+    /// [`crate::analysis::maint`] pass); the runtime consults this to
+    /// propagate retractions incrementally instead of recomputing.
+    pub maint: MaintPlan,
     /// The options this plan was compiled with.
     pub options: PlanOptions,
 }
@@ -425,6 +438,25 @@ pub fn compile_with(
     // A table must be either a view (fully re-derivable) or base state, not
     // both: recomputation would silently drop event-derived tuples.
     analysis::view_conflict(rules, &classes)?;
+
+    // Maintenance verdicts per view-rule variant, plus the compiled
+    // per-view strategies the runtime executes under retraction.
+    let recursive = maint::recursive_views(rules, decls);
+    let maint_plan = MaintPlan {
+        verdicts: rules
+            .iter()
+            .zip(&classes)
+            .map(|(rule, class)| {
+                if class.is_view {
+                    maint::rule_verdicts(rule, decls, recursive.contains(&rule.head.table))
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect(),
+        views: maint::view_strategies(rules, &compiled, decls, ids),
+    };
+
     Ok(Plan {
         rules: compiled.into_iter().map(Arc::new).collect(),
         strata,
@@ -437,6 +469,7 @@ pub fn compile_with(
         view_deps,
         monotonic_views,
         shard: shard_plan,
+        maint: maint_plan,
         options,
     })
 }

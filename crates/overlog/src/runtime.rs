@@ -34,6 +34,7 @@
 //! recomputation of all view tables at the end of the tick — a simple,
 //! sound replacement for JOL's incremental delete propagation.
 
+use crate::analysis::maint::{AnchorEval, Bind, SourceDep, ViewMaint};
 use crate::analysis::{self, Diagnostic, SourceMap};
 use crate::ast::{AggKind, BinOp, UnOp};
 use crate::ast::{Rule, Span, Statement, TableDecl, TableKind};
@@ -70,7 +71,8 @@ pub struct TickResult {
     pub derivations: u64,
     /// Number of tuples deleted at the tick boundary.
     pub deletions: usize,
-    /// Whether view tables were recomputed from scratch.
+    /// Whether retraction propagation ran this tick — incrementally
+    /// maintained or fully recomputed view tables.
     pub views_recomputed: bool,
 }
 
@@ -144,6 +146,10 @@ pub struct RuleStats {
     pub attempts: u64,
     /// Delta rows consumed by this rule's semi-naive variants.
     pub delta_in: u64,
+    /// Scoped evaluations driven by the incremental view maintainer
+    /// (counting deltas, group re-folds, keyed re-derivations) — work that
+    /// replaced a from-scratch recompute of this rule's head.
+    pub maint_evals: u64,
     /// Wall-clock nanoseconds spent evaluating the body and dispatching
     /// heads (non-deterministic; excluded from reproducibility checks).
     pub eval_ns: u64,
@@ -177,8 +183,15 @@ pub struct EvalStats {
     pub ticks: u64,
     /// Total semi-naive fixpoint rounds across all strata and ticks.
     pub fixpoint_rounds: u64,
-    /// Full view recomputations triggered by deletions/overwrites.
+    /// Full view recomputation *passes* (each pass clears and rebuilds
+    /// some set of view tables from scratch). With maintenance on, only
+    /// rounds that fell back to recomputation count here.
     pub view_recomputes: u64,
+    /// Maintenance passes in which at least one affected view was updated
+    /// in place from its input deltas instead of recomputed.
+    pub maint_rounds: u64,
+    /// Views updated in place across all maintenance passes.
+    pub views_maintained: u64,
 }
 
 #[derive(Debug)]
@@ -365,6 +378,13 @@ pub struct OverlogRuntime {
     /// Host counters registered via [`OverlogRuntime::register_counter`],
     /// snapshot and restored with durable state.
     counters: Vec<(String, Arc<AtomicI64>)>,
+    /// Per-view derivation multiplicities for `Counting`-certified views
+    /// (see [`crate::analysis::maint`]): how many source rows currently
+    /// derive each head row. Presence of a view's map means its counts are
+    /// *valid* — removal is invalidation, and the next maintenance round
+    /// falls back to recomputation and rebuilds the map. Cleared wholesale
+    /// whenever the plan is replaced (rule ids and strategies shift).
+    maint_support: FxHashMap<TableId, FxHashMap<Row, i64>>,
 }
 
 impl std::fmt::Debug for OverlogRuntime {
@@ -412,6 +432,19 @@ struct TickCtx {
     /// growth, so the CALM-certified ones skip the rebuild.
     grow_dirty: IdSet,
     changed_tables: IdSet,
+    /// Per-table log of rows that *entered* a view input this tick (new
+    /// inserts and the new side of key-overwrites). Fed only when
+    /// [`plan::PlanOptions::maintenance`] is on, and only for view inputs;
+    /// the maintenance executor reads slices of it to scope its work.
+    m_add: Vec<Vec<Row>>,
+    /// Per-table log of rows that *left* a view input this tick (deletions
+    /// and the old side of key-overwrites). Same gating as `m_add`.
+    m_del: Vec<Vec<Row>>,
+    /// Per-`(view, source)` consumption marks into `m_add`/`m_del`: how
+    /// far the view's maintenance has already read each source's logs
+    /// (the pre-fixpoint pass consumes a prefix, the commit pass the
+    /// rest). Reset every tick — the logs are per-tick.
+    view_marks: FxHashMap<(TableId, TableId), (usize, usize)>,
     /// Pooled evaluator buffers (see [`EvalScratch`]); cleared per use,
     /// not per tick.
     eval: EvalScratch,
@@ -485,6 +518,13 @@ impl TickCtx {
         self.shrink_dirty.clear();
         self.grow_dirty.clear();
         self.changed_tables.clear();
+        self.m_add.iter_mut().for_each(Vec::clear);
+        self.m_add.resize_with(ntables, Vec::new);
+        self.m_del.iter_mut().for_each(Vec::clear);
+        self.m_del.resize_with(ntables, Vec::new);
+        if !self.view_marks.is_empty() {
+            self.view_marks.clear();
+        }
     }
 }
 
@@ -538,6 +578,7 @@ impl OverlogRuntime {
             tap_log: Vec::new(),
             tap_suspended: false,
             counters: Vec::new(),
+            maint_support: FxHashMap::default(),
         };
         let me = TableDecl {
             name: "me".into(),
@@ -822,6 +863,10 @@ impl OverlogRuntime {
     }
 
     fn recompile(&mut self) -> Result<Plan> {
+        // Any plan replacement shifts rule ids and maintenance strategies;
+        // the Counting support counts accumulated under the old plan are
+        // meaningless under the new one.
+        self.maint_support.clear();
         plan::compile_with(
             &self.decls,
             &self.rule_sources,
@@ -1528,6 +1573,9 @@ impl OverlogRuntime {
                         if plan.view_inputs.contains(tid) {
                             pre_dirty = true;
                             ctx.shrink_dirty.insert(tid);
+                            if plan.options.maintenance {
+                                ctx.m_del[tid.idx()].push(row.clone());
+                            }
                         }
                     }
                 }
@@ -1536,7 +1584,11 @@ impl OverlogRuntime {
         self.pending = work;
         if pre_dirty {
             let affected = self.affected_views(&ctx.shrink_dirty, &ctx.grow_dirty);
-            self.recompute_views(&affected, &mut ctx)?;
+            if plan.options.maintenance {
+                self.update_views(&affected, &mut ctx, false)?;
+            } else {
+                self.recompute_views(&affected, &mut ctx)?;
+            }
             ctx.shrink_dirty.clear();
             ctx.grow_dirty.clear();
         }
@@ -1559,7 +1611,7 @@ impl OverlogRuntime {
                         .positive_tids
                         .iter()
                         .any(|t| ctx.changed_tables.contains(*t));
-                    if inputs_changed {
+                    if inputs_changed && !self.scoped_aggregate(rule, &mut ctx)? {
                         self.eval_aggregate(rule, &mut ctx)?;
                     }
                 } else if rule.variants[0].delta_pred.is_none() {
@@ -1698,6 +1750,9 @@ impl OverlogRuntime {
                 self.record_trace(*tid, row, TraceOp::Delete);
                 if plan.view_inputs.contains(*tid) {
                     ctx.shrink_dirty.insert(*tid);
+                    if plan.options.maintenance {
+                        ctx.m_del[tid.idx()].push(row.clone());
+                    }
                 }
             }
         }
@@ -1711,11 +1766,17 @@ impl OverlogRuntime {
             }
         }
 
-        // 6. Recompute the affected views if any input shrank (or a
-        // negated input of a non-monotonic view grew).
+        // 6. Propagate retractions into the affected views if any input
+        // shrank (or a negated input of a non-monotonic view grew):
+        // incrementally where the maintenance analysis certified a
+        // strategy, by full recomputation otherwise. With maintenance on
+        // this pass always runs, because Counting views must consume their
+        // sources' insert logs every tick to keep support counts valid.
         let affected = self.affected_views(&ctx.shrink_dirty, &ctx.grow_dirty);
         let views_recomputed = !affected.is_empty();
-        if views_recomputed {
+        if plan.options.maintenance {
+            self.update_views(&affected, &mut ctx, true)?;
+        } else if views_recomputed {
             self.recompute_views(&affected, &mut ctx)?;
         }
 
@@ -1772,6 +1833,9 @@ impl OverlogRuntime {
                     ));
                 }
                 self.record_trace(tid, &row, TraceOp::Insert);
+                if self.plan.options.maintenance && self.plan.view_inputs.contains(tid) {
+                    ctx.m_add[tid.idx()].push(row.clone());
+                }
                 // Negation is non-monotone: growing a table that appears
                 // negated in a view rule can retract view tuples, so it
                 // dirties views exactly like a deletion would — even when
@@ -1806,6 +1870,10 @@ impl OverlogRuntime {
                     ));
                 }
                 self.record_trace(tid, &row, TraceOp::Insert);
+                if self.plan.options.maintenance && self.plan.view_inputs.contains(tid) {
+                    ctx.m_del[tid.idx()].push(old.clone());
+                    ctx.m_add[tid.idx()].push(row.clone());
+                }
                 // A key-overwrite removes a tuple other derivations may have
                 // consumed: views over this table must be rebuilt — unless
                 // the overwrite came from a view rule itself (aggregates
@@ -2327,7 +2395,54 @@ impl OverlogRuntime {
             &mut sup,
             probe_vals,
         )?;
+        let rows: Vec<Row> = self
+            .fold_groups(rule, &envs)?
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let res = self.dispatch(rule, rows, None, ctx);
+        self.rule_stats[rule.id].eval_ns += t0.elapsed().as_nanos() as u64;
+        res
+    }
 
+    /// Scoped aggregate evaluation: run the body with `anchor_rows` as the
+    /// delta of the variant's anchor predicate (the remaining predicates
+    /// join against live tables) and fold the resulting groups.
+    fn eval_aggregate_scoped(
+        &self,
+        rule: &CompiledRule,
+        variant: &Variant,
+        anchor_rows: &[Row],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<(Vec<Value>, Row)>> {
+        let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
+        let EvalScratch { env, probe_vals } = scratch;
+        env.clear();
+        env.resize(rule.nslots, None);
+        let mut sup = SupportSink::new(false);
+        self.exec_ops(
+            rule,
+            &variant.ops,
+            0,
+            variant.delta_pred,
+            Some(anchor_rows),
+            env,
+            &mut envs,
+            &mut sup,
+            probe_vals,
+        )?;
+        self.fold_groups(rule, &envs)
+    }
+
+    /// Group and fold an aggregate rule's body environments into
+    /// `(group key, head row)` pairs, sorted by group key for
+    /// deterministic emission. The group key is the tuple of non-aggregate
+    /// head columns, in head order.
+    fn fold_groups(
+        &self,
+        rule: &CompiledRule,
+        envs: &[Vec<Option<Value>>],
+    ) -> Result<Vec<(Vec<Value>, Row)>> {
         #[derive(Clone)]
         enum Acc {
             Count(i64),
@@ -2338,7 +2453,7 @@ impl OverlogRuntime {
             Set(std::collections::BTreeSet<Value>),
         }
         let mut groups: FxHashMap<Vec<Value>, Vec<Acc>> = FxHashMap::default();
-        for env in &envs {
+        for env in envs {
             let mut key = Vec::new();
             for arg in &rule.head_args {
                 if let CHeadArg::Expr(e) = arg {
@@ -2406,7 +2521,7 @@ impl OverlogRuntime {
         // Deterministic emission order.
         let mut keys: Vec<Vec<Value>> = groups.keys().cloned().collect();
         keys.sort();
-        let mut rows = Vec::with_capacity(keys.len());
+        let mut out = Vec::with_capacity(keys.len());
         for key in keys {
             let accs = &groups[&key];
             let mut row = Vec::with_capacity(rule.head_args.len());
@@ -2435,11 +2550,9 @@ impl OverlogRuntime {
                     }
                 }
             }
-            rows.push(Arc::new(row));
+            out.push((key, Arc::new(row)));
         }
-        let res = self.dispatch(rule, rows, None, ctx);
-        self.rule_stats[rule.id].eval_ns += t0.elapsed().as_nanos() as u64;
-        res
+        Ok(out)
     }
 
     /// Which view tables must be rebuilt, given the inputs that shrank
@@ -2474,6 +2587,14 @@ impl OverlogRuntime {
     /// `tick`, local to this call.
     fn recompute_views(&mut self, affected: &IdSet, ctx: &mut TickCtx) -> Result<()> {
         self.eval_stats.view_recomputes += 1;
+        // A from-scratch rebuild severs the delta lineage the Counting
+        // support counts were accumulated along; drop them (the next
+        // maintenance round rebuilds the map from the rebuilt state).
+        if !self.maint_support.is_empty() {
+            for v in affected.iter() {
+                self.maint_support.remove(&v);
+            }
+        }
         // Tapped views are about to be cleared and rebuilt wholesale;
         // snapshot them so the rebuild can be reported to subscribers as
         // an exact retract/insert diff (cost is bounded by the recompute
@@ -2648,6 +2769,608 @@ impl OverlogRuntime {
         }
         self.agg_scratch = sub;
         Ok(())
+    }
+
+    ///////////////////////////////////////////////////////////////////////
+    // Incremental view maintenance (analysis-driven; strategies certified
+    // by `crate::analysis::maint`, threaded through `Plan::maint`).
+    ///////////////////////////////////////////////////////////////////////
+
+    /// The maintenance replacement for [`Self::recompute_views`]: update
+    /// each affected view in place from its inputs' per-tick delta logs
+    /// where the analysis certified a strategy, and recompute the rest in
+    /// one batch. Falling back never changes results — a maintained view
+    /// and a recomputed view hold byte-identical rows — only cost.
+    ///
+    /// `final_drain` marks the end-of-tick call, which runs even with an
+    /// empty affected set: Counting views must consume their sources'
+    /// insert logs every tick to keep support counts complete.
+    fn update_views(
+        &mut self,
+        affected: &IdSet,
+        ctx: &mut TickCtx,
+        final_drain: bool,
+    ) -> Result<()> {
+        let plan = Arc::clone(&self.plan);
+        if affected.is_empty() && !final_drain {
+            return Ok(());
+        }
+        // Split the affected set: strategy views are ordered topologically
+        // (a view reading another view updates after it, so scoped
+        // re-evaluation joins against settled upstream state); the rest
+        // fall back immediately.
+        let mut fallback = IdSet::new();
+        let mut remaining: Vec<TableId> = Vec::new();
+        for v in affected.iter() {
+            if plan.maint.views.contains_key(&v) {
+                remaining.push(v);
+            } else {
+                fallback.insert(v);
+            }
+        }
+        remaining.sort_by_key(|&v| {
+            let s = plan
+                .table_stratum
+                .get(self.ids.name(v))
+                .copied()
+                .unwrap_or(0);
+            (s, v.idx())
+        });
+        let mut ordered = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let mut rest = Vec::new();
+            let before = ordered.len();
+            for &v in &remaining {
+                let deps = plan.view_deps.get(&v);
+                let blocked = remaining
+                    .iter()
+                    .any(|&w| w != v && deps.is_some_and(|d| d.contains(w)));
+                if blocked {
+                    rest.push(v);
+                } else {
+                    ordered.push(v);
+                }
+            }
+            if ordered.len() == before {
+                // Unreachable (strategy views are acyclic — recursion
+                // disqualifies a strategy), but never loop on it.
+                for v in rest {
+                    fallback.insert(v);
+                }
+                break;
+            }
+            remaining = rest;
+        }
+        let mut maintained = 0u64;
+        for v in ordered {
+            // A source rebuilt from scratch leaves no delta lineage to
+            // consume: views downstream of a fallback fall back with it.
+            if plan
+                .view_deps
+                .get(&v)
+                .is_some_and(|d| d.intersects(&fallback))
+            {
+                fallback.insert(v);
+                continue;
+            }
+            let ok = match plan
+                .maint
+                .views
+                .get(&v)
+                .expect("ordered views have strategies")
+            {
+                ViewMaint::Counting { rules, sources } => {
+                    self.maintain_counting(v, rules, sources, true, &plan, ctx)?
+                }
+                ViewMaint::GroupRecompute {
+                    rule,
+                    anchor,
+                    sources,
+                    key_map,
+                    ..
+                } => self.maintain_groups(v, *rule, anchor, sources, key_map, &plan, ctx)?,
+                ViewMaint::KeyRederive { rules, sources, .. } => {
+                    self.maintain_keys(v, rules, sources, &plan, ctx)?
+                }
+            };
+            if ok {
+                maintained += 1;
+            } else {
+                fallback.insert(v);
+            }
+        }
+        if maintained > 0 {
+            self.eval_stats.maint_rounds += 1;
+            self.eval_stats.views_maintained += maintained;
+        }
+        if !fallback.is_empty() {
+            self.recompute_views(&fallback, ctx)?;
+            // The rebuild subsumed everything in the fallback views' logs:
+            // advance their marks past the logs, and recount Counting
+            // supports from the rebuilt state so the next round maintains.
+            for v in fallback.iter() {
+                match plan.maint.views.get(&v) {
+                    Some(ViewMaint::Counting { rules, sources }) => {
+                        self.rebuild_support(v, rules, &plan, ctx)?;
+                        self.advance_marks(v, sources.iter().copied(), ctx);
+                    }
+                    Some(ViewMaint::GroupRecompute { sources, .. })
+                    | Some(ViewMaint::KeyRederive { sources, .. }) => {
+                        self.advance_marks(v, sources.iter().map(|s| s.tid), ctx);
+                    }
+                    None => {}
+                }
+            }
+        }
+        if final_drain {
+            // Counting views not touched above still consume their insert
+            // logs (support must count every derivation this tick made),
+            // and deletions they were never asked to act on invalidate
+            // them — the recompute engine would have left those rows stale
+            // this tick, so acting here would diverge.
+            for (&v, strat) in plan.maint.views.iter() {
+                let ViewMaint::Counting { rules, sources } = strat else {
+                    continue;
+                };
+                if affected.contains(v) {
+                    continue;
+                }
+                self.maintain_counting(v, rules, sources, false, &plan, ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Maintain a Counting view: every derivation named by a source's
+    /// delta log adjusts the derived row's support count by ±1; rows whose
+    /// support appears are inserted, rows whose support drains to zero are
+    /// deleted. With `act = false` (view not affected this round) the
+    /// table is not touched — the semi-naive path already propagated the
+    /// inserts — and only the counts advance.
+    fn maintain_counting(
+        &mut self,
+        v: TableId,
+        rules: &[(usize, usize)],
+        sources: &[TableId],
+        act: bool,
+        plan: &Plan,
+        ctx: &mut TickCtx,
+    ) -> Result<bool> {
+        let Some(mut support) = self.maint_support.remove(&v) else {
+            if act {
+                // Invalid counts cannot drive deletions: fall back (the
+                // recompute revalidates via `rebuild_support`).
+                return Ok(false);
+            }
+            // Invalid and idle: stay invalid, just consume the logs.
+            self.advance_marks(v, sources.iter().copied(), ctx);
+            return Ok(true);
+        };
+        if !act {
+            let deleted = sources.iter().any(|&s| {
+                let (_, d0) = ctx.view_marks.get(&(v, s)).copied().unwrap_or((0, 0));
+                ctx.m_del[s.idx()].len() > d0
+            });
+            if deleted {
+                // A source shrank without dirtying this view (an aggregate
+                // refreshed its own groups mid-tick): the recompute engine
+                // leaves the stale rows until the view is next affected,
+                // so the counts can no longer be kept truthful — drop them.
+                self.advance_marks(v, sources.iter().copied(), ctx);
+                return Ok(true);
+            }
+        }
+        // Insert side first: a row that gains and loses a derivation in
+        // the same tick never transits zero support.
+        for (&(rid, vi), &s) in rules.iter().zip(sources) {
+            let (a0, _) = ctx.view_marks.get(&(v, s)).copied().unwrap_or((0, 0));
+            if ctx.m_add[s.idx()].len() == a0 {
+                continue;
+            }
+            let rule = &plan.rules[rid];
+            let t0 = std::time::Instant::now();
+            let (rows, sups) = self.eval_variant(
+                rule,
+                &rule.variants[vi],
+                Some(&ctx.m_add[s.idx()][a0..]),
+                &mut ctx.eval,
+            )?;
+            self.rule_stats[rid].maint_evals += 1;
+            self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
+            for (i, row) in rows.into_iter().enumerate() {
+                *support.entry(row.clone()).or_insert(0) += 1;
+                if act {
+                    let inputs: &[(String, Row)] = sups
+                        .as_ref()
+                        .and_then(|sv| sv.get(i))
+                        .map(|x| x.as_slice())
+                        .unwrap_or(&[]);
+                    self.maint_insert(v, rule, row, inputs, ctx)?;
+                }
+            }
+        }
+        for (&(rid, vi), &s) in rules.iter().zip(sources) {
+            let (_, d0) = ctx.view_marks.get(&(v, s)).copied().unwrap_or((0, 0));
+            if ctx.m_del[s.idx()].len() == d0 {
+                continue;
+            }
+            let rule = &plan.rules[rid];
+            let t0 = std::time::Instant::now();
+            let (rows, _) = self.eval_variant(
+                rule,
+                &rule.variants[vi],
+                Some(&ctx.m_del[s.idx()][d0..]),
+                &mut ctx.eval,
+            )?;
+            self.rule_stats[rid].maint_evals += 1;
+            self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
+            for row in rows {
+                let n = support.entry(row.clone()).or_insert(0);
+                *n -= 1;
+                if *n <= 0 {
+                    support.remove(&row);
+                    if self.tables[v.idx()].delete(&row) {
+                        self.log_maint_delete(v, &row, ctx);
+                    }
+                }
+            }
+        }
+        self.advance_marks(v, sources.iter().copied(), ctx);
+        self.maint_support.insert(v, support);
+        Ok(true)
+    }
+
+    /// Maintain a GroupRecompute view: re-fold exactly the groups the
+    /// delta logs touched, overwriting changed group rows and deleting
+    /// emptied groups' rows by primary key.
+    #[allow(clippy::too_many_arguments)]
+    fn maintain_groups(
+        &mut self,
+        v: TableId,
+        rid: usize,
+        anchor: &AnchorEval,
+        sources: &[SourceDep],
+        key_map: &[usize],
+        plan: &Plan,
+        ctx: &mut TickCtx,
+    ) -> Result<bool> {
+        let Some(keys) = self.touched_keys(v, sources, ctx) else {
+            return Ok(false);
+        };
+        if keys.is_empty() {
+            self.advance_marks(v, sources.iter().map(|s| s.tid), ctx);
+            return Ok(true);
+        }
+        let t0 = std::time::Instant::now();
+        let anchor_rows = self.collect_anchor_rows(anchor, &keys);
+        let rule = &plan.rules[rid];
+        let pairs = self.eval_aggregate_scoped(
+            rule,
+            &rule.variants[anchor.variant],
+            &anchor_rows,
+            &mut ctx.eval,
+        )?;
+        self.rule_stats[rid].maint_evals += 1;
+        self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
+        let mut pi = 0usize;
+        for key in &keys {
+            if pairs.get(pi).is_some_and(|(k, _)| k == key) {
+                let row = pairs[pi].1.clone();
+                pi += 1;
+                self.maint_insert(v, rule, row, &[], ctx)?;
+            } else {
+                // The touched group is empty now: its head row is stale.
+                let pk: Vec<Value> = key_map.iter().map(|&i| key[i].clone()).collect();
+                if let Some(old) = self.tables[v.idx()].delete_by_key(&pk) {
+                    self.log_maint_delete(v, &old, ctx);
+                }
+            }
+        }
+        debug_assert_eq!(pi, pairs.len(), "scoped fold produced an untouched group");
+        self.advance_marks(v, sources.iter().map(|s| s.tid), ctx);
+        Ok(true)
+    }
+
+    /// Maintain a KeyRederive view: delete every touched key's row, then
+    /// re-derive those keys rule by rule in rule order — the same
+    /// key-overwrite conflict resolution a from-scratch rebuild applies.
+    fn maintain_keys(
+        &mut self,
+        v: TableId,
+        anchors: &[AnchorEval],
+        sources: &[SourceDep],
+        plan: &Plan,
+        ctx: &mut TickCtx,
+    ) -> Result<bool> {
+        let Some(keys) = self.touched_keys(v, sources, ctx) else {
+            return Ok(false);
+        };
+        if keys.is_empty() {
+            self.advance_marks(v, sources.iter().map(|s| s.tid), ctx);
+            return Ok(true);
+        }
+        for key in &keys {
+            if let Some(old) = self.tables[v.idx()].delete_by_key(key) {
+                self.log_maint_delete(v, &old, ctx);
+            }
+        }
+        for a in anchors {
+            let anchor_rows = self.collect_anchor_rows(a, &keys);
+            if anchor_rows.is_empty() {
+                continue;
+            }
+            let t0 = std::time::Instant::now();
+            let rule = &plan.rules[a.rule];
+            let (rows, sups) = self.eval_variant(
+                rule,
+                &rule.variants[a.variant],
+                Some(&anchor_rows),
+                &mut ctx.eval,
+            )?;
+            self.rule_stats[a.rule].maint_evals += 1;
+            self.rule_stats[a.rule].eval_ns += t0.elapsed().as_nanos() as u64;
+            for (i, row) in rows.into_iter().enumerate() {
+                let inputs: &[(String, Row)] = sups
+                    .as_ref()
+                    .and_then(|sv| sv.get(i))
+                    .map(|x| x.as_slice())
+                    .unwrap_or(&[]);
+                self.maint_insert(v, rule, row, inputs, ctx)?;
+            }
+        }
+        self.advance_marks(v, sources.iter().map(|s| s.tid), ctx);
+        Ok(true)
+    }
+
+    /// Scoped stratum-entry evaluation of a certified aggregate view: fold
+    /// only the groups this tick's delta logs touched and dispatch them
+    /// exactly as the full evaluation would. Unchanged groups dispatch as
+    /// duplicates in the full path too, so restricting to touched groups
+    /// is invisible; emptied groups emit nothing in both paths (their
+    /// stale rows fall to the end-of-tick maintenance pass). Returns
+    /// `false` when the rule is not certified or a dirty source cannot
+    /// name its groups — the caller runs the full evaluation.
+    fn scoped_aggregate(&mut self, rule: &CompiledRule, ctx: &mut TickCtx) -> Result<bool> {
+        let plan = Arc::clone(&self.plan);
+        if !plan.options.maintenance || !rule.is_view {
+            return Ok(false);
+        }
+        let Some(ViewMaint::GroupRecompute {
+            rule: rid,
+            anchor,
+            sources,
+            ..
+        }) = plan.maint.views.get(&rule.head_tid)
+        else {
+            return Ok(false);
+        };
+        if *rid != rule.id {
+            return Ok(false);
+        }
+        // Read from the consumption marks without advancing them: the
+        // end-of-tick pass re-folds anything consumed here (idempotent —
+        // the values cannot change between stratum entry and commit
+        // without dirtying the source logs again).
+        let Some(keys) = self.touched_keys(rule.head_tid, sources, ctx) else {
+            return Ok(false);
+        };
+        if keys.is_empty() {
+            return Ok(true);
+        }
+        let t0 = std::time::Instant::now();
+        let anchor_rows = self.collect_anchor_rows(anchor, &keys);
+        let pairs = self.eval_aggregate_scoped(
+            rule,
+            &rule.variants[anchor.variant],
+            &anchor_rows,
+            &mut ctx.eval,
+        )?;
+        let rows: Vec<Row> = pairs.into_iter().map(|(_, r)| r).collect();
+        self.rule_stats[rule.id].maint_evals += 1;
+        self.dispatch(rule, rows, None, ctx)?;
+        self.rule_stats[rule.id].eval_ns += t0.elapsed().as_nanos() as u64;
+        Ok(true)
+    }
+
+    /// The set of view keys (or group keys) named by the unconsumed delta
+    /// log entries of `sources`, or `None` when some dirty source cannot
+    /// name them (`binds` is `None`) — the caller falls back.
+    fn touched_keys(
+        &self,
+        v: TableId,
+        sources: &[SourceDep],
+        ctx: &TickCtx,
+    ) -> Option<std::collections::BTreeSet<Vec<Value>>> {
+        let mut keys = std::collections::BTreeSet::new();
+        for dep in sources {
+            let (a0, d0) = ctx.view_marks.get(&(v, dep.tid)).copied().unwrap_or((0, 0));
+            let adds = &ctx.m_add[dep.tid.idx()][a0..];
+            let dels = &ctx.m_del[dep.tid.idx()][d0..];
+            if adds.is_empty() && dels.is_empty() {
+                continue;
+            }
+            let binds = dep.binds.as_ref()?;
+            for row in adds.iter().chain(dels.iter()) {
+                keys.insert(
+                    binds
+                        .iter()
+                        .map(|b| match b {
+                            Bind::Col(c) => row[*c].clone(),
+                            Bind::Const(val) => val.clone(),
+                        })
+                        .collect::<Vec<Value>>(),
+                );
+            }
+        }
+        Some(keys)
+    }
+
+    /// Gather the anchor-table rows whose key projection lands in `keys`
+    /// (they become the scoped re-evaluation's delta). `Col` binds form an
+    /// index probe; `Const` binds filter keys the rule can never derive.
+    /// Distinct keys probe disjoint rows, so the result has no duplicates.
+    fn collect_anchor_rows(
+        &mut self,
+        anchor: &AnchorEval,
+        keys: &std::collections::BTreeSet<Vec<Value>>,
+    ) -> Vec<Row> {
+        let cols: Vec<usize> = anchor
+            .binds
+            .iter()
+            .filter_map(|b| match b {
+                Bind::Col(c) => Some(*c),
+                Bind::Const(_) => None,
+            })
+            .collect();
+        let mut out = Vec::new();
+        if cols.is_empty() {
+            // Fully constant projection: the rule derives exactly one key;
+            // if it is touched, every anchor row re-derives it.
+            let want: Vec<Value> = anchor
+                .binds
+                .iter()
+                .map(|b| match b {
+                    Bind::Const(val) => val.clone(),
+                    Bind::Col(_) => unreachable!("cols is empty"),
+                })
+                .collect();
+            if keys.contains(&want) {
+                out.extend(self.tables[anchor.tid.idx()].scan().cloned());
+            }
+            return out;
+        }
+        self.tables[anchor.tid.idx()].ensure_index(&cols);
+        let mut vals: Vec<Value> = Vec::with_capacity(cols.len());
+        'keys: for key in keys {
+            vals.clear();
+            for (b, kv) in anchor.binds.iter().zip(key) {
+                match b {
+                    Bind::Const(val) => {
+                        if val != kv {
+                            continue 'keys;
+                        }
+                    }
+                    Bind::Col(_) => vals.push(kv.clone()),
+                }
+            }
+            if let Some(rows) = self.tables[anchor.tid.idx()].lookup(&cols, &vals) {
+                out.extend(rows.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Recount a Counting view's support from the current source tables
+    /// (used right after a fallback recompute revalidated its contents).
+    fn rebuild_support(
+        &mut self,
+        v: TableId,
+        rules: &[(usize, usize)],
+        plan: &Plan,
+        ctx: &mut TickCtx,
+    ) -> Result<()> {
+        let mut support: FxHashMap<Row, i64> = FxHashMap::default();
+        for &(rid, vi) in rules {
+            let rule = &plan.rules[rid];
+            let src = rule.positive_tids[0];
+            let all: Vec<Row> = self.tables[src.idx()].scan().cloned().collect();
+            if all.is_empty() {
+                continue;
+            }
+            let (rows, _) =
+                self.eval_variant(rule, &rule.variants[vi], Some(&all), &mut ctx.eval)?;
+            for row in rows {
+                *support.entry(row).or_insert(0) += 1;
+            }
+        }
+        self.maint_support.insert(v, support);
+        Ok(())
+    }
+
+    /// Mark every `(view, source)` delta-log pair fully consumed.
+    fn advance_marks(&self, v: TableId, sources: impl Iterator<Item = TableId>, ctx: &mut TickCtx) {
+        for s in sources {
+            ctx.view_marks
+                .insert((v, s), (ctx.m_add[s.idx()].len(), ctx.m_del[s.idx()].len()));
+        }
+    }
+
+    /// Direct insert into a maintained view, mirroring the rebuild path's
+    /// semantics (no semi-naive delta log, no coercion, no WAL — views are
+    /// never durable) plus incremental tap records and the view's own
+    /// delta log for downstream maintained views.
+    fn maint_insert(
+        &mut self,
+        v: TableId,
+        rule: &CompiledRule,
+        row: Row,
+        inputs: &[(String, Row)],
+        ctx: &mut TickCtx,
+    ) -> Result<()> {
+        ctx.derivations += 1;
+        if ctx.derivations > self.budget {
+            return Err(OverlogError::Eval(
+                "derivation budget exceeded during view maintenance".into(),
+            ));
+        }
+        match self.tables[v.idx()].insert(row.clone())? {
+            InsertOutcome::New => {
+                self.record_prov(rule, &row, inputs);
+                self.record_trace(v, &row, TraceOp::Insert);
+                if self.tap_ids.contains(v) {
+                    self.tap_log.push((
+                        v,
+                        row.clone(),
+                        CommitOp::Insert,
+                        self.tick_count,
+                        self.now,
+                    ));
+                }
+                if self.plan.view_inputs.contains(v) {
+                    ctx.m_add[v.idx()].push(row);
+                }
+            }
+            InsertOutcome::Replaced(old) => {
+                self.record_prov(rule, &row, inputs);
+                self.record_trace(v, &row, TraceOp::Insert);
+                if self.tap_ids.contains(v) {
+                    self.tap_log.push((
+                        v,
+                        old.clone(),
+                        CommitOp::Delete,
+                        self.tick_count,
+                        self.now,
+                    ));
+                    self.tap_log.push((
+                        v,
+                        row.clone(),
+                        CommitOp::Insert,
+                        self.tick_count,
+                        self.now,
+                    ));
+                }
+                if self.plan.view_inputs.contains(v) {
+                    ctx.m_del[v.idx()].push(old);
+                    ctx.m_add[v.idx()].push(row);
+                }
+            }
+            InsertOutcome::Duplicate => {}
+        }
+        Ok(())
+    }
+
+    /// Log a deletion the maintenance executor performed (the row is
+    /// already out of the table): tap retraction, watch trace, and the
+    /// view's own delta log for downstream maintained views.
+    fn log_maint_delete(&mut self, v: TableId, row: &Row, ctx: &mut TickCtx) {
+        if self.tap_ids.contains(v) {
+            self.tap_log
+                .push((v, row.clone(), CommitOp::Delete, self.tick_count, self.now));
+        }
+        self.record_trace(v, row, TraceOp::Delete);
+        if self.plan.view_inputs.contains(v) {
+            ctx.m_del[v.idx()].push(row.clone());
+        }
     }
 }
 

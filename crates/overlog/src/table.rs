@@ -197,6 +197,17 @@ impl Table {
         false
     }
 
+    /// Delete the row stored under `key` (primary-key order), whatever its
+    /// non-key contents. Returns the removed row. The incremental view
+    /// maintainer uses this to retract a touched key before re-deriving
+    /// it — at that point the stored non-key columns are exactly what it
+    /// must report retracted, not something it can reconstruct.
+    pub fn delete_by_key(&mut self, key: &[Value]) -> Option<Row> {
+        let row = self.rows.remove(key)?;
+        self.index_remove(&row);
+        Some(row)
+    }
+
     /// Remove every row, keeping index definitions.
     pub fn clear(&mut self) {
         self.rows.clear();
@@ -375,6 +386,23 @@ mod tests {
         assert!(t.delete(&tuple!(1, "a")));
         assert!(t.is_empty());
         assert!(!t.delete(&tuple!(1, "a")));
+    }
+
+    #[test]
+    fn delete_by_key_ignores_nonkey_columns_and_updates_indexes() {
+        let mut t = Table::new(decl(Some(vec![0])));
+        t.insert(tuple!(1, "a")).unwrap();
+        t.insert(tuple!(2, "b")).unwrap();
+        t.ensure_index(&[1]);
+        let gone = t.delete_by_key(&[Value::Int(1)]).expect("row stored");
+        assert_eq!(gone, tuple!(1, "a"), "removed row is returned verbatim");
+        assert!(t.delete_by_key(&[Value::Int(1)]).is_none());
+        assert_eq!(t.len(), 1);
+        assert_eq!(hits(&t, &[1], &[Value::str("b")]), 1);
+        assert!(
+            t.lookup(&[1], &[Value::str("a")]).unwrap().is_empty(),
+            "secondary index dropped the removed row"
+        );
     }
 
     fn hits(t: &Table, cols: &[usize], vals: &[Value]) -> usize {

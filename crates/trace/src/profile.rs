@@ -149,6 +149,7 @@ pub fn merge_by_rule(rows: &[ProfileRow]) -> Vec<(String, RuleStats)> {
         s.fires += r.stats.fires;
         s.attempts += r.stats.attempts;
         s.delta_in += r.stats.delta_in;
+        s.maint_evals += r.stats.maint_evals;
         s.eval_ns += r.stats.eval_ns;
     }
     let mut out: Vec<(String, RuleStats)> = by_rule
@@ -175,32 +176,34 @@ pub fn render_hot_rules(rows: &[ProfileRow], k: usize, with_time: bool) -> Strin
     ));
     if with_time {
         out.push_str(&format!(
-            "{:>4}  {:>10}  {:>10}  {:>10}  {:>9}  rule\n",
-            "rank", "fires", "attempts", "delta_in", "eval_ms"
+            "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>9}  rule\n",
+            "rank", "fires", "attempts", "delta_in", "maint", "eval_ms"
         ));
     } else {
         out.push_str(&format!(
-            "{:>4}  {:>10}  {:>10}  {:>10}  rule\n",
-            "rank", "fires", "attempts", "delta_in"
+            "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  rule\n",
+            "rank", "fires", "attempts", "delta_in", "maint"
         ));
     }
     for (i, (rule, s)) in shown.enumerate() {
         if with_time {
             out.push_str(&format!(
-                "{:>4}  {:>10}  {:>10}  {:>10}  {:>9.3}  {rule}\n",
+                "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>9.3}  {rule}\n",
                 i + 1,
                 s.fires,
                 s.attempts,
                 s.delta_in,
+                s.maint_evals,
                 s.eval_ns as f64 / 1e6
             ));
         } else {
             out.push_str(&format!(
-                "{:>4}  {:>10}  {:>10}  {:>10}  {rule}\n",
+                "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {rule}\n",
                 i + 1,
                 s.fires,
                 s.attempts,
-                s.delta_in
+                s.delta_in,
+                s.maint_evals
             ));
         }
     }
@@ -219,6 +222,7 @@ mod tests {
                 fires,
                 attempts,
                 delta_in: fires,
+                maint_evals: attempts / 2,
                 eval_ns: 1_000_000,
             },
         }
@@ -235,6 +239,7 @@ mod tests {
         assert_eq!(merged[0].0, "hot");
         assert_eq!(merged[0].1.fires, 15);
         assert_eq!(merged[0].1.attempts, 26);
+        assert_eq!(merged[0].1.maint_evals, 13);
         assert_eq!(merged[1].0, "cold");
     }
 

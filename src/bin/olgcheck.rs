@@ -16,11 +16,13 @@
 //!
 //! The `analyze` subcommand renders the semantic passes on top of the
 //! diagnostics: the monotonicity / CALM report with points of order, the
-//! whole-program typed catalog, cardinality estimates, and the per-rule
-//! shard-safety verdicts (with the chosen shard key and broadcast sets).
-//! Under `--format json` the shard verdicts ride along as a `"shard"`
-//! array per group; under `--format github` each rule also gets a
-//! `::notice` annotation with its verdicts.
+//! whole-program typed catalog, cardinality estimates, the per-rule
+//! shard-safety verdicts (with the chosen shard key and broadcast sets),
+//! and the per-view-rule maintenance-strategy verdicts (how retractions
+//! propagate to each view). Under `--format json` the shard and
+//! maintenance verdicts ride along as `"shard"` and `"maintenance"`
+//! arrays per group; under `--format github` each rule also gets
+//! `::notice` annotations with its verdicts.
 //!
 //! Exit codes: `0` clean, `1` errors (or any finding under
 //! `--deny-warnings`), `2` usage error, `3` warnings only.
@@ -36,7 +38,8 @@ const USAGE: &str = "usage: olgcheck [check|analyze] [--deny-warnings] [--graph]
 
   check            diagnostics only (the default)
   analyze          also render monotonicity (CALM), typed catalog,
-                   cardinality and shard-safety reports per group
+                   cardinality, shard-safety and maintenance-strategy
+                   reports per group
   --deny-warnings  treat warnings as errors (exit 1)
   --graph          print the table-precedence graph as DOT and exit
   --format FMT     diagnostic output: text (default), json, github
@@ -202,7 +205,11 @@ fn report(
         }
         Format::Json => {
             let shard = if semantic {
-                format!(",\"shard\":{}", analysis::shard::render_json(&rep.shard))
+                format!(
+                    ",\"shard\":{},\"maintenance\":{}",
+                    analysis::shard::render_json(&rep.shard),
+                    analysis::maint::render_json(&rep.maint)
+                )
             } else {
                 String::new()
             };
@@ -232,6 +239,21 @@ fn report(
             };
             println!(
                 "::notice file={file},line={line},col={col},title=shard-safety::rule `{}`: {body}",
+                r.label
+            );
+        }
+        // And one per view rule with its maintenance verdicts, so PRs
+        // show how retractions will propagate to each view they touch.
+        for r in &rep.maint.rules {
+            let (file, line, col) = map.resolve(r.span.start);
+            let body = r
+                .variants
+                .iter()
+                .map(|(d, v)| format!("delta {d}: {v}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            println!(
+                "::notice file={file},line={line},col={col},title=maintenance::view rule `{}`: {body}",
                 r.label
             );
         }

@@ -97,6 +97,92 @@ fn fs_scenario_is_engine_independent() {
     });
 }
 
+/// FS delete storm: build a directory tree, retract most of it (files
+/// first, then the emptied directories), and rebuild part of it — the
+/// heaviest retraction-propagation workload the NameNode program has.
+/// Every derived view (fqpath, child, ls_dir, chunk placement) must land
+/// on the same bytes whether views are maintained incrementally or the
+/// tick path runs parallel/sharded.
+#[test]
+fn fs_delete_storm_is_engine_independent() {
+    assert_engine_identical("fs-delete-storm", |mode| {
+        let mut c = FsClusterBuilder {
+            control: ControlPlane::Declarative,
+            datanodes: 3,
+            replication: 2,
+            ..Default::default()
+        }
+        .build();
+        enable(&mut c.sim, mode);
+        let cl = c.client.clone();
+        for d in ["/a", "/a/b", "/a/c", "/tmp"] {
+            cl.mkdir(&mut c.sim, d).unwrap();
+        }
+        for dir in ["/a/b", "/a/c", "/tmp"] {
+            for i in 0..5 {
+                cl.create(&mut c.sim, &format!("{dir}/f{i}")).unwrap();
+            }
+        }
+        cl.write_file(&mut c.sim, "/a/data", &synth_text(3, 600))
+            .unwrap();
+        // The storm: every file in /tmp and /a/c, then the dirs.
+        for i in 0..5 {
+            cl.rm(&mut c.sim, &format!("/tmp/f{i}")).unwrap();
+            cl.rm(&mut c.sim, &format!("/a/c/f{i}")).unwrap();
+        }
+        cl.rm(&mut c.sim, "/tmp").unwrap();
+        cl.rm(&mut c.sim, "/a/c").unwrap();
+        // Overwrite-heavy coda: rename survivors onto fresh names and
+        // rebuild a deleted subtree.
+        cl.rename(&mut c.sim, "/a/b/f0", "/a/b/z0").unwrap();
+        cl.mkdir(&mut c.sim, "/a/c").unwrap();
+        cl.create(&mut c.sim, "/a/c/again").unwrap();
+        cl.rm(&mut c.sim, "/a/data").unwrap();
+        let mut listing = cl.ls(&mut c.sim, "/a/b").unwrap();
+        listing.sort();
+        c.sim.run_for(3_000);
+        format!("ls={listing:?}\n{}", overlog_state_fingerprint(&mut c.sim))
+    });
+}
+
+/// Multi-decree Paxos churn: every decided slot retracts its own
+/// bookkeeping (`vote`, `prop_queue`, `pending_prep`, `inflight` all have
+/// delete rules), so a burst of decrees is a retraction storm over the
+/// acceptor state the decided log is derived from.
+#[test]
+fn paxos_decide_churn_is_engine_independent() {
+    use boom::paxos::{decided_log, paxos_runtime, propose_row, PaxosGroup};
+    use boom::simnet::OverlogActor;
+    assert_engine_identical("paxos-churn", |mode| {
+        let members = ["px0", "px1", "px2"];
+        let group = PaxosGroup::new(&members, 4_000);
+        let mut sim = Sim::new(SimConfig::default());
+        for name in &group.members {
+            let g = group.clone();
+            sim.add_node(
+                name,
+                Box::new(OverlogActor::with_factory(
+                    Box::new(move |n| paxos_runtime(n, &g)),
+                    20,
+                    name,
+                )),
+            );
+        }
+        enable(&mut sim, mode);
+        for i in 0..12 {
+            sim.inject(
+                "px0",
+                "propose",
+                propose_row("client", i, &format!("cmd{i}"), vec![]),
+            );
+            sim.run_for(150);
+        }
+        sim.run_for(20_000);
+        let log = sim.with_actor::<OverlogActor, _>("px0", |a| decided_log(a.runtime_ref()));
+        format!("log={log:?}\n{}", overlog_state_fingerprint(&mut sim))
+    });
+}
+
 /// BOOM-MR wordcount under every shipped (assignment × speculation)
 /// policy combination.
 #[test]
@@ -405,5 +491,114 @@ mod shard_invariance {
             let sharded = run(shards, keyspace, &vals);
             prop_assert_eq!(serial, sharded);
         }
+    }
+}
+
+/// Maintenance invariance: a runtime whose views span every certified
+/// maintenance strategy — Counting (filtered projection with a computed
+/// head), GroupRecompute (keyed and global aggregates, including one over
+/// a maintained view), KeyRederive (a join keyed entirely off one side),
+/// and a recursive view that always falls back — must produce a
+/// byte-identical state fingerprint with incremental maintenance on and
+/// off, over arbitrary interleavings of batched inserts, key overwrites,
+/// and delete storms.
+mod maint_invariance {
+    use boom::overlog::value::row;
+    use boom::overlog::{OverlogRuntime, PlanOptions, Value};
+    use boom::simnet::{
+        overlog_state_fingerprint, set_plan_options_all, OverlogActor, Sim, SimConfig,
+    };
+    use proptest::prelude::*;
+
+    fn runtime(name: &str) -> OverlogRuntime {
+        let mut rt = OverlogRuntime::new(name);
+        rt.load(
+            "event e, {Int, Int};
+             event d, {Int};
+             define(base, keys(0,1), {Int, Int});
+             define(slot, keys(0), {Int, Int});
+             define(small, keys(0), {Int, Int});
+             define(doubled, keys(0,1), {Int, Int});
+             define(bysum, keys(0), {Int, Int});
+             define(joined, keys(0,1), {Int, Int, Int});
+             define(dtotal, keys(), {Int});
+             define(reach, keys(0,1), {Int, Int});
+             small(0, 10); small(1, 11); small(2, 12); small(3, 13);
+             base(X, Y) :- e(X, Y);
+             slot(X, Y) :- e(X, Y);
+             delete base(X, Y) :- d(X), base(X, Y);
+             delete slot(X, Y) :- d(X), slot(X, Y);
+             doubled(X, Y * 2) :- base(X, Y), W := Y % 3, W != 0;
+             bysum(X, sum<Y>) :- base(X, Y);
+             joined(X, Y, Z) :- base(X, Y), M := X % 4, small(M, Z);
+             dtotal(sum<Y>) :- doubled(_, Y);
+             reach(X, Y) :- base(X, Y), X != Y;
+             reach(X, Z) :- base(X, Y), X != Y, reach(Y, Z);",
+        )
+        .expect("program loads");
+        rt
+    }
+
+    /// Replay `ops` against one node: positive values insert `e(k, v)`
+    /// (`slot` makes low keys overwrite), negatives fire the delete rule
+    /// for key `k`. Unit latency coalesces each tranche into one tick.
+    fn run(maintenance: bool, keyspace: i64, ops: &[(bool, i64, i64)]) -> String {
+        let mut sim = Sim::new(SimConfig {
+            seed: 9,
+            min_latency: 1,
+            max_latency: 1,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        });
+        sim.add_node("n0", Box::new(OverlogActor::new(runtime("n0"), 50)));
+        set_plan_options_all(
+            &mut sim,
+            PlanOptions {
+                maintenance,
+                ..Default::default()
+            },
+        );
+        let k = keyspace.max(1);
+        for &(insert, x, y) in ops {
+            if insert {
+                sim.inject("n0", "e", row(vec![Value::Int(x % k), Value::Int(y)]));
+            } else {
+                sim.inject("n0", "d", row(vec![Value::Int(x % k)]));
+            }
+        }
+        sim.run_until(3_000);
+        overlog_state_fingerprint(&mut sim)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn fingerprints_match_maintained_vs_recomputed(
+            keyspace in 1i64..10,
+            raw in prop::collection::vec((0u8..10, 0i64..1_000, 0i64..1_000), 8..96),
+        ) {
+            // ~70% inserts, ~30% delete storms.
+            let ops: Vec<(bool, i64, i64)> =
+                raw.iter().map(|&(w, x, y)| (w < 7, x, y)).collect();
+            let maintained = run(true, keyspace, &ops);
+            let recomputed = run(false, keyspace, &ops);
+            prop_assert_eq!(maintained, recomputed);
+        }
+    }
+
+    /// The worst case for support counting and group re-folds: every
+    /// insert is eventually retracted, across several waves.
+    #[test]
+    fn delete_everything_waves_match() {
+        let mut ops = Vec::new();
+        for wave in 0..4i64 {
+            for i in 0..24i64 {
+                ops.push((true, i, wave * 100 + i));
+            }
+            for i in 0..24i64 {
+                ops.push((false, i, 0));
+            }
+        }
+        assert_eq!(run(true, 6, &ops), run(false, 6, &ops));
     }
 }

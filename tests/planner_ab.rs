@@ -18,6 +18,7 @@ const BASELINE: PlanOptions = PlanOptions {
     reorder_joins: false,
     scoped_views: false,
     shards: 1,
+    maintenance: false,
 };
 
 fn assert_ab_identical(name: &str, run: impl Fn(PlanOptions) -> String) {

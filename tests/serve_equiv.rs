@@ -15,9 +15,9 @@
 //! not equal the view.
 
 use boom::fs::cluster::{nn_name, FsCluster, FsClusterBuilder};
-use boom::overlog::Value;
+use boom::overlog::{PlanOptions, Value};
 use boom::serve::{fs_queries, ServeConfig, ServeHost, SubscriberActor, SubscriptionSpec};
-use boom::simnet::{overlog_state_fingerprint, ChaosSchedule, OverlogActor};
+use boom::simnet::{overlog_state_fingerprint, set_plan_options_all, ChaosSchedule, OverlogActor};
 
 fn attach_host(cluster: &mut FsCluster) {
     let nn = nn_name(0);
@@ -53,9 +53,19 @@ fn server_rows(cluster: &mut FsCluster, table: &str) -> Vec<Vec<Value>> {
 }
 
 /// The shared FS metadata workload, returning every client-visible output
-/// plus the full-cluster state fingerprint.
-fn run_workload(watchers: usize) -> String {
+/// plus the full-cluster state fingerprint. `maintenance` toggles the
+/// incremental view maintainer; the serving tier feeds its subscription
+/// streams from the same tap records either way, so the fingerprint (and
+/// every mirror) must not depend on it.
+fn run_workload(watchers: usize, maintenance: bool) -> String {
     let mut c = FsClusterBuilder::default().build();
+    set_plan_options_all(
+        &mut c.sim,
+        PlanOptions {
+            maintenance,
+            ..Default::default()
+        },
+    );
     if watchers > 0 {
         attach_host(&mut c);
         for i in 0..watchers {
@@ -97,16 +107,77 @@ fn run_workload(watchers: usize) -> String {
 /// production scenario without changing what it computes.
 #[test]
 fn subscriptions_never_perturb_the_simulation() {
-    let bare = run_workload(0);
-    let bare2 = run_workload(0);
+    let bare = run_workload(0, true);
+    let bare2 = run_workload(0, true);
     assert_eq!(bare, bare2, "baseline run is not even self-stable");
+    assert_eq!(
+        bare,
+        run_workload(0, false),
+        "incremental view maintenance changed the bare cluster's bytes"
+    );
     for watchers in [1, 8] {
-        let watched = run_workload(watchers);
+        let watched = run_workload(watchers, true);
         assert_eq!(
             bare, watched,
             "{watchers} watcher node(s) perturbed the simulation schedule"
         );
+        assert_eq!(
+            bare,
+            run_workload(watchers, false),
+            "{watchers} watcher node(s) + full recompute diverged"
+        );
     }
+}
+
+/// Retractions cross the wire with the right sign: after an `rm`, the
+/// watcher's mirror must drop exactly the removed file's row — with zero
+/// resyncs, proving the row left through an incremental `Delete` record
+/// on the subscription stream rather than a compensating snapshot.
+#[test]
+fn retractions_stream_to_mirrors_with_correct_signs() {
+    let mut c = FsClusterBuilder::default().build();
+    attach_host(&mut c);
+    add_watcher(&mut c, "watch0", vec![(1, fs_queries::file_status())]);
+    let cl = c.client.clone();
+    cl.mkdir(&mut c.sim, "/d").unwrap();
+    for i in 0..4 {
+        cl.create(&mut c.sim, &format!("/d/f{i}")).unwrap();
+    }
+    c.sim.run_for(2_000);
+    let before = mirror_of(&mut c, "watch0", 1);
+    assert!(
+        before.iter().any(|r| r[0] == Value::str("/d/f2")),
+        "mirror carries the file before the retraction: {before:?}"
+    );
+    // The initial subscribe lands as one visible reset (the snapshot);
+    // everything after it must flow as signed deltas.
+    let resets_before = c
+        .sim
+        .with_actor::<SubscriberActor, _>("watch0", |s| s.resets);
+
+    cl.rm(&mut c.sim, "/d/f2").unwrap();
+    cl.rename(&mut c.sim, "/d/f3", "/d/g3").unwrap();
+    c.sim.run_for(2_000);
+
+    let mirror = mirror_of(&mut c, "watch0", 1);
+    let server = server_rows(&mut c, "srv_q0");
+    assert_eq!(mirror, server, "mirror tracks the server view");
+    assert!(
+        !mirror.iter().any(|r| r[0] == Value::str("/d/f2")),
+        "retracted file still present in the mirror: {mirror:?}"
+    );
+    assert!(
+        !mirror.iter().any(|r| r[0] == Value::str("/d/f3"))
+            && mirror.iter().any(|r| r[0] == Value::str("/d/g3")),
+        "rename must retract the old path and insert the new: {mirror:?}"
+    );
+    let resets = c
+        .sim
+        .with_actor::<SubscriberActor, _>("watch0", |s| s.resets);
+    assert_eq!(
+        resets, resets_before,
+        "retraction must arrive as a signed delta, not a resync"
+    );
 }
 
 /// Restart storm over server and subscribers: crash the watchers while the
