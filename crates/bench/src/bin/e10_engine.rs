@@ -31,19 +31,20 @@ fn render_text(cases: &[EngineBenchCase]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<18} {:>9} {:>12} {:>12} {:>12} {:>10} {:>7}",
-        "workload", "mode", "tuples", "busy (s)", "tuples/s", "wall (ms)", "ident"
+        "{:<18} {:>9} {:>12} {:>12} {:>12} {:>10} {:>8} {:>7}",
+        "workload", "mode", "tuples", "busy (s)", "tuples/s", "wall (ms)", "kevals", "ident"
     );
     for c in cases {
         let _ = writeln!(
             out,
-            "{:<18} {:>9} {:>12} {:>12.4} {:>12.0} {:>10.1} {:>7}",
+            "{:<18} {:>9} {:>12} {:>12.4} {:>12.0} {:>10.1} {:>8} {:>7}",
             c.workload,
             c.mode,
             c.tuples,
             c.busy_secs,
             c.tuples_per_sec,
             c.wall_ms,
+            c.kernel_evals,
             c.fingerprint_match
         );
     }
@@ -72,13 +73,15 @@ fn render_json(cases: &[EngineBenchCase]) -> String {
         let _ = write!(
             out,
             "{{\"workload\":\"{}\",\"mode\":\"{}\",\"tuples\":{},\"busy_secs\":{:.6},\
-             \"tuples_per_sec\":{:.1},\"wall_ms\":{:.2},\"fingerprint_match\":{}}}",
+             \"tuples_per_sec\":{:.1},\"wall_ms\":{:.2},\"kernel_evals\":{},\
+             \"fingerprint_match\":{}}}",
             c.workload,
             c.mode,
             c.tuples,
             c.busy_secs,
             c.tuples_per_sec,
             c.wall_ms,
+            c.kernel_evals,
             c.fingerprint_match
         );
     }

@@ -16,8 +16,14 @@
 //! keeps object keys in file order so case labels render the way the
 //! experiment wrote them. Experiments this bin does not know by name
 //! still show up via a generic fallback (first column as the label, the
-//! leading numeric fields as the headline), so a future `BENCH_e14.json`
+//! leading numeric fields as the headline), so a future `BENCH_e16.json`
 //! appears in the table without touching this file.
+//!
+//! This bin is also the CI tripwire for the benchmark artifact set: it
+//! exits non-zero when any file in [`REQUIRED`] is absent, when a file
+//! fails to parse, or when a parsed document carries no `cases` array —
+//! a silently missing or hollow trajectory row must fail the job, not
+//! render as a blank line in the step summary.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -265,6 +271,11 @@ const SHAPES: &[(&str, &[&str], &[&str])] = &[
             "fingerprint_match",
         ],
     ),
+    (
+        "e15_kernel",
+        &["mode", "shards", "maintenance"],
+        &["tuples_per_sec", "kernel_evals", "fingerprint_match"],
+    ),
 ];
 
 fn shape_for(experiment: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
@@ -310,11 +321,15 @@ fn generic_row(case: &Json) -> (String, String) {
     (label, head)
 }
 
-fn summarize(files: &[(String, Json)]) -> String {
+/// Render the trajectory table. Returns the markdown plus the names of
+/// documents with no `cases` array — hollow files the caller must turn
+/// into a non-zero exit.
+fn summarize(files: &[(String, Json)]) -> (String, Vec<String>) {
     let mut out = String::from("## Benchmark trajectory\n\n");
     let _ = writeln!(out, "| experiment | case | headline |");
     let _ = writeln!(out, "|---|---|---|");
     let mut total_cases = 0usize;
+    let mut hollow = Vec::new();
     for (path, doc) in files {
         let experiment = doc
             .get("experiment")
@@ -323,6 +338,7 @@ fn summarize(files: &[(String, Json)]) -> String {
             .to_string();
         let Some(Json::Arr(cases)) = doc.get("cases") else {
             let _ = writeln!(out, "| {experiment} | - | (no `cases` array) |");
+            hollow.push(path.clone());
             continue;
         };
         for case in cases {
@@ -340,8 +356,20 @@ fn summarize(files: &[(String, Json)]) -> String {
         files.len(),
         total_cases
     );
-    out
+    (out, hollow)
 }
+
+/// Every full-scale experiment that commits a machine-readable result.
+/// A missing member means a benchmark silently stopped publishing — the
+/// summary must fail rather than shrink.
+const REQUIRED: &[&str] = &[
+    "BENCH_e10.json",
+    "BENCH_e11.json",
+    "BENCH_e12.json",
+    "BENCH_e13.json",
+    "BENCH_e14.json",
+    "BENCH_e15.json",
+];
 
 fn main() -> ExitCode {
     let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
@@ -367,9 +395,9 @@ fn main() -> ExitCode {
     }
     let mut files = Vec::new();
     let mut bad = false;
-    for p in paths {
+    for p in &paths {
         let name = p.file_name().unwrap().to_string_lossy().into_owned();
-        match std::fs::read_to_string(&p)
+        match std::fs::read_to_string(p)
             .map_err(|e| e.to_string())
             .and_then(|s| parse(&s))
         {
@@ -380,7 +408,21 @@ fn main() -> ExitCode {
             }
         }
     }
-    print!("{}", summarize(&files));
+    for req in REQUIRED {
+        if !paths
+            .iter()
+            .any(|p| p.file_name().and_then(|n| n.to_str()) == Some(req))
+        {
+            eprintln!("results_summary: required artifact `{req}` missing from `{dir}`");
+            bad = true;
+        }
+    }
+    let (md, hollow) = summarize(&files);
+    print!("{md}");
+    for name in hollow {
+        eprintln!("results_summary: `{name}` has no `cases` array");
+        bad = true;
+    }
     if bad {
         ExitCode::FAILURE
     } else {
@@ -422,17 +464,41 @@ mod tests {
             r#"{"experiment":"e13_serve","cases":[{"subs":51200,"client_nodes":64,"lat_p50_ms":1,"lat_p99_ms":1,"bytes_per_sub":215.3,"dropped":0,"mirror_matches":9}]}"#,
         )
         .unwrap();
-        let md = summarize(&[("BENCH_e13.json".into(), doc)]);
+        let (md, hollow) = summarize(&[("BENCH_e13.json".into(), doc)]);
         assert!(md.contains("| e13_serve | 51200 | "));
         assert!(md.contains("lat_p99_ms=1"));
         assert!(md.contains("bytes_per_sub=215.30"));
+        assert!(hollow.is_empty());
     }
 
     #[test]
     fn unknown_experiment_falls_back_generically() {
-        let doc = parse(r#"{"experiment":"e14_new","cases":[{"knob":7,"speed":3.5,"ok":true}]}"#)
+        let doc = parse(r#"{"experiment":"e16_new","cases":[{"knob":7,"speed":3.5,"ok":true}]}"#)
             .unwrap();
-        let md = summarize(&[("BENCH_e14.json".into(), doc)]);
-        assert!(md.contains("| e14_new | knob=7 | speed=3.50, ok=yes |"));
+        let (md, hollow) = summarize(&[("BENCH_e16.json".into(), doc)]);
+        assert!(md.contains("| e16_new | knob=7 | speed=3.50, ok=yes |"));
+        assert!(hollow.is_empty());
+    }
+
+    #[test]
+    fn e15_shape_labels_by_engine_configuration() {
+        let doc = parse(
+            r#"{"experiment":"e15_kernel","cases":[{"mode":"kernels","shards":1,"maintenance":false,"tuples":81920,"eval_secs":0.41,"tuples_per_sec":199804.1,"wall_ms":512.0,"kernel_evals":737,"fingerprint_match":true}]}"#,
+        )
+        .unwrap();
+        let (md, hollow) = summarize(&[("BENCH_e15.json".into(), doc)]);
+        assert!(md.contains("| e15_kernel | kernels/1/NO | "));
+        assert!(md.contains("tuples_per_sec=199804.10"));
+        assert!(md.contains("kernel_evals=737"));
+        assert!(md.contains("fingerprint_match=yes"));
+        assert!(hollow.is_empty());
+    }
+
+    #[test]
+    fn hollow_document_is_reported_not_swallowed() {
+        let doc = parse(r#"{"experiment":"e15_kernel","speedups":[]}"#).unwrap();
+        let (md, hollow) = summarize(&[("BENCH_e15.json".into(), doc)]);
+        assert!(md.contains("(no `cases` array)"));
+        assert_eq!(hollow, vec!["BENCH_e15.json".to_string()]);
     }
 }

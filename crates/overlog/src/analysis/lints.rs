@@ -8,6 +8,7 @@
 //! lint could.
 
 use super::card::CostModel;
+use super::kernel::KernelReport;
 use super::maint::{MaintReport, MaintVerdict};
 use super::shard::{ShardReport, ShardVerdict};
 use super::{Diagnostic, ProgramContext};
@@ -33,6 +34,7 @@ pub(super) fn run(
     cost: &CostModel,
     shard: &ShardReport,
     maint: &MaintReport,
+    kernel: &KernelReport,
     out: &mut Vec<Diagnostic>,
 ) {
     let timer_tables: HashSet<&str> = ctx.timers.iter().map(|t| t.name.as_str()).collect();
@@ -68,6 +70,72 @@ pub(super) fn run(
     hot_unshardable_rules(ctx, cost, shard, out);
     serialized_watches(ctx, rule_ok, cost, out);
     hot_full_recompute_views(ctx, cost, maint, out);
+    hot_uncompiled_rules(ctx, cost, kernel, out);
+}
+
+/// W0011: a *hot* rule — its body joins a table the cardinality model
+/// marks big — that falls off the compiled-kernel fast path for a reason
+/// the kernel pass calls *fixable*: a probe column left undeclared that
+/// inference already pins to `Int` (one declaration away from typed `i64`
+/// probes), or a nested expression that a `:=` split would flatten into
+/// kernel form. Every delta through such a rule pays interpreter or
+/// tagged-`Value` hashing overhead the program's own types say it
+/// shouldn't.
+fn hot_uncompiled_rules(
+    ctx: &ProgramContext,
+    cost: &CostModel,
+    kernel: &KernelReport,
+    out: &mut Vec<Diagnostic>,
+) {
+    for entry in &kernel.rules {
+        if entry.variants.is_empty() || !entry.fixable() {
+            continue;
+        }
+        let rule = &ctx.rules[entry.rule_index];
+        let Some((big, rows)) = rule
+            .positive_predicates()
+            .map(|p| (p.table.as_str(), cost.table_rows(&p.table)))
+            .filter(|(_, r)| *r >= HOT_BODY_ROWS)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            continue;
+        };
+        let (what, help) = if let Some((table, col)) = entry.refinable.first() {
+            (
+                format!(
+                    "probes `{table}` column {col} through tagged-Value hashing,                      yet inference pins that column to Int"
+                ),
+                "declare the column's type in the `define` so the planner emits                  typed i64 probes; see the kernel verdicts in `olgcheck analyze`",
+            )
+        } else {
+            let reason = entry
+                .variants
+                .iter()
+                .find_map(|(_, v)| match v {
+                    crate::kernel::KernelVerdict::Interpreted {
+                        reason,
+                        fixable: true,
+                    } => Some(reason.as_str()),
+                    _ => None,
+                })
+                .unwrap_or("interpreted fallback");
+            (
+                format!("runs interpreted: {reason}"),
+                "split the nested expression into `:=` assignment steps so every                  sub-expression is flat; see the kernel verdicts in `olgcheck                  analyze`",
+            )
+        };
+        out.push(
+            Diagnostic::warning(
+                "W0011",
+                rule.span,
+                format!(
+                    "rule `{}` joins `{big}` (~{rows:.0} rows) but {what}",
+                    entry.label
+                ),
+            )
+            .with_help(help),
+        );
+    }
 }
 
 /// W0010: a *hot* view — its body joins a table the cardinality model
@@ -958,6 +1026,45 @@ mod tests {
                    m(1, 2);
                    v(Y, Z) :- idx(X, Y), m(X, Z);";
         assert!(!codes(src).contains(&"W0010"), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn hot_rule_with_refinable_probe_column_is_w0011() {
+        // `idx` is hot inductive state (five deriving rules) and `u` is
+        // declared wildcard but only ever filled from Int columns: the
+        // join probes u.0 through tagged-Value hashing when one
+        // declaration would unlock typed i64 probes.
+        let src = "event e, {Int, Int};
+                   event f, {Int, Int};
+                   define(idx, keys(0), {Int, Int});
+                   define(u, keys(0), {Value, Value});
+                   define(out, keys(0), {Int, Int});
+                   idx(X, Y) :- e(X, Y); idx(Y, X) :- e(X, Y);
+                   idx(X, Y) :- f(X, Y); idx(Y, X) :- f(X, Y);
+                   idx(X, X) :- f(X, _);
+                   u(X, Y) :- e(X, Y);
+                   out(X, Z) :- idx(X, Y), u(Y, Z);";
+        assert!(codes(src).contains(&"W0011"), "{:?}", codes(src));
+        // Declare `u`'s columns: the kernel goes typed and the lint stops.
+        let typed = src.replace(
+            "define(u, keys(0), {Value, Value})",
+            "define(u, keys(0), {Int, Int})",
+        );
+        assert!(!codes(&typed).contains(&"W0011"), "{:?}", codes(&typed));
+    }
+
+    #[test]
+    fn cold_uncompiled_rule_is_not_w0011() {
+        // Same refinable shape, but every body table is small: interpreter
+        // overhead on a cold rule is noise, not a finding.
+        let src = "event e, {Int, Int};
+                   define(idx, keys(0), {Int, Int});
+                   define(u, keys(0), {Value, Value});
+                   define(out, keys(0), {Int, Int});
+                   idx(X, Y) :- e(X, Y);
+                   u(X, Y) :- e(X, Y);
+                   out(X, Z) :- idx(X, Y), u(Y, Z);";
+        assert!(!codes(src).contains(&"W0011"), "{:?}", codes(src));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! | W0008 | hot rule shard-unsafe only because of a non-key join attribute |
 //! | W0009 | watched table fed by a hard-serial rule over a hot body |
 //! | W0010 | hot view recomputes wholesale for a fixable reason |
+//! | W0011 | hot rule falls off the compiled-kernel path for a fixable reason |
 //!
 //! Beyond diagnostics, [`report`] runs the semantic passes — monotonicity
 //! / CALM classification ([`mono`]), whole-program type inference
@@ -46,6 +47,7 @@
 pub mod card;
 pub mod diag;
 pub mod graph;
+pub mod kernel;
 mod lints;
 pub mod maint;
 pub mod mono;
@@ -498,6 +500,8 @@ pub struct AnalysisReport {
     pub shard: shard::ShardReport,
     /// Per-view-rule, per-variant maintenance-strategy verdicts.
     pub maint: maint::MaintReport,
+    /// Per-rule, per-variant kernel-specialization verdicts.
+    pub kernel: kernel::KernelReport,
 }
 
 impl AnalysisReport {
@@ -516,6 +520,8 @@ impl AnalysisReport {
         s.push_str(&shard::render(&self.shard));
         s.push('\n');
         s.push_str(&maint::render(&self.maint));
+        s.push('\n');
+        s.push_str(&kernel::render(&self.kernel));
         s
     }
 }
@@ -528,8 +534,9 @@ pub fn report(ctx: &ProgramContext) -> AnalysisReport {
     let cost = card::CostModel::from_context(ctx);
     let shard = shard::analyze(ctx, &rule_ok, &cost);
     let maint = maint::analyze(ctx, &rule_ok);
-    lints::run(ctx, &rule_ok, &cost, &shard, &maint, &mut out);
     let catalog = types::infer(ctx, &rule_ok);
+    let kernel = kernel::analyze(ctx, &rule_ok, &catalog);
+    lints::run(ctx, &rule_ok, &cost, &shard, &maint, &kernel, &mut out);
     types::check(ctx, &rule_ok, &catalog, &mut out);
     out.sort_by_key(|d| (d.span.start, d.code, d.message.clone()));
     let mono = mono::analyze_mono(ctx, &rule_ok);
@@ -541,6 +548,7 @@ pub fn report(ctx: &ProgramContext) -> AnalysisReport {
         cost,
         shard,
         maint,
+        kernel,
     }
 }
 

@@ -44,6 +44,7 @@ pub mod builtins;
 pub mod error;
 pub mod fx;
 pub mod ids;
+pub mod kernel;
 pub mod parser;
 pub mod plan;
 pub mod runtime;

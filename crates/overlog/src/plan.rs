@@ -20,7 +20,8 @@ use crate::analysis::{self, mono, safety, RuleAnalysis};
 use crate::ast::*;
 use crate::error::Result;
 use crate::ids::{IdSet, TableId, TableIds};
-use crate::value::Value;
+use crate::kernel;
+use crate::value::{TypeTag, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -120,6 +121,12 @@ pub struct Variant {
     /// dispatch, where dozens of handler rules scan the same event table
     /// and disagree only on a literal discriminator column.
     pub delta_gate: Vec<(usize, Value)>,
+    /// The variant compiled into a specialized kernel
+    /// ([`crate::kernel::compile_variant`]), when its expressions allow
+    /// one. `None` means the variant always runs interpreted; `Some`
+    /// runs through the kernel whenever `PlanOptions::kernels` is on and
+    /// provenance capture is off.
+    pub kernel: Option<Arc<kernel::Kernel>>,
 }
 
 /// Compiled head argument.
@@ -210,6 +217,15 @@ pub struct PlanOptions {
     /// input defeats the compiled strategy — so disabling this changes
     /// cost, never results.
     pub maintenance: bool,
+    /// Execute variants through their compiled kernels
+    /// ([`crate::kernel`]) where one was compiled, instead of the
+    /// interpreted operator walk. Kernels are always *compiled* (the
+    /// verdicts feed `olgcheck`); this gates only execution, and the
+    /// kernel path is byte-identical to the interpreter, so disabling it
+    /// changes cost, never results. Defaults to on; the `BOOM_KERNELS=0`
+    /// environment variable forces the interpreted path (the CI
+    /// features-matrix leg that keeps the fallback tested).
+    pub kernels: bool,
 }
 
 impl Default for PlanOptions {
@@ -219,6 +235,9 @@ impl Default for PlanOptions {
             scoped_views: true,
             shards: 1,
             maintenance: true,
+            kernels: std::env::var("BOOM_KERNELS")
+                .map(|v| !matches!(v.as_str(), "0" | "false" | "off"))
+                .unwrap_or(true),
         }
     }
 }
@@ -271,6 +290,11 @@ pub struct Plan {
     /// [`crate::analysis::maint`] pass); the runtime consults this to
     /// propagate retractions incrementally instead of recomputing.
     pub maint: MaintPlan,
+    /// Per-rule, per-variant kernel verdicts (the [`crate::kernel`]
+    /// compiler): how specialized each variant's execution is, and why
+    /// the interpreted ones fell back. Feeds `olgcheck analyze` and the
+    /// W0011 lint.
+    pub kernel: kernel::KernelPlan,
     /// The options this plan was compiled with.
     pub options: PlanOptions,
 }
@@ -340,6 +364,38 @@ pub fn compile_with(
             .push(shard::rule_verdicts(rule, &ra.orders, decls, &cost));
         classes.push(ra.class);
         compiled.push(compile_rule(i, rule, &ra, ids));
+    }
+    // Specialize every variant into a kernel where its expressions
+    // allow one, recording the verdict either way. Kernels are compiled
+    // unconditionally — `options.kernels` gates execution, not
+    // compilation, so flipping it mid-run needs no recompile and the
+    // verdicts always reflect the program.
+    let mut kernel_plan = kernel::KernelPlan::default();
+    {
+        let col_type = |tid: TableId, c: usize| {
+            decls
+                .get(ids.name(tid))
+                .and_then(|d| d.types.get(c))
+                .copied()
+                .unwrap_or(TypeTag::Any)
+        };
+        let table_name = |tid: TableId| ids.name(tid).to_string();
+        for cr in compiled.iter_mut() {
+            let mut verdicts = Vec::with_capacity(cr.variants.len());
+            for v in cr.variants.iter_mut() {
+                let (k, verdict) = kernel::compile_variant(
+                    v,
+                    &cr.head_args,
+                    cr.nslots,
+                    cr.aggregate,
+                    &col_type,
+                    &table_name,
+                );
+                v.kernel = k.map(Arc::new);
+                verdicts.push(verdict);
+            }
+            kernel_plan.verdicts.push(verdicts);
+        }
     }
     let (table_stratum, rule_strata) = analysis::stratify_rules(decls, rules, &classes)?;
     for (cr, s) in compiled.iter_mut().zip(&rule_strata) {
@@ -470,6 +526,7 @@ pub fn compile_with(
         monotonic_views,
         shard: shard_plan,
         maint: maint_plan,
+        kernel: kernel_plan,
         options,
     })
 }
@@ -563,6 +620,7 @@ fn compile_rule(id: usize, rule: &Rule, ra: &RuleAnalysis, ids: &TableIds) -> Co
             delta_pred,
             ops,
             delta_gate,
+            kernel: None,
         });
     }
 

@@ -42,9 +42,10 @@ use crate::builtins::Builtins;
 use crate::error::{OverlogError, Result};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::ids::{IdSet, TableId, TableIds};
+use crate::kernel::{KCheck, KExpr, KOp, KOperand, Kernel};
 use crate::parser::parse_program;
 use crate::plan::{self, CExpr, CHeadArg, CompiledRule, Op, Pat, Plan, Variant};
-use crate::table::{Candidates, InsertOutcome, Table};
+use crate::table::{Candidates, ColGroup, Column, InsertOutcome, Table};
 use crate::value::{Row, TypeTag, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -153,6 +154,11 @@ pub struct RuleStats {
     /// Wall-clock nanoseconds spent evaluating the body and dispatching
     /// heads (non-deterministic; excluded from reproducibility checks).
     pub eval_ns: u64,
+    /// Body evaluations that ran through a compiled kernel
+    /// ([`crate::kernel`]) instead of the interpreted operator walk.
+    /// Zero for rules whose variants never compiled, or when
+    /// `PlanOptions::kernels` is off.
+    pub kernel_evals: u64,
 }
 
 /// Per-shard slice of a rule's evaluation work under sharded evaluation
@@ -451,6 +457,13 @@ struct TickCtx {
     /// Round scratch: `(rule id, variant index, delta table index)` of the
     /// variants selected to run this round, sorted to match sweep order.
     pairs: Vec<(usize, usize, usize)>,
+    /// Per-round vectorized delta-gate cache, keyed by `(delta table
+    /// index, gate column)`: the round's delta slice for a table is
+    /// grouped *once* per gated column, then every variant gating on
+    /// that column answers its selection with one hash lookup instead
+    /// of an O(delta) scan. Cleared at round start — a new round means
+    /// new slices.
+    gates: FxHashMap<(usize, usize), ColGroup>,
 }
 
 /// Pooled per-evaluation buffers: the slot environment and the index
@@ -461,6 +474,12 @@ struct TickCtx {
 struct EvalScratch {
     env: Vec<Option<Value>>,
     probe_vals: Vec<Value>,
+    /// Typed probe-key scratch for the kernel path's `i64` index lookups.
+    int_vals: Vec<i64>,
+    /// Kernel assignment registers. (The kernel candidate-row stack is a
+    /// per-call `Vec<&Row>` — it borrows table rows, so it cannot live in
+    /// the pooled scratch.)
+    kregs: Vec<Value>,
 }
 
 /// Captures, for each environment a rule body emits, the positive body
@@ -895,6 +914,37 @@ impl OverlogRuntime {
                     };
                     if !cols.is_empty() {
                         self.tables[tid.idx()].ensure_index(cols);
+                    }
+                }
+            }
+        }
+        // Typed `i64` twins for the column sets the compiled kernels
+        // probe as all-`int`. Built *after* the generic pass above so
+        // each twin clones its bucket order from the generic index it
+        // mirrors (see [`Table::ensure_int_index`]).
+        for rule in plan.rules.iter() {
+            for variant in &rule.variants {
+                let Some(kernel) = &variant.kernel else {
+                    continue;
+                };
+                for kop in &kernel.ops {
+                    let (tid, cols, int_probe) = match kop {
+                        KOp::Scan {
+                            tid,
+                            index_cols,
+                            int_probe,
+                            ..
+                        }
+                        | KOp::NegScan {
+                            tid,
+                            index_cols,
+                            int_probe,
+                            ..
+                        } => (tid, index_cols, *int_probe),
+                        _ => continue,
+                    };
+                    if int_probe && !cols.is_empty() {
+                        self.tables[tid.idx()].ensure_int_index(cols);
                     }
                 }
             }
@@ -1618,8 +1668,11 @@ impl OverlogRuntime {
                     let t0 = std::time::Instant::now();
                     let (rows, sups) =
                         self.eval_variant(rule, &rule.variants[0], None, &mut ctx.eval)?;
-                    self.dispatch(rule, rows, sups, &mut ctx)?;
+                    if self.kernel_active(&rule.variants[0]) {
+                        self.rule_stats[rid].kernel_evals += 1;
+                    }
                     self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
+                    self.dispatch(rule, rows, sups, &mut ctx)?;
                 }
             }
             // Seed the stratum with everything added so far this tick:
@@ -1644,6 +1697,9 @@ impl OverlogRuntime {
                     break;
                 }
                 self.eval_stats.fixpoint_rounds += 1;
+                // New round, new delta slices: drop the vectorized gate
+                // groups built over the previous round's slices.
+                ctx.gates.clear();
                 ctx.pairs.clear();
                 for (t, variants) in stratum_delta {
                     if ctx.cursor[*t] < ctx.hi[*t] {
@@ -1658,17 +1714,33 @@ impl OverlogRuntime {
                     let variant = &rule.variants[vi];
                     let (lo, hi) = (ctx.cursor[dt], ctx.hi[dt]);
                     self.rule_stats[rid].delta_in += (hi - lo) as u64;
-                    // Delta-gate: if every delta row fails the scheduled
-                    // delta scan's literal checks, the evaluation cannot
-                    // derive anything — skip the call (see
-                    // [`Variant::delta_gate`]).
-                    if !variant.delta_gate.is_empty()
-                        && ctx.added[dt][lo..hi]
-                            .iter()
-                            .all(|r| variant.delta_gate.iter().any(|(i, v)| r[*i] != *v))
-                    {
-                        continue;
+                    // Delta-gate, vectorized: rows failing the scheduled
+                    // delta scan's literal checks are rejected by that
+                    // scan before any expression runs, so pruning them
+                    // up front is observationally identical (see
+                    // [`Variant::delta_gate`]). The round's slice is
+                    // grouped once per gated column and shared by every
+                    // variant gating on it — the protocol-dispatch
+                    // pattern where dozens of handler rules disagree
+                    // only on a literal discriminator column.
+                    let mut pruned: Option<Vec<Row>> = None;
+                    if !variant.delta_gate.is_empty() {
+                        match gate_select(
+                            &mut ctx.gates,
+                            &ctx.added[dt][lo..hi],
+                            dt,
+                            &variant.delta_gate,
+                            plan.options.kernels,
+                        ) {
+                            GateOutcome::Skip => continue,
+                            GateOutcome::Full => {}
+                            GateOutcome::Rows(rows) => pruned = Some(rows),
+                        }
                     }
+                    let delta: &[Row] = match &pruned {
+                        Some(rows) => rows,
+                        None => &ctx.added[dt][lo..hi],
+                    };
                     let t0 = std::time::Instant::now();
                     // Shard-safe variants with a large enough delta fan out
                     // across worker threads; everything else (serial
@@ -1678,16 +1750,12 @@ impl OverlogRuntime {
                     // delta-range results back in delta-log order before
                     // dispatching.
                     let (rows, sups) = if plan.options.shards > 1
-                        && hi - lo >= SHARD_MIN_DELTA_ROWS
+                        && delta.len() >= SHARD_MIN_DELTA_ROWS
                         && !self.prov_on
                         && plan.shard.shard_key(rid, vi).is_some()
                     {
-                        let (rows, per_shard) = self.eval_variant_sharded(
-                            rule,
-                            variant,
-                            &ctx.added[dt][lo..hi],
-                            plan.options.shards,
-                        )?;
+                        let (rows, per_shard) =
+                            self.eval_variant_sharded(rule, variant, delta, plan.options.shards)?;
                         for (slot, s) in self.shard_stats[rid].iter_mut().zip(&per_shard) {
                             slot.delta_in += s.delta_in;
                             slot.rows_out += s.rows_out;
@@ -1695,15 +1763,17 @@ impl OverlogRuntime {
                         }
                         (rows, None)
                     } else {
-                        self.eval_variant(
-                            rule,
-                            variant,
-                            Some(&ctx.added[dt][lo..hi]),
-                            &mut ctx.eval,
-                        )?
+                        self.eval_variant(rule, variant, Some(delta), &mut ctx.eval)?
                     };
-                    self.dispatch(rule, rows, sups, &mut ctx)?;
+                    if self.kernel_active(variant) {
+                        self.rule_stats[rid].kernel_evals += 1;
+                    }
+                    // Stop the eval clock before dispatch: insert and
+                    // index bookkeeping is shared by every engine and
+                    // would dilute the per-rule evaluation attribution
+                    // the kernel A/B (E15) and `boomtrace profile` read.
                     self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
+                    self.dispatch(rule, rows, sups, &mut ctx)?;
                 }
                 pairs.clear();
                 ctx.pairs = pairs;
@@ -2030,8 +2100,20 @@ impl OverlogRuntime {
         delta_rows: Option<&[Row]>,
         scratch: &mut EvalScratch,
     ) -> Result<(Vec<Row>, Option<Vec<Vec<(String, Row)>>>)> {
+        // Kernelized variants bypass the environment machinery entirely
+        // unless provenance capture needs the interpreted path's support
+        // tracking. Both paths visit the same candidates in the same
+        // order and emit the same rows — the kernel compiler mirrors
+        // this function exactly (enforced by `tests/engine_equiv.rs`).
+        if let Some(kernel) = &variant.kernel {
+            if self.plan.options.kernels && !self.prov_on {
+                return Ok((self.eval_kernel(kernel, delta_rows, scratch)?, None));
+            }
+        }
         let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
-        let EvalScratch { env, probe_vals } = scratch;
+        let EvalScratch {
+            env, probe_vals, ..
+        } = scratch;
         env.clear();
         env.resize(rule.nslots, None);
         let mut sup = SupportSink::new(self.prov_on);
@@ -2069,6 +2151,284 @@ impl OverlogRuntime {
         // lookups, so their relative order carries no semantics with or
         // without planner reordering.
         Ok((out, sup.into_supports()))
+    }
+
+    /// Is `variant` currently executed through its compiled kernel?
+    /// Callers use this to attribute `RuleStats::kernel_evals`.
+    fn kernel_active(&self, variant: &Variant) -> bool {
+        variant.kernel.is_some() && self.plan.options.kernels && !self.prov_on
+    }
+
+    /// Evaluate a compiled kernel: the monomorphic twin of
+    /// [`Self::eval_variant`]'s interpreted walk. Candidate selection,
+    /// recheck exemption and emission order mirror the interpreter
+    /// exactly; the wins are no per-row environment writes, direct
+    /// column addressing, and `i64`-keyed join probes where column
+    /// types allow ([`crate::table::Table::lookup_int`]).
+    fn eval_kernel(
+        &self,
+        kernel: &Kernel,
+        delta_rows: Option<&[Row]>,
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<Row>> {
+        let EvalScratch {
+            probe_vals,
+            int_vals,
+            kregs,
+            ..
+        } = scratch;
+        kregs.clear();
+        kregs.resize(kernel.regs, Value::Null);
+        // The level stack borrows candidate rows straight out of the
+        // tables (and the delta slice): one small allocation per kernel
+        // evaluation instead of an `Arc` clone per scanned row.
+        let mut klevels: Vec<&Row> = Vec::with_capacity(kernel.ops.len());
+        let mut out = Vec::new();
+        self.exec_kops(
+            kernel,
+            0,
+            delta_rows,
+            &mut klevels,
+            kregs,
+            &mut out,
+            probe_vals,
+            int_vals,
+        )?;
+        Ok(out)
+    }
+
+    /// Recursive nested-loop execution of a kernel's op sequence — the
+    /// compiled mirror of [`Self::exec_ops`]. `levels` is the
+    /// candidate-row stack (one row per scan depth); `regs` the
+    /// assignment registers.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_kops<'a>(
+        &'a self,
+        kernel: &Kernel,
+        oi: usize,
+        delta_rows: Option<&'a [Row]>,
+        levels: &mut Vec<&'a Row>,
+        regs: &mut Vec<Value>,
+        out: &mut Vec<Row>,
+        probe_vals: &mut Vec<Value>,
+        int_vals: &mut Vec<i64>,
+    ) -> Result<()> {
+        if oi == kernel.ops.len() {
+            let mut row = Vec::with_capacity(kernel.head.len());
+            for e in &kernel.head {
+                row.push(keval(e, levels, regs)?);
+            }
+            out.push(Arc::new(row));
+            return Ok(());
+        }
+        match &kernel.ops[oi] {
+            KOp::Assign(r, e) => {
+                regs[*r] = keval(e, levels, regs)?;
+                self.exec_kops(
+                    kernel,
+                    oi + 1,
+                    delta_rows,
+                    levels,
+                    regs,
+                    out,
+                    probe_vals,
+                    int_vals,
+                )
+            }
+            KOp::Filter(e) => {
+                if ktruthy(e, levels, regs)? {
+                    self.exec_kops(
+                        kernel,
+                        oi + 1,
+                        delta_rows,
+                        levels,
+                        regs,
+                        out,
+                        probe_vals,
+                        int_vals,
+                    )?;
+                }
+                Ok(())
+            }
+            KOp::NegScan {
+                tid,
+                arity,
+                index_cols,
+                probes,
+                int_probe,
+                const_checks,
+                checks,
+            } => {
+                let (cands, exact) = self.kcandidates(
+                    *tid, index_cols, probes, *int_probe, levels, regs, probe_vals, int_vals,
+                )?;
+                'rows: for row in cands {
+                    if row.len() != *arity {
+                        continue;
+                    }
+                    for (i, v) in const_checks {
+                        if row[*i] != *v {
+                            continue 'rows;
+                        }
+                    }
+                    for ch in checks {
+                        if exact && ch.indexed {
+                            continue;
+                        }
+                        if !kcheck(ch, row, levels, regs)? {
+                            continue 'rows;
+                        }
+                    }
+                    // A match refutes the negation: prune this path.
+                    return Ok(());
+                }
+                self.exec_kops(
+                    kernel,
+                    oi + 1,
+                    delta_rows,
+                    levels,
+                    regs,
+                    out,
+                    probe_vals,
+                    int_vals,
+                )
+            }
+            KOp::Scan {
+                tid,
+                level: _,
+                arity,
+                is_delta,
+                index_cols,
+                probes,
+                int_probe,
+                const_checks,
+                checks,
+            } => {
+                let use_delta = *is_delta && delta_rows.is_some();
+                let (cands, exact) = if use_delta {
+                    (
+                        Candidates::Slice(delta_rows.expect("use_delta implies delta_rows").iter()),
+                        false,
+                    )
+                } else {
+                    self.kcandidates(
+                        *tid, index_cols, probes, *int_probe, levels, regs, probe_vals, int_vals,
+                    )?
+                };
+                // In tail position the scan emits heads inline — no
+                // recursion frame per matched row on the innermost (and
+                // hottest) join level.
+                let tail = oi + 1 == kernel.ops.len();
+                'rows: for row in cands {
+                    if row.len() != *arity {
+                        continue;
+                    }
+                    for (i, v) in const_checks {
+                        if row[*i] != *v {
+                            continue 'rows;
+                        }
+                    }
+                    // Stack the row, then check: duplicate-variable
+                    // patterns reference same-row columns (the
+                    // interpreter binds before checking for the same
+                    // reason).
+                    levels.push(row);
+                    let mut ok = true;
+                    for ch in checks {
+                        if exact && ch.indexed {
+                            continue;
+                        }
+                        if !kcheck(ch, row, levels, regs)? {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        if tail {
+                            let mut hrow = Vec::with_capacity(kernel.head.len());
+                            for e in &kernel.head {
+                                hrow.push(keval(e, levels, regs)?);
+                            }
+                            out.push(Arc::new(hrow));
+                        } else {
+                            self.exec_kops(
+                                kernel,
+                                oi + 1,
+                                delta_rows,
+                                levels,
+                                regs,
+                                out,
+                                probe_vals,
+                                int_vals,
+                            )?;
+                        }
+                    }
+                    levels.pop();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Candidate rows for a kernel scan — [`Self::candidates`] with the
+    /// typed fast path in front: when every probed column is declared
+    /// `int` *and* every runtime probe value is an `int`, the lookup
+    /// hashes raw `i64`s through the typed twin index. The typed bucket
+    /// holds the same rows in the same order as the generic one (see
+    /// [`Table::ensure_int_index`]), and int columns never coerce, so
+    /// the bucket is recheck-exempt exactly when the generic path's
+    /// would be.
+    #[allow(clippy::too_many_arguments)]
+    fn kcandidates(
+        &self,
+        tid: TableId,
+        index_cols: &[usize],
+        probes: &[KExpr],
+        int_probe: bool,
+        levels: &[&Row],
+        regs: &[Value],
+        probe_vals: &mut Vec<Value>,
+        int_vals: &mut Vec<i64>,
+    ) -> Result<(Candidates<'_>, bool)> {
+        let t = &self.tables[tid.idx()];
+        if index_cols.is_empty() {
+            return Ok((t.all_candidates(), false));
+        }
+        probe_vals.clear();
+        if let [KExpr::Operand(op)] = probes {
+            // Single-operand probe — the dominant join shape. Resolve by
+            // borrow and hash the raw `i64` straight into the typed
+            // single-column index: no `Value` clone, no probe-tuple
+            // staging.
+            let v = kresolve(op, levels, regs);
+            if int_probe {
+                if let Value::Int(k) = v {
+                    int_vals.clear();
+                    int_vals.push(*k);
+                    if let Some(bucket) = t.lookup_int(index_cols, int_vals) {
+                        return Ok((Candidates::Slice(bucket.iter()), true));
+                    }
+                }
+            }
+            probe_vals.push(v.clone());
+        } else {
+            for p in probes {
+                probe_vals.push(keval(p, levels, regs)?);
+            }
+            if int_probe && probe_vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                int_vals.clear();
+                int_vals.extend(probe_vals.iter().filter_map(Value::as_int));
+                if let Some(bucket) = t.lookup_int(index_cols, int_vals) {
+                    return Ok((Candidates::Slice(bucket.iter()), true));
+                }
+            }
+        }
+        // Fallback lattice, middle rung: a non-int runtime value (or a
+        // missing typed index) probes the generic `Value`-keyed index,
+        // identically to the interpreter.
+        let coerced = t.coerce_probe(index_cols, probe_vals);
+        let (cands, bucket) = t.candidates(index_cols, probe_vals);
+        Ok((cands, bucket && !coerced))
     }
 
     /// Evaluate a shard-safe variant by splitting the delta slice into
@@ -2378,7 +2738,9 @@ impl OverlogRuntime {
         let t0 = std::time::Instant::now();
         let variant = &rule.variants[0];
         let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
-        let EvalScratch { env, probe_vals } = &mut ctx.eval;
+        let EvalScratch {
+            env, probe_vals, ..
+        } = &mut ctx.eval;
         env.clear();
         env.resize(rule.nslots, None);
         // Aggregate provenance records empty inputs: the support of a fold
@@ -2400,9 +2762,8 @@ impl OverlogRuntime {
             .into_iter()
             .map(|(_, r)| r)
             .collect();
-        let res = self.dispatch(rule, rows, None, ctx);
         self.rule_stats[rule.id].eval_ns += t0.elapsed().as_nanos() as u64;
-        res
+        self.dispatch(rule, rows, None, ctx)
     }
 
     /// Scoped aggregate evaluation: run the body with `anchor_rows` as the
@@ -2416,7 +2777,9 @@ impl OverlogRuntime {
         scratch: &mut EvalScratch,
     ) -> Result<Vec<(Vec<Value>, Row)>> {
         let mut envs: Vec<Vec<Option<Value>>> = Vec::new();
-        let EvalScratch { env, probe_vals } = scratch;
+        let EvalScratch {
+            env, probe_vals, ..
+        } = scratch;
         env.clear();
         env.resize(rule.nslots, None);
         let mut sup = SupportSink::new(false);
@@ -2976,6 +3339,9 @@ impl OverlogRuntime {
                 &mut ctx.eval,
             )?;
             self.rule_stats[rid].maint_evals += 1;
+            if self.kernel_active(&rule.variants[vi]) {
+                self.rule_stats[rid].kernel_evals += 1;
+            }
             self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
             for (i, row) in rows.into_iter().enumerate() {
                 *support.entry(row.clone()).or_insert(0) += 1;
@@ -3003,6 +3369,9 @@ impl OverlogRuntime {
                 &mut ctx.eval,
             )?;
             self.rule_stats[rid].maint_evals += 1;
+            if self.kernel_active(&rule.variants[vi]) {
+                self.rule_stats[rid].kernel_evals += 1;
+            }
             self.rule_stats[rid].eval_ns += t0.elapsed().as_nanos() as u64;
             for row in rows {
                 let n = support.entry(row.clone()).or_insert(0);
@@ -3108,6 +3477,9 @@ impl OverlogRuntime {
                 &mut ctx.eval,
             )?;
             self.rule_stats[a.rule].maint_evals += 1;
+            if self.kernel_active(&rule.variants[a.variant]) {
+                self.rule_stats[a.rule].kernel_evals += 1;
+            }
             self.rule_stats[a.rule].eval_ns += t0.elapsed().as_nanos() as u64;
             for (i, row) in rows.into_iter().enumerate() {
                 let inputs: &[(String, Row)] = sups
@@ -3433,26 +3805,7 @@ pub fn eval_cexpr(e: &CExpr, env: &[Option<Value>], builtins: &Builtins) -> Resu
             }
             let va = eval_cexpr(a, env, builtins)?;
             let vb = eval_cexpr(b, env, builtins)?;
-            match op {
-                BinOp::Eq => Ok(Value::Bool(va == vb)),
-                BinOp::Ne => Ok(Value::Bool(va != vb)),
-                BinOp::Lt => Ok(Value::Bool(va < vb)),
-                BinOp::Le => Ok(Value::Bool(va <= vb)),
-                BinOp::Gt => Ok(Value::Bool(va > vb)),
-                BinOp::Ge => Ok(Value::Bool(va >= vb)),
-                BinOp::Concat => match (&va, &vb) {
-                    (Value::List(x), Value::List(y)) => {
-                        let mut out = x.to_vec();
-                        out.extend(y.iter().cloned());
-                        Ok(Value::list(out))
-                    }
-                    _ => Ok(Value::str(format!("{}{}", raw_str(&va), raw_str(&vb)))),
-                },
-                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                    arith(*op, &va, &vb)
-                }
-                BinOp::And | BinOp::Or => unreachable!("handled above"),
-            }
+            eval_binop(*op, &va, &vb)
         }
         CExpr::Call(f, args) => {
             let mut vals = Vec::with_capacity(args.len());
@@ -3467,6 +3820,133 @@ pub fn eval_cexpr(e: &CExpr, env: &[Option<Value>], builtins: &Builtins) -> Resu
                 vals.push(eval_cexpr(i, env, builtins)?);
             }
             Ok(Value::list(vals))
+        }
+    }
+}
+
+/// Apply a non-short-circuit binary operator to two already-evaluated
+/// values. This is the single implementation both the interpreted path
+/// ([`eval_cexpr`]) and the compiled kernels share, so a specialized
+/// kernel can never drift from interpreter semantics on comparisons,
+/// concatenation or arithmetic. `And`/`Or` stay in [`eval_cexpr`]: they
+/// short-circuit over unevaluated subexpressions.
+pub fn eval_binop(op: BinOp, va: &Value, vb: &Value) -> Result<Value> {
+    match op {
+        BinOp::Eq => Ok(Value::Bool(va == vb)),
+        BinOp::Ne => Ok(Value::Bool(va != vb)),
+        BinOp::Lt => Ok(Value::Bool(va < vb)),
+        BinOp::Le => Ok(Value::Bool(va <= vb)),
+        BinOp::Gt => Ok(Value::Bool(va > vb)),
+        BinOp::Ge => Ok(Value::Bool(va >= vb)),
+        BinOp::Concat => match (va, vb) {
+            (Value::List(x), Value::List(y)) => {
+                let mut out = x.to_vec();
+                out.extend(y.iter().cloned());
+                Ok(Value::list(out))
+            }
+            _ => Ok(Value::str(format!("{}{}", raw_str(va), raw_str(vb)))),
+        },
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, va, vb),
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops never reach eval_binop"),
+    }
+}
+
+/// Minimum delta rows before a gate is answered through the vectorized
+/// column-group cache; below this the per-row scan is cheaper than
+/// building the group.
+const GATE_MIN_ROWS: usize = 8;
+
+/// Outcome of the delta-gate pre-pass for one variant.
+enum GateOutcome {
+    /// No delta row passes the gate: skip the variant entirely.
+    Skip,
+    /// Every row passes (or the gate was not vectorizable): evaluate
+    /// over the full slice.
+    Full,
+    /// A strict subset passes: evaluate over just those rows, kept in
+    /// delta-arrival order.
+    Rows(Vec<Row>),
+}
+
+/// Answer a variant's single-column delta gate from the round's
+/// column-group cache, building the group on first touch. A group
+/// answers `Some` only when its typed layout decides the literal's
+/// equality exactly as `Value` equality would (see
+/// [`ColGroup::select`]); otherwise — and for multi-column gates, tiny
+/// slices, and `vectorize: false` (the `BOOM_KERNELS=0` interpreted
+/// engine, which must keep the pre-kernel evaluation path byte for
+/// byte) — this falls back to the original per-row all-fail scan.
+fn gate_select(
+    gates: &mut FxHashMap<(usize, usize), ColGroup>,
+    slice: &[Row],
+    dt: usize,
+    gate: &[(usize, Value)],
+    vectorize: bool,
+) -> GateOutcome {
+    if let [(col, v)] = gate {
+        if vectorize && slice.len() >= GATE_MIN_ROWS {
+            let group = gates
+                .entry((dt, *col))
+                .or_insert_with(|| Column::from_rows(slice, *col).group());
+            if let Some(sel) = group.select(v) {
+                return if sel.is_empty() {
+                    GateOutcome::Skip
+                } else if sel.len() == slice.len() {
+                    GateOutcome::Full
+                } else {
+                    GateOutcome::Rows(sel.iter().map(|&i| slice[i as usize].clone()).collect())
+                };
+            }
+        }
+    }
+    if slice.iter().all(|r| gate.iter().any(|(i, v)| r[*i] != *v)) {
+        GateOutcome::Skip
+    } else {
+        GateOutcome::Full
+    }
+}
+
+/// Resolve a kernel operand to its place: a borrowed value, no
+/// environment consulted. `levels` holds *borrowed* candidate rows —
+/// the kernel stack never clones an `Arc` per scanned row.
+fn kresolve<'a>(op: &'a KOperand, levels: &[&'a Row], regs: &'a [Value]) -> &'a Value {
+    match op {
+        KOperand::Const(v) => v,
+        KOperand::Col { level, col } => &levels[*level][*col],
+        KOperand::Reg(r) => &regs[*r],
+    }
+}
+
+/// Evaluate a kernel expression to an owned value (head projection,
+/// probes, assignments).
+fn keval(e: &KExpr, levels: &[&Row], regs: &[Value]) -> Result<Value> {
+    match e {
+        KExpr::Operand(o) => Ok(kresolve(o, levels, regs).clone()),
+        KExpr::Binary(op, a, b) => {
+            eval_binop(*op, kresolve(a, levels, regs), kresolve(b, levels, regs))
+        }
+    }
+}
+
+/// Truthiness of a kernel expression (filters), without cloning operands.
+fn ktruthy(e: &KExpr, levels: &[&Row], regs: &[Value]) -> Result<bool> {
+    match e {
+        KExpr::Operand(o) => Ok(kresolve(o, levels, regs).truthy()),
+        KExpr::Binary(op, a, b) => {
+            Ok(eval_binop(*op, kresolve(a, levels, regs), kresolve(b, levels, regs))?.truthy())
+        }
+    }
+}
+
+/// Does the candidate row satisfy one kernel column check? Operand
+/// checks (the common case — join columns) compare borrowed values with
+/// zero clones.
+fn kcheck(ch: &KCheck, row: &Row, levels: &[&Row], regs: &[Value]) -> Result<bool> {
+    let val = &row[ch.col];
+    match &ch.expr {
+        KExpr::Operand(o) => Ok(kresolve(o, levels, regs) == val),
+        KExpr::Binary(op, a, b) => {
+            Ok(&eval_binop(*op, kresolve(a, levels, regs), kresolve(b, levels, regs))? == val)
         }
     }
 }

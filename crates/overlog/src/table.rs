@@ -6,6 +6,7 @@ use crate::error::{OverlogError, Result};
 use crate::fx::FxHashMap;
 use crate::value::{Row, Value};
 use std::collections::hash_map::Entry;
+use std::sync::Arc;
 
 /// Outcome of inserting a row into a table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +59,37 @@ pub struct Table {
     def: TableDecl,
     rows: FxHashMap<Vec<Value>, Row>,
     indexes: FxHashMap<Vec<usize>, FxHashMap<Vec<Value>, Vec<Row>>>,
+    /// Typed twins of `indexes` over all-`int` column sets, keyed by raw
+    /// `i64`s instead of `Vec<Value>` — the compiled kernels' hash-join
+    /// probes hash machine integers, not tagged values. Built only for
+    /// column sets a kernel probes (see [`Table::ensure_int_index`]) and
+    /// maintained in lockstep with the generic index (same push /
+    /// `swap_remove` sequence), so a typed bucket iterates its rows in
+    /// exactly the order the generic bucket would — the emission-order
+    /// identity the byte-identical-state gate depends on. Rows with a
+    /// `null` in a key column are excluded: `null` never equals an `int`
+    /// probe, and non-`int` probes fall back to the generic index.
+    int_indexes: FxHashMap<Vec<usize>, IntIndex>,
+}
+
+/// A typed `i64` twin index. The single-column layout stores its key
+/// inline (one machine word to hash, no heap deref on key compare);
+/// multi-column probes key by the full tuple.
+#[derive(Debug)]
+enum IntIndex {
+    /// Index over exactly one column, keyed by the raw value.
+    One(FxHashMap<i64, Vec<Row>>),
+    /// Index over two or more columns, keyed by the probe tuple.
+    Many(FxHashMap<Vec<i64>, Vec<Row>>),
+}
+
+impl IntIndex {
+    fn clear(&mut self) {
+        match self {
+            IntIndex::One(m) => m.clear(),
+            IntIndex::Many(m) => m.clear(),
+        }
+    }
 }
 
 impl Table {
@@ -67,6 +99,7 @@ impl Table {
             def,
             rows: FxHashMap::default(),
             indexes: FxHashMap::default(),
+            int_indexes: FxHashMap::default(),
         }
     }
 
@@ -214,6 +247,9 @@ impl Table {
         for idx in self.indexes.values_mut() {
             idx.clear();
         }
+        for idx in self.int_indexes.values_mut() {
+            idx.clear();
+        }
     }
 
     /// True when an identical row is stored.
@@ -310,6 +346,20 @@ impl Table {
             let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
             idx.entry(k).or_default().push(row.clone());
         }
+        for (cols, idx) in &mut self.int_indexes {
+            match idx {
+                IntIndex::One(m) => {
+                    if let Some(k) = row[cols[0]].as_int() {
+                        m.entry(k).or_default().push(row.clone());
+                    }
+                }
+                IntIndex::Many(m) => {
+                    if let Some(k) = int_key(cols, row) {
+                        m.entry(k).or_default().push(row.clone());
+                    }
+                }
+            }
+        }
     }
 
     fn index_remove(&mut self, row: &Row) {
@@ -323,6 +373,339 @@ impl Table {
                     idx.remove(&k);
                 }
             }
+        }
+        for (cols, idx) in &mut self.int_indexes {
+            match idx {
+                IntIndex::One(m) => {
+                    if let Some(k) = row[cols[0]].as_int() {
+                        bucket_remove(m, &k, row);
+                    }
+                }
+                IntIndex::Many(m) => {
+                    if let Some(k) = int_key(cols, row) {
+                        bucket_remove(m, &k, row);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Build the typed `i64`-keyed twin of the secondary index over
+    /// `cols` if it does not exist yet. The caller (the runtime, when it
+    /// installs a plan with compiled kernels) only requests this for
+    /// column sets declared all-`int`, where a typed bucket provably
+    /// holds the same rows in the same order as the generic one.
+    pub fn ensure_int_index(&mut self, cols: &[usize]) {
+        debug_assert!(!cols.is_empty());
+        if self.int_indexes.contains_key(cols) {
+            return;
+        }
+        let mut idx = if cols.len() == 1 {
+            IntIndex::One(FxHashMap::default())
+        } else {
+            IntIndex::Many(FxHashMap::default())
+        };
+        if let Some(generic) = self.indexes.get(cols) {
+            // A generic index over the same columns already exists (the
+            // runtime always ensures it first). Clone its buckets verbatim
+            // so within-bucket row order — which fixes emission order and
+            // therefore within-tick overwrite winners — is identical to
+            // what the interpreted probe path iterates. Buckets whose key
+            // holds a non-`int` (a `null`) stay generic-only: an integer
+            // probe can never select them.
+            for (vkey, bucket) in generic {
+                let k: Option<Vec<i64>> = vkey.iter().map(Value::as_int).collect();
+                if let Some(k) = k {
+                    match &mut idx {
+                        IntIndex::One(m) => {
+                            m.insert(k[0], bucket.clone());
+                        }
+                        IntIndex::Many(m) => {
+                            m.insert(k, bucket.clone());
+                        }
+                    }
+                }
+            }
+        } else {
+            for row in self.rows.values() {
+                if let Some(k) = int_key(cols, row) {
+                    match &mut idx {
+                        IntIndex::One(m) => m.entry(k[0]).or_default().push(row.clone()),
+                        IntIndex::Many(m) => m.entry(k).or_default().push(row.clone()),
+                    }
+                }
+            }
+        }
+        self.int_indexes.insert(cols.to_vec(), idx);
+    }
+
+    /// Matches for the raw-integer probe `key` in the typed index over
+    /// `cols`. `None` when no typed index was built (the caller falls
+    /// back to [`Table::lookup`]).
+    pub fn lookup_int(&self, cols: &[usize], key: &[i64]) -> Option<&[Row]> {
+        debug_assert_eq!(cols.len(), key.len());
+        let bucket = match self.int_indexes.get(cols)? {
+            IntIndex::One(m) => m.get(&key[0]),
+            IntIndex::Many(m) => m.get(key),
+        };
+        Some(bucket.map(|b| b.as_slice()).unwrap_or(&[]))
+    }
+
+    /// Snapshot the table into its typed columnar representation, one
+    /// column per declared attribute, rows in storage (`scan`) order.
+    pub fn columnar(&self) -> ColumnStore {
+        ColumnStore::from_row_iter(self.def.arity(), self.rows.values())
+    }
+}
+
+/// The all-`int` index key of `row` over `cols`, or `None` when some key
+/// column holds a non-integer (such rows are never in a typed index).
+fn int_key(cols: &[usize], row: &Row) -> Option<Vec<i64>> {
+    cols.iter().map(|&c| row[c].as_int()).collect()
+}
+
+/// Remove one occurrence of `row` from the bucket at `key`, dropping the
+/// bucket when it empties — the same `swap_remove` sequence the generic
+/// index uses, so both stay order-aligned.
+fn bucket_remove<K: std::hash::Hash + Eq + Clone>(
+    idx: &mut FxHashMap<K, Vec<Row>>,
+    key: &K,
+    row: &Row,
+) {
+    if let Some(bucket) = idx.get_mut(key) {
+        if let Some(pos) = bucket.iter().position(|r| r == row) {
+            bucket.swap_remove(pos);
+        }
+        if bucket.is_empty() {
+            idx.remove(key);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar representation
+// ---------------------------------------------------------------------------
+
+/// One typed column of a [`ColumnStore`]: a dense `i64` vector when every
+/// value is an integer, dictionary-interned `u32` codes when every value
+/// is a string, and a tagged-`Value` vector otherwise. The typed layouts
+/// are what lets the kernels' vectorized gates compare machine words
+/// instead of tagged values.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Every value is `Value::Int`.
+    Int(Vec<i64>),
+    /// Every value is `Value::Str`: `codes[i]` indexes into `dict`.
+    Str {
+        codes: Vec<u32>,
+        dict: Vec<Arc<str>>,
+    },
+    /// Mixed or non-scalar values, stored as-is.
+    Val(Vec<Value>),
+}
+
+impl Column {
+    /// Build a column from one attribute of a row slice.
+    pub fn from_rows(rows: &[Row], col: usize) -> Column {
+        Column::from_values(rows.iter().map(|r| r[col].clone()).collect())
+    }
+
+    /// Build a column, picking the densest layout the values admit.
+    pub fn from_values(vals: Vec<Value>) -> Column {
+        if !vals.is_empty() && vals.iter().all(|v| matches!(v, Value::Int(_))) {
+            return Column::Int(vals.iter().map(|v| v.as_int().unwrap()).collect());
+        }
+        if !vals.is_empty() && vals.iter().all(|v| matches!(v, Value::Str(_))) {
+            let mut dict: Vec<Arc<str>> = Vec::new();
+            let mut seen: FxHashMap<Arc<str>, u32> = FxHashMap::default();
+            let codes = vals
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => *seen.entry(s.clone()).or_insert_with(|| {
+                        dict.push(s.clone());
+                        (dict.len() - 1) as u32
+                    }),
+                    _ => unreachable!("all-Str checked above"),
+                })
+                .collect();
+            return Column::Str { codes, dict };
+        }
+        Column::Val(vals)
+    }
+
+    /// Number of values in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(xs) => xs.len(),
+            Column::Str { codes, .. } => codes.len(),
+            Column::Val(vs) => vs.len(),
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the value at row `i`.
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Int(xs) => Value::Int(xs[i]),
+            Column::Str { codes, dict } => Value::Str(dict[codes[i] as usize].clone()),
+            Column::Val(vs) => vs[i].clone(),
+        }
+    }
+
+    /// Group the column into a value → row-indices map for O(1) gate
+    /// selection (shared across every rule variant gating on this column
+    /// in a fixpoint round).
+    pub fn group(&self) -> ColGroup {
+        match self {
+            Column::Int(xs) => {
+                let mut m: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+                for (i, &x) in xs.iter().enumerate() {
+                    m.entry(x).or_default().push(i as u32);
+                }
+                ColGroup::Int(m)
+            }
+            Column::Str { codes, dict } => {
+                let mut per_code: Vec<Vec<u32>> = vec![Vec::new(); dict.len()];
+                for (i, &c) in codes.iter().enumerate() {
+                    per_code[c as usize].push(i as u32);
+                }
+                let m = dict.iter().cloned().zip(per_code.iter().cloned()).collect();
+                ColGroup::Str(m)
+            }
+            Column::Val(vs) => {
+                let mut m: FxHashMap<Value, Vec<u32>> = FxHashMap::default();
+                for (i, v) in vs.iter().enumerate() {
+                    m.entry(v.clone()).or_default().push(i as u32);
+                }
+                ColGroup::Val(m)
+            }
+        }
+    }
+}
+
+/// A column grouped by value: the vectorized form of a `delta_gate` —
+/// one pass over the column answers every variant's "which delta rows
+/// carry my literal?" with a selection index vector.
+#[derive(Debug)]
+pub enum ColGroup {
+    /// Grouping of a typed integer column.
+    Int(FxHashMap<i64, Vec<u32>>),
+    /// Grouping of an interned string column.
+    Str(FxHashMap<Arc<str>, Vec<u32>>),
+    /// Grouping of a mixed column (hash/eq of `Value` handles the
+    /// int/float cross-type equivalence exactly).
+    Val(FxHashMap<Value, Vec<u32>>),
+}
+
+static EMPTY_SEL: [u32; 0] = [];
+
+impl ColGroup {
+    /// Row indices whose value equals `v`, in row order. `None` means
+    /// this probe type cannot be answered from the typed grouping
+    /// without risking a semantic mismatch (a float probe against an
+    /// integer column — `Int(2) == Float(2.0)` cross-type equality);
+    /// the caller must fall back to a per-row `Value` scan.
+    pub fn select(&self, v: &Value) -> Option<&[u32]> {
+        match (self, v) {
+            (ColGroup::Int(m), Value::Int(i)) => {
+                Some(m.get(i).map(|b| b.as_slice()).unwrap_or(&EMPTY_SEL))
+            }
+            (ColGroup::Int(_), Value::Float(_)) => None,
+            // No other variant compares equal to Int: empty selection.
+            (ColGroup::Int(_), _) => Some(&EMPTY_SEL),
+            (ColGroup::Str(m), Value::Str(s)) => {
+                Some(m.get(s).map(|b| b.as_slice()).unwrap_or(&EMPTY_SEL))
+            }
+            // Nothing cross-compares equal to Str (Addr is a distinct rank).
+            (ColGroup::Str(_), _) => Some(&EMPTY_SEL),
+            (ColGroup::Val(m), _) => Some(m.get(v).map(|b| b.as_slice()).unwrap_or(&EMPTY_SEL)),
+        }
+    }
+}
+
+/// A typed columnar snapshot of a row set: one [`Column`] per attribute,
+/// all the same length, rows addressable by index. Built alongside the
+/// row store (never replacing it — the row store's iteration order is
+/// part of the engine's observable emission order).
+#[derive(Debug, Clone)]
+pub struct ColumnStore {
+    cols: Vec<Column>,
+    len: usize,
+}
+
+impl ColumnStore {
+    /// Build from a row slice.
+    pub fn from_rows(arity: usize, rows: &[Row]) -> ColumnStore {
+        ColumnStore {
+            cols: (0..arity).map(|c| Column::from_rows(rows, c)).collect(),
+            len: rows.len(),
+        }
+    }
+
+    /// Build from a row iterator (e.g. a table's storage order).
+    pub fn from_row_iter<'a>(arity: usize, rows: impl Iterator<Item = &'a Row>) -> ColumnStore {
+        let rows: Vec<Row> = rows.cloned().collect();
+        ColumnStore::from_rows(arity, &rows)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The column for attribute `c`.
+    pub fn col(&self, c: usize) -> &Column {
+        &self.cols[c]
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Materialize every row back out, in store order (the round-trip
+    /// inverse of [`ColumnStore::from_rows`]).
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.len)
+            .map(|i| Arc::new(self.cols.iter().map(|c| c.get(i)).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    /// Row indices where column `c` equals `v`, in row order — a
+    /// vectorized selection scan (tight `i64`/code loops on typed
+    /// columns, `Value` comparison on the fallback layout).
+    pub fn select_eq(&self, c: usize, v: &Value) -> Vec<u32> {
+        match (&self.cols[c], v) {
+            (Column::Int(xs), Value::Int(p)) => xs
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| *x == p)
+                .map(|(i, _)| i as u32)
+                .collect(),
+            (Column::Str { codes, dict }, Value::Str(p)) => {
+                match dict.iter().position(|s| **s == **p) {
+                    Some(code) => codes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| **c == code as u32)
+                        .map(|(i, _)| i as u32)
+                        .collect(),
+                    None => Vec::new(),
+                }
+            }
+            (col, _) => (0..col.len())
+                .filter(|&i| col.get(i) == *v)
+                .map(|i| i as u32)
+                .collect(),
         }
     }
 }
@@ -454,5 +837,85 @@ mod tests {
         let rows = t.sorted_rows();
         assert_eq!(rows[0], tuple!(1, "a"));
         assert_eq!(rows[1], tuple!(2, "b"));
+    }
+
+    fn decl2int(keys: Option<Vec<usize>>) -> TableDecl {
+        TableDecl {
+            name: "t".into(),
+            keys,
+            types: vec![TypeTag::Int, TypeTag::Int],
+            kind: TableKind::Materialized,
+            span: crate::ast::Span::default(),
+        }
+    }
+
+    #[test]
+    fn int_index_mirrors_generic_bucket_order_through_mutations() {
+        let mut t = Table::new(decl2int(None));
+        t.ensure_index(&[1]);
+        t.ensure_int_index(&[1]);
+        for i in 0..6 {
+            t.insert(tuple!(i, i % 2)).unwrap();
+        }
+        // Remove from the middle so swap_remove reorders both buckets.
+        t.delete(&tuple!(2, 0));
+        t.insert(tuple!(8, 0)).unwrap();
+        let generic: Vec<Row> = t.lookup(&[1], &[Value::Int(0)]).unwrap().to_vec();
+        let typed: Vec<Row> = t.lookup_int(&[1], &[0]).unwrap().to_vec();
+        assert_eq!(generic, typed, "typed bucket must match order exactly");
+        assert_eq!(t.lookup_int(&[1], &[7]).unwrap(), &[] as &[Row]);
+        assert!(t.lookup_int(&[0], &[1]).is_none(), "not built for [0]");
+    }
+
+    #[test]
+    fn int_index_skips_null_keys() {
+        let mut t = Table::new(decl2int(None));
+        t.ensure_int_index(&[1]);
+        t.insert(tuple!(1, 5)).unwrap();
+        t.insert(Arc::new(vec![Value::Int(2), Value::Null]))
+            .unwrap();
+        assert_eq!(t.lookup_int(&[1], &[5]).unwrap().len(), 1);
+        // The null-keyed row lives only in the row store.
+        assert_eq!(t.len(), 2);
+        t.clear();
+        assert_eq!(t.lookup_int(&[1], &[5]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn columnar_layouts_and_round_trip() {
+        let rows: Vec<Row> = vec![tuple!(1, "a"), tuple!(2, "b"), tuple!(3, "a")];
+        let cs = ColumnStore::from_rows(2, &rows);
+        assert!(matches!(cs.col(0), Column::Int(_)));
+        assert!(matches!(cs.col(1), Column::Str { .. }));
+        assert_eq!(cs.to_rows(), rows);
+        // Mixed column falls back to the tagged layout.
+        let mixed: Vec<Row> = vec![tuple!(1, "a"), Arc::new(vec![Value::Null, Value::str("b")])];
+        let cs = ColumnStore::from_rows(2, &mixed);
+        assert!(matches!(cs.col(0), Column::Val(_)));
+        assert_eq!(cs.to_rows(), mixed);
+    }
+
+    #[test]
+    fn column_group_select_matches_value_equality() {
+        let rows: Vec<Row> = vec![tuple!(1, "a"), tuple!(2, "b"), tuple!(1, "a")];
+        let cs = ColumnStore::from_rows(2, &rows);
+        let g0 = cs.col(0).group();
+        assert_eq!(g0.select(&Value::Int(1)).unwrap(), &[0, 2]);
+        assert_eq!(g0.select(&Value::Int(9)).unwrap(), &[] as &[u32]);
+        assert_eq!(g0.select(&Value::str("x")).unwrap(), &[] as &[u32]);
+        assert!(
+            g0.select(&Value::Float(1.0)).is_none(),
+            "float probe on int column must force the fallback scan"
+        );
+        let g1 = cs.col(1).group();
+        assert_eq!(g1.select(&Value::str("a")).unwrap(), &[0, 2]);
+        assert_eq!(g1.select(&Value::addr("a")).unwrap(), &[] as &[u32]);
+        // Mixed columns answer every probe via Value hash/eq.
+        let gv = Column::from_values(vec![Value::Int(2), Value::str("a")]).group();
+        assert_eq!(gv.select(&Value::Float(2.0)).unwrap(), &[0]);
+        // select_eq agrees with group().select on typed columns.
+        assert_eq!(cs.select_eq(0, &Value::Int(1)), vec![0, 2]);
+        assert_eq!(cs.select_eq(1, &Value::str("b")), vec![1]);
+        assert_eq!(cs.select_eq(0, &Value::Float(1.0)), vec![0, 2]);
     }
 }

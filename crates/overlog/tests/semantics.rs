@@ -552,3 +552,123 @@ mod sharded {
         assert_eq!(serial, run(4));
     }
 }
+
+mod kernels {
+    use super::*;
+    use boom_overlog::PlanOptions;
+
+    /// A workload exercising every kernel op shape: a typed int-keyed
+    /// join (the `i64` index path), a string-keyed join (generic
+    /// probe), negation, a filter, an assignment, and a deletion rule.
+    const SRC: &str = "event report, {Int, Int};
+         define(node, keys(0), {Int, Str});
+         define(cap, keys(0), {Int, Int});
+         define(owner, keys(0), {Str, Int});
+         define(banned, keys(0), {Int});
+         define(load, keys(0), {Int, Int});
+         define(over, keys(0), {Int, Int, Int});
+         define(who, keys(0), {Int, Int});
+         load(N, W) :- report(N, W), notin banned(N);
+         over(N, W, S) :- load(N, W), cap(N, C), W > C, S := W + C;
+         who(N, O) :- load(N, _), node(N, Tag), owner(Tag, O);
+         delete load(N, W) :- report(N, W), banned(N);";
+
+    fn dump(r: &OverlogRuntime) -> String {
+        let mut tables: Vec<String> = r.table_decls().map(|d| d.name.clone()).collect();
+        tables.sort();
+        let mut s = String::new();
+        for t in tables {
+            let table = r.table(&t).expect("declared");
+            if table.is_event() {
+                continue;
+            }
+            for row in table.sorted_rows() {
+                s.push_str(&format!("{t}{row:?}\n"));
+            }
+        }
+        s
+    }
+
+    fn drive(kernels: bool) -> (String, u64) {
+        let mut r = rt(SRC);
+        r.set_plan_options(PlanOptions {
+            kernels,
+            ..Default::default()
+        });
+        for n in 0..16 {
+            r.insert(
+                "node",
+                row(vec![Value::Int(n), Value::str(format!("t{}", n % 3))]),
+            )
+            .unwrap();
+            r.insert("cap", row(vec![Value::Int(n), Value::Int(40)]))
+                .unwrap();
+        }
+        for g in 0..3 {
+            r.insert(
+                "owner",
+                row(vec![Value::str(format!("t{g}")), Value::Int(100 + g)]),
+            )
+            .unwrap();
+        }
+        r.insert("banned", row(vec![Value::Int(3)])).unwrap();
+        r.tick(0).unwrap();
+        for i in 0..64i64 {
+            r.insert("report", row(vec![Value::Int(i % 16), Value::Int(i)]))
+                .unwrap();
+        }
+        r.tick(1).unwrap();
+        r.settle(1).unwrap();
+        let kernel_evals: u64 = r.rule_stats().iter().map(|(_, s)| s.kernel_evals).sum();
+        (dump(&r), kernel_evals)
+    }
+
+    #[test]
+    fn kernel_path_is_byte_identical_to_interpreter() {
+        let (with, on_evals) = drive(true);
+        let (without, off_evals) = drive(false);
+        assert_eq!(with, without, "kernels changed derived state");
+        assert!(on_evals > 0, "no evaluation ran through a kernel");
+        assert_eq!(off_evals, 0, "kernels ran while disabled");
+    }
+
+    #[test]
+    fn kernels_compose_with_shards_and_maintenance() {
+        let run = |kernels: bool, shards: usize, maintenance: bool| {
+            let mut r = rt(SRC);
+            r.set_plan_options(PlanOptions {
+                kernels,
+                shards,
+                maintenance,
+                ..Default::default()
+            });
+            for n in 0..16 {
+                r.insert(
+                    "node",
+                    row(vec![Value::Int(n), Value::str(format!("t{}", n % 3))]),
+                )
+                .unwrap();
+                r.insert("cap", row(vec![Value::Int(n), Value::Int(40)]))
+                    .unwrap();
+            }
+            r.tick(0).unwrap();
+            for i in 0..96i64 {
+                r.insert("report", row(vec![Value::Int(i % 16), Value::Int(i)]))
+                    .unwrap();
+            }
+            r.tick(1).unwrap();
+            r.settle(1).unwrap();
+            dump(&r)
+        };
+        let reference = run(false, 1, false);
+        for shards in [1, 4] {
+            for maintenance in [false, true] {
+                assert_eq!(
+                    run(true, shards, maintenance),
+                    reference,
+                    "kernels diverged at shards={shards} maintenance={maintenance}"
+                );
+            }
+        }
+    }
+}

@@ -150,6 +150,7 @@ pub fn merge_by_rule(rows: &[ProfileRow]) -> Vec<(String, RuleStats)> {
         s.attempts += r.stats.attempts;
         s.delta_in += r.stats.delta_in;
         s.maint_evals += r.stats.maint_evals;
+        s.kernel_evals += r.stats.kernel_evals;
         s.eval_ns += r.stats.eval_ns;
     }
     let mut out: Vec<(String, RuleStats)> = by_rule
@@ -176,34 +177,36 @@ pub fn render_hot_rules(rows: &[ProfileRow], k: usize, with_time: bool) -> Strin
     ));
     if with_time {
         out.push_str(&format!(
-            "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>9}  rule\n",
-            "rank", "fires", "attempts", "delta_in", "maint", "eval_ms"
+            "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>9}  rule\n",
+            "rank", "fires", "attempts", "delta_in", "maint", "kernel", "eval_ms"
         ));
     } else {
         out.push_str(&format!(
-            "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  rule\n",
-            "rank", "fires", "attempts", "delta_in", "maint"
+            "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  rule\n",
+            "rank", "fires", "attempts", "delta_in", "maint", "kernel"
         ));
     }
     for (i, (rule, s)) in shown.enumerate() {
         if with_time {
             out.push_str(&format!(
-                "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>9.3}  {rule}\n",
+                "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>9.3}  {rule}\n",
                 i + 1,
                 s.fires,
                 s.attempts,
                 s.delta_in,
                 s.maint_evals,
+                s.kernel_evals,
                 s.eval_ns as f64 / 1e6
             ));
         } else {
             out.push_str(&format!(
-                "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {rule}\n",
+                "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {rule}\n",
                 i + 1,
                 s.fires,
                 s.attempts,
                 s.delta_in,
-                s.maint_evals
+                s.maint_evals,
+                s.kernel_evals
             ));
         }
     }
@@ -223,6 +226,7 @@ mod tests {
                 attempts,
                 delta_in: fires,
                 maint_evals: attempts / 2,
+                kernel_evals: fires,
                 eval_ns: 1_000_000,
             },
         }
@@ -240,6 +244,7 @@ mod tests {
         assert_eq!(merged[0].1.fires, 15);
         assert_eq!(merged[0].1.attempts, 26);
         assert_eq!(merged[0].1.maint_evals, 13);
+        assert_eq!(merged[0].1.kernel_evals, 15);
         assert_eq!(merged[1].0, "cold");
     }
 

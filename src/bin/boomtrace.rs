@@ -23,8 +23,10 @@ commands:
   why <PATTERN>     print derivation trees for derived tuples whose
                     rendered form `table(v1, ...)` contains PATTERN
   profile           print the top-K hot rules (fires, attempts, delta_in,
-                    and maint — scoped evaluations run by the incremental
-                    view maintainer instead of a full recompute)
+                    maint — scoped evaluations run by the incremental
+                    view maintainer instead of a full recompute — and
+                    kernel — evaluations served by a compiled kernel
+                    instead of the interpreter)
   chrome <OUT>      write a Chrome trace-event JSON of the run to OUT
                     (open in about:tracing or ui.perfetto.dev)
   metrics           print the unified metrics registry as JSON

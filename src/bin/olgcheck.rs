@@ -206,9 +206,10 @@ fn report(
         Format::Json => {
             let shard = if semantic {
                 format!(
-                    ",\"shard\":{},\"maintenance\":{}",
+                    ",\"shard\":{},\"maintenance\":{},\"kernel\":{}",
                     analysis::shard::render_json(&rep.shard),
-                    analysis::maint::render_json(&rep.maint)
+                    analysis::maint::render_json(&rep.maint),
+                    analysis::kernel::render_json(&rep.kernel)
                 )
             } else {
                 String::new()
@@ -254,6 +255,24 @@ fn report(
                 .join("; ");
             println!(
                 "::notice file={file},line={line},col={col},title=maintenance::view rule `{}`: {body}",
+                r.label
+            );
+        }
+        // And one per rule with its kernel verdicts, so PRs show which
+        // rules run on the compiled fast path and which fall back.
+        for r in &rep.kernel.rules {
+            let (file, line, col) = map.resolve(r.span.start);
+            let body = if r.variants.is_empty() {
+                "skipped (failed error-level checks)".to_string()
+            } else {
+                r.variants
+                    .iter()
+                    .map(|(d, v)| format!("delta {d}: {v}"))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            };
+            println!(
+                "::notice file={file},line={line},col={col},title=kernel::rule `{}`: {body}",
                 r.label
             );
         }

@@ -19,6 +19,7 @@ const BASELINE: PlanOptions = PlanOptions {
     scoped_views: false,
     shards: 1,
     maintenance: false,
+    kernels: false,
 };
 
 fn assert_ab_identical(name: &str, run: impl Fn(PlanOptions) -> String) {
